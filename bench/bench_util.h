@@ -1,0 +1,56 @@
+#ifndef EBI_BENCH_BENCH_UTIL_H_
+#define EBI_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ebi {
+namespace bench {
+
+/// Builds a one-column table where every value 0..m-1 occurs n/m times
+/// round-robin, so ValueId == value and consecutive-value selections map to
+/// consecutive codewords under a sequential encoding.
+inline std::unique_ptr<Table> RoundRobinTable(size_t n, size_t m) {
+  auto table = std::make_unique<Table>("T");
+  if (!table->AddColumn("a", Column::Type::kInt64).ok()) {
+    return nullptr;
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (!table->AppendRow({Value::Int(static_cast<int64_t>(r % m))}).ok()) {
+      return nullptr;
+    }
+  }
+  return table;
+}
+
+/// Consecutive IN-list {first, ..., first+delta-1} as Values.
+inline std::vector<Value> ConsecutiveValues(int64_t first, size_t delta) {
+  std::vector<Value> values;
+  values.reserve(delta);
+  for (size_t i = 0; i < delta; ++i) {
+    values.push_back(Value::Int(first + static_cast<int64_t>(i)));
+  }
+  return values;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bench
+}  // namespace ebi
+
+#endif  // EBI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Reproduces the Section 2.1 cost analysis: the cardinality at which a
+// simple bitmap index stops being smaller than a B-tree (m < 11.52 p / M,
+// i.e. m ~ 93 for p = 4 KB, M = 512), model and measurement side by side.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "bench_util.h"
+#include "index/btree_index.h"
+#include "index/encoded_bitmap_index.h"
+#include "index/simple_bitmap_index.h"
+
+namespace ebi {
+namespace {
+
+void Run() {
+  const size_t page = 4096;
+  const size_t degree = 512;
+  const size_t n = 50000;
+  std::printf("=== Section 2.1: bitmap-vs-B-tree space crossover ===\n");
+  std::printf("model crossover cardinality: 11.52*p/M = %.2f (p=%zu, M=%zu)\n\n",
+              BitmapVsBTreeCrossoverCardinality(page, degree), page, degree);
+  std::printf("%-8s %-16s %-16s %-16s %-16s %-10s\n", "m", "simple_model_B",
+              "btree_model_B", "simple_meas_B", "btree_meas_B", "winner");
+
+  const std::vector<size_t> cardinalities = {8,  16, 32,  64, 80,
+                                             92, 96, 128, 256, 512};
+  for (size_t m : cardinalities) {
+    auto table = bench::RoundRobinTable(n, m);
+    IoAccountant io(page);
+    SimpleBitmapIndex simple(&table->column(0), &table->existence(), &io);
+    BTreeIndex btree(&table->column(0), &table->existence(), &io);
+    if (!simple.Build().ok() || !btree.Build().ok()) {
+      std::printf("%-8zu build failed\n", m);
+      continue;
+    }
+    const double simple_model = SimpleBitmapBytes(n, m);
+    const double btree_model = BTreeBytes(n, page, degree);
+    std::printf("%-8zu %-16.0f %-16.0f %-16zu %-16zu %-10s\n", m,
+                simple_model, btree_model, simple.SizeBytes(),
+                btree.SizeBytes(),
+                simple.SizeBytes() < btree.SizeBytes() ? "bitmap" : "btree");
+  }
+
+  std::printf(
+      "\nBuild-cost terms (Section 2.1, unit operations, n = %zu):\n", n);
+  std::printf("%-8s %-16s %-16s %-16s\n", "m", "simple O(nm)",
+              "encoded O(nlogm)", "btree");
+  for (size_t m : {size_t{16}, size_t{64}, size_t{256}, size_t{1024}}) {
+    std::printf("%-8zu %-16.0f %-16.0f %-16.0f\n", m,
+                SimpleBuildCost(n, m), EncodedBuildCost(n, m),
+                BTreeBuildCost(n, m, page, degree));
+  }
+}
+
+}  // namespace
+}  // namespace ebi
+
+int main() {
+  ebi::Run();
+  return 0;
+}

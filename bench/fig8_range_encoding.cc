@@ -1,0 +1,151 @@
+// Reproduces Figures 7/8: range-based encoded bitmap indexing over the
+// predefined selections 6<=A<10, 8<=A<12, 10<=A<13, 16<=A<20 on domain
+// [6,20): the induced partition, the reduced retrieval functions, and the
+// bitmap vectors per selection, next to the Wu/Yu-style range-based
+// bitmap index and a bit-sliced index on the same data.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "encoding/range_encoding.h"
+#include "index/bit_sliced_index.h"
+#include "index/encoded_bitmap_index.h"
+#include "index/range_based_bitmap_index.h"
+#include "util/random.h"
+
+namespace ebi {
+namespace {
+
+void Run() {
+  const std::vector<HalfOpenRange> predefined = {
+      {6, 10}, {8, 12}, {10, 13}, {16, 20}};
+  auto enc_or = RangeBasedEncoding::Create(6, 20, predefined);
+  if (!enc_or.ok()) {
+    std::printf("range encoding failed\n");
+    return;
+  }
+  const RangeBasedEncoding& enc = *enc_or;
+
+  std::printf("=== Figure 7: induced partition of [6,20) ===\n");
+  for (size_t i = 0; i < enc.intervals().size(); ++i) {
+    const uint64_t code = *enc.mapping().CodeOf(static_cast<ValueId>(i));
+    std::printf("  interval %zu = %-8s code=", i,
+                enc.intervals()[i].ToString().c_str());
+    for (int b = enc.mapping().width() - 1; b >= 0; --b) {
+      std::printf("%llu", static_cast<unsigned long long>((code >> b) & 1));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Figure 8(b): reduced retrieval functions ===\n");
+  for (const HalfOpenRange& r : predefined) {
+    const auto cover = enc.CoverForRange(r.lo, r.hi);
+    if (!cover.ok()) {
+      std::printf("  %-10s error\n", r.ToString().c_str());
+      continue;
+    }
+    std::printf("  %-10s -> %-18s (%d vectors)\n", r.ToString().c_str(),
+                CoverToString(*cover, enc.mapping().width()).c_str(),
+                DistinctVariables(*cover));
+  }
+
+  // Data: 30000 rows uniform over [6, 20). Compare three range indexes.
+  const size_t n = 30000;
+  auto table = std::make_unique<Table>("T");
+  (void)table->AddColumn("a", Column::Type::kInt64);
+  Rng rng(2024);
+  for (size_t r = 0; r < n; ++r) {
+    (void)table->AppendRow({Value::Int(6 + static_cast<int64_t>(
+                                               rng.UniformInt(14)))});
+  }
+
+  IoAccountant ebi_io;
+  IoAccountant wy_io;
+  IoAccountant bsi_io;
+  // Encoded bitmap index over the *interval* of each row, using the
+  // range-based mapping (the paper's construction).
+  auto interval_table = std::make_unique<Table>("I");
+  (void)interval_table->AddColumn("iv", Column::Type::kInt64);
+  for (size_t r = 0; r < n; ++r) {
+    const int64_t v = table->column(0).ValueAt(r).int_value;
+    (void)interval_table->AppendRow(
+        {Value::Int(static_cast<int64_t>(*enc.IntervalOf(v)))});
+  }
+  // Give the interval index exactly the optimized range-based mapping:
+  // column ValueIds are in first-occurrence order, so translate
+  // ValueId -> interval id -> codeword.
+  const Column& interval_col = interval_table->column(0);
+  std::vector<uint64_t> codes(interval_col.Cardinality());
+  for (ValueId vid = 0; vid < interval_col.Cardinality(); ++vid) {
+    const auto iv =
+        static_cast<ValueId>(interval_col.ValueOf(vid).int_value);
+    codes[vid] = *enc.mapping().CodeOf(iv);
+  }
+  auto interval_mapping =
+      MappingTable::Create(enc.mapping().width(), codes);
+  EncodedBitmapIndex interval_index(&interval_table->column(0),
+                                    &interval_table->existence(), &ebi_io);
+  if (!interval_mapping.ok() ||
+      !interval_index.SetMapping(std::move(interval_mapping).value())
+           .ok()) {
+    std::printf("interval mapping failed\n");
+    return;
+  }
+  RangeBasedBitmapIndexOptions wopts;
+  wopts.num_buckets = 6;
+  RangeBasedBitmapIndex wu_yu(&table->column(0), &table->existence(), &wy_io,
+                              wopts);
+  BitSlicedIndex sliced(&table->column(0), &table->existence(), &bsi_io);
+  if (!interval_index.Build().ok() || !wu_yu.Build().ok() ||
+      !sliced.Build().ok()) {
+    std::printf("index build failed\n");
+    return;
+  }
+
+  std::printf("\n=== Predefined range selections, measured (n = %zu) ===\n",
+              n);
+  std::printf("%-10s %-8s %-18s %-22s %-14s\n", "range", "rows",
+              "rangeEBI_vectors", "wu-yu_vec(+checks)", "bsi_vectors");
+  for (const HalfOpenRange& r : predefined) {
+    // Range-based EBI: evaluate the reduced cover over interval slices.
+    ebi_io.Reset();
+    wy_io.Reset();
+    bsi_io.Reset();
+    std::vector<Value> intervals;
+    for (size_t i = 0; i < enc.intervals().size(); ++i) {
+      if (enc.intervals()[i].lo >= r.lo && enc.intervals()[i].hi <= r.hi) {
+        intervals.push_back(Value::Int(static_cast<int64_t>(i)));
+      }
+    }
+    const auto a = interval_index.EvaluateIn(intervals);
+    const auto b = wu_yu.EvaluateRange(r.lo, r.hi - 1);
+    const auto c = sliced.EvaluateRange(r.lo, r.hi - 1);
+    if (!a.ok() || !b.ok() || !c.ok() || !(*a == *b) || !(*b == *c)) {
+      std::printf("%-10s DISAGREEMENT\n", r.ToString().c_str());
+      continue;
+    }
+    std::printf("%-10s %-8zu %-18llu %llu(+%zu checks)%*s %-14llu\n",
+                r.ToString().c_str(), a->Count(),
+                static_cast<unsigned long long>(ebi_io.stats().vectors_read),
+                static_cast<unsigned long long>(wy_io.stats().vectors_read),
+                wu_yu.last_candidates_checked(), 4, "",
+                static_cast<unsigned long long>(
+                    bsi_io.stats().vectors_read));
+  }
+  std::printf(
+      "(The range-based encoded index answers every predefined selection\n"
+      " from <= 2 bitmap vectors — plus one existence read here, since the\n"
+      " demo mapping reserves no void codeword — and never verifies\n"
+      " candidates; the distribution-partitioned index pays per-row\n"
+      " verification on boundary buckets — the Section 4 comparison with\n"
+      " [19].)\n");
+}
+
+}  // namespace
+}  // namespace ebi
+
+int main() {
+  ebi::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces the Section 3.1 sparsity analysis: simple bitmap vectors are
+// (m-1)/m zeros while encoded slices sit near 1/2 independent of m; also
+// shows what run-length compression buys each of them.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "bench_util.h"
+#include "index/encoded_bitmap_index.h"
+#include "index/simple_bitmap_index.h"
+#include "util/rle_bitmap.h"
+
+namespace ebi {
+namespace {
+
+double AverageSliceDensity(const EncodedBitmapIndex& index) {
+  if (index.slices().empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const BitVector& slice : index.slices()) {
+    total += 1.0 - slice.Sparsity();
+  }
+  return total / static_cast<double>(index.slices().size());
+}
+
+void Run() {
+  const size_t n = 20000;
+  std::printf("=== Section 3.1: sparsity vs cardinality (n = %zu) ===\n", n);
+  std::printf("%-8s %-14s %-14s %-14s %-16s %-16s\n", "m", "model (m-1)/m",
+              "simple_meas", "encoded_meas", "rle_ratio_simple",
+              "rle_ratio_enc");
+  for (size_t m : std::vector<size_t>{2, 8, 32, 128, 512, 2048}) {
+    auto table = bench::RoundRobinTable(n, m);
+    IoAccountant io;
+    SimpleBitmapIndexOptions sopts;
+    sopts.compressed = true;
+    SimpleBitmapIndex simple(&table->column(0), &table->existence(), &io,
+                             sopts);
+    SimpleBitmapIndex plain(&table->column(0), &table->existence(), &io);
+    EncodedBitmapIndexOptions eopts;
+    eopts.reserve_void_zero = false;
+    EncodedBitmapIndex encoded(&table->column(0), &table->existence(), &io,
+                               eopts);
+    if (!simple.Build().ok() || !plain.Build().ok() ||
+        !encoded.Build().ok()) {
+      std::printf("%-8zu build failed\n", m);
+      continue;
+    }
+    // Compression ratio of the compressed simple index vs its plain twin,
+    // and of RLE-compressing each encoded slice.
+    const double rle_simple = static_cast<double>(plain.SizeBytes()) /
+                              static_cast<double>(simple.SizeBytes());
+    size_t enc_plain = 0;
+    size_t enc_rle = 0;
+    for (const BitVector& slice : encoded.slices()) {
+      enc_plain += slice.SizeBytes();
+      enc_rle += RleBitmap::Compress(slice).SizeBytes();
+    }
+    const double rle_enc =
+        static_cast<double>(enc_plain) / static_cast<double>(enc_rle);
+    std::printf("%-8zu %-14.4f %-14.4f %-14.4f %-16.2f %-16.2f\n", m,
+                SimpleSparsity(m), plain.AverageSparsity(),
+                1.0 - AverageSliceDensity(encoded), rle_simple, rle_enc);
+  }
+  std::printf(
+      "(Sparse simple vectors compress well; ~50%%-dense encoded slices do\n"
+      " not — encoding already removed the redundancy.)\n");
+}
+
+}  // namespace
+}  // namespace ebi
+
+int main() {
+  ebi::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Star-join benchmark (Section 4's join-index family): answer
+// "SELECT fact rows WHERE dim.attr = c" three ways —
+//   (a) encoded bitmapped join index (this library's construction),
+//   (b) per-key probing through a B-tree on the fact FK,
+//   (c) a simple bitmap index on the fact FK (one vector per key).
+// The encoded join index does the fact-side work in <= ceil(log2 |D|)
+// vector reads regardless of how many dimension rows qualify.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "ebi/ebi.h"
+
+namespace ebi {
+namespace {
+
+void Run() {
+  StarSchemaConfig config;
+  config.fact_rows = 100000;
+  config.num_products = 2000;
+  config.seed = 77;
+  auto schema_or = BuildStarSchema(config);
+  if (!schema_or.ok()) {
+    std::printf("schema build failed\n");
+    return;
+  }
+  StarSchema& schema = **schema_or;
+  const Column* fk = *schema.sales->FindColumn("product");
+  const Column* category = *schema.products->FindColumn("category");
+  const BitVector* existence = &schema.sales->existence();
+
+  IoAccountant join_io;
+  IoAccountant btree_io;
+  IoAccountant simple_io;
+  EncodedBitmapJoinIndex join_index(fk, existence, schema.products,
+                                    "product_id", &join_io);
+  BTreeIndex btree(fk, existence, &btree_io);
+  SimpleBitmapIndex simple(fk, existence, &simple_io);
+  if (!join_index.Build().ok() || !btree.Build().ok() ||
+      !simple.Build().ok()) {
+    std::printf("index build failed\n");
+    return;
+  }
+  std::printf("=== Star join: SALES (%zu rows) x PRODUCTS (%zu rows, "
+              "%zu categories) ===\n",
+              schema.sales->NumRows(), schema.products->NumRows(),
+              category->Cardinality());
+  std::printf("join index holds %zu bitmap vectors (simple bitmapped join "
+              "index would hold %zu)\n\n",
+              join_index.NumVectors(), schema.products->NumRows());
+
+  std::printf("%-14s %-8s %-8s %-14s %-16s %-16s\n", "dim predicate",
+              "keys", "rows", "join_vectors", "btree_nodes",
+              "simple_vectors");
+  for (int64_t cat = 0; cat < 4; ++cat) {
+    const Predicate pred = Predicate::Eq("category", Value::Int(cat));
+    join_io.Reset();
+    btree_io.Reset();
+    simple_io.Reset();
+
+    const auto a = join_index.FactRowsWhere(pred);
+    if (!a.ok()) {
+      continue;
+    }
+    // Baselines: resolve qualifying keys by dimension scan, then probe.
+    std::vector<Value> keys;
+    for (size_t row = 0; row < schema.products->NumRows(); ++row) {
+      if (category->ValueAt(row).int_value == cat) {
+        keys.push_back(
+            (*schema.products->FindColumn("product_id"))->ValueAt(row));
+      }
+    }
+    const auto b = btree.EvaluateIn(keys);
+    const auto c = simple.EvaluateIn(keys);
+    if (!b.ok() || !c.ok() || !(*a == *b) || !(*b == *c)) {
+      std::printf("category=%lld DISAGREEMENT\n",
+                  static_cast<long long>(cat));
+      continue;
+    }
+    std::printf("category=%-5lld %-8zu %-8zu %-14llu %-16llu %-16llu\n",
+                static_cast<long long>(cat), keys.size(), a->Count(),
+                static_cast<unsigned long long>(
+                    join_io.stats().vectors_read),
+                static_cast<unsigned long long>(btree_io.stats().nodes_read),
+                static_cast<unsigned long long>(
+                    simple_io.stats().vectors_read));
+  }
+  std::printf(
+      "\n(50 qualifying keys cost the B-tree 50 root-to-leaf descents and\n"
+      " the simple bitmap index 50 vector ORs; the encoded join index\n"
+      " reduces the whole key set to one Boolean expression over\n"
+      " ceil(log2|D|) vectors — bitmap cooperativity applied to joins.)\n");
+}
+
+}  // namespace
+}  // namespace ebi
+
+int main() {
+  ebi::Run();
+  return 0;
+}

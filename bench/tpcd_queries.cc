@@ -1,0 +1,178 @@
+// End-to-end TPC-D-flavoured query templates on the SALES star schema,
+// executed entirely through the library: selections via the cost-based
+// planner over bitmap indexes, star joins via the encoded bitmapped join
+// index, and aggregates on bit-sliced indexes — no fact-table scans.
+//
+// Templates (miniatures of the TPC-D query shapes the paper counts —
+// 12 of 17 involve range search):
+//   T1  "pricing summary"  : range on day, SUM/AVG/COUNT of quantity.
+//   T2  "product window"   : IN-list on product, range on day, COUNT.
+//   T3  "alliance revenue" : hierarchy roll-up (join-like) with SUM.
+//   T4  "point lookup"     : single product, COUNT (the c_s-friendly one).
+//   T5  "category volume"  : star join on PRODUCTS.category, SUM.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ebi/ebi.h"
+#include "query/planner.h"
+
+namespace ebi {
+namespace {
+
+void Run() {
+  StarSchemaConfig config;
+  config.fact_rows = 120000;
+  config.num_products = 1000;
+  config.seed = 404;
+  auto schema_or = BuildStarSchema(config);
+  if (!schema_or.ok()) {
+    std::printf("schema build failed\n");
+    return;
+  }
+  StarSchema& schema = **schema_or;
+  const BitVector* existence = &schema.sales->existence();
+  const Column* product = *schema.sales->FindColumn("product");
+  const Column* branch = *schema.sales->FindColumn("branch");
+  const Column* day = *schema.sales->FindColumn("day");
+  const Column* quantity = *schema.sales->FindColumn("quantity");
+
+  IoAccountant io;
+  SimpleBitmapIndex product_simple(product, existence, &io);
+  EncodedBitmapIndex product_encoded(product, existence, &io);
+  EncodedBitmapIndex branch_encoded(branch, existence, &io);
+  BitSlicedIndex day_sliced(day, existence, &io);
+  EncodedBitmapIndex day_encoded(day, existence, &io);
+  BitSlicedIndex quantity_sliced(quantity, existence, &io);
+  EncodedBitmapJoinIndex join(product, existence, schema.products,
+                              "product_id", &io);
+  if (!product_simple.Build().ok() || !product_encoded.Build().ok() ||
+      !branch_encoded.Build().ok() || !day_sliced.Build().ok() ||
+      !day_encoded.Build().ok() || !quantity_sliced.Build().ok() ||
+      !join.Build().ok()) {
+    std::printf("index build failed\n");
+    return;
+  }
+  AccessPathPlanner planner(schema.sales, &io);
+  planner.RegisterIndex("product", &product_simple);
+  planner.RegisterIndex("product", &product_encoded);
+  planner.RegisterIndex("branch", &branch_encoded);
+  planner.RegisterIndex("day", &day_sliced);
+  planner.RegisterIndex("day", &day_encoded);
+
+  std::printf("=== TPC-D-style templates on SALES (%zu rows) ===\n",
+              schema.sales->NumRows());
+  std::printf("%-4s %-34s %-10s %-14s %-24s\n", "id", "template", "rows",
+              "answer", "io (per query)");
+
+  // T1: range on day + aggregates over quantity.
+  {
+    io.Reset();
+    const auto sel = planner.Select({Predicate::Between("day", 30, 120)});
+    if (sel.ok()) {
+      const auto sum = SumBitSliced(&quantity_sliced, sel->rows);
+      bool empty = false;
+      const auto avg = AvgBitSliced(&quantity_sliced, sel->rows, &empty);
+      if (sum.ok() && avg.ok()) {
+        char answer[64];
+        std::snprintf(answer, sizeof(answer), "sum=%lld avg=%.1f",
+                      static_cast<long long>(*sum), *avg);
+        std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T1",
+                    "day in [30,120]: SUM,AVG(qty)", sel->count, answer,
+                    io.stats().ToString().c_str());
+      }
+    }
+  }
+
+  // T2: IN-list on product AND range on day.
+  {
+    io.Reset();
+    std::vector<Value> products;
+    for (int64_t p = 100; p < 140; ++p) {
+      products.push_back(Value::Int(p));
+    }
+    const auto sel =
+        planner.Select({Predicate::In("product", products),
+                        Predicate::Between("day", 0, 180)});
+    if (sel.ok()) {
+      std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T2",
+                  "product IN(40) AND day<=180", sel->count, "-",
+                  io.stats().ToString().c_str());
+    }
+  }
+
+  // T3: alliance roll-up with SUM(quantity) per alliance.
+  {
+    io.Reset();
+    int64_t total = 0;
+    size_t rows = 0;
+    for (const char* alliance : {"X", "Y", "Z"}) {
+      const auto members =
+          schema.salespoint_hierarchy.Members("alliance", alliance);
+      if (!members.ok()) {
+        continue;
+      }
+      std::vector<Value> branches;
+      for (ValueId b : *members) {
+        branches.push_back(Value::Int(static_cast<int64_t>(b)));
+      }
+      const auto sel = branch_encoded.EvaluateIn(branches);
+      if (!sel.ok()) {
+        continue;
+      }
+      const auto sum = SumBitSliced(&quantity_sliced, *sel);
+      if (sum.ok()) {
+        total += *sum;
+        rows += sel->Count();
+      }
+    }
+    char answer[64];
+    std::snprintf(answer, sizeof(answer), "sum(3 rollups)=%lld",
+                  static_cast<long long>(total));
+    std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T3",
+                "alliance rollup: SUM(qty)", rows, answer,
+                io.stats().ToString().c_str());
+  }
+
+  // T4: point lookup.
+  {
+    io.Reset();
+    const auto sel =
+        planner.Select({Predicate::Eq("product", Value::Int(7))});
+    if (sel.ok()) {
+      std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T4",
+                  "product = 7: COUNT", sel->count, "-",
+                  io.stats().ToString().c_str());
+    }
+  }
+
+  // T5: star join on the dimension attribute.
+  {
+    io.Reset();
+    const auto sel =
+        join.FactRowsWhere(Predicate::Eq("category", Value::Int(3)));
+    if (sel.ok()) {
+      const auto sum = SumBitSliced(&quantity_sliced, *sel);
+      char answer[64];
+      std::snprintf(answer, sizeof(answer), "sum=%lld",
+                    sum.ok() ? static_cast<long long>(*sum) : -1);
+      std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T5",
+                  "join: category=3, SUM(qty)", sel->Count(), answer,
+                  io.stats().ToString().c_str());
+    }
+  }
+
+  std::printf(
+      "\n(Every template runs on bitmap vectors and slices alone — the\n"
+      " fact table is never scanned. T4 is the shape where simple bitmaps\n"
+      " win and the planner picks them; everything else routes to encoded\n"
+      " or bit-sliced structures.)\n");
+}
+
+}  // namespace
+}  // namespace ebi
+
+int main() {
+  ebi::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "boolean/cover.h"
+
+#include <bit>
+
+namespace ebi {
+
+uint64_t VariablesOf(const Cover& cover) {
+  uint64_t vars = 0;
+  for (const Cube& cube : cover) {
+    vars |= cube.mask;
+  }
+  return vars;
+}
+
+int DistinctVariables(const Cover& cover) {
+  return std::popcount(VariablesOf(cover));
+}
+
+int TotalLiterals(const Cover& cover) {
+  int total = 0;
+  for (const Cube& cube : cover) {
+    total += cube.NumLiterals();
+  }
+  return total;
+}
+
+bool CoverCovers(const Cover& cover, uint64_t minterm) {
+  for (const Cube& cube : cover) {
+    if (cube.Covers(minterm)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CoverToString(const Cover& cover, int k) {
+  if (cover.empty()) {
+    return "0";
+  }
+  std::string out;
+  for (size_t i = 0; i < cover.size(); ++i) {
+    if (i > 0) {
+      out += " + ";
+    }
+    out += cover[i].ToString(k);
+  }
+  return out;
+}
+
+BitVector EvaluateCover(const Cover& cover,
+                        const std::vector<BitVector>& slices, size_t n) {
+  BitVector result(n, false);
+  for (const Cube& cube : cover) {
+    if (cube.mask == 0) {
+      // Constant-true cube: the whole expression is a tautology.
+      result.SetAll();
+      return result;
+    }
+    BitVector term;
+    bool first = true;
+    for (size_t i = 0; i < slices.size(); ++i) {
+      const uint64_t bit = uint64_t{1} << i;
+      if ((cube.mask & bit) == 0) {
+        continue;
+      }
+      const bool positive = (cube.values & bit) != 0;
+      if (first) {
+        term = slices[i];
+        if (!positive) {
+          term.FlipAll();
+        }
+        first = false;
+      } else if (positive) {
+        term.AndWith(slices[i]);
+      } else {
+        term.AndNotWith(slices[i]);
+      }
+    }
+    result.OrWith(term);
+  }
+  return result;
+}
+
+bool CoversEquivalent(const Cover& a, const Cover& b, int k) {
+  const uint64_t limit = uint64_t{1} << k;
+  for (uint64_t m = 0; m < limit; ++m) {
+    if (CoverCovers(a, m) != CoverCovers(b, m)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ebi

@@ -1,0 +1,51 @@
+#ifndef EBI_BOOLEAN_COVER_H_
+#define EBI_BOOLEAN_COVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "boolean/cube.h"
+#include "util/bitvector.h"
+
+namespace ebi {
+
+/// A sum-of-products Boolean expression: the disjunction of its cubes.
+/// Retrieval expressions for IN-list selections are Covers; logical
+/// reduction rewrites a Cover into an equivalent one referencing fewer
+/// bitmap vectors.
+using Cover = std::vector<Cube>;
+
+/// Bitwise OR of all cube masks: the set of variables (bitmap vectors) the
+/// expression references.
+uint64_t VariablesOf(const Cover& cover);
+
+/// Number of distinct bitmap vectors referenced — the paper's cost metric
+/// c_e (Section 3.1, footnote 4: the cost counted after logical reduction).
+int DistinctVariables(const Cover& cover);
+
+/// Total number of literals across all cubes.
+int TotalLiterals(const Cover& cover);
+
+/// True iff the cover evaluates to 1 on the full assignment `minterm`.
+bool CoverCovers(const Cover& cover, uint64_t minterm);
+
+/// Renders like "B1'B0 + B2B0'"; the empty cover renders as "0".
+std::string CoverToString(const Cover& cover, int k);
+
+/// Evaluates the expression over bitmap slices: slice[i] is the bitmap
+/// vector for variable B_i; all slices must have equal length `n`. Returns
+/// the result bitmap (bit j set iff the expression is 1 on tuple j's code).
+///
+/// Evaluation uses one negation-aware AND chain per cube and ORs cube
+/// results together, exactly the plan a bitmap executor would run.
+BitVector EvaluateCover(const Cover& cover,
+                        const std::vector<BitVector>& slices, size_t n);
+
+/// True iff the two covers denote the same Boolean function over k
+/// variables (exhaustive check; intended for tests and small k).
+bool CoversEquivalent(const Cover& a, const Cover& b, int k);
+
+}  // namespace ebi
+
+#endif  // EBI_BOOLEAN_COVER_H_

@@ -1,0 +1,44 @@
+#include "boolean/cube.h"
+
+#include <bit>
+
+namespace ebi {
+
+int Cube::NumLiterals() const { return std::popcount(mask); }
+
+uint64_t Cube::CoverageSize(int k) const {
+  const int free_vars = k - NumLiterals();
+  return uint64_t{1} << free_vars;
+}
+
+std::string Cube::ToString(int k) const {
+  if (mask == 0) {
+    return "1";
+  }
+  std::string out;
+  for (int i = k - 1; i >= 0; --i) {
+    const uint64_t bit = uint64_t{1} << i;
+    if ((mask & bit) == 0) {
+      continue;
+    }
+    out += "B";
+    out += std::to_string(i);
+    if ((values & bit) == 0) {
+      out += "'";
+    }
+  }
+  return out;
+}
+
+std::optional<Cube> TryCombine(const Cube& a, const Cube& b) {
+  if (a.mask != b.mask) {
+    return std::nullopt;
+  }
+  const uint64_t diff = a.values ^ b.values;
+  if (std::popcount(diff) != 1) {
+    return std::nullopt;
+  }
+  return Cube(a.values & ~diff, a.mask & ~diff);
+}
+
+}  // namespace ebi

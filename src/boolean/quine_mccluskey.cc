@@ -1,0 +1,265 @@
+#include "boolean/quine_mccluskey.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+namespace ebi {
+
+namespace {
+
+struct CubeHash {
+  size_t operator()(const Cube& c) const {
+    // 64-bit mix of the two fields.
+    uint64_t h = c.values * 0x9e3779b97f4a7c15ULL;
+    h ^= c.mask + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+std::vector<uint64_t> DedupSorted(std::vector<uint64_t> xs) {
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+std::vector<Cube> PrimeImplicants(const std::vector<uint64_t>& onset,
+                                  const std::vector<uint64_t>& dontcare,
+                                  int k) {
+  std::vector<uint64_t> all = onset;
+  all.insert(all.end(), dontcare.begin(), dontcare.end());
+  all = DedupSorted(std::move(all));
+
+  std::vector<Cube> current;
+  current.reserve(all.size());
+  for (uint64_t m : all) {
+    current.push_back(Cube::MinTerm(m, k));
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    // Bucket cubes of the same mask by the popcount of their values; only
+    // cubes in adjacent buckets of the same mask can combine.
+    std::map<std::pair<uint64_t, int>, std::vector<size_t>> buckets;
+    for (size_t i = 0; i < current.size(); ++i) {
+      buckets[{current[i].mask, std::popcount(current[i].values)}].push_back(
+          i);
+    }
+
+    std::vector<bool> combined(current.size(), false);
+    std::unordered_set<Cube, CubeHash> next_set;
+    for (const auto& [key, indices] : buckets) {
+      const auto upper = buckets.find({key.first, key.second + 1});
+      if (upper == buckets.end()) {
+        continue;
+      }
+      for (size_t i : indices) {
+        for (size_t j : upper->second) {
+          const std::optional<Cube> merged =
+              TryCombine(current[i], current[j]);
+          if (merged.has_value()) {
+            combined[i] = true;
+            combined[j] = true;
+            next_set.insert(*merged);
+          }
+        }
+      }
+    }
+
+    for (size_t i = 0; i < current.size(); ++i) {
+      if (!combined[i]) {
+        primes.push_back(current[i]);
+      }
+    }
+    current.assign(next_set.begin(), next_set.end());
+  }
+
+  std::sort(primes.begin(), primes.end());
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  return primes;
+}
+
+Cover MinimizeQm(const std::vector<uint64_t>& onset,
+                 const std::vector<uint64_t>& dontcare, int k,
+                 const MinimizeOptions& options) {
+  const std::vector<uint64_t> need = DedupSorted(onset);
+  if (need.empty()) {
+    return Cover();
+  }
+
+  const std::vector<Cube> primes = PrimeImplicants(need, dontcare, k);
+
+  // Prime implicant chart: which primes cover which required minterms.
+  std::vector<std::vector<size_t>> covering(need.size());
+  for (size_t p = 0; p < primes.size(); ++p) {
+    for (size_t m = 0; m < need.size(); ++m) {
+      if (primes[p].Covers(need[m])) {
+        covering[m].push_back(p);
+      }
+    }
+  }
+
+  std::vector<bool> covered(need.size(), false);
+  std::vector<bool> selected(primes.size(), false);
+  Cover result;
+  uint64_t used_vars = 0;
+  size_t remaining = need.size();
+
+  auto select = [&](size_t p) {
+    selected[p] = true;
+    result.push_back(primes[p]);
+    used_vars |= primes[p].mask;
+    for (size_t m = 0; m < need.size(); ++m) {
+      if (!covered[m] && primes[p].Covers(need[m])) {
+        covered[m] = true;
+        --remaining;
+      }
+    }
+  };
+
+  // 1. Essential primes: minterms with a single covering prime.
+  for (size_t m = 0; m < need.size(); ++m) {
+    if (covering[m].size() == 1 && !selected[covering[m][0]]) {
+      select(covering[m][0]);
+    }
+  }
+
+  // 2a. Exact completion for small charts: branch-and-bound set cover over
+  //     the remaining minterms (Petrick's method in spirit), minimizing the
+  //     number of selected primes.
+  if (remaining > 0) {
+    std::vector<size_t> uncovered;
+    for (size_t m = 0; m < need.size(); ++m) {
+      if (!covered[m]) {
+        uncovered.push_back(m);
+      }
+    }
+    std::vector<size_t> candidates;
+    for (size_t p = 0; p < primes.size(); ++p) {
+      if (selected[p]) {
+        continue;
+      }
+      for (size_t u : uncovered) {
+        if (primes[p].Covers(need[u])) {
+          candidates.push_back(p);
+          break;
+        }
+      }
+    }
+    if (uncovered.size() <= 64 && candidates.size() <= 24) {
+      std::vector<uint64_t> cover_mask(candidates.size(), 0);
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        for (size_t u = 0; u < uncovered.size(); ++u) {
+          if (primes[candidates[c]].Covers(need[uncovered[u]])) {
+            cover_mask[c] |= uint64_t{1} << u;
+          }
+        }
+      }
+      const uint64_t full = uncovered.size() == 64
+                                ? ~uint64_t{0}
+                                : (uint64_t{1} << uncovered.size()) - 1;
+      std::vector<size_t> best_pick;
+      std::vector<size_t> pick;
+      size_t best_size = candidates.size() + 1;
+      // Depth-first: always branch on the lowest uncovered minterm.
+      const std::function<void(uint64_t)> search = [&](uint64_t done) {
+        if (done == full) {
+          if (pick.size() < best_size) {
+            best_size = pick.size();
+            best_pick = pick;
+          }
+          return;
+        }
+        if (pick.size() + 1 >= best_size) {
+          return;  // Cannot beat the incumbent.
+        }
+        const int next = std::countr_one(done);
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          if ((cover_mask[c] >> next) & 1) {
+            pick.push_back(candidates[c]);
+            search(done | cover_mask[c]);
+            pick.pop_back();
+          }
+        }
+      };
+      search(0);
+      for (size_t p : best_pick) {
+        select(p);
+      }
+    }
+  }
+
+  // 2b. Greedy completion (large charts, or exact-search fallback):
+  //    repeatedly take the prime that covers the most uncovered minterms,
+  //    tie-broken toward (a) introducing fewer new variables when
+  //    requested, then (b) fewer literals.
+  while (remaining > 0) {
+    size_t best = primes.size();
+    size_t best_gain = 0;
+    int best_new_vars = 65;
+    int best_literals = 65;
+    for (size_t p = 0; p < primes.size(); ++p) {
+      if (selected[p]) {
+        continue;
+      }
+      size_t gain = 0;
+      for (size_t m = 0; m < need.size(); ++m) {
+        if (!covered[m] && primes[p].Covers(need[m])) {
+          ++gain;
+        }
+      }
+      if (gain == 0) {
+        continue;
+      }
+      const int new_vars =
+          options.prefer_fewer_variables
+              ? std::popcount(primes[p].mask & ~used_vars)
+              : 0;
+      const int literals = primes[p].NumLiterals();
+      const bool better =
+          std::tuple(best_gain, -best_new_vars, -best_literals) <
+          std::tuple(gain, -new_vars, -literals);
+      if (better) {
+        best = p;
+        best_gain = gain;
+        best_new_vars = new_vars;
+        best_literals = literals;
+      }
+    }
+    if (best == primes.size()) {
+      break;  // Unreachable for a correct chart; defensive.
+    }
+    select(best);
+  }
+
+  // 3. Drop redundant primes (a greedy pass can select primes that later
+  //    selections made unnecessary).
+  for (size_t i = result.size(); i > 0; --i) {
+    Cover without;
+    without.reserve(result.size() - 1);
+    for (size_t j = 0; j < result.size(); ++j) {
+      if (j != i - 1) {
+        without.push_back(result[j]);
+      }
+    }
+    bool still_covered = true;
+    for (uint64_t m : need) {
+      if (!CoverCovers(without, m)) {
+        still_covered = false;
+        break;
+      }
+    }
+    if (still_covered) {
+      result = std::move(without);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace ebi

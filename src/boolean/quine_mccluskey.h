@@ -1,0 +1,44 @@
+#ifndef EBI_BOOLEAN_QUINE_MCCLUSKEY_H_
+#define EBI_BOOLEAN_QUINE_MCCLUSKEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "boolean/cover.h"
+#include "boolean/cube.h"
+
+namespace ebi {
+
+/// Options for exact two-level minimization.
+struct MinimizeOptions {
+  /// When selecting among prime implicants, prefer ones that do not
+  /// introduce new variables. This biases the cover toward the paper's cost
+  /// metric (distinct bitmap vectors accessed) instead of literal count.
+  bool prefer_fewer_variables = true;
+};
+
+/// Exact two-level minimization via the Quine-McCluskey procedure.
+///
+/// `onset` are the codewords on which the function must be 1, `dontcare`
+/// the codewords whose output is unconstrained (unused codewords of an
+/// encoding, and — per Theorem 2.1 — the void codeword), `k` the number of
+/// variables (bitmap vectors). Returns an irredundant sum-of-products cover
+/// built from prime implicants: all essential primes plus a greedy
+/// selection for the remaining minterms.
+///
+/// Complexity is exponential in k in the worst case (the paper discusses
+/// exactly this cost in Section 3.2); use `ReduceCover` from reduction.h
+/// for large instances.
+Cover MinimizeQm(const std::vector<uint64_t>& onset,
+                 const std::vector<uint64_t>& dontcare, int k,
+                 const MinimizeOptions& options = MinimizeOptions());
+
+/// Computes all prime implicants of the function defined by onset ∪
+/// dontcare (exposed for tests and for the encoding optimizer).
+std::vector<Cube> PrimeImplicants(const std::vector<uint64_t>& onset,
+                                  const std::vector<uint64_t>& dontcare,
+                                  int k);
+
+}  // namespace ebi
+
+#endif  // EBI_BOOLEAN_QUINE_MCCLUSKEY_H_

@@ -1,0 +1,51 @@
+#ifndef EBI_BOOLEAN_REDUCTION_H_
+#define EBI_BOOLEAN_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "boolean/cover.h"
+#include "boolean/cube.h"
+
+namespace ebi {
+
+/// Controls how retrieval Boolean expressions are reduced before
+/// evaluation. Section 3.2 of the paper: a well-defined encoding "only
+/// makes sense together with the logical reduction of the retrieval
+/// functions", and brute-force reduction is exponential, hence the split
+/// between an exact and a heuristic path.
+struct ReductionOptions {
+  /// When false, the raw disjunction of min-terms is used unchanged — the
+  /// ablation knob for measuring what reduction buys.
+  bool enable_reduction = true;
+
+  /// Use exact Quine-McCluskey when onset+dontcare has at most this many
+  /// terms; otherwise fall back to heuristic cube merging.
+  size_t exact_max_terms = 8192;
+
+  /// Don't-care sets larger than this are not materialized (e.g. the unused
+  /// codewords of a 2^24 group-set code space).
+  size_t max_dontcare_terms = 65536;
+
+  /// Forwarded to MinimizeQm.
+  bool prefer_fewer_variables = true;
+};
+
+/// Heuristic reduction: repeated adjacency merging (TryCombine) plus
+/// absorption until fixpoint. Produces an equivalent cover, not necessarily
+/// a prime/minimal one; linear-ish passes over pairs, usable far beyond the
+/// exact threshold.
+Cover ReduceCoverHeuristic(Cover cover);
+
+/// Builds and reduces the retrieval expression for a value-set selection:
+/// `onset` are the codewords of the selected values, `dontcare` the
+/// unconstrained codewords, `k` the number of bitmap vectors. Dispatches to
+/// exact or heuristic reduction per `options`.
+Cover ReduceRetrievalFunction(const std::vector<uint64_t>& onset,
+                              const std::vector<uint64_t>& dontcare, int k,
+                              const ReductionOptions& options =
+                                  ReductionOptions());
+
+}  // namespace ebi
+
+#endif  // EBI_BOOLEAN_REDUCTION_H_

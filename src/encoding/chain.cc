@@ -1,0 +1,125 @@
+#include "encoding/chain.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bit_util.h"
+
+namespace ebi {
+
+namespace {
+
+/// Backtracking Hamiltonian-cycle search over the distance-1 graph.
+bool ExtendChain(const std::vector<uint64_t>& codes,
+                 std::vector<bool>* used, std::vector<uint64_t>* path) {
+  if (path->size() == codes.size()) {
+    return BinaryDistance(path->back(), path->front()) == 1;
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if ((*used)[i] || BinaryDistance(path->back(), codes[i]) != 1) {
+      continue;
+    }
+    (*used)[i] = true;
+    path->push_back(codes[i]);
+    if (ExtendChain(codes, used, path)) {
+      return true;
+    }
+    path->pop_back();
+    (*used)[i] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsChain(const std::vector<uint64_t>& sequence) {
+  const size_t n = sequence.size();
+  if (n < 2) {
+    return false;
+  }
+  // Distinctness.
+  std::vector<uint64_t> sorted = sequence;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return false;
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (BinaryDistance(sequence[i], sequence[i + 1]) != 1) {
+      return false;
+    }
+  }
+  return BinaryDistance(sequence[n - 1], sequence[0]) == 1;
+}
+
+bool PairwiseDistanceAtMost(const std::vector<uint64_t>& codes, int p) {
+  for (size_t i = 0; i < codes.size(); ++i) {
+    for (size_t j = i + 1; j < codes.size(); ++j) {
+      if (BinaryDistance(codes[i], codes[j]) > p) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsPrimeChain(const std::vector<uint64_t>& sequence) {
+  const size_t n = sequence.size();
+  if (!std::has_single_bit(n)) {
+    return false;
+  }
+  const int p = std::countr_zero(n);
+  // p == 0 (single element): Definition 2.3 needs n >= 2.
+  if (!IsChain(sequence)) {
+    return false;
+  }
+  return PairwiseDistanceAtMost(sequence, p);
+}
+
+std::optional<std::vector<uint64_t>> FindChain(
+    const std::vector<uint64_t>& codes) {
+  if (codes.size() < 2) {
+    return std::nullopt;
+  }
+  // A Hamiltonian cycle in the hypercube visits codewords of alternating
+  // parity, so a chain requires an equal split; this also rejects all odd
+  // sizes cheaply before the exponential search.
+  int odd = 0;
+  for (uint64_t c : codes) {
+    odd += std::popcount(c) & 1;
+  }
+  if (odd * 2 != static_cast<int>(codes.size())) {
+    return std::nullopt;
+  }
+  std::vector<bool> used(codes.size(), false);
+  std::vector<uint64_t> path;
+  used[0] = true;
+  path.push_back(codes[0]);
+  if (ExtendChain(codes, &used, &path)) {
+    return path;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint64_t>> FindPrimeChain(
+    const std::vector<uint64_t>& codes) {
+  if (!std::has_single_bit(codes.size())) {
+    return std::nullopt;
+  }
+  const int p = std::countr_zero(codes.size());
+  if (!PairwiseDistanceAtMost(codes, p)) {
+    return std::nullopt;
+  }
+  return FindChain(codes);
+}
+
+std::vector<uint64_t> CanonicalPrimeChain(int p, uint64_t base) {
+  const uint64_t n = uint64_t{1} << p;
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(base | BinaryToGray(i));
+  }
+  return out;
+}
+
+}  // namespace ebi

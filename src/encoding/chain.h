@@ -1,0 +1,50 @@
+#ifndef EBI_ENCODING_CHAIN_H_
+#define EBI_ENCODING_CHAIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ebi {
+
+/// Implements Definitions 2.2-2.4 of the paper.
+///
+/// A *chain* on a set of distinct codewords is a cyclic ordering in which
+/// consecutive codewords (and the last/first pair) have binary distance 1 —
+/// i.e. a Hamiltonian cycle in the hypercube subgraph induced by the set.
+/// A *prime chain* additionally requires |s| = 2^p and all pairwise
+/// distances <= p.
+///
+/// Chain search is exact backtracking; intended for the subdomain sizes in
+/// selection predicates (tens of codewords), not whole code spaces.
+
+/// True iff `sequence` (of distinct codewords, n >= 2) is a chain
+/// (Definition 2.3).
+bool IsChain(const std::vector<uint64_t>& sequence);
+
+/// True iff `sequence` is a prime chain on its codeword set
+/// (Definition 2.4): it is a chain, the size is a power of two (2^p), and
+/// every pair of codewords has binary distance <= p.
+bool IsPrimeChain(const std::vector<uint64_t>& sequence);
+
+/// Finds a chain ordering of `codes` if one exists.
+std::optional<std::vector<uint64_t>> FindChain(
+    const std::vector<uint64_t>& codes);
+
+/// Finds a prime-chain ordering of `codes` if one exists (requires the
+/// pairwise-distance bound to hold — that is a property of the set).
+std::optional<std::vector<uint64_t>> FindPrimeChain(
+    const std::vector<uint64_t>& codes);
+
+/// True iff every pair in `codes` has binary distance <= p.
+bool PairwiseDistanceAtMost(const std::vector<uint64_t>& codes, int p);
+
+/// The 2^p codewords of a canonical prime chain embedded at `base`: the
+/// reflected Gray code over the lowest p bits, offset by `base` (whose low
+/// p bits must be zero). Consecutive entries differ in one bit and the last
+/// wraps to the first, and all pairwise distances are <= p.
+std::vector<uint64_t> CanonicalPrimeChain(int p, uint64_t base);
+
+}  // namespace ebi
+
+#endif  // EBI_ENCODING_CHAIN_H_

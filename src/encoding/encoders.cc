@@ -1,0 +1,113 @@
+#include "encoding/encoders.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/bit_util.h"
+
+namespace ebi {
+
+namespace {
+
+size_t TotalCodes(size_t m, const EncoderOptions& options) {
+  return m + (options.reserve_void_zero ? 1 : 0) +
+         (options.encode_null ? 1 : 0);
+}
+
+struct ReservedCodes {
+  std::optional<uint64_t> void_code;
+  std::optional<uint64_t> null_code;
+};
+
+/// Builds the mapping from an ordered list of candidate codewords: reserved
+/// codes are taken off the front in (void, NULL) order, values get the
+/// rest.
+Result<MappingTable> FromCodeSequence(size_t m, int width,
+                                      const std::vector<uint64_t>& sequence,
+                                      const EncoderOptions& options) {
+  ReservedCodes reserved;
+  size_t next = 0;
+  if (options.reserve_void_zero) {
+    reserved.void_code = 0;
+  }
+  if (options.encode_null) {
+    // First sequence entry that is not the void code.
+    while (reserved.void_code.has_value() &&
+           sequence[next] == *reserved.void_code) {
+      ++next;
+    }
+    reserved.null_code = sequence[next];
+    ++next;
+  }
+  std::vector<uint64_t> codes;
+  codes.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    while ((reserved.void_code.has_value() &&
+            sequence[next] == *reserved.void_code) ||
+           (reserved.null_code.has_value() &&
+            sequence[next] == *reserved.null_code)) {
+      ++next;
+    }
+    codes.push_back(sequence[next]);
+    ++next;
+  }
+  return MappingTable::Create(width, codes, reserved.void_code,
+                              reserved.null_code);
+}
+
+}  // namespace
+
+int WidthFor(size_t m, const EncoderOptions& options) {
+  return Log2Ceil(TotalCodes(m, options)) + options.extra_width;
+}
+
+Result<MappingTable> MakeSequentialMapping(size_t m,
+                                           const EncoderOptions& options) {
+  if (m == 0) {
+    return Status::InvalidArgument("empty domain");
+  }
+  const int width = WidthFor(m, options);
+  std::vector<uint64_t> sequence(TotalCodes(m, options) + 1);
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    sequence[i] = i;
+  }
+  return FromCodeSequence(m, width, sequence, options);
+}
+
+Result<MappingTable> MakeGrayMapping(size_t m, const EncoderOptions& options) {
+  if (m == 0) {
+    return Status::InvalidArgument("empty domain");
+  }
+  const int width = WidthFor(m, options);
+  // Enough Gray codewords to skip past any reserved collisions. gray(0)=0,
+  // so the void code 0 is skipped naturally at the head.
+  std::vector<uint64_t> sequence(TotalCodes(m, options) + 2);
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    sequence[i] = BinaryToGray(i);
+  }
+  return FromCodeSequence(m, width, sequence, options);
+}
+
+Result<MappingTable> MakeRandomMapping(size_t m, Rng* rng,
+                                       const EncoderOptions& options) {
+  if (m == 0) {
+    return Status::InvalidArgument("empty domain");
+  }
+  const int width = WidthFor(m, options);
+  const uint64_t space = uint64_t{1} << width;
+  std::vector<uint64_t> sequence(space);
+  for (uint64_t i = 0; i < space; ++i) {
+    sequence[i] = i;
+  }
+  rng->Shuffle(&sequence);
+  return FromCodeSequence(m, width, sequence, options);
+}
+
+Result<MappingTable> MakeTotalOrderMapping(size_t m,
+                                           const EncoderOptions& options) {
+  // The sequential assignment hands out strictly increasing codewords, so
+  // it already preserves the total order of rank-ordered ValueIds.
+  return MakeSequentialMapping(m, options);
+}
+
+}  // namespace ebi

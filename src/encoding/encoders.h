@@ -1,0 +1,54 @@
+#ifndef EBI_ENCODING_ENCODERS_H_
+#define EBI_ENCODING_ENCODERS_H_
+
+#include <cstddef>
+
+#include "encoding/mapping_table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Shared knobs for the mapping-table factories.
+struct EncoderOptions {
+  /// Reserve codeword 0 for non-existing (void) tuples, per Theorem 2.1's
+  /// recommendation: selections on existing tuples then never need the
+  /// existence conjunct.
+  bool reserve_void_zero = false;
+  /// Allocate a codeword for SQL NULL so NULLs are encoded "together with
+  /// the other key values" (the paper's preferred NULL treatment).
+  bool encode_null = false;
+  /// Extra width beyond the minimum ceil(log2(total codes)); spare bits are
+  /// don't-care capacity for future domain expansion.
+  int extra_width = 0;
+};
+
+/// Code width needed for `m` values under `options`.
+int WidthFor(size_t m, const EncoderOptions& options = EncoderOptions());
+
+/// Sequential (binary counting) encoding: ValueId i gets the i-th free
+/// codeword. This is the trivial encoding of "dynamic bitmaps" (Section 4)
+/// and is also total-order preserving when ValueIds are rank order.
+Result<MappingTable> MakeSequentialMapping(
+    size_t m, const EncoderOptions& options = EncoderOptions());
+
+/// Reflected-Gray-code encoding: consecutive ValueIds differ in exactly one
+/// bit, so any run of consecutive values forms a chain (Definition 2.3) —
+/// the natural "good" encoding for selections over consecutive values.
+Result<MappingTable> MakeGrayMapping(
+    size_t m, const EncoderOptions& options = EncoderOptions());
+
+/// Uniformly random one-to-one encoding — the "improper mapping" baseline
+/// of Figure 3(b).
+Result<MappingTable> MakeRandomMapping(
+    size_t m, Rng* rng, const EncoderOptions& options = EncoderOptions());
+
+/// Total-order preserving encoding (Section 2.3): codewords are strictly
+/// increasing in ValueId order, so "j < A < i" predicates translate to code
+/// ranges. ValueIds must be rank order (sorted domain).
+Result<MappingTable> MakeTotalOrderMapping(
+    size_t m, const EncoderOptions& options = EncoderOptions());
+
+}  // namespace ebi
+
+#endif  // EBI_ENCODING_ENCODERS_H_

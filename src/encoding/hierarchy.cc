@@ -1,0 +1,84 @@
+#include "encoding/hierarchy.h"
+
+#include <algorithm>
+
+namespace ebi {
+
+Status Hierarchy::AddLevel(HierarchyLevel level) {
+  for (const HierarchyGroup& group : level.groups) {
+    if (group.members.empty()) {
+      return Status::InvalidArgument("group " + group.name + " of level " +
+                                     level.name + " is empty");
+    }
+    for (ValueId v : group.members) {
+      if (v >= base_cardinality_) {
+        return Status::OutOfRange("group " + group.name +
+                                  " references base value " +
+                                  std::to_string(v) + " out of range");
+      }
+    }
+  }
+  for (const HierarchyLevel& existing : levels_) {
+    if (existing.name == level.name) {
+      return Status::AlreadyExists("level " + level.name +
+                                   " already exists");
+    }
+  }
+  levels_.push_back(std::move(level));
+  return Status::OK();
+}
+
+Result<std::vector<ValueId>> Hierarchy::Members(
+    const std::string& level, const std::string& group) const {
+  for (const HierarchyLevel& l : levels_) {
+    if (l.name != level) {
+      continue;
+    }
+    for (const HierarchyGroup& g : l.groups) {
+      if (g.name == group) {
+        return g.members;
+      }
+    }
+    return Status::NotFound("group " + group + " not found in level " +
+                            level);
+  }
+  return Status::NotFound("level " + level + " not found");
+}
+
+Result<std::vector<std::string>> Hierarchy::GroupsContaining(
+    const std::string& level, ValueId v) const {
+  for (const HierarchyLevel& l : levels_) {
+    if (l.name != level) {
+      continue;
+    }
+    std::vector<std::string> out;
+    for (const HierarchyGroup& g : l.groups) {
+      if (std::find(g.members.begin(), g.members.end(), v) !=
+          g.members.end()) {
+        out.push_back(g.name);
+      }
+    }
+    return out;
+  }
+  return Status::NotFound("level " + level + " not found");
+}
+
+PredicateSet Hierarchy::AllGroupPredicates() const {
+  PredicateSet predicates;
+  for (const HierarchyLevel& level : levels_) {
+    for (const HierarchyGroup& group : level.groups) {
+      predicates.push_back(group.members);
+    }
+  }
+  return predicates;
+}
+
+Result<MappingTable> EncodeHierarchy(const Hierarchy& hierarchy,
+                                     const OptimizerOptions& options,
+                                     const EncoderOptions& encoder_options) {
+  return AnnealEncode(hierarchy.base_cardinality(),
+                      hierarchy.AllGroupPredicates(), options,
+                      encoder_options);
+}
+
+}  // namespace ebi

@@ -1,0 +1,81 @@
+#ifndef EBI_ENCODING_HIERARCHY_H_
+#define EBI_ENCODING_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "encoding/optimizer.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// One element of a dimension hierarchy level: a named group of base
+/// values, e.g. company "a" = branches {1,2,3,4}. Relationships may be m:N
+/// (Section 2.3: "the relationships between hierarchy elements are not
+/// necessarily 1:N"), so a base value may appear in several groups.
+struct HierarchyGroup {
+  std::string name;
+  std::vector<ValueId> members;  // Base-level ValueIds.
+};
+
+/// A named hierarchy level, e.g. "company" or "alliance", whose groups all
+/// resolve (transitively) to base-level values.
+struct HierarchyLevel {
+  std::string name;
+  std::vector<HierarchyGroup> groups;
+};
+
+/// A dimension hierarchy over a base attribute with `base_cardinality`
+/// distinct values (the SALESPOINT example of Figure 4/5).
+class Hierarchy {
+ public:
+  explicit Hierarchy(size_t base_cardinality)
+      : base_cardinality_(base_cardinality) {}
+
+  size_t base_cardinality() const { return base_cardinality_; }
+
+  /// Adds a level; group members must be valid base ValueIds.
+  Status AddLevel(HierarchyLevel level);
+
+  const std::vector<HierarchyLevel>& levels() const { return levels_; }
+
+  /// Looks up a group's member set, e.g. ("alliance", "X").
+  Result<std::vector<ValueId>> Members(const std::string& level,
+                                       const std::string& group) const;
+
+  /// All group member-sets across all levels — the predicate set P of the
+  /// hierarchy-encoding construction (Section 2.3): selections along
+  /// dimension elements.
+  PredicateSet AllGroupPredicates() const;
+
+  /// Names of the groups of `level` that contain base value `v` — the
+  /// roll-up direction of a drill-down. m:N memberships mean a value may
+  /// belong to several groups (branch 3 is in companies a *and* d).
+  Result<std::vector<std::string>> GroupsContaining(
+      const std::string& level, ValueId v) const;
+
+  /// Base values reached by drilling a group of `from_level` down to the
+  /// base — for the paper's m:N hierarchies, just the member set; exposed
+  /// by name for symmetric roll-up/drill-down call sites.
+  Result<std::vector<ValueId>> DrillDown(const std::string& from_level,
+                                         const std::string& group) const {
+    return Members(from_level, group);
+  }
+
+ private:
+  size_t base_cardinality_;
+  std::vector<HierarchyLevel> levels_;
+};
+
+/// Builds a hierarchy encoding: a mapping for the base attribute that is
+/// optimized (greedy + annealing) for selections on every hierarchy
+/// element, so roll-ups/drill-downs touch few bitmap vectors.
+Result<MappingTable> EncodeHierarchy(const Hierarchy& hierarchy,
+                                     const OptimizerOptions& options =
+                                         OptimizerOptions(),
+                                     const EncoderOptions& encoder_options =
+                                         EncoderOptions());
+
+}  // namespace ebi
+
+#endif  // EBI_ENCODING_HIERARCHY_H_

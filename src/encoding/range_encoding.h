@@ -1,0 +1,68 @@
+#ifndef EBI_ENCODING_RANGE_ENCODING_H_
+#define EBI_ENCODING_RANGE_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "boolean/cover.h"
+#include "boolean/reduction.h"
+#include "encoding/mapping_table.h"
+#include "encoding/optimizer.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// A half-open integer range [lo, hi).
+struct HalfOpenRange {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool Contains(int64_t v) const { return v >= lo && v < hi; }
+  std::string ToString() const;
+
+  friend bool operator==(const HalfOpenRange& a, const HalfOpenRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Range-based encoded bitmap index support (Section 2.3, Figures 7/8).
+///
+/// The attribute domain [domain_lo, domain_hi) is partitioned into the
+/// disjoint intervals induced by a set of predefined range selections; the
+/// intervals — not individual values — are then encoded, with the encoding
+/// optimized so each predefined selection reduces to few bitmap vectors.
+class RangeBasedEncoding {
+ public:
+  /// Builds the partition and an optimized interval encoding.
+  static Result<RangeBasedEncoding> Create(
+      int64_t domain_lo, int64_t domain_hi,
+      const std::vector<HalfOpenRange>& predefined,
+      const OptimizerOptions& options = OptimizerOptions());
+
+  /// The disjoint partition, in ascending order (Figure 7).
+  const std::vector<HalfOpenRange>& intervals() const { return intervals_; }
+
+  /// Index of the interval containing `value`, or OutOfRange.
+  Result<size_t> IntervalOf(int64_t value) const;
+
+  /// Interval index -> codeword mapping (Figure 8(a)).
+  const MappingTable& mapping() const { return mapping_; }
+
+  /// The reduced retrieval function for the selection lo <= A < hi
+  /// (Figure 8(b)). The bounds must align with partition boundaries —
+  /// otherwise the range is not expressible over intervals and the caller
+  /// should fall back to a total-order-preserving value encoding (the
+  /// paper's own advice for non-predefinable ranges).
+  Result<Cover> CoverForRange(int64_t lo, int64_t hi,
+                              const ReductionOptions& options =
+                                  ReductionOptions()) const;
+
+ private:
+  std::vector<HalfOpenRange> intervals_;
+  MappingTable mapping_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_ENCODING_RANGE_ENCODING_H_

@@ -1,0 +1,43 @@
+#ifndef EBI_ENCODING_WELL_DEFINED_H_
+#define EBI_ENCODING_WELL_DEFINED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "boolean/reduction.h"
+#include "encoding/mapping_table.h"
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Checks Definition 2.5: whether `mapping` is well-defined with respect to
+/// the selection "A IN subdomain".
+///
+/// `subdomain` holds the selected ValueIds, `domain_size` the number of
+/// mapped values |A| (candidates for the odd-case witness w are all mapped
+/// values outside the subdomain). Exact but exponential in the subdomain
+/// size (subset enumeration + Hamiltonian search); intended for |s| <~ 16,
+/// the size of hand-written IN-lists.
+Result<bool> IsWellDefined(const MappingTable& mapping,
+                           const std::vector<ValueId>& subdomain,
+                           size_t domain_size);
+
+/// The operational cost the definitions are designed to minimize: the
+/// number of distinct bitmap vectors referenced by the *reduced* retrieval
+/// expression for "A IN subdomain" (Theorem 2.2's metric). Unused codewords
+/// and the void codeword are injected as don't-cares.
+Result<int> AccessCost(const MappingTable& mapping,
+                       const std::vector<ValueId>& subdomain,
+                       const ReductionOptions& options = ReductionOptions());
+
+/// Sum of AccessCost over a set of selection predicates (Theorem 2.3's
+/// objective).
+Result<int> TotalAccessCost(const MappingTable& mapping,
+                            const std::vector<std::vector<ValueId>>& preds,
+                            const ReductionOptions& options =
+                                ReductionOptions());
+
+}  // namespace ebi
+
+#endif  // EBI_ENCODING_WELL_DEFINED_H_

@@ -1,0 +1,220 @@
+#include "index/base_bit_sliced_index.h"
+
+#include <algorithm>
+
+namespace ebi {
+
+Status BaseBitSlicedIndex::Build() {
+  if (column_->type() != Column::Type::kInt64) {
+    return Status::InvalidArgument(
+        "base bit-sliced index requires an integer column");
+  }
+  if (options_.base < 2) {
+    return Status::InvalidArgument("base must be >= 2");
+  }
+  const size_t n = column_->size();
+
+  bool any = false;
+  int64_t min_v = 0;
+  int64_t max_v = 0;
+  for (const Value& v : column_->dictionary()) {
+    if (!any || v.int_value < min_v) {
+      min_v = v.int_value;
+    }
+    if (!any || v.int_value > max_v) {
+      max_v = v.int_value;
+    }
+    any = true;
+  }
+  bias_ = any ? min_v : 0;
+  const uint64_t span = any ? static_cast<uint64_t>(max_v - min_v) + 1 : 1;
+
+  size_t num_digits = 1;
+  uint64_t reach = options_.base;
+  while (reach < span) {
+    ++num_digits;
+    reach *= options_.base;
+  }
+  digits_.assign(num_digits,
+                 std::vector<BitVector>(options_.base, BitVector(n)));
+  position_weight_.resize(num_digits);
+  uint64_t w = 1;
+  for (size_t pos = 0; pos < num_digits; ++pos) {
+    position_weight_[pos] = w;
+    w *= options_.base;
+  }
+
+  for (size_t row = 0; row < n; ++row) {
+    const ValueId id = column_->ValueIdAt(row);
+    if (id == kNullValueId) {
+      continue;
+    }
+    WriteBiased(row,
+                static_cast<uint64_t>(column_->ValueOf(id).int_value - bias_));
+  }
+  rows_indexed_ = n;
+  built_ = true;
+  return Status::OK();
+}
+
+uint32_t BaseBitSlicedIndex::DigitOf(uint64_t biased, size_t pos) const {
+  return static_cast<uint32_t>((biased / position_weight_[pos]) %
+                               options_.base);
+}
+
+void BaseBitSlicedIndex::WriteBiased(size_t row, uint64_t biased) {
+  for (size_t pos = 0; pos < digits_.size(); ++pos) {
+    digits_[pos][DigitOf(biased, pos)].Set(row);
+  }
+}
+
+Status BaseBitSlicedIndex::Append(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row != rows_indexed_) {
+    return Status::InvalidArgument("rows must be appended in order");
+  }
+  const ValueId id = column_->ValueIdAt(row);
+  uint64_t biased = 0;
+  bool is_null = true;
+  if (id != kNullValueId) {
+    const int64_t v = column_->ValueOf(id).int_value;
+    if (v < bias_) {
+      return Status::Unimplemented(
+          "appended value below the digit bias; rebuild the index");
+    }
+    biased = static_cast<uint64_t>(v - bias_);
+    is_null = false;
+  }
+  // Grow digit positions if needed. Every existing non-NULL row has digit
+  // 0 at the new position, so the new digit-0 vector must cover them.
+  while (!is_null &&
+         biased >= position_weight_.back() * options_.base) {
+    position_weight_.push_back(position_weight_.back() * options_.base);
+    digits_.emplace_back(options_.base, BitVector(rows_indexed_));
+    BitVector& zero_digit = digits_.back()[0];
+    for (size_t r = 0; r < rows_indexed_; ++r) {
+      if (column_->ValueIdAt(r) != kNullValueId) {
+        zero_digit.Set(r);
+      }
+    }
+  }
+  for (size_t pos = 0; pos < digits_.size(); ++pos) {
+    const uint32_t digit = is_null ? 0 : DigitOf(biased, pos);
+    for (uint32_t d = 0; d < options_.base; ++d) {
+      digits_[pos][d].PushBack(!is_null && d == digit);
+    }
+  }
+  ++rows_indexed_;
+  return Status::OK();
+}
+
+void BaseBitSlicedIndex::ChargeVector(size_t pos, uint32_t digit) {
+  io_->ChargeVectorRead(digits_[pos][digit].SizeBytes());
+}
+
+BitVector BaseBitSlicedIndex::LessOrEqual(uint64_t c) {
+  // Digit-wise most-significant-first: lt collects rows already strictly
+  // below, eq narrows to rows equal so far.
+  BitVector lt(rows_indexed_);
+  BitVector eq(rows_indexed_, true);
+  for (size_t i = digits_.size(); i > 0; --i) {
+    const size_t pos = i - 1;
+    const uint32_t digit = DigitOf(c, pos);
+    // Rows equal so far with a smaller digit here are strictly less.
+    for (uint32_t d = 0; d < digit; ++d) {
+      ChargeVector(pos, d);
+      lt.OrWith(And(eq, digits_[pos][d]));
+    }
+    ChargeVector(pos, digit);
+    eq.AndWith(digits_[pos][digit]);
+  }
+  lt.OrWith(eq);
+  return lt;
+}
+
+void BaseBitSlicedIndex::MaskInvalid(BitVector* result) {
+  if (column_->HasNulls()) {
+    for (size_t row = 0; row < rows_indexed_; ++row) {
+      if (column_->ValueIdAt(row) == kNullValueId) {
+        result->Reset(row);
+      }
+    }
+  }
+  io_->ChargeVectorRead(existence_->SizeBytes());
+  result->AndWith(*existence_);
+}
+
+Result<BitVector> BaseBitSlicedIndex::EvaluateEquals(const Value& value) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  BitVector result(rows_indexed_);
+  if (value.kind != Value::Kind::kInt64 || value.int_value < bias_) {
+    return result;
+  }
+  const uint64_t biased = static_cast<uint64_t>(value.int_value - bias_);
+  if (!position_weight_.empty() &&
+      biased >= position_weight_.back() * options_.base) {
+    return result;
+  }
+  // AND one digit vector per position: d reads, vs ceil(log2 range) for
+  // binary slices and 1 for a simple bitmap — the base knob.
+  result.SetAll();
+  for (size_t pos = 0; pos < digits_.size(); ++pos) {
+    const uint32_t digit = DigitOf(biased, pos);
+    ChargeVector(pos, digit);
+    result.AndWith(digits_[pos][digit]);
+  }
+  MaskInvalid(&result);
+  return result;
+}
+
+Result<BitVector> BaseBitSlicedIndex::EvaluateIn(
+    const std::vector<Value>& values) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  BitVector result(rows_indexed_);
+  for (const Value& v : values) {
+    EBI_ASSIGN_OR_RETURN(const BitVector one, EvaluateEquals(v));
+    result.OrWith(one);
+  }
+  return result;
+}
+
+Result<BitVector> BaseBitSlicedIndex::EvaluateRange(int64_t lo, int64_t hi) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  BitVector result(rows_indexed_);
+  if (lo > hi || position_weight_.empty()) {
+    return result;
+  }
+  const int64_t max_biased = static_cast<int64_t>(
+      position_weight_.back() * options_.base - 1);
+  if (hi < bias_ || lo > bias_ + max_biased) {
+    return result;
+  }
+  const uint64_t hi_b =
+      static_cast<uint64_t>(std::min(hi - bias_, max_biased));
+  result = LessOrEqual(hi_b);
+  if (lo > bias_) {
+    result.AndNotWith(LessOrEqual(static_cast<uint64_t>(lo - bias_ - 1)));
+  }
+  MaskInvalid(&result);
+  return result;
+}
+
+size_t BaseBitSlicedIndex::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& position : digits_) {
+    for (const BitVector& v : position) {
+      total += v.SizeBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace ebi

@@ -1,0 +1,320 @@
+#include "index/btree_index.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ebi {
+
+int64_t BTreeIndex::KeyOf(ValueId id) const {
+  if (column_->type() == Column::Type::kInt64) {
+    return column_->ValueOf(id).int_value;
+  }
+  return string_rank_[id];
+}
+
+Status BTreeIndex::Build() {
+  // Degree M from the page size: each slot is a key (8 B) plus a child
+  // pointer / posting pointer (8 B).
+  fanout_ = std::max<size_t>(4, io_->page_size() / 16);
+
+  // String columns get a dense rank so keys are totally ordered integers.
+  if (column_->type() == Column::Type::kString) {
+    const size_t m = column_->Cardinality();
+    std::vector<ValueId> order(m);
+    for (ValueId i = 0; i < m; ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [this](ValueId a, ValueId b) {
+      return column_->ValueOf(a).string_value <
+             column_->ValueOf(b).string_value;
+    });
+    string_rank_.assign(m, 0);
+    for (size_t rank = 0; rank < m; ++rank) {
+      string_rank_[order[rank]] = static_cast<int64_t>(rank);
+    }
+    next_string_rank_ = static_cast<int64_t>(m);
+  }
+
+  // Gather postings sorted by key.
+  std::map<int64_t, std::vector<uint32_t>> postings;
+  for (size_t row = 0; row < column_->size(); ++row) {
+    const ValueId id = column_->ValueIdAt(row);
+    if (id == kNullValueId) {
+      continue;  // B-trees skip NULL keys.
+    }
+    postings[KeyOf(id)].push_back(static_cast<uint32_t>(row));
+  }
+
+  // Bulk-load leaves at ~fanout occupancy, then build internal levels.
+  nodes_.clear();
+  std::vector<uint32_t> level;
+  std::vector<int64_t> level_min_keys;
+  {
+    auto it = postings.begin();
+    while (it != postings.end()) {
+      auto node = std::make_unique<Node>();
+      node->leaf = true;
+      for (size_t s = 0; s < fanout_ && it != postings.end(); ++s, ++it) {
+        node->keys.push_back(it->first);
+        node->postings.push_back(std::move(it->second));
+      }
+      const uint32_t id = static_cast<uint32_t>(nodes_.size());
+      if (!level.empty()) {
+        nodes_[level.back()]->next_leaf = id;
+      }
+      level_min_keys.push_back(node->keys.front());
+      level.push_back(id);
+      nodes_.push_back(std::move(node));
+    }
+  }
+  if (level.empty()) {
+    // Empty column: a single empty leaf keeps invariants simple.
+    auto node = std::make_unique<Node>();
+    node->leaf = true;
+    level.push_back(0);
+    level_min_keys.push_back(0);
+    nodes_.push_back(std::move(node));
+  }
+
+  while (level.size() > 1) {
+    std::vector<uint32_t> parent_level;
+    std::vector<int64_t> parent_min_keys;
+    size_t i = 0;
+    while (i < level.size()) {
+      auto node = std::make_unique<Node>();
+      node->leaf = false;
+      node->children.push_back(level[i]);
+      const int64_t min_key = level_min_keys[i];
+      ++i;
+      while (node->children.size() < fanout_ + 1 && i < level.size()) {
+        node->keys.push_back(level_min_keys[i]);
+        node->children.push_back(level[i]);
+        ++i;
+      }
+      parent_min_keys.push_back(min_key);
+      parent_level.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(node));
+    }
+    level = std::move(parent_level);
+    level_min_keys = std::move(parent_min_keys);
+  }
+  root_ = level.front();
+  rows_indexed_ = column_->size();
+  built_ = true;
+  return Status::OK();
+}
+
+uint32_t BTreeIndex::DescendToLeaf(int64_t key) {
+  uint32_t node_id = root_;
+  for (;;) {
+    ChargeNode();
+    const Node& node = *nodes_[node_id];
+    if (node.leaf) {
+      return node_id;
+    }
+    // children[i] holds keys in [keys[i-1], keys[i]).
+    const size_t slot =
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+        node.keys.begin();
+    node_id = node.children[slot];
+  }
+}
+
+BTreeIndex::SplitResult BTreeIndex::InsertInto(uint32_t node_id, int64_t key,
+                                               uint32_t rid) {
+  Node& node = *nodes_[node_id];
+  if (node.leaf) {
+    const auto it =
+        std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    const size_t slot = it - node.keys.begin();
+    if (it != node.keys.end() && *it == key) {
+      node.postings[slot].push_back(rid);
+      return SplitResult();
+    }
+    node.keys.insert(it, key);
+    node.postings.insert(node.postings.begin() + slot, {rid});
+    if (node.keys.size() <= fanout_) {
+      return SplitResult();
+    }
+    // Split the leaf.
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    const size_t half = node.keys.size() / 2;
+    right->keys.assign(node.keys.begin() + half, node.keys.end());
+    right->postings.assign(
+        std::make_move_iterator(node.postings.begin() + half),
+        std::make_move_iterator(node.postings.end()));
+    node.keys.resize(half);
+    node.postings.resize(half);
+    right->next_leaf = node.next_leaf;
+    const uint32_t right_id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(std::move(right));
+    nodes_[node_id]->next_leaf = right_id;
+    return SplitResult{true, nodes_[right_id]->keys.front(), right_id};
+  }
+
+  const size_t slot =
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin();
+  const uint32_t child = node.children[slot];
+  const SplitResult child_split = InsertInto(child, key, rid);
+  if (!child_split.split) {
+    return SplitResult();
+  }
+  Node& parent = *nodes_[node_id];  // Re-fetch: nodes_ may have grown.
+  parent.keys.insert(parent.keys.begin() + slot, child_split.separator);
+  parent.children.insert(parent.children.begin() + slot + 1,
+                         child_split.right);
+  if (parent.keys.size() <= fanout_) {
+    return SplitResult();
+  }
+  // Split the internal node: middle key moves up.
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  const size_t mid = parent.keys.size() / 2;
+  const int64_t separator = parent.keys[mid];
+  right->keys.assign(parent.keys.begin() + mid + 1, parent.keys.end());
+  right->children.assign(parent.children.begin() + mid + 1,
+                         parent.children.end());
+  parent.keys.resize(mid);
+  parent.children.resize(mid + 1);
+  const uint32_t right_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(right));
+  return SplitResult{true, separator, right_id};
+}
+
+void BTreeIndex::Insert(int64_t key, uint32_t rid) {
+  const SplitResult split = InsertInto(root_, key, rid);
+  if (split.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(std::move(new_root));
+  }
+}
+
+Status BTreeIndex::Append(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row != rows_indexed_) {
+    return Status::InvalidArgument("rows must be appended in order");
+  }
+  const ValueId id = column_->ValueIdAt(row);
+  if (id != kNullValueId) {
+    if (column_->type() == Column::Type::kString &&
+        id >= string_rank_.size()) {
+      // Novel strings rank past the build-time order (lookup stays exact;
+      // ranges over strings are not supported anyway).
+      string_rank_.resize(id + 1, 0);
+      string_rank_[id] = next_string_rank_++;
+    }
+    Insert(KeyOf(id), static_cast<uint32_t>(row));
+  }
+  ++rows_indexed_;
+  return Status::OK();
+}
+
+void BTreeIndex::EmitPostings(const std::vector<uint32_t>& rids,
+                              BitVector* out) {
+  ChargePosting(rids.size());
+  for (uint32_t rid : rids) {
+    if (existence_->Get(rid)) {
+      out->Set(rid);
+    }
+  }
+}
+
+Result<BitVector> BTreeIndex::EvaluateEquals(const Value& value) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  BitVector result(rows_indexed_);
+  const std::optional<ValueId> id = column_->Lookup(value);
+  if (!id.has_value()) {
+    return result;
+  }
+  const int64_t key = KeyOf(*id);
+  const uint32_t leaf_id = DescendToLeaf(key);
+  const Node& leaf = *nodes_[leaf_id];
+  const auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it != leaf.keys.end() && *it == key) {
+    EmitPostings(leaf.postings[it - leaf.keys.begin()], &result);
+  }
+  return result;
+}
+
+Result<BitVector> BTreeIndex::EvaluateIn(const std::vector<Value>& values) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  // One full root-to-leaf probe per value: the multi-index-access cost the
+  // paper contrasts with bitmap cooperativity.
+  BitVector result(rows_indexed_);
+  for (const Value& v : values) {
+    EBI_ASSIGN_OR_RETURN(const BitVector one, EvaluateEquals(v));
+    result.OrWith(one);
+  }
+  return result;
+}
+
+Result<BitVector> BTreeIndex::EvaluateRange(int64_t lo, int64_t hi) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (column_->type() != Column::Type::kInt64) {
+    return Status::InvalidArgument("range selection on non-integer column");
+  }
+  BitVector result(rows_indexed_);
+  if (lo > hi) {
+    return result;
+  }
+  uint32_t leaf_id = DescendToLeaf(lo);
+  while (leaf_id != kNoNode) {
+    const Node& leaf = *nodes_[leaf_id];
+    bool past_end = false;
+    for (size_t i = 0; i < leaf.keys.size(); ++i) {
+      if (leaf.keys[i] < lo) {
+        continue;
+      }
+      if (leaf.keys[i] > hi) {
+        past_end = true;
+        break;
+      }
+      EmitPostings(leaf.postings[i], &result);
+    }
+    if (past_end) {
+      break;
+    }
+    leaf_id = leaf.next_leaf;
+    if (leaf_id != kNoNode) {
+      ChargeNode();  // Following the leaf chain reads the next page.
+    }
+  }
+  return result;
+}
+
+size_t BTreeIndex::SizeBytes() const {
+  size_t postings_bytes = 0;
+  for (const auto& node : nodes_) {
+    for (const auto& p : node->postings) {
+      postings_bytes += p.size() * sizeof(uint32_t);
+    }
+  }
+  return nodes_.size() * io_->page_size() + postings_bytes;
+}
+
+size_t BTreeIndex::Height() const {
+  size_t height = 1;
+  uint32_t node_id = root_;
+  while (node_id != kNoNode && !nodes_[node_id]->leaf) {
+    ++height;
+    node_id = nodes_[node_id]->children.front();
+  }
+  return height;
+}
+
+}  // namespace ebi

@@ -1,0 +1,120 @@
+#ifndef EBI_INDEX_BTREE_INDEX_H_
+#define EBI_INDEX_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace ebi {
+
+/// A page-based B+-tree value-list index: the OLTP baseline the paper
+/// compares bitmap techniques against (Section 2.1's cost analysis with
+/// page size p and degree M).
+///
+/// Keys are the column's distinct values; each leaf entry carries the
+/// posting list of tuple-ids (4-byte RIDs). Node capacity derives from the
+/// accountant's page size, so traversals charge exactly the node reads the
+/// analysis counts. The tree supports point/range lookups and dynamic
+/// inserts with node splits.
+class BTreeIndex : public SecondaryIndex {
+ public:
+  BTreeIndex(const Column* column, const BitVector* existence,
+             IoAccountant* io)
+      : SecondaryIndex(column, existence, io) {}
+
+  std::string Name() const override { return "btree"; }
+
+  Status Build() override;
+  Status Append(size_t row) override;
+
+  Result<BitVector> EvaluateEquals(const Value& value) override;
+  Result<BitVector> EvaluateIn(const std::vector<Value>& values) override;
+  Result<BitVector> EvaluateRange(int64_t lo, int64_t hi) override;
+
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override { return 0; }
+
+  /// δ root-to-leaf descents (one per value; ranges share one descent and
+  /// walk the leaf chain) plus the qualifying posting pages.
+  double EstimatePages(const SelectionShape& shape) const override {
+    const double height = static_cast<double>(Height());
+    const double rows_per_key =
+        column_->Cardinality() == 0
+            ? 0.0
+            : static_cast<double>(NumRows()) /
+                  static_cast<double>(column_->Cardinality());
+    const double posting_pages = std::max(
+        1.0, rows_per_key * sizeof(uint32_t) /
+                 static_cast<double>(io_->page_size()));
+    const double delta = static_cast<double>(shape.delta);
+    if (shape.kind == SelectionShape::Kind::kRange) {
+      const double leaves = std::max(1.0, delta / Fanout());
+      return height + leaves + delta * posting_pages;
+    }
+    return delta * (height + posting_pages);
+  }
+
+  /// Height of the tree (levels of nodes; 1 = root is a leaf).
+  size_t Height() const;
+  /// Total node (page) count — the 1.44 n/M * p space term of Section 2.1.
+  size_t NumNodes() const { return nodes_.size(); }
+  /// Node fanout derived from the page size (the paper's degree M).
+  size_t Fanout() const { return fanout_; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<int64_t> keys;  // Dictionary order keys (see KeyOf).
+    // Internal: children.size() == keys.size() + 1.
+    std::vector<uint32_t> children;
+    // Leaf: postings[i] holds the RIDs of keys[i].
+    std::vector<std::vector<uint32_t>> postings;
+    uint32_t next_leaf = kNoNode;  // Leaf chain for range scans.
+  };
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+
+  /// Sort key of a value: for int columns the value itself; for string
+  /// columns a rank assigned at build time (appends of novel strings get
+  /// ranks past the end, keeping comparisons total).
+  int64_t KeyOf(ValueId id) const;
+
+  /// Charges one node (page) read.
+  void ChargeNode() { io_->ChargeNodeRead(io_->page_size()); }
+  /// Charges reading a posting list of `rids` entries.
+  void ChargePosting(size_t rids) {
+    io_->ChargeBytes(rids * sizeof(uint32_t));
+  }
+
+  /// Descends from the root to the leaf that would hold `key`, charging
+  /// one node per level. Returns the leaf index.
+  uint32_t DescendToLeaf(int64_t key);
+
+  /// Inserts `rid` under `key`; splits on overflow.
+  void Insert(int64_t key, uint32_t rid);
+  /// Recursive insert; returns a (separator, new node) pair on split.
+  struct SplitResult {
+    bool split = false;
+    int64_t separator = 0;
+    uint32_t right = kNoNode;
+  };
+  SplitResult InsertInto(uint32_t node_id, int64_t key, uint32_t rid);
+
+  /// Collects RIDs of one leaf entry into `out` and charges the posting.
+  void EmitPostings(const std::vector<uint32_t>& rids, BitVector* out);
+
+  bool built_ = false;
+  size_t rows_indexed_ = 0;
+  size_t fanout_ = 0;
+  uint32_t root_ = kNoNode;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  /// String columns: rank of each ValueId in build-time sort order.
+  std::vector<int64_t> string_rank_;
+  int64_t next_string_rank_ = 0;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_INDEX_BTREE_INDEX_H_

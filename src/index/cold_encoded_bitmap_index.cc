@@ -1,0 +1,185 @@
+#include "index/cold_encoded_bitmap_index.h"
+
+#include "encoding/encoders.h"
+
+namespace ebi {
+
+namespace {
+
+/// Unique-ish temp file name per index instance.
+std::string BackingPath(const std::string& directory, const void* self) {
+  return directory + "/ebi_cold_" +
+         std::to_string(reinterpret_cast<uintptr_t>(self)) + ".bin";
+}
+
+}  // namespace
+
+Result<uint64_t> ColdEncodedBitmapIndex::CodeForRow(size_t row) const {
+  if (!existence_->Get(row)) {
+    return mapping_.void_code().value_or(0);
+  }
+  const ValueId id = column_->ValueIdAt(row);
+  if (id == kNullValueId) {
+    if (!mapping_.null_code().has_value()) {
+      return Status::FailedPrecondition(
+          "column has NULLs but the mapping reserves no NULL codeword");
+    }
+    return *mapping_.null_code();
+  }
+  return mapping_.CodeOf(id);
+}
+
+Status ColdEncodedBitmapIndex::Build() {
+  const size_t n = column_->size();
+  const size_t m = column_->Cardinality();
+  if (m == 0) {
+    return Status::FailedPrecondition("cannot encode an empty domain");
+  }
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  eo.encode_null = column_->HasNulls();
+  EBI_ASSIGN_OR_RETURN(mapping_, MakeSequentialMapping(m, eo));
+
+  EBI_ASSIGN_OR_RETURN(
+      BitmapStore store,
+      BitmapStore::Open(BackingPath(options_.directory, this),
+                        options_.pool_vectors, io_));
+  store_ = std::make_unique<BitmapStore>(std::move(store));
+
+  const size_t k = static_cast<size_t>(mapping_.width());
+  std::vector<BitVector> slices(k, BitVector(n));
+  for (size_t row = 0; row < n; ++row) {
+    EBI_ASSIGN_OR_RETURN(const uint64_t code, CodeForRow(row));
+    for (size_t i = 0; i < k; ++i) {
+      if ((code >> i) & 1) {
+        slices[i].Set(row);
+      }
+    }
+  }
+  slice_ids_.clear();
+  slice_ids_.reserve(k);
+  for (BitVector& slice : slices) {
+    EBI_ASSIGN_OR_RETURN(const BitmapStore::VectorId id,
+                         store_->Put(slice));
+    slice_ids_.push_back(id);
+  }
+  rows_indexed_ = n;
+  built_ = true;
+  return Status::OK();
+}
+
+Status ColdEncodedBitmapIndex::Append(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row != rows_indexed_) {
+    return Status::InvalidArgument("rows must be appended in order");
+  }
+  const ValueId id = column_->ValueIdAt(row);
+  if (id != kNullValueId && id >= mapping_.NumValues()) {
+    std::optional<uint64_t> free = mapping_.FirstFreeCode();
+    if (!free.has_value()) {
+      EBI_RETURN_IF_ERROR(mapping_.ExpandWidth(mapping_.width() + 1));
+      // New all-zero slice of the current length.
+      EBI_ASSIGN_OR_RETURN(const BitmapStore::VectorId new_id,
+                           store_->Put(BitVector(rows_indexed_)));
+      slice_ids_.push_back(new_id);
+      free = mapping_.FirstFreeCode();
+      if (!free.has_value()) {
+        return Status::Internal("no free codeword after width expansion");
+      }
+    }
+    EBI_RETURN_IF_ERROR(mapping_.AddValue(id, *free));
+  }
+  EBI_ASSIGN_OR_RETURN(const uint64_t code, CodeForRow(row));
+  // Extend every slice by one bit: read-modify-write through the store.
+  for (size_t i = 0; i < slice_ids_.size(); ++i) {
+    EBI_ASSIGN_OR_RETURN(BitVector slice, store_->Get(slice_ids_[i]));
+    slice.PushBack((code >> i) & 1);
+    EBI_RETURN_IF_ERROR(store_->Update(slice_ids_[i], slice));
+  }
+  ++rows_indexed_;
+  return Status::OK();
+}
+
+Status ColdEncodedBitmapIndex::MarkDeleted(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row >= rows_indexed_) {
+    return Status::OutOfRange("row out of range");
+  }
+  if (!mapping_.void_code().has_value()) {
+    return Status::OK();
+  }
+  const uint64_t code = *mapping_.void_code();
+  for (size_t i = 0; i < slice_ids_.size(); ++i) {
+    EBI_ASSIGN_OR_RETURN(BitVector slice, store_->Get(slice_ids_[i]));
+    slice.Assign(row, (code >> i) & 1);
+    EBI_RETURN_IF_ERROR(store_->Update(slice_ids_[i], slice));
+  }
+  return Status::OK();
+}
+
+Result<Cover> ColdEncodedBitmapIndex::CoverForIds(
+    const std::vector<ValueId>& ids) const {
+  std::vector<uint64_t> onset;
+  onset.reserve(ids.size());
+  for (ValueId id : ids) {
+    EBI_ASSIGN_OR_RETURN(const uint64_t code, mapping_.CodeOf(id));
+    onset.push_back(code);
+  }
+  const std::vector<uint64_t> dc =
+      mapping_.UnusedCodes(options_.reduction.max_dontcare_terms);
+  return ReduceRetrievalFunction(onset, dc, mapping_.width(),
+                                 options_.reduction);
+}
+
+Result<BitVector> ColdEncodedBitmapIndex::EvaluateCoverCold(
+    const Cover& cover) {
+  // Fault in only the slices the reduced expression references.
+  const uint64_t vars = VariablesOf(cover);
+  std::vector<BitVector> slices(slice_ids_.size());
+  for (size_t i = 0; i < slice_ids_.size(); ++i) {
+    if ((vars >> i) & 1) {
+      EBI_ASSIGN_OR_RETURN(slices[i], store_->Get(slice_ids_[i]));
+    } else {
+      slices[i] = BitVector(rows_indexed_);  // Never read by the cover.
+    }
+  }
+  return EvaluateCover(cover, slices, rows_indexed_);
+}
+
+Result<BitVector> ColdEncodedBitmapIndex::EvaluateEquals(
+    const Value& value) {
+  return EvaluateIn({value});
+}
+
+Result<BitVector> ColdEncodedBitmapIndex::EvaluateIn(
+    const std::vector<Value>& values) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(IdsOf(values)));
+  return EvaluateCoverCold(cover);
+}
+
+Result<BitVector> ColdEncodedBitmapIndex::EvaluateRange(int64_t lo,
+                                                        int64_t hi) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (column_->type() != Column::Type::kInt64) {
+    return Status::InvalidArgument("range selection on non-integer column");
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover,
+                       CoverForIds(column_->IdsInRange(lo, hi)));
+  return EvaluateCoverCold(cover);
+}
+
+size_t ColdEncodedBitmapIndex::SizeBytes() const {
+  // Disk footprint: k slices of n bits.
+  return slice_ids_.size() * ((rows_indexed_ + 63) / 64) * 8;
+}
+
+}  // namespace ebi

@@ -1,0 +1,18 @@
+#include "index/dynamic_bitmap_index.h"
+
+namespace ebi {
+
+DynamicBitmapIndex::DynamicBitmapIndex(const Column* column,
+                                       const BitVector* existence,
+                                       IoAccountant* io)
+    : SecondaryIndex(column, existence, io) {
+  EncodedBitmapIndexOptions options;
+  options.strategy = EncodingStrategy::kSequential;
+  // Dynamic bitmaps use the full continuous integer set with no reserved
+  // codewords; existence is handled by the mandatory AND instead.
+  options.reserve_void_zero = false;
+  impl_ = std::make_unique<EncodedBitmapIndex>(column, existence, io,
+                                               std::move(options));
+}
+
+}  // namespace ebi

@@ -1,0 +1,312 @@
+#include "index/encoded_bitmap_index.h"
+
+#include <utility>
+
+#include "encoding/encoders.h"
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace ebi {
+
+Status EncodedBitmapIndex::SetMapping(MappingTable mapping) {
+  if (built_) {
+    return Status::FailedPrecondition("index already built");
+  }
+  mapping_ = std::move(mapping);
+  options_.strategy = EncodingStrategy::kCustom;
+  return Status::OK();
+}
+
+Status EncodedBitmapIndex::Build() {
+  const size_t n = column_->size();
+  const size_t m = column_->Cardinality();
+  if (m == 0 && options_.strategy != EncodingStrategy::kCustom) {
+    return Status::FailedPrecondition("cannot encode an empty domain");
+  }
+
+  EncoderOptions eo;
+  eo.reserve_void_zero = options_.reserve_void_zero;
+  eo.encode_null = options_.encode_null.value_or(column_->HasNulls());
+  eo.extra_width = options_.extra_width;
+
+  switch (options_.strategy) {
+    case EncodingStrategy::kSequential: {
+      EBI_ASSIGN_OR_RETURN(mapping_, MakeSequentialMapping(m, eo));
+      break;
+    }
+    case EncodingStrategy::kGray: {
+      EBI_ASSIGN_OR_RETURN(mapping_, MakeGrayMapping(m, eo));
+      break;
+    }
+    case EncodingStrategy::kRandom: {
+      Rng rng(options_.random_seed);
+      EBI_ASSIGN_OR_RETURN(mapping_, MakeRandomMapping(m, &rng, eo));
+      break;
+    }
+    case EncodingStrategy::kGreedy: {
+      EBI_ASSIGN_OR_RETURN(
+          mapping_, GreedyEncode(m, options_.training_predicates, eo));
+      break;
+    }
+    case EncodingStrategy::kAnnealed: {
+      EBI_ASSIGN_OR_RETURN(
+          mapping_, AnnealEncode(m, options_.training_predicates,
+                                 options_.optimizer, eo));
+      break;
+    }
+    case EncodingStrategy::kCustom: {
+      if (mapping_.NumValues() < m) {
+        return Status::FailedPrecondition(
+            "custom mapping covers " +
+            std::to_string(mapping_.NumValues()) + " of " +
+            std::to_string(m) + " values");
+      }
+      break;
+    }
+  }
+
+  slices_.assign(static_cast<size_t>(mapping_.width()), BitVector(n));
+  for (size_t row = 0; row < n; ++row) {
+    EBI_ASSIGN_OR_RETURN(const uint64_t code, CodeForRow(row));
+    WriteCode(row, code);
+  }
+  rows_indexed_ = n;
+  built_ = true;
+  return Status::OK();
+}
+
+Result<uint64_t> EncodedBitmapIndex::CodeForRow(size_t row) const {
+  if (!existence_->Get(row)) {
+    // Void tuple: its codeword, or an arbitrary 0 when the caller opted out
+    // of void encoding (correctness then comes from the existence AND).
+    return mapping_.void_code().value_or(0);
+  }
+  const ValueId id = column_->ValueIdAt(row);
+  if (id == kNullValueId) {
+    if (!mapping_.null_code().has_value()) {
+      return Status::FailedPrecondition(
+          "column has NULLs but the mapping reserves no NULL codeword");
+    }
+    return *mapping_.null_code();
+  }
+  return mapping_.CodeOf(id);
+}
+
+void EncodedBitmapIndex::WriteCode(size_t row, uint64_t code) {
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    slices_[i].Assign(row, (code >> i) & 1);
+  }
+}
+
+void EncodedBitmapIndex::AddSlice() {
+  slices_.emplace_back(rows_indexed_);
+}
+
+Status EncodedBitmapIndex::Append(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row != rows_indexed_) {
+    return Status::InvalidArgument("rows must be appended in order");
+  }
+
+  const ValueId id = column_->ValueIdAt(row);
+  uint64_t code;
+  if (id == kNullValueId) {
+    if (!mapping_.null_code().has_value()) {
+      return Status::FailedPrecondition(
+          "NULL appended but the mapping reserves no NULL codeword; "
+          "rebuild with encode_null");
+    }
+    code = *mapping_.null_code();
+  } else if (id < mapping_.NumValues()) {
+    // Update without domain expansion: set k bits (Section 2.2).
+    EBI_ASSIGN_OR_RETURN(code, mapping_.CodeOf(id));
+  } else {
+    // Domain expansion. Equation (1) holds iff a free codeword remains at
+    // the current width (Figure 2(a)); otherwise grow the width by one and
+    // add an all-zero bitmap vector (Figure 2(b)).
+    std::optional<uint64_t> free = mapping_.FirstFreeCode();
+    if (!free.has_value()) {
+      EBI_RETURN_IF_ERROR(mapping_.ExpandWidth(mapping_.width() + 1));
+      AddSlice();
+      free = mapping_.FirstFreeCode();
+      if (!free.has_value()) {
+        return Status::Internal("no free codeword after width expansion");
+      }
+    }
+    EBI_RETURN_IF_ERROR(mapping_.AddValue(id, *free));
+    code = *free;
+  }
+
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    slices_[i].PushBack((code >> i) & 1);
+  }
+  ++rows_indexed_;
+  return Status::OK();
+}
+
+Status EncodedBitmapIndex::MarkDeleted(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row >= rows_indexed_) {
+    return Status::OutOfRange("row out of range");
+  }
+  if (mapping_.void_code().has_value()) {
+    WriteCode(row, *mapping_.void_code());
+  }
+  // Without a void codeword the existence AND in evaluation masks the row.
+  return Status::OK();
+}
+
+Result<Cover> EncodedBitmapIndex::CoverForIds(
+    const std::vector<ValueId>& ids) const {
+  std::vector<uint64_t> onset;
+  onset.reserve(ids.size());
+  for (ValueId id : ids) {
+    EBI_ASSIGN_OR_RETURN(const uint64_t code, mapping_.CodeOf(id));
+    onset.push_back(code);
+  }
+  const std::vector<uint64_t> dc =
+      mapping_.UnusedCodes(options_.reduction.max_dontcare_terms);
+  return ReduceRetrievalFunction(onset, dc, mapping_.width(),
+                                 options_.reduction);
+}
+
+Result<BitVector> EncodedBitmapIndex::EvaluateCoverCharged(
+    const Cover& cover) {
+  const uint64_t vars = VariablesOf(cover);
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    if ((vars >> i) & 1) {
+      io_->ChargeVectorRead(slices_[i].SizeBytes());
+    }
+  }
+  BitVector result = EvaluateCover(cover, slices_, rows_indexed_);
+  if (!mapping_.void_code().has_value()) {
+    // No void codeword: deleted rows still carry stale value codes, so the
+    // existence bitmap must be ANDed — exactly the extra read Theorem 2.1
+    // eliminates.
+    io_->ChargeVectorRead(existence_->SizeBytes());
+    result.AndWith(*existence_);
+  }
+  return result;
+}
+
+Result<BitVector> EncodedBitmapIndex::EvaluateEquals(const Value& value) {
+  return EvaluateIn({value});
+}
+
+Result<BitVector> EncodedBitmapIndex::EvaluateIn(
+    const std::vector<Value>& values) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(IdsOf(values)));
+  return EvaluateCoverCharged(cover);
+}
+
+Result<BitVector> EncodedBitmapIndex::EvaluateRange(int64_t lo, int64_t hi) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (column_->type() != Column::Type::kInt64) {
+    return Status::InvalidArgument("range selection on non-integer column");
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover,
+                       CoverForIds(column_->IdsInRange(lo, hi)));
+  return EvaluateCoverCharged(cover);
+}
+
+Result<BitVector> EncodedBitmapIndex::EvaluateIsNull() {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (!mapping_.null_code().has_value()) {
+    return Status::FailedPrecondition("mapping reserves no NULL codeword");
+  }
+  Cover cover = {Cube::MinTerm(*mapping_.null_code(), mapping_.width())};
+  return EvaluateCoverCharged(cover);
+}
+
+Result<Cover> EncodedBitmapIndex::CoverForIn(
+    const std::vector<Value>& values) const {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  return CoverForIds(IdsOf(values));
+}
+
+Result<int> EncodedBitmapIndex::AccessCostForIn(
+    const std::vector<Value>& values) const {
+  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIn(values));
+  return DistinctVariables(cover);
+}
+
+Status EncodedBitmapIndex::Reencode(MappingTable new_mapping) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (new_mapping.NumValues() < column_->Cardinality()) {
+    return Status::FailedPrecondition(
+        "new mapping covers " + std::to_string(new_mapping.NumValues()) +
+        " of " + std::to_string(column_->Cardinality()) + " values");
+  }
+  if (column_->HasNulls() && !new_mapping.null_code().has_value()) {
+    return Status::FailedPrecondition(
+        "column has NULLs but the new mapping reserves no NULL codeword");
+  }
+  // After the preconditions above CodeForRow cannot fail: ValueIds are
+  // dense below the cardinality, NULLs have a codeword, and void falls
+  // back to the reserved (or zero) codeword.
+  mapping_ = std::move(new_mapping);
+  slices_.assign(static_cast<size_t>(mapping_.width()),
+                 BitVector(rows_indexed_));
+  for (size_t row = 0; row < rows_indexed_; ++row) {
+    const Result<uint64_t> code = CodeForRow(row);
+    if (!code.ok()) {
+      return Status::Internal("re-encoding failed mid-pass: " +
+                              code.status().message());
+    }
+    WriteCode(row, *code);
+  }
+  return Status::OK();
+}
+
+Status EncodedBitmapIndex::RestoreFromParts(MappingTable mapping,
+                                            std::vector<BitVector> slices) {
+  if (slices.size() != static_cast<size_t>(mapping.width())) {
+    return Status::InvalidArgument(
+        "slice count " + std::to_string(slices.size()) +
+        " != mapping width " + std::to_string(mapping.width()));
+  }
+  if (mapping.NumValues() < column_->Cardinality()) {
+    return Status::FailedPrecondition(
+        "restored mapping covers fewer values than the column holds");
+  }
+  for (const BitVector& slice : slices) {
+    if (slice.size() != column_->size()) {
+      return Status::InvalidArgument(
+          "slice length " + std::to_string(slice.size()) +
+          " != column rows " + std::to_string(column_->size()));
+    }
+  }
+  mapping_ = std::move(mapping);
+  slices_ = std::move(slices);
+  rows_indexed_ = column_->size();
+  options_.strategy = EncodingStrategy::kCustom;
+  built_ = true;
+  return Status::OK();
+}
+
+size_t EncodedBitmapIndex::SizeBytes() const {
+  size_t total = 0;
+  for (const BitVector& slice : slices_) {
+    total += slice.SizeBytes();
+  }
+  // Mapping table: codeword array plus hash entries (code -> ValueId).
+  total += mapping_.NumValues() * (sizeof(uint64_t) + 16);
+  return total;
+}
+
+}  // namespace ebi

@@ -1,0 +1,85 @@
+#ifndef EBI_INDEX_GROUPSET_INDEX_H_
+#define EBI_INDEX_GROUPSET_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/bit_sliced_index.h"
+#include "index/encoded_bitmap_index.h"
+#include "storage/column.h"
+#include "storage/io_accountant.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// A group-set index over several GROUP BY attributes, built from encoded
+/// bitmap indexes (Section 4, "Group-Set Indexes").
+///
+/// A simple-bitmap group-set index over attributes of cardinalities
+/// 100 x 200 x 500 would need 10^7 bitmap vectors; stacking one encoded
+/// bitmap index per attribute needs only sum_i ceil(log2 m_i) = 20. The
+/// bitmap of one group combination is the AND of the per-attribute
+/// retrieval expressions, and group-bys can be computed dynamically at
+/// run time.
+class GroupsetIndex {
+ public:
+  /// The member columns must all belong to the same table (equal length).
+  GroupsetIndex(std::vector<const Column*> columns,
+                const BitVector* existence, IoAccountant* io);
+
+  /// Builds the per-attribute encoded indexes.
+  Status Build();
+
+  /// Extends all member indexes for a newly appended row.
+  Status Append(size_t row);
+
+  /// Bitmap of the rows in the group (v_0, ..., v_{d-1}) — one value per
+  /// member column, in order.
+  Result<BitVector> GroupBitmap(const std::vector<Value>& group);
+
+  /// Enumerates all non-empty groups: calls `fn(values, rows)` once per
+  /// distinct combination present in the data (the dynamic run-time
+  /// group-by of Section 4).
+  Status ForEachGroup(
+      const std::function<void(const std::vector<Value>&, const BitVector&)>&
+          fn);
+
+  /// Number of distinct group combinations present.
+  Result<size_t> CountGroups();
+
+  /// One output row of a grouped aggregate.
+  struct GroupAggregate {
+    std::vector<Value> group;
+    size_t count = 0;
+    int64_t sum = 0;
+  };
+
+  /// GROUP BY <member columns> with COUNT(*) and SUM(measure): the group
+  /// bitmaps come from the encoded members, the sums from the measure's
+  /// bit-sliced index — no base-table access at all (the paper's dynamic
+  /// group-set evaluation plus [11]'s slice aggregation). The measure
+  /// column must be NULL-free (fact measures normally are).
+  Result<std::vector<GroupAggregate>> GroupBySum(BitSlicedIndex* measure);
+
+  /// Total bitmap vectors across member indexes — the "20 instead of 10^7"
+  /// headline number.
+  size_t NumVectors() const;
+  size_t SizeBytes() const;
+
+  const EncodedBitmapIndex& member(size_t i) const { return *members_[i]; }
+  size_t NumMembers() const { return members_.size(); }
+
+ private:
+  std::vector<const Column*> columns_;
+  const BitVector* existence_;
+  IoAccountant* io_;
+  std::vector<std::unique_ptr<EncodedBitmapIndex>> members_;
+  bool built_ = false;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_INDEX_GROUPSET_INDEX_H_

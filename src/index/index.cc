@@ -1,0 +1,18 @@
+#include "index/index.h"
+
+namespace ebi {
+
+std::vector<ValueId> SecondaryIndex::IdsOf(
+    const std::vector<Value>& values) const {
+  std::vector<ValueId> ids;
+  ids.reserve(values.size());
+  for (const Value& v : values) {
+    const std::optional<ValueId> id = column_->Lookup(v);
+    if (id.has_value()) {
+      ids.push_back(*id);
+    }
+  }
+  return ids;
+}
+
+}  // namespace ebi

@@ -1,0 +1,127 @@
+#include "index/join_index.h"
+
+#include <unordered_set>
+
+namespace ebi {
+
+EncodedBitmapJoinIndex::EncodedBitmapJoinIndex(
+    const Column* fact_fk, const BitVector* fact_existence,
+    const Table* dimension, std::string dim_pk, IoAccountant* io,
+    EncodedBitmapIndexOptions options)
+    : dimension_(dimension), dim_pk_(std::move(dim_pk)), io_(io) {
+  fact_index_ = std::make_unique<EncodedBitmapIndex>(
+      fact_fk, fact_existence, io, std::move(options));
+}
+
+Status EncodedBitmapJoinIndex::Build() {
+  EBI_ASSIGN_OR_RETURN(const Column* pk, dimension_->FindColumn(dim_pk_));
+  // PK must be duplicate-free over existing rows.
+  std::unordered_set<ValueId> seen;
+  for (size_t row = 0; row < dimension_->NumRows(); ++row) {
+    if (!dimension_->RowExists(row)) {
+      continue;
+    }
+    const ValueId id = pk->ValueIdAt(row);
+    if (id == kNullValueId) {
+      return Status::InvalidArgument("dimension key column " + dim_pk_ +
+                                     " contains NULLs");
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("dimension key column " + dim_pk_ +
+                                     " contains duplicates");
+    }
+  }
+  EBI_RETURN_IF_ERROR(fact_index_->Build());
+  built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<Value>> EncodedBitmapJoinIndex::QualifyingKeys(
+    const Predicate& predicate) {
+  EBI_ASSIGN_OR_RETURN(const Column* pk, dimension_->FindColumn(dim_pk_));
+  EBI_ASSIGN_OR_RETURN(const Column* attr,
+                       dimension_->FindColumn(predicate.column));
+  // The dimension scan is charged as a read of its evaluated columns —
+  // dimensions are small by star-schema assumption.
+  io_->ChargeBytes(dimension_->NumRows() * sizeof(ValueId) * 2);
+
+  std::vector<Value> keys;
+  for (size_t row = 0; row < dimension_->NumRows(); ++row) {
+    if (!dimension_->RowExists(row)) {
+      continue;
+    }
+    const Value cell = attr->ValueAt(row);
+    bool match = false;
+    switch (predicate.kind) {
+      case Predicate::Kind::kEquals:
+        match = !cell.is_null() && cell == predicate.value;
+        break;
+      case Predicate::Kind::kIn:
+        if (!cell.is_null()) {
+          for (const Value& v : predicate.values) {
+            if (cell == v) {
+              match = true;
+              break;
+            }
+          }
+        }
+        break;
+      case Predicate::Kind::kRange:
+        if (attr->type() != Column::Type::kInt64) {
+          return Status::InvalidArgument(
+              "range join predicate on non-integer dimension column");
+        }
+        match = !cell.is_null() && cell.int_value >= predicate.lo &&
+                cell.int_value <= predicate.hi;
+        break;
+      case Predicate::Kind::kIsNull:
+        match = cell.is_null();
+        break;
+      case Predicate::Kind::kNotEquals:
+        match = !cell.is_null() && !(cell == predicate.value);
+        break;
+      case Predicate::Kind::kNotIn: {
+        if (cell.is_null()) {
+          break;
+        }
+        match = true;
+        for (const Value& v : predicate.values) {
+          if (cell == v) {
+            match = false;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (match) {
+      keys.push_back(pk->ValueAt(row));
+    }
+  }
+  return keys;
+}
+
+Result<BitVector> EncodedBitmapJoinIndex::FactRowsWhere(
+    const Predicate& predicate) {
+  if (!built_) {
+    return Status::FailedPrecondition("join index not built");
+  }
+  EBI_ASSIGN_OR_RETURN(const std::vector<Value> keys,
+                       QualifyingKeys(predicate));
+  return fact_index_->EvaluateIn(keys);
+}
+
+Result<BitVector> EncodedBitmapJoinIndex::FactRowsForDimRow(size_t dim_row) {
+  if (!built_) {
+    return Status::FailedPrecondition("join index not built");
+  }
+  if (dim_row >= dimension_->NumRows() ||
+      !dimension_->RowExists(dim_row)) {
+    return Status::OutOfRange("dimension row out of range or deleted");
+  }
+  EBI_ASSIGN_OR_RETURN(const Column* pk, dimension_->FindColumn(dim_pk_));
+  io_->ChargeBytes(sizeof(ValueId));
+  return fact_index_->EvaluateEquals(pk->ValueAt(dim_row));
+}
+
+}  // namespace ebi

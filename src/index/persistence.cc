@@ -1,0 +1,162 @@
+#include "index/persistence.h"
+
+#include <istream>
+#include <ostream>
+
+namespace ebi {
+
+namespace {
+
+constexpr uint32_t kBitVectorMagic = 0x45424956;  // "EBIV".
+constexpr uint32_t kMappingMagic = 0x4542494D;    // "EBIM".
+constexpr uint32_t kIndexMagic = 0x45424949;      // "EBII".
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 4);
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 8);
+}
+
+Result<uint32_t> ReadU32(std::istream& in) {
+  char buf[4];
+  if (!in.read(buf, 4)) {
+    return Status::OutOfRange("truncated stream reading u32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> ReadU64(std::istream& in) {
+  char buf[8];
+  if (!in.read(buf, 8)) {
+    return Status::OutOfRange("truncated stream reading u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Status ExpectMagic(std::istream& in, uint32_t magic, const char* what) {
+  EBI_ASSIGN_OR_RETURN(const uint32_t got, ReadU32(in));
+  if (got != magic) {
+    return Status::InvalidArgument(std::string("bad magic for ") + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveBitVector(std::ostream& out, const BitVector& bits) {
+  WriteU32(out, kBitVectorMagic);
+  WriteU64(out, bits.size());
+  for (uint64_t word : bits.words()) {
+    WriteU64(out, word);
+  }
+  if (!out) {
+    return Status::Internal("stream write failed");
+  }
+  return Status::OK();
+}
+
+Result<BitVector> LoadBitVector(std::istream& in) {
+  EBI_RETURN_IF_ERROR(ExpectMagic(in, kBitVectorMagic, "BitVector"));
+  EBI_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(in));
+  BitVector bits(static_cast<size_t>(size));
+  const size_t words = (size + 63) / 64;
+  for (size_t w = 0; w < words; ++w) {
+    EBI_ASSIGN_OR_RETURN(const uint64_t word, ReadU64(in));
+    for (int b = 0; b < 64; ++b) {
+      const size_t pos = w * 64 + static_cast<size_t>(b);
+      if (pos < size && ((word >> b) & 1)) {
+        bits.Set(pos);
+      }
+    }
+  }
+  return bits;
+}
+
+Status SaveMappingTable(std::ostream& out, const MappingTable& mapping) {
+  WriteU32(out, kMappingMagic);
+  WriteU32(out, static_cast<uint32_t>(mapping.width()));
+  WriteU32(out, mapping.void_code().has_value() ? 1 : 0);
+  WriteU64(out, mapping.void_code().value_or(0));
+  WriteU32(out, mapping.null_code().has_value() ? 1 : 0);
+  WriteU64(out, mapping.null_code().value_or(0));
+  WriteU64(out, mapping.NumValues());
+  for (uint64_t code : mapping.codes()) {
+    WriteU64(out, code);
+  }
+  if (!out) {
+    return Status::Internal("stream write failed");
+  }
+  return Status::OK();
+}
+
+Result<MappingTable> LoadMappingTable(std::istream& in) {
+  EBI_RETURN_IF_ERROR(ExpectMagic(in, kMappingMagic, "MappingTable"));
+  EBI_ASSIGN_OR_RETURN(const uint32_t width, ReadU32(in));
+  EBI_ASSIGN_OR_RETURN(const uint32_t has_void, ReadU32(in));
+  EBI_ASSIGN_OR_RETURN(const uint64_t void_code, ReadU64(in));
+  EBI_ASSIGN_OR_RETURN(const uint32_t has_null, ReadU32(in));
+  EBI_ASSIGN_OR_RETURN(const uint64_t null_code, ReadU64(in));
+  EBI_ASSIGN_OR_RETURN(const uint64_t num_values, ReadU64(in));
+  std::vector<uint64_t> codes;
+  codes.reserve(num_values);
+  for (uint64_t i = 0; i < num_values; ++i) {
+    EBI_ASSIGN_OR_RETURN(const uint64_t code, ReadU64(in));
+    codes.push_back(code);
+  }
+  return MappingTable::Create(
+      static_cast<int>(width), codes,
+      has_void ? std::optional<uint64_t>(void_code) : std::nullopt,
+      has_null ? std::optional<uint64_t>(null_code) : std::nullopt);
+}
+
+Status SaveEncodedBitmapIndex(std::ostream& out,
+                              const EncodedBitmapIndex& index) {
+  WriteU32(out, kIndexMagic);
+  EBI_RETURN_IF_ERROR(SaveMappingTable(out, index.mapping()));
+  WriteU64(out, index.slices().size());
+  for (const BitVector& slice : index.slices()) {
+    EBI_RETURN_IF_ERROR(SaveBitVector(out, slice));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<EncodedBitmapIndex>> LoadEncodedBitmapIndex(
+    std::istream& in, const Column* column, const BitVector* existence,
+    IoAccountant* io) {
+  EBI_RETURN_IF_ERROR(ExpectMagic(in, kIndexMagic, "EncodedBitmapIndex"));
+  EBI_ASSIGN_OR_RETURN(MappingTable mapping, LoadMappingTable(in));
+  EBI_ASSIGN_OR_RETURN(const uint64_t num_slices, ReadU64(in));
+  std::vector<BitVector> slices;
+  slices.reserve(num_slices);
+  for (uint64_t i = 0; i < num_slices; ++i) {
+    EBI_ASSIGN_OR_RETURN(BitVector slice, LoadBitVector(in));
+    slices.push_back(std::move(slice));
+  }
+  auto index =
+      std::make_unique<EncodedBitmapIndex>(column, existence, io);
+  EBI_RETURN_IF_ERROR(
+      index->RestoreFromParts(std::move(mapping), std::move(slices)));
+  return index;
+}
+
+}  // namespace ebi

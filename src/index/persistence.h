@@ -1,0 +1,43 @@
+#ifndef EBI_INDEX_PERSISTENCE_H_
+#define EBI_INDEX_PERSISTENCE_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "encoding/mapping_table.h"
+#include "index/encoded_bitmap_index.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Binary persistence for the index building blocks. DW indexes are
+/// disk-resident between query sessions; these routines serialize the
+/// bitmap vectors and the mapping table to any std::ostream (a file, a
+/// stringstream in tests) and restore them without a rebuild pass.
+///
+/// Format: little-endian, length-prefixed sections, each guarded by a
+/// 32-bit magic so stream corruption is detected early. The format is an
+/// implementation detail; only round-tripping through this library is
+/// supported.
+
+/// Bitmap vectors.
+Status SaveBitVector(std::ostream& out, const BitVector& bits);
+Result<BitVector> LoadBitVector(std::istream& in);
+
+/// Mapping tables (codes, width, reserved codewords).
+Status SaveMappingTable(std::ostream& out, const MappingTable& mapping);
+Result<MappingTable> LoadMappingTable(std::istream& in);
+
+/// Whole encoded bitmap indexes. Loading binds the restored slices and
+/// mapping to the caller's column/existence/accountant and validates the
+/// row counts — the column data itself is not part of the stream.
+Status SaveEncodedBitmapIndex(std::ostream& out,
+                              const EncodedBitmapIndex& index);
+Result<std::unique_ptr<EncodedBitmapIndex>> LoadEncodedBitmapIndex(
+    std::istream& in, const Column* column, const BitVector* existence,
+    IoAccountant* io);
+
+}  // namespace ebi
+
+#endif  // EBI_INDEX_PERSISTENCE_H_

@@ -1,0 +1,90 @@
+#include "index/projection_index.h"
+
+#include <algorithm>
+
+namespace ebi {
+
+Status ProjectionIndex::Build() {
+  codes_ = column_->rows();
+  built_ = true;
+  return Status::OK();
+}
+
+Status ProjectionIndex::Append(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row != codes_.size()) {
+    return Status::InvalidArgument("rows must be appended in order");
+  }
+  codes_.push_back(column_->ValueIdAt(row));
+  return Status::OK();
+}
+
+template <typename Pred>
+Result<BitVector> ProjectionIndex::Scan(Pred pred) {
+  // A selection reads the entire projection: charge the full array.
+  io_->ChargeBytes(SizeBytes());
+  BitVector result(codes_.size());
+  for (size_t row = 0; row < codes_.size(); ++row) {
+    if (codes_[row] != kNullValueId && existence_->Get(row) &&
+        pred(codes_[row])) {
+      result.Set(row);
+    }
+  }
+  return result;
+}
+
+Result<BitVector> ProjectionIndex::EvaluateEquals(const Value& value) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  const std::optional<ValueId> id = column_->Lookup(value);
+  if (!id.has_value()) {
+    return BitVector(codes_.size());
+  }
+  return Scan([target = *id](ValueId c) { return c == target; });
+}
+
+Result<BitVector> ProjectionIndex::EvaluateIn(
+    const std::vector<Value>& values) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  std::vector<ValueId> ids = IdsOf(values);
+  std::sort(ids.begin(), ids.end());
+  return Scan([&ids](ValueId c) {
+    return std::binary_search(ids.begin(), ids.end(), c);
+  });
+}
+
+Result<BitVector> ProjectionIndex::EvaluateRange(int64_t lo, int64_t hi) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (column_->type() != Column::Type::kInt64) {
+    return Status::InvalidArgument("range selection on non-integer column");
+  }
+  const Column* column = column_;
+  return Scan([column, lo, hi](ValueId c) {
+    const int64_t v = column->ValueOf(c).int_value;
+    return v >= lo && v <= hi;
+  });
+}
+
+Result<Value> ProjectionIndex::Fetch(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row >= codes_.size()) {
+    return Status::OutOfRange("row out of range");
+  }
+  io_->ChargeBytes(io_->page_size());
+  const ValueId id = codes_[row];
+  if (id == kNullValueId) {
+    return Value::Null();
+  }
+  return column_->ValueOf(id);
+}
+
+}  // namespace ebi

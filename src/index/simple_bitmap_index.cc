@@ -1,0 +1,180 @@
+#include "index/simple_bitmap_index.h"
+
+namespace ebi {
+
+Status SimpleBitmapIndex::Build() {
+  const size_t n = column_->size();
+  const size_t m = column_->Cardinality();
+  std::vector<BitVector> plain(m, BitVector(n));
+  null_vector_ = BitVector(n);
+  for (size_t row = 0; row < n; ++row) {
+    const ValueId id = column_->ValueIdAt(row);
+    if (id == kNullValueId) {
+      null_vector_.Set(row);
+    } else {
+      plain[id].Set(row);
+    }
+  }
+  if (options_.compressed) {
+    compressed_.clear();
+    compressed_.reserve(m);
+    for (const BitVector& v : plain) {
+      compressed_.push_back(RleBitmap::Compress(v));
+    }
+    vectors_.clear();
+  } else {
+    vectors_ = std::move(plain);
+  }
+  rows_indexed_ = n;
+  built_ = true;
+  return Status::OK();
+}
+
+Status SimpleBitmapIndex::Append(size_t row) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (row != rows_indexed_) {
+    return Status::InvalidArgument("rows must be appended in order");
+  }
+  const ValueId id = column_->ValueIdAt(row);
+  const size_t num_vectors =
+      options_.compressed ? compressed_.size() : vectors_.size();
+
+  // Domain expansion: a new value needs a brand-new vector of `row` zero
+  // bits — the O(|T|) maintenance cost of Section 3.1.
+  if (id != kNullValueId && id >= num_vectors) {
+    if (options_.compressed) {
+      compressed_.resize(id + 1, RleBitmap::Compress(BitVector(row)));
+    } else {
+      vectors_.resize(id + 1, BitVector(row));
+    }
+  }
+
+  // Extend every vector by one bit (conceptually; plain vectors grow
+  // lazily, compressed ones are rewritten).
+  if (options_.compressed) {
+    for (size_t v = 0; v < compressed_.size(); ++v) {
+      BitVector plain = compressed_[v].Decompress();
+      plain.PushBack(id != kNullValueId && v == id);
+      compressed_[v] = RleBitmap::Compress(plain);
+    }
+  } else {
+    for (size_t v = 0; v < vectors_.size(); ++v) {
+      vectors_[v].PushBack(id != kNullValueId && v == id);
+    }
+  }
+  null_vector_.PushBack(id == kNullValueId);
+  ++rows_indexed_;
+  return Status::OK();
+}
+
+BitVector SimpleBitmapIndex::ReadVector(ValueId id) {
+  if (options_.compressed) {
+    io_->ChargeVectorRead(compressed_[id].SizeBytes());
+    return compressed_[id].Decompress();
+  }
+  io_->ChargeVectorRead(vectors_[id].SizeBytes());
+  return vectors_[id];
+}
+
+Result<BitVector> SimpleBitmapIndex::EvaluateIds(
+    const std::vector<ValueId>& ids) {
+  BitVector result(rows_indexed_);
+  if (options_.compressed && ids.size() > 1) {
+    // OR the run-length representations directly; only the final result
+    // is expanded. Sparse vectors make the compressed OR much cheaper
+    // than per-vector decompression.
+    RleBitmap accumulated = RleBitmap::Compress(result);
+    for (ValueId id : ids) {
+      io_->ChargeVectorRead(compressed_[id].SizeBytes());
+      accumulated = RleBitmap::Or(accumulated, compressed_[id]);
+    }
+    result = accumulated.Decompress();
+    result.Resize(rows_indexed_);
+  } else {
+    for (ValueId id : ids) {
+      result.OrWith(ReadVector(id));
+    }
+  }
+  // Simple bitmap indexing must always AND the existence vector (the
+  // contrast Theorem 2.1 draws with void-aware encodings).
+  io_->ChargeVectorRead(existence_->SizeBytes());
+  result.AndWith(*existence_);
+  return result;
+}
+
+Result<BitVector> SimpleBitmapIndex::EvaluateEquals(const Value& value) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  return EvaluateIds(IdsOf({value}));
+}
+
+Result<BitVector> SimpleBitmapIndex::EvaluateIn(
+    const std::vector<Value>& values) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  return EvaluateIds(IdsOf(values));
+}
+
+Result<BitVector> SimpleBitmapIndex::EvaluateRange(int64_t lo, int64_t hi) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (column_->type() != Column::Type::kInt64) {
+    return Status::InvalidArgument("range selection on non-integer column");
+  }
+  return EvaluateIds(column_->IdsInRange(lo, hi));
+}
+
+Result<BitVector> SimpleBitmapIndex::EvaluateIsNull() {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  io_->ChargeVectorRead(null_vector_.SizeBytes());
+  BitVector result = null_vector_;
+  io_->ChargeVectorRead(existence_->SizeBytes());
+  result.AndWith(*existence_);
+  return result;
+}
+
+size_t SimpleBitmapIndex::SizeBytes() const {
+  size_t total = null_vector_.SizeBytes();
+  if (options_.compressed) {
+    for (const RleBitmap& v : compressed_) {
+      total += v.SizeBytes();
+    }
+  } else {
+    for (const BitVector& v : vectors_) {
+      total += v.SizeBytes();
+    }
+  }
+  return total;
+}
+
+size_t SimpleBitmapIndex::NumVectors() const {
+  return (options_.compressed ? compressed_.size() : vectors_.size()) +
+         (column_->HasNulls() ? 1 : 0);
+}
+
+double SimpleBitmapIndex::AverageSparsity() const {
+  const size_t m =
+      options_.compressed ? compressed_.size() : vectors_.size();
+  if (m == 0 || rows_indexed_ == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t v = 0; v < m; ++v) {
+    if (options_.compressed) {
+      total += 1.0 - static_cast<double>(compressed_[v].Count()) /
+                         static_cast<double>(rows_indexed_);
+    } else {
+      total += vectors_[v].Sparsity();
+    }
+  }
+  return total / static_cast<double>(m);
+}
+
+}  // namespace ebi

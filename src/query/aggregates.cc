@@ -1,0 +1,51 @@
+#include "query/aggregates.h"
+
+namespace ebi {
+
+Result<int64_t> SumBitSliced(BitSlicedIndex* index, const BitVector& rows) {
+  return index->Sum(rows);
+}
+
+Result<double> AvgBitSliced(BitSlicedIndex* index, const BitVector& rows,
+                            bool* empty) {
+  const size_t count = rows.Count();
+  if (empty != nullptr) {
+    *empty = count == 0;
+  }
+  if (count == 0) {
+    return 0.0;
+  }
+  EBI_ASSIGN_OR_RETURN(const int64_t sum, index->Sum(rows));
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+Result<int64_t> MinBitSliced(BitSlicedIndex* index, const BitVector& rows) {
+  return index->Min(rows);
+}
+
+Result<int64_t> MaxBitSliced(BitSlicedIndex* index, const BitVector& rows) {
+  return index->Max(rows);
+}
+
+Result<int64_t> MedianBitSliced(BitSlicedIndex* index,
+                                const BitVector& rows) {
+  return index->Quantile(rows, 0.5);
+}
+
+Result<int64_t> SumByScan(const Column& column, const BitVector& rows) {
+  if (column.type() != Column::Type::kInt64) {
+    return Status::InvalidArgument("SUM on non-integer column");
+  }
+  int64_t total = 0;
+  Status status = Status::OK();
+  rows.ForEachSetBit([&](size_t row) {
+    const ValueId id = column.ValueIdAt(row);
+    if (id != kNullValueId) {
+      total += column.ValueOf(id).int_value;
+    }
+  });
+  EBI_RETURN_IF_ERROR(status);
+  return total;
+}
+
+}  // namespace ebi

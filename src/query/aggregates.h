@@ -1,0 +1,43 @@
+#ifndef EBI_QUERY_AGGREGATES_H_
+#define EBI_QUERY_AGGREGATES_H_
+
+#include <cstdint>
+
+#include "index/bit_sliced_index.h"
+#include "storage/column.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Aggregate evaluation over selection bitmaps — the paper's Section 5
+/// lists SUM/AVG/etc. "evaluated directly on the bitmaps" as follow-up
+/// work; COUNT and bit-sliced SUM/AVG are the canonical instances from
+/// O'Neil & Quass.
+
+/// COUNT(*) over a selection: one popcount, no data access.
+inline size_t CountRows(const BitVector& rows) { return rows.Count(); }
+
+/// SUM(column) over the selected rows, computed on the bit-sliced index
+/// (no base-table access).
+Result<int64_t> SumBitSliced(BitSlicedIndex* index, const BitVector& rows);
+
+/// AVG(column) over the selected rows via bit-sliced SUM / COUNT.
+/// Returns OK with 0 and sets *empty when no rows are selected.
+Result<double> AvgBitSliced(BitSlicedIndex* index, const BitVector& rows,
+                            bool* empty = nullptr);
+
+/// MIN / MAX / median over the selected rows, computed on the slices.
+Result<int64_t> MinBitSliced(BitSlicedIndex* index, const BitVector& rows);
+Result<int64_t> MaxBitSliced(BitSlicedIndex* index, const BitVector& rows);
+/// The lower median (0.5-quantile); see BitSlicedIndex::Quantile for
+/// general N-tiles.
+Result<int64_t> MedianBitSliced(BitSlicedIndex* index, const BitVector& rows);
+
+/// Reference SUM by scanning the column (validation baseline). NULL cells
+/// are skipped; `rows` should not select deleted rows.
+Result<int64_t> SumByScan(const Column& column, const BitVector& rows);
+
+}  // namespace ebi
+
+#endif  // EBI_QUERY_AGGREGATES_H_

@@ -1,0 +1,86 @@
+#ifndef EBI_QUERY_EXECUTOR_H_
+#define EBI_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/index.h"
+#include "query/predicate.h"
+#include "storage/io_accountant.h"
+#include "storage/table.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Result of a conjunctive selection.
+struct SelectionResult {
+  /// Qualifying rows (existing, non-deleted tuples only).
+  BitVector rows;
+  /// I/O this selection performed.
+  IoStats io;
+  /// Number of qualifying rows (rows.Count(), precomputed).
+  size_t count = 0;
+};
+
+/// Removes the NULL rows of `column_name` from `rows` — the NULL-mask step
+/// of negated predicates. Uses the index's NULL vector when it has one,
+/// otherwise a charged column scan. Shared by the executor and planner.
+Status MaskNullRows(const Table& table, const std::string& column_name,
+                    SecondaryIndex* index, IoAccountant* io,
+                    BitVector* rows);
+
+/// Evaluates conjunctive selections over one table using registered
+/// per-column indexes: each predicate is answered by its column's index
+/// and the result bitmaps are ANDed — the bitmap-index cooperativity that
+/// Section 2.1 contrasts with compound-key B-trees.
+class SelectionExecutor {
+ public:
+  SelectionExecutor(const Table* table, IoAccountant* io)
+      : table_(table), io_(io) {}
+
+  /// Registers the index answering predicates on `column`. One index per
+  /// column; the last registration wins.
+  void RegisterIndex(const std::string& column, SecondaryIndex* index) {
+    indexes_[column] = index;
+  }
+
+  /// Evaluates the conjunction of `predicates`. Every referenced column
+  /// must have a registered index.
+  Result<SelectionResult> Select(const std::vector<Predicate>& predicates);
+
+  /// Evaluates a disjunction of conjunctions (disjunctive normal form):
+  /// rows satisfying ANY of the conjunctive branches. Cross-column ORs —
+  /// e.g. "product = 3 OR region = 7" — are one bitmap OR per branch,
+  /// the cooperativity argument of Section 2.1 extended to disjunction.
+  Result<SelectionResult> SelectDnf(
+      const std::vector<std::vector<Predicate>>& branches);
+
+  /// Reference evaluation by full table scan (no indexes); used by tests
+  /// and benches to validate index answers.
+  Result<BitVector> SelectByScan(
+      const std::vector<Predicate>& predicates) const;
+
+  /// Scan reference for SelectDnf.
+  Result<BitVector> SelectDnfByScan(
+      const std::vector<std::vector<Predicate>>& branches) const;
+
+ private:
+  Result<BitVector> EvaluateOne(const Predicate& predicate);
+  /// Removes NULL rows of `column_name` from `rows` (for negated
+  /// predicates), using the index's NULL vector when it has one.
+  Status MaskNulls(const std::string& column_name, SecondaryIndex* index,
+                   BitVector* rows) const;
+  /// Scan-evaluates one predicate on one row.
+  Result<bool> RowMatches(const Predicate& predicate, const Column& column,
+                          size_t row) const;
+
+  const Table* table_;
+  IoAccountant* io_;
+  std::unordered_map<std::string, SecondaryIndex*> indexes_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_QUERY_EXECUTOR_H_

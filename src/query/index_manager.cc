@@ -1,0 +1,177 @@
+#include "query/index_manager.h"
+
+#include "index/base_bit_sliced_index.h"
+#include "index/bit_sliced_index.h"
+#include "index/btree_index.h"
+#include "index/dynamic_bitmap_index.h"
+#include "index/encoded_bitmap_index.h"
+#include "index/projection_index.h"
+#include "index/range_based_bitmap_index.h"
+#include "index/simple_bitmap_index.h"
+#include "index/value_list_index.h"
+
+namespace ebi {
+
+Result<IndexKind> IndexKindFromName(const std::string& name) {
+  if (name == "simple") {
+    return IndexKind::kSimpleBitmap;
+  }
+  if (name == "simple-rle") {
+    return IndexKind::kSimpleBitmapRle;
+  }
+  if (name == "encoded") {
+    return IndexKind::kEncodedBitmap;
+  }
+  if (name == "bitsliced") {
+    return IndexKind::kBitSliced;
+  }
+  if (name == "bitsliced-base10") {
+    return IndexKind::kBaseBitSliced;
+  }
+  if (name == "projection") {
+    return IndexKind::kProjection;
+  }
+  if (name == "btree") {
+    return IndexKind::kBTree;
+  }
+  if (name == "valuelist") {
+    return IndexKind::kValueList;
+  }
+  if (name == "rangebased") {
+    return IndexKind::kRangeBasedBitmap;
+  }
+  if (name == "dynamic") {
+    return IndexKind::kDynamicBitmap;
+  }
+  return Status::NotFound("unknown index kind '" + name + "'");
+}
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kSimpleBitmap:
+      return "simple";
+    case IndexKind::kSimpleBitmapRle:
+      return "simple-rle";
+    case IndexKind::kEncodedBitmap:
+      return "encoded";
+    case IndexKind::kBitSliced:
+      return "bitsliced";
+    case IndexKind::kBaseBitSliced:
+      return "bitsliced-base10";
+    case IndexKind::kProjection:
+      return "projection";
+    case IndexKind::kBTree:
+      return "btree";
+    case IndexKind::kValueList:
+      return "valuelist";
+    case IndexKind::kRangeBasedBitmap:
+      return "rangebased";
+    case IndexKind::kDynamicBitmap:
+      return "dynamic";
+  }
+  return "?";
+}
+
+Result<SecondaryIndex*> IndexManager::CreateIndex(const std::string& column,
+                                                  IndexKind kind) {
+  for (const Entry& entry : entries_) {
+    if (entry.column == column && entry.kind == kind) {
+      return Status::AlreadyExists(std::string(IndexKindName(kind)) +
+                                   " index on " + column +
+                                   " already exists");
+    }
+  }
+  EBI_ASSIGN_OR_RETURN(const Column* col, table_->FindColumn(column));
+  const BitVector* existence = &table_->existence();
+
+  std::unique_ptr<SecondaryIndex> index;
+  switch (kind) {
+    case IndexKind::kSimpleBitmap:
+      index = std::make_unique<SimpleBitmapIndex>(col, existence, io_);
+      break;
+    case IndexKind::kSimpleBitmapRle: {
+      SimpleBitmapIndexOptions options;
+      options.compressed = true;
+      index = std::make_unique<SimpleBitmapIndex>(col, existence, io_,
+                                                  options);
+      break;
+    }
+    case IndexKind::kEncodedBitmap:
+      index = std::make_unique<EncodedBitmapIndex>(col, existence, io_);
+      break;
+    case IndexKind::kBitSliced:
+      index = std::make_unique<BitSlicedIndex>(col, existence, io_);
+      break;
+    case IndexKind::kBaseBitSliced:
+      index = std::make_unique<BaseBitSlicedIndex>(col, existence, io_);
+      break;
+    case IndexKind::kProjection:
+      index = std::make_unique<ProjectionIndex>(col, existence, io_);
+      break;
+    case IndexKind::kBTree:
+      index = std::make_unique<BTreeIndex>(col, existence, io_);
+      break;
+    case IndexKind::kValueList:
+      index = std::make_unique<ValueListIndex>(col, existence, io_);
+      break;
+    case IndexKind::kRangeBasedBitmap:
+      index = std::make_unique<RangeBasedBitmapIndex>(col, existence, io_);
+      break;
+    case IndexKind::kDynamicBitmap:
+      index = std::make_unique<DynamicBitmapIndex>(col, existence, io_);
+      break;
+  }
+  EBI_RETURN_IF_ERROR(index->Build());
+
+  Entry entry;
+  entry.column = column;
+  entry.kind = kind;
+  entry.index = std::move(index);
+  SecondaryIndex* raw = entry.index.get();
+  entries_.push_back(std::move(entry));
+  planner_.RegisterIndex(column, raw);
+  maintenance_.AttachIndex(raw);
+  return raw;
+}
+
+Status IndexManager::DropIndex(const std::string& column, IndexKind kind) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->column == column && it->kind == kind) {
+      entries_.erase(it);
+      Rewire();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(std::string(IndexKindName(kind)) +
+                          " index on " + column + " not found");
+}
+
+std::vector<SecondaryIndex*> IndexManager::IndexesOn(
+    const std::string& column) const {
+  std::vector<SecondaryIndex*> out;
+  for (const Entry& entry : entries_) {
+    if (entry.column == column) {
+      out.push_back(entry.index.get());
+    }
+  }
+  return out;
+}
+
+size_t IndexManager::TotalSizeBytes() const {
+  size_t total = 0;
+  for (const Entry& entry : entries_) {
+    total += entry.index->SizeBytes();
+  }
+  return total;
+}
+
+void IndexManager::Rewire() {
+  planner_.Clear();
+  maintenance_.Clear();
+  for (const Entry& entry : entries_) {
+    planner_.RegisterIndex(entry.column, entry.index.get());
+    maintenance_.AttachIndex(entry.index.get());
+  }
+}
+
+}  // namespace ebi

@@ -1,0 +1,22 @@
+#include "query/maintenance.h"
+
+namespace ebi {
+
+Status MaintenanceDriver::AppendRow(const std::vector<Value>& values) {
+  const size_t row = table_->NumRows();
+  EBI_RETURN_IF_ERROR(table_->AppendRow(values));
+  for (SecondaryIndex* index : indexes_) {
+    EBI_RETURN_IF_ERROR(index->Append(row));
+  }
+  return Status::OK();
+}
+
+Status MaintenanceDriver::DeleteRow(size_t row) {
+  EBI_RETURN_IF_ERROR(table_->DeleteRow(row));
+  for (SecondaryIndex* index : indexes_) {
+    EBI_RETURN_IF_ERROR(index->MarkDeleted(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace ebi

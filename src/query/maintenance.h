@@ -1,0 +1,42 @@
+#ifndef EBI_QUERY_MAINTENANCE_H_
+#define EBI_QUERY_MAINTENANCE_H_
+
+#include <vector>
+
+#include "index/index.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Keeps a table and its secondary indexes consistent under updates — the
+/// maintenance workflows of Section 2.2 (appends without/with domain
+/// expansion, deletions re-encoded to the void codeword).
+class MaintenanceDriver {
+ public:
+  explicit MaintenanceDriver(Table* table) : table_(table) {}
+
+  /// Attaches an index already built over one of the table's columns.
+  void AttachIndex(SecondaryIndex* index) { indexes_.push_back(index); }
+
+  /// Detaches everything (e.g. before re-wiring after an index drop).
+  void Clear() { indexes_.clear(); }
+
+  /// Appends a row to the table and extends every attached index. Indexes
+  /// on columns gaining a new distinct value go through their
+  /// domain-expansion path transparently.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Logically deletes a row and propagates to the indexes.
+  Status DeleteRow(size_t row);
+
+  size_t NumIndexes() const { return indexes_.size(); }
+
+ private:
+  Table* table_;
+  std::vector<SecondaryIndex*> indexes_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_QUERY_MAINTENANCE_H_

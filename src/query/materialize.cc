@@ -1,0 +1,79 @@
+#include "query/materialize.h"
+
+#include <algorithm>
+
+namespace ebi {
+
+Result<std::vector<MaterializedRow>> MaterializeRows(
+    const Table& table, const BitVector& rows,
+    const std::vector<std::string>& columns, size_t limit) {
+  if (rows.size() != table.NumRows()) {
+    return Status::InvalidArgument("selection bitmap size mismatch");
+  }
+  std::vector<const Column*> resolved;
+  resolved.reserve(columns.size());
+  for (const std::string& name : columns) {
+    EBI_ASSIGN_OR_RETURN(const Column* column, table.FindColumn(name));
+    resolved.push_back(column);
+  }
+
+  std::vector<MaterializedRow> out;
+  bool done = false;
+  rows.ForEachSetBit([&](size_t row) {
+    if (done || (limit != 0 && out.size() >= limit)) {
+      done = true;
+      return;
+    }
+    MaterializedRow m;
+    m.row = row;
+    m.values.reserve(resolved.size());
+    for (const Column* column : resolved) {
+      m.values.push_back(column->ValueAt(row));
+    }
+    out.push_back(std::move(m));
+  });
+  return out;
+}
+
+std::string RowsToString(const std::vector<std::string>& columns,
+                         const std::vector<MaterializedRow>& rows) {
+  // Column widths from headers and cells.
+  std::vector<size_t> widths;
+  widths.reserve(columns.size() + 1);
+  widths.push_back(3);  // "row".
+  for (const std::string& c : columns) {
+    widths.push_back(c.size());
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (const MaterializedRow& r : rows) {
+    std::vector<std::string> line;
+    line.push_back(std::to_string(r.row));
+    widths[0] = std::max(widths[0], line.back().size());
+    for (size_t c = 0; c < r.values.size(); ++c) {
+      line.push_back(r.values[c].ToString());
+      widths[c + 1] = std::max(widths[c + 1], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  auto pad = [](const std::string& s, size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+  std::string out = pad("row", widths[0]);
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out += "  " + pad(columns[c], widths[c + 1]);
+  }
+  out += "\n";
+  for (const auto& line : cells) {
+    out += pad(line[0], widths[0]);
+    for (size_t c = 1; c < line.size(); ++c) {
+      out += "  " + pad(line[c], widths[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ebi

@@ -1,0 +1,33 @@
+#ifndef EBI_QUERY_MATERIALIZE_H_
+#define EBI_QUERY_MATERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// One materialized output row: the row id and the requested cells.
+struct MaterializedRow {
+  size_t row = 0;
+  std::vector<Value> values;
+};
+
+/// Fetches the actual tuples behind a selection bitmap — the final step
+/// after all the bitmap work, and the only one that touches row data.
+/// `columns` names the output columns; `limit` caps the result (0 = all).
+Result<std::vector<MaterializedRow>> MaterializeRows(
+    const Table& table, const BitVector& rows,
+    const std::vector<std::string>& columns, size_t limit = 0);
+
+/// Renders materialized rows as an aligned text table (for examples and
+/// debugging output).
+std::string RowsToString(const std::vector<std::string>& columns,
+                         const std::vector<MaterializedRow>& rows);
+
+}  // namespace ebi
+
+#endif  // EBI_QUERY_MATERIALIZE_H_

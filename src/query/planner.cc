@@ -1,0 +1,119 @@
+#include "query/planner.h"
+
+namespace ebi {
+
+Result<SelectionShape> AccessPathPlanner::ShapeOf(
+    const Predicate& predicate) const {
+  EBI_ASSIGN_OR_RETURN(const Column* column,
+                       table_->FindColumn(predicate.column));
+  SelectionShape shape;
+  switch (predicate.kind) {
+    case Predicate::Kind::kEquals:
+    case Predicate::Kind::kIsNull:
+    case Predicate::Kind::kNotEquals:
+      shape.kind = SelectionShape::Kind::kPoint;
+      shape.delta = 1;
+      break;
+    case Predicate::Kind::kIn:
+    case Predicate::Kind::kNotIn:
+      shape.kind = SelectionShape::Kind::kValueSet;
+      shape.delta = std::max<size_t>(1, predicate.values.size());
+      break;
+    case Predicate::Kind::kRange:
+      shape.kind = SelectionShape::Kind::kRange;
+      shape.delta = std::max<size_t>(1, predicate.Width(*column));
+      break;
+  }
+  return shape;
+}
+
+Result<AccessPath> AccessPathPlanner::Choose(
+    const Predicate& predicate) const {
+  const auto it = candidates_.find(predicate.column);
+  if (it == candidates_.end() || it->second.empty()) {
+    return Status::NotFound("no index registered for column " +
+                            predicate.column);
+  }
+  EBI_ASSIGN_OR_RETURN(const SelectionShape shape, ShapeOf(predicate));
+  AccessPath best;
+  best.delta = shape.delta;
+  for (SecondaryIndex* index : it->second) {
+    if (predicate.kind == Predicate::Kind::kIsNull &&
+        !index->SupportsIsNull()) {
+      continue;
+    }
+    const double pages = index->EstimatePages(shape);
+    if (best.index == nullptr || pages < best.estimated_pages) {
+      best.index = index;
+      best.estimated_pages = pages;
+    }
+  }
+  if (best.index == nullptr) {
+    return Status::NotFound("no index on " + predicate.column +
+                            " supports " + predicate.ToString());
+  }
+  return best;
+}
+
+Result<SelectionResult> AccessPathPlanner::Select(
+    const std::vector<Predicate>& predicates,
+    std::vector<AccessPath>* paths) {
+  const IoScope scope(io_);
+  BitVector rows(table_->NumRows(), true);
+  if (predicates.empty()) {
+    rows.AndWith(table_->existence());
+  }
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    EBI_ASSIGN_OR_RETURN(const AccessPath path, Choose(p));
+    if (paths != nullptr) {
+      paths->push_back(path);
+    }
+    Result<BitVector> one = BitVector();
+    switch (p.kind) {
+      case Predicate::Kind::kEquals:
+        one = path.index->EvaluateEquals(p.value);
+        break;
+      case Predicate::Kind::kIn:
+        one = path.index->EvaluateIn(p.values);
+        break;
+      case Predicate::Kind::kRange:
+        one = path.index->EvaluateRange(p.lo, p.hi);
+        break;
+      case Predicate::Kind::kIsNull:
+        one = path.index->EvaluateIsNull();
+        break;
+      case Predicate::Kind::kNotEquals:
+      case Predicate::Kind::kNotIn: {
+        const Predicate positive = p.Positive();
+        one = positive.kind == Predicate::Kind::kEquals
+                  ? path.index->EvaluateEquals(positive.value)
+                  : path.index->EvaluateIn(positive.values);
+        if (one.ok()) {
+          BitVector flipped = std::move(one).value();
+          flipped.FlipAll();
+          flipped.AndWith(table_->existence());
+          EBI_RETURN_IF_ERROR(MaskNullRows(*table_, p.column, path.index,
+                                           io_, &flipped));
+          one = std::move(flipped);
+        }
+        break;
+      }
+    }
+    if (!one.ok()) {
+      return one.status();
+    }
+    if (i == 0) {
+      rows = std::move(one).value();
+    } else {
+      rows.AndWith(*one);
+    }
+  }
+  SelectionResult result;
+  result.count = rows.Count();
+  result.rows = std::move(rows);
+  result.io = scope.Delta();
+  return result;
+}
+
+}  // namespace ebi

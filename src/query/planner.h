@@ -1,0 +1,66 @@
+#ifndef EBI_QUERY_PLANNER_H_
+#define EBI_QUERY_PLANNER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/index.h"
+#include "query/executor.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// The access path chosen for one predicate, with the estimate that won.
+struct AccessPath {
+  SecondaryIndex* index = nullptr;
+  double estimated_pages = 0.0;
+  /// The paper's δ for this predicate on its column.
+  size_t delta = 0;
+};
+
+/// Cost-based access-path selection over possibly several indexes per
+/// column — the operational form of the paper's Section 3 guidance: simple
+/// bitmaps win single-value selections, encoded bitmaps win once
+/// δ > log2|A| + 1, bit-sliced indexes win wide numeric ranges.
+///
+/// Each registered index prices a selection shape through its
+/// EstimatePages() model; the planner picks the minimum per predicate and
+/// can execute whole conjunctions with the chosen paths.
+class AccessPathPlanner {
+ public:
+  AccessPathPlanner(const Table* table, IoAccountant* io)
+      : table_(table), io_(io) {}
+
+  /// Registers an index as a candidate for predicates on `column`.
+  /// Several indexes per column are allowed — that is the point.
+  void RegisterIndex(const std::string& column, SecondaryIndex* index) {
+    candidates_[column].push_back(index);
+  }
+
+  /// Drops every registration (e.g. before re-wiring after an index drop).
+  void Clear() { candidates_.clear(); }
+
+  /// The selection shape (kind + δ) of a predicate on this table.
+  Result<SelectionShape> ShapeOf(const Predicate& predicate) const;
+
+  /// Picks the cheapest registered index for `predicate`.
+  Result<AccessPath> Choose(const Predicate& predicate) const;
+
+  /// Evaluates a conjunction, routing every predicate through its chosen
+  /// access path. `paths`, when non-null, receives the chosen paths in
+  /// predicate order.
+  Result<SelectionResult> Select(const std::vector<Predicate>& predicates,
+                                 std::vector<AccessPath>* paths = nullptr);
+
+ private:
+  const Table* table_;
+  IoAccountant* io_;
+  std::unordered_map<std::string, std::vector<SecondaryIndex*>> candidates_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_QUERY_PLANNER_H_

@@ -1,0 +1,112 @@
+#include "query/predicate.h"
+
+namespace ebi {
+
+Predicate Predicate::Eq(std::string column, Value v) {
+  Predicate p;
+  p.column = std::move(column);
+  p.kind = Kind::kEquals;
+  p.value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::In(std::string column, std::vector<Value> vs) {
+  Predicate p;
+  p.column = std::move(column);
+  p.kind = Kind::kIn;
+  p.values = std::move(vs);
+  return p;
+}
+
+Predicate Predicate::Between(std::string column, int64_t lo, int64_t hi) {
+  Predicate p;
+  p.column = std::move(column);
+  p.kind = Kind::kRange;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Predicate Predicate::IsNull(std::string column) {
+  Predicate p;
+  p.column = std::move(column);
+  p.kind = Kind::kIsNull;
+  return p;
+}
+
+Predicate Predicate::NotEq(std::string column, Value v) {
+  Predicate p = Eq(std::move(column), std::move(v));
+  p.kind = Kind::kNotEquals;
+  return p;
+}
+
+Predicate Predicate::NotIn(std::string column, std::vector<Value> vs) {
+  Predicate p = In(std::move(column), std::move(vs));
+  p.kind = Kind::kNotIn;
+  return p;
+}
+
+Predicate Predicate::Positive() const {
+  Predicate p = *this;
+  if (kind == Kind::kNotEquals) {
+    p.kind = Kind::kEquals;
+  } else if (kind == Kind::kNotIn) {
+    p.kind = Kind::kIn;
+  }
+  return p;
+}
+
+size_t Predicate::Width(const Column& col) const {
+  switch (kind) {
+    case Kind::kEquals:
+    case Kind::kIsNull:
+    case Kind::kNotEquals:
+      return 1;
+    case Kind::kIn:
+    case Kind::kNotIn:
+      return values.size();
+    case Kind::kRange:
+      if (col.type() != Column::Type::kInt64) {
+        return 0;
+      }
+      return col.IdsInRange(lo, hi).size();
+  }
+  return 0;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kEquals:
+      return column + " = " + value.ToString();
+    case Kind::kIn: {
+      std::string out = column + " IN {";
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += values[i].ToString();
+      }
+      return out + "}";
+    }
+    case Kind::kRange:
+      return std::to_string(lo) + " <= " + column +
+             " <= " + std::to_string(hi);
+    case Kind::kIsNull:
+      return column + " IS NULL";
+    case Kind::kNotEquals:
+      return column + " != " + value.ToString();
+    case Kind::kNotIn: {
+      std::string out = column + " NOT IN {";
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += values[i].ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace ebi

@@ -1,0 +1,58 @@
+#ifndef EBI_QUERY_PREDICATE_H_
+#define EBI_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace ebi {
+
+/// A selection predicate on one column. Queries are conjunctions of
+/// predicates (the executor ANDs the per-predicate bitmaps — the index
+/// "cooperativity" of Section 2.1). Range predicates cover both paper
+/// range-search flavours: IN-lists and "j < A < i".
+struct Predicate {
+  enum class Kind : uint8_t {
+    kEquals,
+    kIn,
+    kRange,
+    kIsNull,
+    kNotEquals,
+    kNotIn,
+  };
+
+  std::string column;
+  Kind kind = Kind::kEquals;
+  Value value;                 // kEquals.
+  std::vector<Value> values;   // kIn.
+  int64_t lo = 0;              // kRange, inclusive.
+  int64_t hi = 0;              // kRange, inclusive.
+
+  static Predicate Eq(std::string column, Value v);
+  static Predicate In(std::string column, std::vector<Value> vs);
+  /// Inclusive range lo <= column <= hi.
+  static Predicate Between(std::string column, int64_t lo, int64_t hi);
+  static Predicate IsNull(std::string column);
+  /// SQL semantics: NULL cells satisfy neither != nor NOT IN.
+  static Predicate NotEq(std::string column, Value v);
+  static Predicate NotIn(std::string column, std::vector<Value> vs);
+
+  /// True for the negated kinds (evaluated as a complement).
+  bool IsNegated() const {
+    return kind == Kind::kNotEquals || kind == Kind::kNotIn;
+  }
+  /// The positive predicate a negated one complements.
+  Predicate Positive() const;
+
+  /// Width of the selection in distinct values — the paper's δ. Ranges
+  /// need the column to resolve how many values they span.
+  size_t Width(const Column& col) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_QUERY_PREDICATE_H_

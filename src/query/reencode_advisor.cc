@@ -1,0 +1,73 @@
+#include "query/reencode_advisor.h"
+
+#include <limits>
+
+#include "encoding/well_defined.h"
+
+namespace ebi {
+
+namespace {
+
+/// Expected vector reads per period for a mapping over the profile.
+Result<double> ExpectedCost(const MappingTable& mapping,
+                            const WorkloadProfile& profile,
+                            const ReductionOptions& reduction) {
+  double total = 0.0;
+  for (const WorkloadEntry& entry : profile) {
+    EBI_ASSIGN_OR_RETURN(const int cost,
+                         AccessCost(mapping, entry.values, reduction));
+    total += entry.frequency * cost;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<ReencodeDecision> EvaluateReencoding(
+    const MappingTable& current, const MappingTable& candidate,
+    const WorkloadProfile& profile, size_t n, double horizon_periods,
+    const ReductionOptions& reduction) {
+  ReencodeDecision decision;
+  EBI_ASSIGN_OR_RETURN(decision.current_cost,
+                       ExpectedCost(current, profile, reduction));
+  EBI_ASSIGN_OR_RETURN(decision.candidate_cost,
+                       ExpectedCost(candidate, profile, reduction));
+  // Rewriting k' slices of n bits, measured in whole-vector operations so
+  // it is commensurate with the per-query vector-read costs.
+  decision.reencode_cost = static_cast<double>(candidate.width());
+  (void)n;  // The per-vector unit already scales with n on both sides.
+
+  const double saving_per_period =
+      decision.current_cost - decision.candidate_cost;
+  if (saving_per_period <= 0.0) {
+    decision.break_even_periods =
+        std::numeric_limits<double>::infinity();
+    decision.worthwhile = false;
+  } else {
+    decision.break_even_periods =
+        decision.reencode_cost / saving_per_period;
+    decision.worthwhile = decision.break_even_periods <= horizon_periods;
+  }
+  return decision;
+}
+
+Result<ReencodeProposal> ProposeReencoding(
+    const MappingTable& current, const WorkloadProfile& profile, size_t m,
+    size_t n, const OptimizerOptions& options,
+    const EncoderOptions& encoder_options, double horizon_periods) {
+  PredicateSet predicates;
+  predicates.reserve(profile.size());
+  for (const WorkloadEntry& entry : profile) {
+    predicates.push_back(entry.values);
+  }
+  EBI_ASSIGN_OR_RETURN(
+      MappingTable candidate,
+      AnnealEncode(m, predicates, options, encoder_options));
+  EBI_ASSIGN_OR_RETURN(
+      const ReencodeDecision decision,
+      EvaluateReencoding(current, candidate, profile, n, horizon_periods,
+                         options.reduction));
+  return ReencodeProposal{std::move(candidate), decision};
+}
+
+}  // namespace ebi

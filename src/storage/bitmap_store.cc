@@ -1,0 +1,157 @@
+#include "storage/bitmap_store.h"
+
+#include <utility>
+
+namespace ebi {
+
+Result<BitmapStore> BitmapStore::Open(const std::string& path,
+                                      size_t capacity_vectors,
+                                      IoAccountant* io) {
+  if (capacity_vectors == 0) {
+    return Status::InvalidArgument("pool capacity must be > 0");
+  }
+  BitmapStore store;
+  store.path_ = path;
+  store.capacity_ = capacity_vectors;
+  store.io_ = io;
+  store.file_ = std::fopen(path.c_str(), "w+b");
+  if (store.file_ == nullptr) {
+    return Status::Internal("cannot open " + path);
+  }
+  return store;
+}
+
+BitmapStore::BitmapStore(BitmapStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+BitmapStore& BitmapStore::operator=(BitmapStore&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+    capacity_ = other.capacity_;
+    io_ = other.io_;
+    next_offset_ = other.next_offset_;
+    directory_ = std::move(other.directory_);
+    pool_ = std::move(other.pool_);
+    pool_index_ = std::move(other.pool_index_);
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
+BitmapStore::~BitmapStore() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+}
+
+Status BitmapStore::WriteSlot(const Slot& slot, const BitVector& bits) {
+  if (std::fseek(file_, static_cast<long>(slot.offset), SEEK_SET) != 0) {
+    return Status::Internal("seek failed");
+  }
+  const auto& words = bits.words();
+  if (!words.empty() &&
+      std::fwrite(words.data(), sizeof(uint64_t), words.size(), file_) !=
+          words.size()) {
+    return Status::Internal("write failed");
+  }
+  ++stats_.writebacks;
+  return Status::OK();
+}
+
+Result<BitVector> BitmapStore::ReadSlot(const Slot& slot) {
+  if (std::fseek(file_, static_cast<long>(slot.offset), SEEK_SET) != 0) {
+    return Status::Internal("seek failed");
+  }
+  const size_t words = (slot.bits + 63) / 64;
+  std::vector<uint64_t> buffer(words);
+  if (words != 0 &&
+      std::fread(buffer.data(), sizeof(uint64_t), words, file_) != words) {
+    return Status::Internal("read failed");
+  }
+  BitVector bits(static_cast<size_t>(slot.bits));
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word = buffer[w];
+    while (word != 0) {
+      const int b = __builtin_ctzll(word);
+      const size_t pos = w * 64 + static_cast<size_t>(b);
+      if (pos < slot.bits) {
+        bits.Set(pos);
+      }
+      word &= word - 1;
+    }
+  }
+  io_->ChargeVectorRead(static_cast<size_t>(slot.bytes));
+  return bits;
+}
+
+void BitmapStore::Touch(VectorId id, BitVector bits) {
+  const auto it = pool_index_.find(id);
+  if (it != pool_index_.end()) {
+    pool_.erase(it->second);
+    pool_index_.erase(it);
+  }
+  pool_.emplace_front(id, std::move(bits));
+  pool_index_[id] = pool_.begin();
+  while (pool_.size() > capacity_) {
+    pool_index_.erase(pool_.back().first);
+    pool_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+Result<BitmapStore::VectorId> BitmapStore::Put(const BitVector& bits) {
+  Slot slot;
+  slot.offset = next_offset_;
+  slot.bits = bits.size();
+  slot.bytes = bits.SizeBytes();
+  EBI_RETURN_IF_ERROR(WriteSlot(slot, bits));
+  next_offset_ += slot.bytes;
+  const VectorId id = static_cast<VectorId>(directory_.size());
+  directory_.push_back(slot);
+  Touch(id, bits);
+  return id;
+}
+
+Status BitmapStore::Update(VectorId id, const BitVector& bits) {
+  if (id >= directory_.size()) {
+    return Status::OutOfRange("vector id out of range");
+  }
+  Slot& slot = directory_[id];
+  if (bits.SizeBytes() > slot.bytes) {
+    // Relocate to the end of the file; the old slot becomes garbage (no
+    // compaction — stores are rebuilt, not edited, in this workload).
+    slot.offset = next_offset_;
+    slot.bytes = bits.SizeBytes();
+    next_offset_ += slot.bytes;
+  }
+  slot.bits = bits.size();
+  EBI_RETURN_IF_ERROR(WriteSlot(slot, bits));
+  Touch(id, bits);
+  return Status::OK();
+}
+
+Result<BitVector> BitmapStore::Get(VectorId id) {
+  if (id >= directory_.size()) {
+    return Status::OutOfRange("vector id out of range");
+  }
+  const auto it = pool_index_.find(id);
+  if (it != pool_index_.end()) {
+    ++stats_.hits;
+    BitVector bits = it->second->second;
+    Touch(id, bits);
+    return bits;
+  }
+  ++stats_.misses;
+  EBI_ASSIGN_OR_RETURN(BitVector bits, ReadSlot(directory_[id]));
+  Touch(id, bits);
+  return bits;
+}
+
+}  // namespace ebi

@@ -1,0 +1,109 @@
+#ifndef EBI_STORAGE_BITMAP_STORE_H_
+#define EBI_STORAGE_BITMAP_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/io_accountant.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Statistics of one BitmapStore.
+struct BitmapStoreStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// A file-backed store for bitmap vectors with an LRU buffer pool — the
+/// disk-resident storage DW indexes actually live on. The in-memory
+/// indexes of this library are the hot path; BitmapStore demonstrates the
+/// same structures working at larger-than-memory scale, with every miss
+/// charged to the IoAccountant as a real vector read.
+///
+/// Vectors are stored in fixed-size slots of the file (slot size = the
+/// maximum vector size registered). Usage:
+///
+///   BitmapStore store("/tmp/ebi.bin", /*capacity_vectors=*/8, &io);
+///   auto id = store.Put(bitvector);         // Write through to disk.
+///   auto bits = store.Get(*id);             // Cached or re-read.
+class BitmapStore {
+ public:
+  using VectorId = uint32_t;
+
+  /// Opens (creates/truncates) the backing file. `capacity_vectors` is the
+  /// number of vectors the buffer pool may keep in memory.
+  static Result<BitmapStore> Open(const std::string& path,
+                                  size_t capacity_vectors,
+                                  IoAccountant* io);
+
+  BitmapStore(const BitmapStore&) = delete;
+  BitmapStore& operator=(const BitmapStore&) = delete;
+  BitmapStore(BitmapStore&& other) noexcept;
+  BitmapStore& operator=(BitmapStore&& other) noexcept;
+  ~BitmapStore();
+
+  /// Appends a vector to the store, returning its id. Writes through to
+  /// the file and installs it in the pool.
+  Result<VectorId> Put(const BitVector& bits);
+
+  /// Overwrites an existing vector (same id), e.g. after maintenance.
+  Status Update(VectorId id, const BitVector& bits);
+
+  /// Fetches a vector: pool hit is free, a miss reads the file and charges
+  /// the accountant one vector read.
+  Result<BitVector> Get(VectorId id);
+
+  /// Number of vectors stored.
+  size_t Size() const { return directory_.size(); }
+  /// Vectors currently resident in the pool.
+  size_t Resident() const { return pool_.size(); }
+
+  const BitmapStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BitmapStoreStats(); }
+
+ private:
+  struct Slot {
+    uint64_t offset = 0;
+    uint64_t bits = 0;
+    uint64_t bytes = 0;
+  };
+
+  BitmapStore() = default;
+
+  Status WriteSlot(const Slot& slot, const BitVector& bits);
+  Result<BitVector> ReadSlot(const Slot& slot);
+  /// Moves `id` to the front of the LRU, evicting beyond capacity.
+  void Touch(VectorId id, BitVector bits);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t capacity_ = 0;
+  IoAccountant* io_ = nullptr;
+  uint64_t next_offset_ = 0;
+  std::vector<Slot> directory_;
+  /// LRU pool: front = most recent.
+  std::list<std::pair<VectorId, BitVector>> pool_;
+  std::unordered_map<VectorId,
+                     std::list<std::pair<VectorId, BitVector>>::iterator>
+      pool_index_;
+  BitmapStoreStats stats_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_BITMAP_STORE_H_

@@ -1,0 +1,67 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+namespace ebi {
+
+Result<Table*> Catalog::CreateTable(const std::string& name) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto table = std::make_unique<Table>(name);
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not found");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not found");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::AddForeignKey(const ForeignKey& fk) {
+  EBI_ASSIGN_OR_RETURN(Table * fact, GetTable(fk.fact_table));
+  EBI_ASSIGN_OR_RETURN(Table * dim, GetTable(fk.dim_table));
+  EBI_RETURN_IF_ERROR(fact->ColumnIndex(fk.fact_column).status());
+  EBI_RETURN_IF_ERROR(dim->ColumnIndex(fk.dim_column).status());
+  foreign_keys_.push_back(fk);
+  return Status::OK();
+}
+
+std::vector<const Table*> Catalog::DimensionsOf(
+    const std::string& fact_table) const {
+  std::vector<const Table*> out;
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.fact_table != fact_table) {
+      continue;
+    }
+    const auto it = tables_.find(fk.dim_table);
+    if (it != tables_.end()) {
+      out.push_back(it->second.get());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace ebi

@@ -1,0 +1,62 @@
+#ifndef EBI_STORAGE_CATALOG_H_
+#define EBI_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Declares that fact_table.fact_column is a foreign key into
+/// dim_table.dim_column (a star-schema edge).
+struct ForeignKey {
+  std::string fact_table;
+  std::string fact_column;
+  std::string dim_table;
+  std::string dim_column;
+};
+
+/// Owns tables and star-schema metadata.
+///
+/// Data-warehouse data "is usually modeled as a star schema, which consists
+/// of one (or more) fact table(s) and some dimensions" (Section 2.3); the
+/// catalog records which is which so hierarchy-aware indexes and the OLAP
+/// examples can navigate the schema.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Creates and owns a new table; fails on duplicate names.
+  Result<Table*> CreateTable(const std::string& name);
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Registers a star edge; both endpoints must exist.
+  Status AddForeignKey(const ForeignKey& fk);
+
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// All dimension tables referenced from `fact_table`.
+  std::vector<const Table*> DimensionsOf(const std::string& fact_table) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_CATALOG_H_

@@ -1,0 +1,184 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace ebi {
+
+namespace {
+
+bool ParseInt(const std::string& cell, int64_t* out) {
+  if (cell.empty()) {
+    return false;
+  }
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == delimiter) {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Result<std::unique_ptr<Table>> LoadCsv(std::istream& in,
+                                       const std::string& table_name,
+                                       const CsvOptions& options) {
+  std::string line;
+  std::vector<std::string> names;
+  size_t columns = 0;
+
+  if (options.header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("empty CSV input");
+    }
+    names = SplitCsvLine(line, options.delimiter);
+    columns = names.size();
+  }
+
+  // Buffer rows until every column's type is known (NULLs defer
+  // inference), then create the table and flush.
+  std::vector<std::vector<std::string>> pending;
+  std::vector<int> types;  // -1 unknown, 0 int, 1 string.
+  auto table = std::make_unique<Table>(table_name);
+  bool table_ready = false;
+  size_t line_number = options.header ? 1 : 0;
+
+  auto cell_is_null = [&options](const std::string& cell) {
+    return cell.empty() || cell == options.null_token;
+  };
+
+  auto flush = [&]() -> Status {
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string name =
+          c < names.size() ? names[c] : "col" + std::to_string(c);
+      const Column::Type type =
+          types[c] == 0 ? Column::Type::kInt64 : Column::Type::kString;
+      EBI_RETURN_IF_ERROR(table->AddColumn(name, type));
+    }
+    for (const auto& cells : pending) {
+      std::vector<Value> row(columns);
+      for (size_t c = 0; c < columns; ++c) {
+        if (cell_is_null(cells[c])) {
+          row[c] = Value::Null();
+        } else if (types[c] == 0) {
+          int64_t v = 0;
+          if (!ParseInt(cells[c], &v)) {
+            return Status::InvalidArgument("non-integer cell '" + cells[c] +
+                                           "' in integer column " +
+                                           std::to_string(c));
+          }
+          row[c] = Value::Int(v);
+        } else {
+          row[c] = Value::Str(cells[c]);
+        }
+      }
+      EBI_RETURN_IF_ERROR(table->AppendRow(row));
+    }
+    pending.clear();
+    table_ready = true;
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> cells = SplitCsvLine(line, options.delimiter);
+    if (columns == 0) {
+      columns = cells.size();
+      types.assign(columns, -1);
+    } else if (cells.size() != columns) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(columns));
+    }
+    if (types.empty()) {
+      types.assign(columns, -1);
+    }
+
+    if (!table_ready) {
+      // Update inference with this row.
+      for (size_t c = 0; c < columns; ++c) {
+        if (types[c] != -1 || cell_is_null(cells[c])) {
+          continue;
+        }
+        int64_t v = 0;
+        types[c] = ParseInt(cells[c], &v) ? 0 : 1;
+      }
+      pending.push_back(std::move(cells));
+      bool all_known = true;
+      for (int t : types) {
+        all_known &= t != -1;
+      }
+      if (all_known) {
+        EBI_RETURN_IF_ERROR(flush());
+      }
+      continue;
+    }
+
+    std::vector<Value> row(columns);
+    for (size_t c = 0; c < columns; ++c) {
+      if (cell_is_null(cells[c])) {
+        row[c] = Value::Null();
+      } else if (types[c] == 0) {
+        int64_t v = 0;
+        if (!ParseInt(cells[c], &v)) {
+          return Status::InvalidArgument(
+              "non-integer cell '" + cells[c] + "' at line " +
+              std::to_string(line_number));
+        }
+        row[c] = Value::Int(v);
+      } else {
+        row[c] = Value::Str(cells[c]);
+      }
+    }
+    EBI_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+
+  if (!table_ready) {
+    if (columns == 0) {
+      return Status::InvalidArgument("CSV has no columns");
+    }
+    // Columns that never saw a non-NULL cell (or no data rows at all)
+    // default to string.
+    types.resize(columns, -1);
+    for (int& t : types) {
+      if (t == -1) {
+        t = 1;
+      }
+    }
+    EBI_RETURN_IF_ERROR(flush());
+  }
+  return table;
+}
+
+Result<std::unique_ptr<Table>> LoadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return LoadCsv(in, table_name, options);
+}
+
+}  // namespace ebi

@@ -1,0 +1,46 @@
+#ifndef EBI_STORAGE_CSV_H_
+#define EBI_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Options for CSV ingestion.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Treat the first row as column names.
+  bool header = true;
+  /// Cells equal to this string (case-sensitive) load as NULL, in addition
+  /// to empty cells.
+  std::string null_token = "NULL";
+};
+
+/// Loads a CSV stream into a new table. Column types are inferred from the
+/// first data row: cells that parse fully as integers make kInt64 columns,
+/// everything else kString (NULL cells defer inference to the next row;
+/// columns that never see a value default to kString). Later type
+/// mismatches are an error, not a coercion.
+Result<std::unique_ptr<Table>> LoadCsv(std::istream& in,
+                                       const std::string& table_name,
+                                       const CsvOptions& options =
+                                           CsvOptions());
+
+/// Convenience file wrapper around LoadCsv.
+Result<std::unique_ptr<Table>> LoadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const CsvOptions& options =
+                                               CsvOptions());
+
+/// Splits one CSV line (no quoting support; delimiter split only).
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter);
+
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_CSV_H_

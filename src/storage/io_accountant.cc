@@ -1,0 +1,17 @@
+#include "storage/io_accountant.h"
+
+namespace ebi {
+
+std::string IoStats::ToString() const {
+  std::string out = "vectors=";
+  out += std::to_string(vectors_read);
+  out += " pages=";
+  out += std::to_string(pages_read);
+  out += " bytes=";
+  out += std::to_string(bytes_read);
+  out += " nodes=";
+  out += std::to_string(nodes_read);
+  return out;
+}
+
+}  // namespace ebi

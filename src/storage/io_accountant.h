@@ -1,0 +1,88 @@
+#ifndef EBI_STORAGE_IO_ACCOUNTANT_H_
+#define EBI_STORAGE_IO_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ebi {
+
+/// Aggregated I/O counters for one query or one experiment run.
+struct IoStats {
+  /// Number of bitmap vectors read — the paper's primary cost metric
+  /// (c_s / c_e in Section 3.1).
+  uint64_t vectors_read = 0;
+  /// Number of simulated disk pages read.
+  uint64_t pages_read = 0;
+  /// Raw bytes read.
+  uint64_t bytes_read = 0;
+  /// Number of index-structure nodes visited (B-tree traversals).
+  uint64_t nodes_read = 0;
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{vectors_read - other.vectors_read,
+                   pages_read - other.pages_read,
+                   bytes_read - other.bytes_read,
+                   nodes_read - other.nodes_read};
+  }
+
+  std::string ToString() const;
+};
+
+/// Charges simulated I/O. Every index implementation routes its reads
+/// through one of these so that experiments can *measure* the paper's cost
+/// metric (bitmap vectors / pages accessed) instead of estimating it.
+///
+/// Storage is in-memory; only the accounting is "disk-shaped". Page size
+/// defaults to the 4 KB the paper assumes in its Section 2.1 cost analysis.
+class IoAccountant {
+ public:
+  static constexpr size_t kDefaultPageSize = 4096;
+
+  explicit IoAccountant(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  /// Charges the read of one whole bitmap vector of `bytes` length.
+  void ChargeVectorRead(size_t bytes) {
+    ++stats_.vectors_read;
+    ChargeBytes(bytes);
+  }
+
+  /// Charges one index node (e.g. a B-tree page).
+  void ChargeNodeRead(size_t bytes) {
+    ++stats_.nodes_read;
+    ChargeBytes(bytes);
+  }
+
+  /// Charges a raw byte range (e.g. a projection-index scan).
+  void ChargeBytes(size_t bytes) {
+    stats_.bytes_read += bytes;
+    stats_.pages_read += (bytes + page_size_ - 1) / page_size_;
+  }
+
+  const IoStats& stats() const { return stats_; }
+  size_t page_size() const { return page_size_; }
+  void Reset() { stats_ = IoStats(); }
+
+ private:
+  size_t page_size_;
+  IoStats stats_;
+};
+
+/// RAII helper measuring the I/O a scoped block performed.
+class IoScope {
+ public:
+  explicit IoScope(IoAccountant* accountant)
+      : accountant_(accountant), start_(accountant->stats()) {}
+
+  /// I/O performed since construction.
+  IoStats Delta() const { return accountant_->stats() - start_; }
+
+ private:
+  IoAccountant* accountant_;
+  IoStats start_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_IO_ACCOUNTANT_H_

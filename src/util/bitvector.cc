@@ -1,0 +1,162 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+namespace ebi {
+
+namespace {
+constexpr size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+BitVector::BitVector(size_t size, bool value)
+    : size_(size), words_(WordsFor(size), value ? ~uint64_t{0} : 0) {
+  MaskTail();
+}
+
+BitVector BitVector::FromString(const std::string& bits) {
+  BitVector v(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      v.Set(i);
+    } else if (bits[i] != '0') {
+      return BitVector();
+    }
+  }
+  return v;
+}
+
+void BitVector::Resize(size_t size) {
+  size_ = size;
+  words_.resize(WordsFor(size), 0);
+  MaskTail();
+}
+
+void BitVector::PushBack(bool value) {
+  const size_t i = size_;
+  ++size_;
+  if (WordsFor(size_) > words_.size()) {
+    words_.push_back(0);
+  }
+  if (value) {
+    Set(i);
+  }
+}
+
+void BitVector::Clear() {
+  for (uint64_t& w : words_) {
+    w = 0;
+  }
+}
+
+void BitVector::SetAll() {
+  for (uint64_t& w : words_) {
+    w = ~uint64_t{0};
+  }
+  MaskTail();
+}
+
+size_t BitVector::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) {
+    count += static_cast<size_t>(std::popcount(w));
+  }
+  return count;
+}
+
+bool BitVector::IsZero() const {
+  for (uint64_t w : words_) {
+    if (w != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double BitVector::Sparsity() const {
+  if (size_ == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(Count()) / static_cast<double>(size_);
+}
+
+BitVector& BitVector::AndWith(const BitVector& other) {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+  return *this;
+}
+
+BitVector& BitVector::OrWith(const BitVector& other) {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  return *this;
+}
+
+BitVector& BitVector::XorWith(const BitVector& other) {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return *this;
+}
+
+BitVector& BitVector::FlipAll() {
+  for (uint64_t& w : words_) {
+    w = ~w;
+  }
+  MaskTail();
+  return *this;
+}
+
+BitVector& BitVector::AndNotWith(const BitVector& other) {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+std::vector<uint32_t> BitVector::ToPositions() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEachSetBit([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+std::string BitVector::ToString() const {
+  std::string out(size_, '0');
+  ForEachSetBit([&out](size_t i) { out[i] = '1'; });
+  return out;
+}
+
+void BitVector::MaskTail() {
+  const size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+BitVector And(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.AndWith(b);
+  return out;
+}
+
+BitVector Or(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.OrWith(b);
+  return out;
+}
+
+BitVector Xor(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.XorWith(b);
+  return out;
+}
+
+BitVector Not(const BitVector& a) {
+  BitVector out = a;
+  out.FlipAll();
+  return out;
+}
+
+}  // namespace ebi

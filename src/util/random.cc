@@ -1,0 +1,80 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ebi {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+/// splitmix64, used to expand the single seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), rng_(seed) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    cdf_[i] /= total;
+  }
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace ebi

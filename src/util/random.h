@@ -1,0 +1,67 @@
+#ifndef EBI_UTIL_RANDOM_H_
+#define EBI_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ebi {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**). All workload
+/// generators and benchmark harnesses seed this explicitly so experiments
+/// are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed integers over {0, ..., n-1} with skew parameter `theta`
+/// (theta = 0 is uniform; around 1 is the classic skew used in DW
+/// workloads). Uses the cumulative-probability inversion method with a
+/// precomputed table, so draws are O(log n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next rank in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_UTIL_RANDOM_H_

@@ -1,0 +1,173 @@
+#include "util/rle_bitmap.h"
+
+namespace ebi {
+
+namespace {
+
+/// Cursor over the alternating runs of an RleBitmap, yielding
+/// (bit value, remaining length) pairs.
+class RunCursor {
+ public:
+  explicit RunCursor(const std::vector<uint32_t>& runs) : runs_(runs) {
+    SkipEmpty();
+  }
+
+  bool Done() const { return index_ >= runs_.size(); }
+  bool value() const { return (index_ & 1) != 0; }
+  uint32_t remaining() const { return runs_[index_] - consumed_; }
+
+  void Advance(uint32_t n) {
+    consumed_ += n;
+    if (consumed_ == runs_[index_]) {
+      ++index_;
+      consumed_ = 0;
+      SkipEmpty();
+    }
+  }
+
+ private:
+  void SkipEmpty() {
+    while (index_ < runs_.size() && runs_[index_] == 0) {
+      ++index_;
+    }
+  }
+
+  const std::vector<uint32_t>& runs_;
+  size_t index_ = 0;
+  uint32_t consumed_ = 0;
+};
+
+/// Appends `len` bits of `value` to an alternating-run vector.
+void AppendRun(std::vector<uint32_t>* runs, bool value, uint32_t len) {
+  if (len == 0) {
+    return;
+  }
+  if (runs->empty()) {
+    runs->push_back(0);  // Leading (possibly empty) 0-run.
+  }
+  const bool last_value = ((runs->size() - 1) & 1) != 0;
+  if (last_value == value) {
+    runs->back() += len;
+  } else {
+    runs->push_back(len);
+  }
+}
+
+}  // namespace
+
+RleBitmap RleBitmap::Compress(const BitVector& bits) {
+  RleBitmap out;
+  out.size_ = bits.size();
+  bool current = false;
+  uint32_t run = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    const bool bit = bits.Get(i);
+    if (bit == current) {
+      ++run;
+    } else {
+      AppendRun(&out.runs_, current, run);
+      current = bit;
+      run = 1;
+    }
+  }
+  AppendRun(&out.runs_, current, run);
+  out.Normalize();
+  return out;
+}
+
+RleBitmap RleBitmap::FromRuns(const std::vector<uint32_t>& runs) {
+  RleBitmap out;
+  out.runs_ = runs;
+  for (uint32_t r : runs) {
+    out.size_ += r;
+  }
+  out.Normalize();
+  return out;
+}
+
+BitVector RleBitmap::Decompress() const {
+  BitVector out(size_);
+  size_t pos = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const bool value = (i & 1) != 0;
+    if (value) {
+      for (uint32_t j = 0; j < runs_[i]; ++j) {
+        out.Set(pos + j);
+      }
+    }
+    pos += runs_[i];
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Op>
+RleBitmap Merge(const std::vector<uint32_t>& a_runs,
+                const std::vector<uint32_t>& b_runs, Op op) {
+  std::vector<uint32_t> out_runs;
+  RunCursor ca(a_runs);
+  RunCursor cb(b_runs);
+  while (!ca.Done() && !cb.Done()) {
+    const uint32_t step = std::min(ca.remaining(), cb.remaining());
+    AppendRun(&out_runs, op(ca.value(), cb.value()), step);
+    ca.Advance(step);
+    cb.Advance(step);
+  }
+  return RleBitmap::FromRuns(out_runs);
+}
+
+}  // namespace
+
+RleBitmap RleBitmap::And(const RleBitmap& a, const RleBitmap& b) {
+  return Merge(a.runs_, b.runs_, [](bool x, bool y) { return x && y; });
+}
+
+RleBitmap RleBitmap::Or(const RleBitmap& a, const RleBitmap& b) {
+  return Merge(a.runs_, b.runs_, [](bool x, bool y) { return x || y; });
+}
+
+RleBitmap RleBitmap::Not() const {
+  RleBitmap out;
+  out.size_ = size_;
+  out.runs_ = runs_;
+  // Complementing flips the role of even/odd runs; re-anchor by prepending
+  // an empty 0-run so former 0-runs land at odd positions.
+  out.runs_.insert(out.runs_.begin(), 0);
+  out.Normalize();
+  return out;
+}
+
+size_t RleBitmap::Count() const {
+  size_t count = 0;
+  for (size_t i = 1; i < runs_.size(); i += 2) {
+    count += runs_[i];
+  }
+  return count;
+}
+
+double RleBitmap::CompressionRatio() const {
+  if (SizeBytes() == 0) {
+    return 1.0;
+  }
+  const double plain = static_cast<double>((size_ + 7) / 8);
+  return plain / static_cast<double>(SizeBytes());
+}
+
+void RleBitmap::Normalize() {
+  std::vector<uint32_t> merged;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const bool value = (i & 1) != 0;
+    AppendRun(&merged, value, runs_[i]);
+    if (i == 0 && merged.empty()) {
+      merged.push_back(0);
+    }
+  }
+  // Drop the leading placeholder if nothing follows it.
+  if (merged.size() == 1 && merged[0] == 0) {
+    merged.clear();
+  }
+  runs_ = std::move(merged);
+}
+
+}  // namespace ebi

@@ -1,0 +1,71 @@
+#ifndef EBI_UTIL_RLE_BITMAP_H_
+#define EBI_UTIL_RLE_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace ebi {
+
+/// Run-length compressed bitmap.
+///
+/// Section 4 of the paper points at run-length compression as the standard
+/// remedy for the sparsity of simple bitmap indexes on high-cardinality
+/// attributes. This class stores a bitmap as alternating runs of 0s and 1s
+/// (the first run is a run of 0s and may be empty) and supports the logical
+/// operations used in query evaluation directly on the compressed form.
+class RleBitmap {
+ public:
+  RleBitmap() = default;
+
+  /// Compresses a plain bit vector.
+  static RleBitmap Compress(const BitVector& bits);
+
+  /// Builds directly from run lengths (alternating, starting with a 0-run).
+  /// The sum of the runs is the bitmap size.
+  static RleBitmap FromRuns(const std::vector<uint32_t>& runs);
+
+  /// Expands back to a plain bit vector.
+  BitVector Decompress() const;
+
+  /// Logical operations on the compressed form (two-pointer run merge).
+  /// Operands must have equal bit sizes.
+  static RleBitmap And(const RleBitmap& a, const RleBitmap& b);
+  static RleBitmap Or(const RleBitmap& a, const RleBitmap& b);
+  /// Complement.
+  RleBitmap Not() const;
+
+  /// Number of logical bits.
+  size_t size() const { return size_; }
+  /// Number of set bits, computed from the runs.
+  size_t Count() const;
+  /// Heap bytes of the run array: the compressed-size metric.
+  size_t SizeBytes() const { return runs_.size() * sizeof(uint32_t); }
+  /// Number of stored runs (after normalization).
+  size_t NumRuns() const { return runs_.size(); }
+
+  /// Compression ratio relative to the plain representation
+  /// (plain bytes / compressed bytes); > 1 means compression helped.
+  double CompressionRatio() const;
+
+  friend bool operator==(const RleBitmap& a, const RleBitmap& b) {
+    return a.size_ == b.size_ && a.runs_ == b.runs_;
+  }
+
+ private:
+  /// Merges adjacent equal-value runs and drops a trailing empty run; keeps
+  /// the invariant that runs_[0] is a (possibly empty) 0-run and all other
+  /// runs are non-empty.
+  void Normalize();
+
+  size_t size_ = 0;
+  /// Alternating run lengths; runs_[i] describes 0-bits for even i and
+  /// 1-bits for odd i.
+  std::vector<uint32_t> runs_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_UTIL_RLE_BITMAP_H_

@@ -1,0 +1,144 @@
+#ifndef EBI_UTIL_STATUS_H_
+#define EBI_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ebi {
+
+/// Error categories used across the library. The library does not use C++
+/// exceptions; every fallible operation returns a `Status` or a `Result<T>`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a short stable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type error carrier. An engaged non-OK `Status` holds a code and a
+/// human-readable message; the OK status is cheap to copy and compare.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "<CodeName>: <message>" ("OK" for the OK status).
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error holder, analogous to absl::StatusOr. Exactly one of the
+/// value and a non-OK status is engaged.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    // A Result must never hold an OK status without a value; degrade to an
+    // internal error so misuse is observable rather than undefined.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is engaged.
+};
+
+}  // namespace ebi
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define EBI_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ebi::Status ebi_status_internal_ = (expr);    \
+    if (!ebi_status_internal_.ok()) {               \
+      return ebi_status_internal_;                  \
+    }                                               \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs`.
+#define EBI_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  EBI_ASSIGN_OR_RETURN_IMPL_(                     \
+      EBI_STATUS_CONCAT_(ebi_result_, __LINE__), lhs, rexpr)
+
+#define EBI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define EBI_STATUS_CONCAT_(a, b) EBI_STATUS_CONCAT_IMPL_(a, b)
+#define EBI_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // EBI_UTIL_STATUS_H_

@@ -1,0 +1,61 @@
+#include "workload/generator.h"
+
+#include "util/random.h"
+
+namespace ebi {
+
+Result<std::unique_ptr<Table>> GenerateTable(
+    const std::string& name, size_t rows,
+    const std::vector<ColumnSpec>& columns, uint64_t seed) {
+  auto table = std::make_unique<Table>(name);
+  for (const ColumnSpec& spec : columns) {
+    if (spec.cardinality == 0) {
+      return Status::InvalidArgument("column " + spec.name +
+                                     " has zero cardinality");
+    }
+    EBI_RETURN_IF_ERROR(table->AddColumn(spec.name, Column::Type::kInt64));
+  }
+
+  // One generator per column so column streams are independent of each
+  // other and of column order.
+  std::vector<Rng> rngs;
+  std::vector<std::unique_ptr<ZipfGenerator>> zipfs;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    rngs.emplace_back(seed + 0x1000 * (c + 1));
+    if (columns[c].distribution == Distribution::kZipf) {
+      zipfs.push_back(std::make_unique<ZipfGenerator>(
+          columns[c].cardinality, columns[c].zipf_theta,
+          seed + 0x2000 * (c + 1)));
+    } else {
+      zipfs.push_back(nullptr);
+    }
+  }
+
+  std::vector<Value> row(columns.size());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const ColumnSpec& spec = columns[c];
+      if (spec.null_fraction > 0.0 && rngs[c].Bernoulli(spec.null_fraction)) {
+        row[c] = Value::Null();
+        continue;
+      }
+      int64_t v = 0;
+      switch (spec.distribution) {
+        case Distribution::kUniform:
+          v = static_cast<int64_t>(rngs[c].UniformInt(spec.cardinality));
+          break;
+        case Distribution::kZipf:
+          v = static_cast<int64_t>(zipfs[c]->Next());
+          break;
+        case Distribution::kRoundRobin:
+          v = static_cast<int64_t>(r % spec.cardinality);
+          break;
+      }
+      row[c] = Value::Int(v);
+    }
+    EBI_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace ebi

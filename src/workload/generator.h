@@ -1,0 +1,43 @@
+#ifndef EBI_WORKLOAD_GENERATOR_H_
+#define EBI_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Value distribution of a generated column.
+enum class Distribution {
+  kUniform,
+  /// Zipf-skewed (theta ~ 1), the DW-typical skew the range-based bitmap
+  /// index of [19] is designed around.
+  kZipf,
+  /// Round-robin 0,1,...,m-1,0,1,... — every value occurs, evenly.
+  kRoundRobin,
+};
+
+/// Specification of one synthetic integer column.
+struct ColumnSpec {
+  std::string name;
+  /// Values are drawn from [0, cardinality).
+  size_t cardinality = 100;
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 1.0;
+  /// Fraction of NULL cells.
+  double null_fraction = 0.0;
+};
+
+/// Generates a table of `rows` rows with the given integer columns,
+/// deterministically from `seed`.
+Result<std::unique_ptr<Table>> GenerateTable(
+    const std::string& name, size_t rows,
+    const std::vector<ColumnSpec>& columns, uint64_t seed);
+
+}  // namespace ebi
+
+#endif  // EBI_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,47 @@
+#include "workload/query_mix.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace ebi {
+
+std::vector<Predicate> GenerateQueryMix(const std::string& column_name,
+                                        size_t cardinality,
+                                        const QueryMixConfig& config) {
+  std::vector<Predicate> queries;
+  queries.reserve(config.num_queries);
+  Rng rng(config.seed);
+  const size_t max_delta =
+      std::min(std::max<size_t>(config.max_delta, 2), cardinality);
+  const size_t min_delta = std::clamp<size_t>(config.min_delta, 2, max_delta);
+
+  for (size_t q = 0; q < config.num_queries; ++q) {
+    if (!rng.Bernoulli(config.range_fraction)) {
+      // Point query.
+      queries.push_back(Predicate::Eq(
+          column_name,
+          Value::Int(static_cast<int64_t>(rng.UniformInt(cardinality)))));
+      continue;
+    }
+    const size_t delta = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(min_delta),
+                         static_cast<int64_t>(max_delta)));
+    const int64_t lo = static_cast<int64_t>(
+        rng.UniformInt(cardinality - delta + 1));
+    if (rng.Bernoulli(config.in_list_fraction)) {
+      std::vector<Value> values;
+      values.reserve(delta);
+      for (size_t i = 0; i < delta; ++i) {
+        values.push_back(Value::Int(lo + static_cast<int64_t>(i)));
+      }
+      queries.push_back(Predicate::In(column_name, std::move(values)));
+    } else {
+      queries.push_back(Predicate::Between(
+          column_name, lo, lo + static_cast<int64_t>(delta) - 1));
+    }
+  }
+  return queries;
+}
+
+}  // namespace ebi

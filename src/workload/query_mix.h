@@ -1,0 +1,36 @@
+#ifndef EBI_WORKLOAD_QUERY_MIX_H_
+#define EBI_WORKLOAD_QUERY_MIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/column.h"
+
+namespace ebi {
+
+/// Configuration of a synthetic selection workload against one integer
+/// column with values in [0, cardinality).
+struct QueryMixConfig {
+  size_t num_queries = 100;
+  /// Fraction of range-search queries (range predicates and IN-lists).
+  /// Defaults to the paper's TPC-D observation: 12 of 17 query types
+  /// involve range search (Section 3.2).
+  double range_fraction = 12.0 / 17.0;
+  /// Among range searches, fraction expressed as IN-lists (vs BETWEEN).
+  double in_list_fraction = 0.3;
+  /// Range widths δ are drawn uniformly from [min_delta, max_delta].
+  size_t min_delta = 2;
+  size_t max_delta = 64;
+  uint64_t seed = 7;
+};
+
+/// Generates a deterministic mix of point and range selections on
+/// `column_name`, whose domain is [0, cardinality).
+std::vector<Predicate> GenerateQueryMix(const std::string& column_name,
+                                        size_t cardinality,
+                                        const QueryMixConfig& config);
+
+}  // namespace ebi
+
+#endif  // EBI_WORKLOAD_QUERY_MIX_H_

@@ -1,0 +1,141 @@
+#include "workload/star_schema.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace ebi {
+
+namespace {
+
+/// Figure 5(a)'s memberships for exactly 12 branches (ValueIds 0-11 for
+/// branches 1-12); otherwise consecutive chunks.
+Status BuildHierarchy(size_t num_branches, Hierarchy* hierarchy) {
+  HierarchyLevel company{"company", {}};
+  HierarchyLevel alliance{"alliance", {}};
+  if (num_branches == 12) {
+    company.groups = {
+        {"a", {0, 1, 2, 3}},  {"b", {4, 5}},
+        {"c", {6, 7}},        {"d", {2, 3, 8, 9}},
+        {"e", {8, 9, 10, 11}},
+    };
+    alliance.groups = {
+        {"X", {0, 1, 2, 3, 4, 5, 6, 7}},  // companies a, b, c.
+        {"Y", {6, 7, 2, 3, 8, 9}},        // companies c, d.
+        {"Z", {2, 3, 8, 9, 10, 11}},      // companies d, e.
+    };
+  } else {
+    // Generic shape: companies of 4 consecutive branches, alliances of 3
+    // consecutive companies.
+    std::vector<std::vector<ValueId>> companies;
+    for (size_t start = 0; start < num_branches; start += 4) {
+      std::vector<ValueId> members;
+      for (size_t b = start; b < std::min(start + 4, num_branches); ++b) {
+        members.push_back(static_cast<ValueId>(b));
+      }
+      company.groups.push_back(
+          {"company" + std::to_string(companies.size()), members});
+      companies.push_back(std::move(members));
+    }
+    for (size_t start = 0; start < companies.size(); start += 3) {
+      std::vector<ValueId> members;
+      for (size_t c = start; c < std::min(start + 3, companies.size());
+           ++c) {
+        members.insert(members.end(), companies[c].begin(),
+                       companies[c].end());
+      }
+      alliance.groups.push_back(
+          {"alliance" + std::to_string(start / 3), std::move(members)});
+    }
+  }
+  EBI_RETURN_IF_ERROR(hierarchy->AddLevel(std::move(company)));
+  EBI_RETURN_IF_ERROR(hierarchy->AddLevel(std::move(alliance)));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StarSchema>> BuildStarSchema(
+    const StarSchemaConfig& config) {
+  if (config.num_products == 0 || config.num_branches == 0 ||
+      config.num_days == 0) {
+    return Status::InvalidArgument("star schema dimensions must be > 0");
+  }
+  const size_t seeding_rows =
+      std::max(config.num_products, config.num_branches);
+  if (config.fact_rows < seeding_rows) {
+    return Status::InvalidArgument(
+        "fact_rows must be at least max(num_products, num_branches) so "
+        "every dimension member occurs");
+  }
+
+  auto schema = std::make_unique<StarSchema>();
+
+  // PRODUCTS dimension.
+  EBI_ASSIGN_OR_RETURN(schema->products,
+                       schema->catalog.CreateTable("PRODUCTS"));
+  EBI_RETURN_IF_ERROR(
+      schema->products->AddColumn("product_id", Column::Type::kInt64));
+  EBI_RETURN_IF_ERROR(
+      schema->products->AddColumn("category", Column::Type::kInt64));
+  for (size_t p = 0; p < config.num_products; ++p) {
+    EBI_RETURN_IF_ERROR(schema->products->AppendRow(
+        {Value::Int(static_cast<int64_t>(p)),
+         Value::Int(static_cast<int64_t>(p / 50))}));
+  }
+
+  // SALESPOINT dimension with the Figure 4/5 hierarchy.
+  EBI_ASSIGN_OR_RETURN(schema->salespoints,
+                       schema->catalog.CreateTable("SALESPOINT"));
+  EBI_RETURN_IF_ERROR(
+      schema->salespoints->AddColumn("branch_id", Column::Type::kInt64));
+  schema->salespoint_hierarchy = Hierarchy(config.num_branches);
+  EBI_RETURN_IF_ERROR(
+      BuildHierarchy(config.num_branches, &schema->salespoint_hierarchy));
+  for (size_t b = 0; b < config.num_branches; ++b) {
+    EBI_RETURN_IF_ERROR(schema->salespoints->AppendRow(
+        {Value::Int(static_cast<int64_t>(b))}));
+  }
+
+  // SALES fact table. The first max(P, B) rows sweep the dimension keys
+  // round-robin so every fact column's ValueId equals the key value —
+  // hierarchy member sets (ValueId-based) then apply directly to indexes
+  // on the fact columns.
+  EBI_ASSIGN_OR_RETURN(schema->sales, schema->catalog.CreateTable("SALES"));
+  EBI_RETURN_IF_ERROR(
+      schema->sales->AddColumn("product", Column::Type::kInt64));
+  EBI_RETURN_IF_ERROR(
+      schema->sales->AddColumn("branch", Column::Type::kInt64));
+  EBI_RETURN_IF_ERROR(schema->sales->AddColumn("day", Column::Type::kInt64));
+  EBI_RETURN_IF_ERROR(
+      schema->sales->AddColumn("quantity", Column::Type::kInt64));
+
+  Rng rng(config.seed);
+  ZipfGenerator product_zipf(config.num_products, config.product_zipf_theta,
+                             config.seed + 17);
+  for (size_t r = 0; r < config.fact_rows; ++r) {
+    int64_t product;
+    int64_t branch;
+    if (r < seeding_rows) {
+      product = static_cast<int64_t>(r % config.num_products);
+      branch = static_cast<int64_t>(r % config.num_branches);
+    } else {
+      product = static_cast<int64_t>(product_zipf.Next());
+      branch = static_cast<int64_t>(rng.UniformInt(config.num_branches));
+    }
+    const int64_t day =
+        static_cast<int64_t>(rng.UniformInt(config.num_days));
+    const int64_t quantity = rng.UniformRange(1, 100);
+    EBI_RETURN_IF_ERROR(schema->sales->AppendRow(
+        {Value::Int(product), Value::Int(branch), Value::Int(day),
+         Value::Int(quantity)}));
+  }
+
+  EBI_RETURN_IF_ERROR(schema->catalog.AddForeignKey(
+      {"SALES", "product", "PRODUCTS", "product_id"}));
+  EBI_RETURN_IF_ERROR(schema->catalog.AddForeignKey(
+      {"SALES", "branch", "SALESPOINT", "branch_id"}));
+  return schema;
+}
+
+}  // namespace ebi

@@ -1,0 +1,47 @@
+#ifndef EBI_WORKLOAD_STAR_SCHEMA_H_
+#define EBI_WORKLOAD_STAR_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "encoding/hierarchy.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Configuration of the synthetic SALES star schema (the running example
+/// of Sections 2.2/2.3: a SALES fact table, a PRODUCTS dimension, and a
+/// SALESPOINT dimension carrying the branch/company/alliance hierarchy of
+/// Figures 4 and 5).
+struct StarSchemaConfig {
+  size_t fact_rows = 10000;
+  /// Distinct products (the paper's motivating example uses 12000).
+  size_t num_products = 1000;
+  /// Branches; 12 reproduces Figure 5's hierarchy exactly.
+  size_t num_branches = 12;
+  size_t num_days = 365;
+  double product_zipf_theta = 0.5;
+  uint64_t seed = 1998;
+};
+
+/// The generated schema: tables owned by the catalog plus the SALESPOINT
+/// hierarchy metadata.
+struct StarSchema {
+  Catalog catalog;
+  Table* sales = nullptr;        // product, branch, day, quantity.
+  Table* products = nullptr;     // product_id, category.
+  Table* salespoints = nullptr;  // branch_id, company, alliance.
+  Hierarchy salespoint_hierarchy{0};
+};
+
+/// Builds the schema deterministically. With num_branches == 12 the
+/// company/alliance memberships are exactly Figure 5(a) — including the
+/// m:N edges (branches 3,4 in companies a and d; company c in alliances
+/// X and Y; company d in Y and Z).
+Result<std::unique_ptr<StarSchema>> BuildStarSchema(
+    const StarSchemaConfig& config);
+
+}  // namespace ebi
+
+#endif  // EBI_WORKLOAD_STAR_SCHEMA_H_

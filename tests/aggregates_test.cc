@@ -1,0 +1,122 @@
+#include "query/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+
+class AggregatesTest : public ::testing::Test {
+ protected:
+  void Init(std::unique_ptr<Table> table) {
+    table_ = std::move(table);
+    index_ = std::make_unique<BitSlicedIndex>(&table_->column(0),
+                                              &table_->existence(), &io_);
+    ASSERT_TRUE(index_->Build().ok());
+  }
+
+  IoAccountant io_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<BitSlicedIndex> index_;
+};
+
+TEST_F(AggregatesTest, CountRows) {
+  BitVector rows(10);
+  rows.Set(1);
+  rows.Set(5);
+  EXPECT_EQ(CountRows(rows), 2u);
+}
+
+TEST_F(AggregatesTest, SumBitSlicedMatchesScan) {
+  Init(IntTable({3, 14, 15, 92, 65, 35}));
+  BitVector rows(6, true);
+  const auto sliced = SumBitSliced(index_.get(), rows);
+  const auto scanned = SumByScan(table_->column(0), rows);
+  ASSERT_TRUE(sliced.ok());
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(*sliced, *scanned);
+  EXPECT_EQ(*sliced, 3 + 14 + 15 + 92 + 65 + 35);
+}
+
+TEST_F(AggregatesTest, SumOverSelection) {
+  Init(IntTable({10, 20, 30, 40}));
+  BitVector rows(4);
+  rows.Set(1);
+  rows.Set(2);
+  EXPECT_EQ(*SumBitSliced(index_.get(), rows), 50);
+}
+
+TEST_F(AggregatesTest, AvgBitSliced) {
+  Init(IntTable({10, 20, 30, 40}));
+  BitVector all(4, true);
+  bool empty = true;
+  const auto avg = AvgBitSliced(index_.get(), all, &empty);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_FALSE(empty);
+  EXPECT_DOUBLE_EQ(*avg, 25.0);
+}
+
+TEST_F(AggregatesTest, AvgOfEmptySelection) {
+  Init(IntTable({10, 20}));
+  bool empty = false;
+  const auto avg = AvgBitSliced(index_.get(), BitVector(2), &empty);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_TRUE(empty);
+  EXPECT_DOUBLE_EQ(*avg, 0.0);
+}
+
+TEST_F(AggregatesTest, SumByScanSkipsNulls) {
+  auto table = IntTable({5, INT64_MIN, 7});
+  BitVector rows(3, true);
+  rows.Reset(1);
+  EXPECT_EQ(*SumByScan(table->column(0), rows), 12);
+}
+
+TEST_F(AggregatesTest, RandomizedSumAgreement) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Init(RandomIntTable(500, 1000, seed));
+    Rng rng(seed + 9);
+    BitVector rows(500);
+    for (size_t i = 0; i < 500; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        rows.Set(i);
+      }
+    }
+    EXPECT_EQ(*SumBitSliced(index_.get(), rows),
+              *SumByScan(table_->column(0), rows))
+        << seed;
+  }
+}
+
+TEST_F(AggregatesTest, MinMaxMedianWrappers) {
+  Init(IntTable({8, 3, 11, 6, 9}));
+  BitVector all(5, true);
+  EXPECT_EQ(*MinBitSliced(index_.get(), all), 3);
+  EXPECT_EQ(*MaxBitSliced(index_.get(), all), 11);
+  EXPECT_EQ(*MedianBitSliced(index_.get(), all), 8);
+}
+
+TEST_F(AggregatesTest, MedianOverSelection) {
+  Init(IntTable({1, 100, 2, 100, 3}));
+  BitVector odds(5);
+  odds.Set(0);
+  odds.Set(2);
+  odds.Set(4);
+  EXPECT_EQ(*MedianBitSliced(index_.get(), odds), 2);
+}
+
+TEST_F(AggregatesTest, SumOnStringColumnRejected) {
+  Table table("T");
+  ASSERT_TRUE(table.AddColumn("s", Column::Type::kString).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Str("x")}).ok());
+  BitVector rows(1, true);
+  EXPECT_EQ(SumByScan(table.column(0), rows).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,157 @@
+#include "index/base_bit_sliced_index.h"
+
+#include <gtest/gtest.h>
+
+#include "index/bit_sliced_index.h"
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+using testing_util::ScanEquals;
+using testing_util::ScanRange;
+
+class BaseBitSlicedIndexTest : public ::testing::Test {
+ protected:
+  void Init(std::unique_ptr<Table> table, uint32_t base = 10) {
+    table_ = std::move(table);
+    BaseBitSlicedIndexOptions options;
+    options.base = base;
+    index_ = std::make_unique<BaseBitSlicedIndex>(
+        &table_->column(0), &table_->existence(), &io_, options);
+    ASSERT_TRUE(index_->Build().ok());
+  }
+
+  IoAccountant io_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<BaseBitSlicedIndex> index_;
+};
+
+TEST_F(BaseBitSlicedIndexTest, DigitAndVectorCounts) {
+  // Values 0..99 in base 10: 2 digit positions, 20 vectors.
+  Init(IntTable({0, 37, 99, 50}));
+  EXPECT_EQ(index_->NumDigits(), 2u);
+  EXPECT_EQ(index_->NumVectors(), 20u);
+  EXPECT_EQ(index_->Name(), "bit-sliced-base10");
+}
+
+TEST_F(BaseBitSlicedIndexTest, EqualsReadsOneVectorPerDigit) {
+  Init(IntTable({0, 37, 99, 50, 37}));
+  io_.Reset();
+  const auto result = index_->EvaluateEquals(Value::Int(37));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "01001");
+  // 2 digit vectors + existence.
+  EXPECT_EQ(io_.stats().vectors_read, 3u);
+}
+
+TEST_F(BaseBitSlicedIndexTest, EqualsMatchesScan) {
+  Init(IntTable({9, 4, 6, 2, 8, 0, 3, 7, 5, 1, 42, 100}));
+  for (int64_t v = -1; v <= 101; v += 7) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+}
+
+TEST_F(BaseBitSlicedIndexTest, RangeMatchesScanExhaustively) {
+  Init(IntTable({19, 4, 16, 2, 8, 0, 13, 7, 5, 11}), /*base=*/4);
+  for (int64_t lo = -2; lo <= 20; lo += 3) {
+    for (int64_t hi = lo; hi <= 22; hi += 4) {
+      const auto result = index_->EvaluateRange(lo, hi);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(*result, ScanRange(*table_, table_->column(0), lo, hi))
+          << lo << ".." << hi;
+    }
+  }
+}
+
+TEST_F(BaseBitSlicedIndexTest, AgreesWithBinarySlices) {
+  auto table = RandomIntTable(500, 1000, 3, 0.05);
+  IoAccountant io;
+  BaseBitSlicedIndexOptions options;
+  options.base = 10;
+  BaseBitSlicedIndex decimal(&table->column(0), &table->existence(), &io,
+                             options);
+  BitSlicedIndex binary(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(decimal.Build().ok());
+  ASSERT_TRUE(binary.Build().ok());
+  Rng rng(9);
+  for (int q = 0; q < 20; ++q) {
+    const int64_t lo = static_cast<int64_t>(rng.UniformInt(1000));
+    const int64_t hi = lo + static_cast<int64_t>(rng.UniformInt(200));
+    const auto a = decimal.EvaluateRange(lo, hi);
+    const auto b = binary.EvaluateRange(lo, hi);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << lo << ".." << hi;
+  }
+}
+
+TEST_F(BaseBitSlicedIndexTest, BaseTradesSpaceForPointCost) {
+  auto table = RandomIntTable(2000, 900, 5);
+  IoAccountant io10;
+  IoAccountant io2;
+  BaseBitSlicedIndexOptions d10;
+  d10.base = 10;
+  BaseBitSlicedIndex decimal(&table->column(0), &table->existence(), &io10,
+                             d10);
+  BitSlicedIndex binary(&table->column(0), &table->existence(), &io2);
+  ASSERT_TRUE(decimal.Build().ok());
+  ASSERT_TRUE(binary.Build().ok());
+  // Base 10 holds more vectors (3 digits * 10 = 30 vs 10 binary slices)...
+  EXPECT_GT(decimal.NumVectors(), binary.NumVectors());
+  // ...but answers a point query from fewer reads (3+1 vs 10+1).
+  const Value probe = table->column(0).ValueAt(0);
+  io10.Reset();
+  io2.Reset();
+  ASSERT_TRUE(decimal.EvaluateEquals(probe).ok());
+  ASSERT_TRUE(binary.EvaluateEquals(probe).ok());
+  EXPECT_LT(io10.stats().vectors_read, io2.stats().vectors_read);
+}
+
+TEST_F(BaseBitSlicedIndexTest, AppendWithinAndBeyondRange) {
+  Init(IntTable({5, 17, 63}), /*base=*/8);
+  EXPECT_EQ(index_->NumDigits(), 2u);
+  ASSERT_TRUE(table_->AppendRow({Value::Int(40)}).ok());
+  ASSERT_TRUE(index_->Append(3).ok());
+  // A value beyond base^digits grows a digit position.
+  ASSERT_TRUE(table_->AppendRow({Value::Int(100)}).ok());
+  ASSERT_TRUE(index_->Append(4).ok());
+  EXPECT_EQ(index_->NumDigits(), 3u);
+  for (int64_t v : {5, 17, 63, 40, 100}) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+}
+
+TEST_F(BaseBitSlicedIndexTest, DeletedAndNullRowsMasked) {
+  Init(IntTable({7, INT64_MIN, 7}));
+  ASSERT_TRUE(table_->DeleteRow(0).ok());
+  const auto result = index_->EvaluateEquals(Value::Int(7));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "001");
+}
+
+TEST_F(BaseBitSlicedIndexTest, InvalidBaseRejected) {
+  auto table = IntTable({1});
+  IoAccountant io;
+  BaseBitSlicedIndexOptions options;
+  options.base = 1;
+  BaseBitSlicedIndex index(&table->column(0), &table->existence(), &io,
+                           options);
+  EXPECT_EQ(index.Build().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BaseBitSlicedIndexTest, NegativeValuesViaBias) {
+  Init(IntTable({-50, 0, 49}));
+  const auto result = index_->EvaluateRange(-10, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "010");
+}
+
+}  // namespace
+}  // namespace ebi

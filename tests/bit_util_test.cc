@@ -1,0 +1,84 @@
+#include "util/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ebi {
+namespace {
+
+TEST(BitUtilTest, Log2CeilSmall) {
+  EXPECT_EQ(Log2Ceil(0), 0);
+  EXPECT_EQ(Log2Ceil(1), 1);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+}
+
+TEST(BitUtilTest, Log2CeilPaperExamples) {
+  // Section 2.2: 12000 products need ceil(log2 12000) = 14 vectors; a
+  // domain of 3 needs 2.
+  EXPECT_EQ(Log2Ceil(12000), 14);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(50), 6);
+  EXPECT_EQ(Log2Ceil(1000), 10);
+}
+
+TEST(BitUtilTest, Log2CeilPowersOfTwo) {
+  for (int p = 1; p < 60; ++p) {
+    const uint64_t v = uint64_t{1} << p;
+    EXPECT_EQ(Log2Ceil(v), p) << v;
+    EXPECT_EQ(Log2Ceil(v + 1), p + 1) << v + 1;
+  }
+}
+
+TEST(BitUtilTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(1023), 9);
+  EXPECT_EQ(Log2Floor(1024), 10);
+}
+
+TEST(BitUtilTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(0xFF), 8);
+  EXPECT_EQ(PopCount(~uint64_t{0}), 64);
+}
+
+TEST(BitUtilTest, BinaryDistanceDefinition22) {
+  // Paper example after Definition 2.2: lambda(011, 111) = 1.
+  EXPECT_EQ(BinaryDistance(0b011, 0b111), 1);
+  EXPECT_EQ(BinaryDistance(0b000, 0b111), 3);
+  EXPECT_EQ(BinaryDistance(5, 5), 0);
+}
+
+TEST(BitUtilTest, BinaryDistanceSymmetric) {
+  EXPECT_EQ(BinaryDistance(0b1010, 0b0110),
+            BinaryDistance(0b0110, 0b1010));
+}
+
+TEST(BitUtilTest, GrayCodeAdjacency) {
+  for (uint64_t i = 0; i + 1 < 1024; ++i) {
+    EXPECT_EQ(BinaryDistance(BinaryToGray(i), BinaryToGray(i + 1)), 1) << i;
+  }
+}
+
+TEST(BitUtilTest, GrayCodeIsPermutation) {
+  std::vector<bool> seen(256, false);
+  for (uint64_t i = 0; i < 256; ++i) {
+    const uint64_t g = BinaryToGray(i);
+    ASSERT_LT(g, 256u);
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+}
+
+TEST(BitUtilTest, GrayRoundTrip) {
+  for (uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(GrayToBinary(BinaryToGray(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,183 @@
+#include "index/btree_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+using testing_util::ScanEquals;
+using testing_util::ScanRange;
+
+class BTreeIndexTest : public ::testing::Test {
+ protected:
+  void Init(std::unique_ptr<Table> table, size_t page_size = 4096) {
+    table_ = std::move(table);
+    io_ = std::make_unique<IoAccountant>(page_size);
+    index_ = std::make_unique<BTreeIndex>(&table_->column(0),
+                                          &table_->existence(), io_.get());
+    ASSERT_TRUE(index_->Build().ok());
+  }
+
+  std::unique_ptr<IoAccountant> io_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<BTreeIndex> index_;
+};
+
+TEST_F(BTreeIndexTest, EqualsMatchesScan) {
+  Init(IntTable({4, 2, 4, 6, 2, 4}));
+  for (int64_t v : {2, 4, 6, 9}) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+}
+
+TEST_F(BTreeIndexTest, RangeMatchesScan) {
+  Init(IntTable({9, 4, 6, 2, 8, 0, 3, 7, 5, 1}));
+  for (int64_t lo = 0; lo <= 9; lo += 3) {
+    for (int64_t hi = lo; hi <= 10; hi += 2) {
+      const auto result = index_->EvaluateRange(lo, hi);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(*result, ScanRange(*table_, table_->column(0), lo, hi))
+          << lo << ".." << hi;
+    }
+  }
+}
+
+TEST_F(BTreeIndexTest, SmallPageSizeForcesMultiLevelTree) {
+  // Page 64 B -> fanout 4: 300 keys need height >= 3.
+  Init(RandomIntTable(600, 300, 1), /*page_size=*/64);
+  EXPECT_EQ(index_->Fanout(), 4u);
+  EXPECT_GE(index_->Height(), 3u);
+  EXPECT_GT(index_->NumNodes(), 75u);
+  for (int64_t v = 0; v < 300; v += 37) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+}
+
+TEST_F(BTreeIndexTest, PointLookupChargesHeightNodes) {
+  Init(RandomIntTable(600, 300, 2), /*page_size=*/64);
+  io_->Reset();
+  // Query a value that certainly occurs so the descent actually runs.
+  ASSERT_TRUE(index_->EvaluateEquals(table_->column(0).ValueAt(0)).ok());
+  EXPECT_EQ(io_->stats().nodes_read, index_->Height());
+}
+
+TEST_F(BTreeIndexTest, InListChargesOneDescentPerValue) {
+  // Section 2.1: compound selections need one full probe per value — no
+  // bitmap cooperativity.
+  Init(RandomIntTable(600, 300, 3), /*page_size=*/64);
+  io_->Reset();
+  const Column& col = table_->column(0);
+  ASSERT_TRUE(index_
+                  ->EvaluateIn({col.ValueAt(0), col.ValueAt(1),
+                                col.ValueAt(2)})
+                  .ok());
+  EXPECT_EQ(io_->stats().nodes_read, 3 * index_->Height());
+}
+
+TEST_F(BTreeIndexTest, InsertWithSplitsStaysCorrect) {
+  // Start small and append novel keys until multiple splits happen.
+  Init(IntTable({0}), /*page_size=*/64);
+  for (int64_t v = 1; v < 200; ++v) {
+    ASSERT_TRUE(table_->AppendRow({Value::Int(v * 7 % 200)}).ok());
+    ASSERT_TRUE(index_->Append(static_cast<size_t>(v)).ok());
+  }
+  EXPECT_GE(index_->Height(), 2u);
+  for (int64_t v = 0; v < 200; v += 23) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+}
+
+TEST_F(BTreeIndexTest, AppendExistingKeyExtendsPosting) {
+  Init(IntTable({5, 6}));
+  ASSERT_TRUE(table_->AppendRow({Value::Int(5)}).ok());
+  ASSERT_TRUE(index_->Append(2).ok());
+  const auto result = index_->EvaluateEquals(Value::Int(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "101");
+}
+
+TEST_F(BTreeIndexTest, DeletedRowsFilteredAtEmit) {
+  Init(IntTable({5, 5, 5}));
+  ASSERT_TRUE(table_->DeleteRow(1).ok());
+  const auto result = index_->EvaluateEquals(Value::Int(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "101");
+}
+
+TEST_F(BTreeIndexTest, NullKeysSkipped) {
+  Init(IntTable({1, INT64_MIN, 2}));
+  const auto result = index_->EvaluateRange(0, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "101");
+}
+
+TEST_F(BTreeIndexTest, StringColumnLookups) {
+  auto table = std::make_unique<Table>("T");
+  ASSERT_TRUE(table->AddColumn("s", Column::Type::kString).ok());
+  for (const char* s : {"pear", "apple", "fig", "apple", "date"}) {
+    ASSERT_TRUE(table->AppendRow({Value::Str(s)}).ok());
+  }
+  table_ = std::move(table);
+  io_ = std::make_unique<IoAccountant>();
+  index_ = std::make_unique<BTreeIndex>(&table_->column(0),
+                                        &table_->existence(), io_.get());
+  ASSERT_TRUE(index_->Build().ok());
+  const auto result = index_->EvaluateEquals(Value::Str("apple"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "01010");
+  // Ranges over strings are rejected.
+  EXPECT_EQ(index_->EvaluateRange(0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BTreeIndexTest, EmptyColumnBuilds) {
+  auto table = std::make_unique<Table>("T");
+  ASSERT_TRUE(table->AddColumn("a", Column::Type::kInt64).ok());
+  table_ = std::move(table);
+  io_ = std::make_unique<IoAccountant>();
+  index_ = std::make_unique<BTreeIndex>(&table_->column(0),
+                                        &table_->existence(), io_.get());
+  ASSERT_TRUE(index_->Build().ok());
+  const auto result = index_->EvaluateEquals(Value::Int(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->IsZero());
+}
+
+TEST_F(BTreeIndexTest, SizeIncludesNodesAndPostings) {
+  Init(RandomIntTable(1000, 50, 4));
+  EXPECT_GE(index_->SizeBytes(),
+            index_->NumNodes() * io_->page_size() +
+                1000 * sizeof(uint32_t));
+}
+
+TEST_F(BTreeIndexTest, RandomizedAgreementAfterMixedAppends) {
+  Init(RandomIntTable(300, 80, 5), /*page_size=*/128);
+  Rng rng(123);
+  for (size_t r = 300; r < 500; ++r) {
+    ASSERT_TRUE(
+        table_->AppendRow({Value::Int(static_cast<int64_t>(
+            rng.UniformInt(120)))}).ok());
+    ASSERT_TRUE(index_->Append(r).ok());
+  }
+  for (int64_t v = 0; v < 120; v += 11) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+  const auto range = index_->EvaluateRange(30, 90);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, ScanRange(*table_, table_->column(0), 30, 90));
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,68 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace ebi {
+namespace {
+
+Catalog MakeStar() {
+  Catalog catalog;
+  Table* fact = *catalog.CreateTable("SALES");
+  EXPECT_TRUE(fact->AddColumn("product", Column::Type::kInt64).ok());
+  Table* dim = *catalog.CreateTable("PRODUCTS");
+  EXPECT_TRUE(dim->AddColumn("product_id", Column::Type::kInt64).ok());
+  return catalog;
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  const auto t = catalog.CreateTable("T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "T");
+  EXPECT_TRUE(catalog.GetTable("T").ok());
+  EXPECT_EQ(catalog.GetTable("X").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.CreateTable("T").ok());
+  EXPECT_EQ(catalog.CreateTable("T").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog catalog = MakeStar();
+  EXPECT_TRUE(
+      catalog
+          .AddForeignKey({"SALES", "product", "PRODUCTS", "product_id"})
+          .ok());
+  EXPECT_FALSE(
+      catalog.AddForeignKey({"SALES", "nope", "PRODUCTS", "product_id"})
+          .ok());
+  EXPECT_FALSE(
+      catalog.AddForeignKey({"NOPE", "product", "PRODUCTS", "product_id"})
+          .ok());
+  EXPECT_EQ(catalog.foreign_keys().size(), 1u);
+}
+
+TEST(CatalogTest, DimensionsOf) {
+  Catalog catalog = MakeStar();
+  ASSERT_TRUE(
+      catalog
+          .AddForeignKey({"SALES", "product", "PRODUCTS", "product_id"})
+          .ok());
+  const auto dims = catalog.DimensionsOf("SALES");
+  ASSERT_EQ(dims.size(), 1u);
+  EXPECT_EQ(dims[0]->name(), "PRODUCTS");
+  EXPECT_TRUE(catalog.DimensionsOf("PRODUCTS").empty());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.CreateTable("b").ok());
+  EXPECT_TRUE(catalog.CreateTable("a").ok());
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace ebi

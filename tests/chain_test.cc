@@ -1,0 +1,112 @@
+#include "encoding/chain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ebi {
+namespace {
+
+TEST(ChainTest, PaperPrimeChainExample) {
+  // After Definition 2.4: <000, 100, 110, 010> is a prime chain on
+  // {000, 110, 010, 100}.
+  const std::vector<uint64_t> seq = {0b000, 0b100, 0b110, 0b010};
+  EXPECT_TRUE(IsChain(seq));
+  EXPECT_TRUE(IsPrimeChain(seq));
+}
+
+TEST(ChainTest, PaperNoChainExample) {
+  // "no chain can be defined on {001, 011, 111}".
+  EXPECT_FALSE(FindChain({0b001, 0b011, 0b111}).has_value());
+}
+
+TEST(ChainTest, IsChainRejectsNonAdjacentStep) {
+  EXPECT_FALSE(IsChain({0b000, 0b011, 0b010}));
+}
+
+TEST(ChainTest, IsChainRejectsOpenCycle) {
+  // 00 -> 01 -> 11 is a path, but 11 -> 00 has distance 2.
+  EXPECT_FALSE(IsChain({0b00, 0b01, 0b11}));
+}
+
+TEST(ChainTest, IsChainRejectsDuplicates) {
+  EXPECT_FALSE(IsChain({0b00, 0b01, 0b00, 0b01}));
+}
+
+TEST(ChainTest, TwoElementChain) {
+  // n = 2: forward and wrap-around edges coincide; still a chain.
+  EXPECT_TRUE(IsChain({0b101, 0b100}));
+  EXPECT_TRUE(IsPrimeChain({0b101, 0b100}));
+}
+
+TEST(ChainTest, FindChainOnGrayCycle) {
+  const std::vector<uint64_t> codes = {0b00, 0b01, 0b11, 0b10};
+  const auto chain = FindChain(codes);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_TRUE(IsChain(*chain));
+  // Same code set.
+  std::vector<uint64_t> sorted = *chain;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<uint64_t> expected = codes;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(ChainTest, FindChainRejectsOddSets) {
+  // The hypercube is bipartite: odd cycles are impossible.
+  EXPECT_FALSE(FindChain({0b000, 0b001, 0b011, 0b010, 0b110}).has_value());
+}
+
+TEST(ChainTest, FindChainRejectsUnbalancedParity) {
+  // Four codewords of even parity only: no distance-1 edges at all.
+  EXPECT_FALSE(FindChain({0b000, 0b011, 0b101, 0b110}).has_value());
+}
+
+TEST(ChainTest, PrimeChainRequiresPowerOfTwo) {
+  EXPECT_FALSE(IsPrimeChain({0b000, 0b001, 0b011, 0b010, 0b110, 0b111}));
+  EXPECT_FALSE(
+      FindPrimeChain({0b000, 0b001, 0b011, 0b010, 0b110, 0b111}).has_value());
+}
+
+TEST(ChainTest, PrimeChainRequiresDistanceBound) {
+  // {000, 001, 011, 111}: contains a pair at distance 3 > p = 2 — it can
+  // not be a prime chain regardless of ordering (and in fact 000-111 makes
+  // no chain either).
+  EXPECT_FALSE(FindPrimeChain({0b000, 0b001, 0b011, 0b111}).has_value());
+}
+
+TEST(ChainTest, FindPrimeChainOnSubcube) {
+  // A 2-subcube {100, 101, 110, 111} has pairwise distance <= 2.
+  const auto chain = FindPrimeChain({0b100, 0b101, 0b110, 0b111});
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_TRUE(IsPrimeChain(*chain));
+}
+
+TEST(ChainTest, PairwiseDistanceAtMost) {
+  EXPECT_TRUE(PairwiseDistanceAtMost({0b00, 0b01, 0b10}, 2));
+  EXPECT_FALSE(PairwiseDistanceAtMost({0b00, 0b11}, 1));
+}
+
+TEST(ChainTest, CanonicalPrimeChainIsPrime) {
+  for (int p = 1; p <= 4; ++p) {
+    const std::vector<uint64_t> chain = CanonicalPrimeChain(p, 0);
+    EXPECT_EQ(chain.size(), size_t{1} << p);
+    EXPECT_TRUE(IsPrimeChain(chain)) << "p=" << p;
+  }
+}
+
+TEST(ChainTest, CanonicalPrimeChainWithBase) {
+  const std::vector<uint64_t> chain = CanonicalPrimeChain(2, 0b1000);
+  EXPECT_TRUE(IsPrimeChain(chain));
+  for (uint64_t c : chain) {
+    EXPECT_EQ(c & 0b1000u, 0b1000u);
+  }
+}
+
+TEST(ChainTest, SingletonHasNoChain) {
+  EXPECT_FALSE(FindChain({0b1}).has_value());
+  EXPECT_FALSE(IsChain({0b1}));
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace ebi {
+namespace {
+
+TEST(ValueTest, FactoriesAndEquality) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Int(4));
+  EXPECT_EQ(Value::Str("x"), Value::Str("x"));
+  EXPECT_FALSE(Value::Int(3) == Value::Str("3"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Str("abc").ToString(), "abc");
+}
+
+TEST(ColumnTest, DictionaryAssignsDenseIds) {
+  Column c("a", Column::Type::kInt64);
+  EXPECT_TRUE(c.AppendInt64(10).ok());
+  EXPECT_TRUE(c.AppendInt64(20).ok());
+  EXPECT_TRUE(c.AppendInt64(10).ok());
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Cardinality(), 2u);
+  EXPECT_EQ(c.ValueIdAt(0), 0u);
+  EXPECT_EQ(c.ValueIdAt(1), 1u);
+  EXPECT_EQ(c.ValueIdAt(2), 0u);
+  EXPECT_EQ(c.ValueOf(1), Value::Int(20));
+}
+
+TEST(ColumnTest, NullsUseSentinel) {
+  Column c("a", Column::Type::kInt64);
+  EXPECT_TRUE(c.AppendNull().ok());
+  EXPECT_TRUE(c.AppendInt64(1).ok());
+  EXPECT_TRUE(c.HasNulls());
+  EXPECT_EQ(c.ValueIdAt(0), kNullValueId);
+  EXPECT_TRUE(c.ValueAt(0).is_null());
+  EXPECT_EQ(c.Cardinality(), 1u);
+}
+
+TEST(ColumnTest, TypeMismatchRejected) {
+  Column c("a", Column::Type::kInt64);
+  EXPECT_EQ(c.AppendString("x").code(), StatusCode::kInvalidArgument);
+  Column s("b", Column::Type::kString);
+  EXPECT_EQ(s.AppendInt64(1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnTest, LookupFindsExistingValues) {
+  Column c("a", Column::Type::kString);
+  EXPECT_TRUE(c.AppendString("x").ok());
+  EXPECT_TRUE(c.AppendString("y").ok());
+  EXPECT_EQ(c.Lookup(Value::Str("y")), std::optional<ValueId>(1));
+  EXPECT_EQ(c.Lookup(Value::Str("z")), std::nullopt);
+  EXPECT_EQ(c.Lookup(Value::Null()), std::nullopt);
+}
+
+TEST(ColumnTest, IdsInRange) {
+  Column c("a", Column::Type::kInt64);
+  for (int64_t v : {5, 1, 9, 3, 7}) {
+    EXPECT_TRUE(c.AppendInt64(v).ok());
+  }
+  const std::vector<ValueId> ids = c.IdsInRange(3, 7);
+  // Values 5 (id 0), 3 (id 3), 7 (id 4).
+  EXPECT_EQ(ids.size(), 3u);
+  for (ValueId id : ids) {
+    const int64_t v = c.ValueOf(id).int_value;
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(TableTest, AddColumnsThenAppend) {
+  Table t("T");
+  EXPECT_TRUE(t.AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_TRUE(t.AddColumn("b", Column::Type::kString).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Str("x")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(2), Value::Null()}).ok());
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.column(0).size(), 2u);
+  EXPECT_EQ(t.column(1).size(), 2u);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table t("T");
+  EXPECT_TRUE(t.AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_EQ(t.AddColumn("a", Column::Type::kInt64).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, AddColumnAfterRowsRejected) {
+  Table t("T");
+  EXPECT_TRUE(t.AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(1)}).ok());
+  EXPECT_EQ(t.AddColumn("b", Column::Type::kInt64).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("T");
+  EXPECT_TRUE(t.AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_EQ(t.AppendRow({}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.AppendRow({Value::Int(1), Value::Int(2)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, TypeErrorLeavesColumnsAligned) {
+  Table t("T");
+  EXPECT_TRUE(t.AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_TRUE(t.AddColumn("b", Column::Type::kInt64).ok());
+  // Second cell has the wrong type: nothing must be appended anywhere.
+  EXPECT_FALSE(t.AppendRow({Value::Int(1), Value::Str("bad")}).ok());
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.column(0).size(), 0u);
+  EXPECT_EQ(t.column(1).size(), 0u);
+}
+
+TEST(TableTest, ExistenceBitmapTracksDeletes) {
+  Table t("T");
+  EXPECT_TRUE(t.AddColumn("a", Column::Type::kInt64).ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value::Int(i)}).ok());
+  }
+  EXPECT_TRUE(t.RowExists(2));
+  EXPECT_TRUE(t.DeleteRow(2).ok());
+  EXPECT_FALSE(t.RowExists(2));
+  EXPECT_EQ(t.existence().Count(), 3u);
+  EXPECT_EQ(t.DeleteRow(9).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, FindColumnAndIndex) {
+  Table t("T");
+  EXPECT_TRUE(t.AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_TRUE(t.AddColumn("b", Column::Type::kInt64).ok());
+  const auto col = t.FindColumn("b");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->name(), "b");
+  EXPECT_EQ(*t.ColumnIndex("b"), 1u);
+  EXPECT_EQ(t.FindColumn("zz").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.ColumnIndex("zz").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,121 @@
+#include "analysis/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ebi {
+namespace {
+
+TEST(CostModelTest, CsIsDelta) {
+  EXPECT_EQ(CsForDelta(1), 1u);
+  EXPECT_EQ(CsForDelta(32), 32u);
+}
+
+TEST(CostModelTest, CeWorstIsLogCeil) {
+  // Figure 9: c_e_w = 6 for |A| = 50 and 10 for |A| = 1000.
+  EXPECT_EQ(CeWorst(50), 6);
+  EXPECT_EQ(CeWorst(1000), 10);
+  EXPECT_EQ(CeWorst(12000), 14);
+}
+
+TEST(CostModelTest, CeBestSingleValueIsFullWidth) {
+  EXPECT_EQ(CeBest(1, 50), 6);
+  EXPECT_EQ(CeBest(1, 1000), 10);
+}
+
+TEST(CostModelTest, CeBestPowerOfTwoSelections) {
+  // δ = 2^j consecutive codewords form a subcube: k - j vectors.
+  EXPECT_EQ(CeBest(2, 50), 5);
+  EXPECT_EQ(CeBest(4, 50), 4);
+  EXPECT_EQ(CeBest(8, 50), 3);
+  EXPECT_EQ(CeBest(16, 50), 2);
+  EXPECT_EQ(CeBest(32, 50), 1);  // The 83%-saving point of Figure 9(a).
+  EXPECT_EQ(CeBest(512, 1000), 1);  // The 90%-saving point of Figure 9(b).
+}
+
+TEST(CostModelTest, CeBestNeverExceedsWorst) {
+  for (size_t delta = 1; delta <= 50; ++delta) {
+    EXPECT_LE(CeBest(delta, 50), CeWorst(50)) << delta;
+    EXPECT_GE(CeBest(delta, 50), 0) << delta;
+  }
+}
+
+TEST(CostModelTest, CeBestIsMonotoneOnPowers) {
+  int prev = CeBest(1, 1000);
+  for (size_t delta = 2; delta <= 512; delta *= 2) {
+    const int cur = CeBest(delta, 1000);
+    EXPECT_LE(cur, prev) << delta;
+    prev = cur;
+  }
+}
+
+TEST(CostModelTest, CeBestWithDontCaresIsNeverWorse) {
+  for (size_t delta : {1u, 3u, 7u, 25u, 50u}) {
+    EXPECT_LE(CeBestWithDontCares(delta, 50), CeBest(delta, 50)) << delta;
+  }
+  // Whole-domain selection with don't-cares is free.
+  EXPECT_EQ(CeBestWithDontCares(50, 50), 0);
+}
+
+TEST(CostModelTest, CrossoverDelta) {
+  // Section 3.1: c_e < c_s once δ > log2|A| + 1.
+  EXPECT_NEAR(CrossoverDelta(50), std::log2(50.0) + 1.0, 1e-9);
+  for (size_t delta = 8; delta <= 50; ++delta) {
+    EXPECT_LT(CeBest(delta, 50), static_cast<int>(CsForDelta(delta)));
+  }
+}
+
+TEST(CostModelTest, SpaceModels) {
+  // Section 2.1: simple bitmap n*m/8 bytes; encoded n*ceil(log2 m)/8.
+  EXPECT_DOUBLE_EQ(SimpleBitmapBytes(8000, 100), 100000.0);
+  EXPECT_DOUBLE_EQ(EncodedBitmapBytes(8000, 100), 7000.0);
+  EXPECT_DOUBLE_EQ(BTreeBytes(1000, 4096, 512), 1.44 * 1000 / 512 * 4096);
+}
+
+TEST(CostModelTest, BTreeCrossoverIs93ForPaperParameters) {
+  // "assume that p=4K and M=512, then if the cardinality of A is smaller
+  // than 93 ... simple bitmap is more economic".
+  const double crossover = BitmapVsBTreeCrossoverCardinality(4096, 512);
+  EXPECT_NEAR(crossover, 92.16, 0.01);
+  // Below the crossover simple bitmaps are smaller, above they are larger.
+  const size_t n = 1000000;
+  EXPECT_LT(SimpleBitmapBytes(n, 92), BTreeBytes(n, 4096, 512));
+  EXPECT_GT(SimpleBitmapBytes(n, 93), BTreeBytes(n, 4096, 512));
+}
+
+TEST(CostModelTest, VectorCounts) {
+  // Figure 10: m vs ceil(log2 m) bit vectors.
+  EXPECT_EQ(SimpleBitmapVectors(12000), 12000u);
+  EXPECT_EQ(EncodedBitmapVectors(12000), 14u);
+  EXPECT_EQ(EncodedBitmapVectors(2), 1u);
+}
+
+TEST(CostModelTest, BuildCosts) {
+  EXPECT_DOUBLE_EQ(SimpleBuildCost(100, 50), 5000.0);
+  EXPECT_DOUBLE_EQ(EncodedBuildCost(100, 50), 600.0);
+  // B-tree build cost exceeds the encoded-bitmap build for small m.
+  EXPECT_GT(BTreeBuildCost(1000, 50, 4096, 512), EncodedBuildCost(1000, 50));
+}
+
+TEST(CostModelTest, Sparsity) {
+  EXPECT_DOUBLE_EQ(SimpleSparsity(100), 0.99);
+  EXPECT_DOUBLE_EQ(SimpleSparsity(2), 0.5);
+  EXPECT_DOUBLE_EQ(EncodedSparsityApprox(), 0.5);
+}
+
+TEST(CostModelTest, AreaRatioMatchesPaperFor50) {
+  // Section 3.2: "The ratio for the case in Figure 9(a) is 0.84".
+  const double ratio = BestToWorstAreaRatio(50);
+  EXPECT_NEAR(ratio, 0.84, 0.03);
+}
+
+TEST(CostModelTest, PeakSavingsMatchPaper) {
+  // 83% at δ=32 for |A|=50; 90% at δ=512 for |A|=1000 (subsampled sweep —
+  // the peak is on a power of two, which PeakSaving always includes).
+  EXPECT_NEAR(PeakSaving(50), 1.0 - 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(PeakSaving(1000, /*step=*/97), 1.0 - 1.0 / 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ebi

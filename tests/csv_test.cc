@@ -1,0 +1,108 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ebi {
+namespace {
+
+TEST(CsvTest, SplitCsvLine) {
+  EXPECT_EQ(SplitCsvLine("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitCsvLine("solo", ','), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(SplitCsvLine("a;b", ';'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitCsvLine("a,b\r", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, LoadsTypedColumns) {
+  std::stringstream in("id,name,qty\n1,apple,10\n2,pear,20\n3,fig,30\n");
+  const auto table = LoadCsv(in, "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 3u);
+  EXPECT_EQ((*table)->NumColumns(), 3u);
+  const Column* id = *(*table)->FindColumn("id");
+  const Column* name = *(*table)->FindColumn("name");
+  EXPECT_EQ(id->type(), Column::Type::kInt64);
+  EXPECT_EQ(name->type(), Column::Type::kString);
+  EXPECT_EQ(name->ValueAt(1), Value::Str("pear"));
+  EXPECT_EQ(id->ValueAt(2), Value::Int(3));
+}
+
+TEST(CsvTest, NullTokensAndEmptyCells) {
+  std::stringstream in("a,b\n1,x\nNULL,\n3,z\n");
+  const auto table = LoadCsv(in, "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->column(0).ValueAt(1).is_null());
+  EXPECT_TRUE((*table)->column(1).ValueAt(1).is_null());
+  EXPECT_EQ((*table)->column(0).ValueAt(2), Value::Int(3));
+}
+
+TEST(CsvTest, NullFirstRowDefersInference) {
+  // Column b's first value is NULL; type comes from the second row.
+  std::stringstream in("a,b\n1,\n2,42\n3,7\n");
+  const auto table = LoadCsv(in, "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->column(1).type(), Column::Type::kInt64);
+  EXPECT_EQ((*table)->column(1).ValueAt(1), Value::Int(42));
+}
+
+TEST(CsvTest, AllNullColumnDefaultsToString) {
+  std::stringstream in("a,b\n1,\n2,\n");
+  const auto table = LoadCsv(in, "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->column(1).type(), Column::Type::kString);
+  EXPECT_EQ((*table)->NumRows(), 2u);
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  std::stringstream in("5,x\n6,y\n");
+  CsvOptions options;
+  options.header = false;
+  const auto table = LoadCsv(in, "T", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 2u);
+  EXPECT_TRUE((*table)->FindColumn("col0").ok());
+  EXPECT_TRUE((*table)->FindColumn("col1").ok());
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  std::stringstream in("a,b\n1,2\n3\n");
+  EXPECT_FALSE(LoadCsv(in, "T").ok());
+}
+
+TEST(CsvTest, TypeMismatchRejected) {
+  std::stringstream in("a\n1\n2\nnot_a_number\n");
+  EXPECT_FALSE(LoadCsv(in, "T").ok());
+}
+
+TEST(CsvTest, NegativeIntegersParse) {
+  std::stringstream in("a\n-5\n-10\n");
+  const auto table = LoadCsv(in, "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->column(0).ValueAt(0), Value::Int(-5));
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  std::stringstream in("");
+  EXPECT_FALSE(LoadCsv(in, "T").ok());
+}
+
+TEST(CsvTest, MissingFileRejected) {
+  EXPECT_EQ(LoadCsvFile("/nonexistent/file.csv", "T").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvTest, HeaderOnlyGivesEmptyStringTable) {
+  std::stringstream in("a,b\n");
+  const auto table = LoadCsv(in, "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 0u);
+  EXPECT_EQ((*table)->NumColumns(), 2u);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,72 @@
+#include "index/dynamic_bitmap_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/bit_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+using testing_util::ScanEquals;
+
+TEST(DynamicBitmapIndexTest, UsesLogNVectorsWithoutReservedCodes) {
+  // Sarawagi's scheme: n values on exactly ceil(log2 n) bit vectors, no
+  // void/NULL codewords.
+  auto table = IntTable({10, 20, 30, 40});
+  IoAccountant io;
+  DynamicBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(index.NumVectors(), static_cast<size_t>(Log2Ceil(4)));
+  EXPECT_EQ(index.Name(), "dynamic-bitmap");
+}
+
+TEST(DynamicBitmapIndexTest, AnswersMatchScan) {
+  auto table = RandomIntTable(250, 40, 8);
+  IoAccountant io;
+  DynamicBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  for (int64_t v = 0; v < 40; v += 6) {
+    const auto result = index.EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table, table->column(0), v)) << v;
+  }
+}
+
+TEST(DynamicBitmapIndexTest, ExistenceAlwaysAnded) {
+  auto table = IntTable({1, 1});
+  IoAccountant io;
+  DynamicBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  ASSERT_TRUE(table->DeleteRow(0).ok());
+  const auto result = index.EvaluateEquals(Value::Int(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "01");
+}
+
+TEST(DynamicBitmapIndexTest, AppendWorks) {
+  auto table = IntTable({1, 2});
+  IoAccountant io;
+  DynamicBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  ASSERT_TRUE(table->AppendRow({Value::Int(3)}).ok());
+  ASSERT_TRUE(index.Append(2).ok());
+  const auto result = index.EvaluateEquals(Value::Int(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "001");
+}
+
+TEST(DynamicBitmapIndexTest, RangeDelegates) {
+  auto table = IntTable({5, 6, 7, 8});
+  IoAccountant io;
+  DynamicBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  const auto result = index.EvaluateRange(6, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "0110");
+}
+
+}  // namespace
+}  // namespace ebi

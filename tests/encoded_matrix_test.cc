@@ -1,0 +1,155 @@
+// Exhaustive option-matrix property tests for EncodedBitmapIndex: every
+// combination of encoding strategy, void-codeword reservation, NULL
+// presence, and logical reduction must answer identically to a table scan
+// and survive appends, domain expansion, and deletions.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "index/encoded_bitmap_index.h"
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::RandomIntTable;
+using testing_util::ScanEquals;
+using testing_util::ScanRange;
+
+using MatrixParam =
+    std::tuple<EncodingStrategy, bool /*reserve_void*/, bool /*with_nulls*/,
+               bool /*reduction*/>;
+
+class EncodedMatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  void SetUp() override {
+    const auto [strategy, reserve_void, with_nulls, reduction] = GetParam();
+    table_ = RandomIntTable(350, 45, Seed(), with_nulls ? 0.15 : 0.0);
+    EncodedBitmapIndexOptions options;
+    options.strategy = strategy;
+    options.reserve_void_zero = reserve_void;
+    options.reduction.enable_reduction = reduction;
+    options.random_seed = Seed() + 1;
+    index_ = std::make_unique<EncodedBitmapIndex>(
+        &table_->column(0), &table_->existence(), &io_, options);
+    ASSERT_TRUE(index_->Build().ok());
+  }
+
+  uint64_t Seed() const {
+    const auto [strategy, reserve_void, with_nulls, reduction] = GetParam();
+    return static_cast<uint64_t>(strategy) * 8 +
+           (reserve_void ? 4 : 0) + (with_nulls ? 2 : 0) +
+           (reduction ? 1 : 0);
+  }
+
+  IoAccountant io_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<EncodedBitmapIndex> index_;
+};
+
+TEST_P(EncodedMatrixTest, PointAndRangeAgreeWithScan) {
+  for (int64_t v = 0; v < 45; v += 4) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+  Rng rng(Seed() + 9);
+  for (int q = 0; q < 8; ++q) {
+    const int64_t lo = static_cast<int64_t>(rng.UniformInt(45));
+    const int64_t hi = lo + static_cast<int64_t>(rng.UniformInt(15));
+    const auto result = index_->EvaluateRange(lo, hi);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanRange(*table_, table_->column(0), lo, hi))
+        << lo << ".." << hi;
+  }
+}
+
+TEST_P(EncodedMatrixTest, SurvivesAppendsExpansionAndDeletes) {
+  const auto [strategy, reserve_void, with_nulls, reduction] = GetParam();
+  Rng rng(Seed() + 21);
+  for (int step = 0; step < 40; ++step) {
+    const size_t row = table_->NumRows();
+    if (rng.Bernoulli(0.75)) {
+      // Mix of known (0..44) and novel (45..59) values, plus NULLs when
+      // the mapping can hold them.
+      const bool null_row = with_nulls && rng.Bernoulli(0.1);
+      const Value v = null_row
+                          ? Value::Null()
+                          : Value::Int(static_cast<int64_t>(
+                                rng.UniformInt(60)));
+      ASSERT_TRUE(table_->AppendRow({v}).ok());
+      ASSERT_TRUE(index_->Append(row).ok());
+    } else {
+      const size_t victim =
+          static_cast<size_t>(rng.UniformInt(table_->NumRows()));
+      if (table_->RowExists(victim)) {
+        ASSERT_TRUE(table_->DeleteRow(victim).ok());
+        ASSERT_TRUE(index_->MarkDeleted(victim).ok());
+      }
+    }
+  }
+  for (int64_t v = 0; v < 60; v += 6) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+  if (with_nulls) {
+    size_t scan_nulls = 0;
+    for (size_t r = 0; r < table_->NumRows(); ++r) {
+      if (table_->RowExists(r) &&
+          table_->column(0).ValueIdAt(r) == kNullValueId) {
+        ++scan_nulls;
+      }
+    }
+    const auto nulls = index_->EvaluateIsNull();
+    ASSERT_TRUE(nulls.ok());
+    EXPECT_EQ(nulls->Count(), scan_nulls);
+  }
+}
+
+TEST_P(EncodedMatrixTest, InListEquivalentToUnionOfPoints) {
+  Rng rng(Seed() + 33);
+  std::vector<Value> values;
+  BitVector expected(table_->NumRows());
+  for (int i = 0; i < 7; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(50));
+    values.push_back(Value::Int(v));
+    expected.OrWith(ScanEquals(*table_, table_->column(0), v));
+  }
+  const auto result = index_->EvaluateIn(values);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, expected);
+}
+
+std::string MatrixParamName(
+    const ::testing::TestParamInfo<MatrixParam>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case EncodingStrategy::kSequential:
+      name = "Seq";
+      break;
+    case EncodingStrategy::kGray:
+      name = "Gray";
+      break;
+    default:
+      name = "Rand";
+  }
+  name += std::get<1>(info.param) ? "Void" : "NoVoid";
+  name += std::get<2>(info.param) ? "Nulls" : "NoNulls";
+  name += std::get<3>(info.param) ? "Red" : "Raw";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptionCombos, EncodedMatrixTest,
+    ::testing::Combine(::testing::Values(EncodingStrategy::kSequential,
+                                         EncodingStrategy::kGray,
+                                         EncodingStrategy::kRandom),
+                       ::testing::Bool(),   // reserve_void_zero.
+                       ::testing::Bool(),   // with_nulls.
+                       ::testing::Bool()),  // enable_reduction.
+    MatrixParamName);
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,132 @@
+#include "encoding/encoders.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bit_util.h"
+
+namespace ebi {
+namespace {
+
+TEST(EncodersTest, WidthForMatchesPaper) {
+  // ceil(log2 12000) = 14 (Section 2.2).
+  EXPECT_EQ(WidthFor(12000), 14);
+  EXPECT_EQ(WidthFor(3), 2);
+  // Reserving void adds one codeword: 4 values + void -> 3 bits.
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  EXPECT_EQ(WidthFor(4, eo), 3);
+  eo.extra_width = 2;
+  EXPECT_EQ(WidthFor(4, eo), 5);
+}
+
+TEST(EncodersTest, SequentialAssignsCountingCodes) {
+  const auto mapping = MakeSequentialMapping(5);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->width(), 3);
+  for (ValueId v = 0; v < 5; ++v) {
+    EXPECT_EQ(*mapping->CodeOf(v), v);
+  }
+}
+
+TEST(EncodersTest, SequentialWithVoidSkipsZero) {
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  const auto mapping = MakeSequentialMapping(3, eo);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->void_code(), std::optional<uint64_t>(0));
+  EXPECT_EQ(*mapping->CodeOf(0), 1u);
+  EXPECT_EQ(*mapping->CodeOf(1), 2u);
+  EXPECT_EQ(*mapping->CodeOf(2), 3u);
+}
+
+TEST(EncodersTest, SequentialWithVoidAndNull) {
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  eo.encode_null = true;
+  const auto mapping = MakeSequentialMapping(3, eo);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->void_code(), std::optional<uint64_t>(0));
+  EXPECT_EQ(mapping->null_code(), std::optional<uint64_t>(1));
+  EXPECT_EQ(*mapping->CodeOf(0), 2u);
+  EXPECT_EQ(mapping->NumCodes(), 5u);
+  EXPECT_EQ(mapping->width(), 3);  // 5 codewords need 3 bits.
+}
+
+TEST(EncodersTest, GrayConsecutiveValuesDifferInOneBit) {
+  const auto mapping = MakeGrayMapping(16);
+  ASSERT_TRUE(mapping.ok());
+  for (ValueId v = 0; v + 1 < 16; ++v) {
+    EXPECT_EQ(BinaryDistance(*mapping->CodeOf(v), *mapping->CodeOf(v + 1)),
+              1)
+        << v;
+  }
+}
+
+TEST(EncodersTest, GrayWithVoidStillMostlyAdjacent) {
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  const auto mapping = MakeGrayMapping(7, eo);
+  ASSERT_TRUE(mapping.ok());
+  for (ValueId v = 0; v < 7; ++v) {
+    EXPECT_NE(*mapping->CodeOf(v), 0u);
+  }
+}
+
+TEST(EncodersTest, RandomMappingIsBijective) {
+  Rng rng(5);
+  const auto mapping = MakeRandomMapping(100, &rng);
+  ASSERT_TRUE(mapping.ok());
+  std::set<uint64_t> codes;
+  for (ValueId v = 0; v < 100; ++v) {
+    codes.insert(*mapping->CodeOf(v));
+  }
+  EXPECT_EQ(codes.size(), 100u);
+  EXPECT_LT(*codes.rbegin(), uint64_t{1} << 7);
+}
+
+TEST(EncodersTest, RandomMappingIsSeedDeterministic) {
+  Rng a(9);
+  Rng b(9);
+  const auto ma = MakeRandomMapping(32, &a);
+  const auto mb = MakeRandomMapping(32, &b);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  for (ValueId v = 0; v < 32; ++v) {
+    EXPECT_EQ(*ma->CodeOf(v), *mb->CodeOf(v));
+  }
+}
+
+TEST(EncodersTest, TotalOrderPreservesOrder) {
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  const auto mapping = MakeTotalOrderMapping(10, eo);
+  ASSERT_TRUE(mapping.ok());
+  for (ValueId v = 0; v + 1 < 10; ++v) {
+    EXPECT_LT(*mapping->CodeOf(v), *mapping->CodeOf(v + 1));
+  }
+}
+
+TEST(EncodersTest, EmptyDomainRejected) {
+  EXPECT_FALSE(MakeSequentialMapping(0).ok());
+  EXPECT_FALSE(MakeGrayMapping(0).ok());
+}
+
+TEST(EncodersTest, SingleValueDomain) {
+  const auto mapping = MakeSequentialMapping(1);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->width(), 1);
+  EXPECT_EQ(*mapping->CodeOf(0), 0u);
+}
+
+TEST(EncodersTest, ExactPowerOfTwoUsesAllCodes) {
+  const auto mapping = MakeSequentialMapping(8);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->width(), 3);
+  EXPECT_EQ(mapping->FirstFreeCode(), std::nullopt);
+  EXPECT_TRUE(mapping->UnusedCodes(10).empty());
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,135 @@
+#include "encoding/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "encoding/well_defined.h"
+
+namespace ebi {
+namespace {
+
+/// Figure 5(a): 12 branches (ValueIds 0-11 for branches 1-12), companies
+/// a-e and alliances X, Y, Z with m:N memberships.
+Hierarchy Figure5Hierarchy() {
+  Hierarchy h(12);
+  HierarchyLevel company{"company",
+                         {{"a", {0, 1, 2, 3}},
+                          {"b", {4, 5}},
+                          {"c", {6, 7}},
+                          {"d", {2, 3, 8, 9}},
+                          {"e", {8, 9, 10, 11}}}};
+  HierarchyLevel alliance{"alliance",
+                          {{"X", {0, 1, 2, 3, 4, 5, 6, 7}},
+                           {"Y", {6, 7, 2, 3, 8, 9}},
+                           {"Z", {2, 3, 8, 9, 10, 11}}}};
+  EXPECT_TRUE(h.AddLevel(std::move(company)).ok());
+  EXPECT_TRUE(h.AddLevel(std::move(alliance)).ok());
+  return h;
+}
+
+/// Figure 5(b)'s hand-crafted hierarchy encoding for branches 1-12.
+MappingTable Figure5Mapping() {
+  const std::vector<uint64_t> codes = {
+      0b0000, 0b0001, 0b0100, 0b0101,  // branches 1-4.
+      0b0010, 0b0011,                  // branches 5-6.
+      0b0110, 0b0111,                  // branches 7-8.
+      0b1100, 0b1101,                  // branches 9-10.
+      0b1111, 0b1110,                  // branches 11-12.
+  };
+  auto result = MappingTable::Create(4, codes);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(HierarchyTest, MembersLookup) {
+  const Hierarchy h = Figure5Hierarchy();
+  const auto members = h.Members("company", "b");
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(*members, (std::vector<ValueId>{4, 5}));
+}
+
+TEST(HierarchyTest, MembersLookupFailures) {
+  const Hierarchy h = Figure5Hierarchy();
+  EXPECT_EQ(h.Members("company", "zz").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(h.Members("nope", "a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, RejectsOutOfRangeMembers) {
+  Hierarchy h(4);
+  HierarchyLevel level{"l", {{"g", {0, 9}}}};
+  EXPECT_EQ(h.AddLevel(std::move(level)).code(), StatusCode::kOutOfRange);
+}
+
+TEST(HierarchyTest, RejectsEmptyGroups) {
+  Hierarchy h(4);
+  HierarchyLevel level{"l", {{"g", {}}}};
+  EXPECT_EQ(h.AddLevel(std::move(level)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, RejectsDuplicateLevels) {
+  Hierarchy h(4);
+  EXPECT_TRUE(h.AddLevel({"l", {{"g", {0}}}}).ok());
+  EXPECT_EQ(h.AddLevel({"l", {{"g2", {1}}}}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(HierarchyTest, AllGroupPredicatesCollectsEveryGroup) {
+  const Hierarchy h = Figure5Hierarchy();
+  EXPECT_EQ(h.AllGroupPredicates().size(), 8u);  // 5 companies + 3 alliances.
+}
+
+TEST(HierarchyTest, PaperMappingGivesAllianceXCostOne) {
+  // Section 2.3: "for selection alliance = X, only one bit vector is
+  // accessed" under Figure 5(b)'s encoding.
+  const MappingTable mapping = Figure5Mapping();
+  const Hierarchy h = Figure5Hierarchy();
+  const auto members = h.Members("alliance", "X");
+  ASSERT_TRUE(members.ok());
+  const auto cost = AccessCost(mapping, *members);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(*cost, 1);
+}
+
+TEST(HierarchyTest, PaperMappingCostsAcrossAllGroups) {
+  // Every company/alliance selection under Figure 5(b) should need far
+  // fewer than the worst case of 4 vectors; alliance Z = {3,4,9,10,11,12}
+  // (ids 2,3,8,9,10,11) -> codes 01xx? no: {0100,0101,1100,1101,1111,1110}
+  // = x10x + 111x... <= 3.
+  const MappingTable mapping = Figure5Mapping();
+  const Hierarchy h = Figure5Hierarchy();
+  for (const auto& pred : h.AllGroupPredicates()) {
+    const auto cost = AccessCost(mapping, pred);
+    ASSERT_TRUE(cost.ok());
+    EXPECT_LE(*cost, 3);
+    EXPECT_GE(*cost, 1);
+  }
+}
+
+TEST(HierarchyTest, EncodeHierarchyBeatsSequentialOnGroupSelections) {
+  const Hierarchy h = Figure5Hierarchy();
+  OptimizerOptions options;
+  options.iterations = 1500;
+  options.seed = 3;
+  const auto optimized = EncodeHierarchy(h, options);
+  ASSERT_TRUE(optimized.ok());
+
+  const auto sequential = MakeSequentialMapping(12);
+  ASSERT_TRUE(sequential.ok());
+
+  const auto opt_cost = TotalAccessCost(*optimized, h.AllGroupPredicates());
+  const auto seq_cost = TotalAccessCost(*sequential, h.AllGroupPredicates());
+  ASSERT_TRUE(opt_cost.ok());
+  ASSERT_TRUE(seq_cost.ok());
+  EXPECT_LE(*opt_cost, *seq_cost);
+
+  // And it should be within striking distance of the paper's hand-crafted
+  // mapping.
+  const auto paper_cost =
+      TotalAccessCost(Figure5Mapping(), h.AllGroupPredicates());
+  ASSERT_TRUE(paper_cost.ok());
+  EXPECT_LE(*opt_cost, *paper_cost + 3);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "ebi/ebi.h"
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::RandomIntTable;
+
+/// Cross-index agreement: every index family must return identical answers
+/// for identical selections on random data — the strongest end-to-end
+/// invariant the library offers.
+class CrossIndexAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossIndexAgreementTest, AllIndexesAgreeOnRandomWorkload) {
+  const uint64_t seed = GetParam();
+  auto table = RandomIntTable(600, 120, seed);
+  IoAccountant io;
+
+  SimpleBitmapIndex simple(&table->column(0), &table->existence(), &io);
+  EncodedBitmapIndex encoded(&table->column(0), &table->existence(), &io);
+  BitSlicedIndex sliced(&table->column(0), &table->existence(), &io);
+  ProjectionIndex projection(&table->column(0), &table->existence(), &io);
+  BTreeIndex btree(&table->column(0), &table->existence(), &io);
+  ValueListIndex value_list(&table->column(0), &table->existence(), &io);
+  RangeBasedBitmapIndex range_based(&table->column(0), &table->existence(),
+                                    &io);
+  DynamicBitmapIndex dynamic(&table->column(0), &table->existence(), &io);
+
+  std::vector<SecondaryIndex*> indexes = {
+      &simple, &encoded, &sliced,     &projection,
+      &btree,  &value_list, &range_based, &dynamic};
+  for (SecondaryIndex* index : indexes) {
+    ASSERT_TRUE(index->Build().ok()) << index->Name();
+  }
+
+  Rng rng(seed * 31 + 1);
+  for (int q = 0; q < 12; ++q) {
+    const int64_t lo = static_cast<int64_t>(rng.UniformInt(120));
+    const int64_t hi = lo + static_cast<int64_t>(rng.UniformInt(40));
+    const auto reference = indexes[0]->EvaluateRange(lo, hi);
+    ASSERT_TRUE(reference.ok());
+    for (size_t i = 1; i < indexes.size(); ++i) {
+      const auto result = indexes[i]->EvaluateRange(lo, hi);
+      ASSERT_TRUE(result.ok()) << indexes[i]->Name();
+      EXPECT_EQ(*result, *reference)
+          << indexes[i]->Name() << " range " << lo << ".." << hi;
+    }
+
+    const Value point = Value::Int(static_cast<int64_t>(
+        rng.UniformInt(130)));  // Sometimes absent values.
+    const auto ref_eq = indexes[0]->EvaluateEquals(point);
+    ASSERT_TRUE(ref_eq.ok());
+    for (size_t i = 1; i < indexes.size(); ++i) {
+      const auto result = indexes[i]->EvaluateEquals(point);
+      ASSERT_TRUE(result.ok()) << indexes[i]->Name();
+      EXPECT_EQ(*result, *ref_eq) << indexes[i]->Name();
+    }
+  }
+}
+
+TEST_P(CrossIndexAgreementTest, AgreementSurvivesAppendsAndDeletes) {
+  const uint64_t seed = GetParam();
+  auto table = RandomIntTable(200, 30, seed);
+  IoAccountant io;
+  SimpleBitmapIndex simple(&table->column(0), &table->existence(), &io);
+  EncodedBitmapIndex encoded(&table->column(0), &table->existence(), &io);
+  BTreeIndex btree(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(simple.Build().ok());
+  ASSERT_TRUE(encoded.Build().ok());
+  ASSERT_TRUE(btree.Build().ok());
+
+  MaintenanceDriver driver(table.get());
+  driver.AttachIndex(&simple);
+  driver.AttachIndex(&encoded);
+  driver.AttachIndex(&btree);
+
+  Rng rng(seed + 77);
+  for (int step = 0; step < 60; ++step) {
+    if (rng.Bernoulli(0.8)) {
+      ASSERT_TRUE(driver
+                      .AppendRow({Value::Int(static_cast<int64_t>(
+                          rng.UniformInt(45)))})  // Occasionally new values.
+                      .ok());
+    } else {
+      const size_t row =
+          static_cast<size_t>(rng.UniformInt(table->NumRows()));
+      if (table->RowExists(row)) {
+        ASSERT_TRUE(driver.DeleteRow(row).ok());
+      }
+    }
+  }
+
+  for (int64_t v = 0; v < 45; v += 4) {
+    const auto a = simple.EvaluateEquals(Value::Int(v));
+    const auto b = encoded.EvaluateEquals(Value::Int(v));
+    const auto c = btree.EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*a, *b) << v;
+    EXPECT_EQ(*a, *c) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossIndexAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(StarSchemaIntegrationTest, HierarchyRollupOnFactTable) {
+  // End-to-end Figure 4/5 scenario: encode SALES.branch with the
+  // salespoint hierarchy and roll up per alliance.
+  StarSchemaConfig config;
+  config.fact_rows = 3000;
+  config.num_products = 50;
+  const auto schema_or = BuildStarSchema(config);
+  ASSERT_TRUE(schema_or.ok());
+  const StarSchema& schema = **schema_or;
+
+  const Column* branch = *schema.sales->FindColumn("branch");
+  IoAccountant io;
+
+  EncodedBitmapIndexOptions options;
+  options.strategy = EncodingStrategy::kAnnealed;
+  options.training_predicates =
+      schema.salespoint_hierarchy.AllGroupPredicates();
+  options.optimizer.iterations = 800;
+  EncodedBitmapIndex index(branch, &schema.sales->existence(), &io,
+                           options);
+  ASSERT_TRUE(index.Build().ok());
+
+  // Roll-up: count sales per alliance; totals must cover at least all
+  // rows (alliances overlap via shared companies).
+  size_t sum = 0;
+  for (const char* alliance : {"X", "Y", "Z"}) {
+    const auto members =
+        schema.salespoint_hierarchy.Members("alliance", alliance);
+    ASSERT_TRUE(members.ok());
+    std::vector<Value> values;
+    for (ValueId branch_id : *members) {
+      values.push_back(Value::Int(static_cast<int64_t>(branch_id)));
+    }
+    const auto rows = index.EvaluateIn(values);
+    ASSERT_TRUE(rows.ok());
+    sum += rows->Count();
+  }
+  EXPECT_GE(sum, schema.sales->NumRows());
+
+  // The trained encoding answers alliance selections with few vectors.
+  const auto x_members =
+      schema.salespoint_hierarchy.Members("alliance", "X");
+  ASSERT_TRUE(x_members.ok());
+  std::vector<Value> x_values;
+  for (ValueId b : *x_members) {
+    x_values.push_back(Value::Int(static_cast<int64_t>(b)));
+  }
+  const auto cost = index.AccessCostForIn(x_values);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_LE(*cost, 3);
+}
+
+TEST(TpcdMixIntegrationTest, EncodedBeatsSimpleOnRangeHeavyMix) {
+  // The Section 3.2 claim, measured: on a TPC-D-like mix (12/17 range
+  // share) the encoded index reads far fewer bitmap vectors than the
+  // simple index.
+  const auto table_or = GenerateTable(
+      "F", 4000, {{"a", 200, Distribution::kUniform}}, 21);
+  ASSERT_TRUE(table_or.ok());
+  const Table& table = **table_or;
+  const Column* column = *table.FindColumn("a");
+
+  IoAccountant simple_io;
+  IoAccountant encoded_io;
+  SimpleBitmapIndex simple(column, &table.existence(), &simple_io);
+  EncodedBitmapIndex encoded(column, &table.existence(), &encoded_io);
+  ASSERT_TRUE(simple.Build().ok());
+  ASSERT_TRUE(encoded.Build().ok());
+
+  QueryMixConfig mix;
+  mix.num_queries = 60;
+  mix.max_delta = 128;
+  const auto queries = GenerateQueryMix("a", 200, mix);
+  for (const Predicate& q : queries) {
+    switch (q.kind) {
+      case Predicate::Kind::kEquals: {
+        ASSERT_TRUE(simple.EvaluateEquals(q.value).ok());
+        ASSERT_TRUE(encoded.EvaluateEquals(q.value).ok());
+        break;
+      }
+      case Predicate::Kind::kIn: {
+        ASSERT_TRUE(simple.EvaluateIn(q.values).ok());
+        ASSERT_TRUE(encoded.EvaluateIn(q.values).ok());
+        break;
+      }
+      default: {
+        ASSERT_TRUE(simple.EvaluateRange(q.lo, q.hi).ok());
+        ASSERT_TRUE(encoded.EvaluateRange(q.lo, q.hi).ok());
+      }
+    }
+  }
+  EXPECT_LT(encoded_io.stats().vectors_read,
+            simple_io.stats().vectors_read / 2);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,81 @@
+#include "storage/io_accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace ebi {
+namespace {
+
+TEST(IoAccountantTest, StartsAtZero) {
+  IoAccountant io;
+  EXPECT_EQ(io.stats().vectors_read, 0u);
+  EXPECT_EQ(io.stats().pages_read, 0u);
+  EXPECT_EQ(io.stats().bytes_read, 0u);
+  EXPECT_EQ(io.stats().nodes_read, 0u);
+  EXPECT_EQ(io.page_size(), IoAccountant::kDefaultPageSize);
+}
+
+TEST(IoAccountantTest, ChargeVectorCountsVectorAndPages) {
+  IoAccountant io(4096);
+  io.ChargeVectorRead(10000);  // 3 pages.
+  EXPECT_EQ(io.stats().vectors_read, 1u);
+  EXPECT_EQ(io.stats().bytes_read, 10000u);
+  EXPECT_EQ(io.stats().pages_read, 3u);
+}
+
+TEST(IoAccountantTest, ChargeNodeCountsNodes) {
+  IoAccountant io(4096);
+  io.ChargeNodeRead(4096);
+  EXPECT_EQ(io.stats().nodes_read, 1u);
+  EXPECT_EQ(io.stats().pages_read, 1u);
+  EXPECT_EQ(io.stats().vectors_read, 0u);
+}
+
+TEST(IoAccountantTest, PagesRoundUp) {
+  IoAccountant io(100);
+  io.ChargeBytes(1);
+  EXPECT_EQ(io.stats().pages_read, 1u);
+  io.ChargeBytes(100);
+  EXPECT_EQ(io.stats().pages_read, 2u);
+  io.ChargeBytes(101);
+  EXPECT_EQ(io.stats().pages_read, 4u);
+}
+
+TEST(IoAccountantTest, ResetClears) {
+  IoAccountant io;
+  io.ChargeVectorRead(100);
+  io.Reset();
+  EXPECT_EQ(io.stats().vectors_read, 0u);
+  EXPECT_EQ(io.stats().bytes_read, 0u);
+}
+
+TEST(IoAccountantTest, StatsSubtraction) {
+  IoStats a{10, 20, 30, 40};
+  IoStats b{1, 2, 3, 4};
+  const IoStats d = a - b;
+  EXPECT_EQ(d.vectors_read, 9u);
+  EXPECT_EQ(d.pages_read, 18u);
+  EXPECT_EQ(d.bytes_read, 27u);
+  EXPECT_EQ(d.nodes_read, 36u);
+}
+
+TEST(IoAccountantTest, IoScopeMeasuresDelta) {
+  IoAccountant io;
+  io.ChargeVectorRead(8);
+  const IoScope scope(&io);
+  io.ChargeVectorRead(8);
+  io.ChargeVectorRead(8);
+  const IoStats delta = scope.Delta();
+  EXPECT_EQ(delta.vectors_read, 2u);
+}
+
+TEST(IoAccountantTest, ToStringMentionsAllCounters) {
+  IoStats s{1, 2, 3, 4};
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("vectors=1"), std::string::npos);
+  EXPECT_NE(text.find("pages=2"), std::string::npos);
+  EXPECT_NE(text.find("bytes=3"), std::string::npos);
+  EXPECT_NE(text.find("nodes=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,148 @@
+#include "index/join_index.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/star_schema.h"
+
+namespace ebi {
+namespace {
+
+class JoinIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaConfig config;
+    config.fact_rows = 2000;
+    config.num_products = 60;
+    config.seed = 5;
+    auto schema_or = BuildStarSchema(config);
+    ASSERT_TRUE(schema_or.ok());
+    schema_ = std::move(schema_or).value();
+    const Column* fk = *schema_->sales->FindColumn("product");
+    index_ = std::make_unique<EncodedBitmapJoinIndex>(
+        fk, &schema_->sales->existence(), schema_->products, "product_id",
+        &io_);
+    ASSERT_TRUE(index_->Build().ok());
+  }
+
+  /// Reference: fact rows whose product's category equals `cat`.
+  BitVector ScanCategoryEquals(int64_t cat) {
+    const Column* fk = *schema_->sales->FindColumn("product");
+    BitVector out(schema_->sales->NumRows());
+    for (size_t row = 0; row < schema_->sales->NumRows(); ++row) {
+      if (!schema_->sales->RowExists(row)) {
+        continue;
+      }
+      const int64_t product = fk->ValueAt(row).int_value;
+      // Product p has category p / 50 by construction.
+      if (product / 50 == cat) {
+        out.Set(row);
+      }
+    }
+    return out;
+  }
+
+  IoAccountant io_;
+  std::unique_ptr<StarSchema> schema_;
+  std::unique_ptr<EncodedBitmapJoinIndex> index_;
+};
+
+TEST_F(JoinIndexTest, LogarithmicVectorCount) {
+  // 60 products + void codeword -> ceil(log2 61) = 6 vectors; a simple
+  // bitmapped join index would hold 60.
+  EXPECT_EQ(index_->NumVectors(), 6u);
+}
+
+TEST_F(JoinIndexTest, StarJoinOnDimensionAttribute) {
+  // SELECT fact rows WHERE products.category = 0 (products 0..49).
+  const auto rows =
+      index_->FactRowsWhere(Predicate::Eq("category", Value::Int(0)));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, ScanCategoryEquals(0));
+  EXPECT_GT(rows->Count(), 0u);
+}
+
+TEST_F(JoinIndexTest, RangePredicateOnDimension) {
+  const auto rows =
+      index_->FactRowsWhere(Predicate::Between("category", 1, 1));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, ScanCategoryEquals(1));
+}
+
+TEST_F(JoinIndexTest, JoinReadsFewVectors) {
+  io_.Reset();
+  ASSERT_TRUE(
+      index_->FactRowsWhere(Predicate::Eq("category", Value::Int(0))).ok());
+  // The fact-side work is one reduced Boolean expression over <= 6
+  // vectors, however many dimension rows qualify (50 here).
+  EXPECT_LE(io_.stats().vectors_read, index_->NumVectors());
+}
+
+TEST_F(JoinIndexTest, FactRowsForDimRow) {
+  // Dimension row 7 is product_id 7.
+  const auto rows = index_->FactRowsForDimRow(7);
+  ASSERT_TRUE(rows.ok());
+  const Column* fk = *schema_->sales->FindColumn("product");
+  rows->ForEachSetBit([&](size_t row) {
+    EXPECT_EQ(fk->ValueAt(row).int_value, 7);
+  });
+  EXPECT_GT(rows->Count(), 0u);
+  EXPECT_FALSE(index_->FactRowsForDimRow(9999).ok());
+}
+
+TEST_F(JoinIndexTest, PredicateOnMissingDimensionColumnFails) {
+  EXPECT_EQ(index_->FactRowsWhere(Predicate::Eq("nope", Value::Int(0)))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(JoinIndexTest, AppendKeepsJoinCorrect) {
+  const size_t row = schema_->sales->NumRows();
+  ASSERT_TRUE(schema_->sales
+                  ->AppendRow({Value::Int(3), Value::Int(0), Value::Int(1),
+                               Value::Int(10)})
+                  .ok());
+  ASSERT_TRUE(index_->Append(row).ok());
+  const auto rows = index_->FactRowsForDimRow(3);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->Get(row));
+}
+
+TEST_F(JoinIndexTest, DeletedFactRowsDropOut) {
+  const auto before =
+      index_->FactRowsWhere(Predicate::Eq("category", Value::Int(0)));
+  ASSERT_TRUE(before.ok());
+  size_t victim = 0;
+  before->ForEachSetBit([&](size_t row) { victim = row; });
+  ASSERT_TRUE(schema_->sales->DeleteRow(victim).ok());
+  ASSERT_TRUE(index_->MarkDeleted(victim).ok());
+  const auto after =
+      index_->FactRowsWhere(Predicate::Eq("category", Value::Int(0)));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->Get(victim));
+  EXPECT_EQ(after->Count(), before->Count() - 1);
+}
+
+TEST_F(JoinIndexTest, DuplicateDimensionKeysRejected) {
+  Table dim("D");
+  ASSERT_TRUE(dim.AddColumn("id", Column::Type::kInt64).ok());
+  ASSERT_TRUE(dim.AppendRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(dim.AppendRow({Value::Int(1)}).ok());
+  const Column* fk = *schema_->sales->FindColumn("product");
+  EncodedBitmapJoinIndex bad(fk, &schema_->sales->existence(), &dim, "id",
+                             &io_);
+  EXPECT_EQ(bad.Build().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(JoinIndexTest, NullDimensionKeysRejected) {
+  Table dim("D");
+  ASSERT_TRUE(dim.AddColumn("id", Column::Type::kInt64).ok());
+  ASSERT_TRUE(dim.AppendRow({Value::Null()}).ok());
+  const Column* fk = *schema_->sales->FindColumn("product");
+  EncodedBitmapJoinIndex bad(fk, &schema_->sales->existence(), &dim, "id",
+                             &io_);
+  EXPECT_EQ(bad.Build().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,131 @@
+#include "encoding/mapping_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ebi {
+namespace {
+
+TEST(MappingTableTest, CreateAndLookup) {
+  const auto table = MappingTable::Create(2, {0b00, 0b01, 0b10});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->width(), 2);
+  EXPECT_EQ(table->NumValues(), 3u);
+  EXPECT_EQ(table->NumCodes(), 3u);
+  EXPECT_EQ(*table->CodeOf(0), 0b00u);
+  EXPECT_EQ(*table->CodeOf(2), 0b10u);
+  EXPECT_EQ(table->ValueOfCode(0b01), std::optional<ValueId>(1));
+  EXPECT_EQ(table->ValueOfCode(0b11), std::nullopt);
+}
+
+TEST(MappingTableTest, RejectsDuplicateCodes) {
+  EXPECT_FALSE(MappingTable::Create(2, {0b00, 0b00}).ok());
+}
+
+TEST(MappingTableTest, RejectsCodesExceedingWidth) {
+  EXPECT_FALSE(MappingTable::Create(2, {0b100}).ok());
+}
+
+TEST(MappingTableTest, RejectsTooSmallWidth) {
+  EXPECT_FALSE(MappingTable::Create(1, {0b0, 0b1, 0b1}).ok());
+  // 3 distinct codes cannot fit 1 bit even without duplicates.
+  EXPECT_FALSE(MappingTable::Create(2, {0, 1, 2, 3}, 0).ok());
+}
+
+TEST(MappingTableTest, ReservedCodesExcluded) {
+  // void = 0, NULL = 1; values must avoid them.
+  const auto bad = MappingTable::Create(2, {0b00, 0b10}, 0, 1);
+  EXPECT_FALSE(bad.ok());
+  const auto good = MappingTable::Create(2, {0b10, 0b11}, 0, 1);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->NumCodes(), 4u);
+  EXPECT_EQ(good->void_code(), std::optional<uint64_t>(0));
+  EXPECT_EQ(good->null_code(), std::optional<uint64_t>(1));
+}
+
+TEST(MappingTableTest, VoidAndNullMustDiffer) {
+  EXPECT_FALSE(MappingTable::Create(2, {0b10}, 1, 1).ok());
+}
+
+TEST(MappingTableTest, RetrievalFunctionIsMinTerm) {
+  const auto table = MappingTable::Create(3, {0b101});
+  ASSERT_TRUE(table.ok());
+  const auto f = table->RetrievalFunction(0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->ToString(3), "B2B1'B0");
+}
+
+TEST(MappingTableTest, AddValueWithoutExpansion) {
+  // Figure 2(a): domain {a,b,c} with codes 00,01,10 gains d -> 11.
+  auto table = MappingTable::Create(2, {0b00, 0b01, 0b10});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->FirstFreeCode(), std::optional<uint64_t>(0b11));
+  EXPECT_TRUE(table->AddValue(3, 0b11).ok());
+  EXPECT_EQ(*table->CodeOf(3), 0b11u);
+  EXPECT_EQ(table->FirstFreeCode(), std::nullopt);
+}
+
+TEST(MappingTableTest, AddValueRejectsSparseIds) {
+  auto table = MappingTable::Create(2, {0b00});
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->AddValue(5, 0b01).ok());
+}
+
+TEST(MappingTableTest, AddValueRejectsTakenOrReservedCodes) {
+  auto table = MappingTable::Create(2, {0b01}, 0);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->AddValue(1, 0b01).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(table->AddValue(1, 0b00).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(table->AddValue(1, 0b10).ok());
+}
+
+TEST(MappingTableTest, ExpandWidthKeepsCodes) {
+  // Figure 2(b): after expansion old codewords are zero-extended.
+  auto table = MappingTable::Create(2, {0b00, 0b01, 0b10, 0b11});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->FirstFreeCode(), std::nullopt);
+  EXPECT_TRUE(table->ExpandWidth(3).ok());
+  EXPECT_EQ(table->width(), 3);
+  EXPECT_EQ(*table->CodeOf(2), 0b10u);
+  EXPECT_EQ(table->FirstFreeCode(), std::optional<uint64_t>(0b100));
+  EXPECT_TRUE(table->AddValue(4, 0b100).ok());
+}
+
+TEST(MappingTableTest, ExpandWidthRejectsShrink) {
+  auto table = MappingTable::Create(3, {0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->ExpandWidth(2).ok());
+}
+
+TEST(MappingTableTest, UnusedCodesAreComplement) {
+  const auto table = MappingTable::Create(3, {0b001, 0b010}, 0);
+  ASSERT_TRUE(table.ok());
+  const std::vector<uint64_t> unused = table->UnusedCodes(100);
+  // 8 codes - 2 values - void = 5 unused.
+  EXPECT_EQ(unused.size(), 5u);
+  for (uint64_t code : unused) {
+    EXPECT_NE(code, 0u);
+    EXPECT_NE(code, 0b001u);
+    EXPECT_NE(code, 0b010u);
+  }
+}
+
+TEST(MappingTableTest, UnusedCodesHonorsLimit) {
+  const auto table = MappingTable::Create(4, {0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->UnusedCodes(3).size(), 3u);
+}
+
+TEST(MappingTableTest, CodeOfUnknownValueFails) {
+  const auto table = MappingTable::Create(2, {0b00});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->CodeOf(9).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MappingTableTest, ToStringShowsBits) {
+  const auto table = MappingTable::Create(2, {0b10});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ToString(), "v0 -> 10\n");
+}
+
+}  // namespace
+}  // namespace ebi

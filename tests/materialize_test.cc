@@ -1,0 +1,108 @@
+#include "query/materialize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "encoding/hierarchy.h"
+
+namespace ebi {
+namespace {
+
+std::unique_ptr<Table> SampleTable() {
+  auto table = std::make_unique<Table>("T");
+  EXPECT_TRUE(table->AddColumn("id", Column::Type::kInt64).ok());
+  EXPECT_TRUE(table->AddColumn("name", Column::Type::kString).ok());
+  EXPECT_TRUE(
+      table->AppendRow({Value::Int(1), Value::Str("alpha")}).ok());
+  EXPECT_TRUE(table->AppendRow({Value::Int(2), Value::Null()}).ok());
+  EXPECT_TRUE(table->AppendRow({Value::Int(3), Value::Str("gamma")}).ok());
+  return table;
+}
+
+TEST(MaterializeTest, FetchesSelectedRows) {
+  auto table = SampleTable();
+  BitVector rows(3);
+  rows.Set(0);
+  rows.Set(2);
+  const auto result = MaterializeRows(*table, rows, {"name", "id"});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].row, 0u);
+  EXPECT_EQ((*result)[0].values[0], Value::Str("alpha"));
+  EXPECT_EQ((*result)[0].values[1], Value::Int(1));
+  EXPECT_EQ((*result)[1].row, 2u);
+  EXPECT_EQ((*result)[1].values[0], Value::Str("gamma"));
+}
+
+TEST(MaterializeTest, NullCellsSurvive) {
+  auto table = SampleTable();
+  BitVector rows(3);
+  rows.Set(1);
+  const auto result = MaterializeRows(*table, rows, {"name"});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE((*result)[0].values[0].is_null());
+}
+
+TEST(MaterializeTest, LimitCapsOutput) {
+  auto table = SampleTable();
+  BitVector rows(3, true);
+  const auto result = MaterializeRows(*table, rows, {"id"}, /*limit=*/2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(MaterializeTest, UnknownColumnRejected) {
+  auto table = SampleTable();
+  BitVector rows(3);
+  EXPECT_EQ(MaterializeRows(*table, rows, {"zzz"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MaterializeTest, SizeMismatchRejected) {
+  auto table = SampleTable();
+  EXPECT_EQ(
+      MaterializeRows(*table, BitVector(99), {"id"}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(MaterializeTest, RowsToStringAligns) {
+  auto table = SampleTable();
+  BitVector rows(3, true);
+  const auto result = MaterializeRows(*table, rows, {"id", "name"});
+  ASSERT_TRUE(result.ok());
+  const std::string text = RowsToString({"id", "name"}, *result);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("NULL"), std::string::npos);
+  // Header plus three rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(HierarchyNavigationTest, GroupsContainingHandlesMToN) {
+  Hierarchy h(12);
+  ASSERT_TRUE(h.AddLevel({"company",
+                          {{"a", {0, 1, 2, 3}},
+                           {"d", {2, 3, 8, 9}},
+                           {"e", {8, 9, 10, 11}}}})
+                  .ok());
+  // Branch 3 (ValueId 2) belongs to companies a and d (Figure 5's m:N).
+  const auto groups = h.GroupsContaining("company", 2);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(*groups, (std::vector<std::string>{"a", "d"}));
+  const auto none = h.GroupsContaining("company", 5);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_FALSE(h.GroupsContaining("nope", 0).ok());
+}
+
+TEST(HierarchyNavigationTest, DrillDownIsMembers) {
+  Hierarchy h(6);
+  ASSERT_TRUE(h.AddLevel({"g", {{"x", {1, 2, 5}}}}).ok());
+  const auto drilled = h.DrillDown("g", "x");
+  ASSERT_TRUE(drilled.ok());
+  EXPECT_EQ(*drilled, (std::vector<ValueId>{1, 2, 5}));
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,158 @@
+#include "encoding/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "encoding/well_defined.h"
+
+namespace ebi {
+namespace {
+
+TEST(OptimizerTest, GreedyHandlesEmptyPredicates) {
+  const auto mapping = GreedyEncode(8, {});
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->NumValues(), 8u);
+  EXPECT_EQ(mapping->width(), 3);
+}
+
+TEST(OptimizerTest, GreedyClustersCoAccessedValues) {
+  // Values {0,1,2,3} are always selected together: the greedy Gray
+  // assignment must give that selection cost 1 (a 2-subcube).
+  const PredicateSet preds = {{0, 1, 2, 3}};
+  const auto mapping = GreedyEncode(8, preds);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*AccessCost(*mapping, preds[0]), 1);
+}
+
+TEST(OptimizerTest, GreedyBeatsWorstCaseOnFigure3Selections) {
+  // The two overlapping selections of Figure 3.
+  const PredicateSet preds = {{0, 1, 2, 3}, {2, 3, 4, 5}};
+  const auto mapping = GreedyEncode(8, preds);
+  ASSERT_TRUE(mapping.ok());
+  const auto total = TotalAccessCost(*mapping, preds);
+  ASSERT_TRUE(total.ok());
+  // Optimal is 2 (Figure 3(a)); anything strictly below the worst case of
+  // 3+3 shows the heuristic is doing its job.
+  EXPECT_LE(*total, 4);
+}
+
+TEST(OptimizerTest, AnnealedMatchesPaperOptimumOnFigure3) {
+  const PredicateSet preds = {{0, 1, 2, 3}, {2, 3, 4, 5}};
+  OptimizerOptions options;
+  options.iterations = 3000;
+  options.seed = 11;
+  const auto mapping = AnnealEncode(8, preds, options);
+  ASSERT_TRUE(mapping.ok());
+  const auto total = TotalAccessCost(*mapping, preds);
+  ASSERT_TRUE(total.ok());
+  // Figure 3(a)/(a') achieve 1 + 1 = 2.
+  EXPECT_EQ(*total, 2);
+}
+
+TEST(OptimizerTest, AnnealedNeverWorseThanGreedy) {
+  const PredicateSet preds = {{0, 1, 2}, {3, 4, 5, 6}, {0, 6, 7}};
+  const auto greedy = GreedyEncode(8, preds);
+  ASSERT_TRUE(greedy.ok());
+  OptimizerOptions options;
+  options.iterations = 500;
+  const auto annealed = AnnealEncode(8, preds, options);
+  ASSERT_TRUE(annealed.ok());
+  EXPECT_LE(*TotalAccessCost(*annealed, preds),
+            *TotalAccessCost(*greedy, preds));
+}
+
+TEST(OptimizerTest, MappingsStayBijective) {
+  const PredicateSet preds = {{0, 1}, {2, 3}, {1, 2}};
+  OptimizerOptions options;
+  options.iterations = 300;
+  const auto mapping = AnnealEncode(6, preds, options);
+  ASSERT_TRUE(mapping.ok());
+  std::set<uint64_t> codes;
+  for (ValueId v = 0; v < 6; ++v) {
+    codes.insert(*mapping->CodeOf(v));
+  }
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(OptimizerTest, ReservedVoidSurvivesAnnealing) {
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  OptimizerOptions options;
+  options.iterations = 200;
+  const auto mapping = AnnealEncode(5, {{0, 1, 2}}, options, eo);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->void_code(), std::optional<uint64_t>(0));
+  for (ValueId v = 0; v < 5; ++v) {
+    EXPECT_NE(*mapping->CodeOf(v), 0u);
+  }
+}
+
+TEST(OptimizerTest, Figure6TotalOrderOptimized) {
+  // Figure 6: domain {101..106} (rank ids 0..5), with {101,102,104,105}
+  // usually accessed together. The paper's order-preserving mapping
+  // 000,001,010,100,101,110 gives that selection codes {000,001,100,101}
+  // = B1' — one vector. The exhaustive order-preserving search must find
+  // a cost-1 assignment too.
+  const PredicateSet favored = {{0, 1, 3, 4}};
+  const auto mapping = TotalOrderOptimizedEncode(6, favored);
+  ASSERT_TRUE(mapping.ok());
+  // Order preserved.
+  for (ValueId v = 0; v + 1 < 6; ++v) {
+    EXPECT_LT(*mapping->CodeOf(v), *mapping->CodeOf(v + 1));
+  }
+  EXPECT_EQ(*AccessCost(*mapping, favored[0]), 1);
+}
+
+TEST(OptimizerTest, Figure6PaperMappingCostMatches) {
+  // The exact mapping printed in Figure 6.
+  const auto mapping = MappingTable::Create(
+      3, {0b000, 0b001, 0b010, 0b100, 0b101, 0b110});
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*AccessCost(*mapping, {0, 1, 3, 4}), 1);
+  // Ranges still work: "102 <= A <= 104" = ids {1,2,3}.
+  const auto range_cost = AccessCost(*mapping, {1, 2, 3});
+  ASSERT_TRUE(range_cost.ok());
+  EXPECT_LE(*range_cost, 3);
+}
+
+TEST(OptimizerTest, TotalOrderOptimizedFallsBackWhenHuge) {
+  // 60 values in 6 bits: C(64,60) is small, but force the cap to trigger
+  // the fallback and check it stays order-preserving.
+  const auto mapping =
+      TotalOrderOptimizedEncode(60, {{0, 1, 2}}, EncoderOptions(),
+                                /*max_combinations=*/10);
+  ASSERT_TRUE(mapping.ok());
+  for (ValueId v = 0; v + 1 < 60; ++v) {
+    EXPECT_LT(*mapping->CodeOf(v), *mapping->CodeOf(v + 1));
+  }
+}
+
+TEST(OptimizerTest, TotalOrderOptimizedNeverWorseThanSequential) {
+  const PredicateSet favored = {{1, 2, 5, 6}};
+  EncoderOptions eo;
+  eo.extra_width = 1;  // Give the search spare codewords.
+  const auto optimized = TotalOrderOptimizedEncode(8, favored, eo);
+  const auto sequential = MakeTotalOrderMapping(8, eo);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_LE(*TotalAccessCost(*optimized, favored),
+            *TotalAccessCost(*sequential, favored));
+}
+
+TEST(OptimizerTest, DeterministicForFixedSeed) {
+  const PredicateSet preds = {{0, 1, 2, 3}, {4, 5}};
+  OptimizerOptions options;
+  options.iterations = 250;
+  options.seed = 77;
+  const auto a = AnnealEncode(8, preds, options);
+  const auto b = AnnealEncode(8, preds, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (ValueId v = 0; v < 8; ++v) {
+    EXPECT_EQ(*a->CodeOf(v), *b->CodeOf(v));
+  }
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,150 @@
+#include "index/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+using testing_util::ScanEquals;
+
+TEST(PersistenceTest, BitVectorRoundTrip) {
+  BitVector bits(130);
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveBitVector(stream, bits).ok());
+  const auto loaded = LoadBitVector(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, bits);
+}
+
+TEST(PersistenceTest, EmptyBitVectorRoundTrip) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveBitVector(stream, BitVector()).ok());
+  const auto loaded = LoadBitVector(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST(PersistenceTest, BitVectorBadMagicRejected) {
+  std::stringstream stream("garbage bytes here........");
+  EXPECT_EQ(LoadBitVector(stream).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, TruncatedStreamRejected) {
+  BitVector bits(1000, true);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveBitVector(stream, bits).ok());
+  const std::string full = stream.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_EQ(LoadBitVector(cut).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PersistenceTest, MappingTableRoundTrip) {
+  const auto mapping =
+      MappingTable::Create(3, {0b001, 0b010, 0b100}, 0, 0b111);
+  ASSERT_TRUE(mapping.ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveMappingTable(stream, *mapping).ok());
+  const auto loaded = LoadMappingTable(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->width(), 3);
+  EXPECT_EQ(loaded->void_code(), std::optional<uint64_t>(0));
+  EXPECT_EQ(loaded->null_code(), std::optional<uint64_t>(0b111));
+  for (ValueId v = 0; v < 3; ++v) {
+    EXPECT_EQ(*loaded->CodeOf(v), *mapping->CodeOf(v));
+  }
+}
+
+TEST(PersistenceTest, MappingTableWithoutReservedCodes) {
+  const auto mapping = MappingTable::Create(2, {0, 1, 2, 3});
+  ASSERT_TRUE(mapping.ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveMappingTable(stream, *mapping).ok());
+  const auto loaded = LoadMappingTable(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->void_code().has_value());
+  EXPECT_FALSE(loaded->null_code().has_value());
+}
+
+TEST(PersistenceTest, EncodedIndexRoundTripAnswersIdentically) {
+  auto table = RandomIntTable(500, 40, 21, /*null_fraction=*/0.1);
+  IoAccountant io;
+  EncodedBitmapIndex original(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(original.Build().ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveEncodedBitmapIndex(stream, original).ok());
+  const auto loaded = LoadEncodedBitmapIndex(
+      stream, &table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ((*loaded)->NumVectors(), original.NumVectors());
+  for (int64_t v = 0; v < 40; v += 3) {
+    const auto a = original.EvaluateEquals(Value::Int(v));
+    const auto b = (*loaded)->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << v;
+  }
+  const auto nulls = (*loaded)->EvaluateIsNull();
+  ASSERT_TRUE(nulls.ok());
+  EXPECT_EQ(*nulls, *original.EvaluateIsNull());
+}
+
+TEST(PersistenceTest, LoadedIndexSupportsAppends) {
+  auto table = IntTable({1, 2, 3});
+  IoAccountant io;
+  EncodedBitmapIndex original(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(original.Build().ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveEncodedBitmapIndex(stream, original).ok());
+  const auto loaded = LoadEncodedBitmapIndex(
+      stream, &table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(table->AppendRow({Value::Int(9)}).ok());
+  ASSERT_TRUE((*loaded)->Append(3).ok());
+  const auto rows = (*loaded)->EvaluateEquals(Value::Int(9));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->ToString(), "0001");
+}
+
+TEST(PersistenceTest, LoadAgainstWrongColumnRejected) {
+  auto table = IntTable({1, 2, 3});
+  IoAccountant io;
+  EncodedBitmapIndex original(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(original.Build().ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveEncodedBitmapIndex(stream, original).ok());
+
+  // A column with more rows than the saved slices cover.
+  auto other = IntTable({1, 2, 3, 4, 5});
+  EXPECT_FALSE(LoadEncodedBitmapIndex(stream, &other->column(0),
+                                      &other->existence(), &io)
+                   .ok());
+}
+
+TEST(PersistenceTest, MultipleObjectsInOneStream) {
+  std::stringstream stream;
+  const BitVector a = BitVector::FromString("101");
+  const BitVector b = BitVector::FromString("0110");
+  ASSERT_TRUE(SaveBitVector(stream, a).ok());
+  ASSERT_TRUE(SaveBitVector(stream, b).ok());
+  const auto la = LoadBitVector(stream);
+  const auto lb = LoadBitVector(stream);
+  ASSERT_TRUE(la.ok());
+  ASSERT_TRUE(lb.ok());
+  EXPECT_EQ(*la, a);
+  EXPECT_EQ(*lb, b);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,99 @@
+#include "index/projection_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::ScanEquals;
+using testing_util::ScanRange;
+
+class ProjectionIndexTest : public ::testing::Test {
+ protected:
+  void Init(std::unique_ptr<Table> table) {
+    table_ = std::move(table);
+    index_ = std::make_unique<ProjectionIndex>(&table_->column(0),
+                                               &table_->existence(), &io_);
+    ASSERT_TRUE(index_->Build().ok());
+  }
+
+  IoAccountant io_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<ProjectionIndex> index_;
+};
+
+TEST_F(ProjectionIndexTest, EqualsMatchesScan) {
+  Init(IntTable({4, 2, 4, 6, 2}));
+  const auto result = index_->EvaluateEquals(Value::Int(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), 4));
+}
+
+TEST_F(ProjectionIndexTest, InAndRangeMatchScan) {
+  Init(IntTable({9, 4, 6, 2, 8, 0, 3, 7, 5, 1}));
+  const auto in = index_->EvaluateIn({Value::Int(2), Value::Int(8)});
+  ASSERT_TRUE(in.ok());
+  BitVector expected = ScanEquals(*table_, table_->column(0), 2);
+  expected.OrWith(ScanEquals(*table_, table_->column(0), 8));
+  EXPECT_EQ(*in, expected);
+
+  const auto range = index_->EvaluateRange(3, 7);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, ScanRange(*table_, table_->column(0), 3, 7));
+}
+
+TEST_F(ProjectionIndexTest, SelectionsChargeFullScan) {
+  Init(IntTable({1, 2, 3, 4}));
+  io_.Reset();
+  ASSERT_TRUE(index_->EvaluateEquals(Value::Int(1)).ok());
+  EXPECT_EQ(io_.stats().bytes_read, 4 * sizeof(ValueId));
+  EXPECT_EQ(io_.stats().vectors_read, 0u);  // Horizontal, not vectors.
+}
+
+TEST_F(ProjectionIndexTest, FetchReturnsTupleValue) {
+  Init(IntTable({10, INT64_MIN, 30}));
+  const auto v = index_->Fetch(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(10));
+  const auto n = index_->Fetch(1);
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(n->is_null());
+  EXPECT_EQ(index_->Fetch(9).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ProjectionIndexTest, DeletedAndNullRowsExcluded) {
+  Init(IntTable({5, 5, INT64_MIN, 5}));
+  ASSERT_TRUE(table_->DeleteRow(0).ok());
+  const auto result = index_->EvaluateEquals(Value::Int(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "0101");
+}
+
+TEST_F(ProjectionIndexTest, AppendExtends) {
+  Init(IntTable({1}));
+  ASSERT_TRUE(table_->AppendRow({Value::Int(2)}).ok());
+  ASSERT_TRUE(index_->Append(1).ok());
+  const auto result = index_->EvaluateEquals(Value::Int(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "01");
+  EXPECT_EQ(index_->SizeBytes(), 2 * sizeof(ValueId));
+}
+
+TEST_F(ProjectionIndexTest, UnknownValueIsEmpty) {
+  Init(IntTable({1, 2}));
+  const auto result = index_->EvaluateEquals(Value::Int(99));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->IsZero());
+}
+
+TEST_F(ProjectionIndexTest, NumVectorsIsOne) {
+  Init(IntTable({1, 2, 3}));
+  EXPECT_EQ(index_->NumVectors(), 1u);
+  EXPECT_EQ(index_->Name(), "projection");
+}
+
+}  // namespace
+}  // namespace ebi

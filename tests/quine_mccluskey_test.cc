@@ -1,0 +1,191 @@
+#include "boolean/quine_mccluskey.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ebi {
+namespace {
+
+bool CoverMatches(const Cover& cover, const std::vector<uint64_t>& onset,
+                  const std::vector<uint64_t>& dontcare, int k) {
+  std::vector<bool> in_onset(uint64_t{1} << k, false);
+  std::vector<bool> in_dc(uint64_t{1} << k, false);
+  for (uint64_t m : onset) {
+    in_onset[m] = true;
+  }
+  for (uint64_t m : dontcare) {
+    in_dc[m] = true;
+  }
+  for (uint64_t m = 0; m < (uint64_t{1} << k); ++m) {
+    const bool covered = CoverCovers(cover, m);
+    if (in_onset[m] && !covered) {
+      return false;  // Must cover every onset minterm.
+    }
+    if (!in_onset[m] && !in_dc[m] && covered) {
+      return false;  // Must not cover offset minterms.
+    }
+  }
+  return true;
+}
+
+TEST(QuineMcCluskeyTest, EmptyOnsetGivesEmptyCover) {
+  EXPECT_TRUE(MinimizeQm({}, {}, 3).empty());
+}
+
+TEST(QuineMcCluskeyTest, SingleMinterm) {
+  const Cover cover = MinimizeQm({0b101}, {}, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube::MinTerm(0b101, 3));
+}
+
+TEST(QuineMcCluskeyTest, FigureOneReduction) {
+  // Section 2.2: f_a + f_b = B1'B0' + B1'B0 reduces to B1'.
+  const Cover cover = MinimizeQm({0b00, 0b01}, {}, 2);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube(0b00, 0b10));
+  EXPECT_EQ(DistinctVariables(cover), 1);
+}
+
+TEST(QuineMcCluskeyTest, FullCubeIsTautology) {
+  const Cover cover = MinimizeQm({0, 1, 2, 3, 4, 5, 6, 7}, {}, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].mask, 0u);
+}
+
+TEST(QuineMcCluskeyTest, Figure3WellDefinedMapping) {
+  // Figure 3(a): a=000, b=100, c=001, d=101, e=011, f=111, g=010, h=110.
+  // "A IN {a,b,c,d}" -> codes {000,100,001,101} reduces to B1'.
+  const Cover abcd = MinimizeQm({0b000, 0b100, 0b001, 0b101}, {}, 3);
+  EXPECT_EQ(DistinctVariables(abcd), 1);
+  ASSERT_EQ(abcd.size(), 1u);
+  EXPECT_EQ(abcd[0], Cube(0b000, 0b010));  // B1'.
+
+  // "A IN {c,d,e,f}" -> codes {001,101,011,111} reduces to B0.
+  const Cover cdef = MinimizeQm({0b001, 0b101, 0b011, 0b111}, {}, 3);
+  EXPECT_EQ(DistinctVariables(cdef), 1);
+  ASSERT_EQ(cdef.size(), 1u);
+  EXPECT_EQ(cdef[0], Cube(0b001, 0b001));  // B0.
+}
+
+TEST(QuineMcCluskeyTest, Figure3ImproperMappingNeedsThreeVectors) {
+  // Figure 3(b): a=000, c=001, g=010, b=011, e=100, d=101, h=110, f=111.
+  // "A IN {a,b,c,d}" -> {000,011,001,101}: the paper gives the irreducible
+  // B2'B1' + B2'B0 + B1'B0 — three bitmap vectors.
+  const std::vector<uint64_t> abcd = {0b000, 0b011, 0b001, 0b101};
+  const Cover cover_abcd = MinimizeQm(abcd, {}, 3);
+  EXPECT_EQ(DistinctVariables(cover_abcd), 3);
+  EXPECT_EQ(cover_abcd.size(), 3u);
+  EXPECT_EQ(TotalLiterals(cover_abcd), 6);  // Three 2-literal cubes.
+
+  // "A IN {c,d,e,f}" -> {001,101,100,111}: also three vectors.
+  const std::vector<uint64_t> cdef = {0b001, 0b101, 0b100, 0b111};
+  const Cover cover_cdef = MinimizeQm(cdef, {}, 3);
+  EXPECT_EQ(DistinctVariables(cover_cdef), 3);
+}
+
+TEST(QuineMcCluskeyTest, DontCaresEnableBetterCovers) {
+  // Onset {00}, dc {01}: the minimizer may (and should) use B1' instead of
+  // the 2-literal min-term.
+  const Cover cover = MinimizeQm({0b00}, {0b01}, 2);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube(0b00, 0b10));
+}
+
+TEST(QuineMcCluskeyTest, DontCaresNotCoveredUnlessUseful) {
+  // dc minterms may be covered but the cover must hit all of the onset and
+  // none of the offset.
+  const std::vector<uint64_t> onset = {0, 2, 5, 7};
+  const std::vector<uint64_t> dc = {1, 6};
+  const Cover cover = MinimizeQm(onset, dc, 3);
+  EXPECT_TRUE(CoverMatches(cover, onset, dc, 3));
+}
+
+TEST(QuineMcCluskeyTest, XorFunctionNeedsAllMinterms) {
+  // XOR has no adjacent minterms; cover stays at two 2-literal cubes.
+  const Cover cover = MinimizeQm({0b01, 0b10}, {}, 2);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_EQ(TotalLiterals(cover), 4);
+}
+
+TEST(QuineMcCluskeyTest, PrimeImplicantsOfFullSquare) {
+  const std::vector<Cube> primes = PrimeImplicants({0, 1, 2, 3}, {}, 2);
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].mask, 0u);
+}
+
+TEST(QuineMcCluskeyTest, PrimeImplicantsClassic) {
+  // Classic example: f(x2,x1,x0) with onset {0,1,2,5,6,7}: primes are
+  // x2'x1', x1'x0, x2'x0', x1x0', x2x0, x2x1.
+  const std::vector<Cube> primes = PrimeImplicants({0, 1, 2, 5, 6, 7}, {}, 3);
+  EXPECT_EQ(primes.size(), 6u);
+  for (const Cube& p : primes) {
+    EXPECT_EQ(p.NumLiterals(), 2);
+  }
+}
+
+TEST(QuineMcCluskeyTest, ClassicMinimalCoverSize) {
+  // The onset above has two minimal covers of size 3.
+  const Cover cover = MinimizeQm({0, 1, 2, 5, 6, 7}, {}, 3);
+  EXPECT_EQ(cover.size(), 3u);
+  EXPECT_TRUE(CoverMatches(cover, {0, 1, 2, 5, 6, 7}, {}, 3));
+}
+
+TEST(QuineMcCluskeyTest, PrefixSelectionsReduceLikePaperSection31) {
+  // Consecutive codes [0, 2^j) over k bits must reduce to k-j variables.
+  const int k = 6;
+  for (int j = 0; j <= k; ++j) {
+    std::vector<uint64_t> onset;
+    for (uint64_t c = 0; c < (uint64_t{1} << j); ++c) {
+      onset.push_back(c);
+    }
+    const Cover cover = MinimizeQm(onset, {}, k);
+    EXPECT_EQ(DistinctVariables(cover), k - j) << "j=" << j;
+  }
+}
+
+class QmRandomPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmRandomPropertyTest, CoverIsEquivalentAndIrredundant) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int k = 2 + static_cast<int>(rng.UniformInt(4));  // 2..5 vars.
+  const uint64_t space = uint64_t{1} << k;
+  std::vector<uint64_t> onset;
+  std::vector<uint64_t> dc;
+  for (uint64_t m = 0; m < space; ++m) {
+    const double roll = rng.UniformDouble();
+    if (roll < 0.4) {
+      onset.push_back(m);
+    } else if (roll < 0.5) {
+      dc.push_back(m);
+    }
+  }
+  const Cover cover = MinimizeQm(onset, dc, k);
+  EXPECT_TRUE(CoverMatches(cover, onset, dc, k)) << "seed=" << seed;
+
+  // Irredundancy: dropping any cube must break coverage of the onset.
+  for (size_t drop = 0; drop < cover.size(); ++drop) {
+    Cover without;
+    for (size_t i = 0; i < cover.size(); ++i) {
+      if (i != drop) {
+        without.push_back(cover[i]);
+      }
+    }
+    bool all_covered = true;
+    for (uint64_t m : onset) {
+      if (!CoverCovers(without, m)) {
+        all_covered = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(all_covered && !onset.empty())
+        << "cube " << drop << " redundant, seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmRandomPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ebi

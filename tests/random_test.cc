@@ -1,0 +1,109 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ebi {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(11);
+  std::map<uint64_t, int> counts;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.UniformInt(4)];
+  }
+  for (uint64_t v = 0; v < 4; ++v) {
+    EXPECT_GT(counts[v], draws / 4 - draws / 20);
+    EXPECT_LT(counts[v], draws / 4 + draws / 20);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfGenerator zipf(10, 0.0, 23);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[zipf.Next()];
+  }
+  for (uint64_t v = 0; v < 10; ++v) {
+    EXPECT_GT(counts[v], 3500);
+    EXPECT_LT(counts[v], 6500);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallRanks) {
+  ZipfGenerator zipf(100, 1.0, 29);
+  std::map<uint64_t, int> counts;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[zipf.Next()];
+  }
+  // Rank 0 should appear far more often than rank 50 under theta = 1.
+  EXPECT_GT(counts[0], 5 * std::max(counts[50], 1));
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(7, 0.8, 31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,138 @@
+#include "encoding/range_encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace ebi {
+namespace {
+
+/// The predefined selections of Section 2.3's range-based example:
+/// 6<=A<10, 8<=A<12, 10<=A<13, 16<=A<20 over domain [6, 20).
+std::vector<HalfOpenRange> PaperRanges() {
+  return {{6, 10}, {8, 12}, {10, 13}, {16, 20}};
+}
+
+TEST(RangeEncodingTest, Figure7Partition) {
+  const auto enc = RangeBasedEncoding::Create(6, 20, PaperRanges());
+  ASSERT_TRUE(enc.ok());
+  const std::vector<HalfOpenRange> expected = {
+      {6, 8}, {8, 10}, {10, 12}, {12, 13}, {13, 16}, {16, 20}};
+  EXPECT_EQ(enc->intervals(), expected);
+}
+
+TEST(RangeEncodingTest, IntervalOfLookups) {
+  const auto enc = RangeBasedEncoding::Create(6, 20, PaperRanges());
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(*enc->IntervalOf(6), 0u);
+  EXPECT_EQ(*enc->IntervalOf(7), 0u);
+  EXPECT_EQ(*enc->IntervalOf(8), 1u);
+  EXPECT_EQ(*enc->IntervalOf(12), 3u);
+  EXPECT_EQ(*enc->IntervalOf(19), 5u);
+  EXPECT_FALSE(enc->IntervalOf(5).ok());
+  EXPECT_FALSE(enc->IntervalOf(20).ok());
+}
+
+TEST(RangeEncodingTest, CoverSemanticsMatchIntervals) {
+  const auto enc = RangeBasedEncoding::Create(6, 20, PaperRanges());
+  ASSERT_TRUE(enc.ok());
+  for (const HalfOpenRange& r : PaperRanges()) {
+    const auto cover = enc->CoverForRange(r.lo, r.hi);
+    ASSERT_TRUE(cover.ok()) << r.ToString();
+    // The cover must accept exactly the codes of the covered intervals.
+    for (size_t i = 0; i < enc->intervals().size(); ++i) {
+      const bool inside = enc->intervals()[i].lo >= r.lo &&
+                          enc->intervals()[i].hi <= r.hi;
+      const uint64_t code = *enc->mapping().CodeOf(static_cast<ValueId>(i));
+      EXPECT_EQ(CoverCovers(*cover, code), inside)
+          << r.ToString() << " interval " << i;
+    }
+  }
+}
+
+TEST(RangeEncodingTest, PredefinedRangesAreCheap) {
+  // Under the paper's hand encoding every predefined selection needs at
+  // most 2 bitmap vectors; the optimizer should do as well in total.
+  const auto enc = RangeBasedEncoding::Create(6, 20, PaperRanges());
+  ASSERT_TRUE(enc.ok());
+  int total = 0;
+  for (const HalfOpenRange& r : PaperRanges()) {
+    const auto cover = enc->CoverForRange(r.lo, r.hi);
+    ASSERT_TRUE(cover.ok());
+    total += DistinctVariables(*cover);
+  }
+  EXPECT_LE(total, 8);  // Paper encoding: 2+2+2+2.
+}
+
+TEST(RangeEncodingTest, PaperFigure8MappingReducesAsPrinted) {
+  // Figure 8(a): [6,8)=000, [8,10)=001, [10,12)=101, [12,13)=100,
+  // [13,16)=010, [16,20)=110 — with that mapping, "8 <= A < 12" reduces to
+  // B1'B0 (Figure 8(b)).
+  const auto mapping = MappingTable::Create(
+      3, {0b000, 0b001, 0b101, 0b100, 0b010, 0b110});
+  ASSERT_TRUE(mapping.ok());
+  const std::vector<uint64_t> dc = mapping->UnusedCodes(8);
+  // 8<=A<12 selects intervals 1 and 2 -> codes {001, 101}. The paper
+  // prints B1'B0; exploiting the unused codewords {011, 111} as
+  // don't-cares the exact minimizer does one better and returns plain B0
+  // (codes xx1 are either selected or unused).
+  Cover cover = ReduceRetrievalFunction({0b001, 0b101}, dc, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube(0b001, 0b001));  // B0.
+  // Without don't-cares the reduction lands exactly on the paper's B1'B0.
+  cover = ReduceRetrievalFunction({0b001, 0b101}, {}, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube(0b001, 0b011));  // B1'B0.
+  // 6<=A<10 -> intervals 0,1 -> {000, 001} -> B2'B1'.
+  cover = ReduceRetrievalFunction({0b000, 0b001}, dc, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube(0b000, 0b110));  // B2'B1'.
+  // 10<=A<13 -> intervals 2,3 -> {101, 100} -> B2B1'.
+  cover = ReduceRetrievalFunction({0b101, 0b100}, dc, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube(0b100, 0b110));  // B2B1'.
+  // 16<=A<20 -> interval 5 -> {110}; dc {011,111} allows B2B1.
+  cover = ReduceRetrievalFunction({0b110}, dc, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Cube(0b110, 0b110));  // B2B1.
+}
+
+TEST(RangeEncodingTest, UnalignedRangeRejected) {
+  const auto enc = RangeBasedEncoding::Create(6, 20, PaperRanges());
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->CoverForRange(7, 11).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RangeEncodingTest, EmptyRangeGivesEmptyCover) {
+  const auto enc = RangeBasedEncoding::Create(6, 20, PaperRanges());
+  ASSERT_TRUE(enc.ok());
+  const auto cover = enc->CoverForRange(10, 10);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(cover->empty());
+}
+
+TEST(RangeEncodingTest, WholeDomainSelection) {
+  const auto enc = RangeBasedEncoding::Create(6, 20, PaperRanges());
+  ASSERT_TRUE(enc.ok());
+  const auto cover = enc->CoverForRange(6, 20);
+  ASSERT_TRUE(cover.ok());
+  // With the unused codewords as don't-cares the whole-domain selection is
+  // a tautology: zero bitmap vectors read.
+  EXPECT_EQ(DistinctVariables(*cover), 0);
+}
+
+TEST(RangeEncodingTest, NoPredefinedRangesDegenerates) {
+  // No predefined selections: a single interval spanning the domain — the
+  // degenerate case the paper mentions.
+  const auto enc = RangeBasedEncoding::Create(0, 100, {});
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->intervals().size(), 1u);
+}
+
+TEST(RangeEncodingTest, RejectsBadInputs) {
+  EXPECT_FALSE(RangeBasedEncoding::Create(10, 10, {}).ok());
+  EXPECT_FALSE(RangeBasedEncoding::Create(0, 10, {{5, 5}}).ok());
+  EXPECT_FALSE(RangeBasedEncoding::Create(0, 10, {{5, 15}}).ok());
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,161 @@
+#include "query/reencode_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "encoding/well_defined.h"
+#include "index/encoded_bitmap_index.h"
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::ScanEquals;
+
+TEST(ReencodeIndexTest, ReencodePreservesAnswers) {
+  auto table = IntTable({0, 1, 2, 3, 4, 5, 6, 7, 2, 5});
+  IoAccountant io;
+  EncodedBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+
+  // Re-encode with a Gray mapping (void still reserved).
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  auto gray = MakeGrayMapping(8, eo);
+  ASSERT_TRUE(gray.ok());
+  ASSERT_TRUE(index.Reencode(std::move(gray).value()).ok());
+
+  for (int64_t v = 0; v < 8; ++v) {
+    const auto rows = index.EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(*rows, ScanEquals(*table, table->column(0), v)) << v;
+  }
+}
+
+TEST(ReencodeIndexTest, ReencodeChangesAccessCosts) {
+  auto table = IntTable({0, 1, 2, 3, 4, 5, 6, 7});
+  IoAccountant io;
+  EncodedBitmapIndexOptions options;
+  options.reserve_void_zero = false;
+  options.strategy = EncodingStrategy::kRandom;
+  options.random_seed = 12345;
+  EncodedBitmapIndex index(&table->column(0), &table->existence(), &io,
+                           options);
+  ASSERT_TRUE(index.Build().ok());
+  const std::vector<Value> pred = {Value::Int(0), Value::Int(1),
+                                   Value::Int(2), Value::Int(3)};
+  const int before = *index.AccessCostForIn(pred);
+
+  auto sequential = MakeSequentialMapping(8);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(index.Reencode(std::move(sequential).value()).ok());
+  const int after = *index.AccessCostForIn(pred);
+  EXPECT_EQ(after, 1);  // {0..3} is the low subcube under sequential codes.
+  EXPECT_LE(after, before);
+}
+
+TEST(ReencodeIndexTest, ReencodeKeepsDeletedRowsVoid) {
+  auto table = IntTable({1, 2, 1});
+  IoAccountant io;
+  EncodedBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  ASSERT_TRUE(table->DeleteRow(0).ok());
+  ASSERT_TRUE(index.MarkDeleted(0).ok());
+
+  EncoderOptions eo;
+  eo.reserve_void_zero = true;
+  auto gray = MakeGrayMapping(2, eo);
+  ASSERT_TRUE(gray.ok());
+  ASSERT_TRUE(index.Reencode(std::move(gray).value()).ok());
+  const auto rows = index.EvaluateEquals(Value::Int(1));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->ToString(), "001");
+}
+
+TEST(ReencodeIndexTest, UndersizedMappingRejected) {
+  auto table = IntTable({0, 1, 2, 3});
+  IoAccountant io;
+  EncodedBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  auto tiny = MakeSequentialMapping(2);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(index.Reencode(std::move(tiny).value()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReencodeIndexTest, NullColumnNeedsNullCode) {
+  auto table = IntTable({1, INT64_MIN, 2});
+  IoAccountant io;
+  EncodedBitmapIndex index(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(index.Build().ok());
+  auto no_null = MakeSequentialMapping(2);  // No NULL codeword.
+  ASSERT_TRUE(no_null.ok());
+  EXPECT_EQ(index.Reencode(std::move(no_null).value()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReencodeAdvisorTest, RecommendsCheaperMapping) {
+  // Workload hammers {0,1,2,3}; the random current mapping is bad for it.
+  Rng rng(5);
+  auto current = MakeRandomMapping(8, &rng);
+  ASSERT_TRUE(current.ok());
+  auto candidate = MakeSequentialMapping(8);
+  ASSERT_TRUE(candidate.ok());
+
+  const WorkloadProfile profile = {{{0, 1, 2, 3}, /*frequency=*/100.0}};
+  const auto decision =
+      EvaluateReencoding(*current, *candidate, profile, 1000);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->candidate_cost, 100.0);  // 1 vector * 100 queries.
+  EXPECT_GT(decision->current_cost, decision->candidate_cost);
+  EXPECT_TRUE(decision->worthwhile);
+  EXPECT_LT(decision->break_even_periods, 1.0);
+}
+
+TEST(ReencodeAdvisorTest, RejectsPointlessReencoding) {
+  auto a = MakeSequentialMapping(8);
+  auto b = MakeSequentialMapping(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const WorkloadProfile profile = {{{0, 1}, 1.0}};
+  const auto decision = EvaluateReencoding(*a, *b, profile, 1000);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->worthwhile);
+  EXPECT_TRUE(std::isinf(decision->break_even_periods));
+}
+
+TEST(ReencodeAdvisorTest, ProposeFindsGoodCandidate) {
+  Rng rng(17);
+  auto current = MakeRandomMapping(8, &rng);
+  ASSERT_TRUE(current.ok());
+  const WorkloadProfile profile = {{{0, 1, 2, 3}, 50.0}, {{2, 3, 4, 5}, 50.0}};
+  OptimizerOptions options;
+  options.iterations = 2500;
+  const auto proposal = ProposeReencoding(*current, profile, 8, 1000,
+                                          options);
+  ASSERT_TRUE(proposal.ok());
+  // The annealer reaches the Figure 3(a) optimum: cost 1 per predicate.
+  EXPECT_EQ(proposal->decision.candidate_cost, 100.0);
+  EXPECT_LE(proposal->decision.candidate_cost,
+            proposal->decision.current_cost);
+}
+
+TEST(ReencodeAdvisorTest, FrequenciesWeightCosts) {
+  auto seq = MakeSequentialMapping(8);
+  Rng rng(23);
+  auto rnd = MakeRandomMapping(8, &rng);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(rnd.ok());
+  const WorkloadProfile light = {{{0, 1, 2, 3}, 1.0}};
+  const WorkloadProfile heavy = {{{0, 1, 2, 3}, 1000.0}};
+  const auto d_light = EvaluateReencoding(*rnd, *seq, light, 100);
+  const auto d_heavy = EvaluateReencoding(*rnd, *seq, heavy, 100);
+  ASSERT_TRUE(d_light.ok());
+  ASSERT_TRUE(d_heavy.ok());
+  EXPECT_LE(d_heavy->break_even_periods, d_light->break_even_periods);
+}
+
+}  // namespace
+}  // namespace ebi

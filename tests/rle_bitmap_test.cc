@@ -1,0 +1,146 @@
+#include "util/rle_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ebi {
+namespace {
+
+TEST(RleBitmapTest, EmptyRoundTrip) {
+  const RleBitmap rle = RleBitmap::Compress(BitVector());
+  EXPECT_EQ(rle.size(), 0u);
+  EXPECT_EQ(rle.Count(), 0u);
+  EXPECT_EQ(rle.Decompress(), BitVector());
+}
+
+TEST(RleBitmapTest, AllZerosRoundTrip) {
+  const BitVector v(1000);
+  const RleBitmap rle = RleBitmap::Compress(v);
+  EXPECT_EQ(rle.Decompress(), v);
+  EXPECT_EQ(rle.Count(), 0u);
+  // One run of 1000 zeros: 4 bytes against 125 plain.
+  EXPECT_LT(rle.SizeBytes(), 16u);
+}
+
+TEST(RleBitmapTest, AllOnesRoundTrip) {
+  const BitVector v(1000, true);
+  const RleBitmap rle = RleBitmap::Compress(v);
+  EXPECT_EQ(rle.Decompress(), v);
+  EXPECT_EQ(rle.Count(), 1000u);
+}
+
+TEST(RleBitmapTest, LeadingOneRoundTrip) {
+  const BitVector v = BitVector::FromString("110001");
+  const RleBitmap rle = RleBitmap::Compress(v);
+  EXPECT_EQ(rle.Decompress(), v);
+  EXPECT_EQ(rle.Count(), 3u);
+}
+
+TEST(RleBitmapTest, FromRunsMatchesCompress) {
+  // 3 zeros, 2 ones, 1 zero, 4 ones.
+  const RleBitmap a = RleBitmap::FromRuns({3, 2, 1, 4});
+  const RleBitmap b = RleBitmap::Compress(BitVector::FromString("0001101111"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(RleBitmapTest, FromRunsNormalizesEmptyAndAdjacentRuns) {
+  // {2,0,3} = 2 zeros, 0 ones, 3 zeros = 5 zeros.
+  const RleBitmap a = RleBitmap::FromRuns({2, 0, 3});
+  const RleBitmap b = RleBitmap::Compress(BitVector(5));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.NumRuns(), 1u);
+}
+
+TEST(RleBitmapTest, AndOnCompressedForm) {
+  const BitVector a = BitVector::FromString("11001100");
+  const BitVector b = BitVector::FromString("10101010");
+  const RleBitmap result =
+      RleBitmap::And(RleBitmap::Compress(a), RleBitmap::Compress(b));
+  EXPECT_EQ(result.Decompress(), And(a, b));
+}
+
+TEST(RleBitmapTest, OrOnCompressedForm) {
+  const BitVector a = BitVector::FromString("11001100");
+  const BitVector b = BitVector::FromString("10101010");
+  const RleBitmap result =
+      RleBitmap::Or(RleBitmap::Compress(a), RleBitmap::Compress(b));
+  EXPECT_EQ(result.Decompress(), Or(a, b));
+}
+
+TEST(RleBitmapTest, NotOnCompressedForm) {
+  const BitVector a = BitVector::FromString("0011010");
+  EXPECT_EQ(RleBitmap::Compress(a).Not().Decompress(), Not(a));
+}
+
+TEST(RleBitmapTest, NotOfAllZeros) {
+  const BitVector a(100);
+  EXPECT_EQ(RleBitmap::Compress(a).Not().Decompress(), Not(a));
+}
+
+TEST(RleBitmapTest, DoubleNotIsIdentity) {
+  const BitVector a = BitVector::FromString("101100011");
+  const RleBitmap rle = RleBitmap::Compress(a);
+  EXPECT_EQ(rle.Not().Not(), rle);
+}
+
+TEST(RleBitmapTest, SparseBitmapCompressesWell) {
+  BitVector v(100000);
+  v.Set(5);
+  v.Set(70000);
+  const RleBitmap rle = RleBitmap::Compress(v);
+  EXPECT_GT(rle.CompressionRatio(), 100.0);
+  EXPECT_EQ(rle.Decompress(), v);
+}
+
+TEST(RleBitmapTest, DenseRandomBitmapDoesNotCompress) {
+  Rng rng(3);
+  BitVector v(10000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (rng.Bernoulli(0.5)) {
+      v.Set(i);
+    }
+  }
+  const RleBitmap rle = RleBitmap::Compress(v);
+  // ~50% density alternates constantly; RLE expands.
+  EXPECT_LT(rle.CompressionRatio(), 1.0);
+  EXPECT_EQ(rle.Decompress(), v);
+}
+
+class RleBitmapPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, double>> {};
+
+TEST_P(RleBitmapPropertyTest, RoundTripAndOpsMatchPlain) {
+  const auto [n, density] = GetParam();
+  Rng rng(n * 131 + static_cast<uint64_t>(density * 100));
+  BitVector a(n);
+  BitVector b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(density)) {
+      a.Set(i);
+    }
+    if (rng.Bernoulli(density)) {
+      b.Set(i);
+    }
+  }
+  const RleBitmap ca = RleBitmap::Compress(a);
+  const RleBitmap cb = RleBitmap::Compress(b);
+  EXPECT_EQ(ca.Decompress(), a);
+  EXPECT_EQ(ca.Count(), a.Count());
+  EXPECT_EQ(RleBitmap::And(ca, cb).Decompress(), And(a, b));
+  EXPECT_EQ(RleBitmap::Or(ca, cb).Decompress(), Or(a, b));
+  EXPECT_EQ(ca.Not().Decompress(), Not(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, RleBitmapPropertyTest,
+    ::testing::Values(std::pair<size_t, double>{1, 0.5},
+                      std::pair<size_t, double>{64, 0.01},
+                      std::pair<size_t, double>{65, 0.99},
+                      std::pair<size_t, double>{1000, 0.001},
+                      std::pair<size_t, double>{1000, 0.5},
+                      std::pair<size_t, double>{5000, 0.1},
+                      std::pair<size_t, double>{5000, 0.9}));
+
+}  // namespace
+}  // namespace ebi

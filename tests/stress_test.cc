@@ -1,0 +1,126 @@
+// Long-running randomized end-to-end stress: a three-column table managed
+// by IndexManager with a full complement of index families, driven through
+// thousands of interleaved appends, deletes, and planned selections, each
+// checked against the scan reference. This is the closest thing to a
+// soak test the library has.
+
+#include <gtest/gtest.h>
+
+#include "ebi/ebi.h"
+
+namespace ebi {
+namespace {
+
+class StressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>("F");
+    ASSERT_TRUE(table_->AddColumn("a", Column::Type::kInt64).ok());
+    ASSERT_TRUE(table_->AddColumn("b", Column::Type::kInt64).ok());
+    ASSERT_TRUE(table_->AddColumn("c", Column::Type::kInt64).ok());
+    Rng rng(2026);
+    // Pin the measure column's minimum so later appends never fall below
+    // the bit-sliced index's bias.
+    ASSERT_TRUE(
+        table_->AppendRow({Value::Int(0), Value::Int(0), Value::Int(0)})
+            .ok());
+    for (int r = 0; r < 1499; ++r) {
+      ASSERT_TRUE(table_->AppendRow(Row(&rng)).ok());
+    }
+    manager_ = std::make_unique<IndexManager>(table_.get(), &io_);
+    ASSERT_TRUE(manager_->CreateIndex("a", IndexKind::kSimpleBitmap).ok());
+    ASSERT_TRUE(manager_->CreateIndex("a", IndexKind::kEncodedBitmap).ok());
+    ASSERT_TRUE(manager_->CreateIndex("b", IndexKind::kEncodedBitmap).ok());
+    ASSERT_TRUE(manager_->CreateIndex("b", IndexKind::kBTree).ok());
+    ASSERT_TRUE(manager_->CreateIndex("c", IndexKind::kBitSliced).ok());
+    ASSERT_TRUE(manager_->CreateIndex("c", IndexKind::kValueList).ok());
+    executor_ =
+        std::make_unique<SelectionExecutor>(table_.get(), &io_);
+  }
+
+  std::vector<Value> Row(Rng* rng) {
+    return {Value::Int(static_cast<int64_t>(rng->UniformInt(80))),
+            rng->Bernoulli(0.05)
+                ? Value::Null()
+                : Value::Int(static_cast<int64_t>(rng->UniformInt(40))),
+            Value::Int(static_cast<int64_t>(rng->UniformInt(1000)))};
+  }
+
+  Predicate RandomPredicate(Rng* rng) {
+    const int which = static_cast<int>(rng->UniformInt(4));
+    switch (which) {
+      case 0:
+        return Predicate::Eq(
+            "a", Value::Int(static_cast<int64_t>(rng->UniformInt(90))));
+      case 1: {
+        std::vector<Value> values;
+        const size_t width = 1 + rng->UniformInt(12);
+        for (size_t i = 0; i < width; ++i) {
+          values.push_back(
+              Value::Int(static_cast<int64_t>(rng->UniformInt(45))));
+        }
+        return Predicate::In("b", std::move(values));
+      }
+      case 2: {
+        const int64_t lo = static_cast<int64_t>(rng->UniformInt(1000));
+        return Predicate::Between(
+            "c", lo, lo + static_cast<int64_t>(rng->UniformInt(300)));
+      }
+      default:
+        return Predicate::IsNull("b");
+    }
+  }
+
+  IoAccountant io_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<IndexManager> manager_;
+  std::unique_ptr<SelectionExecutor> executor_;
+};
+
+TEST_F(StressTest, ThousandsOfMixedOperationsStayConsistent) {
+  Rng rng(777);
+  size_t queries_checked = 0;
+  for (int step = 0; step < 2500; ++step) {
+    const double roll = rng.UniformDouble();
+    if (roll < 0.35) {
+      ASSERT_TRUE(manager_->AppendRow(Row(&rng)).ok()) << step;
+    } else if (roll < 0.45) {
+      const size_t victim =
+          static_cast<size_t>(rng.UniformInt(table_->NumRows()));
+      if (table_->RowExists(victim)) {
+        ASSERT_TRUE(manager_->DeleteRow(victim).ok()) << step;
+      }
+    } else {
+      std::vector<Predicate> query = {RandomPredicate(&rng)};
+      if (rng.Bernoulli(0.4)) {
+        query.push_back(RandomPredicate(&rng));
+      }
+      const auto planned = manager_->Select(query);
+      ASSERT_TRUE(planned.ok()) << step;
+      const auto scanned = executor_->SelectByScan(query);
+      ASSERT_TRUE(scanned.ok()) << step;
+      ASSERT_EQ(planned->rows, *scanned)
+          << "step " << step << ": " << query[0].ToString();
+      ++queries_checked;
+    }
+  }
+  EXPECT_GT(queries_checked, 1000u);
+  EXPECT_GT(table_->NumRows(), 1500u);
+}
+
+TEST_F(StressTest, IsNullPlannedMatchesScanUnderChurn) {
+  Rng rng(31);
+  for (int step = 0; step < 300; ++step) {
+    ASSERT_TRUE(manager_->AppendRow(Row(&rng)).ok());
+  }
+  const std::vector<Predicate> query = {Predicate::IsNull("b")};
+  const auto planned = manager_->Select(query);
+  const auto scanned = executor_->SelectByScan(query);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(planned->rows, *scanned);
+  EXPECT_GT(planned->count, 0u);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,129 @@
+#include "index/value_list_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+using testing_util::ScanEquals;
+using testing_util::ScanRange;
+
+class ValueListIndexTest : public ::testing::Test {
+ protected:
+  void Init(std::unique_ptr<Table> table,
+            ValueListIndexOptions options = {}) {
+    table_ = std::move(table);
+    index_ = std::make_unique<ValueListIndex>(
+        &table_->column(0), &table_->existence(), &io_, options);
+    ASSERT_TRUE(index_->Build().ok());
+  }
+
+  IoAccountant io_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<ValueListIndex> index_;
+};
+
+TEST_F(ValueListIndexTest, EqualsMatchesScan) {
+  Init(IntTable({4, 2, 4, 6, 2, 4}));
+  for (int64_t v : {2, 4, 6, 9}) {
+    const auto result = index_->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ScanEquals(*table_, table_->column(0), v)) << v;
+  }
+}
+
+TEST_F(ValueListIndexTest, RangeMatchesScan) {
+  Init(IntTable({9, 4, 6, 2, 8, 0, 3, 7, 5, 1}));
+  const auto result = index_->EvaluateRange(3, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, ScanRange(*table_, table_->column(0), 3, 7));
+}
+
+TEST_F(ValueListIndexTest, DenseKeysUseBitmaps) {
+  // Cardinality 4 over 400 rows: every key is dense.
+  Init(RandomIntTable(400, 4, 1));
+  EXPECT_DOUBLE_EQ(index_->FractionBitmapKeys(), 1.0);
+  EXPECT_EQ(index_->NumVectors(), table_->column(0).Cardinality());
+}
+
+TEST_F(ValueListIndexTest, HighCardinalityDegradesToRidLists) {
+  // The paper's critique: high cardinality -> sparse postings -> the
+  // hybrid reduces to a plain B-tree (no bitmaps at all).
+  ValueListIndexOptions options;
+  options.bitmap_density_threshold = 1.0 / 64.0;
+  Init(RandomIntTable(500, 450, 2), options);
+  EXPECT_LT(index_->FractionBitmapKeys(), 0.05);
+}
+
+TEST_F(ValueListIndexTest, ThresholdControlsRepresentation) {
+  ValueListIndexOptions all_bitmaps;
+  all_bitmaps.bitmap_density_threshold = 0.0;
+  Init(RandomIntTable(200, 50, 3), all_bitmaps);
+  EXPECT_DOUBLE_EQ(index_->FractionBitmapKeys(), 1.0);
+
+  ValueListIndexOptions no_bitmaps;
+  no_bitmaps.bitmap_density_threshold = 2.0;
+  Init(RandomIntTable(200, 50, 3), no_bitmaps);
+  EXPECT_DOUBLE_EQ(index_->FractionBitmapKeys(), 0.0);
+}
+
+TEST_F(ValueListIndexTest, BothRepresentationsAnswerIdentically) {
+  for (double threshold : {0.0, 0.05, 2.0}) {
+    ValueListIndexOptions options;
+    options.bitmap_density_threshold = threshold;
+    auto table = RandomIntTable(300, 30, 4);
+    IoAccountant io;
+    ValueListIndex index(&table->column(0), &table->existence(), &io,
+                         options);
+    ASSERT_TRUE(index.Build().ok());
+    for (int64_t v = 0; v < 30; v += 5) {
+      const auto result = index.EvaluateEquals(Value::Int(v));
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(*result, ScanEquals(*table, table->column(0), v))
+          << "threshold=" << threshold << " v=" << v;
+    }
+  }
+}
+
+TEST_F(ValueListIndexTest, AppendNewAndExistingKeys) {
+  Init(IntTable({1, 2}));
+  ASSERT_TRUE(table_->AppendRow({Value::Int(2)}).ok());
+  ASSERT_TRUE(index_->Append(2).ok());
+  ASSERT_TRUE(table_->AppendRow({Value::Int(9)}).ok());
+  ASSERT_TRUE(index_->Append(3).ok());
+  const auto two = index_->EvaluateEquals(Value::Int(2));
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->ToString(), "0110");
+  const auto nine = index_->EvaluateEquals(Value::Int(9));
+  ASSERT_TRUE(nine.ok());
+  EXPECT_EQ(nine->ToString(), "0001");
+}
+
+TEST_F(ValueListIndexTest, DeletedRowsMasked) {
+  Init(IntTable({3, 3, 3}));
+  ASSERT_TRUE(table_->DeleteRow(0).ok());
+  const auto result = index_->EvaluateEquals(Value::Int(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "011");
+}
+
+TEST_F(ValueListIndexTest, NullsSkipped) {
+  Init(IntTable({1, INT64_MIN, 1}));
+  const auto result = index_->EvaluateRange(0, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "101");
+}
+
+TEST_F(ValueListIndexTest, LookupChargesDescent) {
+  Init(RandomIntTable(500, 100, 5));
+  io_.Reset();
+  ASSERT_TRUE(index_->EvaluateEquals(table_->column(0).ValueAt(0)).ok());
+  EXPECT_GE(io_.stats().nodes_read, 1u);
+}
+
+}  // namespace
+}  // namespace ebi

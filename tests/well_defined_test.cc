@@ -1,0 +1,148 @@
+#include "encoding/well_defined.h"
+
+#include <gtest/gtest.h>
+
+namespace ebi {
+namespace {
+
+/// Figure 3(a)'s mapping: a=000, c=001, g=010, e=011, b=100, d=101,
+/// h=110, f=111 — ValueIds a..h are 0..7.
+MappingTable Figure3A() {
+  const std::vector<uint64_t> codes = {
+      0b000,  // a
+      0b100,  // b
+      0b001,  // c
+      0b101,  // d
+      0b011,  // e
+      0b111,  // f
+      0b010,  // g
+      0b110,  // h
+  };
+  auto result = MappingTable::Create(3, codes);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+/// Figure 3(b)'s improper mapping: a=000, c=001, g=010, b=011, e=100,
+/// d=101, h=110, f=111.
+MappingTable Figure3B() {
+  const std::vector<uint64_t> codes = {
+      0b000,  // a
+      0b011,  // b
+      0b001,  // c
+      0b101,  // d
+      0b100,  // e
+      0b111,  // f
+      0b010,  // g
+      0b110,  // h
+  };
+  auto result = MappingTable::Create(3, codes);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+constexpr ValueId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5;
+
+TEST(WellDefinedTest, Figure3AIsWellDefinedForBothSelections) {
+  const MappingTable mapping = Figure3A();
+  const auto abcd = IsWellDefined(mapping, {kA, kB, kC, kD}, 8);
+  ASSERT_TRUE(abcd.ok());
+  EXPECT_TRUE(*abcd);
+  const auto cdef = IsWellDefined(mapping, {kC, kD, kE, kF}, 8);
+  ASSERT_TRUE(cdef.ok());
+  EXPECT_TRUE(*cdef);
+}
+
+TEST(WellDefinedTest, Figure3BIsNotWellDefined) {
+  const MappingTable mapping = Figure3B();
+  const auto abcd = IsWellDefined(mapping, {kA, kB, kC, kD}, 8);
+  ASSERT_TRUE(abcd.ok());
+  EXPECT_FALSE(*abcd);
+}
+
+TEST(WellDefinedTest, AccessCostMatchesTheorem22OnFigure3) {
+  // Well-defined -> 1 vector; improper -> 3 vectors (Section 2.2's worked
+  // comparison).
+  const MappingTable good = Figure3A();
+  const MappingTable bad = Figure3B();
+  EXPECT_EQ(*AccessCost(good, {kA, kB, kC, kD}), 1);
+  EXPECT_EQ(*AccessCost(good, {kC, kD, kE, kF}), 1);
+  EXPECT_EQ(*AccessCost(bad, {kA, kB, kC, kD}), 3);
+  EXPECT_EQ(*AccessCost(bad, {kC, kD, kE, kF}), 3);
+}
+
+TEST(WellDefinedTest, TotalAccessCostSums) {
+  const MappingTable good = Figure3A();
+  const std::vector<std::vector<ValueId>> preds = {{kA, kB, kC, kD},
+                                                   {kC, kD, kE, kF}};
+  EXPECT_EQ(*TotalAccessCost(good, preds), 2);
+}
+
+TEST(WellDefinedTest, SubdomainTooSmallRejected) {
+  const MappingTable mapping = Figure3A();
+  EXPECT_FALSE(IsWellDefined(mapping, {kA}, 8).ok());
+}
+
+TEST(WellDefinedTest, EvenNonPowerCase) {
+  // |s| = 6 (case ii): consecutive Gray codes satisfy the definition.
+  // Use codes 000,001,011,010,110,111 (Gray order prefix) for values 0..5.
+  const auto mapping = MappingTable::Create(
+      3, {0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100});
+  ASSERT_TRUE(mapping.ok());
+  const auto result = IsWellDefined(*mapping, {0, 1, 2, 3, 4, 5}, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST(WellDefinedTest, EvenCaseFailsWithoutChain) {
+  // {000, 011, 101, 110}: all even-parity — no chain exists, and no
+  // 2-element prime chain requirement can rescue it... (|s|=4=2^2, case i).
+  const auto mapping = MappingTable::Create(
+      3, {0b000, 0b011, 0b101, 0b110, 0b001, 0b010, 0b100, 0b111});
+  ASSERT_TRUE(mapping.ok());
+  const auto result = IsWellDefined(*mapping, {0, 1, 2, 3}, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(WellDefinedTest, OddCaseUsesWitness) {
+  // |s| = 3 (case iii): {000, 001, 011} needs a witness w with a chain on
+  // s ∪ {w}; w = 010 completes the Gray square.
+  const auto mapping = MappingTable::Create(
+      3, {0b000, 0b001, 0b011, 0b010, 0b100, 0b101, 0b110, 0b111});
+  ASSERT_TRUE(mapping.ok());
+  const auto result = IsWellDefined(*mapping, {0, 1, 2}, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST(WellDefinedTest, OddCaseFailsWithoutWitness) {
+  // Domain of exactly the three far-apart codes plus nothing adjacent:
+  // {000, 011, 101} over a domain whose only other member is 111 — no
+  // witness yields a chain with pairwise distance <= 2... (111 is distance
+  // 3 from 000).
+  const auto mapping =
+      MappingTable::Create(3, {0b000, 0b011, 0b101, 0b111});
+  ASSERT_TRUE(mapping.ok());
+  const auto result = IsWellDefined(*mapping, {0, 1, 2}, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(WellDefinedTest, AccessCostUsesUnusedCodewordsAsDontCares) {
+  // Domain of 3 values in a 2-bit space: selecting all of them can use the
+  // unused codeword as don't-care, giving cost 0 (tautology).
+  const auto mapping = MappingTable::Create(2, {0b00, 0b01, 0b10});
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*AccessCost(*mapping, {0, 1, 2}), 0);
+}
+
+TEST(WellDefinedTest, AccessCostSingleValueIsFullWidth) {
+  const auto mapping = MappingTable::Create(3, {0b000, 0b001, 0b010, 0b011,
+                                                0b100, 0b101, 0b110, 0b111});
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*AccessCost(*mapping, {0}), 3);
+}
+
+}  // namespace
+}  // namespace ebi

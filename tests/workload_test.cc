@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/query_mix.h"
+#include "workload/star_schema.h"
+
+namespace ebi {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  const auto table = GenerateTable(
+      "T", 1000,
+      {{"u", 50, Distribution::kUniform},
+       {"z", 100, Distribution::kZipf, 1.0},
+       {"r", 10, Distribution::kRoundRobin}},
+      42);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 1000u);
+  EXPECT_EQ((*table)->NumColumns(), 3u);
+  // Round-robin hits every value exactly 100 times.
+  const Column* r = *(*table)->FindColumn("r");
+  EXPECT_EQ(r->Cardinality(), 10u);
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  const auto a =
+      GenerateTable("T", 200, {{"u", 20, Distribution::kUniform}}, 7);
+  const auto b =
+      GenerateTable("T", 200, {{"u", 20, Distribution::kUniform}}, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t row = 0; row < 200; ++row) {
+    EXPECT_EQ((*a)->column(0).ValueAt(row), (*b)->column(0).ValueAt(row));
+  }
+}
+
+TEST(GeneratorTest, NullFractionRespected) {
+  const auto table = GenerateTable(
+      "T", 2000, {{"u", 10, Distribution::kUniform, 1.0, 0.25}}, 3);
+  ASSERT_TRUE(table.ok());
+  size_t nulls = 0;
+  for (size_t row = 0; row < 2000; ++row) {
+    nulls += (*table)->column(0).ValueIdAt(row) == kNullValueId ? 1 : 0;
+  }
+  EXPECT_GT(nulls, 2000 * 0.15);
+  EXPECT_LT(nulls, 2000 * 0.35);
+}
+
+TEST(GeneratorTest, ZeroCardinalityRejected) {
+  EXPECT_FALSE(
+      GenerateTable("T", 10, {{"u", 0, Distribution::kUniform}}, 1).ok());
+}
+
+TEST(QueryMixTest, RangeShareMatchesTpcd) {
+  QueryMixConfig config;
+  config.num_queries = 1700;
+  config.seed = 5;
+  const auto queries = GenerateQueryMix("a", 500, config);
+  EXPECT_EQ(queries.size(), 1700u);
+  size_t range_like = 0;
+  for (const Predicate& q : queries) {
+    if (q.kind != Predicate::Kind::kEquals) {
+      ++range_like;
+    }
+  }
+  // 12/17 ≈ 0.706 of the queries should be range searches.
+  const double share = static_cast<double>(range_like) / 1700.0;
+  EXPECT_GT(share, 0.63);
+  EXPECT_LT(share, 0.78);
+}
+
+TEST(QueryMixTest, RangesStayInDomain) {
+  QueryMixConfig config;
+  config.num_queries = 300;
+  config.max_delta = 64;
+  const auto queries = GenerateQueryMix("a", 100, config);
+  for (const Predicate& q : queries) {
+    if (q.kind == Predicate::Kind::kRange) {
+      EXPECT_GE(q.lo, 0);
+      EXPECT_LT(q.hi, 100);
+      EXPECT_LE(q.lo, q.hi);
+    } else if (q.kind == Predicate::Kind::kIn) {
+      EXPECT_GE(q.values.size(), 2u);
+      EXPECT_LE(q.values.size(), 64u);
+    } else {
+      EXPECT_EQ(q.kind, Predicate::Kind::kEquals);
+      EXPECT_GE(q.value.int_value, 0);
+      EXPECT_LT(q.value.int_value, 100);
+    }
+  }
+}
+
+TEST(StarSchemaTest, BuildsFigure5Hierarchy) {
+  StarSchemaConfig config;
+  config.fact_rows = 2000;
+  config.num_products = 100;
+  const auto schema = BuildStarSchema(config);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->sales->NumRows(), 2000u);
+  EXPECT_EQ((*schema)->salespoints->NumRows(), 12u);
+  EXPECT_EQ((*schema)->products->NumRows(), 100u);
+  const auto x = (*schema)->salespoint_hierarchy.Members("alliance", "X");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), 8u);
+  const auto d = (*schema)->salespoint_hierarchy.Members("company", "d");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, (std::vector<ValueId>{2, 3, 8, 9}));
+}
+
+TEST(StarSchemaTest, FactValueIdsEqualKeyValues) {
+  StarSchemaConfig config;
+  config.fact_rows = 500;
+  config.num_products = 50;
+  const auto schema = BuildStarSchema(config);
+  ASSERT_TRUE(schema.ok());
+  const Column* branch = *(*schema)->sales->FindColumn("branch");
+  for (ValueId id = 0; id < branch->Cardinality(); ++id) {
+    EXPECT_EQ(branch->ValueOf(id).int_value, static_cast<int64_t>(id));
+  }
+  const Column* product = *(*schema)->sales->FindColumn("product");
+  for (ValueId id = 0; id < product->Cardinality(); ++id) {
+    EXPECT_EQ(product->ValueOf(id).int_value, static_cast<int64_t>(id));
+  }
+}
+
+TEST(StarSchemaTest, ForeignKeysRegistered) {
+  StarSchemaConfig config;
+  config.fact_rows = 200;
+  config.num_products = 20;
+  const auto schema = BuildStarSchema(config);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->catalog.foreign_keys().size(), 2u);
+  EXPECT_EQ((*schema)->catalog.DimensionsOf("SALES").size(), 2u);
+}
+
+TEST(StarSchemaTest, GenericHierarchyForOtherSizes) {
+  StarSchemaConfig config;
+  config.fact_rows = 300;
+  config.num_products = 10;
+  config.num_branches = 20;
+  const auto schema = BuildStarSchema(config);
+  ASSERT_TRUE(schema.ok());
+  const auto& levels = (*schema)->salespoint_hierarchy.levels();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].groups.size(), 5u);  // 20 branches / 4.
+  EXPECT_EQ(levels[1].groups.size(), 2u);  // 5 companies / 3, rounded up.
+}
+
+TEST(StarSchemaTest, TooFewFactRowsRejected) {
+  StarSchemaConfig config;
+  config.fact_rows = 5;
+  config.num_products = 100;
+  EXPECT_FALSE(BuildStarSchema(config).ok());
+}
+
+}  // namespace
+}  // namespace ebi

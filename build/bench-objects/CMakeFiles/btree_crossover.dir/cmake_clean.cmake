@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/btree_crossover"
+  "../bench/btree_crossover.pdb"
+  "CMakeFiles/btree_crossover.dir/btree_crossover.cc.o"
+  "CMakeFiles/btree_crossover.dir/btree_crossover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

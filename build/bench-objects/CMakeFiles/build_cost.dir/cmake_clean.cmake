@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/build_cost"
+  "../bench/build_cost.pdb"
+  "CMakeFiles/build_cost.dir/build_cost.cc.o"
+  "CMakeFiles/build_cost.dir/build_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

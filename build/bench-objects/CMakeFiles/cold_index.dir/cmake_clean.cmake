@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cold_index"
+  "../bench/cold_index.pdb"
+  "CMakeFiles/cold_index.dir/cold_index.cc.o"
+  "CMakeFiles/cold_index.dir/cold_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_space"
+  "../bench/fig10_space.pdb"
+  "CMakeFiles/fig10_space.dir/fig10_space.cc.o"
+  "CMakeFiles/fig10_space.dir/fig10_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

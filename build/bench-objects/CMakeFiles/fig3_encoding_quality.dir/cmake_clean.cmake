@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_encoding_quality"
+  "../bench/fig3_encoding_quality.pdb"
+  "CMakeFiles/fig3_encoding_quality.dir/fig3_encoding_quality.cc.o"
+  "CMakeFiles/fig3_encoding_quality.dir/fig3_encoding_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_encoding_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

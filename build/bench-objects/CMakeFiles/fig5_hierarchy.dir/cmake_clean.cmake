@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_hierarchy"
+  "../bench/fig5_hierarchy.pdb"
+  "CMakeFiles/fig5_hierarchy.dir/fig5_hierarchy.cc.o"
+  "CMakeFiles/fig5_hierarchy.dir/fig5_hierarchy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

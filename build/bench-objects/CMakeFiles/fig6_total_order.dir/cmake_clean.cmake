@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_total_order"
+  "../bench/fig6_total_order.pdb"
+  "CMakeFiles/fig6_total_order.dir/fig6_total_order.cc.o"
+  "CMakeFiles/fig6_total_order.dir/fig6_total_order.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_total_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_range_encoding"
+  "../bench/fig8_range_encoding.pdb"
+  "CMakeFiles/fig8_range_encoding.dir/fig8_range_encoding.cc.o"
+  "CMakeFiles/fig8_range_encoding.dir/fig8_range_encoding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_range_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

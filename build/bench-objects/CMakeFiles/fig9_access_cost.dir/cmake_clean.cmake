@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_access_cost"
+  "../bench/fig9_access_cost.pdb"
+  "CMakeFiles/fig9_access_cost.dir/fig9_access_cost.cc.o"
+  "CMakeFiles/fig9_access_cost.dir/fig9_access_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_access_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

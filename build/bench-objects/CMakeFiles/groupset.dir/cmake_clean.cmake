@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/groupset"
+  "../bench/groupset.pdb"
+  "CMakeFiles/groupset.dir/groupset.cc.o"
+  "CMakeFiles/groupset.dir/groupset.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/maintenance"
+  "../bench/maintenance.pdb"
+  "CMakeFiles/maintenance.dir/maintenance.cc.o"
+  "CMakeFiles/maintenance.dir/maintenance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

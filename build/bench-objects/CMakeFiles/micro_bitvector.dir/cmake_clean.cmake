@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bitvector"
+  "../bench/micro_bitvector.pdb"
+  "CMakeFiles/micro_bitvector.dir/micro_bitvector.cc.o"
+  "CMakeFiles/micro_bitvector.dir/micro_bitvector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/star_join"
+  "../bench/star_join.pdb"
+  "CMakeFiles/star_join.dir/star_join.cc.o"
+  "CMakeFiles/star_join.dir/star_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

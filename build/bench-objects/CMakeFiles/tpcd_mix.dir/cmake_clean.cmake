@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tpcd_mix"
+  "../bench/tpcd_mix.pdb"
+  "CMakeFiles/tpcd_mix.dir/tpcd_mix.cc.o"
+  "CMakeFiles/tpcd_mix.dir/tpcd_mix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tpcd_queries"
+  "../bench/tpcd_queries.pdb"
+  "CMakeFiles/tpcd_queries.dir/tpcd_queries.cc.o"
+  "CMakeFiles/tpcd_queries.dir/tpcd_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/worst_case_savings"
+  "../bench/worst_case_savings.pdb"
+  "CMakeFiles/worst_case_savings.dir/worst_case_savings.cc.o"
+  "CMakeFiles/worst_case_savings.dir/worst_case_savings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_shell.dir/ebi_shell.cpp.o"
+  "CMakeFiles/ebi_shell.dir/ebi_shell.cpp.o.d"
+  "ebi_shell"
+  "ebi_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

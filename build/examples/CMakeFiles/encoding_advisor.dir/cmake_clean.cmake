@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_advisor.dir/encoding_advisor.cpp.o"
+  "CMakeFiles/encoding_advisor.dir/encoding_advisor.cpp.o.d"
+  "encoding_advisor"
+  "encoding_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

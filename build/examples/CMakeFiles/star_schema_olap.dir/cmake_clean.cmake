@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_olap.dir/star_schema_olap.cpp.o"
+  "CMakeFiles/star_schema_olap.dir/star_schema_olap.cpp.o.d"
+  "star_schema_olap"
+  "star_schema_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

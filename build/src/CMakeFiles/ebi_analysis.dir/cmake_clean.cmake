@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_analysis.dir/analysis/cost_model.cc.o"
+  "CMakeFiles/ebi_analysis.dir/analysis/cost_model.cc.o.d"
+  "libebi_analysis.a"
+  "libebi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

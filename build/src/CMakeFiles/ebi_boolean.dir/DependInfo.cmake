@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolean/cover.cc" "src/CMakeFiles/ebi_boolean.dir/boolean/cover.cc.o" "gcc" "src/CMakeFiles/ebi_boolean.dir/boolean/cover.cc.o.d"
+  "/root/repo/src/boolean/cube.cc" "src/CMakeFiles/ebi_boolean.dir/boolean/cube.cc.o" "gcc" "src/CMakeFiles/ebi_boolean.dir/boolean/cube.cc.o.d"
+  "/root/repo/src/boolean/quine_mccluskey.cc" "src/CMakeFiles/ebi_boolean.dir/boolean/quine_mccluskey.cc.o" "gcc" "src/CMakeFiles/ebi_boolean.dir/boolean/quine_mccluskey.cc.o.d"
+  "/root/repo/src/boolean/reduction.cc" "src/CMakeFiles/ebi_boolean.dir/boolean/reduction.cc.o" "gcc" "src/CMakeFiles/ebi_boolean.dir/boolean/reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

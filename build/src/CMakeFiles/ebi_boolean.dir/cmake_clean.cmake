@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_boolean.dir/boolean/cover.cc.o"
+  "CMakeFiles/ebi_boolean.dir/boolean/cover.cc.o.d"
+  "CMakeFiles/ebi_boolean.dir/boolean/cube.cc.o"
+  "CMakeFiles/ebi_boolean.dir/boolean/cube.cc.o.d"
+  "CMakeFiles/ebi_boolean.dir/boolean/quine_mccluskey.cc.o"
+  "CMakeFiles/ebi_boolean.dir/boolean/quine_mccluskey.cc.o.d"
+  "CMakeFiles/ebi_boolean.dir/boolean/reduction.cc.o"
+  "CMakeFiles/ebi_boolean.dir/boolean/reduction.cc.o.d"
+  "libebi_boolean.a"
+  "libebi_boolean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

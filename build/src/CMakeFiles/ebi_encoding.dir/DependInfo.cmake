@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/chain.cc" "src/CMakeFiles/ebi_encoding.dir/encoding/chain.cc.o" "gcc" "src/CMakeFiles/ebi_encoding.dir/encoding/chain.cc.o.d"
+  "/root/repo/src/encoding/encoders.cc" "src/CMakeFiles/ebi_encoding.dir/encoding/encoders.cc.o" "gcc" "src/CMakeFiles/ebi_encoding.dir/encoding/encoders.cc.o.d"
+  "/root/repo/src/encoding/hierarchy.cc" "src/CMakeFiles/ebi_encoding.dir/encoding/hierarchy.cc.o" "gcc" "src/CMakeFiles/ebi_encoding.dir/encoding/hierarchy.cc.o.d"
+  "/root/repo/src/encoding/mapping_table.cc" "src/CMakeFiles/ebi_encoding.dir/encoding/mapping_table.cc.o" "gcc" "src/CMakeFiles/ebi_encoding.dir/encoding/mapping_table.cc.o.d"
+  "/root/repo/src/encoding/optimizer.cc" "src/CMakeFiles/ebi_encoding.dir/encoding/optimizer.cc.o" "gcc" "src/CMakeFiles/ebi_encoding.dir/encoding/optimizer.cc.o.d"
+  "/root/repo/src/encoding/range_encoding.cc" "src/CMakeFiles/ebi_encoding.dir/encoding/range_encoding.cc.o" "gcc" "src/CMakeFiles/ebi_encoding.dir/encoding/range_encoding.cc.o.d"
+  "/root/repo/src/encoding/well_defined.cc" "src/CMakeFiles/ebi_encoding.dir/encoding/well_defined.cc.o" "gcc" "src/CMakeFiles/ebi_encoding.dir/encoding/well_defined.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebi_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

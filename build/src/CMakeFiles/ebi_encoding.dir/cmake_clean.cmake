@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_encoding.dir/encoding/chain.cc.o"
+  "CMakeFiles/ebi_encoding.dir/encoding/chain.cc.o.d"
+  "CMakeFiles/ebi_encoding.dir/encoding/encoders.cc.o"
+  "CMakeFiles/ebi_encoding.dir/encoding/encoders.cc.o.d"
+  "CMakeFiles/ebi_encoding.dir/encoding/hierarchy.cc.o"
+  "CMakeFiles/ebi_encoding.dir/encoding/hierarchy.cc.o.d"
+  "CMakeFiles/ebi_encoding.dir/encoding/mapping_table.cc.o"
+  "CMakeFiles/ebi_encoding.dir/encoding/mapping_table.cc.o.d"
+  "CMakeFiles/ebi_encoding.dir/encoding/optimizer.cc.o"
+  "CMakeFiles/ebi_encoding.dir/encoding/optimizer.cc.o.d"
+  "CMakeFiles/ebi_encoding.dir/encoding/range_encoding.cc.o"
+  "CMakeFiles/ebi_encoding.dir/encoding/range_encoding.cc.o.d"
+  "CMakeFiles/ebi_encoding.dir/encoding/well_defined.cc.o"
+  "CMakeFiles/ebi_encoding.dir/encoding/well_defined.cc.o.d"
+  "libebi_encoding.a"
+  "libebi_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/base_bit_sliced_index.cc" "src/CMakeFiles/ebi_index.dir/index/base_bit_sliced_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/base_bit_sliced_index.cc.o.d"
+  "/root/repo/src/index/bit_sliced_index.cc" "src/CMakeFiles/ebi_index.dir/index/bit_sliced_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/bit_sliced_index.cc.o.d"
+  "/root/repo/src/index/btree_index.cc" "src/CMakeFiles/ebi_index.dir/index/btree_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/btree_index.cc.o.d"
+  "/root/repo/src/index/cold_encoded_bitmap_index.cc" "src/CMakeFiles/ebi_index.dir/index/cold_encoded_bitmap_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/cold_encoded_bitmap_index.cc.o.d"
+  "/root/repo/src/index/dynamic_bitmap_index.cc" "src/CMakeFiles/ebi_index.dir/index/dynamic_bitmap_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/dynamic_bitmap_index.cc.o.d"
+  "/root/repo/src/index/encoded_bitmap_index.cc" "src/CMakeFiles/ebi_index.dir/index/encoded_bitmap_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/encoded_bitmap_index.cc.o.d"
+  "/root/repo/src/index/groupset_index.cc" "src/CMakeFiles/ebi_index.dir/index/groupset_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/groupset_index.cc.o.d"
+  "/root/repo/src/index/index.cc" "src/CMakeFiles/ebi_index.dir/index/index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/index.cc.o.d"
+  "/root/repo/src/index/join_index.cc" "src/CMakeFiles/ebi_index.dir/index/join_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/join_index.cc.o.d"
+  "/root/repo/src/index/persistence.cc" "src/CMakeFiles/ebi_index.dir/index/persistence.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/persistence.cc.o.d"
+  "/root/repo/src/index/projection_index.cc" "src/CMakeFiles/ebi_index.dir/index/projection_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/projection_index.cc.o.d"
+  "/root/repo/src/index/range_based_bitmap_index.cc" "src/CMakeFiles/ebi_index.dir/index/range_based_bitmap_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/range_based_bitmap_index.cc.o.d"
+  "/root/repo/src/index/simple_bitmap_index.cc" "src/CMakeFiles/ebi_index.dir/index/simple_bitmap_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/simple_bitmap_index.cc.o.d"
+  "/root/repo/src/index/value_list_index.cc" "src/CMakeFiles/ebi_index.dir/index/value_list_index.cc.o" "gcc" "src/CMakeFiles/ebi_index.dir/index/value_list_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebi_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_index.dir/index/base_bit_sliced_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/base_bit_sliced_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/bit_sliced_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/bit_sliced_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/btree_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/btree_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/cold_encoded_bitmap_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/cold_encoded_bitmap_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/dynamic_bitmap_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/dynamic_bitmap_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/encoded_bitmap_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/encoded_bitmap_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/groupset_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/groupset_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/join_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/join_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/persistence.cc.o"
+  "CMakeFiles/ebi_index.dir/index/persistence.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/projection_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/projection_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/range_based_bitmap_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/range_based_bitmap_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/simple_bitmap_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/simple_bitmap_index.cc.o.d"
+  "CMakeFiles/ebi_index.dir/index/value_list_index.cc.o"
+  "CMakeFiles/ebi_index.dir/index/value_list_index.cc.o.d"
+  "libebi_index.a"
+  "libebi_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregates.cc" "src/CMakeFiles/ebi_query.dir/query/aggregates.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/aggregates.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/ebi_query.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/index_manager.cc" "src/CMakeFiles/ebi_query.dir/query/index_manager.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/index_manager.cc.o.d"
+  "/root/repo/src/query/maintenance.cc" "src/CMakeFiles/ebi_query.dir/query/maintenance.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/maintenance.cc.o.d"
+  "/root/repo/src/query/materialize.cc" "src/CMakeFiles/ebi_query.dir/query/materialize.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/materialize.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/ebi_query.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/ebi_query.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/reencode_advisor.cc" "src/CMakeFiles/ebi_query.dir/query/reencode_advisor.cc.o" "gcc" "src/CMakeFiles/ebi_query.dir/query/reencode_advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_query.dir/query/aggregates.cc.o"
+  "CMakeFiles/ebi_query.dir/query/aggregates.cc.o.d"
+  "CMakeFiles/ebi_query.dir/query/executor.cc.o"
+  "CMakeFiles/ebi_query.dir/query/executor.cc.o.d"
+  "CMakeFiles/ebi_query.dir/query/index_manager.cc.o"
+  "CMakeFiles/ebi_query.dir/query/index_manager.cc.o.d"
+  "CMakeFiles/ebi_query.dir/query/maintenance.cc.o"
+  "CMakeFiles/ebi_query.dir/query/maintenance.cc.o.d"
+  "CMakeFiles/ebi_query.dir/query/materialize.cc.o"
+  "CMakeFiles/ebi_query.dir/query/materialize.cc.o.d"
+  "CMakeFiles/ebi_query.dir/query/planner.cc.o"
+  "CMakeFiles/ebi_query.dir/query/planner.cc.o.d"
+  "CMakeFiles/ebi_query.dir/query/predicate.cc.o"
+  "CMakeFiles/ebi_query.dir/query/predicate.cc.o.d"
+  "CMakeFiles/ebi_query.dir/query/reencode_advisor.cc.o"
+  "CMakeFiles/ebi_query.dir/query/reencode_advisor.cc.o.d"
+  "libebi_query.a"
+  "libebi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bitmap_store.cc" "src/CMakeFiles/ebi_storage.dir/storage/bitmap_store.cc.o" "gcc" "src/CMakeFiles/ebi_storage.dir/storage/bitmap_store.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/ebi_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/ebi_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/ebi_storage.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/ebi_storage.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/ebi_storage.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/ebi_storage.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/io_accountant.cc" "src/CMakeFiles/ebi_storage.dir/storage/io_accountant.cc.o" "gcc" "src/CMakeFiles/ebi_storage.dir/storage/io_accountant.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/ebi_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/ebi_storage.dir/storage/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_storage.dir/storage/bitmap_store.cc.o"
+  "CMakeFiles/ebi_storage.dir/storage/bitmap_store.cc.o.d"
+  "CMakeFiles/ebi_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/ebi_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/ebi_storage.dir/storage/column.cc.o"
+  "CMakeFiles/ebi_storage.dir/storage/column.cc.o.d"
+  "CMakeFiles/ebi_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/ebi_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/ebi_storage.dir/storage/io_accountant.cc.o"
+  "CMakeFiles/ebi_storage.dir/storage/io_accountant.cc.o.d"
+  "CMakeFiles/ebi_storage.dir/storage/table.cc.o"
+  "CMakeFiles/ebi_storage.dir/storage/table.cc.o.d"
+  "libebi_storage.a"
+  "libebi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libebi_storage.a"
+)

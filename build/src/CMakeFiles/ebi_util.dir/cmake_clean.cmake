@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_util.dir/util/bitvector.cc.o"
+  "CMakeFiles/ebi_util.dir/util/bitvector.cc.o.d"
+  "CMakeFiles/ebi_util.dir/util/random.cc.o"
+  "CMakeFiles/ebi_util.dir/util/random.cc.o.d"
+  "CMakeFiles/ebi_util.dir/util/rle_bitmap.cc.o"
+  "CMakeFiles/ebi_util.dir/util/rle_bitmap.cc.o.d"
+  "CMakeFiles/ebi_util.dir/util/status.cc.o"
+  "CMakeFiles/ebi_util.dir/util/status.cc.o.d"
+  "libebi_util.a"
+  "libebi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebi_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/ebi_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/ebi_workload.dir/workload/query_mix.cc.o"
+  "CMakeFiles/ebi_workload.dir/workload/query_mix.cc.o.d"
+  "CMakeFiles/ebi_workload.dir/workload/star_schema.cc.o"
+  "CMakeFiles/ebi_workload.dir/workload/star_schema.cc.o.d"
+  "libebi_workload.a"
+  "libebi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

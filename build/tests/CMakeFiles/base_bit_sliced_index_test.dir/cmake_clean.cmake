@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_bit_sliced_index_test.dir/base_bit_sliced_index_test.cc.o"
+  "CMakeFiles/base_bit_sliced_index_test.dir/base_bit_sliced_index_test.cc.o.d"
+  "base_bit_sliced_index_test"
+  "base_bit_sliced_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_bit_sliced_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_sliced_index_test.dir/bit_sliced_index_test.cc.o"
+  "CMakeFiles/bit_sliced_index_test.dir/bit_sliced_index_test.cc.o.d"
+  "bit_sliced_index_test"
+  "bit_sliced_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_sliced_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_store_test.dir/bitmap_store_test.cc.o"
+  "CMakeFiles/bitmap_store_test.dir/bitmap_store_test.cc.o.d"
+  "bitmap_store_test"
+  "bitmap_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_encoded_bitmap_index_test.dir/cold_encoded_bitmap_index_test.cc.o"
+  "CMakeFiles/cold_encoded_bitmap_index_test.dir/cold_encoded_bitmap_index_test.cc.o.d"
+  "cold_encoded_bitmap_index_test"
+  "cold_encoded_bitmap_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_encoded_bitmap_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

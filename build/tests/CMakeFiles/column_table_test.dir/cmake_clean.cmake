@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_table_test.dir/column_table_test.cc.o"
+  "CMakeFiles/column_table_test.dir/column_table_test.cc.o.d"
+  "column_table_test"
+  "column_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

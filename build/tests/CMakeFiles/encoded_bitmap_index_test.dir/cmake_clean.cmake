@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoded_bitmap_index_test.dir/encoded_bitmap_index_test.cc.o"
+  "CMakeFiles/encoded_bitmap_index_test.dir/encoded_bitmap_index_test.cc.o.d"
+  "encoded_bitmap_index_test"
+  "encoded_bitmap_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoded_bitmap_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoded_matrix_test.dir/encoded_matrix_test.cc.o"
+  "CMakeFiles/encoded_matrix_test.dir/encoded_matrix_test.cc.o.d"
+  "encoded_matrix_test"
+  "encoded_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoded_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupset_index_test.dir/groupset_index_test.cc.o"
+  "CMakeFiles/groupset_index_test.dir/groupset_index_test.cc.o.d"
+  "groupset_index_test"
+  "groupset_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupset_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_accountant_test.dir/io_accountant_test.cc.o"
+  "CMakeFiles/io_accountant_test.dir/io_accountant_test.cc.o.d"
+  "io_accountant_test"
+  "io_accountant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_accountant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_index_test.dir/projection_index_test.cc.o"
+  "CMakeFiles/projection_index_test.dir/projection_index_test.cc.o.d"
+  "projection_index_test"
+  "projection_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

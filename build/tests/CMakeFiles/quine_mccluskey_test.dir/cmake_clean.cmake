@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quine_mccluskey_test.dir/quine_mccluskey_test.cc.o"
+  "CMakeFiles/quine_mccluskey_test.dir/quine_mccluskey_test.cc.o.d"
+  "quine_mccluskey_test"
+  "quine_mccluskey_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quine_mccluskey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

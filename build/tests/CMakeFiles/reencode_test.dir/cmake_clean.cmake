@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reencode_test.dir/reencode_test.cc.o"
+  "CMakeFiles/reencode_test.dir/reencode_test.cc.o.d"
+  "reencode_test"
+  "reencode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reencode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

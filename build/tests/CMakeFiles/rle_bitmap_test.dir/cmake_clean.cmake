@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rle_bitmap_test.dir/rle_bitmap_test.cc.o"
+  "CMakeFiles/rle_bitmap_test.dir/rle_bitmap_test.cc.o.d"
+  "rle_bitmap_test"
+  "rle_bitmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rle_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_bitmap_index_test.dir/simple_bitmap_index_test.cc.o"
+  "CMakeFiles/simple_bitmap_index_test.dir/simple_bitmap_index_test.cc.o.d"
+  "simple_bitmap_index_test"
+  "simple_bitmap_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_bitmap_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

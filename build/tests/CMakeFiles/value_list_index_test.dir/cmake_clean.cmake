@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_list_index_test.dir/value_list_index_test.cc.o"
+  "CMakeFiles/value_list_index_test.dir/value_list_index_test.cc.o.d"
+  "value_list_index_test"
+  "value_list_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_list_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

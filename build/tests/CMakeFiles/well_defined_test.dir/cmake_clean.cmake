@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/well_defined_test.dir/well_defined_test.cc.o"
+  "CMakeFiles/well_defined_test.dir/well_defined_test.cc.o.d"
+  "well_defined_test"
+  "well_defined_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/well_defined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -32,10 +32,12 @@ void Run() {
 
     std::vector<std::unique_ptr<SecondaryIndex>> indexes;
     indexes.push_back(std::make_unique<SimpleBitmapIndex>(col, ex, &io));
-    SimpleBitmapIndexOptions rle;
-    rle.compressed = true;
-    indexes.push_back(
-        std::make_unique<SimpleBitmapIndex>(col, ex, &io, rle));
+    indexes.push_back(std::make_unique<SimpleBitmapIndex>(
+        col, ex, &io,
+        SimpleBitmapIndexOptions::WithFormat(BitmapFormat::kRle)));
+    indexes.push_back(std::make_unique<SimpleBitmapIndex>(
+        col, ex, &io,
+        SimpleBitmapIndexOptions::WithFormat(BitmapFormat::kEwah)));
     indexes.push_back(std::make_unique<EncodedBitmapIndex>(col, ex, &io));
     indexes.push_back(std::make_unique<BitSlicedIndex>(col, ex, &io));
     indexes.push_back(std::make_unique<BaseBitSlicedIndex>(col, ex, &io));

@@ -1,6 +1,8 @@
 // Reproduces the Section 3.1 sparsity analysis: simple bitmap vectors are
 // (m-1)/m zeros while encoded slices sit near 1/2 independent of m; also
-// shows what run-length compression buys each of them.
+// shows what compression buys each of them, and compares the physical
+// bitmap formats (plain / RLE / EWAH) head-to-head on size and AND/OR
+// throughput across sparsity levels.
 
 #include <cstdio>
 #include <vector>
@@ -9,6 +11,8 @@
 #include "bench_util.h"
 #include "index/encoded_bitmap_index.h"
 #include "index/simple_bitmap_index.h"
+#include "util/ewah_bitmap.h"
+#include "util/random.h"
 #include "util/rle_bitmap.h"
 
 namespace ebi {
@@ -25,7 +29,7 @@ double AverageSliceDensity(const EncodedBitmapIndex& index) {
   return total / static_cast<double>(index.slices().size());
 }
 
-void Run() {
+void RunSparsityVsCardinality() {
   const size_t n = 20000;
   std::printf("=== Section 3.1: sparsity vs cardinality (n = %zu) ===\n", n);
   std::printf("%-8s %-14s %-14s %-14s %-16s %-16s\n", "m", "model (m-1)/m",
@@ -34,10 +38,9 @@ void Run() {
   for (size_t m : std::vector<size_t>{2, 8, 32, 128, 512, 2048}) {
     auto table = bench::RoundRobinTable(n, m);
     IoAccountant io;
-    SimpleBitmapIndexOptions sopts;
-    sopts.compressed = true;
-    SimpleBitmapIndex simple(&table->column(0), &table->existence(), &io,
-                             sopts);
+    SimpleBitmapIndex simple(
+        &table->column(0), &table->existence(), &io,
+        SimpleBitmapIndexOptions::WithFormat(BitmapFormat::kRle));
     SimpleBitmapIndex plain(&table->column(0), &table->existence(), &io);
     EncodedBitmapIndexOptions eopts;
     eopts.reserve_void_zero = false;
@@ -67,6 +70,84 @@ void Run() {
   std::printf(
       "(Sparse simple vectors compress well; ~50%%-dense encoded slices do\n"
       " not — encoding already removed the redundancy.)\n");
+}
+
+BitVector RandomBits(size_t n, double density, Rng* rng) {
+  BitVector v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(density)) {
+      v.Set(i);
+    }
+  }
+  return v;
+}
+
+/// Ops/ms for one timed loop; `sink` defeats dead-code elimination.
+template <typename Fn>
+double TimeOps(int reps, size_t* sink, Fn&& op) {
+  bench::Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    *sink += op();
+  }
+  const double ms = timer.ElapsedMs();
+  return ms > 0.0 ? static_cast<double>(reps) / ms : 0.0;
+}
+
+void RunFormatComparison() {
+  const size_t n = 1 << 20;
+  const int reps = 20;
+  std::printf(
+      "\n=== Physical formats: size and AND/OR throughput (n = %zu bits, "
+      "%d reps) ===\n",
+      n, reps);
+  std::printf("%-10s %-8s %12s %10s %14s %14s\n", "density", "format",
+              "bytes", "ratio", "and_ops/ms", "or_ops/ms");
+  Rng rng(42);
+  size_t sink = 0;
+  for (double density : std::vector<double>{0.0005, 0.01, 0.2, 0.5}) {
+    const BitVector a = RandomBits(n, density, &rng);
+    const BitVector b = RandomBits(n, density, &rng);
+    const RleBitmap ra = RleBitmap::Compress(a);
+    const RleBitmap rb = RleBitmap::Compress(b);
+    const EwahBitmap ea = EwahBitmap::Compress(a);
+    const EwahBitmap eb = EwahBitmap::Compress(b);
+
+    const double plain_bytes = static_cast<double>(a.SizeBytes());
+    const double plain_and = TimeOps(
+        reps, &sink, [&] { return And(a, b).Count() & 1u; });
+    const double plain_or = TimeOps(
+        reps, &sink, [&] { return Or(a, b).Count() & 1u; });
+    std::printf("%-10.4f %-8s %12zu %10.2f %14.1f %14.1f\n", density,
+                "plain", a.SizeBytes(), 1.0, plain_and, plain_or);
+
+    const double rle_and = TimeOps(
+        reps, &sink, [&] { return RleBitmap::And(ra, rb).Count() & 1u; });
+    const double rle_or = TimeOps(
+        reps, &sink, [&] { return RleBitmap::Or(ra, rb).Count() & 1u; });
+    std::printf("%-10.4f %-8s %12zu %10.2f %14.1f %14.1f\n", density, "rle",
+                ra.SizeBytes(),
+                plain_bytes / static_cast<double>(ra.SizeBytes()), rle_and,
+                rle_or);
+
+    const double ewah_and = TimeOps(
+        reps, &sink, [&] { return EwahBitmap::And(ea, eb).Count() & 1u; });
+    const double ewah_or = TimeOps(
+        reps, &sink, [&] { return EwahBitmap::Or(ea, eb).Count() & 1u; });
+    std::printf("%-10.4f %-8s %12zu %10.2f %14.1f %14.1f\n", density,
+                "ewah", ea.SizeBytes(),
+                plain_bytes / static_cast<double>(ea.SizeBytes()), ewah_and,
+                ewah_or);
+  }
+  std::printf(
+      "(sink=%zu) Word-aligned EWAH keeps plain-like AND/OR speed while\n"
+      "matching RLE's footprint on sparse inputs; near 50%% density both\n"
+      "compressed forms converge to the plain size.\n",
+      sink & 1u);
+}
+
+void Run() {
+  RunSparsityVsCardinality();
+  RunFormatComparison();
 }
 
 }  // namespace

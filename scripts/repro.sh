@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates every result in EXPERIMENTS.md from scratch:
-# configure, build, run the full test suite, then every benchmark harness.
-# Outputs land in test_output.txt and bench_output.txt at the repo root.
+# configure, build, run the full test suite (once plain, once under
+# ASan/UBSan), then every benchmark harness. Outputs land in
+# test_output.txt and bench_output.txt at the repo root.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -10,6 +11,13 @@ cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Sanitized pass: same suite, instrumented with ASan + UBSan. A Debug
+# build keeps the asserts (the size-contract checks) live as well.
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DEBI_SANITIZE=address,undefined
+cmake --build build-asan
+ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
 : > bench_output.txt
 for b in build/bench/*; do

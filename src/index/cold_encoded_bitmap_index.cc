@@ -43,7 +43,7 @@ Status ColdEncodedBitmapIndex::Build() {
   EBI_ASSIGN_OR_RETURN(
       BitmapStore store,
       BitmapStore::Open(BackingPath(options_.directory, this),
-                        options_.pool_vectors, io_));
+                        options_.pool_vectors, io_, options_.format));
   store_ = std::make_unique<BitmapStore>(std::move(store));
 
   const size_t k = static_cast<size_t>(mapping_.width());

@@ -22,6 +22,9 @@ struct ColdEncodedBitmapIndexOptions {
   /// Directory for the backing file.
   std::string directory = "/tmp";
   ReductionOptions reduction;
+  /// Physical on-disk format of the slice vectors (BitmapStore slots);
+  /// compressed slots shrink the bytes each pool miss charges.
+  BitmapFormat format = BitmapFormat::kPlain;
 };
 
 /// A disk-resident encoded bitmap index: the k = ceil(log2 m) slice

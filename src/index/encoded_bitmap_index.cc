@@ -65,14 +65,49 @@ Status EncodedBitmapIndex::Build() {
     }
   }
 
-  slices_.assign(static_cast<size_t>(mapping_.width()), BitVector(n));
+  std::vector<BitVector> plain(static_cast<size_t>(mapping_.width()),
+                               BitVector(n));
   for (size_t row = 0; row < n; ++row) {
     EBI_ASSIGN_OR_RETURN(const uint64_t code, CodeForRow(row));
-    WriteCode(row, code);
+    WriteCodeTo(&plain, row, code);
   }
   rows_indexed_ = n;
+  StoreSlices(std::move(plain));
   built_ = true;
   return Status::OK();
+}
+
+void EncodedBitmapIndex::StoreSlices(std::vector<BitVector> plain) {
+  if (options_.format == BitmapFormat::kPlain) {
+    slices_ = std::move(plain);
+    stored_slices_.clear();
+    return;
+  }
+  stored_slices_.clear();
+  stored_slices_.reserve(plain.size());
+  for (BitVector& slice : plain) {
+    stored_slices_.push_back(
+        StoredBitmap::Make(std::move(slice), options_.format));
+  }
+  slices_.clear();
+}
+
+std::vector<BitVector> EncodedBitmapIndex::MaterializeSlices() const {
+  if (options_.format == BitmapFormat::kPlain) {
+    return slices_;
+  }
+  std::vector<BitVector> plain;
+  plain.reserve(stored_slices_.size());
+  for (const StoredBitmap& slice : stored_slices_) {
+    plain.push_back(slice.ToBitVector());
+  }
+  return plain;
+}
+
+size_t EncodedBitmapIndex::SliceSizeBytes(size_t i) const {
+  return options_.format == BitmapFormat::kPlain
+             ? slices_[i].SizeBytes()
+             : stored_slices_[i].SizeBytes();
 }
 
 Result<uint64_t> EncodedBitmapIndex::CodeForRow(size_t row) const {
@@ -92,14 +127,20 @@ Result<uint64_t> EncodedBitmapIndex::CodeForRow(size_t row) const {
   return mapping_.CodeOf(id);
 }
 
-void EncodedBitmapIndex::WriteCode(size_t row, uint64_t code) {
-  for (size_t i = 0; i < slices_.size(); ++i) {
-    slices_[i].Assign(row, (code >> i) & 1);
+void EncodedBitmapIndex::WriteCodeTo(std::vector<BitVector>* slices,
+                                     size_t row, uint64_t code) {
+  for (size_t i = 0; i < slices->size(); ++i) {
+    (*slices)[i].Assign(row, (code >> i) & 1);
   }
 }
 
 void EncodedBitmapIndex::AddSlice() {
-  slices_.emplace_back(rows_indexed_);
+  if (options_.format == BitmapFormat::kPlain) {
+    slices_.emplace_back(rows_indexed_);
+  } else {
+    stored_slices_.push_back(
+        StoredBitmap::Make(BitVector(rows_indexed_), options_.format));
+  }
 }
 
 Status EncodedBitmapIndex::Append(size_t row) {
@@ -139,8 +180,14 @@ Status EncodedBitmapIndex::Append(size_t row) {
     code = *free;
   }
 
-  for (size_t i = 0; i < slices_.size(); ++i) {
-    slices_[i].PushBack((code >> i) & 1);
+  if (options_.format == BitmapFormat::kPlain) {
+    for (size_t i = 0; i < slices_.size(); ++i) {
+      slices_[i].PushBack((code >> i) & 1);
+    }
+  } else {
+    for (size_t i = 0; i < stored_slices_.size(); ++i) {
+      stored_slices_[i].AppendBit((code >> i) & 1);
+    }
   }
   ++rows_indexed_;
   return Status::OK();
@@ -154,7 +201,15 @@ Status EncodedBitmapIndex::MarkDeleted(size_t row) {
     return Status::OutOfRange("row out of range");
   }
   if (mapping_.void_code().has_value()) {
-    WriteCode(row, *mapping_.void_code());
+    if (options_.format == BitmapFormat::kPlain) {
+      WriteCodeTo(&slices_, row, *mapping_.void_code());
+    } else {
+      // Decompress-modify-recompress: the in-place update cost compressed
+      // storage pays for maintenance (Section 2.2 discussion).
+      std::vector<BitVector> plain = MaterializeSlices();
+      WriteCodeTo(&plain, row, *mapping_.void_code());
+      StoreSlices(std::move(plain));
+    }
   }
   // Without a void codeword the existence AND in evaluation masks the row.
   return Status::OK();
@@ -177,12 +232,28 @@ Result<Cover> EncodedBitmapIndex::CoverForIds(
 Result<BitVector> EncodedBitmapIndex::EvaluateCoverCharged(
     const Cover& cover) {
   const uint64_t vars = VariablesOf(cover);
-  for (size_t i = 0; i < slices_.size(); ++i) {
+  const size_t k = SliceCount();
+  for (size_t i = 0; i < k; ++i) {
     if ((vars >> i) & 1) {
-      io_->ChargeVectorRead(slices_[i].SizeBytes());
+      // Compressed formats charge their (smaller) physical size here —
+      // the I/O benefit the format knob exists to measure.
+      io_->ChargeVectorRead(SliceSizeBytes(i));
     }
   }
-  BitVector result = EvaluateCover(cover, slices_, rows_indexed_);
+  BitVector result;
+  if (options_.format == BitmapFormat::kPlain) {
+    result = EvaluateCover(cover, slices_, rows_indexed_);
+  } else {
+    // Decompress only the slices the reduced cover references; the rest
+    // stay untouched (properly sized all-zero placeholders).
+    std::vector<BitVector> touched(k, BitVector(rows_indexed_));
+    for (size_t i = 0; i < k; ++i) {
+      if ((vars >> i) & 1) {
+        touched[i] = stored_slices_[i].ToBitVector();
+      }
+    }
+    result = EvaluateCover(cover, touched, rows_indexed_);
+  }
   if (!mapping_.void_code().has_value()) {
     // No void codeword: deleted rows still carry stale value codes, so the
     // existence bitmap must be ANDed — exactly the extra read Theorem 2.1
@@ -260,16 +331,17 @@ Status EncodedBitmapIndex::Reencode(MappingTable new_mapping) {
   // dense below the cardinality, NULLs have a codeword, and void falls
   // back to the reserved (or zero) codeword.
   mapping_ = std::move(new_mapping);
-  slices_.assign(static_cast<size_t>(mapping_.width()),
-                 BitVector(rows_indexed_));
+  std::vector<BitVector> plain(static_cast<size_t>(mapping_.width()),
+                               BitVector(rows_indexed_));
   for (size_t row = 0; row < rows_indexed_; ++row) {
     const Result<uint64_t> code = CodeForRow(row);
     if (!code.ok()) {
       return Status::Internal("re-encoding failed mid-pass: " +
                               code.status().message());
     }
-    WriteCode(row, *code);
+    WriteCodeTo(&plain, row, *code);
   }
+  StoreSlices(std::move(plain));
   return Status::OK();
 }
 
@@ -292,8 +364,8 @@ Status EncodedBitmapIndex::RestoreFromParts(MappingTable mapping,
     }
   }
   mapping_ = std::move(mapping);
-  slices_ = std::move(slices);
   rows_indexed_ = column_->size();
+  StoreSlices(std::move(slices));
   options_.strategy = EncodingStrategy::kCustom;
   built_ = true;
   return Status::OK();
@@ -301,8 +373,9 @@ Status EncodedBitmapIndex::RestoreFromParts(MappingTable mapping,
 
 size_t EncodedBitmapIndex::SizeBytes() const {
   size_t total = 0;
-  for (const BitVector& slice : slices_) {
-    total += slice.SizeBytes();
+  const size_t k = SliceCount();
+  for (size_t i = 0; i < k; ++i) {
+    total += SliceSizeBytes(i);
   }
   // Mapping table: codeword array plus hash entries (code -> ValueId).
   total += mapping_.NumValues() * (sizeof(uint64_t) + 16);

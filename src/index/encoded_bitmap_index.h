@@ -10,6 +10,7 @@
 #include "encoding/mapping_table.h"
 #include "encoding/optimizer.h"
 #include "index/index.h"
+#include "util/stored_bitmap.h"
 
 namespace ebi {
 
@@ -59,6 +60,11 @@ struct EncodedBitmapIndexOptions {
 
   /// RNG seed for kRandom.
   uint64_t random_seed = 7;
+
+  /// Physical format of the slice vectors. Encoded slices sit near 50%
+  /// density (Section 3.1), so compression buys little here — the knob
+  /// exists to measure exactly that, with the same query path throughout.
+  BitmapFormat format = BitmapFormat::kPlain;
 };
 
 /// The encoded bitmap index of Definition 2.1 — the paper's contribution.
@@ -84,7 +90,10 @@ class EncodedBitmapIndex : public SecondaryIndex {
       : SecondaryIndex(column, existence, io),
         options_(std::move(options)) {}
 
-  std::string Name() const override { return "encoded-bitmap"; }
+  std::string Name() const override {
+    return std::string("encoded-bitmap") +
+           BitmapFormatSuffix(options_.format);
+  }
 
   /// Installs a caller-provided mapping (strategy kCustom). The mapping
   /// must cover the column's current cardinality.
@@ -108,7 +117,7 @@ class EncodedBitmapIndex : public SecondaryIndex {
   }
 
   size_t SizeBytes() const override;
-  size_t NumVectors() const override { return slices_.size(); }
+  size_t NumVectors() const override { return SliceCount(); }
 
   /// Section 3.1: c_e <= ceil(log2 m) whatever δ is (worst case; reduction
   /// only lowers it), plus an existence read when no void codeword exists.
@@ -116,11 +125,13 @@ class EncodedBitmapIndex : public SecondaryIndex {
     (void)shape;
     const double existence =
         mapping_.void_code().has_value() ? 0.0 : 1.0;
-    return (static_cast<double>(slices_.size()) + existence) *
+    return (static_cast<double>(SliceCount()) + existence) *
            PagesPerVector();
   }
 
   const MappingTable& mapping() const { return mapping_; }
+  /// The plain slice vectors. Only populated in BitmapFormat::kPlain (the
+  /// persistence path); empty when the index stores compressed slices.
   const std::vector<BitVector>& slices() const { return slices_; }
 
   /// The reduced retrieval expression an IN-list would evaluate — exposed
@@ -147,17 +158,33 @@ class EncodedBitmapIndex : public SecondaryIndex {
  private:
   Result<Cover> CoverForIds(const std::vector<ValueId>& ids) const;
   Result<BitVector> EvaluateCoverCharged(const Cover& cover);
-  /// Writes codeword `code` into the slices at row `row`.
-  void WriteCode(size_t row, uint64_t code);
+  /// Writes codeword `code` into plain slices at row `row`.
+  static void WriteCodeTo(std::vector<BitVector>* slices, size_t row,
+                          uint64_t code);
   /// Adds one all-zero slice (width growth, Figure 2(b) step 2).
   void AddSlice();
   Result<uint64_t> CodeForRow(size_t row) const;
+
+  /// Number of slice vectors (whatever the physical format).
+  size_t SliceCount() const {
+    return options_.format == BitmapFormat::kPlain ? slices_.size()
+                                                   : stored_slices_.size();
+  }
+  /// Physical bytes of slice `i` — the per-read I/O charge.
+  size_t SliceSizeBytes(size_t i) const;
+  /// Installs freshly built plain slices in the configured format.
+  void StoreSlices(std::vector<BitVector> plain);
+  /// Plain copies of every slice (decompress-modify-recompress idiom).
+  std::vector<BitVector> MaterializeSlices() const;
 
   EncodedBitmapIndexOptions options_;
   bool built_ = false;
   size_t rows_indexed_ = 0;
   MappingTable mapping_;
-  std::vector<BitVector> slices_;  // slices_[i] = B_i.
+  /// Plain-format storage: slices_[i] = B_i. Empty in compressed formats.
+  std::vector<BitVector> slices_;
+  /// Compressed-format storage (kRle / kEwah). Empty in kPlain.
+  std::vector<StoredBitmap> stored_slices_;
 };
 
 }  // namespace ebi

@@ -36,13 +36,18 @@ Status RangeBasedBitmapIndex::Build() {
     }
   }
 
-  bitmaps_.assign(bounds_.size(), BitVector(n));
+  std::vector<BitVector> plain(bounds_.size(), BitVector(n));
   for (size_t row = 0; row < n; ++row) {
     const ValueId id = column_->ValueIdAt(row);
     if (id == kNullValueId) {
       continue;
     }
-    bitmaps_[BucketOf(column_->ValueOf(id).int_value)].Set(row);
+    plain[BucketOf(column_->ValueOf(id).int_value)].Set(row);
+  }
+  bitmaps_.clear();
+  bitmaps_.reserve(plain.size());
+  for (BitVector& b : plain) {
+    bitmaps_.push_back(StoredBitmap::Make(std::move(b), options_.format));
   }
   rows_indexed_ = n;
   built_ = true;
@@ -71,7 +76,7 @@ Status RangeBasedBitmapIndex::Append(size_t row) {
     if (id != kNullValueId) {
       set = BucketOf(column_->ValueOf(id).int_value) == b;
     }
-    bitmaps_[b].PushBack(set);
+    bitmaps_[b].AppendBit(set);
   }
   ++rows_indexed_;
   return Status::OK();
@@ -112,7 +117,11 @@ Result<BitVector> RangeBasedBitmapIndex::EvaluateRange(int64_t lo,
         lo <= bucket_lo && (has_upper ? hi >= bucket_hi_excl - 1 : false);
     if (fully_covered) {
       io_->ChargeVectorRead(bitmaps_[b].SizeBytes());
-      result.OrWith(bitmaps_[b]);
+      if (const BitVector* plain = bitmaps_[b].AsPlain()) {
+        result.OrWith(*plain);
+      } else {
+        result.OrWith(bitmaps_[b].ToBitVector());
+      }
     } else {
       VerifyBucket(b, lo, hi, &result);
     }
@@ -150,7 +159,7 @@ Result<BitVector> RangeBasedBitmapIndex::EvaluateIn(
 
 size_t RangeBasedBitmapIndex::SizeBytes() const {
   size_t total = bounds_.size() * sizeof(int64_t);
-  for (const BitVector& b : bitmaps_) {
+  for (const StoredBitmap& b : bitmaps_) {
     total += b.SizeBytes();
   }
   return total;

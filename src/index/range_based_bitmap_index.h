@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "index/index.h"
+#include "util/stored_bitmap.h"
 
 namespace ebi {
 
@@ -12,6 +13,11 @@ namespace ebi {
 struct RangeBasedBitmapIndexOptions {
   /// Number of equal-population buckets.
   size_t num_buckets = 32;
+
+  /// Physical format of the per-bucket bitmap vectors. Bucket vectors are
+  /// ~1/#buckets dense, so compression pays off like it does for simple
+  /// bitmap vectors.
+  BitmapFormat format = BitmapFormat::kPlain;
 };
 
 /// The dynamic range-based bitmap index of Wu & Yu (Section 4, [19]):
@@ -31,7 +37,10 @@ class RangeBasedBitmapIndex : public SecondaryIndex {
                             RangeBasedBitmapIndexOptions())
       : SecondaryIndex(column, existence, io), options_(options) {}
 
-  std::string Name() const override { return "range-based-bitmap"; }
+  std::string Name() const override {
+    return std::string("range-based-bitmap") +
+           BitmapFormatSuffix(options_.format);
+  }
 
   Status Build() override;
   Status Append(size_t row) override;
@@ -80,7 +89,8 @@ class RangeBasedBitmapIndex : public SecondaryIndex {
   bool built_ = false;
   size_t rows_indexed_ = 0;
   std::vector<int64_t> bounds_;  // bounds_[i] = lower bound of bucket i.
-  std::vector<BitVector> bitmaps_;
+  /// One vector per bucket, in options_.format.
+  std::vector<StoredBitmap> bitmaps_;
   size_t last_candidates_ = 0;
 };
 

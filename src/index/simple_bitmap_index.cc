@@ -1,5 +1,7 @@
 #include "index/simple_bitmap_index.h"
 
+#include <utility>
+
 namespace ebi {
 
 Status SimpleBitmapIndex::Build() {
@@ -15,15 +17,10 @@ Status SimpleBitmapIndex::Build() {
       plain[id].Set(row);
     }
   }
-  if (options_.compressed) {
-    compressed_.clear();
-    compressed_.reserve(m);
-    for (const BitVector& v : plain) {
-      compressed_.push_back(RleBitmap::Compress(v));
-    }
-    vectors_.clear();
-  } else {
-    vectors_ = std::move(plain);
+  vectors_.clear();
+  vectors_.reserve(m);
+  for (BitVector& v : plain) {
+    vectors_.push_back(StoredBitmap::Make(std::move(v), options_.format));
   }
   rows_indexed_ = n;
   built_ = true;
@@ -38,31 +35,18 @@ Status SimpleBitmapIndex::Append(size_t row) {
     return Status::InvalidArgument("rows must be appended in order");
   }
   const ValueId id = column_->ValueIdAt(row);
-  const size_t num_vectors =
-      options_.compressed ? compressed_.size() : vectors_.size();
 
   // Domain expansion: a new value needs a brand-new vector of `row` zero
   // bits — the O(|T|) maintenance cost of Section 3.1.
-  if (id != kNullValueId && id >= num_vectors) {
-    if (options_.compressed) {
-      compressed_.resize(id + 1, RleBitmap::Compress(BitVector(row)));
-    } else {
-      vectors_.resize(id + 1, BitVector(row));
-    }
+  if (id != kNullValueId && id >= vectors_.size()) {
+    vectors_.resize(id + 1,
+                    StoredBitmap::Make(BitVector(row), options_.format));
   }
 
-  // Extend every vector by one bit (conceptually; plain vectors grow
-  // lazily, compressed ones are rewritten).
-  if (options_.compressed) {
-    for (size_t v = 0; v < compressed_.size(); ++v) {
-      BitVector plain = compressed_[v].Decompress();
-      plain.PushBack(id != kNullValueId && v == id);
-      compressed_[v] = RleBitmap::Compress(plain);
-    }
-  } else {
-    for (size_t v = 0; v < vectors_.size(); ++v) {
-      vectors_[v].PushBack(id != kNullValueId && v == id);
-    }
+  // Extend every vector by one bit (plain vectors grow in place,
+  // compressed ones are rewritten inside AppendBit).
+  for (size_t v = 0; v < vectors_.size(); ++v) {
+    vectors_[v].AppendBit(id != kNullValueId && v == id);
   }
   null_vector_.PushBack(id == kNullValueId);
   ++rows_indexed_;
@@ -70,28 +54,24 @@ Status SimpleBitmapIndex::Append(size_t row) {
 }
 
 BitVector SimpleBitmapIndex::ReadVector(ValueId id) {
-  if (options_.compressed) {
-    io_->ChargeVectorRead(compressed_[id].SizeBytes());
-    return compressed_[id].Decompress();
-  }
   io_->ChargeVectorRead(vectors_[id].SizeBytes());
-  return vectors_[id];
+  return vectors_[id].ToBitVector();
 }
 
 Result<BitVector> SimpleBitmapIndex::EvaluateIds(
     const std::vector<ValueId>& ids) {
   BitVector result(rows_indexed_);
-  if (options_.compressed && ids.size() > 1) {
-    // OR the run-length representations directly; only the final result
+  if (options_.format != BitmapFormat::kPlain && ids.size() > 1) {
+    // OR the compressed representations directly; only the final result
     // is expanded. Sparse vectors make the compressed OR much cheaper
     // than per-vector decompression.
-    RleBitmap accumulated = RleBitmap::Compress(result);
+    StoredBitmap accumulated = StoredBitmap::Make(result, options_.format);
     for (ValueId id : ids) {
-      io_->ChargeVectorRead(compressed_[id].SizeBytes());
-      accumulated = RleBitmap::Or(accumulated, compressed_[id]);
+      io_->ChargeVectorRead(vectors_[id].SizeBytes());
+      EBI_ASSIGN_OR_RETURN(accumulated,
+                           StoredBitmap::Or(accumulated, vectors_[id]));
     }
-    result = accumulated.Decompress();
-    result.Resize(rows_indexed_);
+    result = accumulated.ToBitVector();
   } else {
     for (ValueId id : ids) {
       result.OrWith(ReadVector(id));
@@ -142,37 +122,24 @@ Result<BitVector> SimpleBitmapIndex::EvaluateIsNull() {
 
 size_t SimpleBitmapIndex::SizeBytes() const {
   size_t total = null_vector_.SizeBytes();
-  if (options_.compressed) {
-    for (const RleBitmap& v : compressed_) {
-      total += v.SizeBytes();
-    }
-  } else {
-    for (const BitVector& v : vectors_) {
-      total += v.SizeBytes();
-    }
+  for (const StoredBitmap& v : vectors_) {
+    total += v.SizeBytes();
   }
   return total;
 }
 
 size_t SimpleBitmapIndex::NumVectors() const {
-  return (options_.compressed ? compressed_.size() : vectors_.size()) +
-         (column_->HasNulls() ? 1 : 0);
+  return vectors_.size() + (column_->HasNulls() ? 1 : 0);
 }
 
 double SimpleBitmapIndex::AverageSparsity() const {
-  const size_t m =
-      options_.compressed ? compressed_.size() : vectors_.size();
+  const size_t m = vectors_.size();
   if (m == 0 || rows_indexed_ == 0) {
     return 0.0;
   }
   double total = 0.0;
-  for (size_t v = 0; v < m; ++v) {
-    if (options_.compressed) {
-      total += 1.0 - static_cast<double>(compressed_[v].Count()) /
-                         static_cast<double>(rows_indexed_);
-    } else {
-      total += vectors_[v].Sparsity();
-    }
+  for (const StoredBitmap& v : vectors_) {
+    total += v.Sparsity();
   }
   return total / static_cast<double>(m);
 }

@@ -5,16 +5,22 @@
 #include <vector>
 
 #include "index/index.h"
-#include "util/rle_bitmap.h"
+#include "util/stored_bitmap.h"
 
 namespace ebi {
 
 /// Options for the simple bitmap index.
 struct SimpleBitmapIndexOptions {
-  /// Store the per-value bitmap vectors run-length compressed. This is the
+  /// Physical format of the per-value bitmap vectors. Compression is the
   /// classic remedy (Section 4) for the (m-1)/m sparsity of simple bitmap
   /// vectors; logical operations then run on the compressed form.
-  bool compressed = false;
+  BitmapFormat format = BitmapFormat::kPlain;
+
+  static SimpleBitmapIndexOptions WithFormat(BitmapFormat f) {
+    SimpleBitmapIndexOptions options;
+    options.format = f;
+    return options;
+  }
 };
 
 /// The simple (value-list) bitmap index of Section 2.1: one bitmap vector
@@ -32,7 +38,7 @@ class SimpleBitmapIndex : public SecondaryIndex {
       : SecondaryIndex(column, existence, io), options_(options) {}
 
   std::string Name() const override {
-    return options_.compressed ? "simple-bitmap-rle" : "simple-bitmap";
+    return std::string("simple-bitmap") + BitmapFormatSuffix(options_.format);
   }
 
   Status Build() override;
@@ -67,11 +73,9 @@ class SimpleBitmapIndex : public SecondaryIndex {
   SimpleBitmapIndexOptions options_;
   bool built_ = false;
   size_t rows_indexed_ = 0;
-  /// Plain mode storage.
-  std::vector<BitVector> vectors_;
-  /// Compressed mode storage.
-  std::vector<RleBitmap> compressed_;
-  /// B_NULL (maintained in both modes, plain).
+  /// One vector per value, in options_.format.
+  std::vector<StoredBitmap> vectors_;
+  /// B_NULL (always plain — read whole on every IS NULL).
   BitVector null_vector_;
 };
 

@@ -19,6 +19,9 @@ Result<IndexKind> IndexKindFromName(const std::string& name) {
   if (name == "simple-rle") {
     return IndexKind::kSimpleBitmapRle;
   }
+  if (name == "simple-ewah") {
+    return IndexKind::kSimpleBitmapEwah;
+  }
   if (name == "encoded") {
     return IndexKind::kEncodedBitmap;
   }
@@ -52,6 +55,8 @@ const char* IndexKindName(IndexKind kind) {
       return "simple";
     case IndexKind::kSimpleBitmapRle:
       return "simple-rle";
+    case IndexKind::kSimpleBitmapEwah:
+      return "simple-ewah";
     case IndexKind::kEncodedBitmap:
       return "encoded";
     case IndexKind::kBitSliced:
@@ -89,13 +94,16 @@ Result<SecondaryIndex*> IndexManager::CreateIndex(const std::string& column,
     case IndexKind::kSimpleBitmap:
       index = std::make_unique<SimpleBitmapIndex>(col, existence, io_);
       break;
-    case IndexKind::kSimpleBitmapRle: {
-      SimpleBitmapIndexOptions options;
-      options.compressed = true;
-      index = std::make_unique<SimpleBitmapIndex>(col, existence, io_,
-                                                  options);
+    case IndexKind::kSimpleBitmapRle:
+      index = std::make_unique<SimpleBitmapIndex>(
+          col, existence, io_,
+          SimpleBitmapIndexOptions::WithFormat(BitmapFormat::kRle));
       break;
-    }
+    case IndexKind::kSimpleBitmapEwah:
+      index = std::make_unique<SimpleBitmapIndex>(
+          col, existence, io_,
+          SimpleBitmapIndexOptions::WithFormat(BitmapFormat::kEwah));
+      break;
     case IndexKind::kEncodedBitmap:
       index = std::make_unique<EncodedBitmapIndex>(col, existence, io_);
       break;

@@ -17,6 +17,7 @@ namespace ebi {
 enum class IndexKind {
   kSimpleBitmap,
   kSimpleBitmapRle,
+  kSimpleBitmapEwah,
   kEncodedBitmap,
   kBitSliced,
   kBaseBitSliced,

@@ -1,12 +1,17 @@
 #include "storage/bitmap_store.h"
 
+#include <cstring>
 #include <utility>
+
+#include "util/ewah_bitmap.h"
+#include "util/rle_bitmap.h"
 
 namespace ebi {
 
 Result<BitmapStore> BitmapStore::Open(const std::string& path,
                                       size_t capacity_vectors,
-                                      IoAccountant* io) {
+                                      IoAccountant* io,
+                                      BitmapFormat format) {
   if (capacity_vectors == 0) {
     return Status::InvalidArgument("pool capacity must be > 0");
   }
@@ -14,6 +19,7 @@ Result<BitmapStore> BitmapStore::Open(const std::string& path,
   store.path_ = path;
   store.capacity_ = capacity_vectors;
   store.io_ = io;
+  store.format_ = format;
   store.file_ = std::fopen(path.c_str(), "w+b");
   if (store.file_ == nullptr) {
     return Status::Internal("cannot open " + path);
@@ -34,6 +40,7 @@ BitmapStore& BitmapStore::operator=(BitmapStore&& other) noexcept {
     file_ = other.file_;
     other.file_ = nullptr;
     capacity_ = other.capacity_;
+    format_ = other.format_;
     io_ = other.io_;
     next_offset_ = other.next_offset_;
     directory_ = std::move(other.directory_);
@@ -51,14 +58,92 @@ BitmapStore::~BitmapStore() {
   }
 }
 
-Status BitmapStore::WriteSlot(const Slot& slot, const BitVector& bits) {
+namespace {
+
+template <typename Word>
+std::vector<uint8_t> WordsToBytes(const std::vector<Word>& words) {
+  std::vector<uint8_t> out(words.size() * sizeof(Word));
+  if (!words.empty()) {
+    std::memcpy(out.data(), words.data(), out.size());
+  }
+  return out;
+}
+
+template <typename Word>
+Result<std::vector<Word>> BytesToWords(const std::vector<uint8_t>& bytes,
+                                       const char* what) {
+  if (bytes.size() % sizeof(Word) != 0) {
+    return Status::Internal(std::string("corrupt ") + what +
+                            " slot payload size");
+  }
+  std::vector<Word> out(bytes.size() / sizeof(Word));
+  if (!out.empty()) {
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BitmapStore::Serialize(const BitVector& bits) const {
+  switch (format_) {
+    case BitmapFormat::kPlain:
+      return WordsToBytes(bits.words());
+    case BitmapFormat::kRle:
+      return WordsToBytes(RleBitmap::Compress(bits).runs());
+    case BitmapFormat::kEwah:
+      return WordsToBytes(EwahBitmap::Compress(bits).words());
+  }
+  return {};
+}
+
+Result<BitVector> BitmapStore::Deserialize(
+    const std::vector<uint8_t>& payload, uint64_t bits) const {
+  switch (format_) {
+    case BitmapFormat::kPlain: {
+      EBI_ASSIGN_OR_RETURN(const std::vector<uint64_t> words,
+                           BytesToWords<uint64_t>(payload, "plain"));
+      BitVector out(static_cast<size_t>(bits));
+      if (words.size() != out.NumWords()) {
+        return Status::Internal("plain slot word count mismatch");
+      }
+      for (size_t w = 0; w < words.size(); ++w) {
+        out.SetWord(w, words[w]);
+      }
+      return out;
+    }
+    case BitmapFormat::kRle: {
+      EBI_ASSIGN_OR_RETURN(const std::vector<uint32_t> runs,
+                           BytesToWords<uint32_t>(payload, "rle"));
+      const RleBitmap rle = RleBitmap::FromRuns(runs);
+      if (rle.size() != bits) {
+        return Status::Internal("rle slot decodes to " +
+                                std::to_string(rle.size()) + " bits, want " +
+                                std::to_string(bits));
+      }
+      return rle.Decompress();
+    }
+    case BitmapFormat::kEwah: {
+      EBI_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                           BytesToWords<uint64_t>(payload, "ewah"));
+      EBI_ASSIGN_OR_RETURN(
+          const EwahBitmap ewah,
+          EwahBitmap::FromWords(std::move(words),
+                                static_cast<size_t>(bits)));
+      return ewah.Decompress();
+    }
+  }
+  return Status::Internal("unreachable bitmap format");
+}
+
+Status BitmapStore::WriteSlot(const Slot& slot,
+                              const std::vector<uint8_t>& payload) {
   if (std::fseek(file_, static_cast<long>(slot.offset), SEEK_SET) != 0) {
     return Status::Internal("seek failed");
   }
-  const auto& words = bits.words();
-  if (!words.empty() &&
-      std::fwrite(words.data(), sizeof(uint64_t), words.size(), file_) !=
-          words.size()) {
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
     return Status::Internal("write failed");
   }
   ++stats_.writebacks;
@@ -69,24 +154,15 @@ Result<BitVector> BitmapStore::ReadSlot(const Slot& slot) {
   if (std::fseek(file_, static_cast<long>(slot.offset), SEEK_SET) != 0) {
     return Status::Internal("seek failed");
   }
-  const size_t words = (slot.bits + 63) / 64;
-  std::vector<uint64_t> buffer(words);
-  if (words != 0 &&
-      std::fread(buffer.data(), sizeof(uint64_t), words, file_) != words) {
+  std::vector<uint8_t> payload(static_cast<size_t>(slot.bytes));
+  if (!payload.empty() &&
+      std::fread(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
     return Status::Internal("read failed");
   }
-  BitVector bits(static_cast<size_t>(slot.bits));
-  for (size_t w = 0; w < words; ++w) {
-    uint64_t word = buffer[w];
-    while (word != 0) {
-      const int b = __builtin_ctzll(word);
-      const size_t pos = w * 64 + static_cast<size_t>(b);
-      if (pos < slot.bits) {
-        bits.Set(pos);
-      }
-      word &= word - 1;
-    }
-  }
+  EBI_ASSIGN_OR_RETURN(BitVector bits, Deserialize(payload, slot.bits));
+  // A miss charges the physical slot size: compressed formats make the
+  // same logical read cheaper, which is the whole point of the knob.
   io_->ChargeVectorRead(static_cast<size_t>(slot.bytes));
   return bits;
 }
@@ -107,11 +183,12 @@ void BitmapStore::Touch(VectorId id, BitVector bits) {
 }
 
 Result<BitmapStore::VectorId> BitmapStore::Put(const BitVector& bits) {
+  const std::vector<uint8_t> payload = Serialize(bits);
   Slot slot;
   slot.offset = next_offset_;
   slot.bits = bits.size();
-  slot.bytes = bits.SizeBytes();
-  EBI_RETURN_IF_ERROR(WriteSlot(slot, bits));
+  slot.bytes = payload.size();
+  EBI_RETURN_IF_ERROR(WriteSlot(slot, payload));
   next_offset_ += slot.bytes;
   const VectorId id = static_cast<VectorId>(directory_.size());
   directory_.push_back(slot);
@@ -123,16 +200,17 @@ Status BitmapStore::Update(VectorId id, const BitVector& bits) {
   if (id >= directory_.size()) {
     return Status::OutOfRange("vector id out of range");
   }
+  const std::vector<uint8_t> payload = Serialize(bits);
   Slot& slot = directory_[id];
-  if (bits.SizeBytes() > slot.bytes) {
+  if (payload.size() > slot.bytes) {
     // Relocate to the end of the file; the old slot becomes garbage (no
     // compaction — stores are rebuilt, not edited, in this workload).
     slot.offset = next_offset_;
-    slot.bytes = bits.SizeBytes();
-    next_offset_ += slot.bytes;
+    next_offset_ += payload.size();
   }
+  slot.bytes = payload.size();
   slot.bits = bits.size();
-  EBI_RETURN_IF_ERROR(WriteSlot(slot, bits));
+  EBI_RETURN_IF_ERROR(WriteSlot(slot, payload));
   Touch(id, bits);
   return Status::OK();
 }
@@ -152,6 +230,13 @@ Result<BitVector> BitmapStore::Get(VectorId id) {
   EBI_ASSIGN_OR_RETURN(BitVector bits, ReadSlot(directory_[id]));
   Touch(id, bits);
   return bits;
+}
+
+Result<size_t> BitmapStore::StoredBytes(VectorId id) const {
+  if (id >= directory_.size()) {
+    return Status::OutOfRange("vector id out of range");
+  }
+  return static_cast<size_t>(directory_[id].bytes);
 }
 
 }  // namespace ebi

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "storage/io_accountant.h"
+#include "util/bitmap_format.h"
 #include "util/bitvector.h"
 #include "util/status.h"
 
@@ -35,21 +36,27 @@ struct BitmapStoreStats {
 /// same structures working at larger-than-memory scale, with every miss
 /// charged to the IoAccountant as a real vector read.
 ///
-/// Vectors are stored in fixed-size slots of the file (slot size = the
-/// maximum vector size registered). Usage:
+/// Vectors land in the file in the store's physical format: plain word
+/// arrays, RLE run arrays or EWAH buffers (BitmapFormat). Compressed
+/// slots shrink both the file footprint and the bytes a pool miss charges
+/// to the accountant — the store's I/O cost is format-dependent, while
+/// Get() always hands back the decompressed BitVector. Usage:
 ///
-///   BitmapStore store("/tmp/ebi.bin", /*capacity_vectors=*/8, &io);
-///   auto id = store.Put(bitvector);         // Write through to disk.
+///   BitmapStore store("/tmp/ebi.bin", /*capacity_vectors=*/8, &io,
+///                     BitmapFormat::kEwah);
+///   auto id = store.Put(bitvector);         // Compress + write through.
 ///   auto bits = store.Get(*id);             // Cached or re-read.
 class BitmapStore {
  public:
   using VectorId = uint32_t;
 
   /// Opens (creates/truncates) the backing file. `capacity_vectors` is the
-  /// number of vectors the buffer pool may keep in memory.
+  /// number of vectors the buffer pool may keep in memory; `format` is the
+  /// physical representation vectors take on disk.
   static Result<BitmapStore> Open(const std::string& path,
                                   size_t capacity_vectors,
-                                  IoAccountant* io);
+                                  IoAccountant* io,
+                                  BitmapFormat format = BitmapFormat::kPlain);
 
   BitmapStore(const BitmapStore&) = delete;
   BitmapStore& operator=(const BitmapStore&) = delete;
@@ -72,6 +79,10 @@ class BitmapStore {
   size_t Size() const { return directory_.size(); }
   /// Vectors currently resident in the pool.
   size_t Resident() const { return pool_.size(); }
+  /// Physical on-disk representation.
+  BitmapFormat format() const { return format_; }
+  /// Physical bytes vector `id` occupies on disk (the per-miss charge).
+  Result<size_t> StoredBytes(VectorId id) const;
 
   const BitmapStoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BitmapStoreStats(); }
@@ -85,7 +96,13 @@ class BitmapStore {
 
   BitmapStore() = default;
 
-  Status WriteSlot(const Slot& slot, const BitVector& bits);
+  /// Serializes `bits` in the store's physical format.
+  std::vector<uint8_t> Serialize(const BitVector& bits) const;
+  /// Reconstructs a vector of `bits` logical bits from a slot payload.
+  Result<BitVector> Deserialize(const std::vector<uint8_t>& payload,
+                                uint64_t bits) const;
+
+  Status WriteSlot(const Slot& slot, const std::vector<uint8_t>& payload);
   Result<BitVector> ReadSlot(const Slot& slot);
   /// Moves `id` to the front of the LRU, evicting beyond capacity.
   void Touch(VectorId id, BitVector bits);
@@ -93,6 +110,7 @@ class BitmapStore {
   std::string path_;
   std::FILE* file_ = nullptr;
   size_t capacity_ = 0;
+  BitmapFormat format_ = BitmapFormat::kPlain;
   IoAccountant* io_ = nullptr;
   uint64_t next_offset_ = 0;
   std::vector<Slot> directory_;

@@ -1,6 +1,8 @@
 #include "util/bitvector.h"
 
+#include <algorithm>
 #include <bit>
+#include <cassert>
 
 namespace ebi {
 
@@ -80,21 +82,31 @@ double BitVector::Sparsity() const {
 }
 
 BitVector& BitVector::AndWith(const BitVector& other) {
-  for (size_t i = 0; i < words_.size(); ++i) {
+  assert(size_ == other.size_ && "AndWith operand size mismatch");
+  const size_t shared = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < shared; ++i) {
     words_[i] &= other.words_[i];
+  }
+  // Zero-extension of a shorter operand: the words it lacks AND to zero.
+  for (size_t i = shared; i < words_.size(); ++i) {
+    words_[i] = 0;
   }
   return *this;
 }
 
 BitVector& BitVector::OrWith(const BitVector& other) {
-  for (size_t i = 0; i < words_.size(); ++i) {
+  assert(size_ == other.size_ && "OrWith operand size mismatch");
+  const size_t shared = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < shared; ++i) {
     words_[i] |= other.words_[i];
   }
   return *this;
 }
 
 BitVector& BitVector::XorWith(const BitVector& other) {
-  for (size_t i = 0; i < words_.size(); ++i) {
+  assert(size_ == other.size_ && "XorWith operand size mismatch");
+  const size_t shared = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < shared; ++i) {
     words_[i] ^= other.words_[i];
   }
   return *this;
@@ -109,10 +121,19 @@ BitVector& BitVector::FlipAll() {
 }
 
 BitVector& BitVector::AndNotWith(const BitVector& other) {
-  for (size_t i = 0; i < words_.size(); ++i) {
+  assert(size_ == other.size_ && "AndNotWith operand size mismatch");
+  const size_t shared = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < shared; ++i) {
     words_[i] &= ~other.words_[i];
   }
   return *this;
+}
+
+void BitVector::SetWord(size_t w, uint64_t bits) {
+  words_[w] = bits;
+  if (w + 1 == words_.size()) {
+    MaskTail();
+  }
 }
 
 std::vector<uint32_t> BitVector::ToPositions() const {

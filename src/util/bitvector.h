@@ -62,7 +62,10 @@ class BitVector {
   /// Fraction of zero bits, the paper's "sparsity" measure (Section 2.1).
   double Sparsity() const;
 
-  /// In-place logical operations. The operand must have the same size.
+  /// In-place logical operations. The operand must have the same size
+  /// (asserted in debug builds). If the sizes nevertheless differ, the
+  /// shorter operand is treated as zero-extended — the operations stay
+  /// memory-safe and never read past either word array.
   BitVector& AndWith(const BitVector& other);
   BitVector& OrWith(const BitVector& other);
   BitVector& XorWith(const BitVector& other);
@@ -95,6 +98,14 @@ class BitVector {
 
   /// Read access to the backing words (e.g. for compression).
   const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Number of backing 64-bit words.
+  size_t NumWords() const { return words_.size(); }
+
+  /// Overwrites backing word `w` wholesale (word-granular decompression
+  /// and file reads). Bits past size() in the last word are masked off so
+  /// the tail invariant is preserved.
+  void SetWord(size_t w, uint64_t bits);
 
   friend bool operator==(const BitVector& a, const BitVector& b) {
     return a.size_ == b.size_ && a.words_ == b.words_;

@@ -1,0 +1,381 @@
+#include "util/ewah_bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ebi {
+
+namespace {
+constexpr size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+constexpr uint64_t kAllOnes = ~uint64_t{0};
+}  // namespace
+
+/// Accumulates words into marker groups. Runs extend the pending marker
+/// while it has no literals yet; a run arriving after literals closes the
+/// group and opens a new one (a marker's run always precedes its
+/// literals).
+class EwahBuilder {
+ public:
+  void AddWord(uint64_t word) {
+    if (word == 0) {
+      AddRun(false, 1);
+    } else if (word == kAllOnes) {
+      AddRun(true, 1);
+    } else {
+      AddLiteral(word);
+    }
+  }
+
+  void AddRun(bool value, uint64_t num_words) {
+    while (num_words > 0) {
+      if (!literals_.empty() ||
+          (run_len_ > 0 && run_value_ != value) ||
+          run_len_ == EwahBitmap::kRunLenMax) {
+        Flush();
+      }
+      run_value_ = value;
+      const uint64_t take =
+          std::min(num_words, EwahBitmap::kRunLenMax - run_len_);
+      run_len_ += take;
+      num_words -= take;
+    }
+  }
+
+  void AddLiteral(uint64_t word) {
+    if (literals_.size() == EwahBitmap::kLiteralMax) {
+      Flush();
+    }
+    literals_.push_back(word);
+  }
+
+  EwahBitmap Finish(size_t bits) {
+    Flush();
+    EwahBitmap out;
+    out.size_ = bits;
+    out.words_ = std::move(buffer_);
+    buffer_.clear();
+    return out;
+  }
+
+ private:
+  void Flush() {
+    if (run_len_ == 0 && literals_.empty()) {
+      return;
+    }
+    buffer_.push_back(EwahBitmap::MakeMarker(
+        run_value_, run_len_, static_cast<uint64_t>(literals_.size())));
+    buffer_.insert(buffer_.end(), literals_.begin(), literals_.end());
+    run_value_ = false;
+    run_len_ = 0;
+    literals_.clear();
+  }
+
+  std::vector<uint64_t> buffer_;
+  bool run_value_ = false;
+  uint64_t run_len_ = 0;
+  std::vector<uint64_t> literals_;
+};
+
+/// Streams the uncompressed words of an EwahBitmap buffer. Clean runs can
+/// be consumed wholesale (the word-aligned fast path); literals are
+/// yielded one word at a time.
+class EwahWordCursor {
+ public:
+  explicit EwahWordCursor(const std::vector<uint64_t>& words)
+      : words_(words) {
+    LoadMarker();
+  }
+
+  bool Done() const {
+    return run_left_ == 0 && literals_left_ == 0 && pos_ >= words_.size();
+  }
+  /// True while positioned inside a clean run.
+  bool InRun() const { return run_left_ > 0; }
+  bool RunValue() const { return run_value_; }
+  uint64_t RunRemaining() const { return run_left_; }
+
+  /// Consumes `n` words of the current clean run (n <= RunRemaining()).
+  void SkipRunWords(uint64_t n) {
+    run_left_ -= n;
+    if (run_left_ == 0 && literals_left_ == 0) {
+      LoadMarker();
+    }
+  }
+
+  /// Consumes and materializes the next word (run word or literal).
+  uint64_t NextWord() {
+    if (run_left_ > 0) {
+      const uint64_t word = run_value_ ? kAllOnes : 0;
+      SkipRunWords(1);
+      return word;
+    }
+    const uint64_t word = words_[pos_++];
+    --literals_left_;
+    if (literals_left_ == 0) {
+      LoadMarker();
+    }
+    return word;
+  }
+
+ private:
+  void LoadMarker() {
+    while (pos_ < words_.size()) {
+      const uint64_t marker = words_[pos_++];
+      run_value_ = EwahBitmap::RunValue(marker);
+      run_left_ = EwahBitmap::RunLength(marker);
+      literals_left_ = EwahBitmap::LiteralCount(marker);
+      if (run_left_ > 0 || literals_left_ > 0) {
+        return;
+      }
+    }
+    run_left_ = 0;
+    literals_left_ = 0;
+  }
+
+  const std::vector<uint64_t>& words_;
+  size_t pos_ = 0;
+  bool run_value_ = false;
+  uint64_t run_left_ = 0;
+  uint64_t literals_left_ = 0;
+};
+
+EwahBitmap EwahBitmap::Compress(const BitVector& bits) {
+  EwahBuilder builder;
+  for (uint64_t word : bits.words()) {
+    builder.AddWord(word);
+  }
+  return builder.Finish(bits.size());
+}
+
+BitVector EwahBitmap::Decompress() const {
+  BitVector out(size_);
+  size_t word_pos = 0;
+  size_t i = 0;
+  while (i < words_.size()) {
+    const uint64_t marker = words_[i++];
+    const uint64_t run_len = RunLength(marker);
+    if (RunValue(marker)) {
+      for (uint64_t w = 0; w < run_len; ++w) {
+        out.SetWord(word_pos + w, kAllOnes);
+      }
+    }
+    word_pos += run_len;
+    const uint64_t literals = LiteralCount(marker);
+    for (uint64_t l = 0; l < literals; ++l) {
+      out.SetWord(word_pos++, words_[i++]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Word-granular merge of two compressed streams: while both cursors sit
+/// in clean runs the combined run is emitted wholesale; otherwise one
+/// word is materialized from each side and combined bitwise. A finished
+/// cursor contributes zero words (zero-extension of a shorter operand).
+template <typename WordOp>
+EwahBitmap MergeWords(const EwahBitmap& a, const EwahBitmap& b,
+                      WordOp op) {
+  assert(a.size() == b.size() && "EWAH operand size mismatch");
+  EwahBuilder builder;
+  EwahWordCursor ca(a.words());
+  EwahWordCursor cb(b.words());
+  while (!ca.Done() && !cb.Done()) {
+    if (ca.InRun() && cb.InRun()) {
+      const uint64_t n = std::min(ca.RunRemaining(), cb.RunRemaining());
+      const uint64_t word = op(ca.RunValue() ? kAllOnes : 0,
+                               cb.RunValue() ? kAllOnes : 0);
+      builder.AddRun(word != 0, n);
+      ca.SkipRunWords(n);
+      cb.SkipRunWords(n);
+    } else {
+      builder.AddWord(op(ca.NextWord(), cb.NextWord()));
+    }
+  }
+  while (!ca.Done()) {
+    builder.AddWord(op(ca.NextWord(), uint64_t{0}));
+  }
+  while (!cb.Done()) {
+    builder.AddWord(op(uint64_t{0}, cb.NextWord()));
+  }
+  return builder.Finish(std::max(a.size(), b.size()));
+}
+
+}  // namespace
+
+EwahBitmap EwahBitmap::And(const EwahBitmap& a, const EwahBitmap& b) {
+  return MergeWords(a, b, [](uint64_t x, uint64_t y) { return x & y; });
+}
+
+EwahBitmap EwahBitmap::Or(const EwahBitmap& a, const EwahBitmap& b) {
+  return MergeWords(a, b, [](uint64_t x, uint64_t y) { return x | y; });
+}
+
+EwahBitmap EwahBitmap::Xor(const EwahBitmap& a, const EwahBitmap& b) {
+  return MergeWords(a, b, [](uint64_t x, uint64_t y) { return x ^ y; });
+}
+
+EwahBitmap EwahBitmap::AndNot(const EwahBitmap& a, const EwahBitmap& b) {
+  return MergeWords(a, b, [](uint64_t x, uint64_t y) { return x & ~y; });
+}
+
+namespace {
+
+Status SizeMismatch(const char* op, size_t a, size_t b) {
+  return Status::InvalidArgument(
+      std::string("EwahBitmap::") + op + ": operand sizes differ (" +
+      std::to_string(a) + " vs " + std::to_string(b) + ")");
+}
+
+}  // namespace
+
+Result<EwahBitmap> EwahBitmap::AndChecked(const EwahBitmap& a,
+                                          const EwahBitmap& b) {
+  if (a.size_ != b.size_) {
+    return SizeMismatch("And", a.size_, b.size_);
+  }
+  return And(a, b);
+}
+
+Result<EwahBitmap> EwahBitmap::OrChecked(const EwahBitmap& a,
+                                         const EwahBitmap& b) {
+  if (a.size_ != b.size_) {
+    return SizeMismatch("Or", a.size_, b.size_);
+  }
+  return Or(a, b);
+}
+
+Result<EwahBitmap> EwahBitmap::XorChecked(const EwahBitmap& a,
+                                          const EwahBitmap& b) {
+  if (a.size_ != b.size_) {
+    return SizeMismatch("Xor", a.size_, b.size_);
+  }
+  return Xor(a, b);
+}
+
+Result<EwahBitmap> EwahBitmap::AndNotChecked(const EwahBitmap& a,
+                                             const EwahBitmap& b) {
+  if (a.size_ != b.size_) {
+    return SizeMismatch("AndNot", a.size_, b.size_);
+  }
+  return AndNot(a, b);
+}
+
+EwahBitmap EwahBitmap::Not() const {
+  const size_t total_words = WordsFor(size_);
+  const size_t tail_bits = size_ & 63;
+  const uint64_t tail_mask =
+      tail_bits == 0 ? kAllOnes : (uint64_t{1} << tail_bits) - 1;
+  EwahBuilder builder;
+  EwahWordCursor cursor(words_);
+  size_t word_idx = 0;
+  while (!cursor.Done()) {
+    if (cursor.InRun()) {
+      const bool value = cursor.RunValue();
+      uint64_t n = cursor.RunRemaining();
+      // A complemented run of zeros becomes a run of ones; if it covers
+      // the partial last word, that word must be emitted masked instead.
+      const bool covers_tail =
+          tail_bits != 0 && word_idx + n == total_words;
+      if (covers_tail) {
+        --n;
+      }
+      if (n > 0) {
+        builder.AddRun(!value, n);
+        cursor.SkipRunWords(n);
+        word_idx += n;
+      }
+      if (covers_tail) {
+        builder.AddWord(~(value ? kAllOnes : 0) & tail_mask);
+        cursor.SkipRunWords(1);
+        ++word_idx;
+      }
+    } else {
+      uint64_t word = ~cursor.NextWord();
+      if (tail_bits != 0 && word_idx + 1 == total_words) {
+        word &= tail_mask;
+      }
+      builder.AddWord(word);
+      ++word_idx;
+    }
+  }
+  return builder.Finish(size_);
+}
+
+size_t EwahBitmap::Count() const {
+  size_t count = 0;
+  size_t i = 0;
+  while (i < words_.size()) {
+    const uint64_t marker = words_[i++];
+    if (RunValue(marker)) {
+      // Runs of ones never cover the partial last word (tail invariant),
+      // so every run word contributes exactly 64 set bits.
+      count += static_cast<size_t>(RunLength(marker)) * 64;
+    }
+    const uint64_t literals = LiteralCount(marker);
+    for (uint64_t l = 0; l < literals; ++l) {
+      count += static_cast<size_t>(__builtin_popcountll(words_[i++]));
+    }
+  }
+  return count;
+}
+
+double EwahBitmap::CompressionRatio() const {
+  if (SizeBytes() == 0) {
+    return 1.0;
+  }
+  const double plain = static_cast<double>((size_ + 7) / 8);
+  return plain / static_cast<double>(SizeBytes());
+}
+
+Result<EwahBitmap> EwahBitmap::FromWords(std::vector<uint64_t> words,
+                                         size_t bits) {
+  const size_t expect_words = WordsFor(bits);
+  const size_t tail_bits = bits & 63;
+  const uint64_t tail_mask =
+      tail_bits == 0 ? kAllOnes : (uint64_t{1} << tail_bits) - 1;
+  size_t covered = 0;
+  size_t i = 0;
+  while (i < words.size()) {
+    const uint64_t marker = words[i++];
+    const uint64_t run_len = RunLength(marker);
+    const uint64_t literals = LiteralCount(marker);
+    if (literals > words.size() - i) {
+      return Status::InvalidArgument(
+          "EwahBitmap::FromWords: literal count exceeds buffer");
+    }
+    if (RunValue(marker) && tail_bits != 0 &&
+        covered + run_len == expect_words && run_len > 0) {
+      return Status::InvalidArgument(
+          "EwahBitmap::FromWords: ones-run covers the partial last word");
+    }
+    covered += run_len + literals;
+    if (covered > expect_words) {
+      return Status::InvalidArgument(
+          "EwahBitmap::FromWords: buffer covers more words than the "
+          "bit size allows");
+    }
+    if (literals > 0) {
+      const size_t last_literal = i + literals - 1;
+      if (covered == expect_words &&
+          (words[last_literal] & ~tail_mask) != 0) {
+        return Status::InvalidArgument(
+            "EwahBitmap::FromWords: set bits past the logical size");
+      }
+      i += literals;
+    }
+  }
+  if (covered != expect_words) {
+    return Status::InvalidArgument(
+        "EwahBitmap::FromWords: buffer covers " + std::to_string(covered) +
+        " words, expected " + std::to_string(expect_words));
+  }
+  EwahBitmap out;
+  out.size_ = bits;
+  out.words_ = std::move(words);
+  return out;
+}
+
+}  // namespace ebi

@@ -1,5 +1,8 @@
 #include "util/rle_bitmap.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace ebi {
 
 namespace {
@@ -114,17 +117,59 @@ RleBitmap Merge(const std::vector<uint32_t>& a_runs,
     ca.Advance(step);
     cb.Advance(step);
   }
+  // Drain the longer operand against implicit zeros so a size mismatch
+  // can never silently truncate the result (the sum of the output runs is
+  // the result size — it must reach max(|a|, |b|)).
+  while (!ca.Done()) {
+    const uint32_t step = ca.remaining();
+    AppendRun(&out_runs, op(ca.value(), false), step);
+    ca.Advance(step);
+  }
+  while (!cb.Done()) {
+    const uint32_t step = cb.remaining();
+    AppendRun(&out_runs, op(false, cb.value()), step);
+    cb.Advance(step);
+  }
   return RleBitmap::FromRuns(out_runs);
 }
 
 }  // namespace
 
 RleBitmap RleBitmap::And(const RleBitmap& a, const RleBitmap& b) {
-  return Merge(a.runs_, b.runs_, [](bool x, bool y) { return x && y; });
+  assert(a.size_ == b.size_ && "RleBitmap::And operand size mismatch");
+  RleBitmap out =
+      Merge(a.runs_, b.runs_, [](bool x, bool y) { return x && y; });
+  // Pin the logical size so the result never depends on run bookkeeping.
+  out.size_ = std::max(a.size_, b.size_);
+  return out;
 }
 
 RleBitmap RleBitmap::Or(const RleBitmap& a, const RleBitmap& b) {
-  return Merge(a.runs_, b.runs_, [](bool x, bool y) { return x || y; });
+  assert(a.size_ == b.size_ && "RleBitmap::Or operand size mismatch");
+  RleBitmap out =
+      Merge(a.runs_, b.runs_, [](bool x, bool y) { return x || y; });
+  out.size_ = std::max(a.size_, b.size_);
+  return out;
+}
+
+Result<RleBitmap> RleBitmap::AndChecked(const RleBitmap& a,
+                                        const RleBitmap& b) {
+  if (a.size_ != b.size_) {
+    return Status::InvalidArgument(
+        "RleBitmap::And: operand sizes differ (" +
+        std::to_string(a.size_) + " vs " + std::to_string(b.size_) + ")");
+  }
+  return And(a, b);
+}
+
+Result<RleBitmap> RleBitmap::OrChecked(const RleBitmap& a,
+                                       const RleBitmap& b) {
+  if (a.size_ != b.size_) {
+    return Status::InvalidArgument(
+        "RleBitmap::Or: operand sizes differ (" +
+        std::to_string(a.size_) + " vs " + std::to_string(b.size_) + ")");
+  }
+  return Or(a, b);
 }
 
 RleBitmap RleBitmap::Not() const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/bitvector.h"
+#include "util/status.h"
 
 namespace ebi {
 
@@ -31,9 +32,20 @@ class RleBitmap {
   BitVector Decompress() const;
 
   /// Logical operations on the compressed form (two-pointer run merge).
-  /// Operands must have equal bit sizes.
+  /// Operands must have equal bit sizes (asserted in debug builds); if
+  /// they nevertheless differ, the shorter operand is treated as
+  /// zero-extended and the result takes the larger size — never the
+  /// silently truncated result of stopping at the shorter input.
   static RleBitmap And(const RleBitmap& a, const RleBitmap& b);
   static RleBitmap Or(const RleBitmap& a, const RleBitmap& b);
+
+  /// Status-returning variants that reject mismatched operand sizes with
+  /// InvalidArgument instead of asserting.
+  static Result<RleBitmap> AndChecked(const RleBitmap& a,
+                                      const RleBitmap& b);
+  static Result<RleBitmap> OrChecked(const RleBitmap& a,
+                                     const RleBitmap& b);
+
   /// Complement.
   RleBitmap Not() const;
 
@@ -46,9 +58,27 @@ class RleBitmap {
   /// Number of stored runs (after normalization).
   size_t NumRuns() const { return runs_.size(); }
 
+  /// Read access to the alternating run lengths, for serialization.
+  const std::vector<uint32_t>& runs() const { return runs_; }
+
   /// Compression ratio relative to the plain representation
   /// (plain bytes / compressed bytes); > 1 means compression helped.
   double CompressionRatio() const;
+
+  /// Calls `fn(index)` for every set bit in increasing order, walking the
+  /// runs without decompressing.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    size_t pos = 0;
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if ((i & 1) != 0) {
+        for (uint32_t j = 0; j < runs_[i]; ++j) {
+          fn(pos + j);
+        }
+      }
+      pos += runs_[i];
+    }
+  }
 
   friend bool operator==(const RleBitmap& a, const RleBitmap& b) {
     return a.size_ == b.size_ && a.runs_ == b.runs_;

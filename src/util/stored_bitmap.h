@@ -1,0 +1,82 @@
+#ifndef EBI_UTIL_STORED_BITMAP_H_
+#define EBI_UTIL_STORED_BITMAP_H_
+
+#include <cstddef>
+#include <variant>
+
+#include "util/bitmap_format.h"
+#include "util/bitvector.h"
+#include "util/ewah_bitmap.h"
+#include "util/rle_bitmap.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// One bitmap vector in its selected physical format.
+///
+/// This is the unit the bitmap-backed indexes store per value / bucket /
+/// slice: the logical bits are the same in every format, but SizeBytes()
+/// — and therefore the I/O charged per vector read — reflects the
+/// physical representation. Logical operations dispatch to the matching
+/// compressed-form kernel, so a query path written against StoredBitmap
+/// runs unchanged over plain, RLE and EWAH storage.
+class StoredBitmap {
+ public:
+  /// An empty plain bitmap.
+  StoredBitmap() = default;
+
+  /// Materializes `bits` in the requested format.
+  static StoredBitmap Make(BitVector bits, BitmapFormat format);
+
+  BitmapFormat format() const {
+    if (std::holds_alternative<RleBitmap>(rep_)) {
+      return BitmapFormat::kRle;
+    }
+    if (std::holds_alternative<EwahBitmap>(rep_)) {
+      return BitmapFormat::kEwah;
+    }
+    return BitmapFormat::kPlain;
+  }
+
+  /// Number of logical bits.
+  size_t size() const;
+  /// Number of set bits (computed on the compressed form).
+  size_t Count() const;
+  /// Physical heap bytes — the per-read I/O charge and the space metric.
+  size_t SizeBytes() const;
+  /// Fraction of zero bits.
+  double Sparsity() const;
+
+  /// Expands to a plain bit vector (a copy even for plain storage).
+  BitVector ToBitVector() const;
+
+  /// Fast path: the underlying plain vector, or nullptr when compressed.
+  const BitVector* AsPlain() const {
+    return std::get_if<BitVector>(&rep_);
+  }
+
+  /// Appends one bit. Plain storage grows in place; compressed storage is
+  /// rewritten (decompress, append, recompress) — the O(|T|) maintenance
+  /// cost compressed indexes pay per append (Section 3.1).
+  void AppendBit(bool value);
+
+  /// Logical operations on the stored form. Both operands must share the
+  /// same format and bit size; InvalidArgument otherwise.
+  static Result<StoredBitmap> And(const StoredBitmap& a,
+                                  const StoredBitmap& b);
+  static Result<StoredBitmap> Or(const StoredBitmap& a,
+                                 const StoredBitmap& b);
+
+  /// Calls `fn(index)` for every set bit in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    std::visit([&](const auto& rep) { rep.ForEachSetBit(fn); }, rep_);
+  }
+
+ private:
+  std::variant<BitVector, RleBitmap, EwahBitmap> rep_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_UTIL_STORED_BITMAP_H_

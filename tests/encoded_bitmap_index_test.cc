@@ -337,6 +337,59 @@ TEST_F(EncodedBitmapIndexTest, TrainedEncodingReducesPredicateCost) {
   EXPECT_EQ(*cost, 1);
 }
 
+TEST_F(EncodedBitmapIndexTest, CompressedFormatsMatchPlainQueries) {
+  auto table = RandomIntTable(800, 30, 11);
+  IoAccountant io;
+  EncodedBitmapIndex plain(&table->column(0), &table->existence(), &io);
+  ASSERT_TRUE(plain.Build().ok());
+  for (BitmapFormat format : {BitmapFormat::kRle, BitmapFormat::kEwah}) {
+    EncodedBitmapIndexOptions options;
+    options.format = format;
+    EncodedBitmapIndex index(&table->column(0), &table->existence(), &io,
+                             options);
+    ASSERT_TRUE(index.Build().ok());
+    EXPECT_EQ(index.Name(), std::string("encoded-bitmap") +
+                                BitmapFormatSuffix(format));
+    EXPECT_EQ(index.NumVectors(), plain.NumVectors());
+    for (int64_t v : {0, 7, 15, 29}) {
+      const auto a = plain.EvaluateEquals(Value::Int(v));
+      const auto b = index.EvaluateEquals(Value::Int(v));
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << BitmapFormatName(format) << " v=" << v;
+    }
+    const auto pr = plain.EvaluateRange(5, 20);
+    const auto cr = index.EvaluateRange(5, 20);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(cr.ok());
+    EXPECT_EQ(*pr, *cr) << BitmapFormatName(format);
+  }
+}
+
+TEST_F(EncodedBitmapIndexTest, CompressedFormatMaintenanceStaysCorrect) {
+  for (BitmapFormat format : {BitmapFormat::kRle, BitmapFormat::kEwah}) {
+    EncodedBitmapIndexOptions options;
+    options.format = format;
+    Init(IntTable({1, 2, 3, 1}), options);
+    // Append of a known value, then a domain expansion, then a delete.
+    ASSERT_TRUE(table_->AppendRow({Value::Int(2)}).ok());
+    ASSERT_TRUE(index_->Append(4).ok());
+    ASSERT_TRUE(table_->AppendRow({Value::Int(9)}).ok());
+    ASSERT_TRUE(index_->Append(5).ok());
+    ASSERT_TRUE(table_->DeleteRow(0).ok());
+    ASSERT_TRUE(index_->MarkDeleted(0).ok());
+    const auto one = index_->EvaluateEquals(Value::Int(1));
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(one->ToString(), "000100") << BitmapFormatName(format);
+    const auto two = index_->EvaluateEquals(Value::Int(2));
+    ASSERT_TRUE(two.ok());
+    EXPECT_EQ(two->ToString(), "010010") << BitmapFormatName(format);
+    const auto nine = index_->EvaluateEquals(Value::Int(9));
+    ASSERT_TRUE(nine.ok());
+    EXPECT_EQ(nine->ToString(), "000001") << BitmapFormatName(format);
+  }
+}
+
 TEST_F(EncodedBitmapIndexTest, AppendBeforeBuildRejected) {
   auto table = IntTable({1});
   IoAccountant io;

@@ -1,0 +1,211 @@
+#include "util/ewah_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ebi {
+namespace {
+
+BitVector RandomBits(size_t n, double density, Rng* rng) {
+  BitVector v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(density)) {
+      v.Set(i);
+    }
+  }
+  return v;
+}
+
+TEST(EwahBitmapTest, EmptyRoundTrip) {
+  const EwahBitmap ewah = EwahBitmap::Compress(BitVector());
+  EXPECT_EQ(ewah.size(), 0u);
+  EXPECT_EQ(ewah.Count(), 0u);
+  EXPECT_EQ(ewah.NumWords(), 0u);
+  EXPECT_EQ(ewah.Decompress(), BitVector());
+}
+
+TEST(EwahBitmapTest, AllZerosIsOneMarker) {
+  const BitVector v(100000);
+  const EwahBitmap ewah = EwahBitmap::Compress(v);
+  EXPECT_EQ(ewah.Decompress(), v);
+  EXPECT_EQ(ewah.Count(), 0u);
+  // 100000 bits = 1563 clean words = a single marker word.
+  EXPECT_EQ(ewah.NumWords(), 1u);
+}
+
+TEST(EwahBitmapTest, AllOnesRoundTrip) {
+  const BitVector v(100000, true);
+  const EwahBitmap ewah = EwahBitmap::Compress(v);
+  EXPECT_EQ(ewah.Decompress(), v);
+  EXPECT_EQ(ewah.Count(), 100000u);
+  // 1562 clean ones-words in one marker, plus the partial tail literal.
+  EXPECT_LE(ewah.NumWords(), 3u);
+}
+
+TEST(EwahBitmapTest, WordBoundarySizes) {
+  for (size_t n : std::vector<size_t>{1, 63, 64, 65, 127, 128, 129}) {
+    Rng rng(n);
+    const BitVector v = RandomBits(n, 0.3, &rng);
+    const EwahBitmap ewah = EwahBitmap::Compress(v);
+    EXPECT_EQ(ewah.Decompress(), v) << "n=" << n;
+    EXPECT_EQ(ewah.Count(), v.Count()) << "n=" << n;
+  }
+}
+
+TEST(EwahBitmapTest, SparseBitmapCompressesWell) {
+  BitVector v(1 << 20);
+  v.Set(5);
+  v.Set(700000);
+  v.Set(1000000);
+  const EwahBitmap ewah = EwahBitmap::Compress(v);
+  EXPECT_GT(ewah.CompressionRatio(), 1000.0);
+  EXPECT_EQ(ewah.Decompress(), v);
+}
+
+TEST(EwahBitmapTest, DenseRandomBitmapNearPlainSize) {
+  Rng rng(11);
+  const BitVector v = RandomBits(10000, 0.5, &rng);
+  const EwahBitmap ewah = EwahBitmap::Compress(v);
+  // All-literal words plus one marker per literal block: bounded overhead.
+  EXPECT_GE(ewah.SizeBytes(), v.SizeBytes());
+  EXPECT_LE(ewah.SizeBytes(), v.SizeBytes() + 2 * sizeof(uint64_t));
+  EXPECT_EQ(ewah.Decompress(), v);
+}
+
+TEST(EwahBitmapTest, AndOrXorAndNotMatchPlainOracle) {
+  Rng rng(42);
+  for (double density : {0.001, 0.02, 0.5, 0.98}) {
+    const size_t n = 4000;
+    const BitVector a = RandomBits(n, density, &rng);
+    const BitVector b = RandomBits(n, 0.05, &rng);
+    const EwahBitmap ca = EwahBitmap::Compress(a);
+    const EwahBitmap cb = EwahBitmap::Compress(b);
+    EXPECT_EQ(EwahBitmap::And(ca, cb).Decompress(), And(a, b));
+    EXPECT_EQ(EwahBitmap::Or(ca, cb).Decompress(), Or(a, b));
+    EXPECT_EQ(EwahBitmap::Xor(ca, cb).Decompress(), Xor(a, b));
+    BitVector andnot = a;
+    andnot.AndNotWith(b);
+    EXPECT_EQ(EwahBitmap::AndNot(ca, cb).Decompress(), andnot);
+  }
+}
+
+TEST(EwahBitmapTest, NotMatchesPlainOracle) {
+  Rng rng(7);
+  for (size_t n : std::vector<size_t>{1, 64, 100, 4097}) {
+    const BitVector a = RandomBits(n, 0.2, &rng);
+    const EwahBitmap ewah = EwahBitmap::Compress(a);
+    EXPECT_EQ(ewah.Not().Decompress(), Not(a)) << "n=" << n;
+    EXPECT_EQ(ewah.Not().Not(), ewah) << "n=" << n;
+  }
+}
+
+TEST(EwahBitmapTest, NotOfEmptyIsEmpty) {
+  const EwahBitmap ewah = EwahBitmap::Compress(BitVector());
+  EXPECT_EQ(ewah.Not().size(), 0u);
+  EXPECT_EQ(ewah.Not().Count(), 0u);
+}
+
+TEST(EwahBitmapTest, NotOfAllZerosKeepsTailClear) {
+  const BitVector v(100);
+  const EwahBitmap flipped = EwahBitmap::Compress(v).Not();
+  EXPECT_EQ(flipped.Count(), 100u);
+  EXPECT_EQ(flipped.Decompress(), BitVector(100, true));
+}
+
+TEST(EwahBitmapTest, CheckedOpsRejectSizeMismatch) {
+  const EwahBitmap a = EwahBitmap::Compress(BitVector(100));
+  const EwahBitmap b = EwahBitmap::Compress(BitVector(101));
+  EXPECT_EQ(EwahBitmap::AndChecked(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EwahBitmap::OrChecked(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EwahBitmap::XorChecked(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EwahBitmap::AndNotChecked(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(EwahBitmap::AndChecked(a, a).ok());
+}
+
+TEST(EwahBitmapTest, ForEachSetBitMatchesPositions) {
+  Rng rng(5);
+  const BitVector v = RandomBits(3000, 0.05, &rng);
+  const EwahBitmap ewah = EwahBitmap::Compress(v);
+  std::vector<uint32_t> positions;
+  ewah.ForEachSetBit([&positions](size_t i) {
+    positions.push_back(static_cast<uint32_t>(i));
+  });
+  EXPECT_EQ(positions, v.ToPositions());
+}
+
+TEST(EwahBitmapTest, ForEachSetBitDecodesOnesRuns) {
+  BitVector v(256, true);
+  v.Reset(100);
+  const EwahBitmap ewah = EwahBitmap::Compress(v);
+  std::vector<uint32_t> positions;
+  ewah.ForEachSetBit([&positions](size_t i) {
+    positions.push_back(static_cast<uint32_t>(i));
+  });
+  EXPECT_EQ(positions, v.ToPositions());
+}
+
+TEST(EwahBitmapTest, FromWordsRoundTrip) {
+  Rng rng(9);
+  const BitVector v = RandomBits(1000, 0.1, &rng);
+  const EwahBitmap ewah = EwahBitmap::Compress(v);
+  const Result<EwahBitmap> restored =
+      EwahBitmap::FromWords(ewah.words(), ewah.size());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, ewah);
+}
+
+TEST(EwahBitmapTest, FromWordsRejectsCorruptBuffers) {
+  // Literal count larger than the remaining buffer.
+  EXPECT_FALSE(
+      EwahBitmap::FromWords({uint64_t{5} << 33}, 64).ok());
+  // Buffer that covers fewer words than the bit size requires.
+  EXPECT_FALSE(EwahBitmap::FromWords({}, 64).ok());
+  // Buffer that covers more words than the bit size allows.
+  const EwahBitmap two = EwahBitmap::Compress(BitVector(128));
+  EXPECT_FALSE(EwahBitmap::FromWords(two.words(), 64).ok());
+  // A set bit past the logical size in the final literal.
+  const uint64_t marker = uint64_t{1} << 33;  // 0 run words, 1 literal.
+  EXPECT_FALSE(EwahBitmap::FromWords({marker, uint64_t{1} << 40}, 10).ok());
+  EXPECT_TRUE(EwahBitmap::FromWords({marker, uint64_t{1} << 5}, 10).ok());
+}
+
+class EwahBitmapPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, double>> {};
+
+TEST_P(EwahBitmapPropertyTest, RoundTripAndOpsMatchPlain) {
+  const auto [n, density] = GetParam();
+  Rng rng(n * 977 + static_cast<uint64_t>(density * 1000));
+  BitVector a = RandomBits(n, density, &rng);
+  BitVector b = RandomBits(n, density, &rng);
+  const EwahBitmap ca = EwahBitmap::Compress(a);
+  const EwahBitmap cb = EwahBitmap::Compress(b);
+  EXPECT_EQ(ca.Decompress(), a);
+  EXPECT_EQ(ca.Count(), a.Count());
+  EXPECT_EQ(EwahBitmap::And(ca, cb).Decompress(), And(a, b));
+  EXPECT_EQ(EwahBitmap::Or(ca, cb).Decompress(), Or(a, b));
+  EXPECT_EQ(EwahBitmap::Xor(ca, cb).Decompress(), Xor(a, b));
+  EXPECT_EQ(ca.Not().Decompress(), Not(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, EwahBitmapPropertyTest,
+    ::testing::Values(std::pair<size_t, double>{1, 0.5},
+                      std::pair<size_t, double>{64, 0.01},
+                      std::pair<size_t, double>{65, 0.99},
+                      std::pair<size_t, double>{1000, 0.001},
+                      std::pair<size_t, double>{1000, 0.5},
+                      std::pair<size_t, double>{4096, 0.0},
+                      std::pair<size_t, double>{4096, 1.0},
+                      std::pair<size_t, double>{100000, 0.0003},
+                      std::pair<size_t, double>{5000, 0.9}));
+
+}  // namespace
+}  // namespace ebi

@@ -3,9 +3,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "obs/json.h"
 #include "storage/table.h"
 
 namespace ebi {
@@ -48,6 +53,95 @@ class Timer {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench output: collects labelled runs of named numeric
+/// metrics and writes BENCH_<name>.json on destruction. The destination
+/// directory is $EBI_BENCH_JSON_DIR (falling back to the working
+/// directory); writing is silent so the human-readable stdout of every
+/// bench stays byte-identical. Schema (validated by
+/// scripts/check_bench_json.sh):
+///
+///   {"bench": "<name>", "schema_version": 1,
+///    "runs": [{"label": "...", "metrics": {"<metric>": <number>}}]}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { Write(); }
+
+  /// Starts a new labelled run; subsequent Metric calls attach to it.
+  void BeginRun(const std::string& label) {
+    runs_.push_back({label, {}});
+  }
+
+  void Metric(const std::string& key, double value) {
+    if (runs_.empty()) {
+      BeginRun("default");
+    }
+    runs_.back().metrics.emplace_back(key, value);
+  }
+  /// Integral convenience overload (counters, sizes, page counts).
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  void Metric(const std::string& key, T value) {
+    Metric(key, static_cast<double>(value));
+  }
+
+  std::string ToJson() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String(name_);
+    w.Key("schema_version");
+    w.Int(1);
+    w.Key("runs");
+    w.BeginArray();
+    for (const Run& run : runs_) {
+      w.BeginObject();
+      w.Key("label");
+      w.String(run.label);
+      w.Key("metrics");
+      w.BeginObject();
+      for (const auto& [key, value] : run.metrics) {
+        w.Key(key);
+        w.Number(value);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+  }
+
+ private:
+  struct Run {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  void Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("EBI_BENCH_JSON_DIR");
+        env != nullptr && env[0] != '\0') {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return;  // Export is best-effort; never disturb the bench itself.
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  std::string name_;
+  std::vector<Run> runs_;
 };
 
 }  // namespace bench

@@ -27,7 +27,7 @@ std::vector<size_t> DeltaSamples(size_t m) {
   return deltas;
 }
 
-void RunCase(size_t m, size_t n) {
+void RunCase(size_t m, size_t n, bench::BenchReport* report) {
   std::printf("\nFigure 9 series, |A| = %zu (n = %zu rows)\n", m, n);
   std::printf("%-6s %-10s %-10s %-10s %-10s %-12s %-12s\n", "delta",
               "cs_model", "cs_meas", "ce_best", "ce_worst", "ce_meas",
@@ -87,6 +87,14 @@ void RunCase(size_t m, size_t n) {
                 static_cast<unsigned long long>(
                     encoded_io.stats().vectors_read),
                 static_cast<unsigned long long>(raw_io.stats().vectors_read));
+    report->BeginRun("m=" + std::to_string(m) +
+                     ",delta=" + std::to_string(delta));
+    report->Metric("cs_model", CsForDelta(delta));
+    report->Metric("cs_measured", simple_io.stats().vectors_read);
+    report->Metric("ce_best", CeBest(delta, m));
+    report->Metric("ce_worst", CeWorst(m));
+    report->Metric("ce_measured", encoded_io.stats().vectors_read);
+    report->Metric("ce_noreduce", raw_io.stats().vectors_read);
   }
   std::printf(
       "(cs_meas includes the existence-bitmap AND; the encoded index needs\n"
@@ -103,7 +111,8 @@ void RunCase(size_t m, size_t n) {
 
 int main() {
   std::printf("=== Figure 9: bitmap vectors accessed vs selection width ===\n");
-  ebi::RunCase(50, 20000);    // Figure 9(a).
-  ebi::RunCase(1000, 20000);  // Figure 9(b).
+  ebi::bench::BenchReport report("fig9_access_cost");
+  ebi::RunCase(50, 20000, &report);    // Figure 9(a).
+  ebi::RunCase(1000, 20000, &report);  // Figure 9(b).
   return 0;
 }

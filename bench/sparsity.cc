@@ -29,7 +29,7 @@ double AverageSliceDensity(const EncodedBitmapIndex& index) {
   return total / static_cast<double>(index.slices().size());
 }
 
-void RunSparsityVsCardinality() {
+void RunSparsityVsCardinality(bench::BenchReport* report) {
   const size_t n = 20000;
   std::printf("=== Section 3.1: sparsity vs cardinality (n = %zu) ===\n", n);
   std::printf("%-8s %-14s %-14s %-14s %-16s %-16s\n", "m", "model (m-1)/m",
@@ -66,6 +66,12 @@ void RunSparsityVsCardinality() {
     std::printf("%-8zu %-14.4f %-14.4f %-14.4f %-16.2f %-16.2f\n", m,
                 SimpleSparsity(m), plain.AverageSparsity(),
                 1.0 - AverageSliceDensity(encoded), rle_simple, rle_enc);
+    report->BeginRun("m=" + std::to_string(m));
+    report->Metric("sparsity_model", SimpleSparsity(m));
+    report->Metric("sparsity_simple", plain.AverageSparsity());
+    report->Metric("sparsity_encoded", 1.0 - AverageSliceDensity(encoded));
+    report->Metric("rle_ratio_simple", rle_simple);
+    report->Metric("rle_ratio_encoded", rle_enc);
   }
   std::printf(
       "(Sparse simple vectors compress well; ~50%%-dense encoded slices do\n"
@@ -93,7 +99,7 @@ double TimeOps(int reps, size_t* sink, Fn&& op) {
   return ms > 0.0 ? static_cast<double>(reps) / ms : 0.0;
 }
 
-void RunFormatComparison() {
+void RunFormatComparison(bench::BenchReport* report) {
   const size_t n = 1 << 20;
   const int reps = 20;
   std::printf(
@@ -119,6 +125,15 @@ void RunFormatComparison() {
         reps, &sink, [&] { return Or(a, b).Count() & 1u; });
     std::printf("%-10.4f %-8s %12zu %10.2f %14.1f %14.1f\n", density,
                 "plain", a.SizeBytes(), 1.0, plain_and, plain_or);
+    const auto record = [&](const char* format, size_t bytes,
+                            double and_ops, double or_ops) {
+      report->BeginRun("density=" + std::to_string(density) + "," + format);
+      report->Metric("bytes", bytes);
+      report->Metric("ratio", plain_bytes / static_cast<double>(bytes));
+      report->Metric("and_ops_per_ms", and_ops);
+      report->Metric("or_ops_per_ms", or_ops);
+    };
+    record("plain", a.SizeBytes(), plain_and, plain_or);
 
     const double rle_and = TimeOps(
         reps, &sink, [&] { return RleBitmap::And(ra, rb).Count() & 1u; });
@@ -128,6 +143,7 @@ void RunFormatComparison() {
                 ra.SizeBytes(),
                 plain_bytes / static_cast<double>(ra.SizeBytes()), rle_and,
                 rle_or);
+    record("rle", ra.SizeBytes(), rle_and, rle_or);
 
     const double ewah_and = TimeOps(
         reps, &sink, [&] { return EwahBitmap::And(ea, eb).Count() & 1u; });
@@ -137,6 +153,7 @@ void RunFormatComparison() {
                 "ewah", ea.SizeBytes(),
                 plain_bytes / static_cast<double>(ea.SizeBytes()), ewah_and,
                 ewah_or);
+    record("ewah", ea.SizeBytes(), ewah_and, ewah_or);
   }
   std::printf(
       "(sink=%zu) Word-aligned EWAH keeps plain-like AND/OR speed while\n"
@@ -146,8 +163,9 @@ void RunFormatComparison() {
 }
 
 void Run() {
-  RunSparsityVsCardinality();
-  RunFormatComparison();
+  bench::BenchReport report("sparsity");
+  RunSparsityVsCardinality(&report);
+  RunFormatComparison(&report);
 }
 
 }  // namespace

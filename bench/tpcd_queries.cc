@@ -60,6 +60,15 @@ void Run() {
   planner.RegisterIndex("day", &day_sliced);
   planner.RegisterIndex("day", &day_encoded);
 
+  bench::BenchReport report("tpcd_queries");
+  const auto record = [&report, &io](const char* label, size_t rows) {
+    report.BeginRun(label);
+    report.Metric("rows", rows);
+    report.Metric("vectors_read", io.stats().vectors_read);
+    report.Metric("pages_read", io.stats().pages_read);
+    report.Metric("bytes_read", io.stats().bytes_read);
+  };
+
   std::printf("=== TPC-D-style templates on SALES (%zu rows) ===\n",
               schema.sales->NumRows());
   std::printf("%-4s %-34s %-10s %-14s %-24s\n", "id", "template", "rows",
@@ -80,6 +89,7 @@ void Run() {
         std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T1",
                     "day in [30,120]: SUM,AVG(qty)", sel->count, answer,
                     io.stats().ToString().c_str());
+        record("T1", sel->count);
       }
     }
   }
@@ -98,6 +108,7 @@ void Run() {
       std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T2",
                   "product IN(40) AND day<=180", sel->count, "-",
                   io.stats().ToString().c_str());
+      record("T2", sel->count);
     }
   }
 
@@ -132,6 +143,7 @@ void Run() {
     std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T3",
                 "alliance rollup: SUM(qty)", rows, answer,
                 io.stats().ToString().c_str());
+    record("T3", rows);
   }
 
   // T4: point lookup.
@@ -143,6 +155,7 @@ void Run() {
       std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T4",
                   "product = 7: COUNT", sel->count, "-",
                   io.stats().ToString().c_str());
+      record("T4", sel->count);
     }
   }
 
@@ -159,6 +172,7 @@ void Run() {
       std::printf("%-4s %-34s %-10zu %-14s %-24s\n", "T5",
                   "join: category=3, SUM(qty)", sel->Count(), answer,
                   io.stats().ToString().c_str());
+      record("T5", sel->Count());
     }
   }
 

@@ -5,8 +5,11 @@
 //      encoded as intervals and answered from one or two bitmap vectors;
 //   3. bit-sliced index — the O'Neil/Quass slice arithmetic, best for
 //      wide ad-hoc ranges.
+//
+// Pass --explain to also print the trace of each indexed evaluation.
 
 #include <cstdio>
+#include <cstring>
 
 #include "ebi/ebi.h"
 
@@ -17,8 +20,11 @@ constexpr int64_t kDomainHi = 20;  // Exclusive, as in Figure 7.
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using ebi::Value;
+
+  const bool explain =
+      argc > 1 && std::strcmp(argv[1], "--explain") == 0;
 
   // Sensor readings in [6, 20) — the paper's Figure 7 domain.
   ebi::Table table("READINGS");
@@ -44,13 +50,20 @@ int main() {
   if (!ordered.Build().ok()) {
     return 1;
   }
-  auto r1 = ordered.EvaluateRange(8, 11);  // 8 <= temp < 12.
+  ebi::obs::QueryTrace ordered_trace;
+  ebi::Result<ebi::BitVector> r1 = [&] {
+    const ebi::obs::TraceScope install(explain ? &ordered_trace : nullptr);
+    return ordered.EvaluateRange(8, 11);  // 8 <= temp < 12.
+  }();
   if (!r1.ok()) {
     return 1;
   }
   std::printf("total-order EBI : 8<=temp<12 -> %zu rows, %llu vectors\n",
               r1->Count(),
               static_cast<unsigned long long>(io1.stats().vectors_read));
+  if (explain) {
+    std::printf("%s", ebi::obs::ExplainText(ordered_trace).c_str());
+  }
 
   // --- 2. Range-based encoding over the predefined selections. ----------
   const std::vector<ebi::HalfOpenRange> predefined = {
@@ -85,7 +98,11 @@ int main() {
   if (!sliced.Build().ok()) {
     return 1;
   }
-  auto r3 = sliced.EvaluateRange(8, 11);
+  ebi::obs::QueryTrace sliced_trace;
+  ebi::Result<ebi::BitVector> r3 = [&] {
+    const ebi::obs::TraceScope install(explain ? &sliced_trace : nullptr);
+    return sliced.EvaluateRange(8, 11);
+  }();
   if (!r3.ok()) {
     return 1;
   }
@@ -94,6 +111,9 @@ int main() {
               r3->Count(),
               static_cast<unsigned long long>(io3.stats().vectors_read),
               sliced.NumVectors());
+  if (explain) {
+    std::printf("%s", ebi::obs::ExplainText(sliced_trace).c_str());
+  }
   // SUM on slices, no table access.
   const auto sum = sliced.Sum(*r3);
   if (sum.ok()) {

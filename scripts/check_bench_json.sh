@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Validates the machine-readable bench export: runs a bench with
+# EBI_BENCH_JSON_DIR pointing at a temp directory (or validates JSON
+# files passed as arguments), then checks every BENCH_*.json against the
+# schema BenchReport promises:
+#
+#   {"bench": str, "schema_version": 1,
+#    "runs": [{"label": str, "metrics": {str: number, ...}}, ...]}
+#
+# Usage:
+#   check_bench_json.sh                 # run build/bench/fig9_access_cost
+#   check_bench_json.sh FILE.json ...   # validate existing exports
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=()
+tmpdir=""
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  bench_bin="build/bench/fig9_access_cost"
+  if [ ! -x "$bench_bin" ]; then
+    echo "check_bench_json: $bench_bin not built; run cmake --build build" >&2
+    exit 1
+  fi
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+  EBI_BENCH_JSON_DIR="$tmpdir" "$bench_bin" > /dev/null
+  for f in "$tmpdir"/BENCH_*.json; do
+    [ -f "$f" ] && files+=("$f")
+  done
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "check_bench_json: bench produced no BENCH_*.json" >&2
+    exit 1
+  fi
+fi
+
+validate_with_python() {
+  python3 - "$1" <<'EOF'
+import json
+import numbers
+import sys
+
+path = sys.argv[1]
+with open(path, "rb") as f:
+    doc = json.load(f)
+
+def fail(msg):
+    print(f"check_bench_json: {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if not isinstance(doc, dict):
+    fail("top level is not an object")
+if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+    fail('missing or empty "bench" string')
+if doc.get("schema_version") != 1:
+    fail('"schema_version" must be 1')
+runs = doc.get("runs")
+if not isinstance(runs, list) or not runs:
+    fail('"runs" must be a non-empty array')
+for i, run in enumerate(runs):
+    if not isinstance(run, dict):
+        fail(f"runs[{i}] is not an object")
+    if not isinstance(run.get("label"), str) or not run["label"]:
+        fail(f'runs[{i}] missing or empty "label"')
+    metrics = run.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(f'runs[{i}] "metrics" must be a non-empty object')
+    for key, value in metrics.items():
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            fail(f"runs[{i}].metrics[{key!r}] is not a number")
+EOF
+}
+
+validate_with_jq() {
+  jq -e '
+    (type == "object")
+    and (.bench | type == "string" and length > 0)
+    and (.schema_version == 1)
+    and (.runs | type == "array" and length > 0)
+    and ([.runs[]
+          | (type == "object")
+            and (.label | type == "string" and length > 0)
+            and (.metrics | type == "object" and length > 0)
+            and ([.metrics[] | type == "number"] | all)
+         ] | all)
+  ' "$1" > /dev/null
+}
+
+fail=0
+for f in "${files[@]}"; do
+  if command -v python3 > /dev/null 2>&1; then
+    validate_with_python "$f" || fail=1
+  elif command -v jq > /dev/null 2>&1; then
+    if ! validate_with_jq "$f"; then
+      echo "check_bench_json: $f: schema validation failed" >&2
+      fail=1
+    fi
+  else
+    echo "check_bench_json: need python3 or jq to validate" >&2
+    exit 1
+  fi
+  if [ "$fail" -eq 0 ]; then
+    echo "check_bench_json: OK $(basename "$f")"
+  fi
+done
+
+exit "$fail"

@@ -19,6 +19,10 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
+# Machine-readable export: every bench that writes BENCH_<name>.json must
+# emit documents matching the schema in scripts/check_bench_json.sh.
+bash scripts/check_bench_json.sh
+
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then

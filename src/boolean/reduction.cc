@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "boolean/quine_mccluskey.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ebi {
 
@@ -88,16 +90,48 @@ Cover ReduceCoverHeuristic(Cover cover) {
   return cover;
 }
 
+namespace {
+
+/// Feeds the reduction counters and, when a trace is recording, the
+/// boolean.reduce span attributes (minterms in/out, method, the distinct
+/// vectors the reduced expression references — the paper's c_e).
+Cover FinishReduction(obs::ScopedSpan* span, const char* method,
+                      size_t terms_in, size_t dontcare_terms, int k,
+                      Cover result) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* reductions =
+      registry.GetCounter(obs::kMetricReductionCount);
+  static obs::Counter* in = registry.GetCounter(obs::kMetricReductionTermsIn);
+  static obs::Counter* out =
+      registry.GetCounter(obs::kMetricReductionTermsOut);
+  reductions->Increment();
+  in->Increment(terms_in);
+  out->Increment(result.size());
+  if (span->active()) {
+    span->Attr("method", method);
+    span->Attr("k", k);
+    span->Attr("terms_in", terms_in);
+    span->Attr("dontcares", dontcare_terms);
+    span->Attr("terms_out", result.size());
+    span->Attr("vectors", DistinctVariables(result));
+  }
+  return result;
+}
+
+}  // namespace
+
 Cover ReduceRetrievalFunction(const std::vector<uint64_t>& onset,
                               const std::vector<uint64_t>& dontcare, int k,
                               const ReductionOptions& options) {
+  obs::ScopedSpan span("boolean.reduce");
   Cover raw;
   raw.reserve(onset.size());
   for (uint64_t code : onset) {
     raw.push_back(Cube::MinTerm(code, k));
   }
   if (!options.enable_reduction || onset.empty()) {
-    return raw;
+    return FinishReduction(&span, "off", onset.size(), 0, k,
+                           std::move(raw));
   }
 
   const std::vector<uint64_t>* dc = &dontcare;
@@ -109,7 +143,8 @@ Cover ReduceRetrievalFunction(const std::vector<uint64_t>& onset,
   if (onset.size() + dc->size() <= options.exact_max_terms) {
     MinimizeOptions mo;
     mo.prefer_fewer_variables = options.prefer_fewer_variables;
-    return MinimizeQm(onset, *dc, k, mo);
+    return FinishReduction(&span, "exact", onset.size(), dc->size(), k,
+                           MinimizeQm(onset, *dc, k, mo));
   }
 
   // Heuristic path: include don't-cares as mergeable min-terms, then strip
@@ -132,7 +167,8 @@ Cover ReduceRetrievalFunction(const std::vector<uint64_t>& onset,
       result.push_back(cube);
     }
   }
-  return result;
+  return FinishReduction(&span, "heuristic", onset.size(), dc->size(), k,
+                         std::move(result));
 }
 
 }  // namespace ebi

@@ -41,6 +41,10 @@
 #include "index/range_based_bitmap_index.h"
 #include "index/simple_bitmap_index.h"
 #include "index/value_list_index.h"
+#include "obs/explain.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/aggregates.h"
 #include "query/executor.h"
 #include "query/index_manager.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/bit_util.h"
 
 namespace ebi {
@@ -112,6 +113,12 @@ Result<BitVector> BitSlicedIndex::EvaluateRange(int64_t lo, int64_t hi) {
   if (!built_) {
     return Status::FailedPrecondition("index not built");
   }
+  obs::ScopedSpan span("index.eval");
+  const IoScope scope(io_);
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("slices_held", slices_.size());
+  }
   if (lo > hi) {
     return BitVector(rows_indexed_);
   }
@@ -144,6 +151,10 @@ Result<BitVector> BitSlicedIndex::EvaluateRange(int64_t lo, int64_t hi) {
   }
   io_->ChargeVectorRead(existence_->SizeBytes());
   result.AndWith(*existence_);
+  if (span.active()) {
+    span.Attr("existence_and", true);
+    span.AttrIo(scope.Delta());
+  }
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.h"
+
 namespace ebi {
 
 int64_t BTreeIndex::KeyOf(ValueId id) const {
@@ -232,17 +234,24 @@ Result<BitVector> BTreeIndex::EvaluateEquals(const Value& value) {
   if (!built_) {
     return Status::FailedPrecondition("index not built");
   }
+  obs::ScopedSpan span("index.eval");
+  const IoScope scope(io_);
   BitVector result(rows_indexed_);
   const std::optional<ValueId> id = column_->Lookup(value);
-  if (!id.has_value()) {
-    return result;
+  if (id.has_value()) {
+    const int64_t key = KeyOf(*id);
+    const uint32_t leaf_id = DescendToLeaf(key);
+    const Node& leaf = *nodes_[leaf_id];
+    const auto it =
+        std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+    if (it != leaf.keys.end() && *it == key) {
+      EmitPostings(leaf.postings[it - leaf.keys.begin()], &result);
+    }
   }
-  const int64_t key = KeyOf(*id);
-  const uint32_t leaf_id = DescendToLeaf(key);
-  const Node& leaf = *nodes_[leaf_id];
-  const auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
-  if (it != leaf.keys.end() && *it == key) {
-    EmitPostings(leaf.postings[it - leaf.keys.begin()], &result);
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("height", Height());
+    span.AttrIo(scope.Delta());
   }
   return result;
 }
@@ -268,12 +277,16 @@ Result<BitVector> BTreeIndex::EvaluateRange(int64_t lo, int64_t hi) {
   if (column_->type() != Column::Type::kInt64) {
     return Status::InvalidArgument("range selection on non-integer column");
   }
+  obs::ScopedSpan span("index.eval");
+  const IoScope scope(io_);
   BitVector result(rows_indexed_);
   if (lo > hi) {
     return result;
   }
+  size_t leaves_walked = 0;
   uint32_t leaf_id = DescendToLeaf(lo);
   while (leaf_id != kNoNode) {
+    ++leaves_walked;
     const Node& leaf = *nodes_[leaf_id];
     bool past_end = false;
     for (size_t i = 0; i < leaf.keys.size(); ++i) {
@@ -293,6 +306,12 @@ Result<BitVector> BTreeIndex::EvaluateRange(int64_t lo, int64_t hi) {
     if (leaf_id != kNoNode) {
       ChargeNode();  // Following the leaf chain reads the next page.
     }
+  }
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("height", Height());
+    span.Attr("leaves", leaves_walked);
+    span.AttrIo(scope.Delta());
   }
   return result;
 }

@@ -1,6 +1,7 @@
 #include "index/cold_encoded_bitmap_index.h"
 
 #include "encoding/encoders.h"
+#include "obs/trace.h"
 
 namespace ebi {
 
@@ -137,15 +138,26 @@ Result<Cover> ColdEncodedBitmapIndex::CoverForIds(
 
 Result<BitVector> ColdEncodedBitmapIndex::EvaluateCoverCold(
     const Cover& cover) {
+  obs::ScopedSpan span("cover.eval");
+  const IoScope scope(io_);
   // Fault in only the slices the reduced expression references.
   const uint64_t vars = VariablesOf(cover);
+  uint64_t vectors_read = 0;
   std::vector<BitVector> slices(slice_ids_.size());
   for (size_t i = 0; i < slice_ids_.size(); ++i) {
     if ((vars >> i) & 1) {
       EBI_ASSIGN_OR_RETURN(slices[i], store_->Get(slice_ids_[i]));
+      ++vectors_read;
     } else {
       slices[i] = BitVector(rows_indexed_);  // Never read by the cover.
     }
+  }
+  if (span.active()) {
+    span.Attr("minterms", cover.size());
+    span.Attr("vectors_read", vectors_read);
+    span.Attr("slices_held", slice_ids_.size());
+    span.Attr("existence_and", !mapping_.void_code().has_value());
+    span.AttrIo(scope.Delta());
   }
   return EvaluateCover(cover, slices, rows_indexed_);
 }
@@ -160,7 +172,13 @@ Result<BitVector> ColdEncodedBitmapIndex::EvaluateIn(
   if (!built_) {
     return Status::FailedPrecondition("index not built");
   }
-  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(IdsOf(values)));
+  obs::ScopedSpan span("index.eval");
+  const std::vector<ValueId> ids = IdsOf(values);
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("delta", ids.size());
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(ids));
   return EvaluateCoverCold(cover);
 }
 
@@ -172,8 +190,13 @@ Result<BitVector> ColdEncodedBitmapIndex::EvaluateRange(int64_t lo,
   if (column_->type() != Column::Type::kInt64) {
     return Status::InvalidArgument("range selection on non-integer column");
   }
-  EBI_ASSIGN_OR_RETURN(const Cover cover,
-                       CoverForIds(column_->IdsInRange(lo, hi)));
+  obs::ScopedSpan span("index.eval");
+  const std::vector<ValueId> ids = column_->IdsInRange(lo, hi);
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("delta", ids.size());
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(ids));
   return EvaluateCoverCold(cover);
 }
 

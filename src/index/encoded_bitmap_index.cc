@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "encoding/encoders.h"
+#include "obs/trace.h"
 #include "util/bit_util.h"
 #include "util/random.h"
 
@@ -231,13 +232,17 @@ Result<Cover> EncodedBitmapIndex::CoverForIds(
 
 Result<BitVector> EncodedBitmapIndex::EvaluateCoverCharged(
     const Cover& cover) {
+  obs::ScopedSpan span("cover.eval");
+  const IoScope scope(io_);
   const uint64_t vars = VariablesOf(cover);
   const size_t k = SliceCount();
+  uint64_t vectors_read = 0;
   for (size_t i = 0; i < k; ++i) {
     if ((vars >> i) & 1) {
       // Compressed formats charge their (smaller) physical size here —
       // the I/O benefit the format knob exists to measure.
       io_->ChargeVectorRead(SliceSizeBytes(i));
+      ++vectors_read;
     }
   }
   BitVector result;
@@ -254,12 +259,22 @@ Result<BitVector> EncodedBitmapIndex::EvaluateCoverCharged(
     }
     result = EvaluateCover(cover, touched, rows_indexed_);
   }
-  if (!mapping_.void_code().has_value()) {
+  const bool existence_and = !mapping_.void_code().has_value();
+  if (existence_and) {
     // No void codeword: deleted rows still carry stale value codes, so the
     // existence bitmap must be ANDed — exactly the extra read Theorem 2.1
     // eliminates.
     io_->ChargeVectorRead(existence_->SizeBytes());
     result.AndWith(*existence_);
+  }
+  if (span.active()) {
+    // The measured c_e of Section 3.1: distinct slice vectors the reduced
+    // expression touched (existence_and marks the Theorem 2.1 extra read).
+    span.Attr("minterms", cover.size());
+    span.Attr("vectors_read", vectors_read);
+    span.Attr("slices_held", k);
+    span.Attr("existence_and", existence_and);
+    span.AttrIo(scope.Delta());
   }
   return result;
 }
@@ -273,7 +288,13 @@ Result<BitVector> EncodedBitmapIndex::EvaluateIn(
   if (!built_) {
     return Status::FailedPrecondition("index not built");
   }
-  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(IdsOf(values)));
+  obs::ScopedSpan span("index.eval");
+  const std::vector<ValueId> ids = IdsOf(values);
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("delta", ids.size());
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(ids));
   return EvaluateCoverCharged(cover);
 }
 
@@ -284,8 +305,13 @@ Result<BitVector> EncodedBitmapIndex::EvaluateRange(int64_t lo, int64_t hi) {
   if (column_->type() != Column::Type::kInt64) {
     return Status::InvalidArgument("range selection on non-integer column");
   }
-  EBI_ASSIGN_OR_RETURN(const Cover cover,
-                       CoverForIds(column_->IdsInRange(lo, hi)));
+  obs::ScopedSpan span("index.eval");
+  const std::vector<ValueId> ids = column_->IdsInRange(lo, hi);
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("delta", ids.size());
+  }
+  EBI_ASSIGN_OR_RETURN(const Cover cover, CoverForIds(ids));
   return EvaluateCoverCharged(cover);
 }
 
@@ -295,6 +321,11 @@ Result<BitVector> EncodedBitmapIndex::EvaluateIsNull() {
   }
   if (!mapping_.null_code().has_value()) {
     return Status::FailedPrecondition("mapping reserves no NULL codeword");
+  }
+  obs::ScopedSpan span("index.eval");
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("op", "is_null");
   }
   Cover cover = {Cube::MinTerm(*mapping_.null_code(), mapping_.width())};
   return EvaluateCoverCharged(cover);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace ebi {
 
 Status RangeBasedBitmapIndex::Build() {
@@ -102,6 +104,8 @@ Result<BitVector> RangeBasedBitmapIndex::EvaluateRange(int64_t lo,
   if (!built_) {
     return Status::FailedPrecondition("index not built");
   }
+  obs::ScopedSpan span("index.eval");
+  const IoScope scope(io_);
   last_candidates_ = 0;
   BitVector result(rows_indexed_);
   if (lo > hi) {
@@ -109,7 +113,9 @@ Result<BitVector> RangeBasedBitmapIndex::EvaluateRange(int64_t lo,
   }
   const size_t first = BucketOf(lo);
   const size_t last = BucketOf(hi);
+  size_t buckets_read = 0;
   for (size_t b = first; b <= last && b < bitmaps_.size(); ++b) {
+    ++buckets_read;
     const int64_t bucket_lo = bounds_[b];
     const bool has_upper = b + 1 < bounds_.size();
     const int64_t bucket_hi_excl = has_upper ? bounds_[b + 1] : 0;
@@ -128,6 +134,13 @@ Result<BitVector> RangeBasedBitmapIndex::EvaluateRange(int64_t lo,
   }
   io_->ChargeVectorRead(existence_->SizeBytes());
   result.AndWith(*existence_);
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("buckets", buckets_read);
+    span.Attr("candidates", last_candidates_);
+    span.Attr("existence_and", true);
+    span.AttrIo(scope.Delta());
+  }
   return result;
 }
 

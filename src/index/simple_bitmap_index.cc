@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace ebi {
 
 Status SimpleBitmapIndex::Build() {
@@ -60,6 +62,8 @@ BitVector SimpleBitmapIndex::ReadVector(ValueId id) {
 
 Result<BitVector> SimpleBitmapIndex::EvaluateIds(
     const std::vector<ValueId>& ids) {
+  obs::ScopedSpan span("index.eval");
+  const IoScope scope(io_);
   BitVector result(rows_indexed_);
   if (options_.format != BitmapFormat::kPlain && ids.size() > 1) {
     // OR the compressed representations directly; only the final result
@@ -81,6 +85,14 @@ Result<BitVector> SimpleBitmapIndex::EvaluateIds(
   // contrast Theorem 2.1 draws with void-aware encodings).
   io_->ChargeVectorRead(existence_->SizeBytes());
   result.AndWith(*existence_);
+  if (span.active()) {
+    span.Attr("index", Name());
+    // One vector per selected value plus the existence AND — the paper's
+    // c_s = δ (+1) cost a simple bitmap pays.
+    span.Attr("delta", ids.size());
+    span.Attr("existence_and", true);
+    span.AttrIo(scope.Delta());
+  }
   return result;
 }
 
@@ -112,6 +124,11 @@ Result<BitVector> SimpleBitmapIndex::EvaluateRange(int64_t lo, int64_t hi) {
 Result<BitVector> SimpleBitmapIndex::EvaluateIsNull() {
   if (!built_) {
     return Status::FailedPrecondition("index not built");
+  }
+  obs::ScopedSpan span("index.eval");
+  if (span.active()) {
+    span.Attr("index", Name());
+    span.Attr("op", "is_null");
   }
   io_->ChargeVectorRead(null_vector_.SizeBytes());
   BitVector result = null_vector_;

@@ -1,0 +1,89 @@
+#include "obs/explain.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace ebi {
+namespace obs {
+
+namespace {
+
+/// Text form of one attribute value: strings containing spaces, '=' or
+/// quotes are double-quoted so lines stay machine-splittable on spaces.
+std::string AttrText(const AttrValue& value) {
+  std::string text = value.ToString();
+  if (value.kind() == AttrValue::Kind::kString &&
+      text.find_first_of(" =\"") != std::string::npos) {
+    std::string quoted = "\"";
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        quoted += '\\';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+  return text;
+}
+
+void RenderText(const TraceSpan& span, const ExplainOptions& options,
+                int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth * options.indent), ' ');
+  *out += span.name;
+  for (const auto& [key, value] : span.attrs) {
+    *out += ' ';
+    *out += key;
+    *out += '=';
+    *out += AttrText(value);
+  }
+  if (options.include_timing) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), " elapsed_ms=%.3f", span.elapsed_ms);
+    *out += buf;
+  }
+  *out += '\n';
+  for (const TraceSpan& child : span.children) {
+    RenderText(child, options, depth + 1, out);
+  }
+}
+
+void RenderJson(const TraceSpan& span, const ExplainOptions& options,
+                JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").String(span.name);
+  if (options.include_timing) {
+    w->Key("elapsed_ms").Number(span.elapsed_ms);
+  }
+  w->Key("attrs").BeginObject();
+  for (const auto& [key, value] : span.attrs) {
+    w->Key(key).Raw(value.ToJson());
+  }
+  w->EndObject();
+  w->Key("children").BeginArray();
+  for (const TraceSpan& child : span.children) {
+    RenderJson(child, options, w);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ExplainText(const QueryTrace& trace,
+                        const ExplainOptions& options) {
+  std::string out;
+  RenderText(trace.root(), options, 0, &out);
+  return out;
+}
+
+std::string ExplainJson(const QueryTrace& trace,
+                        const ExplainOptions& options) {
+  JsonWriter w;
+  RenderJson(trace.root(), options, &w);
+  return w.str();
+}
+
+}  // namespace obs
+}  // namespace ebi

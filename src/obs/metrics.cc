@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace ebi {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  size_t b = 0;
+  while (b < bounds_.size() && value > bounds_[b]) {
+    ++b;
+  }
+  ++counts_[b];
+  sum_ += value;
+  ++count_;
+}
+
+uint64_t Histogram::TotalCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::Sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::Mean() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+void Histogram::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+std::vector<double> MetricsRegistry::DefaultBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name).Uint(counter->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(histogram->TotalCount());
+    w.Key("sum").Number(histogram->Sum());
+    w.Key("mean").Number(histogram->Mean());
+    w.Key("bounds").BeginArray();
+    for (const double b : histogram->bounds()) {
+      w.Number(b);
+    }
+    w.EndArray();
+    w.Key("buckets").BeginArray();
+    for (const uint64_t c : histogram->BucketCounts()) {
+      w.Uint(c);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string MetricsRegistry::ToString() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name + " = " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s = {count=%llu mean=%.3f}\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(histogram->TotalCount()),
+                  histogram->Mean());
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+void RecordQuery(const IoStats& io, double latency_ms) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* count = registry.GetCounter(kMetricQueryCount);
+  static Histogram* latency = registry.GetHistogram(kMetricQueryLatencyMs);
+  static Histogram* vectors = registry.GetHistogram(kMetricQueryVectors);
+  static Histogram* pages = registry.GetHistogram(kMetricQueryPages);
+  count->Increment();
+  latency->Observe(latency_ms);
+  vectors->Observe(static_cast<double>(io.vectors_read));
+  pages->Observe(static_cast<double>(io.pages_read));
+}
+
+void RecordEstimateError(double estimated_pages, double actual_pages) {
+  static Histogram* error = MetricsRegistry::Global().GetHistogram(
+      kMetricPlannerEstimateErrorPages);
+  error->Observe(std::fabs(estimated_pages - actual_pages));
+}
+
+}  // namespace obs
+}  // namespace ebi

@@ -1,0 +1,117 @@
+#ifndef EBI_OBS_METRICS_H_
+#define EBI_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/io_accountant.h"
+
+namespace ebi {
+namespace obs {
+
+// Canonical metric names (documented in DESIGN.md §6). Query-layer code
+// feeds these; dashboards and the bench JSON export read them back.
+inline constexpr char kMetricQueryCount[] = "ebi.query.count";
+inline constexpr char kMetricQueryLatencyMs[] = "ebi.query.latency_ms";
+inline constexpr char kMetricQueryVectors[] = "ebi.query.vectors";
+inline constexpr char kMetricQueryPages[] = "ebi.query.pages";
+inline constexpr char kMetricPlannerEstimateErrorPages[] =
+    "ebi.planner.estimate_error_pages";
+inline constexpr char kMetricStoreHits[] = "ebi.store.hits";
+inline constexpr char kMetricStoreMisses[] = "ebi.store.misses";
+inline constexpr char kMetricStoreEvictions[] = "ebi.store.evictions";
+inline constexpr char kMetricStoreWritebacks[] = "ebi.store.writebacks";
+inline constexpr char kMetricReductionCount[] = "ebi.reduction.count";
+inline constexpr char kMetricReductionTermsIn[] = "ebi.reduction.terms_in";
+inline constexpr char kMetricReductionTermsOut[] = "ebi.reduction.terms_out";
+
+/// A monotonically increasing named counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A fixed-bucket histogram: `bounds` are ascending inclusive upper
+/// bounds, plus one implicit overflow bucket. Tracks sum and count so
+/// means survive bucketing. Thread-safe (one mutex per histogram).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t TotalCount() const;
+  double Sum() const;
+  double Mean() const;
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  double sum_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+/// Process-wide registry of named counters and histograms. Lookups are
+/// mutex-guarded; returned pointers are stable for the registry's
+/// lifetime, so hot paths cache them in function-local statics.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in instrumentation site feeds.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the counter `name`.
+  Counter* GetCounter(const std::string& name);
+  /// Finds or creates the histogram `name`. `bounds` only applies on
+  /// first creation; later callers get the existing bucket layout.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultBounds());
+
+  /// 1, 2, 5, 10, ... 10^6 — a decade ladder wide enough for latencies in
+  /// ms, vectors per query, and page errors alike.
+  static std::vector<double> DefaultBounds();
+
+  /// Snapshot as one JSON object: {"counters": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+  /// Human-readable one-line-per-metric dump.
+  std::string ToString() const;
+  /// Zeroes every registered metric (registrations stay). For tests.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Feeds one finished query into the global registry: query count, the
+/// vectors/pages histograms from `io`, and the latency histogram.
+void RecordQuery(const IoStats& io, double latency_ms);
+
+/// Feeds one planner access-path decision: |estimated - actual| pages.
+void RecordEstimateError(double estimated_pages, double actual_pages);
+
+}  // namespace obs
+}  // namespace ebi
+
+#endif  // EBI_OBS_METRICS_H_

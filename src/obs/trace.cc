@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace ebi {
+namespace obs {
+
+namespace {
+
+/// Renders a double compactly: integral values without a fraction,
+/// everything else with enough digits to be useful in a plan line.
+std::string DoubleToString(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 1e15 && v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+thread_local QueryTrace* g_current_trace = nullptr;
+
+}  // namespace
+
+uint64_t AttrValue::AsUint() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return i_ < 0 ? 0 : static_cast<uint64_t>(i_);
+    case Kind::kUint:
+      return u_;
+    case Kind::kDouble:
+      return d_ < 0 ? 0 : static_cast<uint64_t>(d_);
+    case Kind::kBool:
+      return b_ ? 1 : 0;
+    case Kind::kString:
+      return 0;
+  }
+  return 0;
+}
+
+std::string AttrValue::ToString() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return std::to_string(i_);
+    case Kind::kUint:
+      return std::to_string(u_);
+    case Kind::kDouble:
+      return DoubleToString(d_);
+    case Kind::kBool:
+      return b_ ? "true" : "false";
+    case Kind::kString:
+      return s_;
+  }
+  return "";
+}
+
+std::string AttrValue::ToJson() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return std::to_string(i_);
+    case Kind::kUint:
+      return std::to_string(u_);
+    case Kind::kDouble:
+      return JsonNumber(d_);
+    case Kind::kBool:
+      return b_ ? "true" : "false";
+    case Kind::kString:
+      return "\"" + JsonEscape(s_) + "\"";
+  }
+  return "null";
+}
+
+const AttrValue* TraceSpan::FindAttr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t TraceSpan::AttrUint(std::string_view key, uint64_t fallback) const {
+  const AttrValue* v = FindAttr(key);
+  return v == nullptr ? fallback : v->AsUint();
+}
+
+namespace {
+
+const TraceSpan* FindSpan(const TraceSpan& span, std::string_view name) {
+  if (span.name == name) {
+    return &span;
+  }
+  for (const TraceSpan& child : span.children) {
+    if (const TraceSpan* found = FindSpan(child, name)) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const TraceSpan* QueryTrace::Find(std::string_view name) const {
+  return FindSpan(root_, name);
+}
+
+QueryTrace* CurrentTrace() { return g_current_trace; }
+
+TraceScope::TraceScope(QueryTrace* trace)
+    : trace_(trace),
+      prev_(g_current_trace),
+      start_(std::chrono::steady_clock::now()) {
+  if (trace_ != nullptr) {
+    g_current_trace = trace_;
+  }
+}
+
+TraceScope::~TraceScope() {
+  if (trace_ != nullptr) {
+    trace_->root().elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    g_current_trace = prev_;
+  }
+}
+
+}  // namespace obs
+}  // namespace ebi

@@ -1,6 +1,9 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace ebi {
 
@@ -10,6 +13,12 @@ Result<BitVector> SelectionExecutor::EvaluateOne(const Predicate& p) {
     return Status::NotFound("no index registered for column " + p.column);
   }
   SecondaryIndex* index = it->second;
+  obs::ScopedSpan span("predicate");
+  if (span.active()) {
+    span.Attr("column", p.column);
+    span.Attr("pred", p.ToString());
+    span.Attr("index", index->Name());
+  }
   switch (p.kind) {
     case Predicate::Kind::kEquals:
       return index->EvaluateEquals(p.value);
@@ -65,6 +74,8 @@ Status SelectionExecutor::MaskNulls(const std::string& column_name,
 
 Result<SelectionResult> SelectionExecutor::Select(
     const std::vector<Predicate>& predicates) {
+  obs::ScopedSpan span("executor.select");
+  const auto started = std::chrono::steady_clock::now();
   const IoScope scope(io_);
   BitVector rows(table_->NumRows(), true);
   if (predicates.empty()) {
@@ -82,11 +93,29 @@ Result<SelectionResult> SelectionExecutor::Select(
   result.count = rows.Count();
   result.rows = std::move(rows);
   result.io = scope.Delta();
+  obs::RecordQuery(result.io,
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - started)
+                       .count());
+  if (span.active()) {
+    span.Attr("predicates", predicates.size());
+    span.Attr("rows", result.count);
+    span.AttrIo(result.io);
+  }
   return result;
+}
+
+Result<SelectionResult> SelectionExecutor::ExplainSelect(
+    const std::vector<Predicate>& predicates, obs::QueryTrace* trace) {
+  const obs::TraceScope install(trace);
+  return Select(predicates);
 }
 
 Result<SelectionResult> SelectionExecutor::SelectDnf(
     const std::vector<std::vector<Predicate>>& branches) {
+  // Query metrics are recorded by the per-branch Select calls; the DNF
+  // wrapper only contributes a grouping span.
+  obs::ScopedSpan span("executor.select_dnf");
   const IoScope scope(io_);
   // An empty disjunction is false: zero branches leave `rows` empty.
   BitVector rows(table_->NumRows());
@@ -98,6 +127,11 @@ Result<SelectionResult> SelectionExecutor::SelectDnf(
   result.count = rows.Count();
   result.rows = std::move(rows);
   result.io = scope.Delta();
+  if (span.active()) {
+    span.Attr("branches", branches.size());
+    span.Attr("rows", result.count);
+    span.AttrIo(result.io);
+  }
   return result;
 }
 

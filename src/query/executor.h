@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "index/index.h"
+#include "obs/trace.h"
 #include "query/predicate.h"
 #include "storage/io_accountant.h"
 #include "storage/table.h"
@@ -47,8 +48,15 @@ class SelectionExecutor {
   }
 
   /// Evaluates the conjunction of `predicates`. Every referenced column
-  /// must have a registered index.
+  /// must have a registered index. Records an executor.select trace span
+  /// (with one predicate child per conjunct) when a trace sink is
+  /// installed; a no-op otherwise.
   Result<SelectionResult> Select(const std::vector<Predicate>& predicates);
+
+  /// EXPLAIN entry point: runs Select with `trace` installed as the
+  /// active sink (see AccessPathPlanner::ExplainSelect).
+  Result<SelectionResult> ExplainSelect(
+      const std::vector<Predicate>& predicates, obs::QueryTrace* trace);
 
   /// Evaluates a disjunction of conjunctions (disjunctive normal form):
   /// rows satisfying ANY of the conjunctive branches. Cross-column ORs —

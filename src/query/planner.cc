@@ -1,5 +1,9 @@
 #include "query/planner.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace ebi {
 
 Result<SelectionShape> AccessPathPlanner::ShapeOf(
@@ -29,6 +33,7 @@ Result<SelectionShape> AccessPathPlanner::ShapeOf(
 
 Result<AccessPath> AccessPathPlanner::Choose(
     const Predicate& predicate) const {
+  obs::ScopedSpan span("plan.choose");
   const auto it = candidates_.find(predicate.column);
   if (it == candidates_.end() || it->second.empty()) {
     return Status::NotFound("no index registered for column " +
@@ -37,12 +42,18 @@ Result<AccessPath> AccessPathPlanner::Choose(
   EBI_ASSIGN_OR_RETURN(const SelectionShape shape, ShapeOf(predicate));
   AccessPath best;
   best.delta = shape.delta;
-  for (SecondaryIndex* index : it->second) {
+  for (size_t c = 0; c < it->second.size(); ++c) {
+    SecondaryIndex* index = it->second[c];
     if (predicate.kind == Predicate::Kind::kIsNull &&
         !index->SupportsIsNull()) {
       continue;
     }
     const double pages = index->EstimatePages(shape);
+    if (span.active()) {
+      // One attribute per candidate, keyed by registration order so two
+      // same-named indexes on a column stay distinguishable.
+      span.Attr("cand." + std::to_string(c) + "." + index->Name(), pages);
+    }
     if (best.index == nullptr || pages < best.estimated_pages) {
       best.index = index;
       best.estimated_pages = pages;
@@ -52,12 +63,19 @@ Result<AccessPath> AccessPathPlanner::Choose(
     return Status::NotFound("no index on " + predicate.column +
                             " supports " + predicate.ToString());
   }
+  if (span.active()) {
+    span.Attr("chosen", best.index->Name());
+    span.Attr("est_pages", best.estimated_pages);
+    span.Attr("delta", best.delta);
+  }
   return best;
 }
 
 Result<SelectionResult> AccessPathPlanner::Select(
     const std::vector<Predicate>& predicates,
     std::vector<AccessPath>* paths) {
+  obs::ScopedSpan span("planner.select");
+  const auto started = std::chrono::steady_clock::now();
   const IoScope scope(io_);
   BitVector rows(table_->NumRows(), true);
   if (predicates.empty()) {
@@ -65,10 +83,16 @@ Result<SelectionResult> AccessPathPlanner::Select(
   }
   for (size_t i = 0; i < predicates.size(); ++i) {
     const Predicate& p = predicates[i];
+    obs::ScopedSpan pspan("predicate");
+    if (pspan.active()) {
+      pspan.Attr("column", p.column);
+      pspan.Attr("pred", p.ToString());
+    }
     EBI_ASSIGN_OR_RETURN(const AccessPath path, Choose(p));
     if (paths != nullptr) {
       paths->push_back(path);
     }
+    const IoScope pscope(io_);
     Result<BitVector> one = BitVector();
     switch (p.kind) {
       case Predicate::Kind::kEquals:
@@ -103,6 +127,13 @@ Result<SelectionResult> AccessPathPlanner::Select(
     if (!one.ok()) {
       return one.status();
     }
+    const IoStats actual = pscope.Delta();
+    obs::RecordEstimateError(path.estimated_pages,
+                             static_cast<double>(actual.pages_read));
+    if (pspan.active()) {
+      pspan.Attr("rows", one->Count());
+      pspan.AttrIo(actual);
+    }
     if (i == 0) {
       rows = std::move(one).value();
     } else {
@@ -113,7 +144,24 @@ Result<SelectionResult> AccessPathPlanner::Select(
   result.count = rows.Count();
   result.rows = std::move(rows);
   result.io = scope.Delta();
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  obs::RecordQuery(result.io, latency_ms);
+  if (span.active()) {
+    span.Attr("predicates", predicates.size());
+    span.Attr("rows", result.count);
+    span.AttrIo(result.io);
+  }
   return result;
+}
+
+Result<SelectionResult> AccessPathPlanner::ExplainSelect(
+    const std::vector<Predicate>& predicates, obs::QueryTrace* trace,
+    std::vector<AccessPath>* paths) {
+  const obs::TraceScope install(trace);
+  return Select(predicates, paths);
 }
 
 }  // namespace ebi

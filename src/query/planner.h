@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "index/index.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 #include "query/predicate.h"
 #include "storage/table.h"
@@ -52,8 +53,23 @@ class AccessPathPlanner {
   /// Evaluates a conjunction, routing every predicate through its chosen
   /// access path. `paths`, when non-null, receives the chosen paths in
   /// predicate order.
+  ///
+  /// When a trace sink is installed (obs::TraceScope), Select records a
+  /// planner.select span with one predicate child per conjunct: the
+  /// candidate estimates, the chosen path, and the actual I/O each
+  /// predicate performed. With no sink installed tracing is a no-op and
+  /// the charged I/O is identical.
   Result<SelectionResult> Select(const std::vector<Predicate>& predicates,
                                  std::vector<AccessPath>* paths = nullptr);
+
+  /// EXPLAIN entry point: runs Select with `trace` installed as the
+  /// active sink, so the finished trace can be rendered with
+  /// obs::ExplainText()/ExplainJson(). The query is executed for real
+  /// (EXPLAIN ANALYZE semantics — every attribute is measured, not
+  /// estimated).
+  Result<SelectionResult> ExplainSelect(
+      const std::vector<Predicate>& predicates, obs::QueryTrace* trace,
+      std::vector<AccessPath>* paths = nullptr);
 
  private:
   const Table* table_;

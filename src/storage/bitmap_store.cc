@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/ewah_bitmap.h"
 #include "util/rle_bitmap.h"
 
@@ -147,6 +149,9 @@ Status BitmapStore::WriteSlot(const Slot& slot,
     return Status::Internal("write failed");
   }
   ++stats_.writebacks;
+  static obs::Counter* const writeback_counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreWritebacks);
+  writeback_counter->Increment();
   return Status::OK();
 }
 
@@ -175,10 +180,13 @@ void BitmapStore::Touch(VectorId id, BitVector bits) {
   }
   pool_.emplace_front(id, std::move(bits));
   pool_index_[id] = pool_.begin();
+  static obs::Counter* const eviction_counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreEvictions);
   while (pool_.size() > capacity_) {
     pool_index_.erase(pool_.back().first);
     pool_.pop_back();
     ++stats_.evictions;
+    eviction_counter->Increment();
   }
 }
 
@@ -219,16 +227,32 @@ Result<BitVector> BitmapStore::Get(VectorId id) {
   if (id >= directory_.size()) {
     return Status::OutOfRange("vector id out of range");
   }
+  obs::ScopedSpan span("store.get");
+  static obs::Counter* const hit_counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreHits);
+  static obs::Counter* const miss_counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreMisses);
   const auto it = pool_index_.find(id);
   if (it != pool_index_.end()) {
     ++stats_.hits;
+    hit_counter->Increment();
     BitVector bits = it->second->second;
     Touch(id, bits);
+    if (span.active()) {
+      span.Attr("id", static_cast<uint64_t>(id));
+      span.Attr("hit", true);
+    }
     return bits;
   }
   ++stats_.misses;
+  miss_counter->Increment();
   EBI_ASSIGN_OR_RETURN(BitVector bits, ReadSlot(directory_[id]));
   Touch(id, bits);
+  if (span.active()) {
+    span.Attr("id", static_cast<uint64_t>(id));
+    span.Attr("hit", false);
+    span.Attr("bytes", directory_[id].bytes);
+  }
   return bits;
 }
 

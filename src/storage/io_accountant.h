@@ -19,11 +19,40 @@ struct IoStats {
   /// Number of index-structure nodes visited (B-tree traversals).
   uint64_t nodes_read = 0;
 
+  /// Per-counter difference, clamped at zero: counters are cumulative, so
+  /// a subtrahend can only exceed the minuend after an interleaved
+  /// Reset() — clamping keeps such deltas at zero instead of wrapping to
+  /// ~2^64 (see IoScope::Delta()).
   IoStats operator-(const IoStats& other) const {
-    return IoStats{vectors_read - other.vectors_read,
-                   pages_read - other.pages_read,
-                   bytes_read - other.bytes_read,
-                   nodes_read - other.nodes_read};
+    const auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+    return IoStats{sub(vectors_read, other.vectors_read),
+                   sub(pages_read, other.pages_read),
+                   sub(bytes_read, other.bytes_read),
+                   sub(nodes_read, other.nodes_read)};
+  }
+
+  /// Per-counter sum — re-aggregates per-span deltas (e.g. summing the
+  /// predicate spans of a trace back into the query total) without
+  /// touching the live accountant.
+  IoStats operator+(const IoStats& other) const {
+    return IoStats{vectors_read + other.vectors_read,
+                   pages_read + other.pages_read,
+                   bytes_read + other.bytes_read,
+                   nodes_read + other.nodes_read};
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    *this = *this + other;
+    return *this;
+  }
+
+  /// Named form of operator+= for call sites that read better with a verb.
+  IoStats& Merge(const IoStats& other) { return *this += other; }
+
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.vectors_read == b.vectors_read &&
+           a.pages_read == b.pages_read && a.bytes_read == b.bytes_read &&
+           a.nodes_read == b.nodes_read;
   }
 
   std::string ToString() const;
@@ -75,7 +104,10 @@ class IoScope {
   explicit IoScope(IoAccountant* accountant)
       : accountant_(accountant), start_(accountant->stats()) {}
 
-  /// I/O performed since construction.
+  /// I/O performed since construction. If the accountant was Reset()
+  /// mid-scope, counters restart below the snapshot; the clamped
+  /// subtraction then reports zero until post-Reset activity exceeds the
+  /// snapshot (it never underflows to ~2^64).
   IoStats Delta() const { return accountant_->stats() - start_; }
 
  private:

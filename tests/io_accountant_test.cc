@@ -58,6 +58,33 @@ TEST(IoAccountantTest, StatsSubtraction) {
   EXPECT_EQ(d.nodes_read, 36u);
 }
 
+TEST(IoAccountantTest, StatsSubtractionClampsToZero) {
+  // Cumulative counters can only shrink if the accountant was Reset
+  // mid-scope; the difference must clamp instead of wrapping to ~2^64.
+  IoStats a{1, 2, 3, 4};
+  IoStats b{10, 1, 30, 2};
+  const IoStats d = a - b;
+  EXPECT_EQ(d.vectors_read, 0u);
+  EXPECT_EQ(d.pages_read, 1u);
+  EXPECT_EQ(d.bytes_read, 0u);
+  EXPECT_EQ(d.nodes_read, 2u);
+}
+
+TEST(IoAccountantTest, StatsAddition) {
+  IoStats a{10, 20, 30, 40};
+  IoStats b{1, 2, 3, 4};
+  const IoStats sum = a + b;
+  EXPECT_EQ(sum.vectors_read, 11u);
+  EXPECT_EQ(sum.pages_read, 22u);
+  EXPECT_EQ(sum.bytes_read, 33u);
+  EXPECT_EQ(sum.nodes_read, 44u);
+
+  IoStats acc;
+  acc += a;
+  acc.Merge(b);
+  EXPECT_EQ(acc, sum);
+}
+
 TEST(IoAccountantTest, IoScopeMeasuresDelta) {
   IoAccountant io;
   io.ChargeVectorRead(8);
@@ -66,6 +93,25 @@ TEST(IoAccountantTest, IoScopeMeasuresDelta) {
   io.ChargeVectorRead(8);
   const IoStats delta = scope.Delta();
   EXPECT_EQ(delta.vectors_read, 2u);
+}
+
+TEST(IoAccountantTest, IoScopeSafeAcrossReset) {
+  // A Reset inside an open scope leaves the baseline above the current
+  // totals; Delta clamps to zero (never underflows to ~2^64) until
+  // post-Reset activity climbs past the snapshot.
+  IoAccountant io;
+  io.ChargeVectorRead(8);
+  io.ChargeVectorRead(8);
+  const IoScope scope(&io);
+  io.Reset();
+  EXPECT_EQ(scope.Delta(), IoStats());
+  io.ChargeVectorRead(8);
+  EXPECT_EQ(scope.Delta(), IoStats());  // Still below the snapshot.
+  io.ChargeVectorRead(8);
+  io.ChargeVectorRead(8);
+  const IoStats delta = scope.Delta();
+  EXPECT_EQ(delta.vectors_read, 1u);
+  EXPECT_EQ(delta.bytes_read, 8u);
 }
 
 TEST(IoAccountantTest, ToStringMentionsAllCounters) {

@@ -1,0 +1,246 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ebi {
+namespace obs {
+namespace {
+
+TEST(ObsTraceTest, NoSinkInstalledByDefault) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(ObsTraceTest, ScopedSpanIsNoOpWithoutSink) {
+  // The null-sink fast path: no trace installed, a span records nothing
+  // and every member call is safe.
+  ScopedSpan span("index.eval");
+  EXPECT_FALSE(span.active());
+  span.Attr("delta", uint64_t{7});
+  span.Attr("column", "product");
+  span.AttrIo(IoStats{1, 2, 3, 4});
+  // Nothing to assert beyond "did not crash": there is no trace to
+  // inspect, which is exactly the point.
+}
+
+TEST(ObsTraceTest, TraceScopeInstallsAndRestores) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  QueryTrace outer;
+  {
+    const TraceScope install_outer(&outer);
+    EXPECT_EQ(CurrentTrace(), &outer);
+    QueryTrace inner;
+    {
+      const TraceScope install_inner(&inner);
+      EXPECT_EQ(CurrentTrace(), &inner);
+    }
+    EXPECT_EQ(CurrentTrace(), &outer);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  // The root span's elapsed time is stamped when the scope closes.
+  EXPECT_GE(outer.root().elapsed_ms, 0.0);
+}
+
+TEST(ObsTraceTest, NullTraceScopeIsNoOp) {
+  const TraceScope install(nullptr);
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  ScopedSpan span("anything");
+  EXPECT_FALSE(span.active());
+}
+
+TEST(ObsTraceTest, SpansNestUnderInnermostOpenSpan) {
+  QueryTrace trace;
+  {
+    const TraceScope install(&trace);
+    ScopedSpan a("planner.select");
+    EXPECT_TRUE(a.active());
+    {
+      ScopedSpan b("predicate");
+      { ScopedSpan c("index.eval"); }
+      { ScopedSpan d("boolean.reduce"); }
+    }
+    { ScopedSpan e("predicate"); }
+  }
+  const TraceSpan& root = trace.root();
+  EXPECT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceSpan& a = root.children[0];
+  EXPECT_EQ(a.name, "planner.select");
+  ASSERT_EQ(a.children.size(), 2u);
+  const TraceSpan& b = a.children[0];
+  EXPECT_EQ(b.name, "predicate");
+  ASSERT_EQ(b.children.size(), 2u);
+  EXPECT_EQ(b.children[0].name, "index.eval");
+  EXPECT_EQ(b.children[1].name, "boolean.reduce");
+  EXPECT_EQ(a.children[1].name, "predicate");
+  // Every closed span carries a non-negative elapsed time.
+  EXPECT_GE(b.elapsed_ms, 0.0);
+}
+
+TEST(ObsTraceTest, TypedAttributesRoundTrip) {
+  QueryTrace trace;
+  {
+    const TraceScope install(&trace);
+    ScopedSpan span("index.eval");
+    span.Attr("delta", uint64_t{23});
+    span.Attr("error", int64_t{-4});
+    span.Attr("ratio", 0.25);
+    span.Attr("existence_and", true);
+    span.Attr("index", "encoded-bitmap");
+    span.AttrIo(IoStats{6, 24, 96, 0});
+  }
+  const TraceSpan* span = trace.Find("index.eval");
+  ASSERT_NE(span, nullptr);
+
+  const AttrValue* delta = span->FindAttr("delta");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->kind(), AttrValue::Kind::kUint);
+  EXPECT_EQ(delta->uint_value(), 23u);
+  EXPECT_EQ(span->AttrUint("delta"), 23u);
+
+  const AttrValue* error = span->FindAttr("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->kind(), AttrValue::Kind::kInt);
+  EXPECT_EQ(error->int_value(), -4);
+  EXPECT_EQ(error->AsUint(), 0u);  // Negative clamps.
+
+  const AttrValue* ratio = span->FindAttr("ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->kind(), AttrValue::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(ratio->double_value(), 0.25);
+
+  const AttrValue* existence = span->FindAttr("existence_and");
+  ASSERT_NE(existence, nullptr);
+  EXPECT_EQ(existence->kind(), AttrValue::Kind::kBool);
+  EXPECT_TRUE(existence->bool_value());
+
+  const AttrValue* index = span->FindAttr("index");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->kind(), AttrValue::Kind::kString);
+  EXPECT_EQ(index->string_value(), "encoded-bitmap");
+
+  // AttrIo expands into the vectors/pages/bytes triple (nodes only when
+  // nonzero — absent here).
+  EXPECT_EQ(span->AttrUint("vectors"), 6u);
+  EXPECT_EQ(span->AttrUint("pages"), 24u);
+  EXPECT_EQ(span->AttrUint("bytes"), 96u);
+  EXPECT_EQ(span->FindAttr("nodes"), nullptr);
+  EXPECT_EQ(span->AttrUint("nodes", 77u), 77u);  // Fallback applies.
+}
+
+TEST(ObsTraceTest, FindIsDepthFirst) {
+  QueryTrace trace;
+  {
+    const TraceScope install(&trace);
+    {
+      ScopedSpan a("outer");
+      ScopedSpan b("target");
+      b.Attr("which", "first");
+    }
+    ScopedSpan c("target");
+    c.Attr("which", "second");
+  }
+  const TraceSpan* found = trace.Find("target");
+  ASSERT_NE(found, nullptr);
+  const AttrValue* which = found->FindAttr("which");
+  ASSERT_NE(which, nullptr);
+  EXPECT_EQ(which->string_value(), "first");
+  EXPECT_EQ(trace.Find("absent"), nullptr);
+}
+
+TEST(ObsMetricsTest, CountersAccumulateAndReset) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->Value(), 5u);
+  // Lookups are stable: the same name returns the same counter.
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAndMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // Bucket 0 (<= 1).
+  h.Observe(5.0);    // Bucket 1 (<= 10).
+  h.Observe(50.0);   // Bucket 2 (<= 100).
+  h.Observe(500.0);  // Overflow bucket.
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 555.5 / 4.0);
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(ObsMetricsTest, RecordQueryFeedsGlobalRegistry) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  Counter* count = global.GetCounter(kMetricQueryCount);
+  Histogram* vectors = global.GetHistogram(kMetricQueryVectors);
+  const uint64_t count_before = count->Value();
+  const uint64_t vectors_before = vectors->TotalCount();
+  RecordQuery(IoStats{7, 28, 112, 0}, 1.5);
+  EXPECT_EQ(count->Value(), count_before + 1);
+  EXPECT_EQ(vectors->TotalCount(), vectors_before + 1);
+}
+
+TEST(ObsMetricsTest, SnapshotsMentionRegisteredMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("snapshot.counter")->Increment(3);
+  registry.GetHistogram("snapshot.histogram")->Observe(2.0);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"snapshot.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot.histogram\""), std::string::npos);
+  const std::string text = registry.ToString();
+  EXPECT_NE(text.find("snapshot.counter"), std::string::npos);
+}
+
+TEST(ObsJsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ObsJsonTest, WriterProducesWellFormedObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("q");
+  w.Key("n").Uint(3);
+  w.Key("ok").Bool(true);
+  w.Key("items").BeginArray();
+  w.Number(1.5);
+  w.Int(-2);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"q\",\"n\":3,\"ok\":true,\"items\":[1.5,-2]}");
+}
+
+TEST(ObsJsonTest, NumbersStayFinite) {
+  EXPECT_EQ(JsonNumber(2.0), "2");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  // Non-finite values have no JSON literal; they collapse to zero rather
+  // than emitting invalid documents.
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ebi

@@ -19,6 +19,16 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
+# ThreadSanitizer pass over the concurrency surface: the thread pool, the
+# segmented/sharded execution path and the shared atomic accountant. TSan
+# and ASan cannot share a build, hence the third tree.
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DEBI_SANITIZE=thread
+cmake --build build-tsan
+ctest --test-dir build-tsan \
+  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant' \
+  2>&1 | tee -a test_output.txt
+
 # Machine-readable export: every bench that writes BENCH_<name>.json must
 # emit documents matching the schema in scripts/check_bench_json.sh.
 bash scripts/check_bench_json.sh

@@ -27,6 +27,7 @@
 #include "encoding/optimizer.h"
 #include "encoding/range_encoding.h"
 #include "encoding/well_defined.h"
+#include "exec/thread_pool.h"
 #include "index/base_bit_sliced_index.h"
 #include "index/bit_sliced_index.h"
 #include "index/btree_index.h"
@@ -35,10 +36,12 @@
 #include "index/encoded_bitmap_index.h"
 #include "index/groupset_index.h"
 #include "index/index.h"
+#include "index/index_factory.h"
 #include "index/join_index.h"
 #include "index/persistence.h"
 #include "index/projection_index.h"
 #include "index/range_based_bitmap_index.h"
+#include "index/sharded_index.h"
 #include "index/simple_bitmap_index.h"
 #include "index/value_list_index.h"
 #include "obs/explain.h"
@@ -50,6 +53,7 @@
 #include "query/index_manager.h"
 #include "query/maintenance.h"
 #include "query/materialize.h"
+#include "query/parallel_executor.h"
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "query/reencode_advisor.h"
@@ -58,6 +62,7 @@
 #include "storage/column.h"
 #include "storage/csv.h"
 #include "storage/io_accountant.h"
+#include "storage/segmented_table.h"
 #include "storage/table.h"
 #include "util/bit_util.h"
 #include "util/bitvector.h"

@@ -1,0 +1,91 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ebi {
+namespace exec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  if (end - begin == 1) {
+    // A single iteration gains nothing from a queue round-trip.
+    body(begin);
+    return;
+  }
+  // The caller blocks until `remaining` hits zero, so stack storage is
+  // safe: workers touch it only under `mu`, and the final decrement
+  // happens before the caller's wait can observe zero and return.
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+  } barrier;
+  barrier.remaining = end - begin;
+  for (size_t i = begin; i < end; ++i) {
+    Submit([i, &body, &barrier] {
+      body(i);
+      const std::lock_guard<std::mutex> lock(barrier.mu);
+      if (--barrier.remaining == 0) {
+        barrier.done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(barrier.mu);
+  barrier.done.wait(lock, [&barrier] { return barrier.remaining == 0; });
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock,
+               [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutting down and fully drained.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace exec
+}  // namespace ebi

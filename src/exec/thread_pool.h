@@ -1,0 +1,74 @@
+#ifndef EBI_EXEC_THREAD_POOL_H_
+#define EBI_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ebi {
+namespace exec {
+
+/// A fixed-size worker pool for data-parallel query execution.
+///
+/// The execution engine partitions work by row range (one task per table
+/// segment) and the pool is the only place threads are created: segments,
+/// shards and executors all borrow it, so total parallelism is bounded by
+/// one knob. Tasks are plain closures; results travel through caller-owned
+/// slots, never through the pool.
+///
+/// Shutdown is graceful: the destructor lets every already-submitted task
+/// finish before joining the workers, so a caller blocked in ParallelFor
+/// can never be abandoned mid-barrier.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (a request for 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue — every task submitted before destruction runs —
+  /// then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task for asynchronous execution. Tasks must not throw
+  /// (the library is Status-based and compiles without exception use).
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(i)` for every i in [begin, end) on the pool and blocks
+  /// until all iterations finish. Iterations may run in any order and
+  /// concurrently; callers that need a deterministic result must merge
+  /// per-iteration outputs by index after the call returns (the pattern
+  /// ShardedIndex and ParallelSelectionExecutor use).
+  ///
+  /// Must not be called from inside a pool task: the caller blocks on the
+  /// barrier and with every worker blocked the same way the pool would
+  /// deadlock.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+  /// The hardware thread count, or 1 when it cannot be determined — the
+  /// default pool size for benches and tools.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace ebi
+
+#endif  // EBI_EXEC_THREAD_POOL_H_

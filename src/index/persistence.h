@@ -8,6 +8,7 @@
 #include "index/encoded_bitmap_index.h"
 #include "util/bitvector.h"
 #include "util/status.h"
+#include "util/stored_bitmap.h"
 
 namespace ebi {
 
@@ -24,6 +25,18 @@ namespace ebi {
 /// Bitmap vectors.
 Status SaveBitVector(std::ostream& out, const BitVector& bits);
 Result<BitVector> LoadBitVector(std::istream& in);
+
+/// Stored bitmaps in their physical format. The stream carries a format
+/// tag after the magic; RLE bitmaps serialize their run array and EWAH
+/// bitmaps their marker/literal words, so a compressed vector round-trips
+/// without a decompress/recompress cycle and keeps the exact physical
+/// layout (and therefore SizeBytes / I/O charge) it had when saved.
+/// Loading validates the compressed form: RLE runs must sum to the
+/// declared bit size, and EWAH words must decode to exactly the declared
+/// word count (EwahBitmap::FromWords); corrupt buffers are rejected with
+/// InvalidArgument rather than trusted.
+Status SaveStoredBitmap(std::ostream& out, const StoredBitmap& bitmap);
+Result<StoredBitmap> LoadStoredBitmap(std::istream& in);
 
 /// Mapping tables (codes, width, reserved codewords).
 Status SaveMappingTable(std::ostream& out, const MappingTable& mapping);

@@ -1,0 +1,149 @@
+#include "index/sharded_index.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ebi {
+
+Status ShardedIndex::Build() {
+  shards_.clear();
+  const size_t n = segments_->NumSegments();
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Table& segment = segments_->segment(i);
+    EBI_ASSIGN_OR_RETURN(const Column* column,
+                         segment.FindColumn(column_->name()));
+    Shard shard;
+    shard.io = std::make_unique<IoAccountant>(io_->page_size());
+    shard.index = MakeSecondaryIndex(kind_, column, &segment.existence(),
+                                     shard.io.get());
+    if (shard.index == nullptr) {
+      return Status::Internal("unknown index kind");
+    }
+    shards_.push_back(std::move(shard));
+  }
+  std::vector<Status> statuses(n);
+  pool_->ParallelFor(0, n, [this, &statuses](size_t i) {
+    statuses[i] = shards_[i].index->Build();
+  });
+  for (const Status& status : statuses) {
+    EBI_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+Result<BitVector> ShardedIndex::FanOut(
+    const char* op,
+    const std::function<Result<BitVector>(SecondaryIndex*)>& eval) {
+  obs::ScopedSpan span("index.eval");
+  const bool tracing = span.active();
+  const size_t n = shards_.size();
+  std::vector<Status> errors(n);
+  std::vector<BitVector> parts(n);
+  std::vector<IoStats> deltas(n);
+  std::vector<std::unique_ptr<obs::QueryTrace>> traces(n);
+  pool_->ParallelFor(0, n, [&](size_t i) {
+    if (tracing) {
+      traces[i] = std::make_unique<obs::QueryTrace>();
+    }
+    const obs::TraceScope install(tracing ? traces[i].get() : nullptr);
+    const IoScope scope(shards_[i].io.get());
+    Result<BitVector> one = eval(shards_[i].index.get());
+    deltas[i] = scope.Delta();
+    if (one.ok()) {
+      parts[i] = std::move(one).value();
+    } else {
+      errors[i] = one.status();
+    }
+  });
+  BitVector rows(segments_->NumRows());
+  IoStats total;
+  for (size_t i = 0; i < n; ++i) {
+    EBI_RETURN_IF_ERROR(errors[i]);
+    rows.BlitFrom(parts[i], segments_->RowBegin(i));
+    total += deltas[i];
+  }
+  io_->ChargeStats(total);
+  if (tracing) {
+    span.Attr("index", Name());
+    span.Attr("op", op);
+    span.Attr("segments", n);
+    span.Attr("rows", rows.Count());
+    span.AttrIo(total);
+    for (size_t i = 0; i < n; ++i) {
+      obs::TraceSpan seg;
+      seg.name = "segment";
+      seg.attrs.emplace_back("segment", obs::AttrValue::Uint(i));
+      seg.attrs.emplace_back(
+          "row_begin", obs::AttrValue::Uint(segments_->RowBegin(i)));
+      seg.attrs.emplace_back("rows",
+                             obs::AttrValue::Uint(parts[i].Count()));
+      seg.children = std::move(traces[i]->root().children);
+      span.AddChild(std::move(seg));
+    }
+  }
+  return rows;
+}
+
+Result<BitVector> ShardedIndex::EvaluateEquals(const Value& value) {
+  return FanOut("equals", [&value](SecondaryIndex* index) {
+    return index->EvaluateEquals(value);
+  });
+}
+
+Result<BitVector> ShardedIndex::EvaluateIn(
+    const std::vector<Value>& values) {
+  return FanOut("in", [&values](SecondaryIndex* index) {
+    return index->EvaluateIn(values);
+  });
+}
+
+Result<BitVector> ShardedIndex::EvaluateRange(int64_t lo, int64_t hi) {
+  return FanOut("range", [lo, hi](SecondaryIndex* index) {
+    return index->EvaluateRange(lo, hi);
+  });
+}
+
+Result<BitVector> ShardedIndex::EvaluateIsNull() {
+  return FanOut("is_null", [](SecondaryIndex* index) {
+    return index->EvaluateIsNull();
+  });
+}
+
+bool ShardedIndex::SupportsIsNull() const {
+  for (const Shard& shard : shards_) {
+    if (!shard.index->SupportsIsNull()) {
+      return false;
+    }
+  }
+  return !shards_.empty();
+}
+
+double ShardedIndex::EstimatePages(const SelectionShape& shape) const {
+  // Every shard reads its own (segment-sized) vectors for the same
+  // selection, so the sharded cost is the sum of the per-shard models.
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.index->EstimatePages(shape);
+  }
+  return total;
+}
+
+size_t ShardedIndex::SizeBytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.index->SizeBytes();
+  }
+  return total;
+}
+
+size_t ShardedIndex::NumVectors() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.index->NumVectors();
+  }
+  return total;
+}
+
+}  // namespace ebi

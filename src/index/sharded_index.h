@@ -1,0 +1,106 @@
+#ifndef EBI_INDEX_SHARDED_INDEX_H_
+#define EBI_INDEX_SHARDED_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "index/index.h"
+#include "index/index_factory.h"
+#include "storage/segmented_table.h"
+
+namespace ebi {
+
+/// A SecondaryIndex split into one shard per table segment.
+///
+/// Build() constructs an inner index of the configured kind over each
+/// segment of a SegmentedTable (through the same MakeSecondaryIndex path
+/// the IndexManager uses, so every bitmap family — simple, encoded,
+/// bit-sliced, range-based — shards unchanged). Evaluation fans the
+/// selection across the thread pool, one task per shard, and
+/// concatenates the per-segment result bitmaps in segment order, which
+/// makes the answer bit-identical to the unsharded index regardless of
+/// thread count or scheduling.
+///
+/// Each shard charges a private IoAccountant; the per-shard deltas are
+/// summed (IoStats::operator+) and charged to the parent accountant once
+/// per evaluation, so accounting totals are deterministic too. When a
+/// trace is recording, spans recorded on the workers are re-parented
+/// under this index's index.eval span as one "segment" child per shard.
+///
+/// The shard set snapshots the partition: Append and MarkDeleted report
+/// Unimplemented — repartition and rebuild to pick up new rows.
+class ShardedIndex : public SecondaryIndex {
+ public:
+  /// `column` and `existence` are the *source* table's; the per-segment
+  /// shards bind to the segment tables' own columns at Build() time.
+  ShardedIndex(const SegmentedTable* segments, const Column* column,
+               const BitVector* existence, IndexKind kind,
+               exec::ThreadPool* pool, IoAccountant* io)
+      : SecondaryIndex(column, existence, io),
+        segments_(segments),
+        kind_(kind),
+        pool_(pool) {}
+
+  std::string Name() const override {
+    return std::string("sharded(") + IndexKindName(kind_) + ")";
+  }
+
+  /// Builds one shard per segment, in parallel across the pool.
+  Status Build() override;
+
+  Status Append(size_t row) override {
+    (void)row;
+    return Status::Unimplemented(
+        "sharded indexes snapshot their partition; repartition and "
+        "rebuild to extend");
+  }
+
+  Status MarkDeleted(size_t row) override {
+    (void)row;
+    return Status::Unimplemented(
+        "sharded indexes snapshot their partition; repartition and "
+        "rebuild after deletes");
+  }
+
+  Result<BitVector> EvaluateEquals(const Value& value) override;
+  Result<BitVector> EvaluateIn(const std::vector<Value>& values) override;
+  Result<BitVector> EvaluateRange(int64_t lo, int64_t hi) override;
+  Result<BitVector> EvaluateIsNull() override;
+  bool SupportsIsNull() const override;
+
+  double EstimatePages(const SelectionShape& shape) const override;
+  size_t SizeBytes() const override;
+  size_t NumVectors() const override;
+
+  size_t NumShards() const { return shards_.size(); }
+  /// The inner index of shard `i` (for tests and introspection).
+  const SecondaryIndex* shard(size_t i) const {
+    return shards_[i].index.get();
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<IoAccountant> io;
+    std::unique_ptr<SecondaryIndex> index;
+  };
+
+  /// Runs `eval` on every shard across the pool, concatenates the
+  /// per-segment bitmaps in segment order, merges the per-shard I/O
+  /// deltas into the parent accountant, and re-parents worker-side trace
+  /// spans. `op` labels the trace span.
+  Result<BitVector> FanOut(
+      const char* op,
+      const std::function<Result<BitVector>(SecondaryIndex*)>& eval);
+
+  const SegmentedTable* segments_;
+  IndexKind kind_;
+  exec::ThreadPool* pool_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_INDEX_SHARDED_INDEX_H_

@@ -1,81 +1,6 @@
 #include "query/index_manager.h"
 
-#include "index/base_bit_sliced_index.h"
-#include "index/bit_sliced_index.h"
-#include "index/btree_index.h"
-#include "index/dynamic_bitmap_index.h"
-#include "index/encoded_bitmap_index.h"
-#include "index/projection_index.h"
-#include "index/range_based_bitmap_index.h"
-#include "index/simple_bitmap_index.h"
-#include "index/value_list_index.h"
-
 namespace ebi {
-
-Result<IndexKind> IndexKindFromName(const std::string& name) {
-  if (name == "simple") {
-    return IndexKind::kSimpleBitmap;
-  }
-  if (name == "simple-rle") {
-    return IndexKind::kSimpleBitmapRle;
-  }
-  if (name == "simple-ewah") {
-    return IndexKind::kSimpleBitmapEwah;
-  }
-  if (name == "encoded") {
-    return IndexKind::kEncodedBitmap;
-  }
-  if (name == "bitsliced") {
-    return IndexKind::kBitSliced;
-  }
-  if (name == "bitsliced-base10") {
-    return IndexKind::kBaseBitSliced;
-  }
-  if (name == "projection") {
-    return IndexKind::kProjection;
-  }
-  if (name == "btree") {
-    return IndexKind::kBTree;
-  }
-  if (name == "valuelist") {
-    return IndexKind::kValueList;
-  }
-  if (name == "rangebased") {
-    return IndexKind::kRangeBasedBitmap;
-  }
-  if (name == "dynamic") {
-    return IndexKind::kDynamicBitmap;
-  }
-  return Status::NotFound("unknown index kind '" + name + "'");
-}
-
-const char* IndexKindName(IndexKind kind) {
-  switch (kind) {
-    case IndexKind::kSimpleBitmap:
-      return "simple";
-    case IndexKind::kSimpleBitmapRle:
-      return "simple-rle";
-    case IndexKind::kSimpleBitmapEwah:
-      return "simple-ewah";
-    case IndexKind::kEncodedBitmap:
-      return "encoded";
-    case IndexKind::kBitSliced:
-      return "bitsliced";
-    case IndexKind::kBaseBitSliced:
-      return "bitsliced-base10";
-    case IndexKind::kProjection:
-      return "projection";
-    case IndexKind::kBTree:
-      return "btree";
-    case IndexKind::kValueList:
-      return "valuelist";
-    case IndexKind::kRangeBasedBitmap:
-      return "rangebased";
-    case IndexKind::kDynamicBitmap:
-      return "dynamic";
-  }
-  return "?";
-}
 
 Result<SecondaryIndex*> IndexManager::CreateIndex(const std::string& column,
                                                   IndexKind kind) {
@@ -87,47 +12,10 @@ Result<SecondaryIndex*> IndexManager::CreateIndex(const std::string& column,
     }
   }
   EBI_ASSIGN_OR_RETURN(const Column* col, table_->FindColumn(column));
-  const BitVector* existence = &table_->existence();
-
-  std::unique_ptr<SecondaryIndex> index;
-  switch (kind) {
-    case IndexKind::kSimpleBitmap:
-      index = std::make_unique<SimpleBitmapIndex>(col, existence, io_);
-      break;
-    case IndexKind::kSimpleBitmapRle:
-      index = std::make_unique<SimpleBitmapIndex>(
-          col, existence, io_,
-          SimpleBitmapIndexOptions::WithFormat(BitmapFormat::kRle));
-      break;
-    case IndexKind::kSimpleBitmapEwah:
-      index = std::make_unique<SimpleBitmapIndex>(
-          col, existence, io_,
-          SimpleBitmapIndexOptions::WithFormat(BitmapFormat::kEwah));
-      break;
-    case IndexKind::kEncodedBitmap:
-      index = std::make_unique<EncodedBitmapIndex>(col, existence, io_);
-      break;
-    case IndexKind::kBitSliced:
-      index = std::make_unique<BitSlicedIndex>(col, existence, io_);
-      break;
-    case IndexKind::kBaseBitSliced:
-      index = std::make_unique<BaseBitSlicedIndex>(col, existence, io_);
-      break;
-    case IndexKind::kProjection:
-      index = std::make_unique<ProjectionIndex>(col, existence, io_);
-      break;
-    case IndexKind::kBTree:
-      index = std::make_unique<BTreeIndex>(col, existence, io_);
-      break;
-    case IndexKind::kValueList:
-      index = std::make_unique<ValueListIndex>(col, existence, io_);
-      break;
-    case IndexKind::kRangeBasedBitmap:
-      index = std::make_unique<RangeBasedBitmapIndex>(col, existence, io_);
-      break;
-    case IndexKind::kDynamicBitmap:
-      index = std::make_unique<DynamicBitmapIndex>(col, existence, io_);
-      break;
+  std::unique_ptr<SecondaryIndex> index =
+      MakeSecondaryIndex(kind, col, &table_->existence(), io_);
+  if (index == nullptr) {
+    return Status::Internal("unknown index kind");
   }
   EBI_RETURN_IF_ERROR(index->Build());
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "index/index.h"
+#include "index/index_factory.h"
 #include "query/maintenance.h"
 #include "query/planner.h"
 #include "storage/table.h"
@@ -13,25 +14,10 @@
 
 namespace ebi {
 
-/// Index families the manager can instantiate by name.
-enum class IndexKind {
-  kSimpleBitmap,
-  kSimpleBitmapRle,
-  kSimpleBitmapEwah,
-  kEncodedBitmap,
-  kBitSliced,
-  kBaseBitSliced,
-  kProjection,
-  kBTree,
-  kValueList,
-  kRangeBasedBitmap,
-  kDynamicBitmap,
-};
-
-/// Parses "simple", "encoded", "bitsliced", "btree", ... (the names the
-/// shell uses); NotFound for unknown names.
-Result<IndexKind> IndexKindFromName(const std::string& name);
-const char* IndexKindName(IndexKind kind);
+// IndexKind, IndexKindFromName, IndexKindName and MakeSecondaryIndex
+// moved to index/index_factory.h so the index layer (ShardedIndex) can
+// build shards through the same path; this include keeps the old names
+// visible to existing users of this header.
 
 /// Owns every index of one table and keeps the moving parts wired
 /// together: CREATE INDEX builds the structure and registers it with both

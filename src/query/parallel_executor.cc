@@ -1,0 +1,109 @@
+#include "query/parallel_executor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ebi {
+
+Status ParallelSelectionExecutor::CreateIndex(const std::string& column,
+                                              IndexKind kind) {
+  const size_t n = states_.size();
+  // Construct serially (cheap), build in parallel (the O(n) pass).
+  std::vector<SecondaryIndex*> built(n, nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    const Table& segment = segments_->segment(i);
+    EBI_ASSIGN_OR_RETURN(const Column* col, segment.FindColumn(column));
+    std::unique_ptr<SecondaryIndex> index = MakeSecondaryIndex(
+        kind, col, &segment.existence(), states_[i].io.get());
+    if (index == nullptr) {
+      return Status::Internal("unknown index kind");
+    }
+    built[i] = index.get();
+    states_[i].indexes.push_back(std::move(index));
+  }
+  std::vector<Status> statuses(n);
+  pool_->ParallelFor(0, n, [&built, &statuses](size_t i) {
+    statuses[i] = built[i]->Build();
+  });
+  for (const Status& status : statuses) {
+    EBI_RETURN_IF_ERROR(status);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    states_[i].planner->RegisterIndex(column, built[i]);
+  }
+  return Status::OK();
+}
+
+Result<SelectionResult> ParallelSelectionExecutor::Select(
+    const std::vector<Predicate>& predicates) {
+  obs::ScopedSpan span("exec.parallel");
+  const bool tracing = span.active();
+  const auto started = std::chrono::steady_clock::now();
+  const size_t n = states_.size();
+
+  std::vector<Status> errors(n);
+  std::vector<SelectionResult> parts(n);
+  std::vector<std::unique_ptr<obs::QueryTrace>> traces(n);
+  pool_->ParallelFor(0, n, [&](size_t i) {
+    if (tracing) {
+      traces[i] = std::make_unique<obs::QueryTrace>();
+    }
+    const obs::TraceScope install(tracing ? traces[i].get() : nullptr);
+    Result<SelectionResult> one = states_[i].planner->Select(predicates);
+    if (one.ok()) {
+      parts[i] = std::move(one).value();
+    } else {
+      errors[i] = one.status();
+    }
+  });
+
+  // Deterministic merge: segment order, independent of which worker
+  // finished first.
+  SelectionResult result;
+  result.rows = BitVector(segments_->NumRows());
+  for (size_t i = 0; i < n; ++i) {
+    EBI_RETURN_IF_ERROR(errors[i]);
+    result.rows.BlitFrom(parts[i].rows, segments_->RowBegin(i));
+    result.count += parts[i].count;
+    result.io += parts[i].io;
+  }
+  // The parent accountant sees the summed delta exactly once, so its
+  // cumulative counters match a serial run over the same data.
+  io_->ChargeStats(result.io);
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  obs::RecordQuery(result.io, latency_ms);
+  if (tracing) {
+    span.Attr("segments", n);
+    span.Attr("threads", pool_->size());
+    span.Attr("predicates", predicates.size());
+    span.Attr("rows", result.count);
+    span.AttrIo(result.io);
+    for (size_t i = 0; i < n; ++i) {
+      obs::TraceSpan seg;
+      seg.name = "segment";
+      seg.attrs.emplace_back("segment", obs::AttrValue::Uint(i));
+      seg.attrs.emplace_back(
+          "row_begin", obs::AttrValue::Uint(segments_->RowBegin(i)));
+      seg.attrs.emplace_back("rows",
+                             obs::AttrValue::Uint(parts[i].count));
+      seg.attrs.emplace_back(
+          "vectors", obs::AttrValue::Uint(parts[i].io.vectors_read));
+      seg.children = std::move(traces[i]->root().children);
+      span.AddChild(std::move(seg));
+    }
+  }
+  return result;
+}
+
+Result<SelectionResult> ParallelSelectionExecutor::ExplainSelect(
+    const std::vector<Predicate>& predicates, obs::QueryTrace* trace) {
+  const obs::TraceScope install(trace);
+  return Select(predicates);
+}
+
+}  // namespace ebi

@@ -1,0 +1,91 @@
+#ifndef EBI_QUERY_PARALLEL_EXECUTOR_H_
+#define EBI_QUERY_PARALLEL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "index/index_factory.h"
+#include "obs/trace.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "storage/io_accountant.h"
+#include "storage/segmented_table.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// Data-parallel conjunctive selection over a SegmentedTable.
+///
+/// One AccessPathPlanner plus one index set exists per segment; Select
+/// fans the whole conjunction across the thread pool (one task per
+/// segment, each running the full planner pipeline on its shard against
+/// a private IoAccountant), then merges deterministically in segment
+/// order:
+///
+///   - result bitmaps concatenate by row range (BitVector::BlitFrom),
+///   - per-segment IoStats sum via IoStats::operator+ and are charged to
+///     the parent accountant once,
+///   - per-segment trace spans re-parent under an "exec.parallel" span
+///     with one "segment" child per shard, so EXPLAIN shows the fan-out.
+///
+/// Because segments are disjoint, ordered and exhaustive, the merged
+/// SelectionResult is bit-identical to SelectionExecutor /
+/// AccessPathPlanner::Select on the unpartitioned table for any thread
+/// count and any segment size — the determinism contract of DESIGN.md §7.
+class ParallelSelectionExecutor {
+ public:
+  ParallelSelectionExecutor(const SegmentedTable* segments,
+                            exec::ThreadPool* pool, IoAccountant* io)
+      : segments_(segments), pool_(pool), io_(io) {
+    states_.resize(segments->NumSegments());
+    for (size_t i = 0; i < states_.size(); ++i) {
+      states_[i].io = std::make_unique<IoAccountant>(io->page_size());
+      states_[i].planner = std::make_unique<AccessPathPlanner>(
+          &segments->segment(i), states_[i].io.get());
+    }
+  }
+
+  ParallelSelectionExecutor(const ParallelSelectionExecutor&) = delete;
+  ParallelSelectionExecutor& operator=(const ParallelSelectionExecutor&) =
+      delete;
+
+  /// Builds one shard of `kind` on `column` per segment (in parallel)
+  /// and registers it with that segment's planner. Several kinds per
+  /// column are allowed — the per-segment planner then picks the
+  /// cheapest path per predicate, per segment.
+  Status CreateIndex(const std::string& column, IndexKind kind);
+
+  /// Evaluates the conjunction on every segment concurrently and merges
+  /// in segment order. Bit-identical to the serial executors.
+  Result<SelectionResult> Select(const std::vector<Predicate>& predicates);
+
+  /// EXPLAIN entry point: runs Select with `trace` installed, producing
+  /// an exec.parallel span with per-segment children.
+  Result<SelectionResult> ExplainSelect(
+      const std::vector<Predicate>& predicates, obs::QueryTrace* trace);
+
+  size_t NumSegments() const { return states_.size(); }
+  /// The per-segment planner (for tests and introspection).
+  AccessPathPlanner* segment_planner(size_t i) {
+    return states_[i].planner.get();
+  }
+
+ private:
+  struct SegmentState {
+    std::unique_ptr<IoAccountant> io;
+    std::unique_ptr<AccessPathPlanner> planner;
+    std::vector<std::unique_ptr<SecondaryIndex>> indexes;
+  };
+
+  const SegmentedTable* segments_;
+  exec::ThreadPool* pool_;
+  IoAccountant* io_;
+  std::vector<SegmentState> states_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_QUERY_PARALLEL_EXECUTOR_H_

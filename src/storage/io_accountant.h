@@ -1,6 +1,7 @@
 #ifndef EBI_STORAGE_IO_ACCOUNTANT_H_
 #define EBI_STORAGE_IO_ACCOUNTANT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -64,6 +65,14 @@ struct IoStats {
 ///
 /// Storage is in-memory; only the accounting is "disk-shaped". Page size
 /// defaults to the 4 KB the paper assumes in its Section 2.1 cost analysis.
+///
+/// Thread-safe: the counters are relaxed atomics, so index shards running
+/// on pool workers can charge one shared accountant without tearing.
+/// stats() snapshots the four counters individually — under concurrent
+/// charging the snapshot is per-counter consistent, not cross-counter;
+/// code that needs an exact delta (IoScope) should read at points where
+/// the accountant is quiescent, as the parallel executor does (it gives
+/// every segment a private accountant and merges after the barrier).
 class IoAccountant {
  public:
   static constexpr size_t kDefaultPageSize = 4096;
@@ -73,29 +82,54 @@ class IoAccountant {
 
   /// Charges the read of one whole bitmap vector of `bytes` length.
   void ChargeVectorRead(size_t bytes) {
-    ++stats_.vectors_read;
+    vectors_read_.fetch_add(1, std::memory_order_relaxed);
     ChargeBytes(bytes);
   }
 
   /// Charges one index node (e.g. a B-tree page).
   void ChargeNodeRead(size_t bytes) {
-    ++stats_.nodes_read;
+    nodes_read_.fetch_add(1, std::memory_order_relaxed);
     ChargeBytes(bytes);
   }
 
   /// Charges a raw byte range (e.g. a projection-index scan).
   void ChargeBytes(size_t bytes) {
-    stats_.bytes_read += bytes;
-    stats_.pages_read += (bytes + page_size_ - 1) / page_size_;
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    pages_read_.fetch_add((bytes + page_size_ - 1) / page_size_,
+                          std::memory_order_relaxed);
   }
 
-  const IoStats& stats() const { return stats_; }
+  /// Charges a whole pre-aggregated delta — how per-segment accountant
+  /// deltas are merged back into the query's accountant after a parallel
+  /// fan-out. Pages are taken as counted by the segment accountants, not
+  /// recomputed from bytes.
+  void ChargeStats(const IoStats& stats) {
+    vectors_read_.fetch_add(stats.vectors_read, std::memory_order_relaxed);
+    pages_read_.fetch_add(stats.pages_read, std::memory_order_relaxed);
+    bytes_read_.fetch_add(stats.bytes_read, std::memory_order_relaxed);
+    nodes_read_.fetch_add(stats.nodes_read, std::memory_order_relaxed);
+  }
+
+  IoStats stats() const {
+    return IoStats{vectors_read_.load(std::memory_order_relaxed),
+                   pages_read_.load(std::memory_order_relaxed),
+                   bytes_read_.load(std::memory_order_relaxed),
+                   nodes_read_.load(std::memory_order_relaxed)};
+  }
   size_t page_size() const { return page_size_; }
-  void Reset() { stats_ = IoStats(); }
+  void Reset() {
+    vectors_read_.store(0, std::memory_order_relaxed);
+    pages_read_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    nodes_read_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   size_t page_size_;
-  IoStats stats_;
+  std::atomic<uint64_t> vectors_read_{0};
+  std::atomic<uint64_t> pages_read_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> nodes_read_{0};
 };
 
 /// RAII helper measuring the I/O a scoped block performed.

@@ -1,0 +1,45 @@
+#include "storage/segmented_table.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ebi {
+
+Result<SegmentedTable> SegmentedTable::Partition(const Table& source,
+                                                 size_t segment_rows) {
+  if (segment_rows == 0) {
+    return Status::InvalidArgument("segment_rows must be > 0");
+  }
+  SegmentedTable out;
+  out.source_ = &source;
+  out.segment_rows_ = segment_rows;
+  out.num_rows_ = source.NumRows();
+
+  const size_t num_segments =
+      (source.NumRows() + segment_rows - 1) / segment_rows;
+  out.segments_.reserve(num_segments);
+  std::vector<Value> row_values(source.NumColumns());
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t begin = s * segment_rows;
+    const size_t end = std::min(begin + segment_rows, source.NumRows());
+    auto segment = std::make_unique<Table>(source.name() + "[" +
+                                           std::to_string(s) + "]");
+    for (size_t c = 0; c < source.NumColumns(); ++c) {
+      EBI_RETURN_IF_ERROR(segment->AddColumn(source.column(c).name(),
+                                             source.column(c).type()));
+    }
+    for (size_t row = begin; row < end; ++row) {
+      for (size_t c = 0; c < source.NumColumns(); ++c) {
+        row_values[c] = source.column(c).ValueAt(row);
+      }
+      EBI_RETURN_IF_ERROR(segment->AppendRow(row_values));
+      if (!source.RowExists(row)) {
+        EBI_RETURN_IF_ERROR(segment->DeleteRow(row - begin));
+      }
+    }
+    out.segments_.push_back(std::move(segment));
+  }
+  return out;
+}
+
+}  // namespace ebi

@@ -1,0 +1,68 @@
+#ifndef EBI_STORAGE_SEGMENTED_TABLE_H_
+#define EBI_STORAGE_SEGMENTED_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace ebi {
+
+/// A horizontal partition of a Table into fixed-row-count segments.
+///
+/// Segment i covers global rows [i * segment_rows, min((i+1) *
+/// segment_rows, NumRows())); the last segment is ragged. Each segment is
+/// a self-contained Table — its own columns (with a segment-local
+/// dictionary), its own existence bitmap mirroring the source's deleted
+/// rows — so every existing index family can be built per segment through
+/// the normal construction path, unchanged.
+///
+/// This is the data-parallel unit of the execution engine: a selection
+/// evaluated independently per segment and concatenated in segment order
+/// is bit-identical to the same selection on the unpartitioned table,
+/// because the row spans are disjoint, ordered, and exhaustive.
+///
+/// The partition is a materialized snapshot: rows appended to or deleted
+/// from the source afterwards are not reflected — repartition to pick
+/// them up.
+class SegmentedTable {
+ public:
+  /// Partitions `source` into segments of `segment_rows` rows (the last
+  /// one ragged). segment_rows must be > 0; an empty source yields zero
+  /// segments. The source must outlive the partition.
+  static Result<SegmentedTable> Partition(const Table& source,
+                                          size_t segment_rows);
+
+  SegmentedTable(SegmentedTable&&) = default;
+  SegmentedTable& operator=(SegmentedTable&&) = default;
+  SegmentedTable(const SegmentedTable&) = delete;
+  SegmentedTable& operator=(const SegmentedTable&) = delete;
+
+  size_t NumSegments() const { return segments_.size(); }
+  /// Total rows across all segments (== source rows at partition time).
+  size_t NumRows() const { return num_rows_; }
+  /// The fixed segment size (the last segment may hold fewer rows).
+  size_t SegmentRows() const { return segment_rows_; }
+
+  const Table& segment(size_t i) const { return *segments_[i]; }
+  /// Global row index of segment i's first row.
+  size_t RowBegin(size_t i) const { return i * segment_rows_; }
+  /// Rows in segment i (== SegmentRows() except possibly the last).
+  size_t RowsInSegment(size_t i) const { return segments_[i]->NumRows(); }
+
+  /// The table this partition was built from.
+  const Table& source() const { return *source_; }
+
+ private:
+  SegmentedTable() = default;
+
+  const Table* source_ = nullptr;
+  size_t segment_rows_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<std::unique_ptr<Table>> segments_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_SEGMENTED_TABLE_H_

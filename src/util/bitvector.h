@@ -107,6 +107,15 @@ class BitVector {
   /// the tail invariant is preserved.
   void SetWord(size_t w, uint64_t bits);
 
+  /// ORs all bits of `src` into positions [offset, offset + src.size())
+  /// — the segment-order concatenation of per-segment result bitmaps.
+  /// The destination must already span the range (asserted in debug
+  /// builds; out-of-range source bits are dropped otherwise). Works
+  /// word-at-a-time with shifts, so unaligned offsets cost one extra OR
+  /// per word, not per bit. Not safe for concurrent calls that share a
+  /// destination word: merge serially, in segment order.
+  void BlitFrom(const BitVector& src, size_t offset);
+
   friend bool operator==(const BitVector& a, const BitVector& b) {
     return a.size_ == b.size_ && a.words_ == b.words_;
   }

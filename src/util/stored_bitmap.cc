@@ -20,6 +20,18 @@ StoredBitmap StoredBitmap::Make(BitVector bits, BitmapFormat format) {
   return out;
 }
 
+StoredBitmap StoredBitmap::FromRle(RleBitmap rle) {
+  StoredBitmap out;
+  out.rep_ = std::move(rle);
+  return out;
+}
+
+StoredBitmap StoredBitmap::FromEwah(EwahBitmap ewah) {
+  StoredBitmap out;
+  out.rep_ = std::move(ewah);
+  return out;
+}
+
 size_t StoredBitmap::size() const {
   return std::visit([](const auto& rep) { return rep.size(); }, rep_);
 }

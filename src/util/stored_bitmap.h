@@ -28,6 +28,13 @@ class StoredBitmap {
   /// Materializes `bits` in the requested format.
   static StoredBitmap Make(BitVector bits, BitmapFormat format);
 
+  /// Wraps an already-compressed representation without re-encoding —
+  /// the deserialization path, where the compressed words were validated
+  /// on read and decompress/recompress would lose the exact physical
+  /// layout the I/O charge is based on.
+  static StoredBitmap FromRle(RleBitmap rle);
+  static StoredBitmap FromEwah(EwahBitmap ewah);
+
   BitmapFormat format() const {
     if (std::holds_alternative<RleBitmap>(rep_)) {
       return BitmapFormat::kRle;
@@ -53,6 +60,13 @@ class StoredBitmap {
   /// Fast path: the underlying plain vector, or nullptr when compressed.
   const BitVector* AsPlain() const {
     return std::get_if<BitVector>(&rep_);
+  }
+
+  /// The underlying compressed form, or nullptr when the format differs.
+  /// Used by persistence to serialize runs/words without decompressing.
+  const RleBitmap* AsRle() const { return std::get_if<RleBitmap>(&rep_); }
+  const EwahBitmap* AsEwah() const {
+    return std::get_if<EwahBitmap>(&rep_);
   }
 
   /// Appends one bit. Plain storage grows in place; compressed storage is

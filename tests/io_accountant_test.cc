@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace ebi {
 namespace {
 
@@ -112,6 +115,50 @@ TEST(IoAccountantTest, IoScopeSafeAcrossReset) {
   const IoStats delta = scope.Delta();
   EXPECT_EQ(delta.vectors_read, 1u);
   EXPECT_EQ(delta.bytes_read, 8u);
+}
+
+TEST(IoAccountantTest, ConcurrentChargesAreNotLost) {
+  // The accountant is shared by every worker in a parallel query; its
+  // counters are atomic so concurrent charges from pool threads must all
+  // land (no torn or lost increments under TSan or otherwise).
+  IoAccountant io(4096);
+  constexpr int kThreads = 4;
+  constexpr int kChargesPerThread = 2500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&io] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        io.ChargeVectorRead(8);
+        io.ChargeNodeRead(4096);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const IoStats stats = io.stats();
+  const uint64_t n = uint64_t{kThreads} * kChargesPerThread;
+  EXPECT_EQ(stats.vectors_read, n);
+  EXPECT_EQ(stats.nodes_read, n);
+  EXPECT_EQ(stats.bytes_read, n * (8 + 4096));
+}
+
+TEST(IoAccountantTest, ChargeStatsAddsAllCounters) {
+  IoAccountant io(4096);
+  io.ChargeVectorRead(8);
+  IoStats delta;
+  delta.vectors_read = 3;
+  delta.pages_read = 5;
+  delta.bytes_read = 700;
+  delta.nodes_read = 2;
+  io.ChargeStats(delta);
+  const IoStats stats = io.stats();
+  EXPECT_EQ(stats.vectors_read, 4u);
+  EXPECT_EQ(stats.bytes_read, 708u);
+  EXPECT_EQ(stats.nodes_read, 2u);
+  // Pages transfer as counted, not recomputed from the byte total.
+  EXPECT_EQ(stats.pages_read, 6u);
 }
 
 TEST(IoAccountantTest, ToStringMentionsAllCounters) {

@@ -1,0 +1,196 @@
+#include "query/parallel_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "obs/explain.h"
+#include "query/planner.h"
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::RandomIntTable;
+
+std::vector<Predicate> TestConjunction() {
+  return {Predicate::Between("a", 4, 22),
+          Predicate::NotEq("a", Value::Int(9))};
+}
+
+// The serial reference: the same planner pipeline on the unpartitioned
+// table, with the same index kinds registered.
+SelectionResult SerialReference(const Table& table,
+                                const std::vector<Predicate>& predicates) {
+  IoAccountant io;
+  AccessPathPlanner planner(&table, &io);
+  std::unique_ptr<SecondaryIndex> encoded = MakeSecondaryIndex(
+      IndexKind::kEncodedBitmap, &table.column(0), &table.existence(), &io);
+  std::unique_ptr<SecondaryIndex> sliced = MakeSecondaryIndex(
+      IndexKind::kBitSliced, &table.column(0), &table.existence(), &io);
+  EXPECT_TRUE(encoded->Build().ok());
+  EXPECT_TRUE(sliced->Build().ok());
+  planner.RegisterIndex("a", encoded.get());
+  planner.RegisterIndex("a", sliced.get());
+  auto result = planner.Select(predicates);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+struct ParallelSetup {
+  std::unique_ptr<SegmentedTable> segments;
+  std::unique_ptr<exec::ThreadPool> pool;
+  std::unique_ptr<IoAccountant> io;
+  std::unique_ptr<ParallelSelectionExecutor> executor;
+};
+
+ParallelSetup MakeParallel(const Table& table, size_t num_segments,
+                           size_t threads) {
+  ParallelSetup s;
+  const size_t rows = table.NumRows();
+  const size_t segment_rows =
+      num_segments == 0 ? 1 : (rows + num_segments - 1) / num_segments;
+  auto parts =
+      SegmentedTable::Partition(table, std::max<size_t>(1, segment_rows));
+  EXPECT_TRUE(parts.ok());
+  s.segments = std::make_unique<SegmentedTable>(std::move(parts).value());
+  s.pool = std::make_unique<exec::ThreadPool>(threads);
+  s.io = std::make_unique<IoAccountant>();
+  s.executor = std::make_unique<ParallelSelectionExecutor>(
+      s.segments.get(), s.pool.get(), s.io.get());
+  EXPECT_TRUE(s.executor->CreateIndex("a", IndexKind::kEncodedBitmap).ok());
+  EXPECT_TRUE(s.executor->CreateIndex("a", IndexKind::kBitSliced).ok());
+  return s;
+}
+
+TEST(ParallelExecutorTest, BitIdenticalToSerialAcrossGrid) {
+  auto table = RandomIntTable(900, 30, 404, /*null_fraction=*/0.08);
+  const auto predicates = TestConjunction();
+  const SelectionResult serial = SerialReference(*table, predicates);
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const size_t segments : {1u, 3u, 16u}) {
+      ParallelSetup s = MakeParallel(*table, segments, threads);
+      const auto parallel = s.executor->Select(predicates);
+      ASSERT_TRUE(parallel.ok()) << threads << "x" << segments;
+      EXPECT_EQ(parallel->rows, serial.rows)
+          << "t=" << threads << " s=" << segments;
+      EXPECT_EQ(parallel->count, serial.count);
+    }
+  }
+}
+
+TEST(ParallelExecutorTest, IoStatsMergeMatchesSerialTotals) {
+  auto table = RandomIntTable(600, 30, 11);
+  const auto predicates = TestConjunction();
+  const SelectionResult serial = SerialReference(*table, predicates);
+  // One segment on one thread runs the identical plan, so the merged
+  // IoStats must equal the serial query's I/O exactly.
+  ParallelSetup s = MakeParallel(*table, 1, 1);
+  const auto parallel = s.executor->Select(predicates);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->io, serial.io);
+  // And the parent accountant was charged exactly the merged delta.
+  EXPECT_EQ(s.io->stats().vectors_read, parallel->io.vectors_read);
+  EXPECT_EQ(s.io->stats().bytes_read, parallel->io.bytes_read);
+}
+
+TEST(ParallelExecutorTest, MultiSegmentIoIsSumOfSegmentDeltas) {
+  auto table = RandomIntTable(500, 20, 5);
+  ParallelSetup s = MakeParallel(*table, 4, 2);
+  const auto first = s.executor->Select(TestConjunction());
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->io.vectors_read, 0u);
+  const IoStats charged = s.io->stats();
+  EXPECT_EQ(charged.vectors_read, first->io.vectors_read);
+  EXPECT_EQ(charged.pages_read, first->io.pages_read);
+  EXPECT_EQ(charged.bytes_read, first->io.bytes_read);
+  EXPECT_EQ(charged.nodes_read, first->io.nodes_read);
+}
+
+TEST(ParallelExecutorTest, EmptyTableSelectsNothing) {
+  Table table("EMPTY");
+  ASSERT_TRUE(table.AddColumn("a", Column::Type::kInt64).ok());
+  auto parts = SegmentedTable::Partition(table, 8);
+  ASSERT_TRUE(parts.ok());
+  SegmentedTable segments = std::move(parts).value();
+  exec::ThreadPool pool(2);
+  IoAccountant io;
+  ParallelSelectionExecutor executor(&segments, &pool, &io);
+  ASSERT_TRUE(executor.CreateIndex("a", IndexKind::kEncodedBitmap).ok());
+  const auto result = executor.Select({Predicate::Eq("a", Value::Int(1))});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 0u);
+  EXPECT_EQ(result->rows.size(), 0u);
+}
+
+TEST(ParallelExecutorTest, SingleRowSegments) {
+  auto table = RandomIntTable(37, 10, 3);
+  ParallelSetup s = MakeParallel(*table, 37, 4);
+  ASSERT_EQ(s.executor->NumSegments(), 37u);
+  const auto predicates =
+      std::vector<Predicate>{Predicate::Eq("a", Value::Int(4))};
+  const SelectionResult serial = SerialReference(*table, predicates);
+  const auto parallel = s.executor->Select(predicates);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->rows, serial.rows);
+}
+
+TEST(ParallelExecutorTest, UnknownColumnFailsCleanly) {
+  auto table = RandomIntTable(50, 10, 2);
+  ParallelSetup s = MakeParallel(*table, 2, 2);
+  EXPECT_FALSE(
+      s.executor->CreateIndex("nope", IndexKind::kEncodedBitmap).ok());
+}
+
+TEST(ParallelExecutorTest, ExplainShowsParallelSpanWithSegmentChildren) {
+  auto table = RandomIntTable(400, 25, 8);
+  ParallelSetup s = MakeParallel(*table, 4, 2);
+  obs::QueryTrace trace;
+  const auto result =
+      s.executor->ExplainSelect(TestConjunction(), &trace);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  const obs::TraceSpan& span = trace.root().children[0];
+  EXPECT_EQ(span.name, "exec.parallel");
+  // One "segment" child per segment, in segment order, each wrapping the
+  // planner spans its worker recorded.
+  ASSERT_EQ(span.children.size(), 4u);
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    EXPECT_EQ(span.children[i].name, "segment");
+    ASSERT_FALSE(span.children[i].children.empty());
+    EXPECT_EQ(span.children[i].children[0].name, "planner.select");
+  }
+  // The rendered EXPLAIN mentions the fan-out.
+  const std::string text = obs::ExplainText(trace);
+  EXPECT_NE(text.find("exec.parallel"), std::string::npos);
+  EXPECT_NE(text.find("segment"), std::string::npos);
+}
+
+TEST(ParallelExecutorTest, TracingDoesNotChangeTheAnswer) {
+  auto table = RandomIntTable(300, 15, 19);
+  ParallelSetup s = MakeParallel(*table, 3, 2);
+  const auto plain = s.executor->Select(TestConjunction());
+  obs::QueryTrace trace;
+  const auto traced = s.executor->ExplainSelect(TestConjunction(), &trace);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(plain->rows, traced->rows);
+  EXPECT_EQ(plain->io, traced->io);
+}
+
+TEST(ParallelExecutorTest, RepeatedSelectsAreStable) {
+  auto table = RandomIntTable(500, 30, 23);
+  ParallelSetup s = MakeParallel(*table, 8, 4);
+  const auto first = s.executor->Select(TestConjunction());
+  ASSERT_TRUE(first.ok());
+  for (int round = 0; round < 5; ++round) {
+    const auto again = s.executor->Select(TestConjunction());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->rows, first->rows) << round;
+    EXPECT_EQ(again->io, first->io) << round;
+  }
+}
+
+}  // namespace
+}  // namespace ebi

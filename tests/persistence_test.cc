@@ -48,6 +48,123 @@ TEST(PersistenceTest, TruncatedStreamRejected) {
   EXPECT_EQ(LoadBitVector(cut).status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(PersistenceTest, StoredBitmapRoundTripEveryFormat) {
+  BitVector bits(300);
+  for (size_t i = 0; i < 300; i += 7) {
+    bits.Set(i);
+  }
+  bits.Set(299);
+  for (const BitmapFormat format :
+       {BitmapFormat::kPlain, BitmapFormat::kRle, BitmapFormat::kEwah}) {
+    const StoredBitmap original = StoredBitmap::Make(bits, format);
+    std::stringstream stream;
+    ASSERT_TRUE(SaveStoredBitmap(stream, original).ok());
+    const auto loaded = LoadStoredBitmap(stream);
+    ASSERT_TRUE(loaded.ok()) << BitmapFormatName(format);
+    EXPECT_EQ(loaded->format(), format);
+    EXPECT_EQ(loaded->size(), original.size());
+    EXPECT_EQ(loaded->SizeBytes(), original.SizeBytes())
+        << "physical layout changed across the round trip";
+    EXPECT_EQ(loaded->ToBitVector(), bits) << BitmapFormatName(format);
+  }
+}
+
+TEST(PersistenceTest, EmptyStoredBitmapRoundTrip) {
+  for (const BitmapFormat format :
+       {BitmapFormat::kPlain, BitmapFormat::kRle, BitmapFormat::kEwah}) {
+    const StoredBitmap original = StoredBitmap::Make(BitVector(), format);
+    std::stringstream stream;
+    ASSERT_TRUE(SaveStoredBitmap(stream, original).ok());
+    const auto loaded = LoadStoredBitmap(stream);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->size(), 0u);
+  }
+}
+
+TEST(PersistenceTest, StoredBitmapBadMagicRejected) {
+  std::stringstream stream("not a stored bitmap, honest......");
+  EXPECT_EQ(LoadStoredBitmap(stream).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, StoredBitmapUnknownTagRejected) {
+  // A valid magic followed by a format tag the reader does not know.
+  std::stringstream good;
+  ASSERT_TRUE(
+      SaveStoredBitmap(good, StoredBitmap::Make(BitVector(8), BitmapFormat::kPlain))
+          .ok());
+  std::string bytes = good.str();
+  bytes[4] = 42;  // Overwrite the little-endian format tag.
+  std::stringstream bad(bytes);
+  EXPECT_EQ(LoadStoredBitmap(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, StoredBitmapTruncationRejected) {
+  BitVector bits(2048);
+  for (size_t i = 0; i < 2048; i += 3) {
+    bits.Set(i);
+  }
+  for (const BitmapFormat format :
+       {BitmapFormat::kPlain, BitmapFormat::kRle, BitmapFormat::kEwah}) {
+    std::stringstream stream;
+    ASSERT_TRUE(
+        SaveStoredBitmap(stream, StoredBitmap::Make(bits, format)).ok());
+    const std::string full = stream.str();
+    std::stringstream cut(full.substr(0, full.size() - 5));
+    EXPECT_EQ(LoadStoredBitmap(cut).status().code(),
+              StatusCode::kOutOfRange)
+        << BitmapFormatName(format);
+  }
+}
+
+TEST(PersistenceTest, StoredBitmapRleRunSumMismatchRejected) {
+  // Runs summing to a different total than the declared size must be
+  // rejected rather than silently re-normalized.
+  const StoredBitmap original = StoredBitmap::Make(
+      BitVector::FromString("0011100"), BitmapFormat::kRle);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveStoredBitmap(stream, original).ok());
+  std::string bytes = stream.str();
+  bytes[8] = static_cast<char>(bytes[8] + 1);  // Bump the declared size.
+  std::stringstream bad(bytes);
+  EXPECT_EQ(LoadStoredBitmap(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, StoredBitmapCorruptEwahWordsRejected) {
+  BitVector bits(512);
+  for (size_t i = 0; i < 512; i += 2) {
+    bits.Set(i);
+  }
+  const StoredBitmap original =
+      StoredBitmap::Make(bits, BitmapFormat::kEwah);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveStoredBitmap(stream, original).ok());
+  std::string bytes = stream.str();
+  // Smash the first marker word (right after magic, tag, size, count).
+  for (size_t i = 24; i < 32 && i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(0xFF);
+  }
+  std::stringstream bad(bytes);
+  EXPECT_FALSE(LoadStoredBitmap(bad).ok());
+}
+
+TEST(PersistenceTest, StoredBitmapsShareStreamWithOtherSections) {
+  std::stringstream stream;
+  const BitVector plain = BitVector::FromString("1010");
+  const StoredBitmap rle =
+      StoredBitmap::Make(BitVector::FromString("000111"), BitmapFormat::kRle);
+  ASSERT_TRUE(SaveBitVector(stream, plain).ok());
+  ASSERT_TRUE(SaveStoredBitmap(stream, rle).ok());
+  const auto first = LoadBitVector(stream);
+  const auto second = LoadStoredBitmap(stream);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, plain);
+  EXPECT_EQ(second->ToBitVector(), BitVector::FromString("000111"));
+}
+
 TEST(PersistenceTest, MappingTableRoundTrip) {
   const auto mapping =
       MappingTable::Create(3, {0b001, 0b010, 0b100}, 0, 0b111);

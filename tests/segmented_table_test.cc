@@ -1,0 +1,129 @@
+#include "storage/segmented_table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+
+TEST(SegmentedTableTest, ZeroSegmentRowsRejected) {
+  auto table = IntTable({1, 2, 3});
+  EXPECT_EQ(SegmentedTable::Partition(*table, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentedTableTest, EmptyTableYieldsZeroSegments) {
+  Table table("EMPTY");
+  ASSERT_TRUE(table.AddColumn("a", Column::Type::kInt64).ok());
+  const auto parts = SegmentedTable::Partition(table, 4);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->NumSegments(), 0u);
+  EXPECT_EQ(parts->NumRows(), 0u);
+}
+
+TEST(SegmentedTableTest, ExactMultipleSplitsEvenly) {
+  auto table = IntTable({0, 1, 2, 3, 4, 5});
+  const auto parts = SegmentedTable::Partition(*table, 2);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->NumSegments(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parts->RowsInSegment(i), 2u);
+    EXPECT_EQ(parts->RowBegin(i), i * 2);
+  }
+}
+
+TEST(SegmentedTableTest, RaggedLastSegment) {
+  auto table = IntTable({0, 1, 2, 3, 4, 5, 6});
+  const auto parts = SegmentedTable::Partition(*table, 3);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->NumSegments(), 3u);
+  EXPECT_EQ(parts->RowsInSegment(0), 3u);
+  EXPECT_EQ(parts->RowsInSegment(1), 3u);
+  EXPECT_EQ(parts->RowsInSegment(2), 1u);
+  EXPECT_EQ(parts->NumRows(), 7u);
+}
+
+TEST(SegmentedTableTest, SingleRowSegments) {
+  auto table = IntTable({10, 20, 30});
+  const auto parts = SegmentedTable::Partition(*table, 1);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->NumSegments(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parts->RowsInSegment(i), 1u);
+    EXPECT_EQ(parts->segment(i).column(0).ValueAt(0).int_value,
+              static_cast<int64_t>((i + 1) * 10));
+  }
+}
+
+TEST(SegmentedTableTest, SegmentLargerThanTableYieldsOneSegment) {
+  auto table = IntTable({1, 2, 3});
+  const auto parts = SegmentedTable::Partition(*table, 100);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->NumSegments(), 1u);
+  EXPECT_EQ(parts->RowsInSegment(0), 3u);
+}
+
+TEST(SegmentedTableTest, ValuesAndNullsPreservedPerSegment) {
+  auto table = IntTable({1, INT64_MIN, 3, 4, INT64_MIN, 6, 7});
+  const auto parts = SegmentedTable::Partition(*table, 3);
+  ASSERT_TRUE(parts.ok());
+  for (size_t s = 0; s < parts->NumSegments(); ++s) {
+    const Table& segment = parts->segment(s);
+    for (size_t r = 0; r < segment.NumRows(); ++r) {
+      const size_t global = parts->RowBegin(s) + r;
+      const Value want = table->column(0).ValueAt(global);
+      const Value got = segment.column(0).ValueAt(r);
+      EXPECT_EQ(got.is_null(), want.is_null()) << global;
+      if (!want.is_null()) {
+        EXPECT_EQ(got.int_value, want.int_value) << global;
+      }
+    }
+  }
+}
+
+TEST(SegmentedTableTest, DeletedRowsMirroredInSegmentExistence) {
+  auto table = IntTable({1, 2, 3, 4, 5});
+  ASSERT_TRUE(table->DeleteRow(1).ok());
+  ASSERT_TRUE(table->DeleteRow(4).ok());
+  const auto parts = SegmentedTable::Partition(*table, 2);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_TRUE(parts->segment(0).RowExists(0));
+  EXPECT_FALSE(parts->segment(0).RowExists(1));
+  EXPECT_TRUE(parts->segment(1).RowExists(0));
+  EXPECT_TRUE(parts->segment(1).RowExists(1));
+  EXPECT_FALSE(parts->segment(2).RowExists(0));
+}
+
+TEST(SegmentedTableTest, SegmentsCarryAllColumns) {
+  Table table("WIDE");
+  ASSERT_TRUE(table.AddColumn("a", Column::Type::kInt64).ok());
+  ASSERT_TRUE(table.AddColumn("b", Column::Type::kString).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Str("x")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(2), Value::Str("y")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(3), Value::Str("z")}).ok());
+  const auto parts = SegmentedTable::Partition(table, 2);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->NumSegments(), 2u);
+  ASSERT_EQ(parts->segment(0).NumColumns(), 2u);
+  ASSERT_TRUE(parts->segment(1).FindColumn("b").ok());
+  EXPECT_EQ(parts->segment(1).column(1).ValueAt(0).string_value, "z");
+}
+
+TEST(SegmentedTableTest, RandomTableRowSpansAreExhaustive) {
+  auto table = RandomIntTable(997, 50, 7, /*null_fraction=*/0.05);
+  const auto parts = SegmentedTable::Partition(*table, 64);
+  ASSERT_TRUE(parts.ok());
+  size_t total = 0;
+  for (size_t s = 0; s < parts->NumSegments(); ++s) {
+    EXPECT_EQ(parts->RowBegin(s), total);
+    total += parts->RowsInSegment(s);
+  }
+  EXPECT_EQ(total, table->NumRows());
+}
+
+}  // namespace
+}  // namespace ebi

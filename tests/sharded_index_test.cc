@@ -1,0 +1,167 @@
+#include "index/sharded_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "index/index_factory.h"
+#include "test_util.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::RandomIntTable;
+using testing_util::ScanEquals;
+using testing_util::ScanRange;
+
+// Builds a sharded index of `kind` over `segment_rows`-row segments and a
+// serial index of the same kind over the whole table, and returns both
+// plus the infrastructure keeping them alive.
+struct Harness {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<SegmentedTable> segments;
+  std::unique_ptr<exec::ThreadPool> pool;
+  std::unique_ptr<IoAccountant> sharded_io =
+      std::make_unique<IoAccountant>();
+  std::unique_ptr<IoAccountant> serial_io =
+      std::make_unique<IoAccountant>();
+  std::unique_ptr<ShardedIndex> sharded;
+  std::unique_ptr<SecondaryIndex> serial;
+};
+
+Harness MakeHarness(IndexKind kind, size_t rows, size_t segment_rows,
+                    size_t threads, double null_fraction = 0.1) {
+  Harness h;
+  h.table = RandomIntTable(rows, 30, 99, null_fraction);
+  auto parts = SegmentedTable::Partition(*h.table, segment_rows);
+  EXPECT_TRUE(parts.ok());
+  h.segments = std::make_unique<SegmentedTable>(std::move(parts).value());
+  h.pool = std::make_unique<exec::ThreadPool>(threads);
+  h.sharded = std::make_unique<ShardedIndex>(
+      h.segments.get(), &h.table->column(0), &h.table->existence(), kind,
+      h.pool.get(), h.sharded_io.get());
+  EXPECT_TRUE(h.sharded->Build().ok());
+  h.serial = MakeSecondaryIndex(kind, &h.table->column(0),
+                                &h.table->existence(), h.serial_io.get());
+  EXPECT_TRUE(h.serial != nullptr);
+  EXPECT_TRUE(h.serial->Build().ok());
+  return h;
+}
+
+TEST(ShardedIndexTest, EqualsMatchesSerialAcrossFamilies) {
+  for (const IndexKind kind :
+       {IndexKind::kSimpleBitmap, IndexKind::kSimpleBitmapEwah,
+        IndexKind::kEncodedBitmap, IndexKind::kBitSliced,
+        IndexKind::kRangeBasedBitmap}) {
+    Harness h = MakeHarness(kind, 500, 64, 4);
+    for (int64_t v = 0; v < 30; v += 4) {
+      const auto sharded = h.sharded->EvaluateEquals(Value::Int(v));
+      const auto serial = h.serial->EvaluateEquals(Value::Int(v));
+      ASSERT_TRUE(sharded.ok()) << IndexKindName(kind);
+      ASSERT_TRUE(serial.ok()) << IndexKindName(kind);
+      EXPECT_EQ(*sharded, *serial) << IndexKindName(kind) << " v=" << v;
+      EXPECT_EQ(*sharded, ScanEquals(*h.table, h.table->column(0), v));
+    }
+  }
+}
+
+TEST(ShardedIndexTest, InMatchesSerial) {
+  Harness h = MakeHarness(IndexKind::kEncodedBitmap, 400, 30, 3);
+  const std::vector<Value> values = {Value::Int(2), Value::Int(7),
+                                     Value::Int(21)};
+  const auto sharded = h.sharded->EvaluateIn(values);
+  const auto serial = h.serial->EvaluateIn(values);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(*sharded, *serial);
+}
+
+TEST(ShardedIndexTest, RangeMatchesSerial) {
+  Harness h = MakeHarness(IndexKind::kBitSliced, 600, 100, 2);
+  const auto sharded = h.sharded->EvaluateRange(5, 20);
+  const auto serial = h.serial->EvaluateRange(5, 20);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(*sharded, *serial);
+  EXPECT_EQ(*sharded, ScanRange(*h.table, h.table->column(0), 5, 20));
+}
+
+TEST(ShardedIndexTest, IsNullMatchesSerial) {
+  Harness h = MakeHarness(IndexKind::kEncodedBitmap, 300, 50, 4);
+  ASSERT_TRUE(h.sharded->SupportsIsNull());
+  const auto sharded = h.sharded->EvaluateIsNull();
+  const auto serial = h.serial->EvaluateIsNull();
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(*sharded, *serial);
+}
+
+TEST(ShardedIndexTest, OneThreadPoolIsBitIdenticalToMany) {
+  Harness one = MakeHarness(IndexKind::kSimpleBitmap, 500, 37, 1);
+  Harness many = MakeHarness(IndexKind::kSimpleBitmap, 500, 37, 8);
+  for (int64_t v = 0; v < 30; v += 3) {
+    const auto a = one.sharded->EvaluateEquals(Value::Int(v));
+    const auto b = many.sharded->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << v;
+  }
+}
+
+TEST(ShardedIndexTest, MoreSegmentsThanThreads) {
+  // 500 rows in 10-row segments = 50 shards on a 2-thread pool.
+  Harness h = MakeHarness(IndexKind::kSimpleBitmap, 500, 10, 2);
+  EXPECT_EQ(h.sharded->NumShards(), 50u);
+  const auto rows = h.sharded->EvaluateEquals(Value::Int(11));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, ScanEquals(*h.table, h.table->column(0), 11));
+}
+
+TEST(ShardedIndexTest, RaggedLastSegmentAnswersCorrectly) {
+  // 503 % 64 != 0 — the last shard covers a short row span.
+  Harness h = MakeHarness(IndexKind::kEncodedBitmap, 503, 64, 4);
+  for (int64_t v = 0; v < 30; v += 5) {
+    const auto rows = h.sharded->EvaluateEquals(Value::Int(v));
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 503u);
+    EXPECT_EQ(*rows, ScanEquals(*h.table, h.table->column(0), v));
+  }
+}
+
+TEST(ShardedIndexTest, AppendAndDeleteReportUnimplemented) {
+  Harness h = MakeHarness(IndexKind::kSimpleBitmap, 100, 25, 2);
+  EXPECT_EQ(h.sharded->Append(99).code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(h.sharded->MarkDeleted(0).code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(ShardedIndexTest, EvaluationChargesParentAccountant) {
+  Harness h = MakeHarness(IndexKind::kSimpleBitmap, 400, 50, 4);
+  const IoStats before = h.sharded_io->stats();
+  ASSERT_TRUE(h.sharded->EvaluateEquals(Value::Int(3)).ok());
+  const IoStats after = h.sharded_io->stats();
+  EXPECT_GT(after.vectors_read, before.vectors_read);
+  EXPECT_GT(after.bytes_read, before.bytes_read);
+}
+
+TEST(ShardedIndexTest, SizeMetricsSumOverShards) {
+  Harness h = MakeHarness(IndexKind::kSimpleBitmap, 320, 40, 2);
+  ASSERT_EQ(h.sharded->NumShards(), 8u);
+  size_t bytes = 0;
+  size_t vectors = 0;
+  for (size_t i = 0; i < h.sharded->NumShards(); ++i) {
+    bytes += h.sharded->shard(i)->SizeBytes();
+    vectors += h.sharded->shard(i)->NumVectors();
+  }
+  EXPECT_EQ(h.sharded->SizeBytes(), bytes);
+  EXPECT_EQ(h.sharded->NumVectors(), vectors);
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST(ShardedIndexTest, NameMentionsInnerKind) {
+  Harness h = MakeHarness(IndexKind::kEncodedBitmap, 60, 20, 1);
+  EXPECT_EQ(h.sharded->Name(), "sharded(encoded)");
+}
+
+}  // namespace
+}  // namespace ebi

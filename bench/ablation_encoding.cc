@@ -89,7 +89,7 @@ void Run() {
     io.Reset();
     bench::Timer timer;
     for (const auto& values : queries) {
-      (void)index.EvaluateIn(values);
+      bench::CheckOk(index.EvaluateIn(values));
     }
     std::printf("%-26s %-14llu %-12.1f\n", c.name,
                 static_cast<unsigned long long>(io.stats().vectors_read),

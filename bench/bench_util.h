@@ -12,6 +12,7 @@
 
 #include "obs/json.h"
 #include "storage/table.h"
+#include "util/status.h"
 
 namespace ebi {
 namespace bench {
@@ -30,6 +31,23 @@ inline std::unique_ptr<Table> RoundRobinTable(size_t n, size_t m) {
     }
   }
   return table;
+}
+
+/// Aborts the bench loudly when a fallible call failed — measurement
+/// loops must never swallow an error and time a no-op instead.
+inline void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Result<T> overload; returns the value so timed expressions still
+/// compute their answer.
+template <typename T>
+T CheckOk(Result<T> result) {
+  CheckOk(result.ok() ? Status::OK() : result.status());
+  return std::move(result).value();
 }
 
 /// Consecutive IN-list {first, ..., first+delta-1} as Values.

@@ -46,13 +46,13 @@ void Run() {
     for (const Predicate& q : queries) {
       switch (q.kind) {
         case Predicate::Kind::kEquals:
-          (void)index.EvaluateEquals(q.value);
+          bench::CheckOk(index.EvaluateEquals(q.value));
           break;
         case Predicate::Kind::kIn:
-          (void)index.EvaluateIn(q.values);
+          bench::CheckOk(index.EvaluateIn(q.values));
           break;
         default:
-          (void)index.EvaluateRange(q.lo, q.hi);
+          bench::CheckOk(index.EvaluateRange(q.lo, q.hi));
       }
     }
     const BitmapStoreStats& stats = index.store_stats();

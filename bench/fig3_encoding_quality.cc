@@ -72,10 +72,10 @@ void Run() {
       continue;
     }
     io.Reset();
-    (void)index.EvaluateIn(bench::ConsecutiveValues(0, 4));
+    bench::CheckOk(index.EvaluateIn(bench::ConsecutiveValues(0, 4)));
     const uint64_t meas1 = io.stats().vectors_read;
     io.Reset();
-    (void)index.EvaluateIn(bench::ConsecutiveValues(2, 4));
+    bench::CheckOk(index.EvaluateIn(bench::ConsecutiveValues(2, 4)));
     const uint64_t meas2 = io.stats().vectors_read;
     std::printf("%-20s %-14d %-14d %-12s %-14llu %-14llu\n", c.name, cost1,
                 cost2, well ? "yes" : "no",

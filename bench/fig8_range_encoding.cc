@@ -53,11 +53,11 @@ void Run() {
   // Data: 30000 rows uniform over [6, 20). Compare three range indexes.
   const size_t n = 30000;
   auto table = std::make_unique<Table>("T");
-  (void)table->AddColumn("a", Column::Type::kInt64);
+  bench::CheckOk(table->AddColumn("a", Column::Type::kInt64));
   Rng rng(2024);
   for (size_t r = 0; r < n; ++r) {
-    (void)table->AppendRow({Value::Int(6 + static_cast<int64_t>(
-                                               rng.UniformInt(14)))});
+    bench::CheckOk(table->AppendRow(
+        {Value::Int(6 + static_cast<int64_t>(rng.UniformInt(14)))}));
   }
 
   IoAccountant ebi_io;
@@ -66,11 +66,11 @@ void Run() {
   // Encoded bitmap index over the *interval* of each row, using the
   // range-based mapping (the paper's construction).
   auto interval_table = std::make_unique<Table>("I");
-  (void)interval_table->AddColumn("iv", Column::Type::kInt64);
+  bench::CheckOk(interval_table->AddColumn("iv", Column::Type::kInt64));
   for (size_t r = 0; r < n; ++r) {
     const int64_t v = table->column(0).ValueAt(r).int_value;
-    (void)interval_table->AppendRow(
-        {Value::Int(static_cast<int64_t>(*enc.IntervalOf(v)))});
+    bench::CheckOk(interval_table->AppendRow(
+        {Value::Int(static_cast<int64_t>(*enc.IntervalOf(v)))}));
   }
   // Give the interval index exactly the optimized range-based mapping:
   // column ValueIds are in first-occurrence order, so translate

@@ -36,7 +36,8 @@ void Run() {
   const size_t known_appends = 2000;
   bench::Timer t1;
   for (size_t i = 0; i < known_appends; ++i) {
-    (void)driver.AppendRow({Value::Int(static_cast<int64_t>(i % m))});
+    bench::CheckOk(
+        driver.AppendRow({Value::Int(static_cast<int64_t>(i % m))}));
   }
   const double known_ms = t1.ElapsedMs();
 
@@ -46,7 +47,8 @@ void Run() {
   const size_t simple_vectors_before = simple.NumVectors();
   bench::Timer t2;
   for (size_t i = 0; i < new_appends; ++i) {
-    (void)driver.AppendRow({Value::Int(static_cast<int64_t>(m + i))});
+    bench::CheckOk(
+        driver.AppendRow({Value::Int(static_cast<int64_t>(m + i))}));
   }
   const double new_ms = t2.ElapsedMs();
 
@@ -67,7 +69,7 @@ void Run() {
   // Deletions: Theorem 2.1 in action.
   bench::Timer t3;
   for (size_t row = 0; row < 1000; ++row) {
-    (void)driver.DeleteRow(row * 7);
+    bench::CheckOk(driver.DeleteRow(row * 7));
   }
   std::printf("\n1000 deletions: %.2f us/delete (encoded rewrites k bits to\n"
               "the void codeword; simple relies on the existence AND)\n",

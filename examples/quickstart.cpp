@@ -67,8 +67,9 @@ int main() {
 
   // 5. Deletion: the row is re-encoded to the void codeword (Theorem 2.1),
   //    so later selections need no existence mask.
-  (void)table.DeleteRow(0);
-  (void)index.MarkDeleted(0);
+  if (!table.DeleteRow(0).ok() || !index.MarkDeleted(0).ok()) {
+    return 1;
+  }
   auto coffee = index.EvaluateEquals(Value::Str("coffee"));
   if (!coffee.ok()) {
     return 1;
@@ -79,8 +80,10 @@ int main() {
   // 6. Appends — including one that expands the domain (a new value gets
   //    the next free codeword; when none is left, the index grows one
   //    bitmap vector, Figure 2 of the paper).
-  (void)table.AppendRow({Value::Str("chai")});
-  (void)index.Append(10);
+  if (!table.AppendRow({Value::Str("chai")}).ok() ||
+      !index.Append(10).ok()) {
+    return 1;
+  }
   auto chai = index.EvaluateEquals(Value::Str("chai"));
   if (!chai.ok()) {
     return 1;

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Static checks for the EBI repo:
+#   1. tools/ebi_lint.py        repo-specific structural rules
+#   2. NOLINT audit             every NOLINT marker needs an allowlist entry
+#   3. clang-tidy               over compile_commands.json, when installed
+#
+# Usage:
+#   scripts/lint.sh             run all checks; nonzero exit on findings
+#   scripts/lint.sh --selftest  verify the linter against its known-bad
+#                               fixtures (tools/lint_fixtures/)
+set -u
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--selftest" ]; then
+  exec python3 tools/ebi_lint.py --selftest
+fi
+
+fail=0
+
+python3 tools/ebi_lint.py || fail=1
+
+# NOLINT audit: a NOLINT marker suppresses clang-tidy silently, so every
+# file carrying one must own a `nolint <path>` allowlist entry — new
+# suppressions land only with an explicit, justified exception.
+nolint_fail=0
+while IFS= read -r file; do
+  if ! grep -Eq "^[[:space:]]*nolint[[:space:]]+$file([[:space:]]|$)" \
+      tools/ebi_lint_allow.txt; then
+    echo "$file: NOLINT marker without a 'nolint $file' entry in" \
+         "tools/ebi_lint_allow.txt"
+    nolint_fail=1
+  fi
+done < <(git grep -l "NOLINT" -- src tests examples bench 2>/dev/null)
+if [ "$nolint_fail" -ne 0 ]; then
+  fail=1
+else
+  echo "nolint-audit: clean"
+fi
+
+# clang-tidy needs a compilation database; any configured build tree with
+# CMAKE_EXPORT_COMPILE_COMMANDS (on by default in this repo) provides one.
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_build="build-tidy"
+  if [ ! -f "$tidy_build/compile_commands.json" ]; then
+    for d in build build-werror; do
+      if [ -f "$d/compile_commands.json" ]; then
+        tidy_build="$d"
+        break
+      fi
+    done
+  fi
+  if [ ! -f "$tidy_build/compile_commands.json" ]; then
+    cmake -B "$tidy_build" -DCMAKE_BUILD_TYPE=Debug >/dev/null || fail=1
+  fi
+  if [ -f "$tidy_build/compile_commands.json" ]; then
+    echo "clang-tidy: using $tidy_build/compile_commands.json"
+    mapfile -t sources < <(git ls-files 'src/**/*.cc')
+    if ! clang-tidy -p "$tidy_build" --quiet "${sources[@]}"; then
+      fail=1
+    fi
+  fi
+else
+  echo "clang-tidy: not installed; skipping (the CI lint job runs it)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+else
+  echo "lint: OK"
+fi
+exit "$fail"

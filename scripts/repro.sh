@@ -7,6 +7,12 @@ set -u
 
 cd "$(dirname "$0")/.."
 
+# Static checks first: the linter's own selftest, then the repo rules.
+# A lint violation fails the reproduction run before any cycles are spent
+# building.
+bash scripts/lint.sh --selftest
+bash scripts/lint.sh
+
 cmake -B build -G Ninja
 cmake --build build
 

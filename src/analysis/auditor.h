@@ -1,0 +1,153 @@
+#ifndef EBI_ANALYSIS_AUDITOR_H_
+#define EBI_ANALYSIS_AUDITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "encoding/mapping_table.h"
+#include "index/index.h"
+#include "index/sharded_index.h"
+#include "storage/column.h"
+#include "util/bitvector.h"
+#include "util/stored_bitmap.h"
+
+namespace ebi {
+
+/// The structural invariant a check found broken. Each kind maps to one of
+/// the paper's correctness guarantees (see DESIGN.md §8):
+///   * bijectivity / width / inverse-map kinds — Definition 2.1's
+///     one-to-one mapping M^A;
+///   * kReservedCodeAssigned — Theorem 2.1's reserved void/NULL codewords
+///     (code 0 assigned to a live value breaks the existence-free
+///     selection guarantee);
+///   * kRetrievalFunctionMismatch — Definition 2.1's retrieval function
+///     f_v must be exactly the min-term of v's codeword;
+///   * kSelectionNotWellDefined — Definition 2.5 / Theorems 2.2-2.3;
+///   * the bitmap kinds — every vector spans the table, RLE runs sum to
+///     the declared size, EWAH words decode to the declared word count;
+///   * kShardPartitionMismatch — a ShardedIndex's segments must tile the
+///     source table exactly.
+enum class ViolationKind : uint8_t {
+  kDuplicateCodeword,
+  kCodewordOutOfWidth,
+  kInverseMapMismatch,
+  kReservedCodeAssigned,
+  kRetrievalFunctionMismatch,
+  kSelectionNotWellDefined,
+  kBitmapLengthMismatch,
+  kRleRunSumMismatch,
+  kEwahFormatMismatch,
+  kPersistedBitmapCorrupt,
+  kShardPartitionMismatch,
+};
+
+/// Short stable name, e.g. "DuplicateCodeword".
+const char* ViolationKindName(ViolationKind kind);
+
+/// One broken invariant: the kind, the entity it anchors to (ValueId,
+/// slice/bucket ordinal, shard number — context-dependent) and a
+/// human-readable account.
+struct Violation {
+  ViolationKind kind;
+  size_t entity = 0;
+  std::string detail;
+};
+
+/// Outcome of an audit pass. `checks_run` counts individual invariant
+/// checks so a clean report on an empty structure is distinguishable from
+/// a pass that checked nothing.
+struct AuditReport {
+  std::vector<Violation> violations;
+  size_t checks_run = 0;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] bool Has(ViolationKind kind) const;
+  [[nodiscard]] size_t CountOf(ViolationKind kind) const;
+
+  /// Folds another report into this one.
+  void Merge(AuditReport other);
+
+  /// One line per violation plus a summary header; for test failures and
+  /// the shell's `audit` command.
+  std::string ToString() const;
+};
+
+/// Debug/verify-mode structural auditor for the paper's invariants.
+///
+/// The high-level entry points (AuditIndex, AuditShardedIndex,
+/// AuditMapping) walk real structures through the SecondaryIndex audit
+/// hooks; the raw-part overloads (AuditMappingParts, AuditRleRuns,
+/// AuditEwahWords, AuditPersistedBitmap) exist so tests can seed known-bad
+/// inputs that the constructing APIs themselves reject.
+class InvariantAuditor {
+ public:
+  /// Audits raw mapping parts: codeword distinctness (including the
+  /// reserved codewords), width fit, and reserved-code liveness (a live
+  /// value occupying the void/NULL codeword, e.g. code 0 under Theorem
+  /// 2.1's recommended reservation).
+  static AuditReport AuditMappingParts(
+      int width, const std::vector<uint64_t>& codes,
+      std::optional<uint64_t> void_code = std::nullopt,
+      std::optional<uint64_t> null_code = std::nullopt);
+
+  /// Audits a built MappingTable: the raw-part checks plus inverse-map
+  /// consistency (ValueOfCode o CodeOf == identity) and retrieval-function
+  /// min-term consistency (f_v == MinTerm(code_v, width), Definition 2.1).
+  static AuditReport AuditMapping(const MappingTable& mapping);
+
+  /// Checks Definition 2.5 well-definedness of "A IN subdomain" under
+  /// `mapping`. Exact but exponential in |subdomain| (see
+  /// encoding/well_defined.h); intended for hand-written IN-lists.
+  static AuditReport AuditSelection(const MappingTable& mapping,
+                                    const std::vector<ValueId>& subdomain);
+
+  /// Length contract of a plain vector: size == expected_bits, and the
+  /// word array spans exactly ceil(size / 64) words.
+  static AuditReport AuditBitVector(const BitVector& bits,
+                                    size_t expected_bits,
+                                    size_t ordinal = 0);
+
+  /// Length + compressed-form contracts of a stored bitmap in any
+  /// physical format (plain / RLE run-sum / EWAH marker decode).
+  static AuditReport AuditStoredBitmap(const StoredBitmap& bitmap,
+                                       size_t expected_bits,
+                                       size_t ordinal = 0);
+
+  /// Raw RLE contract: alternating runs must sum to `declared_bits`.
+  static AuditReport AuditRleRuns(const std::vector<uint32_t>& runs,
+                                  size_t declared_bits, size_t ordinal = 0);
+
+  /// Raw EWAH contract: `words` must decode to exactly
+  /// ceil(declared_bits / 64) words (EwahBitmap::FromWords).
+  static AuditReport AuditEwahWords(const std::vector<uint64_t>& words,
+                                    size_t declared_bits,
+                                    size_t ordinal = 0);
+
+  /// Reads one persisted StoredBitmap from `in` (index/persistence.h
+  /// format) and audits it: truncated or format-mismatched streams report
+  /// kPersistedBitmapCorrupt, a loadable bitmap of the wrong length
+  /// reports kBitmapLengthMismatch.
+  static AuditReport AuditPersistedBitmap(std::istream& in,
+                                          size_t expected_bits);
+
+  /// Audits one index against the table it is bound to: every vector the
+  /// audit hooks surface (length + compressed form), the mapping table if
+  /// the family has one, and — for cold indexes — every slice fetched
+  /// back from the backing store. `expected_rows` is the table's row
+  /// count. Non-const because cold-store fetches go through the LRU pool.
+  static AuditReport AuditIndex(SecondaryIndex& index, size_t expected_rows);
+
+  /// Audits a ShardedIndex: each shard as a full index against its own
+  /// segment's row count, plus the partition contract that the shard row
+  /// counts sum to `expected_rows` of the source table.
+  static AuditReport AuditShardedIndex(ShardedIndex& index,
+                                       size_t expected_rows);
+};
+
+}  // namespace ebi
+
+#endif  // EBI_ANALYSIS_AUDITOR_H_

@@ -158,7 +158,9 @@ size_t MappingTable::NumCodes() const {
 std::string MappingTable::ToString() const {
   std::string out;
   for (size_t id = 0; id < code_of_value_.size(); ++id) {
-    out += "v" + std::to_string(id) + " -> ";
+    out += 'v';
+    out += std::to_string(id);
+    out += " -> ";
     for (int b = width_ - 1; b >= 0; --b) {
       out += ((code_of_value_[id] >> b) & 1) ? '1' : '0';
     }

@@ -5,7 +5,12 @@
 namespace ebi {
 
 std::string HalfOpenRange::ToString() const {
-  return "[" + std::to_string(lo) + "," + std::to_string(hi) + ")";
+  std::string out = "[";
+  out += std::to_string(lo);
+  out += ',';
+  out += std::to_string(hi);
+  out += ')';
+  return out;
 }
 
 Result<RangeBasedEncoding> RangeBasedEncoding::Create(

@@ -1,6 +1,9 @@
 #ifndef EBI_INDEX_BASE_BIT_SLICED_INDEX_H_
 #define EBI_INDEX_BASE_BIT_SLICED_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,6 +73,16 @@ class BaseBitSlicedIndex : public SecondaryIndex {
   /// Number of digit positions d.
   size_t NumDigits() const { return digits_.size(); }
   int64_t bias() const { return bias_; }
+
+  void ForEachAuditVector(
+      const std::function<void(const AuditableVector&)>& fn) const override {
+    for (size_t pos = 0; pos < digits_.size(); ++pos) {
+      for (size_t digit = 0; digit < digits_[pos].size(); ++digit) {
+        fn(AuditableVector{"digit", pos * options_.base + digit,
+                           &digits_[pos][digit], nullptr});
+      }
+    }
+  }
 
  private:
   /// Bitmap of rows whose biased value is <= c, via digit-wise

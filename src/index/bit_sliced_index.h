@@ -1,6 +1,9 @@
 #ifndef EBI_INDEX_BIT_SLICED_INDEX_H_
 #define EBI_INDEX_BIT_SLICED_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +65,13 @@ class BitSlicedIndex : public SecondaryIndex {
   Result<int64_t> Quantile(const BitVector& rows, double q);
 
   int64_t bias() const { return bias_; }
+
+  void ForEachAuditVector(
+      const std::function<void(const AuditableVector&)>& fn) const override {
+    for (size_t i = 0; i < slices_.size(); ++i) {
+      fn(AuditableVector{"slice", i, &slices_[i], nullptr});
+    }
+  }
 
  private:
   /// Bitmap of rows with (value - bias) <= c, by most-to-least significant

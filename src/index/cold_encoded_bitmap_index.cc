@@ -205,4 +205,15 @@ size_t ColdEncodedBitmapIndex::SizeBytes() const {
   return slice_ids_.size() * ((rows_indexed_ + 63) / 64) * 8;
 }
 
+Result<BitVector> ColdEncodedBitmapIndex::FetchSlice(size_t i) {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (i >= slice_ids_.size()) {
+    return Status::OutOfRange("slice " + std::to_string(i) + " of " +
+                              std::to_string(slice_ids_.size()));
+  }
+  return store_->Get(slice_ids_[i]);
+}
+
 }  // namespace ebi

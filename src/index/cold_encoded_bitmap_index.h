@@ -1,6 +1,8 @@
 #ifndef EBI_INDEX_COLD_ENCODED_BITMAP_INDEX_H_
 #define EBI_INDEX_COLD_ENCODED_BITMAP_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +65,18 @@ class ColdEncodedBitmapIndex : public SecondaryIndex {
   /// Buffer-pool behaviour of the backing store.
   const BitmapStoreStats& store_stats() const { return store_->stats(); }
   void ResetStoreStats() { store_->ResetStats(); }
+
+  /// Number of slice vectors resident in the backing store.
+  size_t NumSlices() const { return slice_ids_.size(); }
+
+  /// Fetches slice `i` from the store for the InvariantAuditor's
+  /// structural checks (a pool miss charges a vector read, like any other
+  /// access; the store validates the compressed form on the way in).
+  Result<BitVector> FetchSlice(size_t i);
+
+  const MappingTable* audit_mapping() const override {
+    return built_ ? &mapping_ : nullptr;
+  }
 
  private:
   Result<Cover> CoverForIds(const std::vector<ValueId>& ids) const;

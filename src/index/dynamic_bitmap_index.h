@@ -1,8 +1,12 @@
 #ifndef EBI_INDEX_DYNAMIC_BITMAP_INDEX_H_
 #define EBI_INDEX_DYNAMIC_BITMAP_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "index/encoded_bitmap_index.h"
 #include "index/index.h"
@@ -48,6 +52,14 @@ class DynamicBitmapIndex : public SecondaryIndex {
     return impl_->EvaluateIsNull();
   }
   bool SupportsIsNull() const override { return impl_->SupportsIsNull(); }
+
+  void ForEachAuditVector(
+      const std::function<void(const AuditableVector&)>& fn) const override {
+    impl_->ForEachAuditVector(fn);
+  }
+  const MappingTable* audit_mapping() const override {
+    return impl_->audit_mapping();
+  }
 
  private:
   std::unique_ptr<EncodedBitmapIndex> impl_;

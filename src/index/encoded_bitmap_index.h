@@ -1,6 +1,9 @@
 #ifndef EBI_INDEX_ENCODED_BITMAP_INDEX_H_
 #define EBI_INDEX_ENCODED_BITMAP_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -154,6 +157,20 @@ class EncodedBitmapIndex : public SecondaryIndex {
   /// Used by the persistence layer (index/persistence.h).
   Status RestoreFromParts(MappingTable mapping,
                           std::vector<BitVector> slices);
+
+  void ForEachAuditVector(
+      const std::function<void(const AuditableVector&)>& fn) const override {
+    for (size_t i = 0; i < slices_.size(); ++i) {
+      fn(AuditableVector{"slice", i, &slices_[i], nullptr});
+    }
+    for (size_t i = 0; i < stored_slices_.size(); ++i) {
+      fn(AuditableVector{"slice", i, nullptr, &stored_slices_[i]});
+    }
+  }
+
+  const MappingTable* audit_mapping() const override {
+    return built_ ? &mapping_ : nullptr;
+  }
 
  private:
   Result<Cover> CoverForIds(const std::vector<ValueId>& ids) const;

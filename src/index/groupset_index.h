@@ -1,6 +1,8 @@
 #ifndef EBI_INDEX_GROUPSET_INDEX_H_
 #define EBI_INDEX_GROUPSET_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,23 @@
 #include "util/status.h"
 
 namespace ebi {
+
+class MappingTable;
+class StoredBitmap;
+
+/// One bitmap vector an index physically holds, surfaced for structural
+/// audits (analysis/auditor.h). Exactly one of `plain` / `stored` is set,
+/// matching the index's storage: a raw BitVector or a format-tagged
+/// StoredBitmap whose compressed form can be checked in place.
+struct AuditableVector {
+  /// What the vector represents: "value", "slice", "bucket", "digit",
+  /// "null", ... — the index family's own vocabulary.
+  const char* role = "vector";
+  /// Position within the role (value id, slice number, bucket, ...).
+  size_t ordinal = 0;
+  const BitVector* plain = nullptr;
+  const StoredBitmap* stored = nullptr;
+};
 
 /// Kinds of selection an index may be asked to cost (mirrors
 /// Predicate::Kind without depending on the query layer).
@@ -86,6 +104,21 @@ class SecondaryIndex {
     return static_cast<double>(
         (SizeBytes() + io_->page_size() - 1) / io_->page_size());
   }
+
+  /// Enumerates the bitmap vectors the index physically holds, for the
+  /// InvariantAuditor's structural checks (length contracts, compressed-
+  /// form validity). Indexes without in-memory bitmap storage (B-tree,
+  /// projection, value-list, cold) enumerate nothing; the auditor reaches
+  /// disk-resident vectors through their own accessors.
+  virtual void ForEachAuditVector(
+      const std::function<void(const AuditableVector&)>& fn) const {
+    (void)fn;
+  }
+
+  /// The mapping table driving the index's encoding, if any — audited for
+  /// bijectivity, reserved codewords and retrieval-function consistency
+  /// (Definitions 2.1/2.5, Theorem 2.1). nullptr for unencoded families.
+  virtual const MappingTable* audit_mapping() const { return nullptr; }
 
  protected:
   /// Pages of one n-bit bitmap vector under the accountant's page size.

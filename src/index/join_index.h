@@ -1,8 +1,10 @@
 #ifndef EBI_INDEX_JOIN_INDEX_H_
 #define EBI_INDEX_JOIN_INDEX_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "index/encoded_bitmap_index.h"
 #include "query/predicate.h"

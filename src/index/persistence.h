@@ -23,8 +23,9 @@ namespace ebi {
 /// supported.
 
 /// Bitmap vectors.
-Status SaveBitVector(std::ostream& out, const BitVector& bits);
-Result<BitVector> LoadBitVector(std::istream& in);
+[[nodiscard]] Status SaveBitVector(std::ostream& out,
+                                   const BitVector& bits);
+[[nodiscard]] Result<BitVector> LoadBitVector(std::istream& in);
 
 /// Stored bitmaps in their physical format. The stream carries a format
 /// tag after the magic; RLE bitmaps serialize their run array and EWAH
@@ -35,19 +36,21 @@ Result<BitVector> LoadBitVector(std::istream& in);
 /// declared bit size, and EWAH words must decode to exactly the declared
 /// word count (EwahBitmap::FromWords); corrupt buffers are rejected with
 /// InvalidArgument rather than trusted.
-Status SaveStoredBitmap(std::ostream& out, const StoredBitmap& bitmap);
-Result<StoredBitmap> LoadStoredBitmap(std::istream& in);
+[[nodiscard]] Status SaveStoredBitmap(std::ostream& out,
+                                      const StoredBitmap& bitmap);
+[[nodiscard]] Result<StoredBitmap> LoadStoredBitmap(std::istream& in);
 
 /// Mapping tables (codes, width, reserved codewords).
-Status SaveMappingTable(std::ostream& out, const MappingTable& mapping);
-Result<MappingTable> LoadMappingTable(std::istream& in);
+[[nodiscard]] Status SaveMappingTable(std::ostream& out,
+                                      const MappingTable& mapping);
+[[nodiscard]] Result<MappingTable> LoadMappingTable(std::istream& in);
 
 /// Whole encoded bitmap indexes. Loading binds the restored slices and
 /// mapping to the caller's column/existence/accountant and validates the
 /// row counts — the column data itself is not part of the stream.
-Status SaveEncodedBitmapIndex(std::ostream& out,
-                              const EncodedBitmapIndex& index);
-Result<std::unique_ptr<EncodedBitmapIndex>> LoadEncodedBitmapIndex(
+[[nodiscard]] Status SaveEncodedBitmapIndex(std::ostream& out,
+                                            const EncodedBitmapIndex& index);
+[[nodiscard]] Result<std::unique_ptr<EncodedBitmapIndex>> LoadEncodedBitmapIndex(
     std::istream& in, const Column* column, const BitVector* existence,
     IoAccountant* io);
 

@@ -1,6 +1,8 @@
 #ifndef EBI_INDEX_PROJECTION_INDEX_H_
 #define EBI_INDEX_PROJECTION_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,9 @@
 #ifndef EBI_INDEX_RANGE_BASED_BITMAP_INDEX_H_
 #define EBI_INDEX_RANGE_BASED_BITMAP_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -79,6 +82,13 @@ class RangeBasedBitmapIndex : public SecondaryIndex {
   /// Rows verified one-by-one during the last range query (the candidate-
   /// check overhead of boundary buckets).
   size_t last_candidates_checked() const { return last_candidates_; }
+
+  void ForEachAuditVector(
+      const std::function<void(const AuditableVector&)>& fn) const override {
+    for (size_t i = 0; i < bitmaps_.size(); ++i) {
+      fn(AuditableVector{"bucket", i, nullptr, &bitmaps_[i]});
+    }
+  }
 
  private:
   size_t BucketOf(int64_t v) const;

@@ -1,6 +1,8 @@
 #ifndef EBI_INDEX_SHARDED_INDEX_H_
 #define EBI_INDEX_SHARDED_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -80,6 +82,9 @@ class ShardedIndex : public SecondaryIndex {
   const SecondaryIndex* shard(size_t i) const {
     return shards_[i].index.get();
   }
+  /// Mutable access for the InvariantAuditor, whose per-shard walk may
+  /// fault vectors in through stateful caches.
+  SecondaryIndex* shard(size_t i) { return shards_[i].index.get(); }
 
  private:
   struct Shard {

@@ -1,6 +1,9 @@
 #ifndef EBI_INDEX_SIMPLE_BITMAP_INDEX_H_
 #define EBI_INDEX_SIMPLE_BITMAP_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,6 +66,16 @@ class SimpleBitmapIndex : public SecondaryIndex {
   /// Average sparsity over all value vectors — the (m-1)/m quantity of
   /// Section 2.1.
   double AverageSparsity() const;
+
+  void ForEachAuditVector(
+      const std::function<void(const AuditableVector&)>& fn) const override {
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      fn(AuditableVector{"value", i, nullptr, &vectors_[i]});
+    }
+    if (!null_vector_.empty()) {
+      fn(AuditableVector{"null", 0, &null_vector_, nullptr});
+    }
+  }
 
  private:
   /// Fetches (and charges) the bitmap vector of one value id.

@@ -68,8 +68,12 @@ std::string AttrValue::ToJson() const {
       return JsonNumber(d_);
     case Kind::kBool:
       return b_ ? "true" : "false";
-    case Kind::kString:
-      return "\"" + JsonEscape(s_) + "\"";
+    case Kind::kString: {
+      std::string quoted = "\"";
+      quoted += JsonEscape(s_);
+      quoted += '"';
+      return quoted;
+    }
   }
   return "null";
 }

@@ -1,6 +1,7 @@
 #ifndef EBI_QUERY_MAINTENANCE_H_
 #define EBI_QUERY_MAINTENANCE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "index/index.h"
@@ -25,12 +26,12 @@ class MaintenanceDriver {
   /// Appends a row to the table and extends every attached index. Indexes
   /// on columns gaining a new distinct value go through their
   /// domain-expansion path transparently.
-  Status AppendRow(const std::vector<Value>& values);
+  [[nodiscard]] Status AppendRow(const std::vector<Value>& values);
 
   /// Logically deletes a row and propagates to the indexes.
-  Status DeleteRow(size_t row);
+  [[nodiscard]] Status DeleteRow(size_t row);
 
-  size_t NumIndexes() const { return indexes_.size(); }
+  [[nodiscard]] size_t NumIndexes() const { return indexes_.size(); }
 
  private:
   Table* table_;

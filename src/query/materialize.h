@@ -1,6 +1,7 @@
 #ifndef EBI_QUERY_MATERIALIZE_H_
 #define EBI_QUERY_MATERIALIZE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

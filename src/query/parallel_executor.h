@@ -1,6 +1,7 @@
 #ifndef EBI_QUERY_PARALLEL_EXECUTOR_H_
 #define EBI_QUERY_PARALLEL_EXECUTOR_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,6 +1,7 @@
 #ifndef EBI_QUERY_PLANNER_H_
 #define EBI_QUERY_PLANNER_H_
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>

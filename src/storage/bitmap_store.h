@@ -22,7 +22,7 @@ struct BitmapStoreStats {
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
 
-  double HitRate() const {
+  [[nodiscard]] double HitRate() const {
     const uint64_t total = hits + misses;
     return total == 0 ? 0.0
                       : static_cast<double>(hits) /

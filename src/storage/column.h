@@ -34,7 +34,7 @@ struct Value {
     return out;
   }
 
-  bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
   std::string ToString() const;
 
   friend bool operator==(const Value& a, const Value& b) {
@@ -88,20 +88,20 @@ class Column {
   Status AppendNull() { return Append(Value::Null()); }
 
   /// ValueId of row `row`; kNullValueId for NULL cells.
-  ValueId ValueIdAt(size_t row) const { return rows_[row]; }
+  [[nodiscard]] ValueId ValueIdAt(size_t row) const { return rows_[row]; }
 
   /// The dictionary value for `id`.
   const Value& ValueOf(ValueId id) const { return dictionary_[id]; }
 
   /// The (possibly NULL) value stored at `row`.
-  Value ValueAt(size_t row) const;
+  [[nodiscard]] Value ValueAt(size_t row) const;
 
   /// Looks up the ValueId of a value; nullopt if the value never occurred.
-  std::optional<ValueId> Lookup(const Value& value) const;
+  [[nodiscard]] std::optional<ValueId> Lookup(const Value& value) const;
 
   /// All ValueIds whose (int64) dictionary value lies in [lo, hi].
   /// Only valid for kInt64 columns.
-  std::vector<ValueId> IdsInRange(int64_t lo, int64_t hi) const;
+  [[nodiscard]] std::vector<ValueId> IdsInRange(int64_t lo, int64_t hi) const;
 
   /// Raw row -> ValueId array (for index builds and projection scans).
   const std::vector<ValueId>& rows() const { return rows_; }

@@ -39,7 +39,9 @@ class Table {
   Status DeleteRow(size_t row);
 
   /// True if `row` exists (appended and not deleted).
-  bool RowExists(size_t row) const { return existence_.Get(row); }
+  [[nodiscard]] bool RowExists(size_t row) const {
+    return existence_.Get(row);
+  }
 
   /// Bitmap with bit j set iff row j exists.
   const BitVector& existence() const { return existence_; }

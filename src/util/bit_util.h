@@ -10,7 +10,7 @@ namespace ebi {
 /// ceil(log2 n), with the conventions Log2Ceil(0) == 0 and
 /// Log2Ceil(1) == 1 (one value still needs one bit vector; the paper uses
 /// k = ceil(log2 m) >= 1 for any non-empty domain).
-inline int Log2Ceil(uint64_t n) {
+[[nodiscard]] inline int Log2Ceil(uint64_t n) {
   if (n <= 2) {
     return n == 0 ? 0 : 1;
   }
@@ -18,7 +18,7 @@ inline int Log2Ceil(uint64_t n) {
 }
 
 /// Floor of log2(n); Log2Floor(0) is defined as 0 for convenience.
-inline int Log2Floor(uint64_t n) {
+[[nodiscard]] inline int Log2Floor(uint64_t n) {
   if (n == 0) {
     return 0;
   }
@@ -26,21 +26,21 @@ inline int Log2Floor(uint64_t n) {
 }
 
 /// Number of set bits.
-inline int PopCount(uint64_t x) { return std::popcount(x); }
+[[nodiscard]] inline int PopCount(uint64_t x) { return std::popcount(x); }
 
 /// Binary distance of Definition 2.2: lambda(x, y) = Count(x XOR y),
 /// i.e. the Hamming distance of the two codewords.
-inline int BinaryDistance(uint64_t x, uint64_t y) {
+[[nodiscard]] inline int BinaryDistance(uint64_t x, uint64_t y) {
   return std::popcount(x ^ y);
 }
 
 /// i-th codeword of the reflected binary Gray code: consecutive codewords
 /// have binary distance exactly 1, so any 2^p consecutive Gray codewords
 /// form a chain (Definition 2.3).
-inline uint64_t BinaryToGray(uint64_t i) { return i ^ (i >> 1); }
+[[nodiscard]] inline uint64_t BinaryToGray(uint64_t i) { return i ^ (i >> 1); }
 
 /// Inverse of BinaryToGray.
-inline uint64_t GrayToBinary(uint64_t g) {
+[[nodiscard]] inline uint64_t GrayToBinary(uint64_t g) {
   uint64_t b = g;
   for (int shift = 1; shift < 64; shift <<= 1) {
     b ^= b >> shift;

@@ -28,12 +28,12 @@ class BitVector {
 
   /// Parses a string of '0'/'1' characters, index 0 first. Other characters
   /// are rejected by returning an empty vector; intended for tests.
-  static BitVector FromString(const std::string& bits);
+  [[nodiscard]] static BitVector FromString(const std::string& bits);
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  bool Get(size_t i) const {
+  [[nodiscard]] bool Get(size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
   }
   void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
@@ -56,11 +56,11 @@ class BitVector {
   void SetAll();
 
   /// Number of set bits.
-  size_t Count() const;
+  [[nodiscard]] size_t Count() const;
   /// True iff no bit is set.
-  bool IsZero() const;
+  [[nodiscard]] bool IsZero() const;
   /// Fraction of zero bits, the paper's "sparsity" measure (Section 2.1).
-  double Sparsity() const;
+  [[nodiscard]] double Sparsity() const;
 
   /// In-place logical operations. The operand must have the same size
   /// (asserted in debug builds). If the sizes nevertheless differ, the
@@ -88,7 +88,7 @@ class BitVector {
   }
 
   /// Materializes the positions of the set bits.
-  std::vector<uint32_t> ToPositions() const;
+  [[nodiscard]] std::vector<uint32_t> ToPositions() const;
 
   /// Renders as a '0'/'1' string, index 0 first; intended for tests.
   std::string ToString() const;
@@ -129,10 +129,10 @@ class BitVector {
 };
 
 /// Out-of-place logical operations.
-BitVector And(const BitVector& a, const BitVector& b);
-BitVector Or(const BitVector& a, const BitVector& b);
-BitVector Xor(const BitVector& a, const BitVector& b);
-BitVector Not(const BitVector& a);
+[[nodiscard]] BitVector And(const BitVector& a, const BitVector& b);
+[[nodiscard]] BitVector Or(const BitVector& a, const BitVector& b);
+[[nodiscard]] BitVector Xor(const BitVector& a, const BitVector& b);
+[[nodiscard]] BitVector Not(const BitVector& a);
 
 }  // namespace ebi
 

@@ -34,20 +34,20 @@ class EwahBitmap {
   EwahBitmap() = default;
 
   /// Compresses a plain bit vector.
-  static EwahBitmap Compress(const BitVector& bits);
+  [[nodiscard]] static EwahBitmap Compress(const BitVector& bits);
 
   /// Expands back to a plain bit vector.
-  BitVector Decompress() const;
+  [[nodiscard]] BitVector Decompress() const;
 
   /// Logical operations on the compressed form. Operands must have equal
   /// bit sizes (asserted in debug builds); if they nevertheless differ,
   /// the shorter operand is treated as zero-extended and the result takes
   /// the larger size — memory-safe, never reads past either buffer.
-  static EwahBitmap And(const EwahBitmap& a, const EwahBitmap& b);
-  static EwahBitmap Or(const EwahBitmap& a, const EwahBitmap& b);
-  static EwahBitmap Xor(const EwahBitmap& a, const EwahBitmap& b);
+  [[nodiscard]] static EwahBitmap And(const EwahBitmap& a, const EwahBitmap& b);
+  [[nodiscard]] static EwahBitmap Or(const EwahBitmap& a, const EwahBitmap& b);
+  [[nodiscard]] static EwahBitmap Xor(const EwahBitmap& a, const EwahBitmap& b);
   /// a AND NOT b.
-  static EwahBitmap AndNot(const EwahBitmap& a, const EwahBitmap& b);
+  [[nodiscard]] static EwahBitmap AndNot(const EwahBitmap& a, const EwahBitmap& b);
 
   /// Status-returning variants that reject mismatched operand sizes with
   /// InvalidArgument instead of asserting.
@@ -61,12 +61,12 @@ class EwahBitmap {
                                           const EwahBitmap& b);
 
   /// Complement on the compressed form (bits past size() stay zero).
-  EwahBitmap Not() const;
+  [[nodiscard]] EwahBitmap Not() const;
 
   /// Number of logical bits.
   size_t size() const { return size_; }
   /// Number of set bits, computed on the compressed form.
-  size_t Count() const;
+  [[nodiscard]] size_t Count() const;
   /// Heap bytes of the word buffer: the compressed-size metric.
   size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
   /// Number of buffer words (markers + literals).
@@ -74,7 +74,7 @@ class EwahBitmap {
 
   /// Compression ratio relative to the plain representation
   /// (plain bytes / compressed bytes); > 1 means compression helped.
-  double CompressionRatio() const;
+  [[nodiscard]] double CompressionRatio() const;
 
   /// Calls `fn(index)` for every set bit in increasing order, decoding
   /// runs and literals on the fly.

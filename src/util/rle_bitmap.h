@@ -22,22 +22,22 @@ class RleBitmap {
   RleBitmap() = default;
 
   /// Compresses a plain bit vector.
-  static RleBitmap Compress(const BitVector& bits);
+  [[nodiscard]] static RleBitmap Compress(const BitVector& bits);
 
   /// Builds directly from run lengths (alternating, starting with a 0-run).
   /// The sum of the runs is the bitmap size.
-  static RleBitmap FromRuns(const std::vector<uint32_t>& runs);
+  [[nodiscard]] static RleBitmap FromRuns(const std::vector<uint32_t>& runs);
 
   /// Expands back to a plain bit vector.
-  BitVector Decompress() const;
+  [[nodiscard]] BitVector Decompress() const;
 
   /// Logical operations on the compressed form (two-pointer run merge).
   /// Operands must have equal bit sizes (asserted in debug builds); if
   /// they nevertheless differ, the shorter operand is treated as
   /// zero-extended and the result takes the larger size — never the
   /// silently truncated result of stopping at the shorter input.
-  static RleBitmap And(const RleBitmap& a, const RleBitmap& b);
-  static RleBitmap Or(const RleBitmap& a, const RleBitmap& b);
+  [[nodiscard]] static RleBitmap And(const RleBitmap& a, const RleBitmap& b);
+  [[nodiscard]] static RleBitmap Or(const RleBitmap& a, const RleBitmap& b);
 
   /// Status-returning variants that reject mismatched operand sizes with
   /// InvalidArgument instead of asserting.
@@ -47,12 +47,12 @@ class RleBitmap {
                                      const RleBitmap& b);
 
   /// Complement.
-  RleBitmap Not() const;
+  [[nodiscard]] RleBitmap Not() const;
 
   /// Number of logical bits.
   size_t size() const { return size_; }
   /// Number of set bits, computed from the runs.
-  size_t Count() const;
+  [[nodiscard]] size_t Count() const;
   /// Heap bytes of the run array: the compressed-size metric.
   size_t SizeBytes() const { return runs_.size() * sizeof(uint32_t); }
   /// Number of stored runs (after normalization).
@@ -63,7 +63,7 @@ class RleBitmap {
 
   /// Compression ratio relative to the plain representation
   /// (plain bytes / compressed bytes); > 1 means compression helped.
-  double CompressionRatio() const;
+  [[nodiscard]] double CompressionRatio() const;
 
   /// Calls `fn(index)` for every set bit in increasing order, walking the
   /// runs without decompressing.

@@ -27,7 +27,12 @@ const char* StatusCodeName(StatusCode code);
 
 /// Value-type error carrier. An engaged non-OK `Status` holds a code and a
 /// human-readable message; the OK status is cheap to copy and compare.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status and
+/// ignores it is a compile-time warning (an error under -DEBI_WERROR=ON).
+/// A deliberately ignored Status must be spelled out, e.g.
+/// `status.IgnoreError()` — greppable, and auditable by ebi-lint.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -62,9 +67,14 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Explicitly discards this status. The only sanctioned way to drop a
+  /// Status on the floor: call sites read `FooBar().IgnoreError();` and
+  /// every occurrence is enumerable with `git grep IgnoreError`.
+  void IgnoreError() const {}
 
   /// Renders "<CodeName>: <message>" ("OK" for the OK status).
   std::string ToString() const;
@@ -81,9 +91,10 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// A value-or-error holder, analogous to absl::StatusOr. Exactly one of the
-/// value and a non-OK status is engaged.
+/// value and a non-OK status is engaged. [[nodiscard]] like Status: a
+/// dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -97,7 +108,7 @@ class Result {
     }
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& { return *value_; }

@@ -26,16 +26,16 @@ class StoredBitmap {
   StoredBitmap() = default;
 
   /// Materializes `bits` in the requested format.
-  static StoredBitmap Make(BitVector bits, BitmapFormat format);
+  [[nodiscard]] static StoredBitmap Make(BitVector bits, BitmapFormat format);
 
   /// Wraps an already-compressed representation without re-encoding —
   /// the deserialization path, where the compressed words were validated
   /// on read and decompress/recompress would lose the exact physical
   /// layout the I/O charge is based on.
-  static StoredBitmap FromRle(RleBitmap rle);
-  static StoredBitmap FromEwah(EwahBitmap ewah);
+  [[nodiscard]] static StoredBitmap FromRle(RleBitmap rle);
+  [[nodiscard]] static StoredBitmap FromEwah(EwahBitmap ewah);
 
-  BitmapFormat format() const {
+  [[nodiscard]] BitmapFormat format() const {
     if (std::holds_alternative<RleBitmap>(rep_)) {
       return BitmapFormat::kRle;
     }
@@ -46,26 +46,28 @@ class StoredBitmap {
   }
 
   /// Number of logical bits.
-  size_t size() const;
+  [[nodiscard]] size_t size() const;
   /// Number of set bits (computed on the compressed form).
-  size_t Count() const;
+  [[nodiscard]] size_t Count() const;
   /// Physical heap bytes — the per-read I/O charge and the space metric.
-  size_t SizeBytes() const;
+  [[nodiscard]] size_t SizeBytes() const;
   /// Fraction of zero bits.
-  double Sparsity() const;
+  [[nodiscard]] double Sparsity() const;
 
   /// Expands to a plain bit vector (a copy even for plain storage).
-  BitVector ToBitVector() const;
+  [[nodiscard]] BitVector ToBitVector() const;
 
   /// Fast path: the underlying plain vector, or nullptr when compressed.
-  const BitVector* AsPlain() const {
+  [[nodiscard]] const BitVector* AsPlain() const {
     return std::get_if<BitVector>(&rep_);
   }
 
   /// The underlying compressed form, or nullptr when the format differs.
   /// Used by persistence to serialize runs/words without decompressing.
-  const RleBitmap* AsRle() const { return std::get_if<RleBitmap>(&rep_); }
-  const EwahBitmap* AsEwah() const {
+  [[nodiscard]] const RleBitmap* AsRle() const {
+    return std::get_if<RleBitmap>(&rep_);
+  }
+  [[nodiscard]] const EwahBitmap* AsEwah() const {
     return std::get_if<EwahBitmap>(&rep_);
   }
 

@@ -1,0 +1,308 @@
+#include "analysis/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "index/cold_encoded_bitmap_index.h"
+#include "index/index_factory.h"
+#include "index/persistence.h"
+#include "index/sharded_index.h"
+#include "storage/segmented_table.h"
+#include "test_util.h"
+#include "util/rle_bitmap.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::IntTable;
+using testing_util::RandomIntTable;
+
+// ---------------------------------------------------------------------------
+// Mapping-table invariants (Definition 2.1, Theorem 2.1).
+
+TEST(InvariantAuditorTest, CleanMappingPasses) {
+  auto mapping = MappingTable::Create(3, {1, 2, 3, 4, 5}, /*void_code=*/0,
+                                      /*null_code=*/6);
+  ASSERT_TRUE(mapping.ok());
+  const AuditReport report = InvariantAuditor::AuditMapping(*mapping);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_GT(report.checks_run, 0u);
+}
+
+TEST(InvariantAuditorTest, DetectsNonBijectiveMapping) {
+  // Two values sharing codeword 1 — MappingTable::Create itself rejects
+  // this, so the raw-parts entry point is the seeding route.
+  const AuditReport report =
+      InvariantAuditor::AuditMappingParts(2, {1, 2, 1});
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.Has(ViolationKind::kDuplicateCodeword))
+      << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsCodewordOutOfWidth) {
+  const AuditReport report =
+      InvariantAuditor::AuditMappingParts(2, {1, 5});
+  EXPECT_TRUE(report.Has(ViolationKind::kCodewordOutOfWidth))
+      << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsReservedCodeAssignedToLiveValue) {
+  // Theorem 2.1 reserves codeword 0 for the void tuples; a live value
+  // occupying it breaks the existence-free selection guarantee.
+  const AuditReport report = InvariantAuditor::AuditMappingParts(
+      2, {0, 1, 2}, /*void_code=*/uint64_t{0});
+  EXPECT_TRUE(report.Has(ViolationKind::kReservedCodeAssigned))
+      << report.ToString();
+  // The collision also surfaces as a duplicate between the reservation
+  // and the value's codeword.
+  EXPECT_TRUE(report.Has(ViolationKind::kDuplicateCodeword));
+}
+
+TEST(InvariantAuditorTest, ReservedCodesAloneAreClean) {
+  const AuditReport report = InvariantAuditor::AuditMappingParts(
+      2, {1, 2, 3}, /*void_code=*/uint64_t{0});
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Selection well-definedness (Definition 2.5, Figure 3).
+
+TEST(InvariantAuditorTest, WellDefinedSelectionIsClean) {
+  // Figure 3(a): a=000, b=100, c=001, d=101, e=011, f=111, g=010, h=110.
+  auto mapping = MappingTable::Create(
+      3, {0b000, 0b100, 0b001, 0b101, 0b011, 0b111, 0b010, 0b110});
+  ASSERT_TRUE(mapping.ok());
+  const AuditReport report =
+      InvariantAuditor::AuditSelection(*mapping, {0, 1, 2, 3});
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsNotWellDefinedSelection) {
+  // Figure 3(b): the improper mapping for {a,b,c,d}.
+  auto mapping = MappingTable::Create(
+      3, {0b000, 0b011, 0b001, 0b101, 0b100, 0b111, 0b010, 0b110});
+  ASSERT_TRUE(mapping.ok());
+  const AuditReport report =
+      InvariantAuditor::AuditSelection(*mapping, {0, 1, 2, 3});
+  EXPECT_TRUE(report.Has(ViolationKind::kSelectionNotWellDefined))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap length / compressed-form contracts.
+
+TEST(InvariantAuditorTest, DetectsWrongLengthBitVector) {
+  const AuditReport report =
+      InvariantAuditor::AuditBitVector(BitVector(5), /*expected_bits=*/10);
+  EXPECT_TRUE(report.Has(ViolationKind::kBitmapLengthMismatch))
+      << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsRleRunSumMismatch) {
+  const AuditReport report =
+      InvariantAuditor::AuditRleRuns({3, 2}, /*declared_bits=*/6);
+  EXPECT_TRUE(report.Has(ViolationKind::kRleRunSumMismatch))
+      << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsCorruptEwahWords) {
+  // A marker claiming two literal words but providing none.
+  const std::vector<uint64_t> words = {uint64_t{2} << 33};
+  const AuditReport report =
+      InvariantAuditor::AuditEwahWords(words, /*declared_bits=*/128);
+  EXPECT_TRUE(report.Has(ViolationKind::kEwahFormatMismatch))
+      << report.ToString();
+}
+
+TEST(InvariantAuditorTest, StoredBitmapCleanInEveryFormat) {
+  BitVector bits(200);
+  for (size_t i = 0; i < 200; i += 7) {
+    bits.Set(i);
+  }
+  for (const BitmapFormat format :
+       {BitmapFormat::kPlain, BitmapFormat::kRle, BitmapFormat::kEwah}) {
+    const StoredBitmap stored = StoredBitmap::Make(bits, format);
+    const AuditReport report =
+        InvariantAuditor::AuditStoredBitmap(stored, 200);
+    EXPECT_TRUE(report.clean()) << report.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persisted bitmaps (index/persistence.h streams).
+
+TEST(InvariantAuditorTest, CleanPersistedBitmapRoundTrips) {
+  BitVector bits(100);
+  bits.Set(3);
+  bits.Set(64);
+  std::ostringstream out;
+  ASSERT_TRUE(
+      SaveStoredBitmap(out, StoredBitmap::Make(bits, BitmapFormat::kRle))
+          .ok());
+  std::istringstream in(out.str());
+  const AuditReport report = InvariantAuditor::AuditPersistedBitmap(in, 100);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsTruncatedPersistedBitmap) {
+  BitVector bits(100);
+  bits.Set(3);
+  std::ostringstream out;
+  ASSERT_TRUE(
+      SaveStoredBitmap(out, StoredBitmap::Make(bits, BitmapFormat::kEwah))
+          .ok());
+  const std::string full = out.str();
+  std::istringstream in(full.substr(0, full.size() / 2));
+  const AuditReport report = InvariantAuditor::AuditPersistedBitmap(in, 100);
+  EXPECT_TRUE(report.Has(ViolationKind::kPersistedBitmapCorrupt))
+      << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsFormatMismatchedPersistedBitmap) {
+  // A BitVector stream is not a StoredBitmap stream: the section magic
+  // differs, so loading must reject rather than misinterpret it.
+  std::ostringstream out;
+  ASSERT_TRUE(SaveBitVector(out, BitVector(64)).ok());
+  std::istringstream in(out.str());
+  const AuditReport report = InvariantAuditor::AuditPersistedBitmap(in, 64);
+  EXPECT_TRUE(report.Has(ViolationKind::kPersistedBitmapCorrupt))
+      << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsWrongLengthPersistedBitmap) {
+  BitVector bits(100);
+  std::ostringstream out;
+  ASSERT_TRUE(
+      SaveStoredBitmap(out, StoredBitmap::Make(bits, BitmapFormat::kPlain))
+          .ok());
+  std::istringstream in(out.str());
+  const AuditReport report =
+      InvariantAuditor::AuditPersistedBitmap(in, /*expected_bits=*/200);
+  EXPECT_TRUE(report.Has(ViolationKind::kBitmapLengthMismatch))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Whole-index audits.
+
+TEST(InvariantAuditorTest, CleanAuditAcrossIndexFamilies) {
+  auto table = RandomIntTable(300, 25, 11, 0.05);
+  for (const IndexKind kind :
+       {IndexKind::kSimpleBitmap, IndexKind::kSimpleBitmapRle,
+        IndexKind::kSimpleBitmapEwah, IndexKind::kEncodedBitmap,
+        IndexKind::kBitSliced, IndexKind::kBaseBitSliced,
+        IndexKind::kRangeBasedBitmap, IndexKind::kDynamicBitmap}) {
+    IoAccountant io;
+    auto index = MakeSecondaryIndex(kind, &table->column(0),
+                                    &table->existence(), &io);
+    ASSERT_TRUE(index != nullptr) << IndexKindName(kind);
+    ASSERT_TRUE(index->Build().ok()) << IndexKindName(kind);
+    const AuditReport report =
+        InvariantAuditor::AuditIndex(*index, table->NumRows());
+    EXPECT_TRUE(report.clean())
+        << IndexKindName(kind) << ": " << report.ToString();
+    EXPECT_GT(report.checks_run, 0u) << IndexKindName(kind);
+  }
+}
+
+TEST(InvariantAuditorTest, CleanAuditOnColdIndex) {
+  auto table = RandomIntTable(200, 20, 5);
+  IoAccountant io;
+  ColdEncodedBitmapIndexOptions options;
+  options.directory = ::testing::TempDir();
+  options.format = BitmapFormat::kEwah;
+  ColdEncodedBitmapIndex index(&table->column(0), &table->existence(), &io,
+                               options);
+  ASSERT_TRUE(index.Build().ok());
+  AuditReport report = InvariantAuditor::AuditIndex(index, table->NumRows());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  // The cold walk must actually fetch slices through the store.
+  EXPECT_GE(report.checks_run, index.NumSlices());
+}
+
+TEST(InvariantAuditorTest, DetectsStaleIndexAfterTableGrows) {
+  auto table = IntTable({1, 2, 3, 1, 2, 3, 1, 2});
+  IoAccountant io;
+  auto index = MakeSecondaryIndex(IndexKind::kSimpleBitmap,
+                                  &table->column(0), &table->existence(),
+                                  &io);
+  ASSERT_TRUE(index->Build().ok());
+  // Grow the table without maintaining the index: every vector is now one
+  // row short of the table.
+  ASSERT_TRUE(table->AppendRow({Value::Int(1)}).ok());
+  const AuditReport report =
+      InvariantAuditor::AuditIndex(*index, table->NumRows());
+  EXPECT_TRUE(report.Has(ViolationKind::kBitmapLengthMismatch))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded indexes: per-shard audits plus the partition contract.
+
+struct ShardedHarness {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<SegmentedTable> segments;
+  std::unique_ptr<exec::ThreadPool> pool;
+  std::unique_ptr<IoAccountant> io = std::make_unique<IoAccountant>();
+  std::unique_ptr<ShardedIndex> index;
+};
+
+ShardedHarness MakeSharded(IndexKind kind, size_t rows,
+                           size_t segment_rows) {
+  ShardedHarness h;
+  h.table = RandomIntTable(rows, 20, 42, 0.1);
+  auto parts = SegmentedTable::Partition(*h.table, segment_rows);
+  EXPECT_TRUE(parts.ok());
+  h.segments = std::make_unique<SegmentedTable>(std::move(parts).value());
+  h.pool = std::make_unique<exec::ThreadPool>(3);
+  h.index = std::make_unique<ShardedIndex>(
+      h.segments.get(), &h.table->column(0), &h.table->existence(), kind,
+      h.pool.get(), h.io.get());
+  EXPECT_TRUE(h.index->Build().ok());
+  return h;
+}
+
+TEST(InvariantAuditorTest, CleanAuditOnShardedIndexes) {
+  for (const IndexKind kind :
+       {IndexKind::kSimpleBitmapEwah, IndexKind::kEncodedBitmap,
+        IndexKind::kBitSliced, IndexKind::kRangeBasedBitmap}) {
+    ShardedHarness h = MakeSharded(kind, 400, 64);
+    const AuditReport report =
+        InvariantAuditor::AuditShardedIndex(*h.index, h.table->NumRows());
+    EXPECT_TRUE(report.clean())
+        << IndexKindName(kind) << ": " << report.ToString();
+    EXPECT_GT(report.checks_run, 0u);
+  }
+}
+
+TEST(InvariantAuditorTest, DetectsShardPartitionMismatch) {
+  ShardedHarness h = MakeSharded(IndexKind::kEncodedBitmap, 300, 50);
+  const AuditReport report =
+      InvariantAuditor::AuditShardedIndex(*h.index, h.table->NumRows() + 5);
+  EXPECT_TRUE(report.Has(ViolationKind::kShardPartitionMismatch))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing.
+
+TEST(InvariantAuditorTest, ReportMergeAndToString) {
+  AuditReport a = InvariantAuditor::AuditMappingParts(2, {1, 2, 1});
+  const size_t a_checks = a.checks_run;
+  const size_t a_violations = a.violations.size();
+  AuditReport b = InvariantAuditor::AuditRleRuns({3, 2}, 6);
+  a.Merge(b);
+  EXPECT_EQ(a.checks_run, a_checks + b.checks_run);
+  EXPECT_EQ(a.violations.size(), a_violations + 1);
+  EXPECT_EQ(a.CountOf(ViolationKind::kRleRunSumMismatch), 1u);
+  const std::string rendered = a.ToString();
+  EXPECT_NE(rendered.find("DuplicateCodeword"), std::string::npos);
+  EXPECT_NE(rendered.find("RleRunSumMismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ebi

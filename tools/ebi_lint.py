@@ -1,0 +1,413 @@
+#!/usr/bin/env python3
+"""ebi-lint: repo-specific static checks for the EBI codebase.
+
+Enforces structural conventions the compiler cannot:
+
+  raw-bit-words     Bit-word arithmetic (word indexing, GCC bit builtins)
+                    is confined to src/util, the kernel layer. Everything
+                    above it goes through BitVector / bit_util.
+  naked-new         No raw `new` outside src/exec/thread_pool.*; ownership
+                    is expressed with std::make_unique / containers.
+  naked-thread      No direct std::thread outside src/exec/thread_pool.*;
+                    parallelism borrows workers from the pool so thread
+                    counts stay centrally bounded.
+  nondeterminism    No rand()/srand()/std::random_device/time(NULL) in
+                    src/ or tests/ — randomized code takes an explicit
+                    seeded Rng so every run is reproducible.
+  header-guard      Every header uses an #ifndef guard derived from its
+                    path (EBI_<PATH>_H_); #pragma once is not used, so
+                    guard style stays greppable and uniform.
+  include-path      Quoted #include paths must resolve against src/ (or
+                    the including file's directory) — catches stale
+                    includes that only work through accidental -I paths.
+  test-registered   Every tests/*.cc that defines a TEST must be
+                    registered in tests/CMakeLists.txt, so no test file
+                    silently stops running.
+
+Exceptions live in tools/ebi_lint_allow.txt as `<rule> <path>` lines
+(rule `nolint` entries are consumed by scripts/lint.sh's NOLINT audit).
+
+Usage:
+  tools/ebi_lint.py             lint the repo; exit 1 on findings
+  tools/ebi_lint.py --selftest  verify each rule against the known-bad
+                                fixtures in tools/lint_fixtures/
+"""
+
+import argparse
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ALLOWLIST = os.path.join(ROOT, "tools", "ebi_lint_allow.txt")
+FIXTURES = os.path.join(ROOT, "tools", "lint_fixtures")
+
+SCAN_DIRS = ("src", "tests", "examples", "bench")
+EXTENSIONS = (".h", ".cc", ".cpp")
+
+
+def strip_code(text):
+    """Blanks comments and string/char literals, preserving newlines and
+    column positions so line numbers in findings stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def grep_lines(stripped, pattern):
+    regex = re.compile(pattern)
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if regex.search(line):
+            yield lineno, line.strip()
+
+
+# --- Rules. Each takes (path, text, stripped) with `path` repo-relative
+# --- and yields Findings. Path scoping happens inside the rule.
+
+BIT_WORD_PATTERNS = (
+    r"__builtin_(popcount|ctz|clz)",
+    r">>\s*6\s*\]",
+    r"&\s*63\b",
+)
+
+
+def rule_raw_bit_words(path, text, stripped):
+    if not path.startswith("src/") or path.startswith("src/util/"):
+        return
+    for pattern in BIT_WORD_PATTERNS:
+        for lineno, line in grep_lines(stripped, pattern):
+            yield Finding(
+                "raw-bit-words", path, lineno,
+                f"raw bit-word access `{line}` outside src/util; use "
+                "BitVector / bit_util kernels")
+
+
+def rule_naked_new(path, text, stripped):
+    if path.startswith("src/exec/thread_pool."):
+        return
+    for lineno, line in grep_lines(stripped, r"\bnew\s+[A-Za-z_:]"):
+        yield Finding(
+            "naked-new", path, lineno,
+            f"raw `new` in `{line}`; use std::make_unique or a container")
+
+
+def rule_naked_thread(path, text, stripped):
+    if path.startswith("src/exec/thread_pool."):
+        return
+    for lineno, line in grep_lines(stripped, r"\bstd::thread\b"):
+        yield Finding(
+            "naked-thread", path, lineno,
+            "direct std::thread use; borrow workers from exec::ThreadPool")
+
+
+NONDET_PATTERNS = (
+    (r"\b(s?rand)\s*\(", "libc {0}() is unseeded nondeterminism"),
+    (r"\bstd::random_device\b", "std::random_device is nondeterministic"),
+    (r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)", "wall-clock seeding"),
+)
+
+
+def rule_nondeterminism(path, text, stripped):
+    if not (path.startswith("src/") or path.startswith("tests/")):
+        return
+    for pattern, why in NONDET_PATTERNS:
+        for lineno, line in grep_lines(stripped, pattern):
+            match = re.search(pattern, line)
+            name = match.group(1) if match.lastindex else ""
+            yield Finding(
+                "nondeterminism", path, lineno,
+                why.format(name) + "; use an explicitly seeded ebi::Rng")
+
+
+def expected_guard(path):
+    parts = path.split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return "EBI_" + stem.upper() + "_"
+
+
+def rule_header_guard(path, text, stripped):
+    if not path.endswith(".h"):
+        return
+    if re.search(r"^\s*#\s*pragma\s+once", stripped, re.MULTILINE):
+        yield Finding(
+            "header-guard", path, 1,
+            "#pragma once; this repo uses #ifndef guards uniformly")
+    guard = expected_guard(path)
+    match = re.search(r"^\s*#\s*ifndef\s+(\S+)", stripped, re.MULTILINE)
+    if match is None:
+        yield Finding("header-guard", path, 1,
+                      f"missing include guard (expected {guard})")
+        return
+    if match.group(1) != guard:
+        yield Finding(
+            "header-guard", path, 1,
+            f"guard {match.group(1)} does not match path (expected {guard})")
+        return
+    if not re.search(r"^\s*#\s*define\s+" + re.escape(guard),
+                     stripped, re.MULTILINE):
+        yield Finding("header-guard", path, 1,
+                      f"#ifndef {guard} without matching #define")
+
+
+def rule_include_path(path, text, stripped):
+    raw_lines = text.splitlines()
+    for lineno, _ in grep_lines(stripped, r"^\s*#\s*include\s+\""):
+        # strip_code blanks string-literal contents, so recover the
+        # include path from the raw line.
+        match = re.search(r'#\s*include\s+"([^"]+)"', raw_lines[lineno - 1])
+        if match is None:
+            continue
+        inc = match.group(1)
+        candidates = [
+            os.path.join(ROOT, "src", inc),
+            os.path.join(ROOT, os.path.dirname(path), inc),
+        ]
+        if not any(os.path.isfile(c) for c in candidates):
+            yield Finding(
+                "include-path", path, lineno,
+                f'#include "{inc}" resolves against neither src/ nor the '
+                "including directory")
+
+
+def rule_test_registered(path, text, stripped, cmake_text=None):
+    if not (path.startswith("tests/") and path.endswith(".cc")):
+        return
+    if not re.search(r"\bTEST(_F|_P)?\s*\(", stripped):
+        return
+    if cmake_text is None:
+        cmake_path = os.path.join(ROOT, "tests", "CMakeLists.txt")
+        with open(cmake_path, encoding="utf-8") as f:
+            cmake_text = f.read()
+    name = os.path.splitext(os.path.basename(path))[0]
+    if not re.search(r"\b" + re.escape(name) + r"\b", cmake_text):
+        yield Finding(
+            "test-registered", path, 1,
+            f"{name} defines TESTs but is not registered in "
+            "tests/CMakeLists.txt")
+
+
+RULES = (
+    rule_raw_bit_words,
+    rule_naked_new,
+    rule_naked_thread,
+    rule_nondeterminism,
+    rule_header_guard,
+    rule_include_path,
+    rule_test_registered,
+)
+
+RULE_NAMES = (
+    "raw-bit-words",
+    "naked-new",
+    "naked-thread",
+    "nondeterminism",
+    "header-guard",
+    "include-path",
+    "test-registered",
+)
+
+
+def load_allowlist():
+    allowed = set()
+    if not os.path.isfile(ALLOWLIST):
+        return allowed
+    with open(ALLOWLIST, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                print(f"ebi-lint: malformed allowlist line: {raw.rstrip()}",
+                      file=sys.stderr)
+                sys.exit(2)
+            allowed.add((parts[0], parts[1]))
+    return allowed
+
+
+def lint_file(path, text, cmake_text=None):
+    stripped = strip_code(text)
+    findings = []
+    for rule in RULES:
+        if rule is rule_test_registered:
+            findings.extend(rule(path, text, stripped, cmake_text))
+        else:
+            findings.extend(rule(path, text, stripped))
+    return findings
+
+
+def repo_files():
+    for top in SCAN_DIRS:
+        base = os.path.join(ROOT, top)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, ROOT)
+
+
+def run_lint():
+    allowed = load_allowlist()
+    used = set()
+    findings = []
+    for path in repo_files():
+        with open(os.path.join(ROOT, path), encoding="utf-8") as f:
+            text = f.read()
+        for finding in lint_file(path, text):
+            key = (finding.rule, finding.path)
+            if key in allowed:
+                used.add(key)
+                continue
+            findings.append(finding)
+    for finding in findings:
+        print(finding)
+    stale = {k for k in allowed if k[0] != "nolint"} - used
+    for rule, path in sorted(stale):
+        print(f"{ALLOWLIST}: stale allowlist entry `{rule} {path}` "
+              "(nothing to allow)")
+    if findings or stale:
+        print(f"ebi-lint: {len(findings)} finding(s), "
+              f"{len(stale)} stale allowlist entr(ies)")
+        return 1
+    print("ebi-lint: clean")
+    return 0
+
+
+FIXTURE_PATH_RE = re.compile(r"lint-fixture-path:\s*(\S+)")
+
+
+def run_selftest():
+    """Every tools/lint_fixtures/bad_<rule>* file must trigger exactly its
+    rule at its pretend path; clean_* fixtures must trigger nothing."""
+    if not os.path.isdir(FIXTURES):
+        print(f"ebi-lint: fixture directory {FIXTURES} missing",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for name in sorted(os.listdir(FIXTURES)):
+        full = os.path.join(FIXTURES, name)
+        if not name.endswith(EXTENSIONS):
+            continue
+        with open(full, encoding="utf-8") as f:
+            text = f.read()
+        match = FIXTURE_PATH_RE.search(text)
+        if match is None:
+            print(f"FAIL {name}: no `lint-fixture-path:` header")
+            failures += 1
+            continue
+        pretend = match.group(1)
+        # An unregistered-test fixture must not be saved by the real
+        # CMakeLists, so give the registration rule an empty one.
+        fired = {f.rule for f in lint_file(pretend, text, cmake_text="")}
+        stem = os.path.splitext(name)[0]
+        checked += 1
+        if stem.startswith("clean_"):
+            if fired:
+                print(f"FAIL {name}: expected clean, fired {sorted(fired)}")
+                failures += 1
+            else:
+                print(f"ok   {name}: clean as expected")
+            continue
+        expected = stem[len("bad_"):].replace("_", "-")
+        if expected not in RULE_NAMES:
+            print(f"FAIL {name}: fixture names unknown rule {expected}")
+            failures += 1
+        elif fired != {expected}:
+            print(f"FAIL {name}: expected exactly {{{expected}}}, "
+                  f"fired {sorted(fired)}")
+            failures += 1
+        else:
+            print(f"ok   {name}: fires {expected} and nothing else")
+    missing = set(RULE_NAMES) - {
+        os.path.splitext(n)[0][len("bad_"):].replace("_", "-")
+        for n in os.listdir(FIXTURES) if n.startswith("bad_")
+    }
+    if missing:
+        print(f"FAIL: rules without a bad fixture: {sorted(missing)}")
+        failures += 1
+    if failures:
+        print(f"ebi-lint selftest: {failures} failure(s)")
+        return 1
+    print(f"ebi-lint selftest: {checked} fixtures ok, all rules covered")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the rules against known-bad fixtures")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        for name in RULE_NAMES:
+            print(name)
+        return 0
+    if args.selftest:
+        return run_selftest()
+    return run_lint()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+// lint-fixture-path: src/query/misguarded.h
+// Known-bad: guard name does not match the file's path.
+#ifndef EBI_SOMETHING_ELSE_H_
+#define EBI_SOMETHING_ELSE_H_
+
+namespace ebi {
+
+inline int Nine() { return 9; }
+
+}  // namespace ebi
+
+#endif  // EBI_SOMETHING_ELSE_H_

@@ -1,0 +1,9 @@
+// lint-fixture-path: src/query/stale_include.cc
+// Known-bad: the quoted include resolves against no real file.
+#include "query/removed_header.h"
+
+namespace ebi {
+
+int Ten() { return 10; }
+
+}  // namespace ebi

@@ -1,0 +1,11 @@
+// lint-fixture-path: src/index/leaky.cc
+// Known-bad: raw `new` expressing ownership by hand.
+#include "util/bitvector.h"
+
+namespace ebi {
+
+BitVector* MakeLeaked() {
+  return new BitVector(64);
+}
+
+}  // namespace ebi

@@ -1,0 +1,12 @@
+// lint-fixture-path: src/query/rogue_thread.cc
+// Known-bad: spawning threads outside the exec::ThreadPool.
+#include <thread>
+
+namespace ebi {
+
+void RunDetached(void (*fn)()) {
+  std::thread worker(fn);
+  worker.detach();
+}
+
+}  // namespace ebi

@@ -1,0 +1,13 @@
+// lint-fixture-path: tests/flaky_test.cc
+// Known-bad: unseeded randomness makes the test irreproducible.
+#include <cstdlib>
+#include <ctime>
+
+namespace ebi {
+
+int RollDice() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand() % 6;
+}
+
+}  // namespace ebi

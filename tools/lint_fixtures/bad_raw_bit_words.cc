@@ -1,0 +1,14 @@
+// lint-fixture-path: src/query/raw_words.cc
+// Known-bad: word-level bit arithmetic above the src/util kernel layer.
+#include "util/bitvector.h"
+
+namespace ebi {
+
+size_t CountDirectly(const BitVector& bits, size_t i) {
+  size_t total = static_cast<size_t>(
+      __builtin_popcountll(bits.words()[i >> 6]));
+  total += bits.words()[0] & 63;
+  return total;
+}
+
+}  // namespace ebi

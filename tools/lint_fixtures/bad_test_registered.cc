@@ -1,0 +1,14 @@
+// lint-fixture-path: tests/ghost_test.cc
+// Known-bad: defines a TEST but is absent from tests/CMakeLists.txt, so
+// it would silently never run.
+#include <gtest/gtest.h>
+
+namespace ebi {
+namespace {
+
+TEST(GhostTest, NeverRuns) {
+  EXPECT_TRUE(true);
+}
+
+}  // namespace
+}  // namespace ebi

@@ -1,0 +1,14 @@
+// lint-fixture-path: src/query/clean.cc
+// Known-good: mentions every banned construct only in comments and
+// string literals ("new BitVector", "std::thread", "rand()"), which the
+// linter must not flag.
+#include "util/bitvector.h"
+
+namespace ebi {
+
+// A comment saying `new Foo` or std::thread must not fire.
+const char* Describe() {
+  return "allocated with new BitVector, seeded without rand()";
+}
+
+}  // namespace ebi

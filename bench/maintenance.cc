@@ -29,8 +29,8 @@ void Run() {
     return;
   }
   MaintenanceDriver driver(table.get());
-  driver.AttachIndex(&simple);
-  driver.AttachIndex(&encoded);
+  bench::CheckOk(driver.AttachIndex(&simple));
+  bench::CheckOk(driver.AttachIndex(&encoded));
 
   // Phase 1: appends of known values (no expansion).
   const size_t known_appends = 2000;

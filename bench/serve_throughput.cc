@@ -1,0 +1,131 @@
+// Serving-layer throughput/latency grid: worker threads x queue depth.
+//
+// For each cell, a fixed client fleet fires equality selections at the
+// QueryService as fast as it can while one appender publishes snapshots
+// in the background. Reports completed-request throughput, p50/p99
+// client-observed latency, and the shed rate admission control produced.
+//
+// Emits BENCH_serve_throughput.json (schema checked by
+// scripts/check_bench_json.sh).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/thread_pool.h"
+#include "serve/query_service.h"
+
+namespace ebi {
+namespace {
+
+constexpr size_t kRows = 1 << 14;
+constexpr size_t kCardinality = 64;
+constexpr size_t kClients = 4;
+constexpr size_t kQueriesPerClient = 250;
+constexpr size_t kAppendBatches = 20;
+constexpr size_t kRowsPerBatch = 8;
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const size_t i = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[i];
+}
+
+void RunCell(size_t workers, size_t queue_depth, bench::BenchReport* report) {
+  serve::ServeOptions options;
+  options.worker_threads = workers;
+  options.queue_depth = queue_depth;
+  serve::QueryService service(options);
+  bench::CheckOk(service.Start(bench::RoundRobinTable(kRows, kCardinality),
+                               {{"a", IndexKind::kEncodedBitmap}}));
+
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<size_t> shed(kClients, 0);
+
+  bench::Timer wall;
+  exec::ThreadPool drivers(kClients + 1);
+  drivers.ParallelFor(0, kClients + 1, [&](size_t worker) {
+    if (worker == kClients) {
+      // Background appender: keeps snapshots churning during the run.
+      for (size_t b = 0; b < kAppendBatches; ++b) {
+        std::vector<std::vector<Value>> rows;
+        for (size_t r = 0; r < kRowsPerBatch; ++r) {
+          rows.push_back({Value::Int(static_cast<int64_t>(
+              (b * kRowsPerBatch + r) % kCardinality))});
+        }
+        bench::CheckOk(service.Append(std::move(rows)));
+      }
+      return;
+    }
+    latencies[worker].reserve(kQueriesPerClient);
+    for (size_t q = 0; q < kQueriesPerClient; ++q) {
+      const int64_t v =
+          static_cast<int64_t>((worker * kQueriesPerClient + q) %
+                               kCardinality);
+      bench::Timer timer;
+      const Result<serve::ServeResult> got =
+          service.Select({Predicate::Eq("a", Value::Int(v))});
+      if (!got.ok()) {
+        if (got.status().code() == StatusCode::kOverloaded) {
+          ++shed[worker];
+          continue;
+        }
+        bench::CheckOk(got.status());
+      }
+      latencies[worker].push_back(timer.ElapsedMs());
+    }
+  });
+  const double wall_ms = wall.ElapsedMs();
+  bench::CheckOk(service.Shutdown());
+
+  std::vector<double> all;
+  size_t total_shed = 0;
+  for (size_t c = 0; c < kClients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    total_shed += shed[c];
+  }
+  const size_t attempted = kClients * kQueriesPerClient;
+  const double throughput =
+      wall_ms > 0 ? static_cast<double>(all.size()) / (wall_ms / 1000.0) : 0;
+  const double p50 = Percentile(all, 0.50);
+  const double p99 = Percentile(all, 0.99);
+  const double shed_rate =
+      static_cast<double>(total_shed) / static_cast<double>(attempted);
+
+  std::printf("%8zu %11zu %10.0f %9.3f %9.3f %9.4f\n", workers, queue_depth,
+              throughput, p50, p99, shed_rate);
+
+  char label[64];
+  std::snprintf(label, sizeof(label), "workers=%zu depth=%zu", workers,
+                queue_depth);
+  report->BeginRun(label);
+  report->Metric("completed", all.size());
+  report->Metric("throughput_qps", throughput);
+  report->Metric("p50_ms", p50);
+  report->Metric("p99_ms", p99);
+  report->Metric("shed_rate", shed_rate);
+}
+
+}  // namespace
+}  // namespace ebi
+
+int main() {
+  std::printf("serve_throughput: %zu clients x %zu queries, %zu-row table, "
+              "appender churning %zu batches\n",
+              ebi::kClients, ebi::kQueriesPerClient, ebi::kRows,
+              ebi::kAppendBatches);
+  std::printf("%8s %11s %10s %9s %9s %9s\n", "workers", "queue_depth", "qps",
+              "p50_ms", "p99_ms", "shed");
+  ebi::bench::BenchReport report("serve_throughput");
+  for (const size_t workers : {1, 2, 4}) {
+    for (const size_t depth : {4, 64}) {
+      ebi::RunCell(workers, depth, &report);
+    }
+  }
+  return 0;
+}

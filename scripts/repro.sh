@@ -26,18 +26,22 @@ cmake --build build-asan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
 # ThreadSanitizer pass over the concurrency surface: the thread pool, the
-# segmented/sharded execution path and the shared atomic accountant. TSan
-# and ASan cannot share a build, hence the third tree.
+# segmented/sharded execution path, the shared atomic accountant, and the
+# serving layer (snapshot pins + combining appends under real races).
+# TSan and ASan cannot share a build, hence the third tree.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DEBI_SANITIZE=thread
 cmake --build build-tsan
 ctest --test-dir build-tsan \
-  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant' \
+  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress' \
   2>&1 | tee -a test_output.txt
 
 # Machine-readable export: every bench that writes BENCH_<name>.json must
 # emit documents matching the schema in scripts/check_bench_json.sh.
 bash scripts/check_bench_json.sh
+mkdir -p bench-json
+EBI_BENCH_JSON_DIR=bench-json ./build/bench/serve_throughput > /dev/null
+bash scripts/check_bench_json.sh bench-json/BENCH_serve_throughput.json
 
 : > bench_output.txt
 for b in build/bench/*; do

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "encoding/encoders.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/bit_util.h"
 #include "util/random.h"
@@ -135,63 +136,120 @@ void EncodedBitmapIndex::WriteCodeTo(std::vector<BitVector>* slices,
   }
 }
 
-void EncodedBitmapIndex::AddSlice() {
-  if (options_.format == BitmapFormat::kPlain) {
-    slices_.emplace_back(rows_indexed_);
-  } else {
-    stored_slices_.push_back(
-        StoredBitmap::Make(BitVector(rows_indexed_), options_.format));
-  }
+void EncodedBitmapIndex::CountSliceRewrite() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricIndexSliceRewrites);
+  counter->Increment();
 }
 
 Status EncodedBitmapIndex::Append(size_t row) {
+  return AppendBatch(row, 1);
+}
+
+Status EncodedBitmapIndex::AppendBatch(size_t first_row, size_t count) {
   if (!built_) {
     return Status::FailedPrecondition("index not built");
   }
-  if (row != rows_indexed_) {
+  if (first_row != rows_indexed_) {
     return Status::InvalidArgument("rows must be appended in order");
   }
+  if (first_row + count > column_->size()) {
+    return Status::OutOfRange("batch extends past the column");
+  }
+  if (count == 0) {
+    return Status::OK();
+  }
 
-  const ValueId id = column_->ValueIdAt(row);
-  uint64_t code;
-  if (id == kNullValueId) {
-    if (!mapping_.null_code().has_value()) {
-      return Status::FailedPrecondition(
-          "NULL appended but the mapping reserves no NULL codeword; "
-          "rebuild with encode_null");
-    }
-    code = *mapping_.null_code();
-  } else if (id < mapping_.NumValues()) {
-    // Update without domain expansion: set k bits (Section 2.2).
-    EBI_ASSIGN_OR_RETURN(code, mapping_.CodeOf(id));
-  } else {
-    // Domain expansion. Equation (1) holds iff a free codeword remains at
-    // the current width (Figure 2(a)); otherwise grow the width by one and
-    // add an all-zero bitmap vector (Figure 2(b)).
-    std::optional<uint64_t> free = mapping_.FirstFreeCode();
-    if (!free.has_value()) {
-      EBI_RETURN_IF_ERROR(mapping_.ExpandWidth(mapping_.width() + 1));
-      AddSlice();
-      free = mapping_.FirstFreeCode();
+  // Pass 1 — mapping only: resolve every row's codeword, taking the
+  // domain-expansion path of Section 2.2 as needed. Equation (1) holds
+  // iff a free codeword remains at the current width (Figure 2(a));
+  // otherwise the width grows (Figure 2(b)). New distinct values arrive
+  // in dense ValueId order because the column assigned their ids at
+  // table-append time, and the width grows only as far as the whole
+  // batch requires — not once per new value.
+  const int width_before = mapping_.width();
+  std::vector<uint64_t> codes(count);
+  for (size_t r = 0; r < count; ++r) {
+    const ValueId id = column_->ValueIdAt(first_row + r);
+    if (id == kNullValueId) {
+      if (!mapping_.null_code().has_value()) {
+        return Status::FailedPrecondition(
+            "NULL appended but the mapping reserves no NULL codeword; "
+            "rebuild with encode_null");
+      }
+      codes[r] = *mapping_.null_code();
+    } else if (id < mapping_.NumValues()) {
+      // Update without domain expansion: set k bits (Section 2.2).
+      EBI_ASSIGN_OR_RETURN(codes[r], mapping_.CodeOf(id));
+    } else {
+      std::optional<uint64_t> free = mapping_.FirstFreeCode();
       if (!free.has_value()) {
-        return Status::Internal("no free codeword after width expansion");
+        EBI_RETURN_IF_ERROR(mapping_.ExpandWidth(mapping_.width() + 1));
+        free = mapping_.FirstFreeCode();
+        if (!free.has_value()) {
+          return Status::Internal("no free codeword after width expansion");
+        }
+      }
+      EBI_RETURN_IF_ERROR(mapping_.AddValue(id, *free));
+      codes[r] = *free;
+    }
+  }
+
+  // Pass 2 — slices, written once for the whole batch. Width growth adds
+  // all-zero vectors B_k (existing rows keep zero high bits, matching the
+  // zero-extension ExpandWidth applied to their codewords).
+  if (options_.format == BitmapFormat::kPlain) {
+    for (int w = width_before; w < mapping_.width(); ++w) {
+      slices_.emplace_back(rows_indexed_);
+    }
+    for (size_t r = 0; r < count; ++r) {
+      for (size_t i = 0; i < slices_.size(); ++i) {
+        slices_[i].PushBack((codes[r] >> i) & 1);
       }
     }
-    EBI_RETURN_IF_ERROR(mapping_.AddValue(id, *free));
-    code = *free;
-  }
-
-  if (options_.format == BitmapFormat::kPlain) {
-    for (size_t i = 0; i < slices_.size(); ++i) {
-      slices_[i].PushBack((code >> i) & 1);
-    }
   } else {
-    for (size_t i = 0; i < stored_slices_.size(); ++i) {
-      stored_slices_[i].AppendBit((code >> i) & 1);
+    // One decompress-modify-recompress cycle per batch — the coalesced
+    // alternative to one full rewrite per appended row.
+    std::vector<BitVector> plain = MaterializeSlices();
+    for (int w = width_before; w < mapping_.width(); ++w) {
+      plain.emplace_back(rows_indexed_);
     }
+    for (size_t r = 0; r < count; ++r) {
+      for (size_t i = 0; i < plain.size(); ++i) {
+        plain[i].PushBack((codes[r] >> i) & 1);
+      }
+    }
+    StoreSlices(std::move(plain));
+    CountSliceRewrite();
   }
-  ++rows_indexed_;
+  rows_indexed_ += count;
   return Status::OK();
+}
+
+Result<std::unique_ptr<SecondaryIndex>> EncodedBitmapIndex::CloneRebound(
+    const Column* column, const BitVector* existence,
+    IoAccountant* io) const {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (column == nullptr || existence == nullptr || io == nullptr) {
+    return Status::InvalidArgument("CloneRebound requires a full binding");
+  }
+  if (column->size() != rows_indexed_) {
+    return Status::FailedPrecondition(
+        "clone target holds " + std::to_string(column->size()) +
+        " rows, index covers " + std::to_string(rows_indexed_));
+  }
+  auto clone = std::make_unique<EncodedBitmapIndex>(column, existence, io,
+                                                    options_);
+  // The mapping travels with the clone; a rebuild must not re-derive it.
+  clone->options_.strategy = EncodingStrategy::kCustom;
+  clone->mapping_ = mapping_;
+  clone->slices_ = slices_;
+  clone->stored_slices_ = stored_slices_;
+  clone->rows_indexed_ = rows_indexed_;
+  clone->built_ = true;
+  return std::unique_ptr<SecondaryIndex>(std::move(clone));
 }
 
 Status EncodedBitmapIndex::MarkDeleted(size_t row) {
@@ -210,6 +268,7 @@ Status EncodedBitmapIndex::MarkDeleted(size_t row) {
       std::vector<BitVector> plain = MaterializeSlices();
       WriteCodeTo(&plain, row, *mapping_.void_code());
       StoreSlices(std::move(plain));
+      CountSliceRewrite();
     }
   }
   // Without a void codeword the existence AND in evaluation masks the row.

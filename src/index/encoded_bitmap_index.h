@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -105,6 +106,22 @@ class EncodedBitmapIndex : public SecondaryIndex {
   Status Build() override;
   Status Append(size_t row) override;
 
+  /// Batched appends (Section 2.2, coalesced): resolves codewords for the
+  /// whole batch first — growing the code width at most as far as the
+  /// batch needs, in one mapping pass — then writes all bits in a single
+  /// slice pass. Compressed formats decompress and recompress the slice
+  /// set exactly once per batch (one ebi.index.slice_rewrites tick),
+  /// where per-row Append pays one full rewrite per row.
+  Status AppendBatch(size_t first_row, size_t count) override;
+
+  /// Copy-on-write clone for snapshot publication: copies the mapping and
+  /// the slice vectors as built, rebinding to `column`/`existence`/`io`
+  /// (which must hold exactly the rows this index has indexed). The
+  /// clone keeps the trained mapping — no re-encoding, no Build() pass.
+  Result<std::unique_ptr<SecondaryIndex>> CloneRebound(
+      const Column* column, const BitVector* existence,
+      IoAccountant* io) const override;
+
   /// Re-encodes a deleted row to the void codeword (Section 2.2's handling
   /// of deleted tuples). Call after Table::DeleteRow.
   Status MarkDeleted(size_t row) override;
@@ -178,8 +195,9 @@ class EncodedBitmapIndex : public SecondaryIndex {
   /// Writes codeword `code` into plain slices at row `row`.
   static void WriteCodeTo(std::vector<BitVector>* slices, size_t row,
                           uint64_t code);
-  /// Adds one all-zero slice (width growth, Figure 2(b) step 2).
-  void AddSlice();
+  /// Ticks ebi.index.slice_rewrites — one full decompress-modify-
+  /// recompress cycle of the compressed slice set.
+  static void CountSliceRewrite();
   Result<uint64_t> CodeForRow(size_t row) const;
 
   /// Number of slice vectors (whatever the physical format).

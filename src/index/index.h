@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,36 @@ class SecondaryIndex {
   /// Extends the index for row `row`, which was just appended to the
   /// column. Rows must be appended in order.
   virtual Status Append(size_t row) = 0;
+
+  /// Extends the index for rows [first_row, first_row + count), all
+  /// already appended to the column. The default loops Append; families
+  /// with an expensive per-append path (compressed slice rewrites, domain
+  /// expansion) override it to coalesce the whole batch into one rewrite
+  /// — the batched maintenance path of MaintenanceDriver::AppendRows.
+  virtual Status AppendBatch(size_t first_row, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      EBI_RETURN_IF_ERROR(Append(first_row + i));
+    }
+    return Status::OK();
+  }
+
+  /// Copy-on-write rebuild hook for snapshot publication (src/serve/):
+  /// returns a new index of the same family and configuration, bound to
+  /// (`column`, `existence`, `io`) — typically the cloned table of the
+  /// next snapshot — carrying over the already-built structure (mapping
+  /// tables, slice vectors) instead of re-running Build(). The bound
+  /// column must hold exactly the rows this index has indexed; append the
+  /// batch afterwards through AppendBatch. Families without an override
+  /// report Unimplemented and the serving layer falls back to a factory
+  /// rebuild.
+  virtual Result<std::unique_ptr<SecondaryIndex>> CloneRebound(
+      const Column* column, const BitVector* existence,
+      IoAccountant* io) const {
+    (void)column;
+    (void)existence;
+    (void)io;
+    return Status::Unimplemented(Name() + " has no copy-on-write clone");
+  }
 
   /// Rows with column == value.
   virtual Result<BitVector> EvaluateEquals(const Value& value) = 0;

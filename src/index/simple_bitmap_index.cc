@@ -55,6 +55,29 @@ Status SimpleBitmapIndex::Append(size_t row) {
   return Status::OK();
 }
 
+Result<std::unique_ptr<SecondaryIndex>> SimpleBitmapIndex::CloneRebound(
+    const Column* column, const BitVector* existence,
+    IoAccountant* io) const {
+  if (!built_) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (column == nullptr || existence == nullptr || io == nullptr) {
+    return Status::InvalidArgument("CloneRebound requires a full binding");
+  }
+  if (column->size() != rows_indexed_) {
+    return Status::FailedPrecondition(
+        "clone target holds " + std::to_string(column->size()) +
+        " rows, index covers " + std::to_string(rows_indexed_));
+  }
+  auto clone = std::make_unique<SimpleBitmapIndex>(column, existence, io,
+                                                   options_);
+  clone->vectors_ = vectors_;
+  clone->null_vector_ = null_vector_;
+  clone->rows_indexed_ = rows_indexed_;
+  clone->built_ = true;
+  return std::unique_ptr<SecondaryIndex>(std::move(clone));
+}
+
 BitVector SimpleBitmapIndex::ReadVector(ValueId id) {
   io_->ChargeVectorRead(vectors_[id].SizeBytes());
   return vectors_[id].ToBitVector();

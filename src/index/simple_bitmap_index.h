@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,12 @@ class SimpleBitmapIndex : public SecondaryIndex {
 
   Status Build() override;
   Status Append(size_t row) override;
+
+  /// Copy-on-write clone for snapshot publication: copies the per-value
+  /// vectors as built, rebinding to the target table's column/existence.
+  Result<std::unique_ptr<SecondaryIndex>> CloneRebound(
+      const Column* column, const BitVector* existence,
+      IoAccountant* io) const override;
 
   Result<BitVector> EvaluateEquals(const Value& value) override;
   Result<BitVector> EvaluateIn(const std::vector<Value>& values) override;

@@ -29,6 +29,22 @@ inline constexpr char kMetricStoreWritebacks[] = "ebi.store.writebacks";
 inline constexpr char kMetricReductionCount[] = "ebi.reduction.count";
 inline constexpr char kMetricReductionTermsIn[] = "ebi.reduction.terms_in";
 inline constexpr char kMetricReductionTermsOut[] = "ebi.reduction.terms_out";
+// Full slice-set rewrites of compressed encoded indexes (decompress-
+// modify-recompress cycles). The batched maintenance path exists to keep
+// this at one per batch instead of one per appended row.
+inline constexpr char kMetricIndexSliceRewrites[] =
+    "ebi.index.slice_rewrites";
+// Serving layer (src/serve, DESIGN.md §9).
+inline constexpr char kMetricServeSubmitted[] = "ebi.serve.submitted";
+inline constexpr char kMetricServeShed[] = "ebi.serve.shed";
+inline constexpr char kMetricServeDeadlineExceeded[] =
+    "ebi.serve.deadline_exceeded";
+inline constexpr char kMetricServeLatencyMs[] = "ebi.serve.latency_ms";
+inline constexpr char kMetricServeQueueMs[] = "ebi.serve.queue_ms";
+inline constexpr char kMetricServeQueueDepth[] = "ebi.serve.queue_depth";
+inline constexpr char kMetricServePublishes[] = "ebi.serve.publishes";
+inline constexpr char kMetricServeSnapshotsReclaimed[] =
+    "ebi.serve.snapshots_reclaimed";
 
 /// A monotonically increasing named counter. Thread-safe, lock-free.
 class Counter {

@@ -26,7 +26,7 @@ Result<SecondaryIndex*> IndexManager::CreateIndex(const std::string& column,
   SecondaryIndex* raw = entry.index.get();
   entries_.push_back(std::move(entry));
   planner_.RegisterIndex(column, raw);
-  maintenance_.AttachIndex(raw);
+  EBI_RETURN_IF_ERROR(maintenance_.AttachIndex(raw));
   return raw;
 }
 
@@ -66,7 +66,9 @@ void IndexManager::Rewire() {
   maintenance_.Clear();
   for (const Entry& entry : entries_) {
     planner_.RegisterIndex(entry.column, entry.index.get());
-    maintenance_.AttachIndex(entry.index.get());
+    // Entries are unique owning pointers, so re-attachment cannot see a
+    // null or duplicate index.
+    maintenance_.AttachIndex(entry.index.get()).IgnoreError();
   }
 }
 

@@ -53,6 +53,10 @@ class IndexManager {
   Status AppendRow(const std::vector<Value>& values) {
     return maintenance_.AppendRow(values);
   }
+  /// Batched append — one coalesced index extension per column.
+  Status AppendRows(const std::vector<std::vector<Value>>& rows) {
+    return maintenance_.AppendRows(rows);
+  }
   Status DeleteRow(size_t row) { return maintenance_.DeleteRow(row); }
 
   /// Planned conjunctive selection over all registered indexes.

@@ -2,6 +2,33 @@
 
 namespace ebi {
 
+Status MaintenanceDriver::AttachIndex(SecondaryIndex* index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("cannot attach a null index");
+  }
+  for (const SecondaryIndex* existing : indexes_) {
+    if (existing == index) {
+      return Status::AlreadyExists(
+          "index already attached; a second attachment would double-append "
+          "it on the next AppendRow");
+    }
+  }
+  indexes_.push_back(index);
+  return Status::OK();
+}
+
+Status MaintenanceDriver::AppendRows(
+    const std::vector<std::vector<Value>>& rows) {
+  const size_t first_row = table_->NumRows();
+  for (const std::vector<Value>& values : rows) {
+    EBI_RETURN_IF_ERROR(table_->AppendRow(values));
+  }
+  for (SecondaryIndex* index : indexes_) {
+    EBI_RETURN_IF_ERROR(index->AppendBatch(first_row, rows.size()));
+  }
+  return Status::OK();
+}
+
 Status MaintenanceDriver::AppendRow(const std::vector<Value>& values) {
   const size_t row = table_->NumRows();
   EBI_RETURN_IF_ERROR(table_->AppendRow(values));

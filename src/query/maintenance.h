@@ -18,7 +18,9 @@ class MaintenanceDriver {
   explicit MaintenanceDriver(Table* table) : table_(table) {}
 
   /// Attaches an index already built over one of the table's columns.
-  void AttachIndex(SecondaryIndex* index) { indexes_.push_back(index); }
+  /// Null pointers are rejected, as are duplicates — attaching the same
+  /// index twice would silently double-append it on the next AppendRow.
+  [[nodiscard]] Status AttachIndex(SecondaryIndex* index);
 
   /// Detaches everything (e.g. before re-wiring after an index drop).
   void Clear() { indexes_.clear(); }
@@ -27,6 +29,14 @@ class MaintenanceDriver {
   /// on columns gaining a new distinct value go through their
   /// domain-expansion path transparently.
   [[nodiscard]] Status AppendRow(const std::vector<Value>& values);
+
+  /// Batched append: all rows go into the table first, then every index
+  /// extends once over the whole span via SecondaryIndex::AppendBatch —
+  /// so domain expansions coalesce per column into one slice rewrite
+  /// instead of one per new value. The serving layer's AppendPipeline
+  /// publishes through this path.
+  [[nodiscard]] Status AppendRows(
+      const std::vector<std::vector<Value>>& rows);
 
   /// Logically deletes a row and propagates to the indexes.
   [[nodiscard]] Status DeleteRow(size_t row);

@@ -1,0 +1,378 @@
+#include "serve/query_service.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "storage/column.h"
+
+namespace ebi {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// Registry lookups are mutex-guarded; cache the stable pointers.
+obs::Counter* SubmittedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricServeSubmitted);
+  return counter;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricServeShed);
+  return counter;
+}
+
+obs::Counter* DeadlineCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricServeDeadlineExceeded);
+  return counter;
+}
+
+obs::Counter* PublishCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricServePublishes);
+  return counter;
+}
+
+obs::Counter* ReclaimedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricServeSnapshotsReclaimed);
+  return counter;
+}
+
+obs::Histogram* LatencyHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kMetricServeLatencyMs);
+  return histogram;
+}
+
+obs::Histogram* QueueHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kMetricServeQueueMs);
+  return histogram;
+}
+
+obs::Histogram* QueueDepthHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kMetricServeQueueDepth);
+  return histogram;
+}
+
+}  // namespace
+
+Result<ServeResult> ServeTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return outcome_.has_value(); });
+  return *outcome_;
+}
+
+void ServeTicket::Complete(Result<ServeResult> outcome) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    outcome_ = std::move(outcome);
+  }
+  cv_.notify_all();
+}
+
+QueryService::QueryService(const ServeOptions& options)
+    : options_(options),
+      snapshots_(options.reader_slots),
+      pool_(options.worker_threads) {}
+
+QueryService::~QueryService() { Shutdown().IgnoreError(); }
+
+Status QueryService::Start(std::unique_ptr<Table> table,
+                           std::vector<IndexSpec> specs) {
+  bool expected = false;
+  if (!start_guard_.compare_exchange_strong(expected, true,
+                                            std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("service already started");
+  }
+  SnapshotOptions snapshot_options;
+  snapshot_options.segment_rows = options_.segment_rows;
+  snapshot_options.shard_pool = options_.shard_pool;
+  Result<std::unique_ptr<DatabaseSnapshot>> snapshot = DatabaseSnapshot::Create(
+      std::move(table), std::move(specs), /*epoch=*/0, snapshot_options);
+  if (!snapshot.ok()) {
+    start_guard_.store(false, std::memory_order_seq_cst);
+    return snapshot.status();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(published_mu_);
+    published_row_counts_.assign(1, snapshot.value()->NumRows());
+  }
+  snapshots_.Publish(std::move(snapshot).value());
+  started_.store(true, std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<ServeTicket>> QueryService::Submit(
+    std::vector<Predicate> predicates, const RequestOptions& options) {
+  if (!started_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("service not started");
+  }
+  // Count ourselves in-flight *before* checking the drain flag: Shutdown
+  // sets the flag and then waits for in_flight_ to hit zero, so either it
+  // sees our increment and waits for us, or we see the flag and back out.
+  const size_t admitted =
+      in_flight_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (draining_.load(std::memory_order_seq_cst)) {
+    FinishRequest();
+    return Status::FailedPrecondition("service is draining; request rejected");
+  }
+  SubmittedCounter()->Increment();
+  if (admitted > options_.queue_depth) {
+    FinishRequest();
+    ShedCounter()->Increment();
+    return Status::Overloaded("queue depth " +
+                              std::to_string(options_.queue_depth) +
+                              " reached; request shed");
+  }
+  QueueDepthHistogram()->Observe(static_cast<double>(admitted));
+
+  const Clock::time_point submitted = Clock::now();
+  std::optional<Clock::time_point> deadline;
+  const bool has_deadline =
+      options.deadline_ms.has_value() || options_.default_deadline_ms > 0;
+  if (has_deadline) {
+    const double limit_ms = options.deadline_ms.has_value()
+                                ? *options.deadline_ms
+                                : options_.default_deadline_ms;
+    deadline = submitted + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   limit_ms));
+  }
+
+  auto ticket = std::make_shared<ServeTicket>();
+  pool_.Submit([this, ticket, predicates = std::move(predicates),
+                trace = options.trace, submitted, deadline]() mutable {
+    RunRequest(ticket, std::move(predicates), trace, submitted, deadline);
+  });
+  return ticket;
+}
+
+Result<ServeResult> QueryService::Select(
+    const std::vector<Predicate>& predicates, const RequestOptions& options) {
+  EBI_ASSIGN_OR_RETURN(std::shared_ptr<ServeTicket> ticket,
+                       Submit(predicates, options));
+  return ticket->Wait();
+}
+
+void QueryService::RunRequest(
+    std::shared_ptr<ServeTicket> ticket, std::vector<Predicate> predicates,
+    obs::QueryTrace* trace, Clock::time_point submitted,
+    std::optional<Clock::time_point> deadline) {
+  const Clock::time_point start = Clock::now();
+  const double queue_ms = MsBetween(submitted, start);
+  QueueHistogram()->Observe(queue_ms);
+
+  Result<ServeResult> outcome = [&]() -> Result<ServeResult> {
+    if (deadline.has_value() && start >= *deadline) {
+      DeadlineCounter()->Increment();
+      return Status::DeadlineExceeded(
+          "request spent " + std::to_string(queue_ms) +
+          " ms queued, past its deadline");
+    }
+    SnapshotManager::Pin pin = snapshots_.Acquire();
+    if (!pin) {
+      return Status::FailedPrecondition("no snapshot published");
+    }
+    obs::TraceScope scope(trace);
+    obs::ScopedSpan span("serve.request");
+    span.Attr("epoch", pin->epoch());
+    span.Attr("queue_ms", queue_ms);
+    SelectionExecutor executor = pin->MakeExecutor();
+    Result<SelectionResult> selected = executor.Select(predicates);
+    if (!selected.ok()) {
+      return selected.status();
+    }
+    ServeResult result;
+    result.selection = std::move(selected).value();
+    result.epoch = pin->epoch();
+    result.queue_ms = queue_ms;
+    result.run_ms = MsBetween(start, Clock::now());
+    span.Attr("rows", result.selection.count);
+    return result;
+  }();
+
+  LatencyHistogram()->Observe(MsBetween(submitted, Clock::now()));
+  ticket->Complete(std::move(outcome));
+  FinishRequest();
+}
+
+void QueryService::FinishRequest() {
+  if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    const std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+Status QueryService::ValidateRows(
+    const Table& table, const std::vector<std::vector<Value>>& rows) {
+  for (const std::vector<Value>& values : rows) {
+    if (values.size() != table.NumColumns()) {
+      return Status::InvalidArgument(
+          "row arity " + std::to_string(values.size()) + " != " +
+          std::to_string(table.NumColumns()) + " columns");
+    }
+    for (size_t i = 0; i < values.size(); ++i) {
+      const Value& v = values[i];
+      if (v.is_null()) {
+        continue;
+      }
+      const Column::Type type = table.column(i).type();
+      const bool matches =
+          (type == Column::Type::kInt64 && v.kind == Value::Kind::kInt64) ||
+          (type == Column::Type::kString && v.kind == Value::Kind::kString);
+      if (!matches) {
+        return Status::InvalidArgument("type mismatch in column " +
+                                       table.column(i).name());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> QueryService::Append(std::vector<std::vector<Value>> rows) {
+  if (!started_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("service not started");
+  }
+  if (rows.empty()) {
+    return CurrentEpoch();
+  }
+  {
+    // Validate against the immutable schema up front, so a malformed
+    // batch is rejected here and cannot fail the combined publish that
+    // other callers' batches ride on.
+    SnapshotManager::Pin pin = snapshots_.Acquire();
+    if (!pin) {
+      return Status::FailedPrecondition("no snapshot published");
+    }
+    EBI_RETURN_IF_ERROR(ValidateRows(pin->table(), rows));
+  }
+
+  std::unique_lock<std::mutex> lock(append_mu_);
+  if (draining_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("service is draining; append rejected");
+  }
+  const uint64_t ticket = ++next_append_ticket_;
+  StagedAppend staged;
+  staged.rows = std::move(rows);
+  staged.ticket = ticket;
+  staged_.push_back(std::move(staged));
+
+  if (!writer_active_) {
+    // Become the combining writer: drain everything staged (our batch
+    // included, possibly others'), publish, and hand out outcomes.
+    writer_active_ = true;
+    RunCombiner(lock);
+  } else {
+    append_cv_.wait(lock, [&] {
+      return append_outcomes_.find(ticket) != append_outcomes_.end();
+    });
+  }
+
+  const auto it = append_outcomes_.find(ticket);
+  AppendOutcome outcome = it->second;
+  append_outcomes_.erase(it);
+  if (!outcome.status.ok()) {
+    return outcome.status;
+  }
+  return outcome.epoch;
+}
+
+void QueryService::RunCombiner(std::unique_lock<std::mutex>& lock) {
+  while (!staged_.empty()) {
+    std::vector<StagedAppend> batch;
+    batch.swap(staged_);
+    lock.unlock();
+
+    SnapshotManager::Pin pin = snapshots_.Acquire();
+    const uint64_t next_epoch = pin->epoch() + 1;
+    size_t total = 0;
+    for (const StagedAppend& staged : batch) {
+      total += staged.rows.size();
+    }
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(total);
+    for (StagedAppend& staged : batch) {
+      for (std::vector<Value>& row : staged.rows) {
+        rows.push_back(std::move(row));
+      }
+    }
+
+    Result<std::unique_ptr<DatabaseSnapshot>> next =
+        pin->CloneWithRows(rows, next_epoch);
+    const Status status = next.ok() ? Status::OK() : next.status();
+    if (status.ok()) {
+      {
+        const std::lock_guard<std::mutex> plock(published_mu_);
+        if (published_row_counts_.size() <= next_epoch) {
+          published_row_counts_.resize(next_epoch + 1, 0);
+        }
+        published_row_counts_[next_epoch] = next.value()->NumRows();
+      }
+      snapshots_.Publish(std::move(next).value());
+      PublishCounter()->Increment();
+      // Forward newly observed reclaims to the monotonic counter (only
+      // the combiner updates the cursor, so the delta is exact).
+      const uint64_t reclaimed = snapshots_.ReclaimedCount();
+      const uint64_t reported =
+          reclaim_reported_.exchange(reclaimed, std::memory_order_seq_cst);
+      if (reclaimed > reported) {
+        ReclaimedCounter()->Increment(reclaimed - reported);
+      }
+    }
+    pin.Release();
+
+    lock.lock();
+    for (const StagedAppend& staged : batch) {
+      AppendOutcome outcome;
+      outcome.epoch = status.ok() ? next_epoch : 0;
+      outcome.status = status;
+      append_outcomes_[staged.ticket] = outcome;
+    }
+    append_cv_.notify_all();
+  }
+  writer_active_ = false;
+  append_cv_.notify_all();
+}
+
+Status QueryService::Shutdown() {
+  draining_.store(true, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(append_mu_);
+    append_cv_.wait(lock, [&] { return !writer_active_ && staged_.empty(); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [&] {
+      return in_flight_.load(std::memory_order_seq_cst) == 0;
+    });
+  }
+  // Quiescent now: sweep any retirees a contended unpin left behind and
+  // bring the reclaim counter up to date.
+  snapshots_.Reclaim();
+  const uint64_t reclaimed = snapshots_.ReclaimedCount();
+  const uint64_t reported =
+      reclaim_reported_.exchange(reclaimed, std::memory_order_seq_cst);
+  if (reclaimed > reported) {
+    ReclaimedCounter()->Increment(reclaimed - reported);
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> QueryService::PublishedRowCounts() const {
+  const std::lock_guard<std::mutex> lock(published_mu_);
+  return published_row_counts_;
+}
+
+}  // namespace serve
+}  // namespace ebi

@@ -1,0 +1,204 @@
+#ifndef EBI_SERVE_QUERY_SERVICE_H_
+#define EBI_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+#include "query/executor.h"
+#include "query/predicate.h"
+#include "serve/snapshot.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace ebi {
+namespace serve {
+
+/// Service-wide knobs, fixed at construction.
+struct ServeOptions {
+  /// Workers in the service-owned request pool.
+  size_t worker_threads = 2;
+  /// Admission bound: selections queued or running. One past this and
+  /// Submit sheds with kOverloaded instead of queueing.
+  size_t queue_depth = 64;
+  /// Deadline applied to requests that do not carry their own; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Concurrent-reader capacity of the snapshot manager. Keep at least
+  /// queue_depth + appenders; Acquire spins when all slots are claimed.
+  size_t reader_slots = SnapshotManager::kDefaultReaderSlots;
+  /// Forwarded to SnapshotOptions: > 0 serves through sharded snapshots.
+  size_t segment_rows = 0;
+  /// Pool sharded evaluation fans out on. Must be a different pool from
+  /// the service's own (requests run on pool workers, and a nested
+  /// ParallelFor on the running pool deadlocks); required iff
+  /// segment_rows > 0.
+  exec::ThreadPool* shard_pool = nullptr;
+};
+
+/// Per-request knobs.
+struct RequestOptions {
+  /// Deadline measured from submission. Unset: the service default
+  /// applies. <= 0: already expired (tests use 0 for a deterministic
+  /// kDeadlineExceeded). The deadline is checked when a worker picks the
+  /// request up — a request that started in time is never cancelled
+  /// mid-query.
+  std::optional<double> deadline_ms;
+  /// When set, the request's serve.request span tree is recorded here
+  /// (the EXPLAIN path through the service).
+  obs::QueryTrace* trace = nullptr;
+};
+
+/// What a completed selection hands back.
+struct ServeResult {
+  SelectionResult selection;
+  /// Epoch of the snapshot the query ran against.
+  uint64_t epoch = 0;
+  /// Time spent queued before a worker picked the request up.
+  double queue_ms = 0.0;
+  /// Time spent executing.
+  double run_ms = 0.0;
+};
+
+/// Async completion handle for one submitted request. Wait() blocks until
+/// the worker finishes (or the request is shed post-admission) and may be
+/// called repeatedly; the outcome is retained.
+class ServeTicket {
+ public:
+  Result<ServeResult> Wait();
+
+ private:
+  friend class QueryService;
+  void Complete(Result<ServeResult> outcome);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Result<ServeResult>> outcome_;
+};
+
+/// Concurrent query service over one table: multiplexes selections across
+/// a thread pool, isolates every request on a pinned immutable snapshot,
+/// and funnels appends through a single-writer combining pipeline that
+/// publishes new snapshots copy-on-write (DESIGN.md §9).
+///
+/// Readers never block on the writer and the writer never blocks on
+/// readers: a publish swaps one pointer, and superseded snapshots are
+/// reclaimed by epoch once their last pin drops.
+class QueryService {
+ public:
+  explicit QueryService(const ServeOptions& options = ServeOptions());
+  /// Drains in-flight work (Shutdown) before tearing down.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Takes ownership of `table`, builds the serving indexes and publishes
+  /// the initial snapshot at epoch 0. Must be called (once) before any
+  /// Submit/Append.
+  Status Start(std::unique_ptr<Table> table, std::vector<IndexSpec> specs);
+
+  /// Admits a conjunctive selection. Sheds with kOverloaded when the
+  /// queue is full, kFailedPrecondition before Start or while draining.
+  /// The returned ticket resolves to the result, kDeadlineExceeded, or
+  /// the executor's error.
+  Result<std::shared_ptr<ServeTicket>> Submit(
+      std::vector<Predicate> predicates,
+      const RequestOptions& options = RequestOptions());
+
+  /// Submit + Wait. Blocks the calling thread, not a pool worker.
+  Result<ServeResult> Select(
+      const std::vector<Predicate>& predicates,
+      const RequestOptions& options = RequestOptions());
+
+  /// Appends `rows` atomically and returns the epoch whose snapshot first
+  /// contains them. Blocks until published. Concurrent appenders combine:
+  /// one caller becomes the writer, applies every staged batch onto one
+  /// table clone and publishes once. Rows are validated against the
+  /// schema up front so one bad batch cannot poison the others.
+  Result<uint64_t> Append(std::vector<std::vector<Value>> rows);
+
+  /// Stops admission and blocks until every admitted request completed
+  /// and every staged append published. Idempotent; also run by the
+  /// destructor.
+  Status Shutdown();
+
+  /// Epoch of the currently published snapshot.
+  uint64_t CurrentEpoch() const { return snapshots_.CurrentEpoch(); }
+  /// Row count of each published epoch, indexed by epoch — the ground
+  /// truth stress tests check reader-visible counts against.
+  std::vector<size_t> PublishedRowCounts() const;
+  /// Selections admitted but not yet completed.
+  size_t InFlight() const {
+    return in_flight_.load(std::memory_order_seq_cst);
+  }
+  /// Direct access for tests (pinning across publishes, reclaim counts).
+  SnapshotManager& snapshots() { return snapshots_; }
+
+ private:
+  struct StagedAppend {
+    std::vector<std::vector<Value>> rows;
+    uint64_t ticket = 0;
+  };
+  struct AppendOutcome {
+    uint64_t epoch = 0;
+    Status status = Status::OK();
+  };
+
+  void RunRequest(std::shared_ptr<ServeTicket> ticket,
+                  std::vector<Predicate> predicates, obs::QueryTrace* trace,
+                  std::chrono::steady_clock::time_point submitted,
+                  std::optional<std::chrono::steady_clock::time_point>
+                      deadline);
+  /// Decrements in_flight_ and wakes Shutdown at zero.
+  void FinishRequest();
+  /// Arity/type check against the (immutable) schema of `table`.
+  static Status ValidateRows(const Table& table,
+                             const std::vector<std::vector<Value>>& rows);
+  /// Drains staged_ as the combining writer. Called with append_mu_ held;
+  /// releases it while cloning/publishing and reacquires before returning.
+  void RunCombiner(std::unique_lock<std::mutex>& lock);
+
+  const ServeOptions options_;
+  SnapshotManager snapshots_;
+  /// Claimed by the first Start call; started_ flips only once the
+  /// initial snapshot is published.
+  std::atomic<bool> start_guard_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  /// Reclaims already forwarded to the snapshots-reclaimed counter.
+  std::atomic<uint64_t> reclaim_reported_{0};
+
+  std::atomic<size_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  // Append pipeline state, all under append_mu_.
+  std::mutex append_mu_;
+  std::condition_variable append_cv_;
+  std::vector<StagedAppend> staged_;
+  uint64_t next_append_ticket_ = 0;
+  bool writer_active_ = false;
+  std::unordered_map<uint64_t, AppendOutcome> append_outcomes_;
+
+  mutable std::mutex published_mu_;
+  std::vector<size_t> published_row_counts_;
+
+  /// Last member: destroyed first, so tasks still draining during
+  /// destruction see every other member alive.
+  exec::ThreadPool pool_;
+};
+
+}  // namespace serve
+}  // namespace ebi
+
+#endif  // EBI_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,287 @@
+#include "serve/snapshot.h"
+
+#include <thread>
+
+#include "index/sharded_index.h"
+#include "query/maintenance.h"
+
+namespace ebi {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// DatabaseSnapshot
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<DatabaseSnapshot>> DatabaseSnapshot::Create(
+    std::unique_ptr<Table> table, std::vector<IndexSpec> specs,
+    uint64_t epoch, const SnapshotOptions& options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("snapshot needs a table");
+  }
+  if (options.segment_rows > 0 && options.shard_pool == nullptr) {
+    return Status::InvalidArgument(
+        "sharded snapshots (segment_rows > 0) need a shard_pool");
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (size_t j = i + 1; j < specs.size(); ++j) {
+      if (specs[i].column == specs[j].column) {
+        return Status::InvalidArgument(
+            "duplicate serving index on column " + specs[i].column +
+            "; the executor answers each column through one index");
+      }
+    }
+  }
+
+  auto snapshot = std::make_unique<DatabaseSnapshot>(Passkey());
+  snapshot->epoch_ = epoch;
+  snapshot->options_ = options;
+  snapshot->specs_ = std::move(specs);
+  snapshot->io_ = std::make_unique<IoAccountant>();
+  snapshot->table_ = std::move(table);
+
+  if (options.segment_rows > 0) {
+    EBI_ASSIGN_OR_RETURN(
+        SegmentedTable segments,
+        SegmentedTable::Partition(*snapshot->table_, options.segment_rows));
+    snapshot->segments_ =
+        std::make_unique<SegmentedTable>(std::move(segments));
+  }
+
+  const Table& built = *snapshot->table_;
+  for (const IndexSpec& spec : snapshot->specs_) {
+    EBI_ASSIGN_OR_RETURN(const Column* column, built.FindColumn(spec.column));
+    Entry entry;
+    entry.spec = spec;
+    if (snapshot->segments_ != nullptr) {
+      entry.index = std::make_unique<ShardedIndex>(
+          snapshot->segments_.get(), column, &built.existence(), spec.kind,
+          options.shard_pool, snapshot->io_.get());
+    } else {
+      entry.index = MakeSecondaryIndex(spec.kind, column, &built.existence(),
+                                       snapshot->io_.get());
+      if (entry.index == nullptr) {
+        return Status::Internal("unknown index kind in serving spec");
+      }
+    }
+    EBI_RETURN_IF_ERROR(entry.index->Build());
+    snapshot->entries_.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+Result<std::unique_ptr<DatabaseSnapshot>> DatabaseSnapshot::CloneWithRows(
+    const std::vector<std::vector<Value>>& rows, uint64_t epoch) const {
+  auto table = std::make_unique<Table>(table_->Clone());
+
+  if (segments_ != nullptr) {
+    // Sharded indexes snapshot their partition, so the successor
+    // re-partitions and rebuilds instead of extending copies.
+    for (const std::vector<Value>& values : rows) {
+      EBI_RETURN_IF_ERROR(table->AppendRow(values));
+    }
+    return Create(std::move(table), specs_, epoch, options_);
+  }
+
+  auto snapshot = std::make_unique<DatabaseSnapshot>(Passkey());
+  snapshot->epoch_ = epoch;
+  snapshot->options_ = options_;
+  snapshot->specs_ = specs_;
+  snapshot->io_ = std::make_unique<IoAccountant>(io_->page_size());
+  snapshot->table_ = std::move(table);
+
+  // Clone the indexes before the table grows: a clone must cover exactly
+  // the rows its source indexed, and the batched append then extends the
+  // copies in lockstep with the table. Families without copy-on-write
+  // support are rebuilt from scratch after the append instead.
+  MaintenanceDriver driver(snapshot->table_.get());
+  std::vector<IndexSpec> rebuild;
+  for (const Entry& entry : entries_) {
+    EBI_ASSIGN_OR_RETURN(const Column* column,
+                         static_cast<const Table&>(*snapshot->table_)
+                             .FindColumn(entry.spec.column));
+    Result<std::unique_ptr<SecondaryIndex>> cloned = entry.index->CloneRebound(
+        column, &snapshot->table_->existence(), snapshot->io_.get());
+    if (cloned.ok()) {
+      Entry copy;
+      copy.spec = entry.spec;
+      copy.index = std::move(*cloned);
+      EBI_RETURN_IF_ERROR(driver.AttachIndex(copy.index.get()));
+      snapshot->entries_.push_back(std::move(copy));
+    } else if (cloned.status().code() == StatusCode::kUnimplemented) {
+      rebuild.push_back(entry.spec);
+    } else {
+      return cloned.status();
+    }
+  }
+
+  EBI_RETURN_IF_ERROR(driver.AppendRows(rows));
+
+  const Table& grown = *snapshot->table_;
+  for (const IndexSpec& spec : rebuild) {
+    EBI_ASSIGN_OR_RETURN(const Column* column, grown.FindColumn(spec.column));
+    Entry entry;
+    entry.spec = spec;
+    entry.index = MakeSecondaryIndex(spec.kind, column, &grown.existence(),
+                                     snapshot->io_.get());
+    if (entry.index == nullptr) {
+      return Status::Internal("unknown index kind in serving spec");
+    }
+    EBI_RETURN_IF_ERROR(entry.index->Build());
+    snapshot->entries_.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+SecondaryIndex* DatabaseSnapshot::index(const std::string& column) const {
+  for (const Entry& entry : entries_) {
+    if (entry.spec.column == column) {
+      return entry.index.get();
+    }
+  }
+  return nullptr;
+}
+
+SelectionExecutor DatabaseSnapshot::MakeExecutor() const {
+  SelectionExecutor executor(table_.get(), io_.get());
+  for (const Entry& entry : entries_) {
+    executor.RegisterIndex(entry.spec.column, entry.index.get());
+  }
+  return executor;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotManager
+// ---------------------------------------------------------------------------
+
+SnapshotManager::SnapshotManager(size_t reader_slots)
+    : slots_(reader_slots == 0 ? 1 : reader_slots) {}
+
+SnapshotManager::~SnapshotManager() = default;
+
+SnapshotManager::Pin& SnapshotManager::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    slot_ = other.slot_;
+    snapshot_ = other.snapshot_;
+    other.manager_ = nullptr;
+    other.snapshot_ = nullptr;
+  }
+  return *this;
+}
+
+void SnapshotManager::Pin::Release() {
+  if (manager_ != nullptr) {
+    manager_->ReleaseSlot(slot_);
+    manager_ = nullptr;
+    snapshot_ = nullptr;
+  }
+}
+
+void SnapshotManager::Publish(std::unique_ptr<DatabaseSnapshot> snapshot) {
+  const std::lock_guard<std::mutex> lock(retire_mu_);
+  const DatabaseSnapshot* next = snapshot.get();
+  std::unique_ptr<DatabaseSnapshot> old = std::move(current_owner_);
+  current_owner_ = std::move(snapshot);
+  current_.store(next, std::memory_order_seq_cst);
+  // Order matters: the pointer swap precedes the epoch bump, so a reader
+  // announcing an epoch below the retirement epoch read the global value
+  // before this publish — exactly the readers that may still load `old`.
+  const uint64_t retire_epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (old != nullptr) {
+    retired_.emplace_back(std::move(old), retire_epoch);
+  }
+  ReclaimLocked();
+}
+
+SnapshotManager::Pin SnapshotManager::Acquire() {
+  const size_t n = slots_.size();
+  size_t slot = 0;
+  for (size_t attempt = 0;; ++attempt) {
+    const size_t i = attempt % n;
+    bool expected = false;
+    if (slots_[i].in_use.compare_exchange_strong(
+            expected, true, std::memory_order_seq_cst)) {
+      slot = i;
+      break;
+    }
+    if (i == n - 1) {
+      std::this_thread::yield();
+    }
+  }
+  // Announce before loading the pointer. seq_cst gives one total order
+  // over {this store, this load, the writer's swap, the writer's slot
+  // scan}: if the writer's scan missed this announcement, the scan (and
+  // hence the swap before it) precedes it, so the load below is ordered
+  // after the swap and returns the *new* snapshot — never the retiree.
+  slots_[slot].epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                           std::memory_order_seq_cst);
+  const DatabaseSnapshot* snapshot =
+      current_.load(std::memory_order_seq_cst);
+  if (snapshot == nullptr) {
+    ReleaseSlot(slot);
+    return Pin();
+  }
+  return Pin(this, slot, snapshot);
+}
+
+void SnapshotManager::Reclaim() {
+  const std::lock_guard<std::mutex> lock(retire_mu_);
+  ReclaimLocked();
+}
+
+uint64_t SnapshotManager::CurrentEpoch() const {
+  const std::lock_guard<std::mutex> lock(retire_mu_);
+  return current_owner_ == nullptr ? 0 : current_owner_->epoch();
+}
+
+size_t SnapshotManager::RetiredCount() const {
+  const std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+void SnapshotManager::ReleaseSlot(size_t slot) {
+  slots_[slot].epoch.store(kQuiescent, std::memory_order_seq_cst);
+  slots_[slot].in_use.store(false, std::memory_order_seq_cst);
+  // Opportunistically reclaim so a pin that outlived several publishes
+  // frees its snapshot now rather than at the next publish. try_lock
+  // keeps the unpin path from ever blocking on the writer.
+  std::unique_lock<std::mutex> lock(retire_mu_, std::try_to_lock);
+  if (lock.owns_lock()) {
+    ReclaimLocked();
+  }
+}
+
+void SnapshotManager::ReclaimLocked() {
+  if (retired_.empty()) {
+    return;
+  }
+  uint64_t min_active = kQuiescent;
+  for (const Slot& slot : slots_) {
+    if (!slot.in_use.load(std::memory_order_seq_cst)) {
+      continue;
+    }
+    const uint64_t epoch = slot.epoch.load(std::memory_order_seq_cst);
+    if (epoch < min_active) {
+      min_active = epoch;
+    }
+  }
+  // A retiree is unreachable once every in-use slot announced an epoch at
+  // or past its retirement epoch: any reader that could still hold it
+  // announced a smaller one before the retiring publish. A slot still at
+  // kQuiescent never blocks — its pointer load is ordered after our swap.
+  size_t kept = 0;
+  for (auto& entry : retired_) {
+    if (entry.second <= min_active) {
+      entry.first.reset();
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      retired_[kept++] = std::move(entry);
+    }
+  }
+  retired_.resize(kept);
+}
+
+}  // namespace serve
+}  // namespace ebi

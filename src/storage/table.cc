@@ -56,6 +56,17 @@ Status Table::DeleteRow(size_t row) {
   return Status::OK();
 }
 
+Table Table::Clone() const {
+  Table copy(name_);
+  copy.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    copy.columns_.push_back(std::make_unique<Column>(*c));
+  }
+  copy.num_rows_ = num_rows_;
+  copy.existence_ = existence_;
+  return copy;
+}
+
 Result<const Column*> Table::FindColumn(const std::string& name) const {
   for (const auto& c : columns_) {
     if (c->name() == name) {

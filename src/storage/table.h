@@ -55,6 +55,12 @@ class Table {
   /// Index of a column by name, or NotFound.
   Result<size_t> ColumnIndex(const std::string& name) const;
 
+  /// Deep copy: columns (rows, dictionaries), existence bitmap and row
+  /// count. The copy shares nothing with the source — the serving layer
+  /// clones the current snapshot's table before applying an append batch
+  /// so published snapshots stay immutable (DESIGN.md §9).
+  [[nodiscard]] Table Clone() const;
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Column>> columns_;

@@ -20,6 +20,11 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  /// The serving layer's admission controller shed the request (queue at
+  /// capacity). Retryable by the client after backoff.
+  kOverloaded = 8,
+  /// The request's deadline passed before (or while) it ran.
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a short stable name for `code`, e.g. "InvalidArgument".
@@ -65,6 +70,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

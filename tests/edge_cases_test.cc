@@ -94,7 +94,7 @@ TEST(EdgeCasesTest, AllRowsDeleted) {
   EncodedBitmapIndex index(&table->column(0), &table->existence(), &io);
   ASSERT_TRUE(index.Build().ok());
   MaintenanceDriver driver(table.get());
-  driver.AttachIndex(&index);
+  ASSERT_TRUE(driver.AttachIndex(&index).ok());
   for (size_t r = 0; r < 3; ++r) {
     ASSERT_TRUE(driver.DeleteRow(r).ok());
   }

@@ -72,9 +72,9 @@ TEST_P(CrossIndexAgreementTest, AgreementSurvivesAppendsAndDeletes) {
   ASSERT_TRUE(btree.Build().ok());
 
   MaintenanceDriver driver(table.get());
-  driver.AttachIndex(&simple);
-  driver.AttachIndex(&encoded);
-  driver.AttachIndex(&btree);
+  ASSERT_TRUE(driver.AttachIndex(&simple).ok());
+  ASSERT_TRUE(driver.AttachIndex(&encoded).ok());
+  ASSERT_TRUE(driver.AttachIndex(&btree).ok());
 
   Rng rng(seed + 77);
   for (int step = 0; step < 60; ++step) {

@@ -1,0 +1,325 @@
+#include "serve/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "index/encoded_bitmap_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/executor.h"
+#include "test_util.h"
+
+namespace ebi {
+namespace serve {
+namespace {
+
+using testing_util::ScanEquals;
+using testing_util::ScanRange;
+
+/// Deterministic two-column table: a = i % 5, b = i % 3.
+std::unique_ptr<Table> TwoColumnTable(size_t rows) {
+  auto table = std::make_unique<Table>("serve");
+  EXPECT_TRUE(table->AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_TRUE(table->AddColumn("b", Column::Type::kInt64).ok());
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(table
+                    ->AppendRow({Value::Int(static_cast<int64_t>(i % 5)),
+                                 Value::Int(static_cast<int64_t>(i % 3))})
+                    .ok());
+  }
+  return table;
+}
+
+std::vector<IndexSpec> BothColumns() {
+  return {{"a", IndexKind::kEncodedBitmap}, {"b", IndexKind::kSimpleBitmap}};
+}
+
+TEST(QueryServiceTest, ResultsIdenticalToSerialExecutor) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(64), BothColumns()).ok());
+
+  // The reference: a plain serial executor over an identical table.
+  std::unique_ptr<Table> reference = TwoColumnTable(64);
+  IoAccountant io;
+  EncodedBitmapIndex index_a(&reference->column(0), &reference->existence(),
+                             &io);
+  EncodedBitmapIndex index_b(&reference->column(1), &reference->existence(),
+                             &io);
+  ASSERT_TRUE(index_a.Build().ok());
+  ASSERT_TRUE(index_b.Build().ok());
+  SelectionExecutor serial(reference.get(), &io);
+  serial.RegisterIndex("a", &index_a);
+  serial.RegisterIndex("b", &index_b);
+
+  const std::vector<std::vector<Predicate>> queries = {
+      {Predicate::Eq("a", Value::Int(3))},
+      {Predicate::Between("a", 1, 3)},
+      {Predicate::Eq("a", Value::Int(2)), Predicate::Eq("b", Value::Int(1))},
+      {Predicate::In("a", {Value::Int(0), Value::Int(4)})},
+  };
+  for (const auto& predicates : queries) {
+    const Result<ServeResult> served = service.Select(predicates);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served.value().epoch, 0u);
+    const Result<SelectionResult> expected = serial.Select(predicates);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(served.value().selection.rows, expected.value().rows);
+    EXPECT_EQ(served.value().selection.count, expected.value().count);
+  }
+}
+
+TEST(QueryServiceTest, ZeroDeadlineIsDeterministicallyExceeded) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(16), BothColumns()).ok());
+  obs::Counter* exceeded = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricServeDeadlineExceeded);
+  const uint64_t before = exceeded->Value();
+
+  RequestOptions options;
+  options.deadline_ms = 0.0;  // Expired by the time a worker picks it up.
+  const Result<ServeResult> result =
+      service.Select({Predicate::Eq("a", Value::Int(1))}, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(exceeded->Value(), before + 1);
+}
+
+TEST(QueryServiceTest, ZeroQueueDepthShedsEveryRequest) {
+  ServeOptions options;
+  options.queue_depth = 0;
+  QueryService service(options);
+  ASSERT_TRUE(service.Start(TwoColumnTable(16), BothColumns()).ok());
+  obs::Counter* shed =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricServeShed);
+  const uint64_t before = shed->Value();
+
+  const Result<ServeResult> result =
+      service.Select({Predicate::Eq("a", Value::Int(1))});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+  EXPECT_GE(shed->Value(), before + 1);
+  EXPECT_EQ(service.InFlight(), 0u);
+}
+
+TEST(QueryServiceTest, AppendPublishesNewEpochVisibleToLaterQueries) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(6), BothColumns()).ok());
+  EXPECT_EQ(service.CurrentEpoch(), 0u);
+
+  // Two new rows, one with a brand-new value for `a` (domain expansion).
+  const Result<uint64_t> epoch =
+      service.Append({{Value::Int(2), Value::Int(0)},
+                      {Value::Int(77), Value::Int(1)}});
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 1u);
+  EXPECT_EQ(service.CurrentEpoch(), 1u);
+
+  const std::vector<size_t> published = service.PublishedRowCounts();
+  ASSERT_EQ(published.size(), 2u);
+  EXPECT_EQ(published[0], 6u);
+  EXPECT_EQ(published[1], 8u);
+
+  const Result<ServeResult> fresh =
+      service.Select({Predicate::Eq("a", Value::Int(77))});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().epoch, 1u);
+  EXPECT_EQ(fresh.value().selection.count, 1u);
+  EXPECT_TRUE(fresh.value().selection.rows.Get(7));
+}
+
+TEST(QueryServiceTest, PinnedSnapshotOutlivesPublishes) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(6), BothColumns()).ok());
+
+  SnapshotManager::Pin pin = service.snapshots().Acquire();
+  ASSERT_TRUE(static_cast<bool>(pin));
+  EXPECT_EQ(pin->epoch(), 0u);
+
+  ASSERT_TRUE(service.Append({{Value::Int(1), Value::Int(1)}}).ok());
+  ASSERT_TRUE(service.Append({{Value::Int(2), Value::Int(2)}}).ok());
+  EXPECT_EQ(service.CurrentEpoch(), 2u);
+
+  // The pinned version still answers from its own frozen state.
+  EXPECT_EQ(pin->NumRows(), 6u);
+  SelectionExecutor executor = pin->MakeExecutor();
+  const Result<SelectionResult> old =
+      executor.Select({Predicate::Eq("a", Value::Int(1))});
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old.value().rows, ScanEquals(pin->table(), pin->table().column(0), 1));
+
+  // The pin announced epoch 1 (pre-publish), so reclamation holds back
+  // everything retired after it: both superseded snapshots are retained
+  // until the pin drops, then both go in the release's reclaim pass.
+  EXPECT_EQ(service.snapshots().RetiredCount(), 2u);
+  const uint64_t reclaimed_before = service.snapshots().ReclaimedCount();
+  pin.Release();
+  EXPECT_EQ(service.snapshots().RetiredCount(), 0u);
+  EXPECT_EQ(service.snapshots().ReclaimedCount(), reclaimed_before + 2);
+}
+
+TEST(QueryServiceTest, ShutdownDrainsAndRejectsNewWork) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(32), BothColumns()).ok());
+
+  std::vector<std::shared_ptr<ServeTicket>> tickets;
+  for (int i = 0; i < 8; ++i) {
+    Result<std::shared_ptr<ServeTicket>> ticket =
+        service.Submit({Predicate::Eq("a", Value::Int(i % 5))});
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  ASSERT_TRUE(service.Shutdown().ok());
+  EXPECT_EQ(service.InFlight(), 0u);
+
+  // Every admitted request completed with a real outcome.
+  for (const auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().ok());
+  }
+
+  const Result<ServeResult> rejected =
+      service.Select({Predicate::Eq("a", Value::Int(1))});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  const Result<uint64_t> append =
+      service.Append({{Value::Int(1), Value::Int(1)}});
+  ASSERT_FALSE(append.ok());
+  EXPECT_EQ(append.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryServiceTest, MalformedAppendRejectedWithoutPoisoningService) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(4), BothColumns()).ok());
+
+  const Result<uint64_t> arity = service.Append({{Value::Int(1)}});
+  ASSERT_FALSE(arity.ok());
+  EXPECT_EQ(arity.status().code(), StatusCode::kInvalidArgument);
+
+  const Result<uint64_t> type =
+      service.Append({{Value::Str("x"), Value::Int(0)}});
+  ASSERT_FALSE(type.ok());
+  EXPECT_EQ(type.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(service.CurrentEpoch(), 0u);
+  const Result<uint64_t> good =
+      service.Append({{Value::Int(1), Value::Int(1)}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 1u);
+}
+
+TEST(QueryServiceTest, LifecycleValidation) {
+  QueryService service;
+  // Before Start: everything is a precondition failure.
+  EXPECT_EQ(service.Select({Predicate::Eq("a", Value::Int(1))})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Append({{Value::Int(1)}}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // A spec naming a missing column fails Start and allows a retry.
+  EXPECT_FALSE(
+      service.Start(TwoColumnTable(4), {{"nope", IndexKind::kSimpleBitmap}})
+          .ok());
+  ASSERT_TRUE(service.Start(TwoColumnTable(4), BothColumns()).ok());
+  EXPECT_EQ(service.Start(TwoColumnTable(4), BothColumns()).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Duplicate serving specs on one column are rejected up front.
+  QueryService other;
+  EXPECT_EQ(other.Start(TwoColumnTable(4), {{"a", IndexKind::kSimpleBitmap},
+                                            {"a", IndexKind::kEncodedBitmap}})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, RequestTraceRecordsServeSpan) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(16), BothColumns()).ok());
+
+  obs::QueryTrace trace;
+  RequestOptions options;
+  options.trace = &trace;
+  const Result<ServeResult> result =
+      service.Select({Predicate::Eq("a", Value::Int(2))}, options);
+  ASSERT_TRUE(result.ok());
+
+  const obs::TraceSpan* span = trace.Find("serve.request");
+  ASSERT_NE(span, nullptr);
+  EXPECT_FALSE(span->attrs.empty());
+  EXPECT_NE(trace.Find("executor.select"), nullptr);
+}
+
+TEST(QueryServiceTest, ShardedSnapshotsServeAndExtend) {
+  exec::ThreadPool shard_pool(2);
+  ServeOptions options;
+  options.segment_rows = 8;
+  options.shard_pool = &shard_pool;
+  QueryService service(options);
+  ASSERT_TRUE(service.Start(TwoColumnTable(30), BothColumns()).ok());
+
+  const Result<ServeResult> before =
+      service.Select({Predicate::Eq("a", Value::Int(3))});
+  ASSERT_TRUE(before.ok());
+  std::unique_ptr<Table> reference = TwoColumnTable(30);
+  EXPECT_EQ(before.value().selection.rows,
+            ScanEquals(*reference, reference->column(0), 3));
+
+  // Appends re-partition and rebuild; results stay scan-identical.
+  ASSERT_TRUE(service.Append({{Value::Int(3), Value::Int(0)},
+                              {Value::Int(9), Value::Int(1)}})
+                  .ok());
+  const Result<ServeResult> after =
+      service.Select({Predicate::Between("a", 3, 9)});
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(reference->AppendRow({Value::Int(3), Value::Int(0)}).ok());
+  ASSERT_TRUE(reference->AppendRow({Value::Int(9), Value::Int(1)}).ok());
+  EXPECT_EQ(after.value().selection.rows,
+            ScanRange(*reference, reference->column(0), 3, 9));
+}
+
+TEST(QueryServiceTest, ConcurrentAppendsAllLandExactlyOnce) {
+  constexpr size_t kSeedRows = 3;
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(kSeedRows), BothColumns()).ok());
+
+  // Drive appends from pool workers so several callers race into the
+  // combining writer. Every batch must land exactly once. Client values
+  // start at 100, clear of the seed rows' domain.
+  constexpr size_t kClients = 8;
+  constexpr size_t kRowsPerClient = 5;
+  exec::ThreadPool clients(4);
+  std::vector<Result<uint64_t>> epochs(kClients, Status::Internal("unset"));
+  clients.ParallelFor(0, kClients, [&](size_t c) {
+    std::vector<std::vector<Value>> rows;
+    for (size_t r = 0; r < kRowsPerClient; ++r) {
+      rows.push_back({Value::Int(static_cast<int64_t>(100 + c)),
+                      Value::Int(static_cast<int64_t>(r % 3))});
+    }
+    epochs[c] = service.Append(std::move(rows));
+  });
+
+  const std::vector<size_t> published = service.PublishedRowCounts();
+  for (size_t c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(epochs[c].ok()) << c;
+    const uint64_t epoch = epochs[c].value();
+    ASSERT_LT(epoch, published.size());
+    // The batch is contained in the epoch it was assigned to.
+    EXPECT_GE(published[epoch], kSeedRows + kRowsPerClient);
+  }
+  EXPECT_EQ(published.back(), kSeedRows + kClients * kRowsPerClient);
+
+  // Each client's value shows up exactly kRowsPerClient times.
+  for (size_t c = 0; c < kClients; ++c) {
+    const Result<ServeResult> got = service.Select(
+        {Predicate::Eq("a", Value::Int(static_cast<int64_t>(100 + c)))});
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().selection.count, kRowsPerClient) << c;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ebi

@@ -11,6 +11,14 @@ Enforces structural conventions the compiler cannot:
   naked-thread      No direct std::thread outside src/exec/thread_pool.*;
                     parallelism borrows workers from the pool so thread
                     counts stay centrally bounded.
+  raw-sync          Raw synchronization (std::mutex, std::atomic,
+                    condition variables, locks) inside src/ is confined
+                    to src/serve/ and src/exec/, the two concurrency
+                    layers. Everything else is single-threaded by
+                    contract and shared through snapshots or the pool.
+                    (Allowlisted: the metrics registry and the
+                    IoAccountant's relaxed counters, which predate the
+                    serving layer and are documented thread-safe.)
   nondeterminism    No rand()/srand()/std::random_device/time(NULL) in
                     src/ or tests/ — randomized code takes an explicit
                     seeded Rng so every run is reproducible.
@@ -156,6 +164,27 @@ def rule_naked_thread(path, text, stripped):
             "direct std::thread use; borrow workers from exec::ThreadPool")
 
 
+SYNC_PATTERN = (
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|atomic|atomic_flag|atomic_ref|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|call_once|once_flag)\b")
+
+SYNC_ALLOWED_PREFIXES = ("src/serve/", "src/exec/")
+
+
+def rule_raw_sync(path, text, stripped):
+    if not path.startswith("src/"):
+        return
+    if path.startswith(SYNC_ALLOWED_PREFIXES):
+        return
+    for lineno, line in grep_lines(stripped, SYNC_PATTERN):
+        yield Finding(
+            "raw-sync", path, lineno,
+            f"raw synchronization `{line}` outside src/serve//src/exec/; "
+            "share state through snapshots or the thread pool")
+
+
 NONDET_PATTERNS = (
     (r"\b(s?rand)\s*\(", "libc {0}() is unseeded nondeterminism"),
     (r"\bstd::random_device\b", "std::random_device is nondeterministic"),
@@ -249,6 +278,7 @@ RULES = (
     rule_raw_bit_words,
     rule_naked_new,
     rule_naked_thread,
+    rule_raw_sync,
     rule_nondeterminism,
     rule_header_guard,
     rule_include_path,
@@ -259,6 +289,7 @@ RULE_NAMES = (
     "raw-bit-words",
     "naked-new",
     "naked-thread",
+    "raw-sync",
     "nondeterminism",
     "header-guard",
     "include-path",

@@ -1,0 +1,16 @@
+// lint-fixture-path: src/query/bad_sync.cc
+// Raw synchronization outside src/serve/ and src/exec/: the query layer
+// is single-threaded by contract and must share state through snapshots
+// or the pool, not ad-hoc mutexes.
+#include <mutex>
+
+namespace ebi {
+
+int GuardedCounter() {
+  static std::mutex mu;
+  static int count = 0;
+  const std::lock_guard<std::mutex> lock(mu);
+  return ++count;
+}
+
+}  // namespace ebi

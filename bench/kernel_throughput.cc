@@ -1,0 +1,147 @@
+// Throughput grid for the runtime-dispatched bitmap kernels (DESIGN.md
+// §10): every backend the running CPU supports x every kernel op x a
+// sweep of bit densities, reported as GB/s of words processed and as
+// speedup over the scalar oracle on the same op/density cell. The
+// differential harness (tests/kernel_differential_test.cc) proves the
+// backends bit-identical before these numbers mean anything.
+//
+// Density does not change the work these word-parallel ops do; the sweep
+// is kept anyway to show exactly that (and to catch a backend that
+// accidentally branches on data).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/kernels/kernels.h"
+#include "util/random.h"
+
+namespace ebi {
+namespace {
+
+std::vector<uint64_t> RandomWords(size_t n, double density, Rng* rng) {
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) {
+    if (density <= 0.0) {
+      w = 0;
+    } else if (density >= 1.0) {
+      w = ~uint64_t{0};
+    } else if (density < 0.5) {
+      w = rng->Bernoulli(density * 2) ? rng->Next() : 0;
+    } else {
+      w = rng->Bernoulli((1.0 - density) * 2) ? rng->Next() : ~uint64_t{0};
+    }
+  }
+  return words;
+}
+
+/// Times `body` (one full pass over the spans) and returns GB/s given the
+/// bytes one pass touches.
+double MeasureGbps(const std::function<void()>& body, double bytes_per_pass,
+                   int passes) {
+  body();  // Warm the cache and the branch predictors.
+  const bench::Timer timer;
+  for (int i = 0; i < passes; ++i) {
+    body();
+  }
+  const double seconds = timer.ElapsedMs() / 1000.0;
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return bytes_per_pass * passes / seconds / 1e9;
+}
+
+// Sink for popcount results so the measured loop cannot be elided.
+volatile size_t g_popcount_sink = 0;
+
+void RunGrid() {
+  bench::BenchReport report("kernel_throughput");
+  const size_t n = size_t{1} << 18;  // 2 MiB spans: larger than L1/L2.
+  const int passes = 24;
+  const double word_bytes = static_cast<double>(n) * 8.0;
+  Rng rng(20260808);
+
+  const std::vector<const kernels::BitmapKernels*>& backends =
+      kernels::Supported();
+  std::printf("kernel throughput: %zu-word spans, %d passes, backends:",
+              n, passes);
+  for (const kernels::BitmapKernels* backend : backends) {
+    std::printf(" %s", backend->name);
+  }
+  std::printf(" (active: %s)\n\n", kernels::Active().name);
+  std::printf("%-8s %-10s %-9s %12s %10s\n", "backend", "op", "density",
+              "GB/s", "vs scalar");
+
+  for (double density : {0.02, 0.5, 0.98}) {
+    std::vector<uint64_t> dst = RandomWords(n, density, &rng);
+    const std::vector<uint64_t> src = RandomWords(n, density, &rng);
+    // 8 sources for the fused many-ops (the min-term OR chain shape).
+    std::vector<std::vector<uint64_t>> many;
+    for (size_t j = 0; j < 8; ++j) {
+      many.push_back(RandomWords(n, density, &rng));
+    }
+    std::vector<const uint64_t*> srcs;
+    for (const auto& s : many) {
+      srcs.push_back(s.data());
+    }
+
+    // GB/s baselines from the scalar oracle, keyed by op order below.
+    std::vector<double> scalar_gbps;
+    for (const kernels::BitmapKernels* backend : backends) {
+      const kernels::BitmapKernels& k = *backend;
+      uint64_t* d = dst.data();
+      const uint64_t* s = src.data();
+      const struct {
+        const char* op;
+        std::function<void()> body;
+        double bytes;  // read + written per pass
+      } cells[] = {
+          {"and", [&k, d, s, n] { k.and_words(d, s, n); }, 3 * word_bytes},
+          {"or", [&k, d, s, n] { k.or_words(d, s, n); }, 3 * word_bytes},
+          {"xor", [&k, d, s, n] { k.xor_words(d, s, n); }, 3 * word_bytes},
+          {"andnot", [&k, d, s, n] { k.andnot_words(d, s, n); },
+           3 * word_bytes},
+          {"not", [&k, d, n] { k.not_words(d, n); }, 2 * word_bytes},
+          {"fill", [&k, d, n] { k.fill_words(d, 0x5555aaaa5555aaaaULL, n); },
+           word_bytes},
+          {"copy", [&k, d, s, n] { k.copy_words(d, s, n); },
+           2 * word_bytes},
+          {"popcount",
+           [&k, s, n] { g_popcount_sink = k.popcount_words(s, n); },
+           word_bytes},
+          {"or_many8",
+           [&k, d, &srcs, n] { k.or_many(d, srcs.data(), srcs.size(), n); },
+           9 * word_bytes},
+          {"and_many8",
+           [&k, d, &srcs, n] { k.and_many(d, srcs.data(), srcs.size(), n); },
+           9 * word_bytes},
+      };
+      for (size_t c = 0; c < std::size(cells); ++c) {
+        const double gbps = MeasureGbps(cells[c].body, cells[c].bytes,
+                                        passes);
+        if (backend == backends.front()) {
+          scalar_gbps.push_back(gbps);
+        }
+        const double speedup =
+            scalar_gbps[c] > 0.0 ? gbps / scalar_gbps[c] : 0.0;
+        std::printf("%-8s %-10s %-9.2f %12.2f %9.2fx\n", k.name,
+                    cells[c].op, density, gbps, speedup);
+        report.BeginRun(std::string(k.name) + "/" + cells[c].op +
+                        "/density=" + std::to_string(density));
+        report.Metric("gb_per_s", gbps);
+        report.Metric("speedup_vs_scalar", speedup);
+        report.Metric("words", n);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ebi
+
+int main() {
+  ebi::RunGrid();
+  return 0;
+}

@@ -8,30 +8,38 @@
 #    "runs": [{"label": str, "metrics": {str: number, ...}}, ...]}
 #
 # Usage:
-#   check_bench_json.sh                 # run build/bench/fig9_access_cost
+#   check_bench_json.sh                 # run the default bench set
 #   check_bench_json.sh FILE.json ...   # validate existing exports
 set -u
 
 cd "$(dirname "$0")/.."
+
+# Benches run (and validated) by the no-argument mode: the paper's access
+# cost figure plus the kernel-dispatch throughput grid.
+DEFAULT_BENCHES=(fig9_access_cost kernel_throughput)
 
 files=()
 tmpdir=""
 if [ "$#" -gt 0 ]; then
   files=("$@")
 else
-  bench_bin="build/bench/fig9_access_cost"
-  if [ ! -x "$bench_bin" ]; then
-    echo "check_bench_json: $bench_bin not built; run cmake --build build" >&2
-    exit 1
-  fi
   tmpdir="$(mktemp -d)"
   trap 'rm -rf "$tmpdir"' EXIT
-  EBI_BENCH_JSON_DIR="$tmpdir" "$bench_bin" > /dev/null
+  for bench in "${DEFAULT_BENCHES[@]}"; do
+    bench_bin="build/bench/$bench"
+    if [ ! -x "$bench_bin" ]; then
+      echo "check_bench_json: $bench_bin not built;" \
+           "run cmake --build build" >&2
+      exit 1
+    fi
+    EBI_BENCH_JSON_DIR="$tmpdir" "$bench_bin" > /dev/null
+  done
   for f in "$tmpdir"/BENCH_*.json; do
     [ -f "$f" ] && files+=("$f")
   done
-  if [ "${#files[@]}" -eq 0 ]; then
-    echo "check_bench_json: bench produced no BENCH_*.json" >&2
+  if [ "${#files[@]}" -ne "${#DEFAULT_BENCHES[@]}" ]; then
+    echo "check_bench_json: expected ${#DEFAULT_BENCHES[@]} BENCH_*.json" \
+         "exports, found ${#files[@]}" >&2
     exit 1
   fi
 fi

@@ -18,6 +18,19 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Forced-backend sweep: re-run the bitmap substrate + query suites once
+# per kernel backend this CPU supports, with EBI_FORCE_KERNEL pinned.
+# The differential test's ForcedBackendIsActive asserts each pin took
+# effect; an unsupported name would degrade to auto-detection with a
+# stderr warning instead of failing, so only supported backends are
+# swept here.
+for backend in scalar avx2 avx512 neon; do
+  echo "=== EBI_FORCE_KERNEL=$backend ===" | tee -a test_output.txt
+  EBI_FORCE_KERNEL="$backend" ctest --test-dir build \
+    -R 'kernel_differential|bitvector|ewah|rle|stored_bitmap|bitmap_kernel_edge|cover|executor|simple_bitmap_index' \
+    2>&1 | tee -a test_output.txt
+done
+
 # Sanitized pass: same suite, instrumented with ASan + UBSan. A Debug
 # build keeps the asserts (the size-contract checks) live as well.
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \

@@ -39,6 +39,8 @@ const char* ViolationKindName(ViolationKind kind) {
       return "SelectionNotWellDefined";
     case ViolationKind::kBitmapLengthMismatch:
       return "BitmapLengthMismatch";
+    case ViolationKind::kBitmapTailDirty:
+      return "BitmapTailDirty";
     case ViolationKind::kRleRunSumMismatch:
       return "RleRunSumMismatch";
     case ViolationKind::kEwahFormatMismatch:
@@ -225,6 +227,39 @@ AuditReport InvariantAuditor::AuditBitVector(const BitVector& bits,
          VectorLabel("vector", ordinal) + " backing array holds " +
              std::to_string(bits.NumWords()) + " words for " +
              std::to_string(bits.size()) + " bits"});
+  }
+  ++report.checks_run;
+  if (!bits.TailIsClean()) {
+    report.violations.push_back(
+        {ViolationKind::kBitmapTailDirty, ordinal,
+         VectorLabel("vector", ordinal) +
+             " has set padding bits above its size of " +
+             std::to_string(bits.size())});
+  }
+  return report;
+}
+
+AuditReport InvariantAuditor::AuditBitVectorWords(
+    const std::vector<uint64_t>& words, size_t declared_bits,
+    size_t ordinal) {
+  AuditReport report;
+  ++report.checks_run;
+  if (words.size() != (declared_bits + 63) / 64) {
+    report.violations.push_back(
+        {ViolationKind::kBitmapLengthMismatch, ordinal,
+         VectorLabel("vector", ordinal) + " word buffer holds " +
+             std::to_string(words.size()) + " words for " +
+             std::to_string(declared_bits) + " declared bits"});
+  }
+  ++report.checks_run;
+  const size_t tail = declared_bits % 64;
+  if (tail != 0 && !words.empty() &&
+      (words.back() & ~((uint64_t{1} << tail) - 1)) != 0) {
+    report.violations.push_back(
+        {ViolationKind::kBitmapTailDirty, ordinal,
+         VectorLabel("vector", ordinal) +
+             " word buffer has set padding bits above declared bit " +
+             std::to_string(declared_bits)});
   }
   return report;
 }

@@ -28,7 +28,9 @@ namespace ebi {
 ///     f_v must be exactly the min-term of v's codeword;
 ///   * kSelectionNotWellDefined — Definition 2.5 / Theorems 2.2-2.3;
 ///   * the bitmap kinds — every vector spans the table, RLE runs sum to
-///     the declared size, EWAH words decode to the declared word count;
+///     the declared size, EWAH words decode to the declared word count,
+///     and (kBitmapTailDirty) no padding bit above size() is set — the
+///     tail invariant Count()/IsZero() rely on to skip masking;
 ///   * kShardPartitionMismatch — a ShardedIndex's segments must tile the
 ///     source table exactly.
 enum class ViolationKind : uint8_t {
@@ -39,6 +41,7 @@ enum class ViolationKind : uint8_t {
   kRetrievalFunctionMismatch,
   kSelectionNotWellDefined,
   kBitmapLengthMismatch,
+  kBitmapTailDirty,
   kRleRunSumMismatch,
   kEwahFormatMismatch,
   kPersistedBitmapCorrupt,
@@ -105,11 +108,19 @@ class InvariantAuditor {
   static AuditReport AuditSelection(const MappingTable& mapping,
                                     const std::vector<ValueId>& subdomain);
 
-  /// Length contract of a plain vector: size == expected_bits, and the
-  /// word array spans exactly ceil(size / 64) words.
+  /// Length contract of a plain vector: size == expected_bits, the word
+  /// array spans exactly ceil(size / 64) words, and the tail invariant
+  /// holds (every padding bit above size() in the last word is zero).
   static AuditReport AuditBitVector(const BitVector& bits,
                                     size_t expected_bits,
                                     size_t ordinal = 0);
+
+  /// Raw tail-invariant contract: audits a bare word array claiming to
+  /// hold `declared_bits` bits, so tests can seed padding-bit corruption
+  /// that BitVector's own mutators always mask away.
+  static AuditReport AuditBitVectorWords(const std::vector<uint64_t>& words,
+                                         size_t declared_bits,
+                                         size_t ordinal = 0);
 
   /// Length + compressed-form contracts of a stored bitmap in any
   /// physical format (plain / RLE run-sum / EWAH marker decode).

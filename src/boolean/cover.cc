@@ -50,11 +50,25 @@ std::string CoverToString(const Cover& cover, int k) {
 BitVector EvaluateCover(const Cover& cover,
                         const std::vector<BitVector>& slices, size_t n) {
   BitVector result(n, false);
+  // Evaluate each cube to a term, then OR all terms in one fused pass
+  // instead of a chain of binary ORs. Cubes that are a single positive
+  // literal alias their slice directly and need no materialized term.
+  std::vector<BitVector> terms;
+  terms.reserve(cover.size());
+  std::vector<const BitVector*> operands;
+  operands.reserve(cover.size());
   for (const Cube& cube : cover) {
     if (cube.mask == 0) {
       // Constant-true cube: the whole expression is a tautology.
       result.SetAll();
       return result;
+    }
+    if (std::has_single_bit(cube.mask) && (cube.values & cube.mask) != 0) {
+      const size_t i = static_cast<size_t>(std::countr_zero(cube.mask));
+      if (i < slices.size() && slices[i].size() == n) {
+        operands.push_back(&slices[i]);
+        continue;
+      }
     }
     BitVector term;
     bool first = true;
@@ -76,8 +90,16 @@ BitVector EvaluateCover(const Cover& cover,
         term.AndNotWith(slices[i]);
       }
     }
-    result.OrWith(term);
+    if (!first) {
+      terms.push_back(std::move(term));
+    }
   }
+  // `terms` is fully built before any pointer into it is taken, so the
+  // vector cannot reallocate under the operand list.
+  for (const BitVector& term : terms) {
+    operands.push_back(&term);
+  }
+  result.OrWithMany(operands);
   return result;
 }
 

@@ -100,8 +100,20 @@ Result<BitVector> SimpleBitmapIndex::EvaluateIds(
     }
     result = accumulated.ToBitVector();
   } else {
+    // Materialize the selected vectors, then union them with one fused
+    // kernel pass rather than a chain of binary ORs.
+    std::vector<BitVector> materialized;
+    materialized.reserve(ids.size());
     for (ValueId id : ids) {
-      result.OrWith(ReadVector(id));
+      materialized.push_back(ReadVector(id));
+    }
+    std::vector<const BitVector*> operands;
+    operands.reserve(materialized.size());
+    for (const BitVector& v : materialized) {
+      operands.push_back(&v);
+    }
+    if (!operands.empty()) {
+      result.OrWithMany(operands);
     }
   }
   // Simple bitmap indexing must always AND the existence vector (the

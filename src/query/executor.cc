@@ -81,12 +81,23 @@ Result<SelectionResult> SelectionExecutor::Select(
   if (predicates.empty()) {
     rows.AndWith(table_->existence());
   }
-  for (size_t i = 0; i < predicates.size(); ++i) {
-    EBI_ASSIGN_OR_RETURN(const BitVector one, EvaluateOne(predicates[i]));
-    if (i == 0) {
-      rows = one;
-    } else {
-      rows.AndWith(one);
+  // Evaluate every predicate first, then intersect all result vectors in
+  // one fused kernel pass instead of a chain of binary ANDs.
+  std::vector<BitVector> evaluated;
+  evaluated.reserve(predicates.size());
+  for (const Predicate& predicate : predicates) {
+    EBI_ASSIGN_OR_RETURN(BitVector one, EvaluateOne(predicate));
+    evaluated.push_back(std::move(one));
+  }
+  if (!evaluated.empty()) {
+    rows = std::move(evaluated.front());
+    std::vector<const BitVector*> rest;
+    rest.reserve(evaluated.size() - 1);
+    for (size_t i = 1; i < evaluated.size(); ++i) {
+      rest.push_back(&evaluated[i]);
+    }
+    if (!rest.empty()) {
+      rows.AndWithMany(rest);
     }
   }
   SelectionResult result;
@@ -119,9 +130,20 @@ Result<SelectionResult> SelectionExecutor::SelectDnf(
   const IoScope scope(io_);
   // An empty disjunction is false: zero branches leave `rows` empty.
   BitVector rows(table_->NumRows());
+  // Run every branch, then union the branch vectors in one fused pass.
+  std::vector<BitVector> branch_rows;
+  branch_rows.reserve(branches.size());
   for (const std::vector<Predicate>& branch : branches) {
-    EBI_ASSIGN_OR_RETURN(const SelectionResult one, Select(branch));
-    rows.OrWith(one.rows);
+    EBI_ASSIGN_OR_RETURN(SelectionResult one, Select(branch));
+    branch_rows.push_back(std::move(one.rows));
+  }
+  std::vector<const BitVector*> operands;
+  operands.reserve(branch_rows.size());
+  for (const BitVector& branch : branch_rows) {
+    operands.push_back(&branch);
+  }
+  if (!operands.empty()) {
+    rows.OrWithMany(operands);
   }
   SelectionResult result;
   result.count = rows.Count();

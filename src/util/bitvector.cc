@@ -1,13 +1,16 @@
 #include "util/bitvector.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
+
+#include "util/kernels/kernels.h"
 
 namespace ebi {
 
 namespace {
 constexpr size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+
+const kernels::BitmapKernels& K() { return kernels::Active(); }
 }  // namespace
 
 BitVector::BitVector(size_t size, bool value)
@@ -31,6 +34,7 @@ void BitVector::Resize(size_t size) {
   size_ = size;
   words_.resize(WordsFor(size), 0);
   MaskTail();
+  DebugCheckTail();
 }
 
 void BitVector::PushBack(bool value) {
@@ -45,27 +49,22 @@ void BitVector::PushBack(bool value) {
 }
 
 void BitVector::Clear() {
-  for (uint64_t& w : words_) {
-    w = 0;
-  }
+  K().fill_words(words_.data(), 0, words_.size());
 }
 
 void BitVector::SetAll() {
-  for (uint64_t& w : words_) {
-    w = ~uint64_t{0};
-  }
+  K().fill_words(words_.data(), ~uint64_t{0}, words_.size());
   MaskTail();
+  DebugCheckTail();
 }
 
 size_t BitVector::Count() const {
-  size_t count = 0;
-  for (uint64_t w : words_) {
-    count += static_cast<size_t>(std::popcount(w));
-  }
-  return count;
+  return K().popcount_words(words_.data(), words_.size());
 }
 
 bool BitVector::IsZero() const {
+  // Scalar on purpose: the early exit on the first non-zero word beats a
+  // full-span kernel pass for the common "hit in the first words" case.
   for (uint64_t w : words_) {
     if (w != 0) {
       return false;
@@ -84,48 +83,103 @@ double BitVector::Sparsity() const {
 BitVector& BitVector::AndWith(const BitVector& other) {
   assert(size_ == other.size_ && "AndWith operand size mismatch");
   const size_t shared = std::min(words_.size(), other.words_.size());
-  for (size_t i = 0; i < shared; ++i) {
-    words_[i] &= other.words_[i];
-  }
+  K().and_words(words_.data(), other.words_.data(), shared);
   // Zero-extension of a shorter operand: the words it lacks AND to zero.
-  for (size_t i = shared; i < words_.size(); ++i) {
-    words_[i] = 0;
-  }
+  K().fill_words(words_.data() + shared, 0, words_.size() - shared);
+  DebugCheckTail();
   return *this;
 }
 
 BitVector& BitVector::OrWith(const BitVector& other) {
   assert(size_ == other.size_ && "OrWith operand size mismatch");
   const size_t shared = std::min(words_.size(), other.words_.size());
-  for (size_t i = 0; i < shared; ++i) {
-    words_[i] |= other.words_[i];
-  }
+  K().or_words(words_.data(), other.words_.data(), shared);
+  // A longer operand legitimately carries set bits inside this vector's
+  // padding range of the shared last word; without this mask they would
+  // silently corrupt Count()/ForEachSetBit (the tail-word hygiene bug).
+  MaskTail();
+  DebugCheckTail();
   return *this;
 }
 
 BitVector& BitVector::XorWith(const BitVector& other) {
   assert(size_ == other.size_ && "XorWith operand size mismatch");
   const size_t shared = std::min(words_.size(), other.words_.size());
-  for (size_t i = 0; i < shared; ++i) {
-    words_[i] ^= other.words_[i];
-  }
+  K().xor_words(words_.data(), other.words_.data(), shared);
+  // Same padding hazard as OrWith: XOR with a longer operand can flip
+  // bits above size().
+  MaskTail();
+  DebugCheckTail();
   return *this;
 }
 
 BitVector& BitVector::FlipAll() {
-  for (uint64_t& w : words_) {
-    w = ~w;
-  }
+  K().not_words(words_.data(), words_.size());
   MaskTail();
+  DebugCheckTail();
   return *this;
 }
 
 BitVector& BitVector::AndNotWith(const BitVector& other) {
   assert(size_ == other.size_ && "AndNotWith operand size mismatch");
   const size_t shared = std::min(words_.size(), other.words_.size());
-  for (size_t i = 0; i < shared; ++i) {
-    words_[i] &= ~other.words_[i];
+  K().andnot_words(words_.data(), other.words_.data(), shared);
+  // AND-NOT can only clear bits, but keep the op self-certifying: a
+  // pre-existing dirty tail must not survive a mutating call unnoticed.
+  MaskTail();
+  DebugCheckTail();
+  return *this;
+}
+
+BitVector& BitVector::OrWithMany(
+    const std::vector<const BitVector*>& operands) {
+  // Equal-word-count operands merge in one fused pass (this vector rides
+  // along as srcs[0]); ragged ones take the binary zero-extension path.
+  std::vector<const uint64_t*> srcs;
+  srcs.reserve(operands.size() + 1);
+  srcs.push_back(words_.data());
+  for (const BitVector* operand : operands) {
+    assert(operand != nullptr && "OrWithMany null operand");
+    assert(operand->size_ == size_ && "OrWithMany operand size mismatch");
+    if (operand->words_.size() == words_.size()) {
+      srcs.push_back(operand->words_.data());
+    }
   }
+  if (srcs.size() > 1) {
+    K().or_many(words_.data(), srcs.data(), srcs.size(), words_.size());
+  }
+  for (const BitVector* operand : operands) {
+    if (operand->words_.size() != words_.size()) {
+      OrWith(*operand);
+    }
+  }
+  MaskTail();
+  DebugCheckTail();
+  return *this;
+}
+
+BitVector& BitVector::AndWithMany(
+    const std::vector<const BitVector*>& operands) {
+  std::vector<const uint64_t*> srcs;
+  srcs.reserve(operands.size() + 1);
+  srcs.push_back(words_.data());
+  for (const BitVector* operand : operands) {
+    assert(operand != nullptr && "AndWithMany null operand");
+    assert(operand->size_ == size_ && "AndWithMany operand size mismatch");
+    if (operand->words_.size() == words_.size()) {
+      srcs.push_back(operand->words_.data());
+    }
+  }
+  if (srcs.size() > 1) {
+    K().and_many(words_.data(), srcs.data(), srcs.size(), words_.size());
+  }
+  for (const BitVector* operand : operands) {
+    if (operand->words_.size() != words_.size()) {
+      AndWith(*operand);
+    }
+  }
+  MaskTail();
+  DebugCheckTail();
   return *this;
 }
 
@@ -136,16 +190,24 @@ void BitVector::BlitFrom(const BitVector& src, size_t offset) {
   }
   const size_t word0 = offset >> 6;
   const size_t shift = offset & 63;
-  for (size_t i = 0; i < src.words_.size(); ++i) {
-    const uint64_t w = src.words_[i];
-    if (word0 + i < words_.size()) {
-      words_[word0 + i] |= shift == 0 ? w : (w << shift);
-    }
-    if (shift != 0 && word0 + i + 1 < words_.size()) {
-      words_[word0 + i + 1] |= w >> (64 - shift);
+  if (shift == 0 && word0 + src.words_.size() <= words_.size()) {
+    // Word-aligned segment concat (the ShardedIndex fan-out fast path):
+    // one fused bulk OR instead of a shift-and-carry loop.
+    K().or_words(words_.data() + word0, src.words_.data(),
+                 src.words_.size());
+  } else {
+    for (size_t i = 0; i < src.words_.size(); ++i) {
+      const uint64_t w = src.words_[i];
+      if (word0 + i < words_.size()) {
+        words_[word0 + i] |= shift == 0 ? w : (w << shift);
+      }
+      if (shift != 0 && word0 + i + 1 < words_.size()) {
+        words_[word0 + i + 1] |= w >> (64 - shift);
+      }
     }
   }
   MaskTail();
+  DebugCheckTail();
 }
 
 void BitVector::SetWord(size_t w, uint64_t bits) {
@@ -153,6 +215,45 @@ void BitVector::SetWord(size_t w, uint64_t bits) {
   if (w + 1 == words_.size()) {
     MaskTail();
   }
+  DebugCheckTail();
+}
+
+void BitVector::FillWordRange(size_t first, size_t count, uint64_t value) {
+  assert(first + count <= words_.size() && "FillWordRange out of bounds");
+  if (first >= words_.size()) {
+    return;
+  }
+  count = std::min(count, words_.size() - first);
+  K().fill_words(words_.data() + first, value, count);
+  if (first + count == words_.size()) {
+    MaskTail();
+  }
+  DebugCheckTail();
+}
+
+void BitVector::SetWordRange(size_t first, const uint64_t* words,
+                             size_t count) {
+  assert(first + count <= words_.size() && "SetWordRange out of bounds");
+  if (first >= words_.size()) {
+    return;
+  }
+  count = std::min(count, words_.size() - first);
+  K().copy_words(words_.data() + first, words, count);
+  if (first + count == words_.size()) {
+    MaskTail();
+  }
+  DebugCheckTail();
+}
+
+bool BitVector::TailIsClean() const {
+  if (words_.empty()) {
+    return true;
+  }
+  const size_t tail = size_ & 63;
+  if (tail == 0) {
+    return true;
+  }
+  return (words_.back() & ~((uint64_t{1} << tail) - 1)) == 0;
 }
 
 std::vector<uint32_t> BitVector::ToPositions() const {
@@ -173,6 +274,10 @@ void BitVector::MaskTail() {
   if (tail != 0 && !words_.empty()) {
     words_.back() &= (uint64_t{1} << tail) - 1;
   }
+}
+
+void BitVector::DebugCheckTail() const {
+  assert(TailIsClean() && "padding bits above size() must stay zero");
 }
 
 BitVector And(const BitVector& a, const BitVector& b) {

@@ -62,10 +62,13 @@ class BitVector {
   /// Fraction of zero bits, the paper's "sparsity" measure (Section 2.1).
   [[nodiscard]] double Sparsity() const;
 
-  /// In-place logical operations. The operand must have the same size
-  /// (asserted in debug builds). If the sizes nevertheless differ, the
-  /// shorter operand is treated as zero-extended — the operations stay
-  /// memory-safe and never read past either word array.
+  /// In-place logical operations, dispatched through the active bitmap
+  /// kernel backend (util/kernels, DESIGN.md §10). The operand must have
+  /// the same size (asserted in debug builds). If the sizes nevertheless
+  /// differ, the shorter operand is treated as zero-extended — the
+  /// operations stay memory-safe, never read past either word array, and
+  /// always re-mask the tail so padding bits stay zero even when the
+  /// longer operand carried set bits in this vector's padding range.
   BitVector& AndWith(const BitVector& other);
   BitVector& OrWith(const BitVector& other);
   BitVector& XorWith(const BitVector& other);
@@ -73,6 +76,14 @@ class BitVector {
   BitVector& FlipAll();
   /// this &= ~other.
   BitVector& AndNotWith(const BitVector& other);
+
+  /// Fused multi-operand merges: one pass over memory instead of a chain
+  /// of binary ops, the shape of the paper's min-term OR chains and of
+  /// conjunctive predicate merges. Every operand must be non-null and
+  /// match size() (asserted in debug builds; an operand of a different
+  /// size falls back to the binary op's zero-extension semantics).
+  BitVector& OrWithMany(const std::vector<const BitVector*>& operands);
+  BitVector& AndWithMany(const std::vector<const BitVector*>& operands);
 
   /// Calls `fn(index)` for every set bit in increasing order.
   template <typename Fn>
@@ -107,6 +118,20 @@ class BitVector {
   /// the tail invariant is preserved.
   void SetWord(size_t w, uint64_t bits);
 
+  /// Bulk word-granular writes for decompression fast paths: overwrite
+  /// `count` backing words starting at `first` with `value` /
+  /// with `words[0..count)`. Like SetWord, writes that touch the last
+  /// word are masked so the tail invariant is preserved. The range must
+  /// lie within NumWords() (asserted in debug builds; clamped otherwise).
+  void FillWordRange(size_t first, size_t count, uint64_t value);
+  void SetWordRange(size_t first, const uint64_t* words, size_t count);
+
+  /// True iff every padding bit above size() in the last word is zero —
+  /// the tail invariant Count()/IsZero()/ForEachSetBit rely on. Asserted
+  /// after every mutating operation in debug builds; public so tests and
+  /// the InvariantAuditor can verify it.
+  [[nodiscard]] bool TailIsClean() const;
+
   /// ORs all bits of `src` into positions [offset, offset + src.size())
   /// — the segment-order concatenation of per-segment result bitmaps.
   /// The destination must already span the range (asserted in debug
@@ -123,6 +148,10 @@ class BitVector {
  private:
   /// Zeroes the unused high bits of the last word.
   void MaskTail();
+
+  /// Debug-build assertion that the tail invariant held after a mutating
+  /// operation; compiles to nothing under NDEBUG.
+  void DebugCheckTail() const;
 
   size_t size_ = 0;
   std::vector<uint64_t> words_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "util/kernels/kernels.h"
+
 namespace ebi {
 
 namespace {
@@ -103,6 +105,33 @@ class EwahWordCursor {
     }
   }
 
+  /// Skips up to `n` words of any kind without materializing them: clean
+  /// runs are consumed wholesale and literal stretches are jumped over by
+  /// advancing the buffer position — the skip never touches the literal
+  /// words themselves. Stops early at the end of the stream. This is the
+  /// primitive behind the galloping compressed intersection: a zero run
+  /// on one side lets the other side fast-forward in O(groups) instead of
+  /// O(words).
+  void SkipWords(uint64_t n) {
+    while (n > 0 && !Done()) {
+      if (run_left_ > 0) {
+        const uint64_t take = std::min(run_left_, n);
+        SkipRunWords(take);
+        n -= take;
+      } else {
+        // Invariant: a non-done cursor outside a run has literals_left_
+        // > 0 (LoadMarker never parks on an empty marker).
+        const uint64_t take = std::min(literals_left_, n);
+        pos_ += take;
+        literals_left_ -= take;
+        n -= take;
+        if (literals_left_ == 0) {
+          LoadMarker();
+        }
+      }
+    }
+  }
+
   /// Consumes and materializes the next word (run word or literal).
   uint64_t NextWord() {
     if (run_left_ > 0) {
@@ -154,16 +183,18 @@ BitVector EwahBitmap::Decompress() const {
   size_t i = 0;
   while (i < words_.size()) {
     const uint64_t marker = words_[i++];
-    const uint64_t run_len = RunLength(marker);
+    const size_t run_len = static_cast<size_t>(RunLength(marker));
     if (RunValue(marker)) {
-      for (uint64_t w = 0; w < run_len; ++w) {
-        out.SetWord(word_pos + w, kAllOnes);
-      }
+      // Bulk fill through the active kernel instead of word-at-a-time
+      // SetWord; zero runs are already zero in the fresh BitVector.
+      out.FillWordRange(word_pos, run_len, kAllOnes);
     }
     word_pos += run_len;
-    const uint64_t literals = LiteralCount(marker);
-    for (uint64_t l = 0; l < literals; ++l) {
-      out.SetWord(word_pos++, words_[i++]);
+    const size_t literals = static_cast<size_t>(LiteralCount(marker));
+    if (literals > 0) {
+      out.SetWordRange(word_pos, words_.data() + i, literals);
+      word_pos += literals;
+      i += literals;
     }
   }
   return out;
@@ -206,7 +237,49 @@ EwahBitmap MergeWords(const EwahBitmap& a, const EwahBitmap& b,
 }  // namespace
 
 EwahBitmap EwahBitmap::And(const EwahBitmap& a, const EwahBitmap& b) {
-  return MergeWords(a, b, [](uint64_t x, uint64_t y) { return x & y; });
+  // Specialized galloping intersection: a clean zero run on either side
+  // zeroes that stretch of the result regardless of the other operand, so
+  // the other cursor skips the whole stretch via SkipWords without ever
+  // materializing it. For sparse operands (long zero runs) this makes And
+  // O(compressed groups), not O(uncompressed words) like MergeWords.
+  assert(a.size() == b.size() && "EWAH operand size mismatch");
+  const uint64_t total_words =
+      static_cast<uint64_t>(WordsFor(std::max(a.size(), b.size())));
+  EwahBuilder builder;
+  EwahWordCursor ca(a.words());
+  EwahWordCursor cb(b.words());
+  uint64_t emitted = 0;
+  while (!ca.Done() && !cb.Done()) {
+    if (ca.InRun() && !ca.RunValue()) {
+      const uint64_t n = ca.RunRemaining();
+      builder.AddRun(false, n);
+      ca.SkipRunWords(n);
+      cb.SkipWords(n);
+      emitted += n;
+    } else if (cb.InRun() && !cb.RunValue()) {
+      const uint64_t n = cb.RunRemaining();
+      builder.AddRun(false, n);
+      cb.SkipRunWords(n);
+      ca.SkipWords(n);
+      emitted += n;
+    } else if (ca.InRun() && cb.InRun()) {
+      // Both sides in ones-runs: the intersection is a ones-run too.
+      const uint64_t n = std::min(ca.RunRemaining(), cb.RunRemaining());
+      builder.AddRun(true, n);
+      ca.SkipRunWords(n);
+      cb.SkipRunWords(n);
+      emitted += n;
+    } else {
+      builder.AddWord(ca.NextWord() & cb.NextWord());
+      ++emitted;
+    }
+  }
+  // A finished cursor zero-extends, and zero AND anything is zero: pad
+  // the result out to the full word span with one zero run.
+  if (emitted < total_words) {
+    builder.AddRun(false, total_words - emitted);
+  }
+  return builder.Finish(std::max(a.size(), b.size()));
 }
 
 EwahBitmap EwahBitmap::Or(const EwahBitmap& a, const EwahBitmap& b) {
@@ -305,6 +378,7 @@ EwahBitmap EwahBitmap::Not() const {
 }
 
 size_t EwahBitmap::Count() const {
+  const kernels::BitmapKernels& k = kernels::Active();
   size_t count = 0;
   size_t i = 0;
   while (i < words_.size()) {
@@ -314,10 +388,11 @@ size_t EwahBitmap::Count() const {
       // so every run word contributes exactly 64 set bits.
       count += static_cast<size_t>(RunLength(marker)) * 64;
     }
-    const uint64_t literals = LiteralCount(marker);
-    for (uint64_t l = 0; l < literals; ++l) {
-      count += static_cast<size_t>(__builtin_popcountll(words_[i++]));
-    }
+    // Each marker's literals are contiguous in the buffer: popcount the
+    // whole span through the active kernel in one call.
+    const size_t literals = static_cast<size_t>(LiteralCount(marker));
+    count += k.popcount_words(words_.data() + i, literals);
+    i += literals;
   }
   return count;
 }

@@ -1,0 +1,21 @@
+#ifndef EBI_UTIL_KERNELS_BACKENDS_H_
+#define EBI_UTIL_KERNELS_BACKENDS_H_
+
+#include "util/kernels/kernels.h"
+
+namespace ebi {
+namespace kernels {
+
+/// Internal registration points, one per backend translation unit. Each
+/// returns its kernel table iff (a) the compiler could build the backend
+/// for the target architecture and (b) the running CPU can execute it —
+/// both checks live inside the backend's own file, so adding a backend
+/// means adding one .cc and one line to BuildSupported() in kernels.cc.
+const BitmapKernels* Avx2IfSupported();
+const BitmapKernels* Avx512IfSupported();
+const BitmapKernels* NeonIfSupported();
+
+}  // namespace kernels
+}  // namespace ebi
+
+#endif  // EBI_UTIL_KERNELS_BACKENDS_H_

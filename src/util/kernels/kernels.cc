@@ -1,0 +1,74 @@
+#include "util/kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/kernels/backends.h"
+
+namespace ebi {
+namespace kernels {
+
+namespace {
+
+std::vector<const BitmapKernels*> BuildSupported() {
+  // Registration order doubles as preference order: the auto-detected
+  // backend is the last entry. scalar < neon < avx2 < avx512.
+  std::vector<const BitmapKernels*> supported;
+  supported.push_back(&Scalar());
+  if (const BitmapKernels* k = NeonIfSupported()) {
+    supported.push_back(k);
+  }
+  if (const BitmapKernels* k = Avx2IfSupported()) {
+    supported.push_back(k);
+  }
+  if (const BitmapKernels* k = Avx512IfSupported()) {
+    supported.push_back(k);
+  }
+  return supported;
+}
+
+const BitmapKernels* SelectActive() {
+  if (const char* forced = std::getenv("EBI_FORCE_KERNEL")) {
+    if (const BitmapKernels* k = ByName(forced)) {
+      return k;
+    }
+    // Degrade loudly but safely: a typo'd or unsupported pin must not
+    // SIGILL, and must not silently pretend the forced backend ran.
+    std::fprintf(stderr,
+                 "ebi: EBI_FORCE_KERNEL=%s is unknown or unsupported on "
+                 "this CPU; falling back to auto-detection\n",
+                 forced);
+  }
+  return Supported().back();
+}
+
+}  // namespace
+
+const std::vector<const BitmapKernels*>& Supported() {
+  static const std::vector<const BitmapKernels*> kSupported =
+      BuildSupported();
+  return kSupported;
+}
+
+const BitmapKernels* ByName(const char* name) {
+  if (name == nullptr) {
+    return nullptr;
+  }
+  for (const BitmapKernels* k : Supported()) {
+    if (std::strcmp(k->name, name) == 0) {
+      return k;
+    }
+  }
+  return nullptr;
+}
+
+const BitmapKernels& Active() {
+  // Selected exactly once; function-local static initialization is
+  // thread-safe, so concurrent first calls agree on the pick.
+  static const BitmapKernels* kActive = SelectActive();
+  return *kActive;
+}
+
+}  // namespace kernels
+}  // namespace ebi

@@ -1,0 +1,99 @@
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/kernels/kernels.h"
+
+namespace ebi {
+namespace kernels {
+namespace {
+
+// Portable word-at-a-time reference backend. Deliberately plain loops:
+// this is the oracle the differential harness holds every vectorized
+// backend against, so it favors being obviously correct over being fast
+// (the compiler's autovectorizer still does fine on it).
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] &= src[i];
+  }
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] |= src[i];
+  }
+}
+
+void XorWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] &= ~src[i];
+  }
+}
+
+void NotWords(uint64_t* dst, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = ~dst[i];
+  }
+}
+
+void FillWords(uint64_t* dst, uint64_t value, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = value;
+  }
+}
+
+void CopyWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = src[i];
+  }
+}
+
+size_t PopcountWords(const uint64_t* src, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<size_t>(std::popcount(src[i]));
+  }
+  return count;
+}
+
+void OrMany(uint64_t* dst, const uint64_t* const* srcs, size_t k,
+            size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t acc = srcs[0][i];
+    for (size_t j = 1; j < k; ++j) {
+      acc |= srcs[j][i];
+    }
+    dst[i] = acc;
+  }
+}
+
+void AndMany(uint64_t* dst, const uint64_t* const* srcs, size_t k,
+             size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t acc = srcs[0][i];
+    for (size_t j = 1; j < k; ++j) {
+      acc &= srcs[j][i];
+    }
+    dst[i] = acc;
+  }
+}
+
+constexpr BitmapKernels kScalarKernels = {
+    "scalar",    AndWords, OrWords,        XorWords, AndNotWords,
+    NotWords,    FillWords, CopyWords,     PopcountWords,
+    OrMany,      AndMany,
+};
+
+}  // namespace
+
+const BitmapKernels& Scalar() { return kScalarKernels; }
+
+}  // namespace kernels
+}  // namespace ebi

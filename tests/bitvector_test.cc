@@ -178,6 +178,167 @@ TEST(BitVectorTest, SizeBytesIsWordGranular) {
 
 // Property sweep: logical ops agree with bit-by-bit evaluation across many
 // sizes, including word-boundary sizes.
+// --- Tail-word hygiene regressions -------------------------------------
+// Count()/IsZero()/ForEachSetBit assume every padding bit above size() is
+// zero. These pin the cases that used to leak set padding bits.
+
+TEST(BitVectorTailTest, EveryMutatingOpLeavesTailClean) {
+  Rng rng(71);
+  for (size_t n : {size_t{1}, size_t{63}, size_t{65}, size_t{127}}) {
+    BitVector a(n);
+    BitVector b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        a.Set(i);
+      }
+      if (rng.Bernoulli(0.5)) {
+        b.Set(i);
+      }
+    }
+    BitVector v = a;
+    EXPECT_TRUE(v.OrWith(b).TailIsClean()) << "or n=" << n;
+    v = a;
+    EXPECT_TRUE(v.XorWith(b).TailIsClean()) << "xor n=" << n;
+    v = a;
+    EXPECT_TRUE(v.AndWith(b).TailIsClean()) << "and n=" << n;
+    v = a;
+    EXPECT_TRUE(v.AndNotWith(b).TailIsClean()) << "andnot n=" << n;
+    v = a;
+    EXPECT_TRUE(v.FlipAll().TailIsClean()) << "not n=" << n;
+    v = a;
+    v.SetAll();
+    EXPECT_TRUE(v.TailIsClean()) << "setall n=" << n;
+    v = a;
+    EXPECT_TRUE(v.OrWithMany({&b}).TailIsClean()) << "or_many n=" << n;
+    v = a;
+    EXPECT_TRUE(v.AndWithMany({&b}).TailIsClean()) << "and_many n=" << n;
+  }
+}
+
+TEST(BitVectorTailTest, OrWithLongerOperandDoesNotPollutePadding) {
+  // The historical bug: OR/XOR against a (documented zero-extension
+  // semantics) longer operand copied that operand's valid bits into this
+  // vector's padding range, inflating Count() from then on.
+  BitVector longer(128, true);
+  BitVector shorter(70);
+  shorter.Set(0);
+  shorter.OrWith(longer);
+  EXPECT_EQ(shorter.size(), 70u);
+  EXPECT_EQ(shorter.Count(), 70u);
+  EXPECT_TRUE(shorter.TailIsClean());
+
+  BitVector x(70);
+  x.XorWith(longer);
+  EXPECT_EQ(x.Count(), 70u);
+  EXPECT_TRUE(x.TailIsClean());
+}
+
+TEST(BitVectorTailTest, FusedManyOpsMatchChainedBinaryOps) {
+  Rng rng(72);
+  for (size_t n : {size_t{64}, size_t{100}, size_t{4097}}) {
+    std::vector<BitVector> operands(5, BitVector(n));
+    for (BitVector& v : operands) {
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.3)) {
+          v.Set(i);
+        }
+      }
+    }
+    std::vector<const BitVector*> ptrs;
+    for (const BitVector& v : operands) {
+      ptrs.push_back(&v);
+    }
+    BitVector fused_or(n);
+    fused_or.OrWithMany(ptrs);
+    BitVector chained_or(n);
+    for (const BitVector& v : operands) {
+      chained_or.OrWith(v);
+    }
+    EXPECT_EQ(fused_or, chained_or) << "n=" << n;
+
+    BitVector fused_and(n, true);
+    fused_and.AndWithMany(ptrs);
+    BitVector chained_and(n, true);
+    for (const BitVector& v : operands) {
+      chained_and.AndWith(v);
+    }
+    EXPECT_EQ(fused_and, chained_and) << "n=" << n;
+  }
+}
+
+TEST(BitVectorTailTest, ManyOpsWithEmptyOperandListAreIdentity) {
+  BitVector v = BitVector::FromString("1011");
+  const BitVector before = v;
+  v.OrWithMany({});
+  EXPECT_EQ(v, before);
+  v.AndWithMany({});
+  EXPECT_EQ(v, before);
+}
+
+// --- BlitFrom boundary regressions -------------------------------------
+
+TEST(BitVectorBlitTest, ZeroLengthSourceIsNoOpAtAnyOffset) {
+  BitVector dst(100);
+  dst.Set(7);
+  const BitVector empty;
+  for (size_t offset : {size_t{0}, size_t{1}, size_t{63}, size_t{100}}) {
+    BitVector v = dst;
+    v.BlitFrom(empty, offset);
+    EXPECT_EQ(v, dst) << "offset=" << offset;
+  }
+}
+
+TEST(BitVectorBlitTest, WordAlignedFastPathMatchesShiftPath) {
+  Rng rng(73);
+  BitVector src(130);
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (rng.Bernoulli(0.4)) {
+      src.Set(i);
+    }
+  }
+  // Aligned offset (multiple of 64) takes the fused-OR fast path; the
+  // result must be identical to bit-by-bit placement.
+  BitVector dst(300);
+  dst.BlitFrom(src, 64);
+  BitVector expect(300);
+  src.ForEachSetBit([&expect](size_t i) { expect.Set(64 + i); });
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(BitVectorBlitTest, FuzzEveryOffsetMod64) {
+  // Sweep offset mod 64 exhaustively with ragged source sizes so the
+  // carry into the following word, the word-aligned fast path, and the
+  // destination tail are all exercised.
+  Rng rng(74);
+  for (size_t offset = 0; offset < 64; ++offset) {
+    const size_t src_bits = 65 + offset % 7;
+    BitVector src(src_bits);
+    for (size_t i = 0; i < src_bits; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        src.Set(i);
+      }
+    }
+    BitVector dst(offset + src_bits + 3);
+    dst.Set(0);
+    BitVector expect = dst;
+    src.ForEachSetBit([&expect, offset](size_t i) {
+      expect.Set(offset + i);
+    });
+    dst.BlitFrom(src, offset);
+    EXPECT_EQ(dst, expect) << "offset=" << offset;
+    EXPECT_TRUE(dst.TailIsClean()) << "offset=" << offset;
+  }
+}
+
+TEST(BitVectorBlitTest, BlitIntoExactTailKeepsPaddingClean) {
+  // Source lands exactly against the destination's partial last word.
+  BitVector src(10, true);
+  BitVector dst(74);
+  dst.BlitFrom(src, 64);
+  EXPECT_EQ(dst.Count(), 10u);
+  EXPECT_TRUE(dst.TailIsClean());
+}
+
 class BitVectorPropertyTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(BitVectorPropertyTest, OpsMatchBitwiseReference) {

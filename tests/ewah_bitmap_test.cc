@@ -177,6 +177,95 @@ TEST(EwahBitmapTest, FromWordsRejectsCorruptBuffers) {
   EXPECT_TRUE(EwahBitmap::FromWords({marker, uint64_t{1} << 5}, 10).ok());
 }
 
+// --- Boundary regressions for the compressed combine paths -------------
+// Each case pins a shape that has historically broken word-aligned
+// compressed merges: an operand with no set bits at all, a ones-run that
+// ends exactly on a word boundary, and operands whose run/literal group
+// structure disagrees at the final (partial) word.
+
+TEST(EwahBitmapBoundaryTest, CombineWithEmptyOperand) {
+  Rng rng(301);
+  for (size_t n : std::vector<size_t>{64, 100, 4096}) {
+    const BitVector some = RandomBits(n, 0.3, &rng);
+    const BitVector none(n);
+    const EwahBitmap cs = EwahBitmap::Compress(some);
+    const EwahBitmap cn = EwahBitmap::Compress(none);
+    // All-zero operand annihilates And and is the identity for Or.
+    EXPECT_EQ(EwahBitmap::And(cs, cn).Decompress(), none) << "n=" << n;
+    EXPECT_EQ(EwahBitmap::And(cn, cs).Decompress(), none) << "n=" << n;
+    EXPECT_EQ(EwahBitmap::Or(cs, cn).Decompress(), some) << "n=" << n;
+    EXPECT_EQ(EwahBitmap::Or(cn, cs).Decompress(), some) << "n=" << n;
+    EXPECT_EQ(EwahBitmap::AndNot(cs, cn).Decompress(), some) << "n=" << n;
+    EXPECT_EQ(EwahBitmap::AndNot(cn, cs).Decompress(), none) << "n=" << n;
+  }
+  // Zero-bit operands: the result must stay empty, not crash or emit pad.
+  const EwahBitmap empty = EwahBitmap::Compress(BitVector());
+  EXPECT_EQ(EwahBitmap::And(empty, empty).size(), 0u);
+  EXPECT_EQ(EwahBitmap::And(empty, empty).Count(), 0u);
+  EXPECT_EQ(EwahBitmap::Or(empty, empty).Count(), 0u);
+}
+
+TEST(EwahBitmapBoundaryTest, OnesRunEndingOnWordBoundary) {
+  Rng rng(302);
+  // All-ones operands whose ones-run ends exactly at a word boundary, so
+  // no tail literal exists to stop a runaway run-length computation.
+  for (size_t n : std::vector<size_t>{64, 128, 4096}) {
+    const BitVector ones(n, true);
+    const BitVector other = RandomBits(n, 0.2, &rng);
+    const EwahBitmap co = EwahBitmap::Compress(ones);
+    const EwahBitmap cr = EwahBitmap::Compress(other);
+    EXPECT_EQ(EwahBitmap::And(co, cr).Decompress(), other) << "n=" << n;
+    EXPECT_EQ(EwahBitmap::Or(co, cr).Decompress(), ones) << "n=" << n;
+    BitVector flipped = ones;
+    flipped.AndNotWith(other);
+    EXPECT_EQ(EwahBitmap::AndNot(co, cr).Decompress(), flipped)
+        << "n=" << n;
+    EXPECT_EQ(EwahBitmap::And(co, co).Decompress(), ones) << "n=" << n;
+  }
+}
+
+TEST(EwahBitmapBoundaryTest, MismatchedGroupStructureAtFinalWord) {
+  // One operand reaches the final (partial) word inside a long clean run,
+  // the other reaches it as a literal: the merge must not misalign the
+  // streams or drop/duplicate the tail word.
+  for (size_t n : std::vector<size_t>{100, 129, 4097}) {
+    BitVector runs(n);         // zero run all the way to the tail.
+    BitVector literals(n);     // literal in every word, incl. the tail.
+    for (size_t i = 0; i < n; i += 3) {
+      literals.Set(i);
+    }
+    runs.Set(n - 1);           // tail literal after a long zero run.
+    const EwahBitmap cr = EwahBitmap::Compress(runs);
+    const EwahBitmap cl = EwahBitmap::Compress(literals);
+    EXPECT_EQ(EwahBitmap::And(cr, cl).Decompress(), And(runs, literals))
+        << "n=" << n;
+    EXPECT_EQ(EwahBitmap::Or(cr, cl).Decompress(), Or(runs, literals))
+        << "n=" << n;
+    EXPECT_EQ(EwahBitmap::Xor(cr, cl).Decompress(), Xor(runs, literals))
+        << "n=" << n;
+    BitVector diff = runs;
+    diff.AndNotWith(literals);
+    EXPECT_EQ(EwahBitmap::AndNot(cr, cl).Decompress(), diff) << "n=" << n;
+  }
+}
+
+TEST(EwahBitmapBoundaryTest, GallopingAndMatchesOracleOnSparseInputs) {
+  // The skip-based And must be bit-identical to the uncompressed oracle
+  // on the shapes it is optimized for: long zero runs on either side.
+  Rng rng(303);
+  const size_t n = 1 << 18;
+  const BitVector sparse_a = RandomBits(n, 0.0002, &rng);
+  const BitVector sparse_b = RandomBits(n, 0.0002, &rng);
+  const BitVector dense = RandomBits(n, 0.6, &rng);
+  const EwahBitmap ca = EwahBitmap::Compress(sparse_a);
+  const EwahBitmap cb = EwahBitmap::Compress(sparse_b);
+  const EwahBitmap cd = EwahBitmap::Compress(dense);
+  EXPECT_EQ(EwahBitmap::And(ca, cb).Decompress(), And(sparse_a, sparse_b));
+  EXPECT_EQ(EwahBitmap::And(ca, cd).Decompress(), And(sparse_a, dense));
+  EXPECT_EQ(EwahBitmap::And(cd, cb).Decompress(), And(dense, sparse_b));
+  EXPECT_EQ(EwahBitmap::And(ca, cb).Count(), And(sparse_a, sparse_b).Count());
+}
+
 class EwahBitmapPropertyTest
     : public ::testing::TestWithParam<std::pair<size_t, double>> {};
 

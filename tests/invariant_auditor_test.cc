@@ -102,6 +102,39 @@ TEST(InvariantAuditorTest, DetectsWrongLengthBitVector) {
       << report.ToString();
 }
 
+TEST(InvariantAuditorTest, CleanBitVectorPassesTailCheck) {
+  BitVector bits(70);
+  bits.Set(69);
+  const AuditReport report =
+      InvariantAuditor::AuditBitVector(bits, /*expected_bits=*/70);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(InvariantAuditorTest, DetectsDirtyTailInRawWords) {
+  // BitVector's own mutators always mask the tail, so padding-bit
+  // corruption has to be seeded through the raw-words overload — the
+  // shape a buggy serializer or direct word writer would produce.
+  const std::vector<uint64_t> dirty = {0, uint64_t{1} << 40};
+  const AuditReport report =
+      InvariantAuditor::AuditBitVectorWords(dirty, /*declared_bits=*/70);
+  EXPECT_TRUE(report.Has(ViolationKind::kBitmapTailDirty))
+      << report.ToString();
+
+  const std::vector<uint64_t> clean = {~uint64_t{0}, (uint64_t{1} << 6) - 1};
+  EXPECT_TRUE(
+      InvariantAuditor::AuditBitVectorWords(clean, 70).clean());
+  // Word-multiple sizes have no padding, so nothing can be dirty.
+  EXPECT_TRUE(
+      InvariantAuditor::AuditBitVectorWords({~uint64_t{0}}, 64).clean());
+}
+
+TEST(InvariantAuditorTest, DetectsWrongWordCountInRawWords) {
+  const AuditReport report = InvariantAuditor::AuditBitVectorWords(
+      {0, 0, 0}, /*declared_bits=*/70);
+  EXPECT_TRUE(report.Has(ViolationKind::kBitmapLengthMismatch))
+      << report.ToString();
+}
+
 TEST(InvariantAuditorTest, DetectsRleRunSumMismatch) {
   const AuditReport report =
       InvariantAuditor::AuditRleRuns({3, 2}, /*declared_bits=*/6);

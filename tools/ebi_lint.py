@@ -6,6 +6,12 @@ Enforces structural conventions the compiler cannot:
   raw-bit-words     Bit-word arithmetic (word indexing, GCC bit builtins)
                     is confined to src/util, the kernel layer. Everything
                     above it goes through BitVector / bit_util.
+  simd-intrinsics   Raw SIMD (<immintrin.h>/<arm_neon.h> includes, _mm*/
+                    __m128/256/512 / NEON v*q_* intrinsics) is confined to
+                    src/util/kernels/, the runtime-dispatched backend
+                    layer. Everything else calls the BitmapKernels vtable
+                    so vector code is only ever reached behind the CPUID
+                    check.
   naked-new         No raw `new` outside src/exec/thread_pool.*; ownership
                     is expressed with std::make_unique / containers.
   naked-thread      No direct std::thread outside src/exec/thread_pool.*;
@@ -146,6 +152,28 @@ def rule_raw_bit_words(path, text, stripped):
                 "BitVector / bit_util kernels")
 
 
+SIMD_PATTERNS = (
+    r"^\s*#\s*include\s*<(immintrin|x86intrin|emmintrin|smmintrin|"
+    r"tmmintrin|nmmintrin|wmmintrin|xmmintrin|pmmintrin|arm_neon|"
+    r"arm_sve)\.h>",
+    r"\b_mm\d*_\w+\s*\(",
+    r"\b__m(128|256|512)i?\b",
+    r"\bv(and|orr|eor|bic|mvn|cnt|addv|ld1|st1|dup|add)q?(v)?q?_\w+\s*\(",
+)
+
+
+def rule_simd_intrinsics(path, text, stripped):
+    if path.startswith("src/util/kernels/"):
+        return
+    for pattern in SIMD_PATTERNS:
+        for lineno, line in grep_lines(stripped, pattern):
+            yield Finding(
+                "simd-intrinsics", path, lineno,
+                f"raw SIMD `{line}` outside src/util/kernels/; go through "
+                "the kernels::BitmapKernels vtable so vector code stays "
+                "behind the runtime CPUID check")
+
+
 def rule_naked_new(path, text, stripped):
     if path.startswith("src/exec/thread_pool."):
         return
@@ -276,6 +304,7 @@ def rule_test_registered(path, text, stripped, cmake_text=None):
 
 RULES = (
     rule_raw_bit_words,
+    rule_simd_intrinsics,
     rule_naked_new,
     rule_naked_thread,
     rule_raw_sync,
@@ -287,6 +316,7 @@ RULES = (
 
 RULE_NAMES = (
     "raw-bit-words",
+    "simd-intrinsics",
     "naked-new",
     "naked-thread",
     "raw-sync",

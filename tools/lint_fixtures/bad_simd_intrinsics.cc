@@ -1,0 +1,26 @@
+// lint-fixture-path: src/query/fast_merge.cc
+// Known-bad: raw SIMD intrinsics above src/util/kernels/ — this code
+// would crash on CPUs without AVX2 because nothing gates it behind the
+// runtime CPUID check the kernel registry performs.
+#include <immintrin.h>
+
+#include "util/bitvector.h"
+
+namespace ebi {
+
+void MergeDirectly(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < n; ++i) {
+    dst[i] |= src[i];
+  }
+}
+
+}  // namespace ebi

@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/query_service.h"
 
 namespace ebi {
@@ -94,11 +95,12 @@ void RunCell(size_t workers, size_t queue_depth, bench::BenchReport* report) {
       wall_ms > 0 ? static_cast<double>(all.size()) / (wall_ms / 1000.0) : 0;
   const double p50 = Percentile(all, 0.50);
   const double p99 = Percentile(all, 0.99);
+  const double p999 = Percentile(all, 0.999);
   const double shed_rate =
       static_cast<double>(total_shed) / static_cast<double>(attempted);
 
-  std::printf("%8zu %11zu %10.0f %9.3f %9.3f %9.4f\n", workers, queue_depth,
-              throughput, p50, p99, shed_rate);
+  std::printf("%8zu %11zu %10.0f %9.3f %9.3f %9.3f %9.4f\n", workers,
+              queue_depth, throughput, p50, p99, p999, shed_rate);
 
   char label[64];
   std::snprintf(label, sizeof(label), "workers=%zu depth=%zu", workers,
@@ -108,7 +110,36 @@ void RunCell(size_t workers, size_t queue_depth, bench::BenchReport* report) {
   report->Metric("throughput_qps", throughput);
   report->Metric("p50_ms", p50);
   report->Metric("p99_ms", p99);
+  report->Metric("p999_ms", p999);
   report->Metric("shed_rate", shed_rate);
+}
+
+/// Per-stage attribution across the whole grid, from the global
+/// registry's stage histograms (DESIGN.md §11): where a served request's
+/// time went — queue wait, snapshot pin, executor construction, bitmap
+/// evaluation — at p50/p99/p999.
+void ReportStages(bench::BenchReport* report) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::pair<const char*, const char*> stages[] = {
+      {"queue", obs::kMetricServeQueueMs},
+      {"pin", obs::kMetricServeStagePinMs},
+      {"plan", obs::kMetricServeStagePlanMs},
+      {"execute", obs::kMetricServeStageExecuteMs},
+      {"total", obs::kMetricServeLatencyMs},
+  };
+  report->BeginRun("stages");
+  std::printf("\n%-8s %10s %10s %10s\n", "stage", "p50_ms", "p99_ms",
+              "p999_ms");
+  for (const auto& [stage, metric] : stages) {
+    obs::Histogram* histogram = registry.GetHistogram(metric);
+    const double p50 = histogram->Quantile(0.50);
+    const double p99 = histogram->Quantile(0.99);
+    const double p999 = histogram->Quantile(0.999);
+    std::printf("%-8s %10.4f %10.4f %10.4f\n", stage, p50, p99, p999);
+    report->Metric(std::string(stage) + "_p50_ms", p50);
+    report->Metric(std::string(stage) + "_p99_ms", p99);
+    report->Metric(std::string(stage) + "_p999_ms", p999);
+  }
 }
 
 }  // namespace
@@ -119,13 +150,14 @@ int main() {
               "appender churning %zu batches\n",
               ebi::kClients, ebi::kQueriesPerClient, ebi::kRows,
               ebi::kAppendBatches);
-  std::printf("%8s %11s %10s %9s %9s %9s\n", "workers", "queue_depth", "qps",
-              "p50_ms", "p99_ms", "shed");
+  std::printf("%8s %11s %10s %9s %9s %9s %9s\n", "workers", "queue_depth",
+              "qps", "p50_ms", "p99_ms", "p999_ms", "shed");
   ebi::bench::BenchReport report("serve_throughput");
   for (const size_t workers : {1, 2, 4}) {
     for (const size_t depth : {4, 64}) {
       ebi::RunCell(workers, depth, &report);
     }
   }
+  ebi::ReportStages(&report);
   return 0;
 }

@@ -46,15 +46,23 @@ cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DEBI_SANITIZE=thread
 cmake --build build-tsan
 ctest --test-dir build-tsan \
-  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress' \
+  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress|telemetry|workload_recorder' \
   2>&1 | tee -a test_output.txt
 
 # Machine-readable export: every bench that writes BENCH_<name>.json must
-# emit documents matching the schema in scripts/check_bench_json.sh.
+# emit documents matching the schema in scripts/check_bench_json.sh. The
+# default set includes obs_overhead, whose sampling_off throughput ratio
+# is gated there (always-on telemetry must stay near-free when idle).
 bash scripts/check_bench_json.sh
 mkdir -p bench-json
 EBI_BENCH_JSON_DIR=bench-json ./build/bench/serve_throughput > /dev/null
 bash scripts/check_bench_json.sh bench-json/BENCH_serve_throughput.json
+
+# Workload-log pipeline smoke: serve_demo records its queries into a
+# JSONL workload log; ebi_workload must summarize it without skipping a
+# line. (serve_demo writes into the CWD, so run it from bench-json.)
+(cd bench-json && ../build/examples/serve_demo > /dev/null \
+  && ../build/tools/ebi_workload summary serve_demo.workload.jsonl)
 
 : > bench_output.txt
 for b in build/bench/*; do

@@ -85,5 +85,12 @@ std::string ExplainJson(const QueryTrace& trace,
   return w.str();
 }
 
+std::string ExplainSpanJson(const TraceSpan& span,
+                            const ExplainOptions& options) {
+  JsonWriter w;
+  RenderJson(span, options, &w);
+  return w.str();
+}
+
 }  // namespace obs
 }  // namespace ebi

@@ -39,6 +39,12 @@ std::string ExplainText(const QueryTrace& trace,
 std::string ExplainJson(const QueryTrace& trace,
                         const ExplainOptions& options = ExplainOptions());
 
+/// Renders one span subtree (same JSON shape as ExplainJson) — how the
+/// telemetry layer dumps captured roots that no longer live in a
+/// QueryTrace (obs/telemetry.h).
+std::string ExplainSpanJson(const TraceSpan& span,
+                            const ExplainOptions& options = ExplainOptions());
+
 }  // namespace obs
 }  // namespace ebi
 

@@ -2,55 +2,125 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
 #include <utility>
 
 #include "obs/json.h"
 
 namespace ebi {
 namespace obs {
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// "ebi.serve.latency_ms" -> "ebi_serve_latency_ms": Prometheus metric
+/// names allow [a-zA-Z0-9_:] only.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+/// Bound rendering for le="..." labels: integral bounds print without a
+/// fraction so goldens stay readable.
+std::string BoundLabel(double b) { return JsonNumber(b); }
+
+}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)) {
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
   std::sort(bounds_.begin(), bounds_.end());
-  counts_.assign(bounds_.size() + 1, 0);
 }
 
 void Histogram::Observe(double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  size_t b = 0;
-  while (b < bounds_.size() && value > bounds_[b]) {
-    ++b;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t b = static_cast<size_t>(it - bounds_.begin());
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      observed, DoubleToBits(BitsToDouble(observed) + value),
+      std::memory_order_relaxed)) {
   }
-  ++counts_[b];
-  sum_ += value;
-  ++count_;
 }
 
 uint64_t Histogram::TotalCount() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  return count_.load(std::memory_order_relaxed);
 }
 
 double Histogram::Sum() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
 }
 
 double Histogram::Mean() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  const uint64_t n = TotalCount();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return counts_;
+  std::vector<uint64_t> out;
+  out.reserve(counts_.size());
+  for (const std::atomic<uint64_t>& c : counts_) {
+    out.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (const uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (next >= target && counts[b] > 0) {
+      // Interpolate within [lower, upper) of bucket b. The overflow
+      // bucket has no upper bound; report the last finite one.
+      if (b >= bounds_.size()) {
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      const double upper = bounds_[b];
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts[b]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 void Histogram::Reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  std::fill(counts_.begin(), counts_.end(), 0);
-  sum_ = 0.0;
-  count_ = 0;
+  for (std::atomic<uint64_t>& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  sum_bits_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -58,9 +128,23 @@ MetricsRegistry& MetricsRegistry::Global() {
   return registry;
 }
 
+MetricsRegistry::MetricsRegistry() {
+  // Pre-size the shard maps past the built-in metric census so steady
+  // state never rehashes under a shard lock.
+  for (Shard& shard : shards_) {
+    shard.counters.reserve(16);
+    shard.histograms.reserve(16);
+  }
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Counter>& slot = counters_[name];
+  Shard& shard = ShardFor(name);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Counter>& slot = shard.counters[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
   }
@@ -69,8 +153,9 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Histogram>& slot = histograms_[name];
+  Shard& shard = ShardFor(name);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Histogram>& slot = shard.histograms[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds));
   }
@@ -87,45 +172,133 @@ std::vector<double> MetricsRegistry::DefaultBounds() {
   return bounds;
 }
 
-std::string MetricsRegistry::ToJson() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+std::vector<double> MetricsRegistry::LatencyBounds() {
+  std::vector<double> bounds;
+  for (double decade = 0.001; decade <= 1e5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+std::vector<std::pair<std::string, const Counter*>>
+MetricsRegistry::CountersSorted() const {
+  std::vector<std::pair<std::string, const Counter*>> out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.counters) {
+      out.emplace_back(name, counter.get());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::HistogramsSorted() const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, histogram] : shard.histograms) {
+      out.emplace_back(name, histogram.get());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+void HistogramJson(JsonWriter& w, const Histogram& histogram,
+                   bool with_quantiles) {
+  w.BeginObject();
+  w.Key("count").Uint(histogram.TotalCount());
+  w.Key("sum").Number(histogram.Sum());
+  w.Key("mean").Number(histogram.Mean());
+  if (with_quantiles) {
+    w.Key("p50").Number(histogram.Quantile(0.50));
+    w.Key("p99").Number(histogram.Quantile(0.99));
+    w.Key("p999").Number(histogram.Quantile(0.999));
+  }
+  w.Key("bounds").BeginArray();
+  for (const double b : histogram.bounds()) {
+    w.Number(b);
+  }
+  w.EndArray();
+  w.Key("buckets").BeginArray();
+  for (const uint64_t c : histogram.BucketCounts()) {
+    w.Uint(c);
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string RegistryJson(
+    const std::vector<std::pair<std::string, const Counter*>>& counters,
+    const std::vector<std::pair<std::string, const Histogram*>>& histograms,
+    bool with_quantiles) {
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, counter] : counters) {
     w.Key(name).Uint(counter->Value());
   }
   w.EndObject();
   w.Key("histograms").BeginObject();
-  for (const auto& [name, histogram] : histograms_) {
-    w.Key(name).BeginObject();
-    w.Key("count").Uint(histogram->TotalCount());
-    w.Key("sum").Number(histogram->Sum());
-    w.Key("mean").Number(histogram->Mean());
-    w.Key("bounds").BeginArray();
-    for (const double b : histogram->bounds()) {
-      w.Number(b);
-    }
-    w.EndArray();
-    w.Key("buckets").BeginArray();
-    for (const uint64_t c : histogram->BucketCounts()) {
-      w.Uint(c);
-    }
-    w.EndArray();
-    w.EndObject();
+  for (const auto& [name, histogram] : histograms) {
+    w.Key(name);
+    HistogramJson(w, *histogram, with_quantiles);
   }
   w.EndObject();
   w.EndObject();
   return w.str();
 }
 
-std::string MetricsRegistry::ToString() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  return RegistryJson(CountersSorted(), HistogramsSorted(),
+                      /*with_quantiles=*/false);
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  return RegistryJson(CountersSorted(), HistogramsSorted(),
+                      /*with_quantiles=*/true);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
   std::string out;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, counter] : CountersSorted()) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : HistogramsSorted()) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    const std::vector<uint64_t> counts = histogram->BucketCounts();
+    const std::vector<double>& bounds = histogram->bounds();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < bounds.size(); ++b) {
+      cumulative += counts[b];
+      out += prom + "_bucket{le=\"" + BoundLabel(bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += counts.empty() ? 0 : counts.back();
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += prom + "_sum " + JsonNumber(histogram->Sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram->TotalCount()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, counter] : CountersSorted()) {
     out += name + " = " + std::to_string(counter->Value()) + "\n";
   }
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, histogram] : HistogramsSorted()) {
     char line[160];
     std::snprintf(line, sizeof(line), "%s = {count=%llu mean=%.3f}\n",
                   name.c_str(),
@@ -137,12 +310,14 @@ std::string MetricsRegistry::ToString() const {
 }
 
 void MetricsRegistry::Reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, counter] : counters_) {
-    counter->Reset();
-  }
-  for (auto& [name, histogram] : histograms_) {
-    histogram->Reset();
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, counter] : shard.counters) {
+      counter->Reset();
+    }
+    for (auto& [name, histogram] : shard.histograms) {
+      histogram->Reset();
+    }
   }
 }
 

@@ -1,50 +1,20 @@
 #ifndef EBI_OBS_METRICS_H_
 #define EBI_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "obs/metric_names.h"
 #include "storage/io_accountant.h"
 
 namespace ebi {
 namespace obs {
-
-// Canonical metric names (documented in DESIGN.md §6). Query-layer code
-// feeds these; dashboards and the bench JSON export read them back.
-inline constexpr char kMetricQueryCount[] = "ebi.query.count";
-inline constexpr char kMetricQueryLatencyMs[] = "ebi.query.latency_ms";
-inline constexpr char kMetricQueryVectors[] = "ebi.query.vectors";
-inline constexpr char kMetricQueryPages[] = "ebi.query.pages";
-inline constexpr char kMetricPlannerEstimateErrorPages[] =
-    "ebi.planner.estimate_error_pages";
-inline constexpr char kMetricStoreHits[] = "ebi.store.hits";
-inline constexpr char kMetricStoreMisses[] = "ebi.store.misses";
-inline constexpr char kMetricStoreEvictions[] = "ebi.store.evictions";
-inline constexpr char kMetricStoreWritebacks[] = "ebi.store.writebacks";
-inline constexpr char kMetricReductionCount[] = "ebi.reduction.count";
-inline constexpr char kMetricReductionTermsIn[] = "ebi.reduction.terms_in";
-inline constexpr char kMetricReductionTermsOut[] = "ebi.reduction.terms_out";
-// Full slice-set rewrites of compressed encoded indexes (decompress-
-// modify-recompress cycles). The batched maintenance path exists to keep
-// this at one per batch instead of one per appended row.
-inline constexpr char kMetricIndexSliceRewrites[] =
-    "ebi.index.slice_rewrites";
-// Serving layer (src/serve, DESIGN.md §9).
-inline constexpr char kMetricServeSubmitted[] = "ebi.serve.submitted";
-inline constexpr char kMetricServeShed[] = "ebi.serve.shed";
-inline constexpr char kMetricServeDeadlineExceeded[] =
-    "ebi.serve.deadline_exceeded";
-inline constexpr char kMetricServeLatencyMs[] = "ebi.serve.latency_ms";
-inline constexpr char kMetricServeQueueMs[] = "ebi.serve.queue_ms";
-inline constexpr char kMetricServeQueueDepth[] = "ebi.serve.queue_depth";
-inline constexpr char kMetricServePublishes[] = "ebi.serve.publishes";
-inline constexpr char kMetricServeSnapshotsReclaimed[] =
-    "ebi.serve.snapshots_reclaimed";
 
 /// A monotonically increasing named counter. Thread-safe, lock-free.
 class Counter {
@@ -61,7 +31,14 @@ class Counter {
 
 /// A fixed-bucket histogram: `bounds` are ascending inclusive upper
 /// bounds, plus one implicit overflow bucket. Tracks sum and count so
-/// means survive bucketing. Thread-safe (one mutex per histogram).
+/// means survive bucketing.
+///
+/// Thread-safe and lock-free: every bucket is a relaxed atomic, so
+/// serve-path workers observing latencies never serialize on a histogram
+/// mutex. Reads (TotalCount/Sum/BucketCounts) snapshot each atomic
+/// individually — under concurrent observation the snapshot is
+/// per-counter consistent, not cross-counter, which is fine for
+/// monitoring (the same contract as IoAccountant::stats()).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -74,25 +51,47 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<uint64_t> BucketCounts() const;
   const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket the cumulative count crosses q at. Values in the
+  /// overflow bucket report the last finite bound (the histogram cannot
+  /// see past it). 0 when empty.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
-  mutable std::mutex mu_;
   std::vector<double> bounds_;
-  std::vector<uint64_t> counts_;
-  double sum_ = 0.0;
-  uint64_t count_ = 0;
+  std::vector<std::atomic<uint64_t>> counts_;
+  /// Bit pattern of the running double sum (CAS-add keeps Observe
+  /// lock-free without requiring std::atomic<double>::fetch_add).
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> count_{0};
 };
 
-/// Process-wide registry of named counters and histograms. Lookups are
-/// mutex-guarded; returned pointers are stable for the registry's
-/// lifetime, so hot paths cache them in function-local statics.
+/// Process-wide registry of named counters and histograms.
+///
+/// Lookups hash the name to one of kShards shards and take only that
+/// shard's mutex, so concurrent registrations of unrelated metrics never
+/// serialize. Returned pointers are stable for the registry's lifetime.
+///
+/// Handle-caching idiom (the hot-path contract, DESIGN.md §11): a name
+/// lookup is a hash + mutex + map probe, far more than the increment
+/// itself, so instrument sites must look a metric up ONCE and cache the
+/// stable pointer in a function-local static:
+///
+///   static Counter* shed =
+///       MetricsRegistry::Global().GetCounter(kMetricServeShed);
+///   shed->Increment();
+///
+/// After the first call the site costs one relaxed fetch_add and zero
+/// name lookups. Never call GetCounter/GetHistogram per event.
 class MetricsRegistry {
  public:
   /// The process-wide registry every built-in instrumentation site feeds.
   static MetricsRegistry& Global();
 
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -106,18 +105,44 @@ class MetricsRegistry {
   /// 1, 2, 5, 10, ... 10^6 — a decade ladder wide enough for latencies in
   /// ms, vectors per query, and page errors alike.
   static std::vector<double> DefaultBounds();
+  /// Sub-millisecond decade ladder (0.001 ms .. 10^5 ms) for serve-stage
+  /// latencies, where queue/pin/plan stages run well under a millisecond.
+  static std::vector<double> LatencyBounds();
 
   /// Snapshot as one JSON object: {"counters": {...}, "histograms": {...}}.
   std::string ToJson() const;
+  /// Machine-readable JSON export: ToJson plus derived p50/p99/p999 per
+  /// histogram — what the periodic serve-layer flush writes to disk.
+  std::string RenderJson() const;
+  /// Prometheus text exposition format (one # TYPE line per metric;
+  /// histograms render cumulative _bucket{le=...}/_sum/_count series;
+  /// dots in names become underscores). Deterministic: metrics sort by
+  /// name, so goldens can compare the full document.
+  std::string RenderPrometheus() const;
   /// Human-readable one-line-per-metric dump.
   std::string ToString() const;
   /// Zeroes every registered metric (registrations stay). For tests.
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Shard fan-out: 16 independently locked maps keeps registration (and
+  /// cold lookups that bypass the caching idiom) from serializing the
+  /// whole process on one mutex.
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& ShardFor(const std::string& name);
+  /// Stable name-sorted snapshot of every registered metric (pointers
+  /// remain valid; the registry never deletes).
+  std::vector<std::pair<std::string, const Counter*>> CountersSorted() const;
+  std::vector<std::pair<std::string, const Histogram*>> HistogramsSorted()
+      const;
+
+  std::array<Shard, kShards> shards_;
 };
 
 /// Feeds one finished query into the global registry: query count, the

@@ -1,0 +1,158 @@
+#ifndef EBI_OBS_TELEMETRY_H_
+#define EBI_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ebi {
+namespace obs {
+
+/// Deterministic probabilistic sampling decision. Stateless apart from a
+/// monotone sequence counter: request `seq` is sampled iff
+/// splitmix64(seq) falls under rate * 2^64, so for a fixed admission
+/// order the sampled set is reproducible (no wall-clock or
+/// random_device involved — the repo's determinism contract).
+class TraceSampler {
+ public:
+  /// rate clamps to [0, 1]. 0 never samples (and costs one branch per
+  /// Decide), 1 samples everything.
+  explicit TraceSampler(double rate);
+
+  /// Draws the next sequence number and decides. Lock-free.
+  bool Decide() { return DecideFor(seq_.fetch_add(1, std::memory_order_relaxed)); }
+  /// Pure decision for an externally supplied sequence number.
+  bool DecideFor(uint64_t seq) const;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  /// rate mapped onto the splitmix64 output range; UINT64_MAX means
+  /// "sample always" (avoids overflow at rate == 1).
+  uint64_t threshold_;
+  std::atomic<uint64_t> seq_{0};
+};
+
+/// One completed, captured query trace (the root span tree plus the
+/// capture metadata the ring keys on).
+struct CapturedTrace {
+  /// Capture order (monotone across the ring's lifetime).
+  uint64_t seq = 0;
+  /// End-to-end latency the capturer stamped (serve: submit -> complete).
+  double elapsed_ms = 0.0;
+  /// True when captured by the slow-query path rather than sampling.
+  bool slow = false;
+  TraceSpan root;
+};
+
+/// Lock-light bounded MPMC ring of completed traces: writers claim a slot
+/// with one atomic fetch_add and lock only that slot's mutex to move the
+/// payload in, so concurrent captures on different slots never contend
+/// and capture cost stays O(spans moved), not O(ring). The ring keeps the
+/// most recent `capacity` captures; older ones are overwritten.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Captures one completed trace (moves it into a slot).
+  void Push(CapturedTrace trace);
+
+  /// Copies out the live captures, oldest first (by capture seq).
+  std::vector<CapturedTrace> Snapshot() const;
+
+  /// Total traces ever pushed (>= live size; the difference is what the
+  /// ring overwrote).
+  uint64_t TotalCaptured() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+  /// The live captures as one JSON array of span trees (the dumpable
+  /// form the serve layer exposes).
+  std::string DumpJson() const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    bool full = false;
+    CapturedTrace trace;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> pushed_{0};
+};
+
+/// One slow-query log entry. Built from data the serve path already has
+/// in hand (stage timings, predicate summary), so slow queries are
+/// captured unconditionally — no trace needs to have been recording.
+struct SlowQueryEntry {
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  /// Predicate summary, e.g. "a = 3 AND b IN (1, 2)".
+  std::string query;
+  size_t rows = 0;
+  double queue_ms = 0.0;
+  double pin_ms = 0.0;
+  double plan_ms = 0.0;
+  double execute_ms = 0.0;
+  double total_ms = 0.0;
+  /// The span tree, when the request also happened to be traced
+  /// (root.name empty otherwise).
+  TraceSpan root;
+};
+
+/// Bounded ring of the most recent slow queries (same slot-locking
+/// discipline as TraceRing). Dumpable as JSON.
+class SlowQueryLog {
+ public:
+  SlowQueryLog(size_t capacity, double threshold_ms);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  double threshold_ms() const { return threshold_ms_; }
+  /// True when `total_ms` crosses the slow threshold.
+  bool IsSlow(double total_ms) const { return total_ms >= threshold_ms_; }
+
+  void Push(SlowQueryEntry entry);
+
+  std::vector<SlowQueryEntry> Snapshot() const;
+  uint64_t TotalCaptured() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+  /// JSON array of entries, oldest first.
+  std::string DumpJson() const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    bool full = false;
+    SlowQueryEntry entry;
+  };
+
+  double threshold_ms_;
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> pushed_{0};
+};
+
+/// Renders one span tree as JSON (name/elapsed_ms/attrs/children) — the
+/// shape ExplainJson uses for whole traces, reusable for captured roots.
+std::string SpanJson(const TraceSpan& span);
+
+}  // namespace obs
+}  // namespace ebi
+
+#endif  // EBI_OBS_TELEMETRY_H_

@@ -1,0 +1,167 @@
+#ifndef EBI_OBS_WORKLOAD_RECORDER_H_
+#define EBI_OBS_WORKLOAD_RECORDER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ebi {
+namespace obs {
+
+/// One predicate of a recorded query: the fingerprint the re-encoding
+/// advisor mines (column, operator, literal set) plus what the execution
+/// observed (rows its bitmap selected).
+struct WorkloadPredicate {
+  std::string column;
+  /// Stable operator tag: "eq", "in", "range", "isnull", "neq", "notin".
+  std::string op;
+  /// FNV-1a hash over column, operator and the literal set — the
+  /// identity hot-predicate mining groups by. Two textually different
+  /// IN-lists with the same members collide on purpose (the set is
+  /// hashed sorted).
+  uint64_t fingerprint = 0;
+  /// Rows this predicate's bitmap selected (before conjunction).
+  uint64_t rows = 0;
+  /// Integer literals of eq/in predicates, ascending, capped at the
+  /// recorder's literal_cap (the fingerprint always covers the full
+  /// set). String literals contribute to the fingerprint only.
+  std::vector<int64_t> literals;
+  /// Range predicates: inclusive bounds.
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool has_range = false;
+};
+
+/// One executed query, compactly: what ran, what it selected, what it
+/// cost per stage. The append-only workload log is the data source for
+/// reencode_advisor and the (future) online encoding optimizer
+/// (ROADMAP item 5); `ebi_workload` summarizes it offline.
+struct WorkloadRecord {
+  /// Log-schema version this record was written as (see kSchemaVersion).
+  int version = 1;
+  /// Recorder-assigned sequence number (monotone per recorder).
+  uint64_t seq = 0;
+  /// Milliseconds since the recorder started (monotonic clock — the log
+  /// carries no wall-clock time, keeping runs reproducible).
+  double ts_ms = 0.0;
+  uint64_t epoch = 0;
+  uint64_t rows_selected = 0;
+  uint64_t rows_total = 0;
+  /// rows_selected / rows_total (0 when the table was empty).
+  double selectivity = 0.0;
+  double queue_ms = 0.0;
+  double pin_ms = 0.0;
+  double plan_ms = 0.0;
+  double execute_ms = 0.0;
+  double total_ms = 0.0;
+  uint64_t vectors = 0;
+  uint64_t pages = 0;
+  uint64_t bytes = 0;
+  /// Bitmap-kernel backend the process dispatched to ("scalar", "avx2",
+  /// ...), so logs from different hosts stay comparable.
+  std::string kernel;
+  std::vector<WorkloadPredicate> predicates;
+};
+
+/// Serializes one record as a single JSONL line (no trailing newline).
+std::string WorkloadRecordJson(const WorkloadRecord& record);
+
+/// Parses one JSONL line. Rejects unknown schema versions and malformed
+/// documents (the reader skips such lines and counts them).
+Result<WorkloadRecord> ParseWorkloadRecord(const std::string& line);
+
+struct WorkloadRecorderOptions {
+  /// Rotate when the current log file exceeds this many bytes. 0 never
+  /// rotates.
+  size_t rotate_bytes = 4u << 20;
+  /// Generations kept: the live file plus max_files-1 rotated ones
+  /// (path.1 newest rotation .. path.<max_files-1> oldest).
+  size_t max_files = 4;
+  /// Integer literals stored per predicate; the fingerprint always
+  /// covers the full set.
+  size_t literal_cap = 16;
+};
+
+/// Append-only JSONL workload log with size-based rotation.
+///
+/// Thread-safe: Append serializes outside the lock and holds the
+/// recorder mutex only for the buffered fwrite (and the rare rotation),
+/// so concurrent serve workers contend for microseconds, not
+/// serialization time. A seq-ordered turnstile keeps concurrent
+/// appenders' lines in claim order on disk, so readers never see a
+/// sequence inversion. Writes are buffered; Flush()/destructor drain.
+class WorkloadRecorder {
+ public:
+  /// Log-format version written into every record.
+  static constexpr int kSchemaVersion = 1;
+
+  explicit WorkloadRecorder(
+      std::string path,
+      const WorkloadRecorderOptions& options = WorkloadRecorderOptions());
+  ~WorkloadRecorder();
+
+  WorkloadRecorder(const WorkloadRecorder&) = delete;
+  WorkloadRecorder& operator=(const WorkloadRecorder&) = delete;
+
+  /// Stamps seq/ts_ms/version and appends one line. Opens the file
+  /// lazily on first append.
+  Status Append(WorkloadRecord record);
+
+  Status Flush();
+
+  uint64_t RecordsWritten() const;
+  uint64_t Rotations() const;
+  const std::string& path() const { return path_; }
+  const WorkloadRecorderOptions& options() const { return options_; }
+
+ private:
+  Status EnsureOpenLocked();
+  Status RotateLocked();
+  /// Open-if-needed, rotate-if-due, write one line. Never early-returns
+  /// past the caller's turnstile bookkeeping.
+  Status WriteLineLocked(const std::string& line);
+
+  const std::string path_;
+  const WorkloadRecorderOptions options_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  /// Signals turn advancement to writers waiting in seq order.
+  std::condition_variable turn_cv_;
+  /// The seq whose line is written next (== lines on disk so far).
+  uint64_t next_write_ = 0;
+  std::FILE* file_ = nullptr;
+  size_t file_bytes_ = 0;
+  uint64_t records_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+/// Result of reading one log file (or a rotated set).
+struct WorkloadLogRead {
+  std::vector<WorkloadRecord> records;
+  /// Lines skipped: truncated tails (a crash or rotation mid-line),
+  /// malformed JSON, unknown schema versions.
+  size_t skipped = 0;
+};
+
+/// Reads one JSONL log file, oldest line first. Damaged lines are
+/// skipped and counted, never fatal — a truncated final line is the
+/// normal crash/rotation artifact. NotFound only when the file is
+/// missing entirely.
+Result<WorkloadLogRead> ReadWorkloadLog(const std::string& path);
+
+/// Reads a rotated set oldest-first: path.<max_files-1> .. path.1, then
+/// the live file. Missing generations are skipped silently.
+Result<WorkloadLogRead> ReadWorkloadLogSet(const std::string& path,
+                                           size_t max_files);
+
+}  // namespace obs
+}  // namespace ebi
+
+#endif  // EBI_OBS_WORKLOAD_RECORDER_H_

@@ -85,8 +85,20 @@ Result<SelectionResult> SelectionExecutor::Select(
   // one fused kernel pass instead of a chain of binary ANDs.
   std::vector<BitVector> evaluated;
   evaluated.reserve(predicates.size());
+  std::vector<PredicateStat> stats;
+  if (predicate_stats_) {
+    stats.reserve(predicates.size());
+  }
   for (const Predicate& predicate : predicates) {
     EBI_ASSIGN_OR_RETURN(BitVector one, EvaluateOne(predicate));
+    if (predicate_stats_) {
+      PredicateStat stat;
+      stat.column = predicate.column;
+      stat.op = predicate.OpTag();
+      stat.fingerprint = predicate.Fingerprint();
+      stat.rows = one.Count();
+      stats.push_back(std::move(stat));
+    }
     evaluated.push_back(std::move(one));
   }
   if (!evaluated.empty()) {
@@ -104,6 +116,7 @@ Result<SelectionResult> SelectionExecutor::Select(
   result.count = rows.Count();
   result.rows = std::move(rows);
   result.io = scope.Delta();
+  result.predicate_stats = std::move(stats);
   obs::RecordQuery(result.io,
                    std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - started)

@@ -16,6 +16,19 @@
 
 namespace ebi {
 
+/// What one conjunct selected on its own — the per-predicate observation
+/// the workload recorder logs (obs/workload_recorder.h). Collected only
+/// when the executor has predicate stats enabled.
+struct PredicateStat {
+  std::string column;
+  /// Predicate::OpTag() of the conjunct.
+  std::string op;
+  /// Predicate::Fingerprint() of the conjunct.
+  uint64_t fingerprint = 0;
+  /// Rows this predicate's bitmap selected before the conjunction AND.
+  size_t rows = 0;
+};
+
 /// Result of a conjunctive selection.
 struct SelectionResult {
   /// Qualifying rows (existing, non-deleted tuples only).
@@ -24,6 +37,9 @@ struct SelectionResult {
   IoStats io;
   /// Number of qualifying rows (rows.Count(), precomputed).
   size_t count = 0;
+  /// Per-conjunct observations, in predicate order; empty unless
+  /// SelectionExecutor::EnablePredicateStats(true) was called.
+  std::vector<PredicateStat> predicate_stats;
 };
 
 /// Removes the NULL rows of `column_name` from `rows` — the NULL-mask step
@@ -47,6 +63,12 @@ class SelectionExecutor {
   void RegisterIndex(const std::string& column, SecondaryIndex* index) {
     indexes_[column] = index;
   }
+
+  /// Collect per-conjunct PredicateStats in Select results. Off by
+  /// default: the extra popcount per predicate is cheap but not free,
+  /// and only the workload recorder consumes the stats.
+  void EnablePredicateStats(bool on) { predicate_stats_ = on; }
+  bool predicate_stats_enabled() const { return predicate_stats_; }
 
   /// Evaluates the conjunction of `predicates`. Every referenced column
   /// must have a registered index. Records an executor.select trace span
@@ -87,6 +109,7 @@ class SelectionExecutor {
 
   const Table* table_;
   IoAccountant* io_;
+  bool predicate_stats_ = false;
   std::unordered_map<std::string, SecondaryIndex*> indexes_;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/kernels/kernels.h"
 
 namespace ebi {
 
@@ -80,6 +81,9 @@ Result<SelectionResult> ParallelSelectionExecutor::Select(
   if (tracing) {
     span.Attr("segments", n);
     span.Attr("threads", pool_->size());
+    // Which SIMD backend the fan-out's bitmap work dispatched to —
+    // captured traces from different hosts stay attributable.
+    span.Attr("kernel", kernels::Active().name);
     span.Attr("predicates", predicates.size());
     span.Attr("rows", result.count);
     span.AttrIo(result.io);

@@ -1,6 +1,47 @@
 #include "query/predicate.h"
 
+#include <algorithm>
+
 namespace ebi {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  return FnvBytes(h, s.data(), s.size());
+}
+
+uint64_t FnvU64(uint64_t h, uint64_t v) {
+  return FnvBytes(h, &v, sizeof(v));
+}
+
+uint64_t HashValue(const Value& v) {
+  uint64_t h = kFnvOffset;
+  h = FnvU64(h, static_cast<uint64_t>(v.kind));
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kInt64:
+      h = FnvU64(h, static_cast<uint64_t>(v.int_value));
+      break;
+    case Value::Kind::kString:
+      h = FnvString(h, v.string_value);
+      break;
+  }
+  return h;
+}
+
+}  // namespace
 
 Predicate Predicate::Eq(std::string column, Value v) {
   Predicate p;
@@ -72,6 +113,58 @@ size_t Predicate::Width(const Column& col) const {
       return col.IdsInRange(lo, hi).size();
   }
   return 0;
+}
+
+const char* Predicate::OpTag() const {
+  switch (kind) {
+    case Kind::kEquals:
+      return "eq";
+    case Kind::kIn:
+      return "in";
+    case Kind::kRange:
+      return "range";
+    case Kind::kIsNull:
+      return "isnull";
+    case Kind::kNotEquals:
+      return "neq";
+    case Kind::kNotIn:
+      return "notin";
+  }
+  return "?";
+}
+
+uint64_t Predicate::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  h = FnvString(h, column);
+  h = FnvString(h, OpTag());
+  switch (kind) {
+    case Kind::kEquals:
+    case Kind::kNotEquals:
+      h = FnvU64(h, HashValue(value));
+      break;
+    case Kind::kIn:
+    case Kind::kNotIn: {
+      // Sort the member hashes so {1,2} and {2,1} fingerprint the same.
+      std::vector<uint64_t> hashes;
+      hashes.reserve(values.size());
+      for (const Value& v : values) {
+        hashes.push_back(HashValue(v));
+      }
+      std::sort(hashes.begin(), hashes.end());
+      hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+      for (const uint64_t hv : hashes) {
+        h = FnvU64(h, hv);
+      }
+      break;
+    }
+    case Kind::kRange:
+      h = FnvU64(h, static_cast<uint64_t>(lo));
+      h = FnvU64(h, static_cast<uint64_t>(hi));
+      break;
+    case Kind::kIsNull:
+      break;
+  }
+  return h;
 }
 
 std::string Predicate::ToString() const {

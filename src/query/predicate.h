@@ -50,6 +50,18 @@ struct Predicate {
   /// need the column to resolve how many values they span.
   size_t Width(const Column& col) const;
 
+  /// Stable short operator tag for logs: "eq", "in", "range", "isnull",
+  /// "neq", "notin".
+  const char* OpTag() const;
+
+  /// Order-insensitive 64-bit identity of (column, operator, literal
+  /// set): FNV-1a over the column and tag, folded with the sorted
+  /// literal hashes. Two IN-lists with the same members fingerprint
+  /// identically regardless of literal order. This is the key the
+  /// workload log groups repeated predicates by (obs/workload_recorder.h
+  /// and the re-encoding advisor).
+  uint64_t Fingerprint() const;
+
   std::string ToString() const;
 };
 

@@ -1,6 +1,9 @@
 #include "query/reencode_advisor.h"
 
+#include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "encoding/well_defined.h"
 
@@ -22,6 +25,65 @@ Result<double> ExpectedCost(const MappingTable& mapping,
 }
 
 }  // namespace
+
+Result<WorkloadProfile> ProfileFromRecords(
+    const std::vector<obs::WorkloadRecord>& records,
+    const std::string& column, const Column& col) {
+  // Accumulate frequency per predicate fingerprint; the value set of the
+  // first occurrence stands for the group (identical fingerprints carry
+  // identical literal sets by construction).
+  std::unordered_map<uint64_t, WorkloadEntry> groups;
+  std::vector<uint64_t> order;  // First-seen order, for determinism.
+  for (const obs::WorkloadRecord& record : records) {
+    for (const obs::WorkloadPredicate& pred : record.predicates) {
+      if (pred.column != column) {
+        continue;
+      }
+      // The advisor models positive IN-list selections; complements and
+      // NULL probes do not map onto a value set.
+      const bool positive =
+          pred.op == "eq" || pred.op == "in" || pred.op == "range";
+      if (!positive) {
+        continue;
+      }
+      auto it = groups.find(pred.fingerprint);
+      if (it != groups.end()) {
+        it->second.frequency += 1.0;
+        continue;
+      }
+      WorkloadEntry entry;
+      entry.frequency = 1.0;
+      if (pred.op == "range") {
+        if (!pred.has_range || col.type() != Column::Type::kInt64) {
+          continue;
+        }
+        entry.values = col.IdsInRange(pred.lo, pred.hi);
+      } else {
+        for (const int64_t literal : pred.literals) {
+          const std::optional<ValueId> id = col.Lookup(Value::Int(literal));
+          if (id.has_value()) {
+            entry.values.push_back(*id);
+          }
+        }
+        std::sort(entry.values.begin(), entry.values.end());
+        entry.values.erase(
+            std::unique(entry.values.begin(), entry.values.end()),
+            entry.values.end());
+      }
+      if (entry.values.empty()) {
+        continue;  // Nothing resolvable against this dictionary.
+      }
+      groups.emplace(pred.fingerprint, std::move(entry));
+      order.push_back(pred.fingerprint);
+    }
+  }
+  WorkloadProfile profile;
+  profile.reserve(order.size());
+  for (const uint64_t fingerprint : order) {
+    profile.push_back(std::move(groups[fingerprint]));
+  }
+  return profile;
+}
 
 Result<ReencodeDecision> EvaluateReencoding(
     const MappingTable& current, const MappingTable& candidate,

@@ -2,10 +2,13 @@
 #define EBI_QUERY_REENCODE_ADVISOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "encoding/mapping_table.h"
 #include "encoding/optimizer.h"
+#include "obs/workload_recorder.h"
+#include "storage/column.h"
 #include "util/status.h"
 
 namespace ebi {
@@ -18,6 +21,19 @@ struct WorkloadEntry {
 
 /// An observed (or forecast) selection workload against one column.
 using WorkloadProfile = std::vector<WorkloadEntry>;
+
+/// Mines a WorkloadProfile for `column` out of recorded production
+/// queries (the serve layer's workload log, obs/workload_recorder.h):
+/// positive predicates on the column — eq, in, range — become IN-list
+/// entries resolved to ValueIds through `col`'s dictionary, grouped by
+/// predicate fingerprint with one unit of frequency per occurrence.
+/// Negated and IS NULL predicates, and literals absent from the
+/// dictionary, are skipped: the advisor models positive IN-list
+/// selections. This closes the telemetry -> re-encoding loop (ROADMAP
+/// item 5).
+Result<WorkloadProfile> ProfileFromRecords(
+    const std::vector<obs::WorkloadRecord>& records,
+    const std::string& column, const Column& col);
 
 /// Outcome of evaluating a candidate re-encoding — the paper's future-work
 /// item 3: "a model for evaluating the cost-effectiveness of a

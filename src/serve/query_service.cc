@@ -1,9 +1,13 @@
 #include "serve/query_service.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "storage/column.h"
+#include "util/kernels/kernels.h"
 
 namespace ebi {
 namespace serve {
@@ -65,6 +69,135 @@ obs::Histogram* QueueDepthHistogram() {
   return histogram;
 }
 
+obs::Counter* DrainRejectedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricServeDrainRejected);
+  return counter;
+}
+
+obs::Counter* TraceSampledCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricTraceSampled);
+  return counter;
+}
+
+obs::Counter* SlowQueriesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricSlowQueries);
+  return counter;
+}
+
+obs::Counter* WorkloadRecordsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricWorkloadRecords);
+  return counter;
+}
+
+obs::Counter* WorkloadRotationsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricWorkloadRotations);
+  return counter;
+}
+
+obs::Counter* MetricsExportsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricMetricsExports);
+  return counter;
+}
+
+// Per-stage attribution histograms (sub-ms bucket ladder: pin and plan
+// run in microseconds).
+obs::Histogram* PinHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kMetricServeStagePinMs, obs::MetricsRegistry::LatencyBounds());
+  return histogram;
+}
+
+obs::Histogram* PlanHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kMetricServeStagePlanMs,
+          obs::MetricsRegistry::LatencyBounds());
+  return histogram;
+}
+
+obs::Histogram* ExecuteHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kMetricServeStageExecuteMs,
+          obs::MetricsRegistry::LatencyBounds());
+  return histogram;
+}
+
+/// "a = 3 AND b IN {1, 2}" — the query summary slow-log entries carry.
+std::string PredicatesText(const std::vector<Predicate>& predicates) {
+  std::string out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) {
+      out += " AND ";
+    }
+    out += predicates[i].ToString();
+  }
+  return out;
+}
+
+/// One workload-log predicate from the conjunct and (when the executor
+/// collected them) its observed stat.
+obs::WorkloadPredicate ToWorkloadPredicate(const Predicate& p,
+                                           const PredicateStat* stat) {
+  obs::WorkloadPredicate out;
+  out.column = p.column;
+  out.op = p.OpTag();
+  out.fingerprint = stat != nullptr ? stat->fingerprint : p.Fingerprint();
+  out.rows = stat != nullptr ? stat->rows : 0;
+  switch (p.kind) {
+    case Predicate::Kind::kEquals:
+    case Predicate::Kind::kNotEquals:
+      if (p.value.kind == Value::Kind::kInt64) {
+        out.literals.push_back(p.value.int_value);
+      }
+      break;
+    case Predicate::Kind::kIn:
+    case Predicate::Kind::kNotIn:
+      for (const Value& v : p.values) {
+        if (v.kind == Value::Kind::kInt64) {
+          out.literals.push_back(v.int_value);
+        }
+      }
+      std::sort(out.literals.begin(), out.literals.end());
+      break;
+    case Predicate::Kind::kRange:
+      out.has_range = true;
+      out.lo = p.lo;
+      out.hi = p.hi;
+      break;
+    case Predicate::Kind::kIsNull:
+      break;
+  }
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open " + tmp);
+  }
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  std::fclose(file);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<ServeResult> ServeTicket::Wait() {
@@ -84,7 +217,20 @@ void ServeTicket::Complete(Result<ServeResult> outcome) {
 QueryService::QueryService(const ServeOptions& options)
     : options_(options),
       snapshots_(options.reader_slots),
-      pool_(options.worker_threads) {}
+      pool_(options.worker_threads) {
+  const ServeTelemetryOptions& telemetry = options_.telemetry;
+  if (telemetry.enabled) {
+    sampler_ = std::make_unique<obs::TraceSampler>(telemetry.sample_rate);
+    trace_ring_ =
+        std::make_unique<obs::TraceRing>(telemetry.trace_ring_capacity);
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(
+        telemetry.slow_log_capacity, telemetry.slow_threshold_ms);
+    if (!telemetry.workload_log_path.empty()) {
+      workload_recorder_ = std::make_unique<obs::WorkloadRecorder>(
+          telemetry.workload_log_path, telemetry.workload_options);
+    }
+  }
+}
 
 QueryService::~QueryService() { Shutdown().IgnoreError(); }
 
@@ -125,6 +271,7 @@ Result<std::shared_ptr<ServeTicket>> QueryService::Submit(
       in_flight_.fetch_add(1, std::memory_order_seq_cst) + 1;
   if (draining_.load(std::memory_order_seq_cst)) {
     FinishRequest();
+    DrainRejectedCounter()->Increment();
     return Status::FailedPrecondition("service is draining; request rejected");
   }
   SubmittedCounter()->Increment();
@@ -173,6 +320,20 @@ void QueryService::RunRequest(
   const double queue_ms = MsBetween(submitted, start);
   QueueHistogram()->Observe(queue_ms);
 
+  // Sampling decision, up front: sampled requests without a caller trace
+  // record into a local trace whose root the ring captures afterwards.
+  const bool sampled = sampler_ != nullptr && sampler_->Decide();
+  obs::QueryTrace local_trace;
+  obs::QueryTrace* effective_trace =
+      trace != nullptr ? trace : (sampled ? &local_trace : nullptr);
+
+  // Stage timings, filled as the request progresses (DESIGN.md §11).
+  double pin_ms = 0.0;
+  double plan_ms = 0.0;
+  double execute_ms = 0.0;
+  uint64_t epoch = 0;
+  uint64_t rows_total = 0;
+
   Result<ServeResult> outcome = [&]() -> Result<ServeResult> {
     if (deadline.has_value() && start >= *deadline) {
       DeadlineCounter()->Increment();
@@ -180,16 +341,31 @@ void QueryService::RunRequest(
           "request spent " + std::to_string(queue_ms) +
           " ms queued, past its deadline");
     }
+    const Clock::time_point pin_start = Clock::now();
     SnapshotManager::Pin pin = snapshots_.Acquire();
+    pin_ms = MsBetween(pin_start, Clock::now());
+    PinHistogram()->Observe(pin_ms);
     if (!pin) {
       return Status::FailedPrecondition("no snapshot published");
     }
-    obs::TraceScope scope(trace);
+    epoch = pin->epoch();
+    rows_total = pin->NumRows();
+    obs::TraceScope scope(effective_trace);
     obs::ScopedSpan span("serve.request");
     span.Attr("epoch", pin->epoch());
     span.Attr("queue_ms", queue_ms);
+    span.Attr("pin_ms", pin_ms);
+    const Clock::time_point plan_start = Clock::now();
     SelectionExecutor executor = pin->MakeExecutor();
+    if (workload_recorder_ != nullptr) {
+      executor.EnablePredicateStats(true);
+    }
+    plan_ms = MsBetween(plan_start, Clock::now());
+    PlanHistogram()->Observe(plan_ms);
+    const Clock::time_point execute_start = Clock::now();
     Result<SelectionResult> selected = executor.Select(predicates);
+    execute_ms = MsBetween(execute_start, Clock::now());
+    ExecuteHistogram()->Observe(execute_ms);
     if (!selected.ok()) {
       return selected.status();
     }
@@ -202,9 +378,124 @@ void QueryService::RunRequest(
     return result;
   }();
 
-  LatencyHistogram()->Observe(MsBetween(submitted, Clock::now()));
+  const double total_ms = MsBetween(submitted, Clock::now());
+  LatencyHistogram()->Observe(total_ms);
+
+  // Telemetry capture, after the result is in hand but before the ticket
+  // resolves — so tests that Wait() and then inspect the sinks observe
+  // their own request. (The outcome itself is moved out below; capture
+  // reads only what it needs.)
+  const bool slow = slow_log_ != nullptr && slow_log_->IsSlow(total_ms);
+  if (sampled) {
+    TraceSampledCounter()->Increment();
+    obs::CapturedTrace capture;
+    capture.elapsed_ms = total_ms;
+    capture.slow = slow;
+    // A caller-supplied trace stays with the caller; copy its root.
+    capture.root = effective_trace == &local_trace
+                       ? std::move(local_trace.root())
+                       : effective_trace->root();
+    trace_ring_->Push(std::move(capture));
+  }
+  if (slow) {
+    SlowQueriesCounter()->Increment();
+    obs::SlowQueryEntry entry;
+    entry.epoch = epoch;
+    entry.query = PredicatesText(predicates);
+    entry.rows = outcome.ok() ? outcome.value().selection.count : 0;
+    entry.queue_ms = queue_ms;
+    entry.pin_ms = pin_ms;
+    entry.plan_ms = plan_ms;
+    entry.execute_ms = execute_ms;
+    entry.total_ms = total_ms;
+    // Slow queries are captured unconditionally from data already in
+    // hand; the span tree rides along only when one was recorded anyway.
+    if (trace != nullptr) {
+      entry.root = trace->root();
+    }
+    slow_log_->Push(std::move(entry));
+  }
+  if (workload_recorder_ != nullptr && outcome.ok()) {
+    const SelectionResult& selection = outcome.value().selection;
+    obs::WorkloadRecord record;
+    record.epoch = epoch;
+    record.rows_selected = selection.count;
+    record.rows_total = rows_total;
+    record.selectivity =
+        rows_total > 0
+            ? static_cast<double>(selection.count) / rows_total
+            : 0.0;
+    record.queue_ms = queue_ms;
+    record.pin_ms = pin_ms;
+    record.plan_ms = plan_ms;
+    record.execute_ms = execute_ms;
+    record.total_ms = total_ms;
+    record.vectors = selection.io.vectors_read;
+    record.pages = selection.io.pages_read;
+    record.bytes = selection.io.bytes_read;
+    record.kernel = kernels::Active().name;
+    record.predicates.reserve(predicates.size());
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      const PredicateStat* stat = i < selection.predicate_stats.size()
+                                      ? &selection.predicate_stats[i]
+                                      : nullptr;
+      record.predicates.push_back(ToWorkloadPredicate(predicates[i], stat));
+    }
+    if (workload_recorder_->Append(std::move(record)).ok()) {
+      WorkloadRecordsCounter()->Increment();
+      // Forward newly observed rotations to the monotonic counter.
+      const uint64_t rotations = workload_recorder_->Rotations();
+      const uint64_t reported = rotations_reported_.exchange(
+          rotations, std::memory_order_seq_cst);
+      if (rotations > reported) {
+        WorkloadRotationsCounter()->Increment(rotations - reported);
+      }
+    }
+  }
+
   ticket->Complete(std::move(outcome));
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  MaybeExportTelemetry();
   FinishRequest();
+}
+
+void QueryService::MaybeExportTelemetry() {
+  const size_t every = options_.telemetry.export_every;
+  if (every == 0 || options_.telemetry.export_path_prefix.empty()) {
+    return;
+  }
+  if (completed_.load(std::memory_order_relaxed) % every != 0) {
+    return;
+  }
+  // Best-effort: losing the race just means another worker (or a later
+  // period) exports. Never block the serve path on file I/O.
+  if (!export_mu_.try_lock()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(export_mu_, std::adopt_lock);
+  ExportTelemetryLocked().IgnoreError();
+}
+
+Status QueryService::ExportTelemetry() {
+  const std::lock_guard<std::mutex> lock(export_mu_);
+  return ExportTelemetryLocked();
+}
+
+Status QueryService::ExportTelemetryLocked() {
+  const std::string& prefix = options_.telemetry.export_path_prefix;
+  if (prefix.empty()) {
+    return Status::FailedPrecondition("no export_path_prefix configured");
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EBI_RETURN_IF_ERROR(
+      WriteFileAtomic(prefix + ".prom", registry.RenderPrometheus()));
+  EBI_RETURN_IF_ERROR(
+      WriteFileAtomic(prefix + ".json", registry.RenderJson()));
+  if (workload_recorder_ != nullptr) {
+    EBI_RETURN_IF_ERROR(workload_recorder_->Flush());
+  }
+  MetricsExportsCounter()->Increment();
+  return Status::OK();
 }
 
 void QueryService::FinishRequest() {
@@ -260,6 +551,7 @@ Result<uint64_t> QueryService::Append(std::vector<std::vector<Value>> rows) {
 
   std::unique_lock<std::mutex> lock(append_mu_);
   if (draining_.load(std::memory_order_seq_cst)) {
+    DrainRejectedCounter()->Increment();
     return Status::FailedPrecondition("service is draining; append rejected");
   }
   const uint64_t ticket = ++next_append_ticket_;
@@ -365,6 +657,14 @@ Status QueryService::Shutdown() {
       reclaim_reported_.exchange(reclaimed, std::memory_order_seq_cst);
   if (reclaimed > reported) {
     ReclaimedCounter()->Increment(reclaimed - reported);
+  }
+  // Final telemetry flush: the workload log must be durable once
+  // Shutdown returns, and a configured exporter writes its last state.
+  if (workload_recorder_ != nullptr) {
+    workload_recorder_->Flush().IgnoreError();
+  }
+  if (!options_.telemetry.export_path_prefix.empty()) {
+    ExportTelemetry().IgnoreError();
   }
   return Status::OK();
 }

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/workload_recorder.h"
 #include "query/executor.h"
 #include "query/predicate.h"
 #include "serve/snapshot.h"
@@ -23,6 +25,36 @@
 
 namespace ebi {
 namespace serve {
+
+/// Production-telemetry knobs (DESIGN.md §11), fixed at construction.
+/// With `enabled` false the serve path keeps only its always-on stage
+/// histograms and counters — no sampling draw, no ring, no recorder —
+/// which is the "no sink" baseline BENCH_obs_overhead compares against.
+struct ServeTelemetryOptions {
+  /// Master switch for sampling, the slow-query log and the workload
+  /// recorder.
+  bool enabled = false;
+  /// Fraction of requests whose trace is captured into the ring
+  /// (deterministic, see obs::TraceSampler). 0 disables sampling while
+  /// keeping the slow-query log and recorder live.
+  double sample_rate = 0.01;
+  /// Completed-trace ring capacity (most recent captures win).
+  size_t trace_ring_capacity = 256;
+  /// Requests at or above this end-to-end latency enter the slow-query
+  /// log unconditionally — sampled or not.
+  double slow_threshold_ms = 100.0;
+  size_t slow_log_capacity = 64;
+  /// When non-empty, every executed query appends one JSONL record here
+  /// (obs::WorkloadRecorder; rotation per workload_options).
+  std::string workload_log_path;
+  obs::WorkloadRecorderOptions workload_options;
+  /// Every N completed requests one worker flushes the metrics registry
+  /// to `export_path_prefix`.prom/.json (best-effort, try-lock — workers
+  /// never queue behind an export). 0 disables the periodic flush;
+  /// ExportTelemetry() can always be called directly.
+  size_t export_every = 0;
+  std::string export_path_prefix;
+};
 
 /// Service-wide knobs, fixed at construction.
 struct ServeOptions {
@@ -43,6 +75,9 @@ struct ServeOptions {
   /// ParallelFor on the running pool deadlocks); required iff
   /// segment_rows > 0.
   exec::ThreadPool* shard_pool = nullptr;
+  /// Production telemetry (sampled tracing, slow-query log, workload
+  /// recorder, periodic exporter).
+  ServeTelemetryOptions telemetry;
 };
 
 /// Per-request knobs.
@@ -144,6 +179,22 @@ class QueryService {
   /// Direct access for tests (pinning across publishes, reclaim counts).
   SnapshotManager& snapshots() { return snapshots_; }
 
+  /// Telemetry sinks; nullptr when telemetry is disabled (and the
+  /// recorder also when no workload_log_path was configured).
+  obs::TraceRing* trace_ring() { return trace_ring_.get(); }
+  obs::SlowQueryLog* slow_log() { return slow_log_.get(); }
+  obs::WorkloadRecorder* workload_recorder() {
+    return workload_recorder_.get();
+  }
+
+  /// Writes the global metrics registry to
+  /// `<export_path_prefix>.prom` (Prometheus text exposition) and
+  /// `<export_path_prefix>.json` (RenderJson with quantiles), and
+  /// flushes the workload recorder. Requires a configured
+  /// export_path_prefix. Also runs periodically when export_every > 0,
+  /// and once during Shutdown.
+  Status ExportTelemetry();
+
  private:
   struct StagedAppend {
     std::vector<std::vector<Value>> rows;
@@ -161,6 +212,12 @@ class QueryService {
                       deadline);
   /// Decrements in_flight_ and wakes Shutdown at zero.
   void FinishRequest();
+  /// Periodic flush: every export_every completions one worker wins the
+  /// try-lock and exports; the rest skip (telemetry must never queue the
+  /// serve path behind file I/O).
+  void MaybeExportTelemetry();
+  /// Export body; caller holds export_mu_.
+  Status ExportTelemetryLocked();
   /// Arity/type check against the (immutable) schema of `table`.
   static Status ValidateRows(const Table& table,
                              const std::vector<std::vector<Value>>& rows);
@@ -192,6 +249,18 @@ class QueryService {
 
   mutable std::mutex published_mu_;
   std::vector<size_t> published_row_counts_;
+
+  // Telemetry sinks (null when ServeTelemetryOptions::enabled is false).
+  std::unique_ptr<obs::TraceSampler> sampler_;
+  std::unique_ptr<obs::TraceRing> trace_ring_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::unique_ptr<obs::WorkloadRecorder> workload_recorder_;
+  /// Completed requests (any outcome); drives the periodic export.
+  std::atomic<uint64_t> completed_{0};
+  /// Workload-recorder rotations already forwarded to the rotation
+  /// counter.
+  std::atomic<uint64_t> rotations_reported_{0};
+  std::mutex export_mu_;
 
   /// Last member: destroyed first, so tasks still draining during
   /// destruction see every other member alive.

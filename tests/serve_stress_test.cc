@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/workload_recorder.h"
 #include "serve/query_service.h"
 #include "storage/table.h"
 
@@ -156,6 +160,114 @@ TEST(ServeStressTest, HeldPinsStayFrozenWhilePublishesRace) {
   ASSERT_FALSE(failed.load());
   ASSERT_TRUE(service.Shutdown().ok());
   EXPECT_EQ(service.CurrentEpoch(), kPublishes);
+}
+
+// Production telemetry under stress: 100% sampling, a zero slow
+// threshold (every request is "slow"), and a workload recorder rotating
+// every couple KiB — while readers race an appender. Every completed
+// selection must be accounted for in all three sinks, the trace ring
+// must wrap without losing whole captures, and the rotated log set must
+// read back clean and in order.
+TEST(ServeStressTest, TelemetryCapturesEveryCompletedSelection) {
+  constexpr size_t kReaders = 3;
+  constexpr size_t kQueriesPerReader = 60;
+  constexpr size_t kAppendBatches = 8;
+  const std::string log_path =
+      std::string(::testing::TempDir()) + "/ebi_stress_workload.jsonl";
+  std::remove(log_path.c_str());
+  for (size_t g = 1; g < 4; ++g) {
+    std::remove((log_path + "." + std::to_string(g)).c_str());
+  }
+
+  ServeOptions options;
+  options.worker_threads = 2;
+  options.queue_depth = 256;
+  options.telemetry.enabled = true;
+  options.telemetry.sample_rate = 1.0;
+  options.telemetry.trace_ring_capacity = 8;  // forces wraparound
+  options.telemetry.slow_threshold_ms = 0.0;
+  options.telemetry.slow_log_capacity = 4;
+  options.telemetry.workload_log_path = log_path;
+  options.telemetry.workload_options.rotate_bytes = 2048;
+  options.telemetry.workload_options.max_files = 3;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.Start(SeedTable(16), {{"a", IndexKind::kEncodedBitmap}}).ok());
+
+  std::atomic<size_t> successes{0};
+  std::atomic<bool> append_failed{false};
+  exec::ThreadPool drivers(kReaders + 1);
+  drivers.ParallelFor(0, kReaders + 1, [&](size_t worker) {
+    if (worker == 0) {
+      for (size_t b = 0; b < kAppendBatches; ++b) {
+        if (!service.Append({{Value::Int(static_cast<int64_t>(100 + b))}})
+                 .ok()) {
+          append_failed.store(true);
+          return;
+        }
+      }
+      return;
+    }
+    for (size_t q = 0; q < kQueriesPerReader; ++q) {
+      const Result<ServeResult> got = service.Select(
+          {Predicate::Eq("a", Value::Int(static_cast<int64_t>(q % 4)))});
+      if (got.ok()) {
+        successes.fetch_add(1);
+      } else {
+        ASSERT_EQ(got.status().code(), StatusCode::kOverloaded);
+      }
+    }
+  });
+  ASSERT_FALSE(append_failed.load());
+  ASSERT_TRUE(service.Shutdown().ok());
+
+  const uint64_t completed = successes.load();
+  ASSERT_GT(completed, 0u);
+
+  // Every completed selection was sampled into the ring (rate 1.0), and
+  // the ring kept exactly the most recent `capacity` of them.
+  ASSERT_NE(service.trace_ring(), nullptr);
+  EXPECT_EQ(service.trace_ring()->TotalCaptured(), completed);
+  const auto captures = service.trace_ring()->Snapshot();
+  EXPECT_EQ(captures.size(),
+            std::min<size_t>(completed, options.telemetry.trace_ring_capacity));
+  for (size_t i = 1; i < captures.size(); ++i) {
+    EXPECT_LT(captures[i - 1].seq, captures[i].seq);
+  }
+
+  // Threshold 0 marks everything slow: the slow log saw every request.
+  ASSERT_NE(service.slow_log(), nullptr);
+  EXPECT_EQ(service.slow_log()->TotalCaptured(), completed);
+
+  // The recorder wrote one record per completed selection and rotated
+  // along the way; the rotated set reads back clean, oldest first, and
+  // ends at the last sequence number written.
+  ASSERT_NE(service.workload_recorder(), nullptr);
+  EXPECT_EQ(service.workload_recorder()->RecordsWritten(), completed);
+  EXPECT_GT(service.workload_recorder()->Rotations(), 0u);
+  const Result<obs::WorkloadLogRead> set = obs::ReadWorkloadLogSet(
+      log_path, options.telemetry.workload_options.max_files);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set.value().skipped, 0u);
+  ASSERT_FALSE(set.value().records.empty());
+  EXPECT_EQ(set.value().records.back().seq, completed - 1);
+  for (size_t i = 0; i < set.value().records.size(); ++i) {
+    const obs::WorkloadRecord& record = set.value().records[i];
+    if (i > 0) {
+      EXPECT_LT(set.value().records[i - 1].seq, record.seq);
+    }
+    EXPECT_FALSE(record.kernel.empty());
+    EXPECT_GE(record.selectivity, 0.0);
+    EXPECT_LE(record.selectivity, 1.0);
+    ASSERT_EQ(record.predicates.size(), 1u);
+    EXPECT_EQ(record.predicates[0].column, "a");
+    EXPECT_EQ(record.predicates[0].op, "eq");
+  }
+
+  std::remove(log_path.c_str());
+  for (size_t g = 1; g < 4; ++g) {
+    std::remove((log_path + "." + std::to_string(g)).c_str());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,315 @@
+#include "obs/workload_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace ebi {
+namespace obs {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return std::string(::testing::TempDir()) + "/ebi_workload_" + tag +
+         ".jsonl";
+}
+
+void RemoveSet(const std::string& path, size_t generations) {
+  std::remove(path.c_str());
+  for (size_t g = 1; g < generations; ++g) {
+    std::remove((path + "." + std::to_string(g)).c_str());
+  }
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+            content.size());
+  std::fclose(f);
+}
+
+WorkloadRecord SampleRecord() {
+  WorkloadRecord record;
+  record.epoch = 3;
+  record.rows_selected = 42;
+  record.rows_total = 1000;
+  record.selectivity = 0.042;
+  record.queue_ms = 0.5;
+  record.pin_ms = 0.25;
+  record.plan_ms = 0.125;
+  record.execute_ms = 1.5;
+  record.total_ms = 2.375;
+  record.vectors = 7;
+  record.pages = 2;
+  record.bytes = 16384;
+  record.kernel = "scalar";
+
+  WorkloadPredicate in;
+  in.column = "region";
+  in.op = "in";
+  // High bit set on purpose: fingerprints round-trip as hex strings,
+  // not JSON doubles, so no precision is lost past 2^53.
+  in.fingerprint = 0xdeadbeefcafebabeULL;
+  in.rows = 250;
+  in.literals = {-4, 2, 9};
+  record.predicates.push_back(in);
+
+  WorkloadPredicate range;
+  range.column = "price";
+  range.op = "range";
+  range.fingerprint = 0x0123456789abcdefULL;
+  range.rows = 610;
+  range.lo = -100;
+  range.hi = 100;
+  range.has_range = true;
+  record.predicates.push_back(range);
+  return record;
+}
+
+// --- Serialization round-trip ----------------------------------------------
+
+TEST(WorkloadRecordTest, JsonRoundTrip) {
+  WorkloadRecord record = SampleRecord();
+  record.seq = 11;
+  record.ts_ms = 123.5;
+  const std::string line = WorkloadRecordJson(record);
+  const Result<WorkloadRecord> parsed = ParseWorkloadRecord(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const WorkloadRecord& got = parsed.value();
+  EXPECT_EQ(got.version, WorkloadRecorder::kSchemaVersion);
+  EXPECT_EQ(got.seq, 11u);
+  EXPECT_DOUBLE_EQ(got.ts_ms, 123.5);
+  EXPECT_EQ(got.epoch, 3u);
+  EXPECT_EQ(got.rows_selected, 42u);
+  EXPECT_EQ(got.rows_total, 1000u);
+  EXPECT_DOUBLE_EQ(got.selectivity, 0.042);
+  EXPECT_DOUBLE_EQ(got.queue_ms, 0.5);
+  EXPECT_DOUBLE_EQ(got.pin_ms, 0.25);
+  EXPECT_DOUBLE_EQ(got.plan_ms, 0.125);
+  EXPECT_DOUBLE_EQ(got.execute_ms, 1.5);
+  EXPECT_DOUBLE_EQ(got.total_ms, 2.375);
+  EXPECT_EQ(got.vectors, 7u);
+  EXPECT_EQ(got.pages, 2u);
+  EXPECT_EQ(got.bytes, 16384u);
+  EXPECT_EQ(got.kernel, "scalar");
+  ASSERT_EQ(got.predicates.size(), 2u);
+  EXPECT_EQ(got.predicates[0].column, "region");
+  EXPECT_EQ(got.predicates[0].op, "in");
+  EXPECT_EQ(got.predicates[0].fingerprint, 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(got.predicates[0].rows, 250u);
+  EXPECT_EQ(got.predicates[0].literals, (std::vector<int64_t>{-4, 2, 9}));
+  EXPECT_FALSE(got.predicates[0].has_range);
+  EXPECT_EQ(got.predicates[1].column, "price");
+  EXPECT_EQ(got.predicates[1].fingerprint, 0x0123456789abcdefULL);
+  EXPECT_TRUE(got.predicates[1].has_range);
+  EXPECT_EQ(got.predicates[1].lo, -100);
+  EXPECT_EQ(got.predicates[1].hi, 100);
+}
+
+TEST(WorkloadRecordTest, FingerprintSerializesAsHex) {
+  WorkloadRecord record = SampleRecord();
+  const std::string line = WorkloadRecordJson(record);
+  EXPECT_NE(line.find("\"fp\":\"deadbeefcafebabe\""), std::string::npos)
+      << line;
+}
+
+TEST(WorkloadRecordTest, RejectsUnknownVersionAndGarbage) {
+  WorkloadRecord record = SampleRecord();
+  std::string line = WorkloadRecordJson(record);
+  // The version is the first field; bump it and the parser must refuse.
+  const size_t at = line.find("\"v\":1");
+  ASSERT_NE(at, std::string::npos);
+  line.replace(at, 5, "\"v\":9");
+  EXPECT_FALSE(ParseWorkloadRecord(line).ok());
+  EXPECT_FALSE(ParseWorkloadRecord("not json at all").ok());
+  EXPECT_FALSE(ParseWorkloadRecord("{\"seq\":0}").ok());
+  EXPECT_FALSE(ParseWorkloadRecord("").ok());
+}
+
+// --- Recorder: append, read back -------------------------------------------
+
+TEST(WorkloadRecorderTest, AppendsAndReadsBack) {
+  const std::string path = TempPath("append");
+  RemoveSet(path, 4);
+  {
+    WorkloadRecorder recorder(path);
+    for (int i = 0; i < 5; ++i) {
+      WorkloadRecord record = SampleRecord();
+      record.rows_selected = static_cast<uint64_t>(i);
+      ASSERT_TRUE(recorder.Append(std::move(record)).ok());
+    }
+    EXPECT_EQ(recorder.RecordsWritten(), 5u);
+    EXPECT_EQ(recorder.Rotations(), 0u);
+    ASSERT_TRUE(recorder.Flush().ok());
+  }
+  const Result<WorkloadLogRead> read = ReadWorkloadLog(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().skipped, 0u);
+  ASSERT_EQ(read.value().records.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    // The recorder stamps seq itself, in append order.
+    EXPECT_EQ(read.value().records[i].seq, i);
+    EXPECT_EQ(read.value().records[i].rows_selected, i);
+    EXPECT_EQ(read.value().records[i].predicates.size(), 2u);
+  }
+  RemoveSet(path, 4);
+}
+
+TEST(WorkloadRecorderTest, MissingFileIsNotFound) {
+  const Result<WorkloadLogRead> read =
+      ReadWorkloadLog(TempPath("never_written"));
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WorkloadRecorderTest, CapsStoredLiterals) {
+  const std::string path = TempPath("litcap");
+  RemoveSet(path, 4);
+  WorkloadRecorderOptions options;
+  options.literal_cap = 2;
+  {
+    WorkloadRecorder recorder(path, options);
+    ASSERT_TRUE(recorder.Append(SampleRecord()).ok());
+    ASSERT_TRUE(recorder.Flush().ok());
+  }
+  const Result<WorkloadLogRead> read = ReadWorkloadLog(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().records.size(), 1u);
+  // The IN-list had 3 literals; only literal_cap survive on disk. The
+  // fingerprint still covers the full set.
+  EXPECT_EQ(read.value().records[0].predicates[0].literals,
+            (std::vector<int64_t>{-4, 2}));
+  EXPECT_EQ(read.value().records[0].predicates[0].fingerprint,
+            0xdeadbeefcafebabeULL);
+  RemoveSet(path, 4);
+}
+
+// --- Rotation ---------------------------------------------------------------
+
+TEST(WorkloadRecorderTest, RotatesAndKeepsBoundedGenerations) {
+  const std::string path = TempPath("rotate");
+  RemoveSet(path, 8);
+  WorkloadRecorderOptions options;
+  options.rotate_bytes = 512;  // a handful of records per generation
+  options.max_files = 3;
+  uint64_t written = 0;
+  {
+    WorkloadRecorder recorder(path, options);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(recorder.Append(SampleRecord()).ok());
+    }
+    written = recorder.RecordsWritten();
+    EXPECT_EQ(written, 40u);
+    EXPECT_GT(recorder.Rotations(), 0u);
+    ASSERT_TRUE(recorder.Flush().ok());
+  }
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_TRUE(FileExists(path + ".1"));
+  EXPECT_TRUE(FileExists(path + ".2"));
+  // max_files bounds the set: no generation past .2 may exist.
+  EXPECT_FALSE(FileExists(path + ".3"));
+
+  const Result<WorkloadLogRead> set = ReadWorkloadLogSet(path, 3);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set.value().skipped, 0u);
+  // Rotation dropped the oldest generations, never the newest records.
+  ASSERT_FALSE(set.value().records.empty());
+  EXPECT_LE(set.value().records.size(), written);
+  for (size_t i = 1; i < set.value().records.size(); ++i) {
+    EXPECT_LT(set.value().records[i - 1].seq, set.value().records[i].seq);
+  }
+  EXPECT_EQ(set.value().records.back().seq, written - 1);
+  RemoveSet(path, 8);
+}
+
+// --- Damage recovery --------------------------------------------------------
+
+TEST(WorkloadRecorderTest, SkipsTruncatedTail) {
+  const std::string path = TempPath("truncated");
+  RemoveSet(path, 4);
+  const std::string good = WorkloadRecordJson(SampleRecord());
+  // A crash mid-write leaves a final line with no newline, cut mid-JSON.
+  WriteFile(path, good + "\n" + good.substr(0, good.size() / 2));
+  const Result<WorkloadLogRead> read = ReadWorkloadLog(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().records.size(), 1u);
+  EXPECT_EQ(read.value().skipped, 1u);
+  RemoveSet(path, 4);
+}
+
+TEST(WorkloadRecorderTest, SkipsMalformedAndForeignVersionLines) {
+  const std::string path = TempPath("damaged");
+  RemoveSet(path, 4);
+  const std::string good = WorkloadRecordJson(SampleRecord());
+  std::string future = good;
+  const size_t at = future.find("\"v\":1");
+  ASSERT_NE(at, std::string::npos);
+  future.replace(at, 5, "\"v\":2");
+  WriteFile(path,
+            good + "\n" + "{garbage\n" + future + "\n" + good + "\n");
+  const Result<WorkloadLogRead> read = ReadWorkloadLog(path);
+  ASSERT_TRUE(read.ok());
+  // Both intact same-version lines survive; the garbage line and the
+  // future-version line are counted, not fatal.
+  EXPECT_EQ(read.value().records.size(), 2u);
+  EXPECT_EQ(read.value().skipped, 2u);
+  RemoveSet(path, 4);
+}
+
+// --- Concurrency ------------------------------------------------------------
+
+TEST(WorkloadRecorderTest, ConcurrentAppendsAssignUniqueSeqs) {
+  // TSan target: appenders serialize on the recorder mutex for the
+  // fwrite only; serialization happens outside the lock.
+  const std::string path = TempPath("concurrent");
+  RemoveSet(path, 4);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 100;
+  {
+    WorkloadRecorderOptions options;
+    options.rotate_bytes = 0;  // no rotation: every record must survive
+    WorkloadRecorder recorder(path, options);
+    exec::ThreadPool pool(4);
+    pool.ParallelFor(0, kThreads, [&](size_t t) {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        WorkloadRecord record = SampleRecord();
+        record.epoch = t;
+        ASSERT_TRUE(recorder.Append(std::move(record)).ok());
+      }
+    });
+    EXPECT_EQ(recorder.RecordsWritten(), kThreads * kPerThread);
+    ASSERT_TRUE(recorder.Flush().ok());
+  }
+  const Result<WorkloadLogRead> read = ReadWorkloadLog(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().skipped, 0u);
+  ASSERT_EQ(read.value().records.size(), kThreads * kPerThread);
+  std::set<uint64_t> seqs;
+  for (const WorkloadRecord& record : read.value().records) {
+    seqs.insert(record.seq);
+  }
+  // No torn lines, no duplicated or lost sequence numbers.
+  EXPECT_EQ(seqs.size(), kThreads * kPerThread);
+  EXPECT_EQ(*seqs.begin(), 0u);
+  EXPECT_EQ(*seqs.rbegin(), kThreads * kPerThread - 1);
+  RemoveSet(path, 4);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ebi

@@ -37,6 +37,12 @@ Enforces structural conventions the compiler cannot:
   test-registered   Every tests/*.cc that defines a TEST must be
                     registered in tests/CMakeLists.txt, so no test file
                     silently stops running.
+  metric-name-literal
+                    Metric names ("ebi.*") are declared once in
+                    src/obs/metric_names.h and referenced as kMetric*
+                    constants everywhere else. A quoted "ebi.*" literal
+                    anywhere else is a typo waiting to split a time
+                    series.
 
 Exceptions live in tools/ebi_lint_allow.txt as `<rule> <path>` lines
 (rule `nolint` entries are consumed by scripts/lint.sh's NOLINT audit).
@@ -302,6 +308,27 @@ def rule_test_registered(path, text, stripped, cmake_text=None):
             "tests/CMakeLists.txt")
 
 
+METRIC_NAMES_HEADER = "src/obs/metric_names.h"
+
+
+def rule_metric_name_literal(path, text, stripped):
+    if path == METRIC_NAMES_HEADER:
+        return
+    # strip_code blanks string contents but keeps the opening quote, so a
+    # raw-text match whose quote survives in the stripped text is a real
+    # string literal (not a comment mentioning one).
+    for match in re.finditer(r'"ebi\.', text):
+        at = match.start()
+        if stripped[at] != '"':
+            continue
+        lineno = text.count("\n", 0, at) + 1
+        literal = re.match(r'"[^"\n]*"?', text[at:]).group(0)
+        yield Finding(
+            "metric-name-literal", path, lineno,
+            f"metric name literal {literal} outside {METRIC_NAMES_HEADER}; "
+            "reference the kMetric* constant instead")
+
+
 RULES = (
     rule_raw_bit_words,
     rule_simd_intrinsics,
@@ -312,6 +339,7 @@ RULES = (
     rule_header_guard,
     rule_include_path,
     rule_test_registered,
+    rule_metric_name_literal,
 )
 
 RULE_NAMES = (
@@ -324,6 +352,7 @@ RULE_NAMES = (
     "header-guard",
     "include-path",
     "test-registered",
+    "metric-name-literal",
 )
 
 

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/query/observe_site.cc
+//
+// A metric name spelled as a raw string literal outside
+// src/obs/metric_names.h: instrumentation sites must reference the
+// kMetric* constants so a typo cannot silently split a time series.
+// (A comment mentioning "ebi.query.count" must NOT fire the rule.)
+
+void ObserveSomething(int value) {
+  RecordCounter("ebi.query.count", value);
+}

@@ -34,7 +34,7 @@ void Run() {
   for (size_t pool : std::vector<size_t>{1, 2, 4, 8, 16}) {
     IoAccountant io;
     ColdEncodedBitmapIndexOptions options;
-    options.pool_vectors = pool;
+    options.pool_pages = pool;
     ColdEncodedBitmapIndex index(&table->column(0), &table->existence(),
                                  &io, options);
     if (!index.Build().ok()) {

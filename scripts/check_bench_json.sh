@@ -15,15 +15,25 @@ set -u
 cd "$(dirname "$0")/.."
 
 # Benches run (and validated) by the no-argument mode: the paper's access
-# cost figure, the kernel-dispatch throughput grid, and the telemetry
-# overhead bench (whose sampling_off run is additionally gated below).
-DEFAULT_BENCHES=(fig9_access_cost kernel_throughput obs_overhead)
+# cost figure, the kernel-dispatch throughput grid, the telemetry
+# overhead bench (whose sampling_off run is additionally gated below),
+# and the tiered storage engine (whose warm-scan ratio is gated below).
+DEFAULT_BENCHES=(fig9_access_cost kernel_throughput obs_overhead
+                 storage_engine)
 
 # Telemetry overhead gate: with telemetry enabled but sampling off, serve
 # throughput must stay within this fraction of the no-sink baseline. The
 # design target is 2% (ISSUE 7 acceptance, measured locally best-of-3);
 # the CI gate allows 10% because shared runners are noisy.
 OBS_OVERHEAD_MIN_RATIO="${OBS_OVERHEAD_MIN_RATIO:-0.90}"
+
+# Storage engine warm-scan gate: with the buffer pool at or above the
+# working set, a warm scan through the engine (page lookups + payload
+# assembly + decode) must stay within this factor of the in-memory
+# store path. The design target is 1.25x (ISSUE 8 acceptance, measured
+# locally); the CI gate is looser because the scans are microsecond-
+# scale and shared runners are noisy.
+STORAGE_ENGINE_MAX_WARM_RATIO="${STORAGE_ENGINE_MAX_WARM_RATIO:-2.5}"
 
 files=()
 tmpdir=""
@@ -131,6 +141,39 @@ print(f"check_bench_json: obs_overhead gate OK "
 EOF
 }
 
+# The storage_engine export carries the warm/in-memory latency ratio in
+# its scan_latency run; gate it so engine reads can never quietly decay
+# from "cached page lookup" back to "deserialize the world".
+gate_storage_engine() {
+  python3 - "$1" "$STORAGE_ENGINE_MAX_WARM_RATIO" <<'EOF'
+import json
+import sys
+
+path, max_ratio = sys.argv[1], float(sys.argv[2])
+with open(path, "rb") as f:
+    doc = json.load(f)
+metrics = {run["label"]: run["metrics"] for run in doc.get("runs", [])}
+scan = metrics.get("scan_latency", {})
+ratio = scan.get("warm_vs_memory")
+if ratio is None:
+    print(f"check_bench_json: {path}: no scan_latency/warm_vs_memory "
+          "metric", file=sys.stderr)
+    sys.exit(1)
+if ratio > max_ratio:
+    print(f"check_bench_json: {path}: warm scan ratio {ratio:.4f} above "
+          f"gate {max_ratio} — the engine's warm read path got slower "
+          "than the in-memory store allows", file=sys.stderr)
+    sys.exit(1)
+wal = metrics.get("wal_group_commit", {})
+if not wal.get("appends_per_s", 0) > 0:
+    print(f"check_bench_json: {path}: missing or non-positive "
+          "wal_group_commit/appends_per_s", file=sys.stderr)
+    sys.exit(1)
+print(f"check_bench_json: storage_engine gate OK "
+      f"(warm_vs_memory {ratio:.4f} <= {max_ratio})")
+EOF
+}
+
 fail=0
 for f in "${files[@]}"; do
   if command -v python3 > /dev/null 2>&1; then
@@ -151,6 +194,11 @@ for f in "${files[@]}"; do
     BENCH_obs_overhead.json)
       if command -v python3 > /dev/null 2>&1; then
         gate_obs_overhead "$f" || fail=1
+      fi
+      ;;
+    BENCH_storage_engine.json)
+      if command -v python3 > /dev/null 2>&1; then
+        gate_storage_engine "$f" || fail=1
       fi
       ;;
   esac

@@ -39,14 +39,22 @@ cmake --build build-asan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
 # ThreadSanitizer pass over the concurrency surface: the thread pool, the
-# segmented/sharded execution path, the shared atomic accountant, and the
-# serving layer (snapshot pins + combining appends under real races).
+# segmented/sharded execution path, the shared atomic accountant, the
+# serving layer (snapshot pins + combining appends under real races), and
+# the storage engine (buffer-pool pins + concurrent WAL appends).
 # TSan and ASan cannot share a build, hence the third tree.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DEBI_SANITIZE=thread
 cmake --build build-tsan
 ctest --test-dir build-tsan \
-  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress|telemetry|workload_recorder' \
+  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress|telemetry|workload_recorder|storage_engine|wal_recovery' \
+  2>&1 | tee -a test_output.txt
+
+# Crash-recovery drill: the storage-engine and WAL suites run once more,
+# by name, so torn-page, torn-tail, and kill-mid-publish recovery results
+# are visible in the reproduction log even when the full suite above is
+# skimmed.
+ctest --test-dir build -R 'storage_engine|wal_recovery' \
   2>&1 | tee -a test_output.txt
 
 # Machine-readable export: every bench that writes BENCH_<name>.json must

@@ -14,19 +14,26 @@
 
 namespace ebi {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 /// Options for the cold encoded bitmap index.
 struct ColdEncodedBitmapIndexOptions {
-  /// Buffer-pool capacity in bitmap vectors. With fewer pooled vectors
-  /// than slices, queries that reduce to few vectors stay cheap while
-  /// worst-case queries page — exactly the regime the paper's vector-read
-  /// cost metric models.
-  size_t pool_vectors = 4;
+  /// Buffer-pool capacity in 4 KB pages. With fewer pooled pages than
+  /// the slices span, queries that reduce to few vectors stay cheap
+  /// while worst-case queries page — exactly the regime the paper's
+  /// page-read cost metric models.
+  size_t pool_pages = 4;
   /// Directory for the backing file.
   std::string directory = "/tmp";
   ReductionOptions reduction;
-  /// Physical on-disk format of the slice vectors (BitmapStore slots);
-  /// compressed slots shrink the bytes each pool miss charges.
+  /// Physical on-disk format of the slice vectors (storage-engine
+  /// slices); compressed slices shrink the bytes each pool miss charges.
   BitmapFormat format = BitmapFormat::kPlain;
+  /// When set, cover evaluation prefetches the referenced slices'
+  /// pages asynchronously on this pool before the blocking reads.
+  exec::ThreadPool* prefetch_pool = nullptr;
 };
 
 /// A disk-resident encoded bitmap index: the k = ceil(log2 m) slice
@@ -63,8 +70,14 @@ class ColdEncodedBitmapIndex : public SecondaryIndex {
 
   const MappingTable& mapping() const { return mapping_; }
   /// Buffer-pool behaviour of the backing store.
-  const BitmapStoreStats& store_stats() const { return store_->stats(); }
+  BitmapStoreStats store_stats() const { return store_->stats(); }
   void ResetStoreStats() { store_->ResetStats(); }
+
+  /// Section 3.1 cost model against *real* extents: c_e <= k slice
+  /// reads, each costing the pages its stored form actually spans (so
+  /// compressed formats estimate cheaper, matching what a cold read
+  /// charges).
+  double EstimatePages(const SelectionShape& shape) const override;
 
   /// Number of slice vectors resident in the backing store.
   size_t NumSlices() const { return slice_ids_.size(); }

@@ -7,16 +7,8 @@ namespace ebi {
 
 namespace {
 
-constexpr uint32_t kBitVectorMagic = 0x45424956;  // "EBIV".
 constexpr uint32_t kMappingMagic = 0x4542494D;    // "EBIM".
 constexpr uint32_t kIndexMagic = 0x45424949;      // "EBII".
-constexpr uint32_t kStoredMagic = 0x45424953;     // "EBIS".
-
-// Format tags in the StoredBitmap stream. Distinct from BitmapFormat so
-// enum reordering never silently changes the on-disk format.
-constexpr uint32_t kTagPlain = 0;
-constexpr uint32_t kTagRle = 1;
-constexpr uint32_t kTagEwah = 2;
 
 void WriteU32(std::ostream& out, uint32_t v) {
   char buf[4];
@@ -69,113 +61,6 @@ Status ExpectMagic(std::istream& in, uint32_t magic, const char* what) {
 }
 
 }  // namespace
-
-Status SaveBitVector(std::ostream& out, const BitVector& bits) {
-  WriteU32(out, kBitVectorMagic);
-  WriteU64(out, bits.size());
-  for (uint64_t word : bits.words()) {
-    WriteU64(out, word);
-  }
-  if (!out) {
-    return Status::Internal("stream write failed");
-  }
-  return Status::OK();
-}
-
-Result<BitVector> LoadBitVector(std::istream& in) {
-  EBI_RETURN_IF_ERROR(ExpectMagic(in, kBitVectorMagic, "BitVector"));
-  EBI_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(in));
-  BitVector bits(static_cast<size_t>(size));
-  const size_t words = (size + 63) / 64;
-  for (size_t w = 0; w < words; ++w) {
-    EBI_ASSIGN_OR_RETURN(const uint64_t word, ReadU64(in));
-    for (int b = 0; b < 64; ++b) {
-      const size_t pos = w * 64 + static_cast<size_t>(b);
-      if (pos < size && ((word >> b) & 1)) {
-        bits.Set(pos);
-      }
-    }
-  }
-  return bits;
-}
-
-Status SaveStoredBitmap(std::ostream& out, const StoredBitmap& bitmap) {
-  WriteU32(out, kStoredMagic);
-  switch (bitmap.format()) {
-    case BitmapFormat::kPlain:
-      WriteU32(out, kTagPlain);
-      return SaveBitVector(out, *bitmap.AsPlain());
-    case BitmapFormat::kRle: {
-      const RleBitmap* rle = bitmap.AsRle();
-      WriteU32(out, kTagRle);
-      WriteU64(out, rle->size());
-      WriteU64(out, rle->runs().size());
-      for (uint32_t run : rle->runs()) {
-        WriteU32(out, run);
-      }
-      break;
-    }
-    case BitmapFormat::kEwah: {
-      const EwahBitmap* ewah = bitmap.AsEwah();
-      WriteU32(out, kTagEwah);
-      WriteU64(out, ewah->size());
-      WriteU64(out, ewah->words().size());
-      for (uint64_t word : ewah->words()) {
-        WriteU64(out, word);
-      }
-      break;
-    }
-  }
-  if (!out) {
-    return Status::Internal("stream write failed");
-  }
-  return Status::OK();
-}
-
-Result<StoredBitmap> LoadStoredBitmap(std::istream& in) {
-  EBI_RETURN_IF_ERROR(ExpectMagic(in, kStoredMagic, "StoredBitmap"));
-  EBI_ASSIGN_OR_RETURN(const uint32_t tag, ReadU32(in));
-  switch (tag) {
-    case kTagPlain: {
-      EBI_ASSIGN_OR_RETURN(BitVector bits, LoadBitVector(in));
-      return StoredBitmap::Make(std::move(bits), BitmapFormat::kPlain);
-    }
-    case kTagRle: {
-      EBI_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(in));
-      EBI_ASSIGN_OR_RETURN(const uint64_t num_runs, ReadU64(in));
-      std::vector<uint32_t> runs;
-      runs.reserve(num_runs);
-      uint64_t total = 0;
-      for (uint64_t i = 0; i < num_runs; ++i) {
-        EBI_ASSIGN_OR_RETURN(const uint32_t run, ReadU32(in));
-        total += run;
-        runs.push_back(run);
-      }
-      if (total != size) {
-        return Status::InvalidArgument(
-            "StoredBitmap: RLE runs do not sum to the declared size");
-      }
-      return StoredBitmap::FromRle(RleBitmap::FromRuns(runs));
-    }
-    case kTagEwah: {
-      EBI_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(in));
-      EBI_ASSIGN_OR_RETURN(const uint64_t num_words, ReadU64(in));
-      std::vector<uint64_t> words;
-      words.reserve(num_words);
-      for (uint64_t i = 0; i < num_words; ++i) {
-        EBI_ASSIGN_OR_RETURN(const uint64_t word, ReadU64(in));
-        words.push_back(word);
-      }
-      EBI_ASSIGN_OR_RETURN(
-          EwahBitmap ewah,
-          EwahBitmap::FromWords(std::move(words),
-                                static_cast<size_t>(size)));
-      return StoredBitmap::FromEwah(std::move(ewah));
-    }
-    default:
-      return Status::InvalidArgument("StoredBitmap: unknown format tag");
-  }
-}
 
 Status SaveMappingTable(std::ostream& out, const MappingTable& mapping) {
   WriteU32(out, kMappingMagic);

@@ -9,6 +9,7 @@
 #include "util/bitvector.h"
 #include "util/status.h"
 #include "util/stored_bitmap.h"
+#include "util/stored_bitmap_io.h"
 
 namespace ebi {
 
@@ -22,23 +23,10 @@ namespace ebi {
 /// implementation detail; only round-tripping through this library is
 /// supported.
 
-/// Bitmap vectors.
-[[nodiscard]] Status SaveBitVector(std::ostream& out,
-                                   const BitVector& bits);
-[[nodiscard]] Result<BitVector> LoadBitVector(std::istream& in);
-
-/// Stored bitmaps in their physical format. The stream carries a format
-/// tag after the magic; RLE bitmaps serialize their run array and EWAH
-/// bitmaps their marker/literal words, so a compressed vector round-trips
-/// without a decompress/recompress cycle and keeps the exact physical
-/// layout (and therefore SizeBytes / I/O charge) it had when saved.
-/// Loading validates the compressed form: RLE runs must sum to the
-/// declared bit size, and EWAH words must decode to exactly the declared
-/// word count (EwahBitmap::FromWords); corrupt buffers are rejected with
-/// InvalidArgument rather than trusted.
-[[nodiscard]] Status SaveStoredBitmap(std::ostream& out,
-                                      const StoredBitmap& bitmap);
-[[nodiscard]] Result<StoredBitmap> LoadStoredBitmap(std::istream& in);
+/// SaveBitVector/LoadBitVector and SaveStoredBitmap/LoadStoredBitmap
+/// moved to util/stored_bitmap_io.h (re-exported by the include above)
+/// so the storage engine can share the byte format without depending on
+/// the index layer.
 
 /// Mapping tables (codes, width, reserved codewords).
 [[nodiscard]] Status SaveMappingTable(std::ostream& out,

@@ -20,11 +20,25 @@ inline constexpr char kMetricQueryPages[] = "ebi.query.pages";
 inline constexpr char kMetricPlannerEstimateErrorPages[] =
     "ebi.planner.estimate_error_pages";
 
-// --- Bitmap store (src/storage/bitmap_store.cc).
-inline constexpr char kMetricStoreHits[] = "ebi.store.hits";
-inline constexpr char kMetricStoreMisses[] = "ebi.store.misses";
-inline constexpr char kMetricStoreEvictions[] = "ebi.store.evictions";
-inline constexpr char kMetricStoreWritebacks[] = "ebi.store.writebacks";
+// --- Storage engine buffer pool (src/storage/engine/buffer_pool.cc).
+// Replaces the old per-vector ebi.store.* series: the pool caches pages,
+// so hits/misses/evictions are page-granular (DESIGN.md §12).
+inline constexpr char kMetricBufferPoolHits[] = "ebi.buffer_pool.hits";
+inline constexpr char kMetricBufferPoolMisses[] = "ebi.buffer_pool.misses";
+inline constexpr char kMetricBufferPoolEvictions[] =
+    "ebi.buffer_pool.evictions";
+inline constexpr char kMetricBufferPoolWritebacks[] =
+    "ebi.buffer_pool.writebacks";
+inline constexpr char kMetricBufferPoolPrefetches[] =
+    "ebi.buffer_pool.prefetches";
+
+// --- Write-ahead log (src/storage/engine/wal.cc, DESIGN.md §12).
+inline constexpr char kMetricWalAppends[] = "ebi.wal.appends";
+inline constexpr char kMetricWalAppendBytes[] = "ebi.wal.append_bytes";
+inline constexpr char kMetricWalSyncs[] = "ebi.wal.syncs";
+inline constexpr char kMetricWalReplayedRecords[] =
+    "ebi.wal.replayed_records";
+inline constexpr char kMetricWalTornTails[] = "ebi.wal.torn_tails";
 
 // --- Boolean reduction (src/boolean/reduction.cc).
 inline constexpr char kMetricReductionCount[] = "ebi.reduction.count";

@@ -241,6 +241,13 @@ Status QueryService::Start(std::unique_ptr<Table> table,
                                             std::memory_order_seq_cst)) {
     return Status::FailedPrecondition("service already started");
   }
+  if (!options_.wal_path.empty()) {
+    const Status recovered = RecoverFromWal(*table);
+    if (!recovered.ok()) {
+      start_guard_.store(false, std::memory_order_seq_cst);
+      return recovered;
+    }
+  }
   SnapshotOptions snapshot_options;
   snapshot_options.segment_rows = options_.segment_rows;
   snapshot_options.shard_pool = options_.shard_pool;
@@ -256,6 +263,39 @@ Status QueryService::Start(std::unique_ptr<Table> table,
   }
   snapshots_.Publish(std::move(snapshot).value());
   started_.store(true, std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+Status QueryService::RecoverFromWal(Table& table) {
+  EBI_ASSIGN_OR_RETURN(const engine::WalReplayResult replay,
+                       engine::Wal::Replay(options_.wal_path));
+  for (const engine::WalRecord& record : replay.records) {
+    if (record.type != engine::kWalRecordRowBatch) {
+      continue;  // Checkpoints and future record types carry no rows.
+    }
+    EBI_ASSIGN_OR_RETURN(const engine::RowBatch batch,
+                         engine::DecodeRowBatch(record.payload));
+    if (batch.first_row + batch.rows.size() <= table.NumRows()) {
+      continue;  // Already reflected in the base table: idempotent skip.
+    }
+    if (batch.first_row > table.NumRows()) {
+      return Status::Internal(
+          "WAL gap: batch at lsn " + std::to_string(record.lsn) +
+          " starts at row " + std::to_string(batch.first_row) +
+          " but the table holds " + std::to_string(table.NumRows()));
+    }
+    // A batch may straddle the table's edge if the base table captured a
+    // prefix of it; re-apply only the missing suffix.
+    for (size_t i = table.NumRows() - batch.first_row; i < batch.rows.size();
+         ++i) {
+      EBI_RETURN_IF_ERROR(table.AppendRow(batch.rows[i]));
+    }
+  }
+  engine::WalOptions wal_options;
+  wal_options.sync_on_append = options_.wal_sync_on_append;
+  wal_options.fail_after_appends = options_.wal_fail_after_appends;
+  EBI_ASSIGN_OR_RETURN(wal_,
+                       engine::Wal::Open(options_.wal_path, wal_options));
   return Status::OK();
 }
 
@@ -600,8 +640,23 @@ void QueryService::RunCombiner(std::unique_lock<std::mutex>& lock) {
       }
     }
 
+    // Durable mode: the batch must be WAL-durable *before* the publish.
+    // Append + fsync returning OK is the commit point — if we crash
+    // between here and Publish, recovery replays the batch from the log.
+    Status wal_status = Status::OK();
+    if (wal_ != nullptr && !rows.empty()) {
+      const std::vector<uint8_t> payload =
+          engine::EncodeRowBatch(pin->NumRows(), rows);
+      const Result<uint64_t> lsn =
+          wal_->Append(engine::kWalRecordRowBatch, payload);
+      if (!lsn.ok()) {
+        wal_status = lsn.status();
+      }
+    }
+
     Result<std::unique_ptr<DatabaseSnapshot>> next =
-        pin->CloneWithRows(rows, next_epoch);
+        wal_status.ok() ? pin->CloneWithRows(rows, next_epoch)
+                        : Result<std::unique_ptr<DatabaseSnapshot>>(wal_status);
     const Status status = next.ok() ? Status::OK() : next.status();
     if (status.ok()) {
       {
@@ -657,6 +712,11 @@ Status QueryService::Shutdown() {
       reclaim_reported_.exchange(reclaimed, std::memory_order_seq_cst);
   if (reclaimed > reported) {
     ReclaimedCounter()->Increment(reclaimed - reported);
+  }
+  // Drained: everything staged has published, so the log is complete.
+  // The sync covers wal_sync_on_append=false (group commit) mode.
+  if (wal_ != nullptr) {
+    wal_->Sync().IgnoreError();
   }
   // Final telemetry flush: the workload log must be durable once
   // Shutdown returns, and a configured exporter writes its last state.

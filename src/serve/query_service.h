@@ -20,6 +20,7 @@
 #include "query/executor.h"
 #include "query/predicate.h"
 #include "serve/snapshot.h"
+#include "storage/engine/wal.h"
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -78,6 +79,19 @@ struct ServeOptions {
   /// Production telemetry (sampled tracing, slow-query log, workload
   /// recorder, periodic exporter).
   ServeTelemetryOptions telemetry;
+  /// Durable serve mode (DESIGN.md §12): when non-empty, every combined
+  /// append batch is written to this WAL — append + fsync — *before* the
+  /// new snapshot publishes, and Start() replays committed batches from
+  /// it onto the base table. WAL durability is the commit point: a batch
+  /// whose WAL write succeeded survives a crash even if the process dies
+  /// before the publish.
+  std::string wal_path;
+  /// fsync the WAL on every append (group-commit callers may turn this
+  /// off and rely on the Shutdown sync, trading tail durability away).
+  bool wal_sync_on_append = true;
+  /// Fault injection for crash-recovery tests: forwarded to
+  /// engine::WalOptions::fail_after_appends.
+  uint64_t wal_fail_after_appends = 0;
 };
 
 /// Per-request knobs.
@@ -139,7 +153,11 @@ class QueryService {
 
   /// Takes ownership of `table`, builds the serving indexes and publishes
   /// the initial snapshot at epoch 0. Must be called (once) before any
-  /// Submit/Append.
+  /// Submit/Append. In durable mode (ServeOptions::wal_path) the WAL is
+  /// replayed first: committed row batches not yet reflected in `table`
+  /// are re-applied, so the initial snapshot equals the pre-crash
+  /// committed state. Replay is idempotent — batches whose rows the base
+  /// table already contains are skipped by their first_row key.
   Status Start(std::unique_ptr<Table> table, std::vector<IndexSpec> specs);
 
   /// Admits a conjunctive selection. Sheds with kOverloaded when the
@@ -178,6 +196,8 @@ class QueryService {
   }
   /// Direct access for tests (pinning across publishes, reclaim counts).
   SnapshotManager& snapshots() { return snapshots_; }
+  /// The write-ahead log, or nullptr outside durable mode.
+  engine::Wal* wal() { return wal_.get(); }
 
   /// Telemetry sinks; nullptr when telemetry is disabled (and the
   /// recorder also when no workload_log_path was configured).
@@ -221,6 +241,10 @@ class QueryService {
   /// Arity/type check against the (immutable) schema of `table`.
   static Status ValidateRows(const Table& table,
                              const std::vector<std::vector<Value>>& rows);
+  /// Durable-mode recovery: replays committed WAL row batches onto the
+  /// base table (skipping those it already contains) and opens the WAL
+  /// for appending. Called by Start before the initial snapshot is built.
+  Status RecoverFromWal(Table& table);
   /// Drains staged_ as the combining writer. Called with append_mu_ held;
   /// releases it while cloning/publishing and reacquires before returning.
   void RunCombiner(std::unique_lock<std::mutex>& lock);
@@ -249,6 +273,11 @@ class QueryService {
 
   mutable std::mutex published_mu_;
   std::vector<size_t> published_row_counts_;
+
+  /// Write-ahead log; non-null only in durable mode. The combiner is the
+  /// sole appender (single-writer), so Append ordering matches publish
+  /// ordering.
+  std::unique_ptr<engine::Wal> wal_;
 
   // Telemetry sinks (null when ServeTelemetryOptions::enabled is false).
   std::unique_ptr<obs::TraceSampler> sampler_;

@@ -1,9 +1,7 @@
 #include "storage/bitmap_store.h"
 
-#include <cstring>
 #include <utility>
 
-#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/ewah_bitmap.h"
 #include "util/rle_bitmap.h"
@@ -11,256 +9,88 @@
 namespace ebi {
 
 Result<BitmapStore> BitmapStore::Open(const std::string& path,
-                                      size_t capacity_vectors,
+                                      size_t capacity_pages,
                                       IoAccountant* io,
-                                      BitmapFormat format) {
-  if (capacity_vectors == 0) {
+                                      BitmapFormat format,
+                                      exec::ThreadPool* prefetch_pool) {
+  if (capacity_pages == 0) {
     return Status::InvalidArgument("pool capacity must be > 0");
   }
+  engine::StorageEngineOptions options;
+  options.pool_pages = capacity_pages;
+  options.io = io;
+  options.prefetch_pool = prefetch_pool;
+  options.remove_on_close = true;
+  EBI_ASSIGN_OR_RETURN(std::unique_ptr<engine::StorageEngine> engine,
+                       engine::StorageEngine::Open(path, options));
   BitmapStore store;
-  store.path_ = path;
-  store.capacity_ = capacity_vectors;
+  store.engine_ = std::move(engine);
   store.io_ = io;
   store.format_ = format;
-  store.file_ = std::fopen(path.c_str(), "w+b");
-  if (store.file_ == nullptr) {
-    return Status::Internal("cannot open " + path);
-  }
   return store;
 }
 
-BitmapStore::BitmapStore(BitmapStore&& other) noexcept {
-  *this = std::move(other);
-}
-
-BitmapStore& BitmapStore::operator=(BitmapStore&& other) noexcept {
-  if (this != &other) {
-    if (file_ != nullptr) {
-      std::fclose(file_);
-    }
-    path_ = std::move(other.path_);
-    file_ = other.file_;
-    other.file_ = nullptr;
-    capacity_ = other.capacity_;
-    format_ = other.format_;
-    io_ = other.io_;
-    next_offset_ = other.next_offset_;
-    directory_ = std::move(other.directory_);
-    pool_ = std::move(other.pool_);
-    pool_index_ = std::move(other.pool_index_);
-    stats_ = other.stats_;
-  }
-  return *this;
-}
-
-BitmapStore::~BitmapStore() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    std::remove(path_.c_str());
-  }
-}
-
-namespace {
-
-template <typename Word>
-std::vector<uint8_t> WordsToBytes(const std::vector<Word>& words) {
-  std::vector<uint8_t> out(words.size() * sizeof(Word));
-  if (!words.empty()) {
-    std::memcpy(out.data(), words.data(), out.size());
-  }
-  return out;
-}
-
-template <typename Word>
-Result<std::vector<Word>> BytesToWords(const std::vector<uint8_t>& bytes,
-                                       const char* what) {
-  if (bytes.size() % sizeof(Word) != 0) {
-    return Status::Internal(std::string("corrupt ") + what +
-                            " slot payload size");
-  }
-  std::vector<Word> out(bytes.size() / sizeof(Word));
-  if (!out.empty()) {
-    std::memcpy(out.data(), bytes.data(), bytes.size());
-  }
-  return out;
-}
-
-}  // namespace
-
-std::vector<uint8_t> BitmapStore::Serialize(const BitVector& bits) const {
+StoredBitmap BitmapStore::ToStored(const BitVector& bits) const {
   switch (format_) {
     case BitmapFormat::kPlain:
-      return WordsToBytes(bits.words());
+      break;
     case BitmapFormat::kRle:
-      return WordsToBytes(RleBitmap::Compress(bits).runs());
+      return StoredBitmap::FromRle(RleBitmap::Compress(bits));
     case BitmapFormat::kEwah:
-      return WordsToBytes(EwahBitmap::Compress(bits).words());
+      return StoredBitmap::FromEwah(EwahBitmap::Compress(bits));
   }
-  return {};
-}
-
-Result<BitVector> BitmapStore::Deserialize(
-    const std::vector<uint8_t>& payload, uint64_t bits) const {
-  switch (format_) {
-    case BitmapFormat::kPlain: {
-      EBI_ASSIGN_OR_RETURN(const std::vector<uint64_t> words,
-                           BytesToWords<uint64_t>(payload, "plain"));
-      BitVector out(static_cast<size_t>(bits));
-      if (words.size() != out.NumWords()) {
-        return Status::Internal("plain slot word count mismatch");
-      }
-      for (size_t w = 0; w < words.size(); ++w) {
-        out.SetWord(w, words[w]);
-      }
-      return out;
-    }
-    case BitmapFormat::kRle: {
-      EBI_ASSIGN_OR_RETURN(const std::vector<uint32_t> runs,
-                           BytesToWords<uint32_t>(payload, "rle"));
-      const RleBitmap rle = RleBitmap::FromRuns(runs);
-      if (rle.size() != bits) {
-        return Status::Internal("rle slot decodes to " +
-                                std::to_string(rle.size()) + " bits, want " +
-                                std::to_string(bits));
-      }
-      return rle.Decompress();
-    }
-    case BitmapFormat::kEwah: {
-      EBI_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
-                           BytesToWords<uint64_t>(payload, "ewah"));
-      EBI_ASSIGN_OR_RETURN(
-          const EwahBitmap ewah,
-          EwahBitmap::FromWords(std::move(words),
-                                static_cast<size_t>(bits)));
-      return ewah.Decompress();
-    }
-  }
-  return Status::Internal("unreachable bitmap format");
-}
-
-Status BitmapStore::WriteSlot(const Slot& slot,
-                              const std::vector<uint8_t>& payload) {
-  if (std::fseek(file_, static_cast<long>(slot.offset), SEEK_SET) != 0) {
-    return Status::Internal("seek failed");
-  }
-  if (!payload.empty() &&
-      std::fwrite(payload.data(), 1, payload.size(), file_) !=
-          payload.size()) {
-    return Status::Internal("write failed");
-  }
-  ++stats_.writebacks;
-  static obs::Counter* const writeback_counter =
-      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreWritebacks);
-  writeback_counter->Increment();
-  return Status::OK();
-}
-
-Result<BitVector> BitmapStore::ReadSlot(const Slot& slot) {
-  if (std::fseek(file_, static_cast<long>(slot.offset), SEEK_SET) != 0) {
-    return Status::Internal("seek failed");
-  }
-  std::vector<uint8_t> payload(static_cast<size_t>(slot.bytes));
-  if (!payload.empty() &&
-      std::fread(payload.data(), 1, payload.size(), file_) !=
-          payload.size()) {
-    return Status::Internal("read failed");
-  }
-  EBI_ASSIGN_OR_RETURN(BitVector bits, Deserialize(payload, slot.bits));
-  // A miss charges the physical slot size: compressed formats make the
-  // same logical read cheaper, which is the whole point of the knob.
-  io_->ChargeVectorRead(static_cast<size_t>(slot.bytes));
-  return bits;
-}
-
-void BitmapStore::Touch(VectorId id, BitVector bits) {
-  const auto it = pool_index_.find(id);
-  if (it != pool_index_.end()) {
-    pool_.erase(it->second);
-    pool_index_.erase(it);
-  }
-  pool_.emplace_front(id, std::move(bits));
-  pool_index_[id] = pool_.begin();
-  static obs::Counter* const eviction_counter =
-      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreEvictions);
-  while (pool_.size() > capacity_) {
-    pool_index_.erase(pool_.back().first);
-    pool_.pop_back();
-    ++stats_.evictions;
-    eviction_counter->Increment();
-  }
+  return StoredBitmap::Make(bits, BitmapFormat::kPlain);
 }
 
 Result<BitmapStore::VectorId> BitmapStore::Put(const BitVector& bits) {
-  const std::vector<uint8_t> payload = Serialize(bits);
-  Slot slot;
-  slot.offset = next_offset_;
-  slot.bits = bits.size();
-  slot.bytes = payload.size();
-  EBI_RETURN_IF_ERROR(WriteSlot(slot, payload));
-  next_offset_ += slot.bytes;
-  const VectorId id = static_cast<VectorId>(directory_.size());
-  directory_.push_back(slot);
-  Touch(id, bits);
-  return id;
+  return engine_->PutSlice(ToStored(bits));
 }
 
 Status BitmapStore::Update(VectorId id, const BitVector& bits) {
-  if (id >= directory_.size()) {
-    return Status::OutOfRange("vector id out of range");
-  }
-  const std::vector<uint8_t> payload = Serialize(bits);
-  Slot& slot = directory_[id];
-  if (payload.size() > slot.bytes) {
-    // Relocate to the end of the file; the old slot becomes garbage (no
-    // compaction — stores are rebuilt, not edited, in this workload).
-    slot.offset = next_offset_;
-    next_offset_ += payload.size();
-  }
-  slot.bytes = payload.size();
-  slot.bits = bits.size();
-  EBI_RETURN_IF_ERROR(WriteSlot(slot, payload));
-  Touch(id, bits);
-  return Status::OK();
+  return engine_->UpdateSlice(id, ToStored(bits));
 }
 
 Result<BitVector> BitmapStore::Get(VectorId id) {
-  if (id >= directory_.size()) {
-    return Status::OutOfRange("vector id out of range");
-  }
   obs::ScopedSpan span("store.get");
-  static obs::Counter* const hit_counter =
-      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreHits);
-  static obs::Counter* const miss_counter =
-      obs::MetricsRegistry::Global().GetCounter(obs::kMetricStoreMisses);
-  const auto it = pool_index_.find(id);
-  if (it != pool_index_.end()) {
-    ++stats_.hits;
-    hit_counter->Increment();
-    BitVector bits = it->second->second;
-    Touch(id, bits);
-    if (span.active()) {
-      span.Attr("id", static_cast<uint64_t>(id));
-      span.Attr("hit", true);
+  size_t pages_faulted = 0;
+  EBI_ASSIGN_OR_RETURN(StoredBitmap stored,
+                       engine_->GetSlice(id, &pages_faulted));
+  if (pages_faulted == 0) {
+    ++gets_hit_;
+  } else {
+    ++gets_missed_;
+    // The faulted pages already charged their bytes; the Get itself is
+    // one logical vector read on top.
+    if (io_ != nullptr) {
+      io_->ChargeVectorTouch();
     }
-    return bits;
   }
-  ++stats_.misses;
-  miss_counter->Increment();
-  EBI_ASSIGN_OR_RETURN(BitVector bits, ReadSlot(directory_[id]));
-  Touch(id, bits);
   if (span.active()) {
     span.Attr("id", static_cast<uint64_t>(id));
-    span.Attr("hit", false);
-    span.Attr("bytes", directory_[id].bytes);
+    span.Attr("hit", pages_faulted == 0);
+    span.Attr("pages_faulted", static_cast<uint64_t>(pages_faulted));
   }
-  return bits;
+  return stored.ToBitVector();
 }
 
-Result<size_t> BitmapStore::StoredBytes(VectorId id) const {
-  if (id >= directory_.size()) {
-    return Status::OutOfRange("vector id out of range");
-  }
-  return static_cast<size_t>(directory_[id].bytes);
+void BitmapStore::Prefetch(const std::vector<VectorId>& ids) {
+  engine_->PrefetchSlices(ids);
+}
+
+BitmapStoreStats BitmapStore::stats() const {
+  const engine::BufferPoolStats pool = engine_->pool_stats();
+  BitmapStoreStats out;
+  out.hits = gets_hit_;
+  out.misses = gets_missed_;
+  out.evictions = pool.evictions - pool_baseline_.evictions;
+  out.writebacks = pool.writebacks - pool_baseline_.writebacks;
+  return out;
+}
+
+void BitmapStore::ResetStats() {
+  gets_hit_ = 0;
+  gets_missed_ = 0;
+  pool_baseline_ = engine_->pool_stats();
 }
 
 }  // namespace ebi

@@ -2,12 +2,10 @@
 #define EBI_STORAGE_BITMAP_STORE_H_
 
 #include <cstdint>
-#include <cstdio>
-#include <list>
+#include <memory>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "storage/engine/storage_engine.h"
 #include "storage/io_accountant.h"
 #include "util/bitmap_format.h"
 #include "util/bitvector.h"
@@ -15,7 +13,9 @@
 
 namespace ebi {
 
-/// Statistics of one BitmapStore.
+/// Statistics of one BitmapStore. Hits/misses are per-Get (a Get that
+/// faulted no pages is a hit); evictions/writebacks are page-granular,
+/// forwarded from the underlying buffer pool.
 struct BitmapStoreStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -30,96 +30,96 @@ struct BitmapStoreStats {
   }
 };
 
-/// A file-backed store for bitmap vectors with an LRU buffer pool — the
-/// disk-resident storage DW indexes actually live on. The in-memory
-/// indexes of this library are the hot path; BitmapStore demonstrates the
-/// same structures working at larger-than-memory scale, with every miss
-/// charged to the IoAccountant as a real vector read.
+/// A file-backed store for bitmap vectors — the disk-resident storage DW
+/// indexes actually live on. Since the tiered storage engine landed
+/// (DESIGN.md §12) this is a thin facade over engine::StorageEngine: one
+/// vector is one slice, chunked over checksummed 4 KB pages and cached
+/// by a page-granular buffer pool.
 ///
-/// Vectors land in the file in the store's physical format: plain word
+/// Vectors land on disk in the store's physical format: plain word
 /// arrays, RLE run arrays or EWAH buffers (BitmapFormat). Compressed
-/// slots shrink both the file footprint and the bytes a pool miss charges
-/// to the accountant — the store's I/O cost is format-dependent, while
-/// Get() always hands back the decompressed BitVector. Usage:
+/// slots shrink both the file footprint and the bytes a cold read
+/// charges to the accountant — the store's I/O cost is format-dependent,
+/// while Get() always hands back the decompressed BitVector. Usage:
 ///
-///   BitmapStore store("/tmp/ebi.bin", /*capacity_vectors=*/8, &io,
+///   BitmapStore store("/tmp/ebi.bin", /*capacity_pages=*/8, &io,
 ///                     BitmapFormat::kEwah);
-///   auto id = store.Put(bitvector);         // Compress + write through.
+///   auto id = store.Put(bitvector);         // Compress + install.
 ///   auto bits = store.Get(*id);             // Cached or re-read.
 class BitmapStore {
  public:
   using VectorId = uint32_t;
 
-  /// Opens (creates/truncates) the backing file. `capacity_vectors` is the
-  /// number of vectors the buffer pool may keep in memory; `format` is the
-  /// physical representation vectors take on disk.
+  /// Opens (creates/truncates) the backing file. `capacity_pages` is the
+  /// number of 4 KB pages the buffer pool may keep in memory; `format` is
+  /// the physical representation vectors take on disk. The backing file
+  /// (and its extent-map sidecar) is removed when the store dies — use
+  /// engine::StorageEngine directly for durable stores. When
+  /// `prefetch_pool` is set, Prefetch() warms pages asynchronously.
   static Result<BitmapStore> Open(const std::string& path,
-                                  size_t capacity_vectors,
+                                  size_t capacity_pages,
                                   IoAccountant* io,
-                                  BitmapFormat format = BitmapFormat::kPlain);
+                                  BitmapFormat format = BitmapFormat::kPlain,
+                                  exec::ThreadPool* prefetch_pool = nullptr);
 
   BitmapStore(const BitmapStore&) = delete;
   BitmapStore& operator=(const BitmapStore&) = delete;
-  BitmapStore(BitmapStore&& other) noexcept;
-  BitmapStore& operator=(BitmapStore&& other) noexcept;
-  ~BitmapStore();
+  BitmapStore(BitmapStore&&) noexcept = default;
+  BitmapStore& operator=(BitmapStore&&) noexcept = default;
+  ~BitmapStore() = default;
 
-  /// Appends a vector to the store, returning its id. Writes through to
-  /// the file and installs it in the pool.
+  /// Appends a vector to the store, returning its id. The payload lands
+  /// in pool frames and reaches disk on eviction or engine Sync.
   Result<VectorId> Put(const BitVector& bits);
 
   /// Overwrites an existing vector (same id), e.g. after maintenance.
-  Status Update(VectorId id, const BitVector& bits);
+  [[nodiscard]] Status Update(VectorId id, const BitVector& bits);
 
-  /// Fetches a vector: pool hit is free, a miss reads the file and charges
-  /// the accountant one vector read.
+  /// Fetches a vector: a Get whose pages are all pool-resident is free;
+  /// otherwise each faulted page charges the accountant, plus one
+  /// logical vector read for the Get itself.
   Result<BitVector> Get(VectorId id);
 
+  /// Warms the pool with the pages of the given vectors (asynchronous
+  /// when the engine has a prefetch pool).
+  void Prefetch(const std::vector<VectorId>& ids);
+
   /// Number of vectors stored.
-  size_t Size() const { return directory_.size(); }
-  /// Vectors currently resident in the pool.
-  size_t Resident() const { return pool_.size(); }
+  size_t Size() const { return engine_->NumSlices(); }
+  /// Pages currently resident in the pool.
+  size_t Resident() const { return engine_->PoolResident(); }
   /// Physical on-disk representation.
   BitmapFormat format() const { return format_; }
-  /// Physical bytes vector `id` occupies on disk (the per-miss charge).
-  Result<size_t> StoredBytes(VectorId id) const;
+  /// Physical bytes vector `id` occupies on disk (the sum a cold read
+  /// charges).
+  Result<size_t> StoredBytes(VectorId id) const {
+    return engine_->SliceBytes(id);
+  }
+  /// Pages vector `id` spans — the per-vector page cost of a cold read.
+  Result<uint32_t> StoredPages(VectorId id) const {
+    return engine_->SlicePages(id);
+  }
 
-  const BitmapStoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BitmapStoreStats(); }
+  /// The engine underneath, e.g. for Sync or verification.
+  engine::StorageEngine* storage_engine() { return engine_.get(); }
+
+  BitmapStoreStats stats() const;
+  void ResetStats();
 
  private:
-  struct Slot {
-    uint64_t offset = 0;
-    uint64_t bits = 0;
-    uint64_t bytes = 0;
-  };
-
   BitmapStore() = default;
 
-  /// Serializes `bits` in the store's physical format.
-  std::vector<uint8_t> Serialize(const BitVector& bits) const;
-  /// Reconstructs a vector of `bits` logical bits from a slot payload.
-  Result<BitVector> Deserialize(const std::vector<uint8_t>& payload,
-                                uint64_t bits) const;
+  /// Converts to the store's physical format.
+  StoredBitmap ToStored(const BitVector& bits) const;
 
-  Status WriteSlot(const Slot& slot, const std::vector<uint8_t>& payload);
-  Result<BitVector> ReadSlot(const Slot& slot);
-  /// Moves `id` to the front of the LRU, evicting beyond capacity.
-  void Touch(VectorId id, BitVector bits);
-
-  std::string path_;
-  std::FILE* file_ = nullptr;
-  size_t capacity_ = 0;
-  BitmapFormat format_ = BitmapFormat::kPlain;
+  std::unique_ptr<engine::StorageEngine> engine_;
   IoAccountant* io_ = nullptr;
-  uint64_t next_offset_ = 0;
-  std::vector<Slot> directory_;
-  /// LRU pool: front = most recent.
-  std::list<std::pair<VectorId, BitVector>> pool_;
-  std::unordered_map<VectorId,
-                     std::list<std::pair<VectorId, BitVector>>::iterator>
-      pool_index_;
-  BitmapStoreStats stats_;
+  BitmapFormat format_ = BitmapFormat::kPlain;
+  /// Get-level hit/miss counts (page-level counters live in the pool).
+  uint64_t gets_hit_ = 0;
+  uint64_t gets_missed_ = 0;
+  /// Pool counter baseline set by ResetStats().
+  engine::BufferPoolStats pool_baseline_;
 };
 
 }  // namespace ebi

@@ -1,0 +1,200 @@
+#ifndef EBI_STORAGE_ENGINE_BUFFER_POOL_H_
+#define EBI_STORAGE_ENGINE_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/engine/page_file.h"
+#include "storage/io_accountant.h"
+#include "util/status.h"
+
+namespace ebi {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
+namespace engine {
+
+/// Cumulative counters for one pool instance (mirrored into the global
+/// MetricsRegistry as ebi.buffer_pool.*).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t prefetches = 0;
+};
+
+struct BufferPoolOptions {
+  /// Frame-table capacity in pages. Must be > 0.
+  size_t capacity_pages = 64;
+  /// When set, every physical page read/write is charged here.
+  IoAccountant* io = nullptr;
+  /// When set, Prefetch() faults pages asynchronously on this pool;
+  /// otherwise prefetch degrades to a synchronous warm-up loop.
+  exec::ThreadPool* prefetch_pool = nullptr;
+};
+
+class BufferPool;
+
+/// A pinned page: holds the frame resident and grants access to its
+/// payload until destroyed. Copyable handles would complicate pin
+/// accounting, so it is move-only.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+  ~PageRef();
+
+  bool valid() const { return pool_ != nullptr; }
+  const uint8_t* data() const;
+  size_t size() const;
+  uint32_t slice() const;
+  /// Marks the frame dirty so eviction/flush writes it back.
+  void MarkDirty();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+  void Release();
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+};
+
+/// Page-granular cache over one or more PageFiles (DESIGN.md §12):
+/// a frame table keyed by (file_id, page_no), pin counts, strict-LRU
+/// eviction of unpinned frames, and dirty-page writeback on eviction or
+/// Flush. All physical I/O flows through the registered PageFiles, all
+/// accounting through the configured IoAccountant: a hit charges
+/// nothing, a miss charges exactly one page and the page's stored
+/// payload bytes.
+///
+/// Thread-safe; one mutex guards the frame table. Callers must drop (or
+/// move-from) every PageRef before destroying the pool.
+class BufferPool {
+ public:
+  static Result<std::unique_ptr<BufferPool>> Create(
+      const BufferPoolOptions& options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Registers a page file the pool may read from / write back to. The
+  /// returned file id keys all subsequent Pin/Prefetch calls. The caller
+  /// keeps ownership and must outlive the pool.
+  uint32_t Register(PageFile* file);
+
+  /// Returns the page pinned in a frame, faulting it from disk on a
+  /// miss (possibly evicting the LRU unpinned frame, writing it back
+  /// first if dirty). Fails if every frame is pinned.
+  [[nodiscard]] Result<PageRef> Pin(uint32_t file_id, uint32_t page_no);
+
+  /// Appends the payloads of `count` consecutive pages to `*out` under a
+  /// single lock acquisition — the slice-assembly fast path. Each page
+  /// is a hit or a fault exactly as through Pin, but nothing stays
+  /// pinned: bytes are copied out while the lock protects the frame, so
+  /// per-page pin/unpin round-trips (two mutex acquisitions each) are
+  /// avoided. `*pages_faulted` (optional) receives the miss count.
+  /// Works at any capacity: a page read earlier in the range may be
+  /// evicted by a later fault, its bytes having already been copied.
+  [[nodiscard]] Status ReadRange(uint32_t file_id, uint32_t first_page,
+                                 uint32_t count, std::string* out,
+                                 size_t* pages_faulted = nullptr);
+
+  /// Installs fresh payload bytes for (file_id, page_no) directly into a
+  /// dirty frame — the write path. The bytes reach disk on eviction or
+  /// Flush, not before.
+  [[nodiscard]] Status WriteThrough(uint32_t file_id, uint32_t page_no,
+                                    uint32_t slice, const uint8_t* data,
+                                    size_t bytes);
+
+  /// Warms the cache with the given pages. Asynchronous when a prefetch
+  /// pool is configured; faults are best-effort (errors are dropped —
+  /// the later Pin surfaces them).
+  void Prefetch(uint32_t file_id, const std::vector<uint32_t>& pages);
+
+  /// Writes back every dirty frame of `file_id` (all files when
+  /// file_id == kAllFiles) without evicting.
+  static constexpr uint32_t kAllFiles = UINT32_MAX;
+  [[nodiscard]] Status Flush(uint32_t file_id = kAllFiles);
+
+  /// Drops every unpinned frame of `file_id`, writing back dirty ones.
+  /// Fails if a frame of that file is still pinned.
+  [[nodiscard]] Status Evict(uint32_t file_id);
+
+  BufferPoolStats stats() const;
+  /// Frames currently holding a page.
+  size_t Resident() const;
+  size_t capacity_pages() const { return options_.capacity_pages; }
+
+ private:
+  friend class PageRef;
+
+  /// Sentinel for "not linked" in the intrusive LRU list.
+  static constexpr size_t kNullFrame = SIZE_MAX;
+
+  struct Frame {
+    bool occupied = false;
+    bool dirty = false;
+    bool in_lru = false;
+    uint32_t file_id = 0;
+    uint32_t page_no = 0;
+    uint32_t slice = 0;
+    uint32_t pins = 0;
+    std::vector<uint8_t> payload;
+    /// Intrusive LRU links (frame indices); valid iff in_lru. An
+    /// index-linked list instead of std::list<size_t> keeps every LRU
+    /// touch allocation-free — hot-path Pin/Unpin never hits the heap.
+    size_t lru_prev = kNullFrame;
+    size_t lru_next = kNullFrame;
+  };
+
+  explicit BufferPool(const BufferPoolOptions& options);
+
+  /// All Locked helpers require mu_ held.
+  Result<size_t> FaultLocked(uint32_t file_id, uint32_t page_no);
+  Result<size_t> FreeFrameLocked();
+  Status WritebackLocked(size_t frame);
+  void TouchLocked(size_t frame);
+  void PinFrameLocked(size_t frame);
+  void UnpinFrame(size_t frame);
+  /// Intrusive LRU list ops (LRU at head, MRU at tail).
+  void LruPushBackLocked(size_t frame);
+  void LruRemoveLocked(size_t frame);
+  /// Hit-or-fault lookup shared by Pin and ReadRange: returns the frame
+  /// holding (file_id, page_no), counting a hit or a miss.
+  Result<size_t> LookupLocked(uint32_t file_id, uint32_t page_no);
+
+  BufferPoolOptions options_;
+  mutable std::mutex mu_;
+  std::vector<PageFile*> files_;
+  std::vector<Frame> frames_;
+  /// Intrusive list of unpinned occupied frames; head is the eviction
+  /// victim, tail the most recently used.
+  size_t lru_head_ = kNullFrame;
+  size_t lru_tail_ = kNullFrame;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<uint64_t, size_t> table_;  // (file_id<<32|page_no).
+  BufferPoolStats stats_;
+
+  /// Outstanding async prefetch tasks; the destructor drains them so a
+  /// worker never touches a dead pool.
+  std::condition_variable prefetch_cv_;
+  size_t outstanding_prefetches_ = 0;
+};
+
+}  // namespace engine
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_ENGINE_BUFFER_POOL_H_

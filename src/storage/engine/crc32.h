@@ -1,0 +1,42 @@
+#ifndef EBI_STORAGE_ENGINE_CRC32_H_
+#define EBI_STORAGE_ENGINE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ebi {
+namespace engine {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. Every
+/// checksummed unit the storage engine persists — page headers, WAL
+/// records, the extent-map sidecar — goes through this one function, so
+/// the on-disk format has exactly one checksum definition.
+///
+/// `seed` chains partial computations: Crc32(b, n2, Crc32(a, n1)) equals
+/// Crc32 over the concatenation of a and b.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const auto table = [] {
+    struct Table {
+      uint32_t entry[256];
+    } t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t.entry[i] = crc;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entry[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace engine
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_ENGINE_CRC32_H_

@@ -1,0 +1,207 @@
+#include "storage/engine/page_file.h"
+
+#include <cstring>
+#include <utility>
+
+#include "storage/engine/crc32.h"
+
+// The page file is the raw-I/O floor of the storage engine: POSIX fsync
+// gives Sync() its durability meaning, everything else is portable stdio.
+#include <unistd.h>
+
+namespace ebi {
+namespace engine {
+
+namespace {
+
+/// Little-endian field codec for the fixed 24-byte page header.
+void PutU32(uint8_t* at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    at[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint32_t GetU32(const uint8_t* at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<PageFile> PageFile::Open(const std::string& path,
+                                const PageFileOptions& options) {
+  if (options.page_size <= kHeaderBytes) {
+    return Status::InvalidArgument(
+        "PageFile: page_size " + std::to_string(options.page_size) +
+        " does not fit the " + std::to_string(kHeaderBytes) +
+        "-byte page header");
+  }
+  PageFile file;
+  file.path_ = path;
+  file.options_ = options;
+  file.file_ = std::fopen(path.c_str(), options.truncate ? "w+b" : "r+b");
+  if (file.file_ == nullptr && !options.truncate) {
+    // Recovery of a file that never existed: start empty.
+    file.file_ = std::fopen(path.c_str(), "w+b");
+  }
+  if (file.file_ == nullptr) {
+    return Status::Internal("PageFile: cannot open " + path);
+  }
+  if (!options.truncate) {
+    if (std::fseek(file.file_, 0, SEEK_END) != 0) {
+      return Status::Internal("PageFile: seek-to-end failed on " + path);
+    }
+    const long size = std::ftell(file.file_);
+    if (size < 0) {
+      return Status::Internal("PageFile: ftell failed on " + path);
+    }
+    // A torn final page (crash mid-write) rounds down: the partial page
+    // is unreachable and will be reused by the next Allocate.
+    file.next_page_ = static_cast<uint32_t>(
+        static_cast<size_t>(size) / options.page_size);
+  }
+  return file;
+}
+
+PageFile::PageFile(PageFile&& other) noexcept { *this = std::move(other); }
+
+PageFile& PageFile::operator=(PageFile&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    file_ = other.file_;
+    other.file_ = nullptr;
+    next_page_ = other.next_page_;
+    pages_written_ = other.pages_written_;
+  }
+  return *this;
+}
+
+PageFile::~PageFile() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+uint32_t PageFile::Allocate(uint32_t count) {
+  const uint32_t first = next_page_;
+  next_page_ += count;
+  return first;
+}
+
+Status PageFile::WritePage(uint32_t page_no, uint32_t slice,
+                           const uint8_t* data, size_t bytes) {
+  if (bytes > PayloadCapacity()) {
+    return Status::InvalidArgument(
+        "PageFile: payload of " + std::to_string(bytes) +
+        " bytes exceeds page capacity " +
+        std::to_string(PayloadCapacity()));
+  }
+  std::vector<uint8_t> page(options_.page_size, 0);
+  PutU32(page.data(), kPageMagic);
+  PutU32(page.data() + 4, page_no);
+  PutU32(page.data() + 8, slice);
+  PutU32(page.data() + 12, static_cast<uint32_t>(bytes));
+  PutU32(page.data() + 16, Crc32(data, bytes));
+  // Bytes 20..23 reserved (zero).
+  if (bytes > 0) {
+    std::memcpy(page.data() + kHeaderBytes, data, bytes);
+  }
+  const uint64_t offset =
+      static_cast<uint64_t>(page_no) * options_.page_size;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::Internal("PageFile: seek to page " +
+                            std::to_string(page_no) + " failed");
+  }
+  ++pages_written_;
+  if (options_.fail_after_page_writes > 0 &&
+      pages_written_ >= options_.fail_after_page_writes) {
+    // Fault injection: persist a torn page — the header and half the
+    // payload — exactly what a crash mid-write leaves behind. The
+    // checksum then fails on the next read, which is the property the
+    // recovery tests assert.
+    const size_t torn = kHeaderBytes + bytes / 2;
+    if (std::fwrite(page.data(), 1, torn, file_) != torn) {
+      return Status::Internal("PageFile: torn write failed");
+    }
+    std::fflush(file_);
+    return Status::Internal(
+        "PageFile: fault injection tore the write of page " +
+        std::to_string(page_no));
+  }
+  if (std::fwrite(page.data(), 1, page.size(), file_) != page.size()) {
+    return Status::Internal("PageFile: write of page " +
+                            std::to_string(page_no) + " failed");
+  }
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(uint32_t page_no, std::vector<uint8_t>* out,
+                          uint32_t* slice) {
+  if (page_no >= next_page_) {
+    return Status::OutOfRange("PageFile: page " + std::to_string(page_no) +
+                              " of " + std::to_string(next_page_));
+  }
+  const uint64_t offset =
+      static_cast<uint64_t>(page_no) * options_.page_size;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::Internal("PageFile: seek to page " +
+                            std::to_string(page_no) + " failed");
+  }
+  std::vector<uint8_t> page(options_.page_size);
+  const size_t got = std::fread(page.data(), 1, page.size(), file_);
+  if (got < kHeaderBytes) {
+    return Status::Internal("PageFile: short read of page " +
+                            std::to_string(page_no) + " (" +
+                            std::to_string(got) + " bytes)");
+  }
+  if (GetU32(page.data()) != kPageMagic) {
+    return Status::Internal("PageFile: bad magic on page " +
+                            std::to_string(page_no));
+  }
+  if (GetU32(page.data() + 4) != page_no) {
+    return Status::Internal(
+        "PageFile: page " + std::to_string(page_no) +
+        " self-identifies as " + std::to_string(GetU32(page.data() + 4)) +
+        " (misdirected write)");
+  }
+  const uint32_t payload_bytes = GetU32(page.data() + 12);
+  if (payload_bytes > PayloadCapacity() ||
+      kHeaderBytes + payload_bytes > got) {
+    return Status::Internal("PageFile: page " + std::to_string(page_no) +
+                            " declares " + std::to_string(payload_bytes) +
+                            " payload bytes beyond the page (torn write)");
+  }
+  const uint32_t want_crc = GetU32(page.data() + 16);
+  const uint32_t got_crc = Crc32(page.data() + kHeaderBytes, payload_bytes);
+  if (want_crc != got_crc) {
+    return Status::Internal("PageFile: checksum mismatch on page " +
+                            std::to_string(page_no) +
+                            " (torn or corrupt write)");
+  }
+  if (slice != nullptr) {
+    *slice = GetU32(page.data() + 8);
+  }
+  out->assign(page.begin() + kHeaderBytes,
+              page.begin() + kHeaderBytes + payload_bytes);
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("PageFile: fflush failed on " + path_);
+  }
+  if (fsync(fileno(file_)) != 0) {
+    return Status::Internal("PageFile: fsync failed on " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace ebi

@@ -1,0 +1,102 @@
+#ifndef EBI_STORAGE_ENGINE_PAGE_FILE_H_
+#define EBI_STORAGE_ENGINE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ebi {
+namespace engine {
+
+/// Knobs for one page file, fixed at Open.
+struct PageFileOptions {
+  /// Physical page size in bytes. Must exceed the page-header size; the
+  /// paper's cost model (and IoAccountant) assume 4 KB.
+  size_t page_size = 4096;
+  /// true: create/truncate a fresh file. false: open an existing file for
+  /// recovery — the page count is derived from the file length.
+  bool truncate = true;
+  /// Fault injection (crash-recovery tests): when > 0, the Nth WritePage
+  /// call writes a *torn* page — the header plus roughly half the payload
+  /// — flushes it to disk and fails with kInternal, simulating a crash
+  /// mid-page-write. 0 disables the hook.
+  uint64_t fail_after_page_writes = 0;
+};
+
+/// A file of fixed-size, checksummed pages — the raw I/O floor of the
+/// storage engine (DESIGN.md §12). Everything above it (buffer pool,
+/// slice extents) deals in page numbers; this class owns the only
+/// fopen/fread/fwrite/fsync calls on the data path, which the raw-file-io
+/// lint rule enforces.
+///
+/// Page layout: a 24-byte header {magic, page_no, slice, payload_bytes,
+/// crc32(payload), reserved} followed by up to page_size - 24 payload
+/// bytes. ReadPage verifies the magic, the self-identifying page number
+/// (catches misdirected writes) and the payload checksum (catches torn
+/// writes), so a page either reads back exactly as written or fails with
+/// a descriptive kInternal — never silently returns garbage.
+class PageFile {
+ public:
+  static constexpr size_t kHeaderBytes = 24;
+  static constexpr uint32_t kPageMagic = 0x45504147;  // "GAPE" LE.
+
+  /// Opens (or creates) `path` per the options. page_size must leave
+  /// room for at least one payload byte.
+  static Result<PageFile> Open(const std::string& path,
+                               const PageFileOptions& options);
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  PageFile(PageFile&& other) noexcept;
+  PageFile& operator=(PageFile&& other) noexcept;
+  ~PageFile();
+
+  size_t page_size() const { return options_.page_size; }
+  /// Payload bytes one page can carry.
+  size_t PayloadCapacity() const {
+    return options_.page_size - kHeaderBytes;
+  }
+  /// Pages allocated so far (the file is exactly this many pages long,
+  /// modulo a torn final write).
+  uint32_t NumPages() const { return next_page_; }
+  const std::string& path() const { return path_; }
+
+  /// Reserves `count` fresh pages, returning the first page number.
+  uint32_t Allocate(uint32_t count);
+
+  /// Writes `bytes` payload bytes (<= PayloadCapacity) into `page_no`
+  /// under a checksummed header tagged with the owning slice.
+  [[nodiscard]] Status WritePage(uint32_t page_no, uint32_t slice,
+                                 const uint8_t* data, size_t bytes);
+
+  /// Reads page `page_no`, validates header + checksum, and returns the
+  /// payload in `out` (resized to the stored payload length). When
+  /// `slice` is non-null the owning slice tag is returned too.
+  [[nodiscard]] Status ReadPage(uint32_t page_no, std::vector<uint8_t>* out,
+                                uint32_t* slice = nullptr);
+
+  /// Flushes userspace buffers and fsyncs the file descriptor — after
+  /// Sync returns OK the pages written so far survive a crash.
+  [[nodiscard]] Status Sync();
+
+  /// Pages physically written over the file's lifetime (fault-hook and
+  /// test bookkeeping).
+  uint64_t PagesWritten() const { return pages_written_; }
+
+ private:
+  PageFile() = default;
+
+  std::string path_;
+  PageFileOptions options_;
+  std::FILE* file_ = nullptr;
+  uint32_t next_page_ = 0;
+  uint64_t pages_written_ = 0;
+};
+
+}  // namespace engine
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_ENGINE_PAGE_FILE_H_

@@ -1,0 +1,371 @@
+#include "storage/engine/storage_engine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "storage/engine/crc32.h"
+#include "util/stored_bitmap_io.h"
+
+#include <unistd.h>
+
+namespace ebi {
+namespace engine {
+
+namespace {
+
+constexpr uint32_t kMapMagic = 0x50414D45;  // "EMAP" LE.
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const uint8_t* at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::string MapPath(const std::string& path) { return path + ".map"; }
+std::string MapTmpPath(const std::string& path) { return path + ".map.tmp"; }
+
+/// Serializes a StoredBitmap through the shared persistence format, so
+/// the hardening of LoadStoredBitmap (truncation/garbage rejection)
+/// covers the engine's pages too.
+Result<std::string> SerializeSlice(const StoredBitmap& bitmap) {
+  std::ostringstream out;
+  EBI_RETURN_IF_ERROR(SaveStoredBitmap(out, bitmap));
+  return std::move(out).str();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& path, const StorageEngineOptions& options) {
+  if (options.pool_pages == 0) {
+    return Status::InvalidArgument(
+        "StorageEngine: pool_pages must be positive");
+  }
+  PageFileOptions file_options;
+  file_options.page_size = options.page_size;
+  file_options.truncate = !options.recover;
+  file_options.fail_after_page_writes = options.fail_after_page_writes;
+  EBI_ASSIGN_OR_RETURN(PageFile file, PageFile::Open(path, file_options));
+
+  BufferPoolOptions pool_options;
+  pool_options.capacity_pages = options.pool_pages;
+  pool_options.io = options.io;
+  pool_options.prefetch_pool = options.prefetch_pool;
+  EBI_ASSIGN_OR_RETURN(std::unique_ptr<BufferPool> pool,
+                       BufferPool::Create(pool_options));
+
+  std::unique_ptr<StorageEngine> engine(new StorageEngine(
+      path, options, std::move(file), std::move(pool)));
+  if (options.recover) {
+    EBI_RETURN_IF_ERROR(engine->LoadMap());
+  }
+  return engine;
+}
+
+StorageEngine::StorageEngine(std::string path,
+                             const StorageEngineOptions& options,
+                             PageFile file, std::unique_ptr<BufferPool> pool)
+    : path_(std::move(path)),
+      options_(options),
+      file_(std::move(file)),
+      pool_(std::move(pool)) {
+  pool_file_id_ = pool_->Register(&file_);
+}
+
+StorageEngine::~StorageEngine() {
+  // The pool must die first (it drains async prefetches that read
+  // file_); member order guarantees that, so here we only clean up the
+  // on-disk artifacts of scratch engines.
+  if (options_.remove_on_close) {
+    pool_.reset();
+    std::remove(path_.c_str());
+    std::remove(MapPath(path_).c_str());
+    std::remove(MapTmpPath(path_).c_str());
+  }
+}
+
+Result<SliceExtent> StorageEngine::WriteExtentLocked(
+    const StoredBitmap& bitmap, SliceId id, SliceExtent* reuse) {
+  EBI_ASSIGN_OR_RETURN(const std::string payload, SerializeSlice(bitmap));
+  const size_t capacity = file_.PayloadCapacity();
+  const uint32_t pages_needed = static_cast<uint32_t>(
+      payload.empty() ? 1 : (payload.size() + capacity - 1) / capacity);
+
+  SliceExtent extent;
+  if (reuse != nullptr && pages_needed <= reuse->num_pages) {
+    extent = *reuse;
+  } else {
+    extent.first_page = file_.Allocate(pages_needed);
+    extent.num_pages = pages_needed;
+  }
+  extent.payload_bytes = payload.size();
+
+  const auto* bytes = reinterpret_cast<const uint8_t*>(payload.data());
+  size_t remaining = payload.size();
+  for (uint32_t p = 0; p < pages_needed; ++p) {
+    const size_t chunk = remaining < capacity ? remaining : capacity;
+    EBI_RETURN_IF_ERROR(pool_->WriteThrough(
+        pool_file_id_, extent.first_page + p, id, bytes, chunk));
+    bytes += chunk;
+    remaining -= chunk;
+  }
+  return extent;
+}
+
+Result<StorageEngine::SliceId> StorageEngine::PutSlice(
+    const StoredBitmap& bitmap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SliceId id = static_cast<SliceId>(extents_.size());
+  EBI_ASSIGN_OR_RETURN(const SliceExtent extent,
+                       WriteExtentLocked(bitmap, id, nullptr));
+  extents_.push_back(extent);
+  return id;
+}
+
+Status StorageEngine::UpdateSlice(SliceId id, const StoredBitmap& bitmap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= extents_.size()) {
+    return Status::OutOfRange("StorageEngine: slice id out of range");
+  }
+  EBI_ASSIGN_OR_RETURN(const SliceExtent extent,
+                       WriteExtentLocked(bitmap, id, &extents_[id]));
+  extents_[id] = extent;
+  return Status::OK();
+}
+
+Result<StoredBitmap> StorageEngine::GetSlice(SliceId id,
+                                             size_t* pages_faulted) {
+  SliceExtent extent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= extents_.size()) {
+      return Status::OutOfRange("StorageEngine: slice id out of range");
+    }
+    extent = extents_[id];
+  }
+  const size_t capacity = file_.PayloadCapacity();
+  const uint32_t pages_used = static_cast<uint32_t>(
+      extent.payload_bytes == 0
+          ? 1
+          : (extent.payload_bytes + capacity - 1) / capacity);
+
+  // One ReadRange call assembles the whole extent under a single pool
+  // lock acquisition, and the buffer overload of LoadStoredBitmap
+  // parses it without an istringstream copy — together the warm-path
+  // cost is one payload memcpy plus the decode itself.
+  std::string payload;
+  payload.reserve(extent.payload_bytes);
+  EBI_RETURN_IF_ERROR(pool_->ReadRange(pool_file_id_, extent.first_page,
+                                       pages_used, &payload, pages_faulted));
+  if (payload.size() != extent.payload_bytes) {
+    return Status::Internal(
+        "StorageEngine: slice " + std::to_string(id) + " pages hold " +
+        std::to_string(payload.size()) + " bytes, extent map says " +
+        std::to_string(extent.payload_bytes));
+  }
+  return LoadStoredBitmap(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+}
+
+Result<size_t> StorageEngine::SliceBytes(SliceId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= extents_.size()) {
+    return Status::OutOfRange("StorageEngine: slice id out of range");
+  }
+  return static_cast<size_t>(extents_[id].payload_bytes);
+}
+
+Result<uint32_t> StorageEngine::SlicePages(SliceId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= extents_.size()) {
+    return Status::OutOfRange("StorageEngine: slice id out of range");
+  }
+  const size_t capacity = file_.PayloadCapacity();
+  const SliceExtent& extent = extents_[id];
+  return static_cast<uint32_t>(
+      extent.payload_bytes == 0
+          ? 1
+          : (extent.payload_bytes + capacity - 1) / capacity);
+}
+
+void StorageEngine::PrefetchSlices(const std::vector<SliceId>& ids) {
+  std::vector<uint32_t> pages;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t capacity = file_.PayloadCapacity();
+    for (const SliceId id : ids) {
+      if (id >= extents_.size()) {
+        continue;
+      }
+      const SliceExtent& extent = extents_[id];
+      const uint32_t pages_used = static_cast<uint32_t>(
+          extent.payload_bytes == 0
+              ? 1
+              : (extent.payload_bytes + capacity - 1) / capacity);
+      for (uint32_t p = 0; p < pages_used; ++p) {
+        pages.push_back(extent.first_page + p);
+      }
+    }
+  }
+  if (!pages.empty()) {
+    pool_->Prefetch(pool_file_id_, pages);
+  }
+}
+
+Status StorageEngine::VerifySlice(SliceId id) {
+  // Verification audits the *on-disk* bytes, so dirty frames must reach
+  // the file first.
+  EBI_RETURN_IF_ERROR(pool_->Flush(pool_file_id_));
+  SliceExtent extent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= extents_.size()) {
+      return Status::OutOfRange("StorageEngine: slice id out of range");
+    }
+    extent = extents_[id];
+  }
+  const size_t capacity = file_.PayloadCapacity();
+  const uint32_t pages_used = static_cast<uint32_t>(
+      extent.payload_bytes == 0
+          ? 1
+          : (extent.payload_bytes + capacity - 1) / capacity);
+  std::string payload;
+  for (uint32_t p = 0; p < pages_used; ++p) {
+    std::vector<uint8_t> bytes;
+    uint32_t slice = 0;
+    EBI_RETURN_IF_ERROR(file_.ReadPage(extent.first_page + p, &bytes, &slice));
+    if (slice != id) {
+      return Status::Internal("StorageEngine: page " +
+                              std::to_string(extent.first_page + p) +
+                              " is tagged for slice " + std::to_string(slice) +
+                              ", expected " + std::to_string(id));
+    }
+    payload.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+  if (payload.size() != extent.payload_bytes) {
+    return Status::Internal("StorageEngine: slice " + std::to_string(id) +
+                            " on-disk size mismatch");
+  }
+  return LoadStoredBitmap(reinterpret_cast<const uint8_t*>(payload.data()),
+                          payload.size())
+      .status();
+}
+
+size_t StorageEngine::NumSlices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return extents_.size();
+}
+
+Status StorageEngine::PersistMapLocked() {
+  std::vector<uint8_t> body;
+  PutU32(&body, static_cast<uint32_t>(extents_.size()));
+  for (const SliceExtent& extent : extents_) {
+    PutU32(&body, extent.first_page);
+    PutU32(&body, extent.num_pages);
+    PutU64(&body, extent.payload_bytes);
+  }
+  std::vector<uint8_t> blob;
+  blob.reserve(8 + body.size());
+  PutU32(&blob, kMapMagic);
+  PutU32(&blob, Crc32(body.data(), body.size()));
+  blob.insert(blob.end(), body.begin(), body.end());
+
+  // tmp + fsync + rename: the sidecar flips atomically from the old map
+  // to the new one; a crash in between leaves the old map valid.
+  const std::string tmp = MapTmpPath(path_);
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Internal("StorageEngine: cannot open " + tmp);
+  }
+  const bool wrote =
+      std::fwrite(blob.data(), 1, blob.size(), out) == blob.size();
+  const bool flushed = wrote && std::fflush(out) == 0;
+  const bool synced = flushed && fsync(fileno(out)) == 0;
+  std::fclose(out);
+  if (!synced) {
+    return Status::Internal("StorageEngine: cannot persist " + tmp);
+  }
+  if (options_.fail_before_map_rename) {
+    return Status::Internal(
+        "StorageEngine: fault injection crashed before the sidecar rename");
+  }
+  if (std::rename(tmp.c_str(), MapPath(path_).c_str()) != 0) {
+    return Status::Internal("StorageEngine: cannot rename " + tmp);
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::LoadMap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* in = std::fopen(MapPath(path_).c_str(), "rb");
+  if (in == nullptr) {
+    // Never synced: an empty engine is the correct recovered state.
+    extents_.clear();
+    return Status::OK();
+  }
+  std::vector<uint8_t> blob;
+  uint8_t chunk[4096];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    blob.insert(blob.end(), chunk, chunk + got);
+  }
+  std::fclose(in);
+  if (blob.size() < 12 || GetU32(blob.data()) != kMapMagic) {
+    return Status::Internal("StorageEngine: corrupt extent map sidecar");
+  }
+  const uint32_t want_crc = GetU32(blob.data() + 4);
+  if (Crc32(blob.data() + 8, blob.size() - 8) != want_crc) {
+    return Status::Internal(
+        "StorageEngine: extent map sidecar checksum mismatch");
+  }
+  const uint32_t count = GetU32(blob.data() + 8);
+  if (blob.size() != 12 + static_cast<size_t>(count) * 16) {
+    return Status::Internal("StorageEngine: extent map sidecar truncated");
+  }
+  extents_.clear();
+  extents_.reserve(count);
+  const uint8_t* at = blob.data() + 12;
+  for (uint32_t i = 0; i < count; ++i) {
+    SliceExtent extent;
+    extent.first_page = GetU32(at);
+    extent.num_pages = GetU32(at + 4);
+    extent.payload_bytes = GetU64(at + 8);
+    extents_.push_back(extent);
+    at += 16;
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::Sync() {
+  EBI_RETURN_IF_ERROR(pool_->Flush(pool_file_id_));
+  EBI_RETURN_IF_ERROR(file_.Sync());
+  std::lock_guard<std::mutex> lock(mu_);
+  return PersistMapLocked();
+}
+
+}  // namespace engine
+}  // namespace ebi

@@ -1,0 +1,135 @@
+#ifndef EBI_STORAGE_ENGINE_STORAGE_ENGINE_H_
+#define EBI_STORAGE_ENGINE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/engine/buffer_pool.h"
+#include "storage/engine/page_file.h"
+#include "storage/io_accountant.h"
+#include "util/status.h"
+#include "util/stored_bitmap.h"
+
+namespace ebi {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
+namespace engine {
+
+struct StorageEngineOptions {
+  /// Physical page size of the backing file.
+  size_t page_size = 4096;
+  /// Buffer-pool capacity in pages.
+  size_t pool_pages = 64;
+  IoAccountant* io = nullptr;
+  /// When set, PrefetchSlices faults pages asynchronously.
+  exec::ThreadPool* prefetch_pool = nullptr;
+  /// true: reopen an existing engine — load the extent-map sidecar and
+  /// keep the page file's contents. false: create/truncate fresh files.
+  bool recover = false;
+  /// Unlink the page file and sidecar on destruction (scratch stores).
+  bool remove_on_close = false;
+  /// Fault-injection hooks, forwarded to PageFile / guarding the sidecar
+  /// rename (crash-recovery tests).
+  uint64_t fail_after_page_writes = 0;
+  bool fail_before_map_rename = false;
+};
+
+/// One bitmap slice's location in the page file.
+struct SliceExtent {
+  uint32_t first_page = 0;
+  /// Pages reserved for the slice (its in-place update capacity).
+  uint32_t num_pages = 0;
+  /// Serialized StoredBitmap bytes actually used.
+  uint64_t payload_bytes = 0;
+};
+
+/// The tiered storage engine (DESIGN.md §12): StoredBitmap slices
+/// chunked over fixed-size checksummed pages in one PageFile, cached by
+/// a shared BufferPool, located by a per-slice extent map persisted in a
+/// checksummed sidecar file (`<path>.map`, written atomically via
+/// tmp + fsync + rename).
+///
+/// Durability: page payloads reach disk through pool writeback + Sync;
+/// the sidecar is rewritten by Sync, so after Sync() returns OK the
+/// engine reopens with `recover = true` to exactly this state. A crash
+/// between page writes and the sidecar rename leaves the previous
+/// sidecar in place — pages past its extents are unreferenced garbage,
+/// never a corrupt slice.
+class StorageEngine {
+ public:
+  using SliceId = uint32_t;
+
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& path, const StorageEngineOptions& options);
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+  ~StorageEngine();
+
+  /// Appends a slice, returning its id. The payload lands in dirty pool
+  /// frames (write-back caching); Sync() makes it durable.
+  Result<SliceId> PutSlice(const StoredBitmap& bitmap);
+
+  /// Overwrites slice `id`. Reuses the extent when the new payload fits
+  /// its reserved pages, else relocates to a fresh extent (the old one
+  /// becomes garbage; engines are rebuilt, not compacted).
+  [[nodiscard]] Status UpdateSlice(SliceId id, const StoredBitmap& bitmap);
+
+  /// Reconstructs slice `id` from its pages (pool hits are free; misses
+  /// charge one page read each). When `pages_faulted` is non-null it
+  /// receives the number of pages that missed the pool.
+  Result<StoredBitmap> GetSlice(SliceId id, size_t* pages_faulted = nullptr);
+
+  /// Serialized bytes slice `id` occupies (the sum its cold read charges).
+  Result<size_t> SliceBytes(SliceId id) const;
+  /// Pages slice `id` spans — the planner's page estimate for one slice.
+  Result<uint32_t> SlicePages(SliceId id) const;
+
+  /// Warms the pool with every page of the given slices (asynchronously
+  /// when a prefetch pool is configured). Unknown ids are ignored.
+  void PrefetchSlices(const std::vector<SliceId>& ids);
+
+  /// Re-reads every page of slice `id` and validates its checksums.
+  [[nodiscard]] Status VerifySlice(SliceId id);
+
+  size_t NumSlices() const;
+
+  /// Flushes dirty pool frames, fsyncs the page file and atomically
+  /// persists the extent-map sidecar — the engine's commit point.
+  [[nodiscard]] Status Sync();
+
+  BufferPoolStats pool_stats() const { return pool_->stats(); }
+  size_t PoolResident() const { return pool_->Resident(); }
+  size_t page_size() const { return file_.page_size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  StorageEngine(std::string path, const StorageEngineOptions& options,
+                PageFile file, std::unique_ptr<BufferPool> pool);
+
+  Result<SliceExtent> WriteExtentLocked(const StoredBitmap& bitmap,
+                                        SliceId id, SliceExtent* reuse);
+  [[nodiscard]] Status PersistMapLocked();
+  [[nodiscard]] Status LoadMap();
+
+  std::string path_;
+  StorageEngineOptions options_;
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  uint32_t pool_file_id_ = 0;
+  /// Guards the extent directory (the pool and page file have their own
+  /// locking).
+  mutable std::mutex mu_;
+  std::vector<SliceExtent> extents_;
+};
+
+}  // namespace engine
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_ENGINE_STORAGE_ENGINE_H_

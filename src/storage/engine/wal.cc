@@ -1,0 +1,325 @@
+#include "storage/engine/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "storage/engine/crc32.h"
+
+#include <unistd.h>
+
+namespace ebi {
+namespace engine {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const uint8_t* at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Frame = {magic, crc, payload_len, type, lsn(8), payload}. The crc
+/// covers everything after itself: {payload_len, type, lsn, payload}.
+std::vector<uint8_t> EncodeFrame(uint32_t type, uint64_t lsn,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> covered;
+  covered.reserve(16 + payload.size());
+  PutU32(&covered, static_cast<uint32_t>(payload.size()));
+  PutU32(&covered, type);
+  PutU64(&covered, lsn);
+  covered.insert(covered.end(), payload.begin(), payload.end());
+
+  std::vector<uint8_t> frame;
+  frame.reserve(8 + covered.size());
+  PutU32(&frame, Wal::kRecordMagic);
+  PutU32(&frame, Crc32(covered.data(), covered.size()));
+  frame.insert(frame.end(), covered.begin(), covered.end());
+  return frame;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       const WalOptions& options) {
+  EBI_ASSIGN_OR_RETURN(WalReplayResult existing, Replay(path));
+
+  std::unique_ptr<Wal> wal(new Wal());
+  wal->path_ = path;
+  wal->options_ = options;
+  wal->next_lsn_ = existing.records.empty()
+                       ? 0
+                       : existing.records.back().lsn + 1;
+
+  // "a+b" would force appends to the end, which is right, but we must
+  // first drop a torn tail so the next record starts at a valid frame
+  // boundary; stdio cannot truncate, so reopen via "r+b" and rewrite the
+  // length with ftruncate when needed.
+  wal->file_ = std::fopen(path.c_str(), "r+b");
+  if (wal->file_ == nullptr) {
+    wal->file_ = std::fopen(path.c_str(), "w+b");
+  }
+  if (wal->file_ == nullptr) {
+    return Status::Internal("Wal: cannot open " + path);
+  }
+  if (existing.torn_tail) {
+    if (ftruncate(fileno(wal->file_),
+                  static_cast<off_t>(existing.valid_bytes)) != 0) {
+      return Status::Internal("Wal: cannot truncate torn tail of " + path);
+    }
+    static obs::Counter* torn =
+        obs::MetricsRegistry::Global().GetCounter(obs::kMetricWalTornTails);
+    torn->Increment();
+  }
+  if (std::fseek(wal->file_, 0, SEEK_END) != 0) {
+    return Status::Internal("Wal: seek-to-end failed on " + path);
+  }
+  return wal;
+}
+
+Wal::~Wal() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<uint64_t> Wal::Append(uint32_t type,
+                             const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lsn = next_lsn_;
+  const std::vector<uint8_t> frame = EncodeFrame(type, lsn, payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("Wal: append of record " + std::to_string(lsn) +
+                            " failed");
+  }
+  ++next_lsn_;
+  ++appends_;
+  if (options_.io != nullptr) {
+    options_.io->ChargeBytesWritten(frame.size());
+  }
+  static obs::Counter* appends =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricWalAppends);
+  static obs::Counter* append_bytes =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricWalAppendBytes);
+  appends->Increment();
+  append_bytes->Increment(frame.size());
+  if (options_.sync_on_append) {
+    EBI_RETURN_IF_ERROR(SyncLocked());
+  }
+  if (options_.fail_after_appends > 0 &&
+      appends_ >= options_.fail_after_appends) {
+    // Fault injection: the record IS durable (written + synced above);
+    // the failure models a crash after the WAL write but before the
+    // caller's in-memory publish, which recovery must then replay.
+    return Status::Internal(
+        "Wal: fault injection crashed after append of record " +
+        std::to_string(lsn));
+  }
+  return lsn;
+}
+
+Status Wal::SyncLocked() {
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("Wal: fflush failed on " + path_);
+  }
+  if (fsync(fileno(file_)) != 0) {
+    return Status::Internal("Wal: fsync failed on " + path_);
+  }
+  static obs::Counter* syncs =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricWalSyncs);
+  syncs->Increment();
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status Wal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ftruncate(fileno(file_), 0) != 0) {
+    return Status::Internal("Wal: cannot truncate " + path_);
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::Internal("Wal: rewind failed on " + path_);
+  }
+  next_lsn_ = 0;
+  return Status::OK();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Result<WalReplayResult> Wal::Replay(const std::string& path) {
+  WalReplayResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return result;  // No log yet: nothing to replay.
+  }
+  static obs::Counter* replayed =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricWalReplayedRecords);
+  std::vector<uint8_t> header(kFrameHeaderBytes);
+  for (;;) {
+    const size_t got = std::fread(header.data(), 1, header.size(), file);
+    if (got == 0) {
+      break;  // Clean end of log.
+    }
+    if (got < header.size() || GetU32(header.data()) != kRecordMagic) {
+      result.torn_tail = true;
+      break;
+    }
+    const uint32_t want_crc = GetU32(header.data() + 4);
+    const uint32_t payload_len = GetU32(header.data() + 8);
+    WalRecord record;
+    record.type = GetU32(header.data() + 12);
+    record.lsn = GetU64(header.data() + 16);
+    record.payload.resize(payload_len);
+    if (payload_len > 0 &&
+        std::fread(record.payload.data(), 1, payload_len, file) !=
+            payload_len) {
+      result.torn_tail = true;
+      break;
+    }
+    // Recompute the checksum over {payload_len, type, lsn, payload} —
+    // bytes 8.. of the header plus the payload.
+    uint32_t crc = Crc32(header.data() + 8, kFrameHeaderBytes - 8);
+    crc = Crc32(record.payload.data(), record.payload.size(), crc);
+    if (crc != want_crc) {
+      result.torn_tail = true;
+      break;
+    }
+    result.valid_bytes += kFrameHeaderBytes + payload_len;
+    result.records.push_back(std::move(record));
+    replayed->Increment();
+  }
+  std::fclose(file);
+  return result;
+}
+
+std::vector<uint8_t> EncodeRowBatch(
+    uint64_t first_row, const std::vector<std::vector<Value>>& rows) {
+  std::vector<uint8_t> out;
+  PutU64(&out, first_row);
+  PutU32(&out, static_cast<uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    PutU32(&out, static_cast<uint32_t>(row.size()));
+    for (const Value& value : row) {
+      out.push_back(static_cast<uint8_t>(value.kind));
+      switch (value.kind) {
+        case Value::Kind::kNull:
+          break;
+        case Value::Kind::kInt64:
+          PutU64(&out, static_cast<uint64_t>(value.int_value));
+          break;
+        case Value::Kind::kString:
+          PutU32(&out, static_cast<uint32_t>(value.string_value.size()));
+          out.insert(out.end(), value.string_value.begin(),
+                     value.string_value.end());
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<RowBatch> DecodeRowBatch(const std::vector<uint8_t>& payload) {
+  RowBatch batch;
+  size_t at = 0;
+  const auto need = [&](size_t bytes) {
+    return at + bytes <= payload.size();
+  };
+  if (!need(12)) {
+    return Status::Internal("RowBatch: payload shorter than its header");
+  }
+  batch.first_row = GetU64(payload.data() + at);
+  at += 8;
+  const uint32_t num_rows = GetU32(payload.data() + at);
+  at += 4;
+  batch.rows.reserve(std::min<uint32_t>(num_rows, 1u << 16));
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    if (!need(4)) {
+      return Status::Internal("RowBatch: truncated at row " +
+                              std::to_string(r));
+    }
+    const uint32_t num_values = GetU32(payload.data() + at);
+    at += 4;
+    std::vector<Value> row;
+    row.reserve(std::min<uint32_t>(num_values, 1u << 12));
+    for (uint32_t v = 0; v < num_values; ++v) {
+      if (!need(1)) {
+        return Status::Internal("RowBatch: truncated value kind");
+      }
+      const uint8_t kind = payload[at++];
+      Value value;
+      switch (kind) {
+        case static_cast<uint8_t>(Value::Kind::kNull):
+          break;
+        case static_cast<uint8_t>(Value::Kind::kInt64): {
+          if (!need(8)) {
+            return Status::Internal("RowBatch: truncated int64 value");
+          }
+          value = Value::Int(static_cast<int64_t>(GetU64(payload.data() + at)));
+          at += 8;
+          break;
+        }
+        case static_cast<uint8_t>(Value::Kind::kString): {
+          if (!need(4)) {
+            return Status::Internal("RowBatch: truncated string length");
+          }
+          const uint32_t len = GetU32(payload.data() + at);
+          at += 4;
+          if (!need(len)) {
+            return Status::Internal("RowBatch: string of " +
+                                    std::to_string(len) +
+                                    " bytes overruns the payload");
+          }
+          value = Value::Str(std::string(
+              reinterpret_cast<const char*>(payload.data() + at), len));
+          at += len;
+          break;
+        }
+        default:
+          return Status::Internal("RowBatch: unknown value kind " +
+                                  std::to_string(kind));
+      }
+      row.push_back(std::move(value));
+    }
+    batch.rows.push_back(std::move(row));
+  }
+  if (at != payload.size()) {
+    return Status::Internal("RowBatch: " +
+                            std::to_string(payload.size() - at) +
+                            " trailing bytes after the last row");
+  }
+  return batch;
+}
+
+}  // namespace engine
+}  // namespace ebi

@@ -1,0 +1,133 @@
+#ifndef EBI_STORAGE_ENGINE_WAL_H_
+#define EBI_STORAGE_ENGINE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/io_accountant.h"
+#include "util/status.h"
+
+namespace ebi {
+namespace engine {
+
+/// WAL record types. Payload interpretation is up to the layer that
+/// appended the record; the WAL itself only guarantees integrity and
+/// ordering.
+inline constexpr uint32_t kWalRecordRowBatch = 1;
+inline constexpr uint32_t kWalRecordCheckpoint = 2;
+
+struct WalRecord {
+  uint32_t type = 0;
+  uint64_t lsn = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct WalOptions {
+  /// fsync after every Append. Turning this off trades the durability of
+  /// the last few records for append throughput (group commit callers
+  /// Sync() explicitly instead).
+  bool sync_on_append = true;
+  /// Fault injection (crash-recovery tests): when > 0, the Nth Append
+  /// persists its record and then fails with kInternal before reporting
+  /// success — simulating a crash after the WAL write but before the
+  /// in-memory publish. 0 disables the hook.
+  uint64_t fail_after_appends = 0;
+  /// When set, append bytes are charged here.
+  IoAccountant* io = nullptr;
+};
+
+/// Result of scanning a WAL file front-to-back.
+struct WalReplayResult {
+  std::vector<WalRecord> records;
+  /// True when the scan stopped at a torn/corrupt record before the end
+  /// of the file — the expected signature of a crash mid-append.
+  bool torn_tail = false;
+  /// Bytes of valid records consumed (the offset a torn tail should be
+  /// truncated to).
+  uint64_t valid_bytes = 0;
+};
+
+/// Append-only write-ahead log (DESIGN.md §12). Record framing:
+///
+///   {u32 magic, u32 crc, u32 payload_len, u32 type, u64 lsn, payload}
+///
+/// with crc = CRC-32 over {payload_len, type, lsn, payload}. Replay
+/// walks records front-to-back and stops at the first frame whose magic,
+/// length, or checksum does not hold — a torn tail — so a crash
+/// mid-append loses at most the record being written, never an earlier
+/// one. Append+Sync returning OK is the commit point for durable serve
+/// mode: everything WAL-durable is replayed on restart.
+///
+/// Thread-safe: Append/Sync/Reset serialize on one mutex.
+class Wal {
+ public:
+  static constexpr uint32_t kRecordMagic = 0x4C415745;  // "EWAL" LE.
+  static constexpr size_t kFrameHeaderBytes = 24;
+
+  /// Opens (creating if absent) the log at `path`, scanning existing
+  /// records to find the next LSN and truncating a torn tail if one is
+  /// found.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           const WalOptions& options = {});
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Appends one record, returning its LSN. Durable once Append returns
+  /// when sync_on_append is set, otherwise once the next Sync returns.
+  [[nodiscard]] Result<uint64_t> Append(uint32_t type,
+                                        const std::vector<uint8_t>& payload);
+
+  /// fsyncs appended records to disk.
+  [[nodiscard]] Status Sync();
+
+  /// Truncates the log to empty (after a checkpoint has made its
+  /// contents redundant) and resets the LSN counter.
+  [[nodiscard]] Status Reset();
+
+  uint64_t next_lsn() const;
+  const std::string& path() const { return path_; }
+
+  /// Scans the log at `path` front-to-back without opening it for
+  /// appending — the recovery path. Missing file yields an empty result.
+  static Result<WalReplayResult> Replay(const std::string& path);
+
+ private:
+  Wal() = default;
+
+  /// Requires mu_ held.
+  [[nodiscard]] Status SyncLocked();
+
+  std::string path_;
+  WalOptions options_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  uint64_t next_lsn_ = 0;
+  uint64_t appends_ = 0;
+};
+
+/// Row-batch payload codec for kWalRecordRowBatch. `first_row` is the
+/// table row count at append time — replay uses it to skip batches that
+/// are already reflected in the base table (idempotent replay).
+std::vector<uint8_t> EncodeRowBatch(uint64_t first_row,
+                                    const std::vector<std::vector<Value>>& rows);
+
+struct RowBatch {
+  uint64_t first_row = 0;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// Decodes a row-batch payload, rejecting truncated or garbage bytes
+/// with a descriptive Status.
+Result<RowBatch> DecodeRowBatch(const std::vector<uint8_t>& payload);
+
+}  // namespace engine
+}  // namespace ebi
+
+#endif  // EBI_STORAGE_ENGINE_WAL_H_

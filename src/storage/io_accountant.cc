@@ -11,6 +11,10 @@ std::string IoStats::ToString() const {
   out += std::to_string(bytes_read);
   out += " nodes=";
   out += std::to_string(nodes_read);
+  out += " bytes_w=";
+  out += std::to_string(bytes_written);
+  out += " pages_w=";
+  out += std::to_string(pages_written);
   return out;
 }
 

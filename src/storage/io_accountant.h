@@ -19,6 +19,12 @@ struct IoStats {
   uint64_t bytes_read = 0;
   /// Number of index-structure nodes visited (B-tree traversals).
   uint64_t nodes_read = 0;
+  /// Raw bytes written (buffer-pool writebacks, WAL appends). Appended
+  /// after the read counters so positional aggregate initializers of the
+  /// original four fields keep compiling.
+  uint64_t bytes_written = 0;
+  /// Number of disk pages written — symmetric with pages_read.
+  uint64_t pages_written = 0;
 
   /// Per-counter difference, clamped at zero: counters are cumulative, so
   /// a subtrahend can only exceed the minuend after an interleaved
@@ -29,7 +35,9 @@ struct IoStats {
     return IoStats{sub(vectors_read, other.vectors_read),
                    sub(pages_read, other.pages_read),
                    sub(bytes_read, other.bytes_read),
-                   sub(nodes_read, other.nodes_read)};
+                   sub(nodes_read, other.nodes_read),
+                   sub(bytes_written, other.bytes_written),
+                   sub(pages_written, other.pages_written)};
   }
 
   /// Per-counter sum — re-aggregates per-span deltas (e.g. summing the
@@ -39,7 +47,9 @@ struct IoStats {
     return IoStats{vectors_read + other.vectors_read,
                    pages_read + other.pages_read,
                    bytes_read + other.bytes_read,
-                   nodes_read + other.nodes_read};
+                   nodes_read + other.nodes_read,
+                   bytes_written + other.bytes_written,
+                   pages_written + other.pages_written};
   }
 
   IoStats& operator+=(const IoStats& other) {
@@ -53,7 +63,9 @@ struct IoStats {
   friend bool operator==(const IoStats& a, const IoStats& b) {
     return a.vectors_read == b.vectors_read &&
            a.pages_read == b.pages_read && a.bytes_read == b.bytes_read &&
-           a.nodes_read == b.nodes_read;
+           a.nodes_read == b.nodes_read &&
+           a.bytes_written == b.bytes_written &&
+           a.pages_written == b.pages_written;
   }
 
   std::string ToString() const;
@@ -77,8 +89,16 @@ class IoAccountant {
  public:
   static constexpr size_t kDefaultPageSize = 4096;
 
+  /// A page size of zero would divide-by-zero in ChargeBytes; reject it
+  /// up front and fall back to the default rather than crash later.
   explicit IoAccountant(size_t page_size = kDefaultPageSize)
-      : page_size_(page_size) {}
+      : page_size_(page_size > 0 ? page_size : kDefaultPageSize),
+        page_size_valid_(page_size > 0) {}
+
+  /// False when the constructor was handed page_size == 0 and substituted
+  /// kDefaultPageSize. Callers that must hard-fail on bad configuration
+  /// check this right after construction.
+  bool page_size_valid() const { return page_size_valid_; }
 
   /// Charges the read of one whole bitmap vector of `bytes` length.
   void ChargeVectorRead(size_t bytes) {
@@ -99,6 +119,36 @@ class IoAccountant {
                           std::memory_order_relaxed);
   }
 
+  /// Charges one physical page fault of `payload_bytes` stored bytes —
+  /// the buffer pool's miss path. Exactly one page regardless of payload
+  /// length, and exactly the stored bytes (so faulting a whole extent
+  /// sums to the slice's StoredBytes, matching the paper's cost model).
+  void ChargePageRead(size_t payload_bytes) {
+    pages_read_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+
+  /// Charges one physical page write of `payload_bytes` stored bytes —
+  /// buffer-pool writebacks and initial extent writes.
+  void ChargePageWrite(size_t payload_bytes) {
+    pages_written_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+
+  /// Charges a raw write byte range (WAL appends), page count rounded up.
+  void ChargeBytesWritten(size_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    pages_written_.fetch_add((bytes + page_size_ - 1) / page_size_,
+                             std::memory_order_relaxed);
+  }
+
+  /// Charges one logical vector materialization with no byte traffic —
+  /// the store facade uses this when a Get faults pages (which were
+  /// already charged individually via ChargePageRead).
+  void ChargeVectorTouch() {
+    vectors_read_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Charges a whole pre-aggregated delta — how per-segment accountant
   /// deltas are merged back into the query's accountant after a parallel
   /// fan-out. Pages are taken as counted by the segment accountants, not
@@ -108,13 +158,17 @@ class IoAccountant {
     pages_read_.fetch_add(stats.pages_read, std::memory_order_relaxed);
     bytes_read_.fetch_add(stats.bytes_read, std::memory_order_relaxed);
     nodes_read_.fetch_add(stats.nodes_read, std::memory_order_relaxed);
+    bytes_written_.fetch_add(stats.bytes_written, std::memory_order_relaxed);
+    pages_written_.fetch_add(stats.pages_written, std::memory_order_relaxed);
   }
 
   IoStats stats() const {
     return IoStats{vectors_read_.load(std::memory_order_relaxed),
                    pages_read_.load(std::memory_order_relaxed),
                    bytes_read_.load(std::memory_order_relaxed),
-                   nodes_read_.load(std::memory_order_relaxed)};
+                   nodes_read_.load(std::memory_order_relaxed),
+                   bytes_written_.load(std::memory_order_relaxed),
+                   pages_written_.load(std::memory_order_relaxed)};
   }
   size_t page_size() const { return page_size_; }
   void Reset() {
@@ -122,14 +176,19 @@ class IoAccountant {
     pages_read_.store(0, std::memory_order_relaxed);
     bytes_read_.store(0, std::memory_order_relaxed);
     nodes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+    pages_written_.store(0, std::memory_order_relaxed);
   }
 
  private:
   size_t page_size_;
+  bool page_size_valid_;
   std::atomic<uint64_t> vectors_read_{0};
   std::atomic<uint64_t> pages_read_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> nodes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> pages_written_{0};
 };
 
 /// RAII helper measuring the I/O a scoped block performed.

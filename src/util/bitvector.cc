@@ -30,6 +30,16 @@ BitVector BitVector::FromString(const std::string& bits) {
   return v;
 }
 
+BitVector BitVector::FromWords(size_t size, std::vector<uint64_t> words) {
+  BitVector v;
+  v.size_ = size;
+  words.resize(WordsFor(size), 0);
+  v.words_ = std::move(words);
+  v.MaskTail();
+  v.DebugCheckTail();
+  return v;
+}
+
 void BitVector::Resize(size_t size) {
   size_ = size;
   words_.resize(WordsFor(size), 0);

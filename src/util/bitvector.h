@@ -30,6 +30,14 @@ class BitVector {
   /// are rejected by returning an empty vector; intended for tests.
   [[nodiscard]] static BitVector FromString(const std::string& bits);
 
+  /// Adopts `words` as the backing array of a `size`-bit vector without
+  /// copying — the bulk-load path for file reads and decompression. The
+  /// vector is resized to the exact word count for `size` (truncating or
+  /// zero-extending) and the tail is masked, so the tail invariant holds
+  /// regardless of what the caller read into the array.
+  [[nodiscard]] static BitVector FromWords(size_t size,
+                                           std::vector<uint64_t> words);
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

@@ -1,0 +1,280 @@
+#include "util/stored_bitmap_io.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <utility>
+#include <vector>
+
+#include "util/ewah_bitmap.h"
+#include "util/rle_bitmap.h"
+
+namespace ebi {
+
+namespace {
+
+constexpr uint32_t kBitVectorMagic = 0x45424956;  // "EBIV".
+constexpr uint32_t kStoredMagic = 0x45424953;     // "EBIS".
+
+// Format tags in the StoredBitmap stream. Distinct from BitmapFormat so
+// enum reordering never silently changes the on-disk format.
+constexpr uint32_t kTagPlain = 0;
+constexpr uint32_t kTagRle = 1;
+constexpr uint32_t kTagEwah = 2;
+
+// Cap on the elements a read trusts from a length prefix before the
+// bytes backing them have been consumed. Bulk reads proceed in chunks
+// of this many elements, so a garbage count can only waste this much
+// allocation up-front — the stream runs dry long before a hostile
+// length turns into a giant allocation.
+constexpr uint64_t kMaxTrustedReserve = 1u << 16;
+
+// An istream view over caller-owned bytes: the zero-copy front end for
+// LoadStoredBitmap(data, size). istringstream would copy the payload;
+// this streambuf reads straight out of the buffer.
+class MemoryStreamBuf : public std::streambuf {
+ public:
+  MemoryStreamBuf(const char* data, size_t size) {
+    char* p = const_cast<char*>(data);
+    setg(p, p, p + size);
+  }
+};
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 4);
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 8);
+}
+
+Result<uint32_t> ReadU32(std::istream& in) {
+  char buf[4];
+  if (!in.read(buf, 4)) {
+    return Status::OutOfRange("truncated stream reading u32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> ReadU64(std::istream& in) {
+  char buf[8];
+  if (!in.read(buf, 8)) {
+    return Status::OutOfRange("truncated stream reading u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// Bulk little-endian array reads. One in.read() per chunk instead of
+// one per element — the difference between stream-call overhead and
+// memcpy speed on the storage engine's warm path. Chunking preserves
+// the hardening contract: allocation only grows after the bytes backing
+// it were actually read, bounded by kMaxTrustedReserve elements per step.
+Status ReadU64Array(std::istream& in, uint64_t count,
+                    std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(
+      std::min<uint64_t>(count, kMaxTrustedReserve)));
+  std::vector<char> buf;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(remaining, kMaxTrustedReserve));
+    buf.resize(chunk * 8);
+    if (!in.read(buf.data(), static_cast<std::streamsize>(buf.size()))) {
+      return Status::OutOfRange("truncated stream reading u64 array");
+    }
+    const size_t base = out->size();
+    out->resize(base + chunk);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out->data() + base, buf.data(), buf.size());
+    } else {
+      for (size_t i = 0; i < chunk; ++i) {
+        uint64_t v = 0;
+        for (int b = 0; b < 8; ++b) {
+          v |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(buf[i * 8 + b]))
+               << (8 * b);
+        }
+        (*out)[base + i] = v;
+      }
+    }
+    remaining -= chunk;
+  }
+  return Status::OK();
+}
+
+Status ReadU32Array(std::istream& in, uint64_t count,
+                    std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(
+      std::min<uint64_t>(count, kMaxTrustedReserve)));
+  std::vector<char> buf;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(remaining, kMaxTrustedReserve));
+    buf.resize(chunk * 4);
+    if (!in.read(buf.data(), static_cast<std::streamsize>(buf.size()))) {
+      return Status::OutOfRange("truncated stream reading u32 array");
+    }
+    const size_t base = out->size();
+    out->resize(base + chunk);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out->data() + base, buf.data(), buf.size());
+    } else {
+      for (size_t i = 0; i < chunk; ++i) {
+        uint32_t v = 0;
+        for (int b = 0; b < 4; ++b) {
+          v |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(buf[i * 4 + b]))
+               << (8 * b);
+        }
+        (*out)[base + i] = v;
+      }
+    }
+    remaining -= chunk;
+  }
+  return Status::OK();
+}
+
+Status ExpectMagic(std::istream& in, uint32_t magic, const char* what) {
+  EBI_ASSIGN_OR_RETURN(const uint32_t got, ReadU32(in));
+  if (got != magic) {
+    return Status::InvalidArgument(std::string("bad magic for ") + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveBitVector(std::ostream& out, const BitVector& bits) {
+  WriteU32(out, kBitVectorMagic);
+  WriteU64(out, bits.size());
+  for (uint64_t word : bits.words()) {
+    WriteU64(out, word);
+  }
+  if (!out) {
+    return Status::Internal("stream write failed");
+  }
+  return Status::OK();
+}
+
+Result<BitVector> LoadBitVector(std::istream& in) {
+  EBI_RETURN_IF_ERROR(ExpectMagic(in, kBitVectorMagic, "BitVector"));
+  EBI_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(in));
+  // Read the words before sizing the vector: a garbage `size` then dies
+  // on stream truncation instead of on a huge allocation.
+  const uint64_t num_words = (size + 63) / 64;
+  std::vector<uint64_t> words;
+  EBI_RETURN_IF_ERROR(ReadU64Array(in, num_words, &words));
+  // Bits past `size` in the last word must be zero (BitVector's tail
+  // invariant holds on every save); set padding bits mean corruption.
+  if (size % 64 != 0 && !words.empty() &&
+      (words.back() >> (size % 64)) != 0) {
+    return Status::InvalidArgument(
+        "BitVector: set padding bits past the declared size");
+  }
+  // FromWords adopts the array — no per-word copy into the vector.
+  return BitVector::FromWords(static_cast<size_t>(size), std::move(words));
+}
+
+Status SaveStoredBitmap(std::ostream& out, const StoredBitmap& bitmap) {
+  WriteU32(out, kStoredMagic);
+  switch (bitmap.format()) {
+    case BitmapFormat::kPlain:
+      WriteU32(out, kTagPlain);
+      return SaveBitVector(out, *bitmap.AsPlain());
+    case BitmapFormat::kRle: {
+      const RleBitmap* rle = bitmap.AsRle();
+      WriteU32(out, kTagRle);
+      WriteU64(out, rle->size());
+      WriteU64(out, rle->runs().size());
+      for (uint32_t run : rle->runs()) {
+        WriteU32(out, run);
+      }
+      break;
+    }
+    case BitmapFormat::kEwah: {
+      const EwahBitmap* ewah = bitmap.AsEwah();
+      WriteU32(out, kTagEwah);
+      WriteU64(out, ewah->size());
+      WriteU64(out, ewah->words().size());
+      for (uint64_t word : ewah->words()) {
+        WriteU64(out, word);
+      }
+      break;
+    }
+  }
+  if (!out) {
+    return Status::Internal("stream write failed");
+  }
+  return Status::OK();
+}
+
+Result<StoredBitmap> LoadStoredBitmap(std::istream& in) {
+  EBI_RETURN_IF_ERROR(ExpectMagic(in, kStoredMagic, "StoredBitmap"));
+  EBI_ASSIGN_OR_RETURN(const uint32_t tag, ReadU32(in));
+  switch (tag) {
+    case kTagPlain: {
+      EBI_ASSIGN_OR_RETURN(BitVector bits, LoadBitVector(in));
+      return StoredBitmap::Make(std::move(bits), BitmapFormat::kPlain);
+    }
+    case kTagRle: {
+      EBI_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(in));
+      EBI_ASSIGN_OR_RETURN(const uint64_t num_runs, ReadU64(in));
+      std::vector<uint32_t> runs;
+      EBI_RETURN_IF_ERROR(ReadU32Array(in, num_runs, &runs));
+      uint64_t total = 0;
+      for (const uint32_t run : runs) {
+        total += run;
+      }
+      if (total != size) {
+        return Status::InvalidArgument(
+            "StoredBitmap: RLE runs do not sum to the declared size");
+      }
+      return StoredBitmap::FromRle(RleBitmap::FromRuns(runs));
+    }
+    case kTagEwah: {
+      EBI_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(in));
+      EBI_ASSIGN_OR_RETURN(const uint64_t num_words, ReadU64(in));
+      std::vector<uint64_t> words;
+      EBI_RETURN_IF_ERROR(ReadU64Array(in, num_words, &words));
+      EBI_ASSIGN_OR_RETURN(
+          EwahBitmap ewah,
+          EwahBitmap::FromWords(std::move(words),
+                                static_cast<size_t>(size)));
+      return StoredBitmap::FromEwah(std::move(ewah));
+    }
+    default:
+      return Status::InvalidArgument("StoredBitmap: unknown format tag");
+  }
+}
+
+Result<StoredBitmap> LoadStoredBitmap(const uint8_t* data, size_t size) {
+  MemoryStreamBuf buf(reinterpret_cast<const char*>(data), size);
+  std::istream in(&buf);
+  return LoadStoredBitmap(in);
+}
+
+}  // namespace ebi

@@ -1,0 +1,50 @@
+#ifndef EBI_UTIL_STORED_BITMAP_IO_H_
+#define EBI_UTIL_STORED_BITMAP_IO_H_
+
+#include <iosfwd>
+
+#include "util/bitvector.h"
+#include "util/status.h"
+#include "util/stored_bitmap.h"
+
+namespace ebi {
+
+/// Stream (de)serialization of bitmap vectors — the byte format shared
+/// by index persistence (index/persistence.h) and the storage engine's
+/// page payloads (src/storage/engine/). Lives in util so the storage
+/// layer can use it without depending on the index layer.
+///
+/// Format: little-endian, magic-guarded sections. Loading is hardened
+/// against hostile streams: counts are never trusted before the bytes
+/// backing them have actually been read, so a truncated or garbage
+/// stream fails with a descriptive Status (OutOfRange for truncation,
+/// InvalidArgument for corruption) — never an assert, overflow, or
+/// attempted multi-gigabyte allocation.
+
+/// Bitmap vectors.
+[[nodiscard]] Status SaveBitVector(std::ostream& out, const BitVector& bits);
+[[nodiscard]] Result<BitVector> LoadBitVector(std::istream& in);
+
+/// Stored bitmaps in their physical format. The stream carries a format
+/// tag after the magic; RLE bitmaps serialize their run array and EWAH
+/// bitmaps their marker/literal words, so a compressed vector
+/// round-trips without a decompress/recompress cycle and keeps the
+/// exact physical layout (and therefore SizeBytes / I/O charge) it had
+/// when saved. Loading validates the compressed form: RLE runs must sum
+/// to the declared bit size, and EWAH words must decode to exactly the
+/// declared word count (EwahBitmap::FromWords); corrupt buffers are
+/// rejected rather than trusted.
+[[nodiscard]] Status SaveStoredBitmap(std::ostream& out,
+                                      const StoredBitmap& bitmap);
+[[nodiscard]] Result<StoredBitmap> LoadStoredBitmap(std::istream& in);
+
+/// Zero-copy load from caller-owned bytes — the storage engine's warm
+/// read path, where the payload is already assembled in memory and an
+/// istringstream round-trip would cost an extra full copy. Identical
+/// format and hardening to the stream overload.
+[[nodiscard]] Result<StoredBitmap> LoadStoredBitmap(const uint8_t* data,
+                                                    size_t size);
+
+}  // namespace ebi
+
+#endif  // EBI_UTIL_STORED_BITMAP_IO_H_

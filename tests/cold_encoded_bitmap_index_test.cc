@@ -15,7 +15,7 @@ using testing_util::ScanRange;
 
 ColdEncodedBitmapIndexOptions TestOptions(size_t pool = 4) {
   ColdEncodedBitmapIndexOptions options;
-  options.pool_vectors = pool;
+  options.pool_pages = pool;
   options.directory = ::testing::TempDir();
   return options;
 }

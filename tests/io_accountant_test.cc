@@ -163,11 +163,84 @@ TEST(IoAccountantTest, ChargeStatsAddsAllCounters) {
 
 TEST(IoAccountantTest, ToStringMentionsAllCounters) {
   IoStats s{1, 2, 3, 4};
+  s.bytes_written = 5;
+  s.pages_written = 6;
   const std::string text = s.ToString();
   EXPECT_NE(text.find("vectors=1"), std::string::npos);
   EXPECT_NE(text.find("pages=2"), std::string::npos);
   EXPECT_NE(text.find("bytes=3"), std::string::npos);
   EXPECT_NE(text.find("nodes=4"), std::string::npos);
+  EXPECT_NE(text.find("bytes_w=5"), std::string::npos);
+  EXPECT_NE(text.find("pages_w=6"), std::string::npos);
+}
+
+TEST(IoAccountantTest, ZeroPageSizeFallsBackToDefault) {
+  // A zero page size would divide by zero on every charge; the
+  // constructor substitutes the default and flags the input invalid.
+  IoAccountant io(0);
+  EXPECT_EQ(io.page_size(), IoAccountant::kDefaultPageSize);
+  EXPECT_FALSE(io.page_size_valid());
+  io.ChargeBytes(1);
+  EXPECT_EQ(io.stats().pages_read, 1u);
+
+  IoAccountant ok(512);
+  EXPECT_TRUE(ok.page_size_valid());
+}
+
+TEST(IoAccountantTest, PageReadChargesOnePageAndItsBytes) {
+  IoAccountant io(4096);
+  io.ChargePageRead(100);
+  io.ChargePageRead(4072);
+  const IoStats stats = io.stats();
+  // Each physical page is one page regardless of payload fill.
+  EXPECT_EQ(stats.pages_read, 2u);
+  EXPECT_EQ(stats.bytes_read, 4172u);
+  EXPECT_EQ(stats.vectors_read, 0u);
+}
+
+TEST(IoAccountantTest, WriteChargesMirrorReadCharges) {
+  IoAccountant io(4096);
+  io.ChargePageWrite(4072);
+  EXPECT_EQ(io.stats().pages_written, 1u);
+  EXPECT_EQ(io.stats().bytes_written, 4072u);
+  io.ChargeBytesWritten(10000);  // 3 pages, rounded up.
+  EXPECT_EQ(io.stats().pages_written, 4u);
+  EXPECT_EQ(io.stats().bytes_written, 14072u);
+  // Reads are untouched by write charges.
+  EXPECT_EQ(io.stats().pages_read, 0u);
+  EXPECT_EQ(io.stats().bytes_read, 0u);
+}
+
+TEST(IoAccountantTest, VectorTouchCountsOnlyTheVector) {
+  IoAccountant io(4096);
+  io.ChargeVectorTouch();
+  const IoStats stats = io.stats();
+  EXPECT_EQ(stats.vectors_read, 1u);
+  EXPECT_EQ(stats.bytes_read, 0u);
+  EXPECT_EQ(stats.pages_read, 0u);
+}
+
+TEST(IoAccountantTest, WriteCountersFlowThroughArithmetic) {
+  IoStats a{10, 20, 30, 40};
+  a.bytes_written = 50;
+  a.pages_written = 60;
+  IoStats b{1, 2, 3, 4};
+  b.bytes_written = 5;
+  b.pages_written = 6;
+  const IoStats sum = a + b;
+  EXPECT_EQ(sum.bytes_written, 55u);
+  EXPECT_EQ(sum.pages_written, 66u);
+  const IoStats diff = a - b;
+  EXPECT_EQ(diff.bytes_written, 45u);
+  EXPECT_EQ(diff.pages_written, 54u);
+  EXPECT_FALSE(a == b);
+  IoAccountant io;
+  io.ChargeStats(b);
+  EXPECT_EQ(io.stats().bytes_written, 5u);
+  EXPECT_EQ(io.stats().pages_written, 6u);
+  io.Reset();
+  EXPECT_EQ(io.stats().bytes_written, 0u);
+  EXPECT_EQ(io.stats().pages_written, 0u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "test_util.h"
+#include "util/random.h"
 
 namespace ebi {
 namespace {
@@ -115,6 +116,45 @@ TEST(PersistenceTest, StoredBitmapTruncationRejected) {
     EXPECT_EQ(LoadStoredBitmap(cut).status().code(),
               StatusCode::kOutOfRange)
         << BitmapFormatName(format);
+  }
+}
+
+TEST(PersistenceTest, StoredBitmapTruncationFuzzEveryFormat) {
+  // Randomized truncation sweep: a stored bitmap cut at *any* byte
+  // boundary must come back as a descriptive Status — never a crash, an
+  // over-allocation on a garbage length, or a silently short bitmap.
+  Rng rng(20260809);
+  BitVector bits(5000);
+  for (size_t i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      bits.Set(i);
+    }
+  }
+  for (const BitmapFormat format :
+       {BitmapFormat::kPlain, BitmapFormat::kRle, BitmapFormat::kEwah}) {
+    std::stringstream stream;
+    ASSERT_TRUE(
+        SaveStoredBitmap(stream, StoredBitmap::Make(bits, format)).ok());
+    const std::string full = stream.str();
+    for (int trial = 0; trial < 150; ++trial) {
+      const size_t cut = rng.UniformInt(full.size());  // Strict prefix.
+      std::stringstream truncated(full.substr(0, cut));
+      const auto loaded = LoadStoredBitmap(truncated);
+      EXPECT_FALSE(loaded.ok())
+          << BitmapFormatName(format) << " decoded a " << cut
+          << "-byte prefix of " << full.size();
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+    // Byte-flip sweep: corrupted streams must never crash; they either
+    // fail loudly or (e.g. a flipped payload bit) decode to some bitmap.
+    for (int trial = 0; trial < 150; ++trial) {
+      std::string mutated = full;
+      mutated[rng.UniformInt(mutated.size())] =
+          static_cast<char>(rng.Next());
+      std::stringstream garbled(mutated);
+      const auto loaded = LoadStoredBitmap(garbled);
+      (void)loaded;
+    }
   }
 }
 

@@ -1,0 +1,555 @@
+#include "storage/engine/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query_service.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ebi {
+namespace {
+
+using testing_util::ScanEquals;
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/ebi_wal_" + tag + ".log";
+}
+
+std::vector<uint8_t> Payload(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+// ---------------------------------------------------------------- Wal core
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const std::string path = TempPath("roundtrip");
+  std::remove(path.c_str());
+  {
+    auto wal = engine::Wal::Open(path, {});
+    ASSERT_TRUE(wal.ok());
+    const auto a = (*wal)->Append(engine::kWalRecordRowBatch, Payload({1, 2}));
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(*a, 0u);
+    const auto b =
+        (*wal)->Append(engine::kWalRecordCheckpoint, Payload({3, 4, 5}));
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*b, 1u);
+  }
+  const auto replay = engine::Wal::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].type, engine::kWalRecordRowBatch);
+  EXPECT_EQ(replay->records[0].lsn, 0u);
+  EXPECT_EQ(replay->records[0].payload, Payload({1, 2}));
+  EXPECT_EQ(replay->records[1].type, engine::kWalRecordCheckpoint);
+  EXPECT_EQ(replay->records[1].payload, Payload({3, 4, 5}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, MissingFileReplaysEmpty) {
+  const std::string path = TempPath("never_created");
+  std::remove(path.c_str());
+  const auto replay = engine::Wal::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->torn_tail);
+}
+
+TEST(WalTest, ReopenContinuesLsnSequence) {
+  const std::string path = TempPath("reopen");
+  std::remove(path.c_str());
+  {
+    auto wal = engine::Wal::Open(path, {});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(
+        (*wal)->Append(engine::kWalRecordRowBatch, Payload({9})).ok());
+  }
+  auto wal = engine::Wal::Open(path, {});
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), 1u);
+  const auto lsn = (*wal)->Append(engine::kWalRecordRowBatch, Payload({8}));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailIsDetectedAndTruncatedOnOpen) {
+  const std::string path = TempPath("torn");
+  std::remove(path.c_str());
+  uint64_t full_size = 0;
+  {
+    auto wal = engine::Wal::Open(path, {});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(
+        (*wal)->Append(engine::kWalRecordRowBatch, Payload({1, 1, 1})).ok());
+    ASSERT_TRUE(
+        (*wal)->Append(engine::kWalRecordRowBatch, Payload({2, 2, 2})).ok());
+  }
+  {
+    std::FILE* raw = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(raw, nullptr);
+    ASSERT_EQ(std::fseek(raw, 0, SEEK_END), 0);
+    full_size = static_cast<uint64_t>(std::ftell(raw));
+    std::fclose(raw);
+    // Chop the final record mid-frame: a crash during the second append.
+    ASSERT_EQ(::truncate(path.c_str(),
+                            static_cast<off_t>(full_size - 5)),
+              0);
+  }
+  const auto replay = engine::Wal::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].payload, Payload({1, 1, 1}));
+  // Open truncates the torn tail and continues after the last good record.
+  auto wal = engine::Wal::Open(path, {});
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), 1u);
+  ASSERT_TRUE(
+      (*wal)->Append(engine::kWalRecordRowBatch, Payload({3, 3, 3})).ok());
+  const auto again = engine::Wal::Replay(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->torn_tail);
+  ASSERT_EQ(again->records.size(), 2u);
+  EXPECT_EQ(again->records[1].payload, Payload({3, 3, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, CorruptMiddleRecordStopsReplayAtIt) {
+  const std::string path = TempPath("corrupt");
+  std::remove(path.c_str());
+  {
+    auto wal = engine::Wal::Open(path, {});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(
+        (*wal)->Append(engine::kWalRecordRowBatch, Payload({1})).ok());
+    ASSERT_TRUE(
+        (*wal)->Append(engine::kWalRecordRowBatch, Payload({2})).ok());
+  }
+  {
+    // Flip a payload byte of the second record; its CRC no longer holds.
+    std::FILE* raw = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(raw, nullptr);
+    const long second_payload =
+        static_cast<long>(2 * engine::Wal::kFrameHeaderBytes + 1);
+    ASSERT_EQ(std::fseek(raw, second_payload, SEEK_SET), 0);
+    std::fputc(0x5A, raw);
+    std::fclose(raw);
+  }
+  const auto replay = engine::Wal::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, FaultInjectedAppendFailsButRecordIsDurable) {
+  const std::string path = TempPath("fault");
+  std::remove(path.c_str());
+  engine::WalOptions options;
+  options.fail_after_appends = 2;
+  auto wal = engine::Wal::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(engine::kWalRecordRowBatch, Payload({1})).ok());
+  // The 2nd append persists its record, then reports the injected crash.
+  const auto crashed =
+      (*wal)->Append(engine::kWalRecordRowBatch, Payload({2}));
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), StatusCode::kInternal);
+  const auto replay = engine::Wal::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);  // Durable despite the error.
+  EXPECT_EQ(replay->records[1].payload, Payload({2}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ResetEmptiesTheLog) {
+  const std::string path = TempPath("reset");
+  std::remove(path.c_str());
+  auto wal = engine::Wal::Open(path, {});
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(engine::kWalRecordRowBatch, Payload({1})).ok());
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->next_lsn(), 0u);
+  const auto replay = engine::Wal::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ConcurrentAppendsAllLand) {
+  // The combiner is the only appender in production, but the WAL's
+  // contract is thread-safety; TSan runs this leg.
+  const std::string path = TempPath("concurrent");
+  std::remove(path.c_str());
+  engine::WalOptions options;
+  options.sync_on_append = false;  // Throughput: one sync at the end.
+  auto wal = engine::Wal::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+  constexpr int kThreads = 4;
+  constexpr int kAppendsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        const std::vector<uint8_t> payload(static_cast<size_t>(t) + 1,
+                                           static_cast<uint8_t>(i));
+        ASSERT_TRUE(
+            (*wal)->Append(engine::kWalRecordRowBatch, payload).ok());
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+  const auto replay = engine::Wal::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_EQ(replay->records.size(),
+            static_cast<size_t>(kThreads) * kAppendsPerThread);
+  // LSNs are dense and ordered.
+  for (size_t i = 0; i < replay->records.size(); ++i) {
+    EXPECT_EQ(replay->records[i].lsn, i);
+  }
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- RowBatch codec
+
+TEST(RowBatchCodecTest, RoundTripMixedKinds) {
+  std::vector<std::vector<Value>> rows = {
+      {Value::Int(42), Value::Str("hello"), Value::Null()},
+      {Value::Int(-7), Value::Str(""), Value::Int(0)},
+  };
+  const std::vector<uint8_t> payload = engine::EncodeRowBatch(1234, rows);
+  const auto decoded = engine::DecodeRowBatch(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->first_row, 1234u);
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  EXPECT_EQ(decoded->rows[0][0].int_value, 42);
+  EXPECT_EQ(decoded->rows[0][1].string_value, "hello");
+  EXPECT_TRUE(decoded->rows[0][2].is_null());
+  EXPECT_EQ(decoded->rows[1][0].int_value, -7);
+  EXPECT_EQ(decoded->rows[1][1].string_value, "");
+}
+
+TEST(RowBatchCodecTest, TruncationFuzzNeverCrashesOrMisdecodes) {
+  std::vector<std::vector<Value>> rows;
+  Rng rng(2026);
+  for (int r = 0; r < 20; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < 3; ++c) {
+      switch (rng.UniformInt(3)) {
+        case 0:
+          row.push_back(Value::Int(static_cast<int64_t>(rng.Next())));
+          break;
+        case 1:
+          row.push_back(Value::Str(std::string(rng.UniformInt(20), 'x')));
+          break;
+        default:
+          row.push_back(Value::Null());
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  const std::vector<uint8_t> payload = engine::EncodeRowBatch(7, rows);
+  // Every strict prefix must be rejected with a Status — never a crash,
+  // never a silently short batch.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<uint8_t> prefix(payload.begin(),
+                                      payload.begin() + cut);
+    const auto decoded = engine::DecodeRowBatch(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+  // Random byte flips: either rejected or decode to *some* batch — the
+  // point is no crash/UB; ASan guards the allocation paths.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> mutated = payload;
+    const size_t at = rng.UniformInt(mutated.size());
+    mutated[at] = static_cast<uint8_t>(rng.Next());
+    const auto decoded = engine::DecodeRowBatch(mutated);
+    (void)decoded;
+  }
+}
+
+TEST(RowBatchCodecTest, TrailingGarbageRejected) {
+  std::vector<uint8_t> payload =
+      engine::EncodeRowBatch(0, {{Value::Int(1)}});
+  payload.push_back(0xFF);
+  EXPECT_FALSE(engine::DecodeRowBatch(payload).ok());
+}
+
+// ------------------------------------------------- Durable serve recovery
+
+std::unique_ptr<Table> BaseTable(size_t rows) {
+  auto table = std::make_unique<Table>("durable");
+  EXPECT_TRUE(table->AddColumn("a", Column::Type::kInt64).ok());
+  EXPECT_TRUE(table->AddColumn("s", Column::Type::kString).ok());
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(table
+                    ->AppendRow({Value::Int(static_cast<int64_t>(i % 7)),
+                                 Value::Str(i % 2 == 0 ? "even" : "odd")})
+                    .ok());
+  }
+  return table;
+}
+
+std::vector<serve::IndexSpec> Specs() {
+  return {{"a", IndexKind::kEncodedBitmap}};
+}
+
+std::vector<std::vector<Value>> Batch(int64_t tag, size_t rows) {
+  std::vector<std::vector<Value>> batch;
+  for (size_t i = 0; i < rows; ++i) {
+    batch.push_back({Value::Int(tag), Value::Str("appended")});
+  }
+  return batch;
+}
+
+/// The fixed query set recovery is judged by: row sets must be
+/// bit-identical between the pre-crash committed state and the recovered
+/// service.
+std::vector<std::vector<Predicate>> FixedQueries() {
+  std::vector<std::vector<Predicate>> queries;
+  for (int64_t v = 0; v < 7; ++v) {
+    queries.push_back({Predicate::Eq("a", Value::Int(v))});
+  }
+  queries.push_back({Predicate::Between("a", 2, 5)});
+  return queries;
+}
+
+std::vector<BitVector> RunQueries(serve::QueryService& service) {
+  std::vector<BitVector> results;
+  for (const auto& predicates : FixedQueries()) {
+    const auto served = service.Select(predicates);
+    EXPECT_TRUE(served.ok());
+    results.push_back(served.ok() ? served->selection.rows : BitVector());
+  }
+  return results;
+}
+
+TEST(DurableServeTest, AppendsSurviveRestart) {
+  const std::string path = TempPath("durable_restart");
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.wal_path = path;
+  std::vector<BitVector> before;
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(40), Specs()).ok());
+    ASSERT_TRUE(service.Append(Batch(3, 5)).ok());
+    ASSERT_TRUE(service.Append(Batch(6, 4)).ok());
+    before = RunQueries(service);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  {
+    // Restart from the *base* table: the WAL replays both batches.
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(40), Specs()).ok());
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(), 49u);
+    EXPECT_EQ(RunQueries(service), before);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DurableServeTest, ReplayIsIdempotentAcrossRepeatedRestarts) {
+  const std::string path = TempPath("durable_idem");
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.wal_path = path;
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(20), Specs()).ok());
+    ASSERT_TRUE(service.Append(Batch(1, 3)).ok());
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  // Three restarts, each replaying the same log onto the same base: the
+  // first_row key must prevent double-application every time.
+  for (int restart = 0; restart < 3; ++restart) {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(20), Specs()).ok());
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(), 23u)
+        << "restart " << restart;
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DurableServeTest, RestartFromCaughtUpTableSkipsEveryBatch) {
+  const std::string path = TempPath("durable_caughtup");
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.wal_path = path;
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(10), Specs()).ok());
+    ASSERT_TRUE(service.Append(Batch(2, 6)).ok());
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  {
+    // The operator checkpointed: the base table already contains the 16
+    // rows. Replay must skip the batch, not append it twice.
+    auto caught_up = BaseTable(10);
+    for (auto& row : Batch(2, 6)) {
+      ASSERT_TRUE(caught_up->AppendRow(row).ok());
+    }
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(std::move(caught_up), Specs()).ok());
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(), 16u);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DurableServeTest, WalGapFailsStartLoudly) {
+  const std::string path = TempPath("durable_gap");
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.wal_path = path;
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(30), Specs()).ok());
+    ASSERT_TRUE(service.Append(Batch(1, 2)).ok());
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  // A base table *shorter* than the batch's first_row means rows are
+  // missing between the checkpoint and the log: refuse to serve.
+  serve::QueryService service(options);
+  const Status started = service.Start(BaseTable(10), Specs());
+  EXPECT_FALSE(started.ok());
+  EXPECT_NE(started.message().find("WAL gap"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+/// Kill-point: the crash happens after the WAL append made the batch
+/// durable but before the publish. The Append caller sees an error, yet
+/// recovery must surface the batch — WAL-durable *is* committed.
+TEST(DurableServeTest, KillMidPublishRecoversCommittedState) {
+  const std::string path = TempPath("durable_kill");
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.wal_path = path;
+  options.wal_fail_after_appends = 2;  // 2nd WAL append "crashes".
+  std::vector<BitVector> committed;
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(35), Specs()).ok());
+    ASSERT_TRUE(service.Append(Batch(4, 3)).ok());
+    const auto crashed = service.Append(Batch(5, 2));
+    EXPECT_FALSE(crashed.ok());  // Publish never happened in-process.
+    // In-process view still shows only the first batch.
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(), 38u);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  {
+    // Reference for the *committed* state: base + both batches (the
+    // second was WAL-durable before the simulated crash).
+    auto reference_table = BaseTable(35);
+    for (auto& row : Batch(4, 3)) {
+      ASSERT_TRUE(reference_table->AppendRow(row).ok());
+    }
+    for (auto& row : Batch(5, 2)) {
+      ASSERT_TRUE(reference_table->AppendRow(row).ok());
+    }
+    serve::ServeOptions reference_options;  // No WAL: plain service.
+    serve::QueryService reference(reference_options);
+    ASSERT_TRUE(reference.Start(std::move(reference_table), Specs()).ok());
+    committed = RunQueries(reference);
+    ASSERT_TRUE(reference.Shutdown().ok());
+  }
+  {
+    // Recovery from the base table: replay must reconstruct base + both
+    // batches and answer the fixed query set bit-identically.
+    serve::ServeOptions recovered_options;
+    recovered_options.wal_path = path;
+    serve::QueryService service(recovered_options);
+    ASSERT_TRUE(service.Start(BaseTable(35), Specs()).ok());
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(), 40u);
+    EXPECT_EQ(RunQueries(service), committed);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  std::remove(path.c_str());
+}
+
+/// Kill-point: the final WAL record itself is torn (crash mid-append).
+/// The batch was never durable, so recovery serves everything before it.
+TEST(DurableServeTest, TornFinalRecordRecoversToPriorBatch) {
+  const std::string path = TempPath("durable_tornfinal");
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.wal_path = path;
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(25), Specs()).ok());
+    ASSERT_TRUE(service.Append(Batch(2, 4)).ok());
+    ASSERT_TRUE(service.Append(Batch(3, 3)).ok());
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  {
+    // Tear the tail: drop the last 7 bytes of the final record.
+    std::FILE* raw = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(raw, nullptr);
+    ASSERT_EQ(std::fseek(raw, 0, SEEK_END), 0);
+    const long size = std::ftell(raw);
+    std::fclose(raw);
+    ASSERT_GT(size, 7);
+    ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size - 7)), 0);
+  }
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(25), Specs()).ok());
+    // First batch replayed; the torn second batch is gone.
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(), 29u);
+    // The service keeps serving appends after truncating the tail.
+    ASSERT_TRUE(service.Append(Batch(6, 1)).ok());
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(), 30u);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DurableServeTest, ConcurrentDurableAppendsCombineAndRecover) {
+  const std::string path = TempPath("durable_concurrent");
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.wal_path = path;
+  constexpr int kAppenders = 4;
+  constexpr int kBatches = 5;
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(10), Specs()).ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kAppenders; ++t) {
+      threads.emplace_back([&service, t] {
+        for (int i = 0; i < kBatches; ++i) {
+          ASSERT_TRUE(service.Append(Batch(t % 7, 2)).ok());
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  {
+    serve::QueryService service(options);
+    ASSERT_TRUE(service.Start(BaseTable(10), Specs()).ok());
+    EXPECT_EQ(service.snapshots().Acquire()->NumRows(),
+              10u + kAppenders * kBatches * 2u);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ebi

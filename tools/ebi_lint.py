@@ -19,12 +19,20 @@ Enforces structural conventions the compiler cannot:
                     counts stay centrally bounded.
   raw-sync          Raw synchronization (std::mutex, std::atomic,
                     condition variables, locks) inside src/ is confined
-                    to src/serve/ and src/exec/, the two concurrency
-                    layers. Everything else is single-threaded by
-                    contract and shared through snapshots or the pool.
-                    (Allowlisted: the metrics registry and the
-                    IoAccountant's relaxed counters, which predate the
-                    serving layer and are documented thread-safe.)
+                    to src/serve/, src/exec/, and src/storage/engine/ —
+                    the concurrency layers. Everything else is
+                    single-threaded by contract and shared through
+                    snapshots or the pool. (Allowlisted: the metrics
+                    registry and the IoAccountant's relaxed counters,
+                    which predate the serving layer and are documented
+                    thread-safe.)
+  raw-file-io       Raw file I/O (fopen/fwrite/fsync/fstream/mmap...)
+                    inside src/ is confined to src/storage/engine/, the
+                    durability layer, so every byte that must survive a
+                    crash flows through checksummed pages or the WAL.
+                    (Allowlisted: the CSV loader and the telemetry
+                    sinks, which predate the engine and write
+                    best-effort diagnostic artifacts.)
   nondeterminism    No rand()/srand()/std::random_device/time(NULL) in
                     src/ or tests/ — randomized code takes an explicit
                     seeded Rng so every run is reproducible.
@@ -204,7 +212,7 @@ SYNC_PATTERN = (
     r"condition_variable_any|atomic|atomic_flag|atomic_ref|lock_guard|"
     r"unique_lock|scoped_lock|shared_lock|call_once|once_flag)\b")
 
-SYNC_ALLOWED_PREFIXES = ("src/serve/", "src/exec/")
+SYNC_ALLOWED_PREFIXES = ("src/serve/", "src/exec/", "src/storage/engine/")
 
 
 def rule_raw_sync(path, text, stripped):
@@ -215,8 +223,33 @@ def rule_raw_sync(path, text, stripped):
     for lineno, line in grep_lines(stripped, SYNC_PATTERN):
         yield Finding(
             "raw-sync", path, lineno,
-            f"raw synchronization `{line}` outside src/serve//src/exec/; "
-            "share state through snapshots or the thread pool")
+            f"raw synchronization `{line}` outside the concurrency layers "
+            "(src/serve/, src/exec/, src/storage/engine/); share state "
+            "through snapshots or the thread pool")
+
+
+FILE_IO_PATTERNS = (
+    r"^\s*#\s*include\s*<fstream>",
+    r"\bstd::(i|o)?fstream\b",
+    r"\b(std::)?(fopen|fwrite|fread|freopen|tmpfile)\s*\(",
+    r"\b(fsync|fdatasync|fileno|mmap|pread|pwrite|ftruncate)\s*\(",
+)
+
+FILE_IO_ALLOWED_PREFIX = "src/storage/engine/"
+
+
+def rule_raw_file_io(path, text, stripped):
+    if not path.startswith("src/"):
+        return
+    if path.startswith(FILE_IO_ALLOWED_PREFIX):
+        return
+    for pattern in FILE_IO_PATTERNS:
+        for lineno, line in grep_lines(stripped, pattern):
+            yield Finding(
+                "raw-file-io", path, lineno,
+                f"raw file I/O `{line}` outside {FILE_IO_ALLOWED_PREFIX}; "
+                "durable bytes go through the storage engine's pages or "
+                "WAL")
 
 
 NONDET_PATTERNS = (
@@ -335,6 +368,7 @@ RULES = (
     rule_naked_new,
     rule_naked_thread,
     rule_raw_sync,
+    rule_raw_file_io,
     rule_nondeterminism,
     rule_header_guard,
     rule_include_path,
@@ -348,6 +382,7 @@ RULE_NAMES = (
     "naked-new",
     "naked-thread",
     "raw-sync",
+    "raw-file-io",
     "nondeterminism",
     "header-guard",
     "include-path",

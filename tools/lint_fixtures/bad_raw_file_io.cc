@@ -1,0 +1,22 @@
+// lint-fixture-path: src/query/result_dumper.cc
+// Known-bad fixture: raw file I/O outside src/storage/engine/. Durable
+// bytes must flow through the engine's checksummed pages or the WAL,
+// not ad-hoc stdio calls sprinkled through the query layer.
+
+#include <cstdio>
+
+namespace ebi {
+
+bool DumpResult(const char* path) {
+  std::FILE* out = std::fopen(path, "wb");
+  if (out == nullptr) {
+    return false;
+  }
+  const char payload[] = {0x01, 0x02, 0x03, 0x04};
+  const bool ok = std::fwrite(payload, 1, sizeof(payload), out) ==
+                  sizeof(payload);
+  std::fclose(out);
+  return ok;
+}
+
+}  // namespace ebi

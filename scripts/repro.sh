@@ -47,8 +47,21 @@ cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DEBI_SANITIZE=thread
 cmake --build build-tsan
 ctest --test-dir build-tsan \
-  -R 'thread_pool|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress|telemetry|workload_recorder|storage_engine|wal_recovery' \
+  -R 'thread_pool|lock_rank|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress|telemetry|workload_recorder|storage_engine|wal_recovery' \
   2>&1 | tee -a test_output.txt
+
+# Compile-time thread-safety pass: when a clang is available, rebuild
+# with Clang's Thread Safety Analysis promoted to an error
+# (-Wthread-safety via EBI_THREAD_SAFETY). GCC compiles the capability
+# annotations away, so this leg is the one that actually checks them.
+if command -v clang++ > /dev/null 2>&1; then
+  CC=clang CXX=clang++ cmake -B build-tsa -G Ninja -DEBI_THREAD_SAFETY=ON
+  cmake --build build-tsa 2>&1 | tee -a test_output.txt
+  ctest --test-dir build-tsa -R 'lock_rank' 2>&1 | tee -a test_output.txt
+else
+  echo "clang++ not found: skipping the -Wthread-safety leg" \
+    | tee -a test_output.txt
+fi
 
 # Crash-recovery drill: the storage-engine and WAL suites run once more,
 # by name, so torn-page, torn-tail, and kill-mid-publish recovery results

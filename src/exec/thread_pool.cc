@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -27,10 +27,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
@@ -47,22 +47,27 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // safe: workers touch it only under `mu`, and the final decrement
   // happens before the caller's wait can observe zero and return.
   struct Barrier {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining = 0;
+    Mutex mu{lock_rank::kLeafBarrier, "ParallelFor::Barrier::mu"};
+    CondVar done;
+    size_t remaining EBI_GUARDED_BY(mu) = 0;
   } barrier;
-  barrier.remaining = end - begin;
+  {
+    const MutexLock lock(barrier.mu);
+    barrier.remaining = end - begin;
+  }
   for (size_t i = begin; i < end; ++i) {
     Submit([i, &body, &barrier] {
       body(i);
-      const std::lock_guard<std::mutex> lock(barrier.mu);
+      const MutexLock lock(barrier.mu);
       if (--barrier.remaining == 0) {
-        barrier.done.notify_all();
+        barrier.done.NotifyAll();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(barrier.mu);
-  barrier.done.wait(lock, [&barrier] { return barrier.remaining == 0; });
+  MutexLock lock(barrier.mu);
+  while (barrier.remaining != 0) {
+    barrier.done.Wait(lock);
+  }
 }
 
 size_t ThreadPool::DefaultThreads() {
@@ -74,9 +79,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock,
-               [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        cv_.Wait(lock);
+      }
       if (queue_.empty()) {
         return;  // Shutting down and fully drained.
       }

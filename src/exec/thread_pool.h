@@ -1,13 +1,14 @@
 #ifndef EBI_EXEC_THREAD_POOL_H_
 #define EBI_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace exec {
@@ -40,7 +41,7 @@ class ThreadPool {
 
   /// Enqueues one task for asynchronous execution. Tasks must not throw
   /// (the library is Status-based and compiles without exception use).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EBI_EXCLUDES(mu_);
 
   /// Runs `body(i)` for every i in [begin, end) on the pool and blocks
   /// until all iterations finish. Iterations may run in any order and
@@ -61,11 +62,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_{lock_rank::kThreadPool, "ThreadPool::mu_"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ EBI_GUARDED_BY(mu_);
+  bool shutting_down_ EBI_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_
+      EBI_UNGUARDED("filled in the constructor before any worker can race, "
+                    "then only read (size) or joined (destructor)");
 };
 
 }  // namespace exec

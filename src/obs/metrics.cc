@@ -132,6 +132,7 @@ MetricsRegistry::MetricsRegistry() {
   // Pre-size the shard maps past the built-in metric census so steady
   // state never rehashes under a shard lock.
   for (Shard& shard : shards_) {
+    const MutexLock lock(shard.mu);
     shard.counters.reserve(16);
     shard.histograms.reserve(16);
   }
@@ -143,7 +144,7 @@ MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   Shard& shard = ShardFor(name);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   std::unique_ptr<Counter>& slot = shard.counters[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -154,7 +155,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
   Shard& shard = ShardFor(name);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   std::unique_ptr<Histogram>& slot = shard.histograms[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds));
@@ -186,7 +187,7 @@ std::vector<std::pair<std::string, const Counter*>>
 MetricsRegistry::CountersSorted() const {
   std::vector<std::pair<std::string, const Counter*>> out;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     for (const auto& [name, counter] : shard.counters) {
       out.emplace_back(name, counter.get());
     }
@@ -199,7 +200,7 @@ std::vector<std::pair<std::string, const Histogram*>>
 MetricsRegistry::HistogramsSorted() const {
   std::vector<std::pair<std::string, const Histogram*>> out;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     for (const auto& [name, histogram] : shard.histograms) {
       out.emplace_back(name, histogram.get());
     }
@@ -311,7 +312,7 @@ std::string MetricsRegistry::ToString() const {
 
 void MetricsRegistry::Reset() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     for (auto& [name, counter] : shard.counters) {
       counter->Reset();
     }

@@ -5,13 +5,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metric_names.h"
 #include "storage/io_accountant.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace obs {
@@ -130,9 +131,14 @@ class MetricsRegistry {
   /// whole process on one mutex.
   static constexpr size_t kShards = 16;
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
-    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+    /// Highest-ranked mutex in the table: metric registration may happen
+    /// under any subsystem lock (handle-caching statics fire on first
+    /// use), so nothing may be acquired after a shard mutex.
+    mutable Mutex mu{lock_rank::kMetricsShard, "MetricsRegistry::Shard::mu"};
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters
+        EBI_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms
+        EBI_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& name);

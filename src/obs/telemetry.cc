@@ -48,7 +48,7 @@ void TraceRing::Push(CapturedTrace trace) {
   trace.seq = pushed_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t at = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[at % slots_.size()];
-  const std::lock_guard<std::mutex> lock(slot.mu);
+  const MutexLock lock(slot.mu);
   slot.trace = std::move(trace);
   slot.full = true;
 }
@@ -57,7 +57,7 @@ std::vector<CapturedTrace> TraceRing::Snapshot() const {
   std::vector<CapturedTrace> out;
   out.reserve(slots_.size());
   for (const Slot& slot : slots_) {
-    const std::lock_guard<std::mutex> lock(slot.mu);
+    const MutexLock lock(slot.mu);
     if (slot.full) {
       out.push_back(slot.trace);
     }
@@ -92,7 +92,7 @@ void SlowQueryLog::Push(SlowQueryEntry entry) {
   entry.seq = pushed_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t at = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[at % slots_.size()];
-  const std::lock_guard<std::mutex> lock(slot.mu);
+  const MutexLock lock(slot.mu);
   slot.entry = std::move(entry);
   slot.full = true;
 }
@@ -101,7 +101,7 @@ std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
   std::vector<SlowQueryEntry> out;
   out.reserve(slots_.size());
   for (const Slot& slot : slots_) {
-    const std::lock_guard<std::mutex> lock(slot.mu);
+    const MutexLock lock(slot.mu);
     if (slot.full) {
       out.push_back(slot.entry);
     }

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace obs {
@@ -82,9 +83,11 @@ class TraceRing {
 
  private:
   struct Slot {
-    mutable std::mutex mu;
-    bool full = false;
-    CapturedTrace trace;
+    /// Leaf rank: slot mutexes guard only their own payload and never
+    /// acquire anything further.
+    mutable Mutex mu{lock_rank::kTelemetrySlot, "TraceRing::Slot::mu"};
+    bool full EBI_GUARDED_BY(mu) = false;
+    CapturedTrace trace EBI_GUARDED_BY(mu);
   };
 
   std::vector<Slot> slots_;
@@ -137,9 +140,9 @@ class SlowQueryLog {
 
  private:
   struct Slot {
-    mutable std::mutex mu;
-    bool full = false;
-    SlowQueryEntry entry;
+    mutable Mutex mu{lock_rank::kTelemetrySlot, "SlowQueryLog::Slot::mu"};
+    bool full EBI_GUARDED_BY(mu) = false;
+    SlowQueryEntry entry EBI_GUARDED_BY(mu);
   };
 
   double threshold_ms_;

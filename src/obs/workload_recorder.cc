@@ -443,7 +443,7 @@ WorkloadRecorder::WorkloadRecorder(std::string path,
       start_(std::chrono::steady_clock::now()) {}
 
 WorkloadRecorder::~WorkloadRecorder() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -503,7 +503,7 @@ Status WorkloadRecorder::Append(WorkloadRecord record) {
   // so concurrent writers only contend on the fwrite, not on building
   // the JSON line.
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     record.seq = records_;
     records_ += 1;
   }
@@ -524,16 +524,18 @@ Status WorkloadRecorder::Append(WorkloadRecord record) {
   // inversion. The wait only triggers under a genuine photo finish; the
   // turn must always advance, even when the write fails, or every later
   // writer would deadlock.
-  std::unique_lock<std::mutex> lock(mu_);
-  turn_cv_.wait(lock, [&] { return next_write_ == record.seq; });
+  MutexLock lock(mu_);
+  while (next_write_ != record.seq) {
+    turn_cv_.Wait(lock);
+  }
   const Status status = WriteLineLocked(line);
   next_write_ += 1;
-  turn_cv_.notify_all();
+  turn_cv_.NotifyAll();
   return status;
 }
 
 Status WorkloadRecorder::Flush() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (file_ != nullptr && std::fflush(file_) != 0) {
     return Status::Internal("cannot flush workload log " + path_);
   }
@@ -541,12 +543,12 @@ Status WorkloadRecorder::Flush() {
 }
 
 uint64_t WorkloadRecorder::RecordsWritten() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return records_;
 }
 
 uint64_t WorkloadRecorder::Rotations() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return rotations_;
 }
 

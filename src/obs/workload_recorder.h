@@ -2,14 +2,14 @@
 #define EBI_OBS_WORKLOAD_RECORDER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace obs {
@@ -121,25 +121,25 @@ class WorkloadRecorder {
   const WorkloadRecorderOptions& options() const { return options_; }
 
  private:
-  Status EnsureOpenLocked();
-  Status RotateLocked();
+  Status EnsureOpenLocked() EBI_REQUIRES(mu_);
+  Status RotateLocked() EBI_REQUIRES(mu_);
   /// Open-if-needed, rotate-if-due, write one line. Never early-returns
   /// past the caller's turnstile bookkeeping.
-  Status WriteLineLocked(const std::string& line);
+  Status WriteLineLocked(const std::string& line) EBI_REQUIRES(mu_);
 
   const std::string path_;
   const WorkloadRecorderOptions options_;
   const std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{lock_rank::kWorkloadRecorder, "WorkloadRecorder::mu_"};
   /// Signals turn advancement to writers waiting in seq order.
-  std::condition_variable turn_cv_;
+  CondVar turn_cv_;
   /// The seq whose line is written next (== lines on disk so far).
-  uint64_t next_write_ = 0;
-  std::FILE* file_ = nullptr;
-  size_t file_bytes_ = 0;
-  uint64_t records_ = 0;
-  uint64_t rotations_ = 0;
+  uint64_t next_write_ EBI_GUARDED_BY(mu_) = 0;
+  std::FILE* file_ EBI_GUARDED_BY(mu_) = nullptr;
+  size_t file_bytes_ EBI_GUARDED_BY(mu_) = 0;
+  uint64_t records_ EBI_GUARDED_BY(mu_) = 0;
+  uint64_t rotations_ EBI_GUARDED_BY(mu_) = 0;
 };
 
 /// Result of reading one log file (or a rotated set).

@@ -201,17 +201,19 @@ Status WriteFileAtomic(const std::string& path, const std::string& body) {
 }  // namespace
 
 Result<ServeResult> ServeTicket::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return outcome_.has_value(); });
+  MutexLock lock(mu_);
+  while (!outcome_.has_value()) {
+    cv_.Wait(lock);
+  }
   return *outcome_;
 }
 
 void ServeTicket::Complete(Result<ServeResult> outcome) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     outcome_ = std::move(outcome);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 QueryService::QueryService(const ServeOptions& options)
@@ -258,7 +260,7 @@ Status QueryService::Start(std::unique_ptr<Table> table,
     return snapshot.status();
   }
   {
-    const std::lock_guard<std::mutex> lock(published_mu_);
+    const MutexLock lock(published_mu_);
     published_row_counts_.assign(1, snapshot.value()->NumRows());
   }
   snapshots_.Publish(std::move(snapshot).value());
@@ -509,15 +511,15 @@ void QueryService::MaybeExportTelemetry() {
   }
   // Best-effort: losing the race just means another worker (or a later
   // period) exports. Never block the serve path on file I/O.
-  if (!export_mu_.try_lock()) {
+  if (!export_mu_.TryLock()) {
     return;
   }
-  const std::lock_guard<std::mutex> lock(export_mu_, std::adopt_lock);
   ExportTelemetryLocked().IgnoreError();
+  export_mu_.Unlock();
 }
 
 Status QueryService::ExportTelemetry() {
-  const std::lock_guard<std::mutex> lock(export_mu_);
+  const MutexLock lock(export_mu_);
   return ExportTelemetryLocked();
 }
 
@@ -540,8 +542,8 @@ Status QueryService::ExportTelemetryLocked() {
 
 void QueryService::FinishRequest() {
   if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-    const std::lock_guard<std::mutex> lock(drain_mu_);
-    drain_cv_.notify_all();
+    const MutexLock lock(drain_mu_);
+    drain_cv_.NotifyAll();
   }
 }
 
@@ -589,7 +591,7 @@ Result<uint64_t> QueryService::Append(std::vector<std::vector<Value>> rows) {
     EBI_RETURN_IF_ERROR(ValidateRows(pin->table(), rows));
   }
 
-  std::unique_lock<std::mutex> lock(append_mu_);
+  MutexLock lock(append_mu_);
   if (draining_.load(std::memory_order_seq_cst)) {
     DrainRejectedCounter()->Increment();
     return Status::FailedPrecondition("service is draining; append rejected");
@@ -602,13 +604,31 @@ Result<uint64_t> QueryService::Append(std::vector<std::vector<Value>> rows) {
 
   if (!writer_active_) {
     // Become the combining writer: drain everything staged (our batch
-    // included, possibly others'), publish, and hand out outcomes.
+    // included, possibly others'), publish once per round, and hand out
+    // outcomes. The lock is released around each publish so new callers
+    // keep staging onto the next round instead of queueing behind it.
     writer_active_ = true;
-    RunCombiner(lock);
+    while (!staged_.empty()) {
+      std::vector<StagedAppend> batch;
+      batch.swap(staged_);
+      lock.Unlock();
+      uint64_t next_epoch = 0;
+      const Status status = CombineAndPublish(batch, &next_epoch);
+      lock.Lock();
+      for (const StagedAppend& done : batch) {
+        AppendOutcome outcome;
+        outcome.epoch = status.ok() ? next_epoch : 0;
+        outcome.status = status;
+        append_outcomes_[done.ticket] = outcome;
+      }
+      append_cv_.NotifyAll();
+    }
+    writer_active_ = false;
+    append_cv_.NotifyAll();
   } else {
-    append_cv_.wait(lock, [&] {
-      return append_outcomes_.find(ticket) != append_outcomes_.end();
-    });
+    while (append_outcomes_.find(ticket) == append_outcomes_.end()) {
+      append_cv_.Wait(lock);
+    }
   }
 
   const auto it = append_outcomes_.find(ticket);
@@ -620,89 +640,76 @@ Result<uint64_t> QueryService::Append(std::vector<std::vector<Value>> rows) {
   return outcome.epoch;
 }
 
-void QueryService::RunCombiner(std::unique_lock<std::mutex>& lock) {
-  while (!staged_.empty()) {
-    std::vector<StagedAppend> batch;
-    batch.swap(staged_);
-    lock.unlock();
-
-    SnapshotManager::Pin pin = snapshots_.Acquire();
-    const uint64_t next_epoch = pin->epoch() + 1;
-    size_t total = 0;
-    for (const StagedAppend& staged : batch) {
-      total += staged.rows.size();
-    }
-    std::vector<std::vector<Value>> rows;
-    rows.reserve(total);
-    for (StagedAppend& staged : batch) {
-      for (std::vector<Value>& row : staged.rows) {
-        rows.push_back(std::move(row));
-      }
-    }
-
-    // Durable mode: the batch must be WAL-durable *before* the publish.
-    // Append + fsync returning OK is the commit point — if we crash
-    // between here and Publish, recovery replays the batch from the log.
-    Status wal_status = Status::OK();
-    if (wal_ != nullptr && !rows.empty()) {
-      const std::vector<uint8_t> payload =
-          engine::EncodeRowBatch(pin->NumRows(), rows);
-      const Result<uint64_t> lsn =
-          wal_->Append(engine::kWalRecordRowBatch, payload);
-      if (!lsn.ok()) {
-        wal_status = lsn.status();
-      }
-    }
-
-    Result<std::unique_ptr<DatabaseSnapshot>> next =
-        wal_status.ok() ? pin->CloneWithRows(rows, next_epoch)
-                        : Result<std::unique_ptr<DatabaseSnapshot>>(wal_status);
-    const Status status = next.ok() ? Status::OK() : next.status();
-    if (status.ok()) {
-      {
-        const std::lock_guard<std::mutex> plock(published_mu_);
-        if (published_row_counts_.size() <= next_epoch) {
-          published_row_counts_.resize(next_epoch + 1, 0);
-        }
-        published_row_counts_[next_epoch] = next.value()->NumRows();
-      }
-      snapshots_.Publish(std::move(next).value());
-      PublishCounter()->Increment();
-      // Forward newly observed reclaims to the monotonic counter (only
-      // the combiner updates the cursor, so the delta is exact).
-      const uint64_t reclaimed = snapshots_.ReclaimedCount();
-      const uint64_t reported =
-          reclaim_reported_.exchange(reclaimed, std::memory_order_seq_cst);
-      if (reclaimed > reported) {
-        ReclaimedCounter()->Increment(reclaimed - reported);
-      }
-    }
-    pin.Release();
-
-    lock.lock();
-    for (const StagedAppend& staged : batch) {
-      AppendOutcome outcome;
-      outcome.epoch = status.ok() ? next_epoch : 0;
-      outcome.status = status;
-      append_outcomes_[staged.ticket] = outcome;
-    }
-    append_cv_.notify_all();
+Status QueryService::CombineAndPublish(std::vector<StagedAppend>& batch,
+                                       uint64_t* next_epoch) {
+  SnapshotManager::Pin pin = snapshots_.Acquire();
+  *next_epoch = pin->epoch() + 1;
+  size_t total = 0;
+  for (const StagedAppend& staged : batch) {
+    total += staged.rows.size();
   }
-  writer_active_ = false;
-  append_cv_.notify_all();
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(total);
+  for (StagedAppend& staged : batch) {
+    for (std::vector<Value>& row : staged.rows) {
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Durable mode: the batch must be WAL-durable *before* the publish.
+  // Append + fsync returning OK is the commit point — if we crash
+  // between here and Publish, recovery replays the batch from the log.
+  Status wal_status = Status::OK();
+  if (wal_ != nullptr && !rows.empty()) {
+    const std::vector<uint8_t> payload =
+        engine::EncodeRowBatch(pin->NumRows(), rows);
+    const Result<uint64_t> lsn =
+        wal_->Append(engine::kWalRecordRowBatch, payload);
+    if (!lsn.ok()) {
+      wal_status = lsn.status();
+    }
+  }
+
+  Result<std::unique_ptr<DatabaseSnapshot>> next =
+      wal_status.ok() ? pin->CloneWithRows(rows, *next_epoch)
+                      : Result<std::unique_ptr<DatabaseSnapshot>>(wal_status);
+  const Status status = next.ok() ? Status::OK() : next.status();
+  if (status.ok()) {
+    {
+      const MutexLock plock(published_mu_);
+      if (published_row_counts_.size() <= *next_epoch) {
+        published_row_counts_.resize(*next_epoch + 1, 0);
+      }
+      published_row_counts_[*next_epoch] = next.value()->NumRows();
+    }
+    snapshots_.Publish(std::move(next).value());
+    PublishCounter()->Increment();
+    // Forward newly observed reclaims to the monotonic counter (only
+    // the combiner updates the cursor, so the delta is exact).
+    const uint64_t reclaimed = snapshots_.ReclaimedCount();
+    const uint64_t reported =
+        reclaim_reported_.exchange(reclaimed, std::memory_order_seq_cst);
+    if (reclaimed > reported) {
+      ReclaimedCounter()->Increment(reclaimed - reported);
+    }
+  }
+  pin.Release();
+  return status;
 }
 
 Status QueryService::Shutdown() {
   draining_.store(true, std::memory_order_seq_cst);
   {
-    std::unique_lock<std::mutex> lock(append_mu_);
-    append_cv_.wait(lock, [&] { return !writer_active_ && staged_.empty(); });
+    MutexLock lock(append_mu_);
+    while (writer_active_ || !staged_.empty()) {
+      append_cv_.Wait(lock);
+    }
   }
   {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drain_cv_.wait(lock, [&] {
-      return in_flight_.load(std::memory_order_seq_cst) == 0;
-    });
+    MutexLock lock(drain_mu_);
+    while (in_flight_.load(std::memory_order_seq_cst) != 0) {
+      drain_cv_.Wait(lock);
+    }
   }
   // Quiescent now: sweep any retirees a contended unpin left behind and
   // bring the reclaim counter up to date.
@@ -730,7 +737,7 @@ Status QueryService::Shutdown() {
 }
 
 std::vector<size_t> QueryService::PublishedRowCounts() const {
-  const std::lock_guard<std::mutex> lock(published_mu_);
+  const MutexLock lock(published_mu_);
   return published_row_counts_;
 }
 

@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -23,6 +21,8 @@
 #include "storage/engine/wal.h"
 #include "storage/table.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace serve {
@@ -129,9 +129,9 @@ class ServeTicket {
   friend class QueryService;
   void Complete(Result<ServeResult> outcome);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::optional<Result<ServeResult>> outcome_;
+  Mutex mu_{lock_rank::kServeTicket, "ServeTicket::mu_"};
+  CondVar cv_;
+  std::optional<Result<ServeResult>> outcome_ EBI_GUARDED_BY(mu_);
 };
 
 /// Concurrent query service over one table: multiplexes selections across
@@ -235,9 +235,9 @@ class QueryService {
   /// Periodic flush: every export_every completions one worker wins the
   /// try-lock and exports; the rest skip (telemetry must never queue the
   /// serve path behind file I/O).
-  void MaybeExportTelemetry();
-  /// Export body; caller holds export_mu_.
-  Status ExportTelemetryLocked();
+  void MaybeExportTelemetry() EBI_EXCLUDES(export_mu_);
+  /// Export body.
+  Status ExportTelemetryLocked() EBI_REQUIRES(export_mu_);
   /// Arity/type check against the (immutable) schema of `table`.
   static Status ValidateRows(const Table& table,
                              const std::vector<std::vector<Value>>& rows);
@@ -245,12 +245,18 @@ class QueryService {
   /// base table (skipping those it already contains) and opens the WAL
   /// for appending. Called by Start before the initial snapshot is built.
   Status RecoverFromWal(Table& table);
-  /// Drains staged_ as the combining writer. Called with append_mu_ held;
-  /// releases it while cloning/publishing and reacquires before returning.
-  void RunCombiner(std::unique_lock<std::mutex>& lock);
+  /// One combining-writer round: pins the current snapshot, makes the
+  /// batch WAL-durable, clones + publishes the successor, and reports the
+  /// new epoch through `next_epoch`. Runs *without* append_mu_ — the
+  /// writer loop in Append releases the lock around each round so staging
+  /// never queues behind a publish.
+  Status CombineAndPublish(std::vector<StagedAppend>& batch,
+                           uint64_t* next_epoch) EBI_EXCLUDES(append_mu_);
 
   const ServeOptions options_;
-  SnapshotManager snapshots_;
+  SnapshotManager snapshots_
+      EBI_UNGUARDED("RCU-style: internally synchronized (atomics + its own "
+                    "retire mutex)");
   /// Claimed by the first Start call; started_ flips only once the
   /// initial snapshot is published.
   std::atomic<bool> start_guard_{false};
@@ -260,40 +266,54 @@ class QueryService {
   std::atomic<uint64_t> reclaim_reported_{0};
 
   std::atomic<size_t> in_flight_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  Mutex drain_mu_{lock_rank::kQueryServiceDrain, "QueryService::drain_mu_"};
+  CondVar drain_cv_;
 
   // Append pipeline state, all under append_mu_.
-  std::mutex append_mu_;
-  std::condition_variable append_cv_;
-  std::vector<StagedAppend> staged_;
-  uint64_t next_append_ticket_ = 0;
-  bool writer_active_ = false;
-  std::unordered_map<uint64_t, AppendOutcome> append_outcomes_;
+  Mutex append_mu_{lock_rank::kQueryServiceAppend,
+                   "QueryService::append_mu_"};
+  CondVar append_cv_;
+  std::vector<StagedAppend> staged_ EBI_GUARDED_BY(append_mu_);
+  uint64_t next_append_ticket_ EBI_GUARDED_BY(append_mu_) = 0;
+  bool writer_active_ EBI_GUARDED_BY(append_mu_) = false;
+  std::unordered_map<uint64_t, AppendOutcome> append_outcomes_
+      EBI_GUARDED_BY(append_mu_);
 
-  mutable std::mutex published_mu_;
-  std::vector<size_t> published_row_counts_;
+  mutable Mutex published_mu_{lock_rank::kQueryServicePublished,
+                              "QueryService::published_mu_"};
+  std::vector<size_t> published_row_counts_ EBI_GUARDED_BY(published_mu_);
 
   /// Write-ahead log; non-null only in durable mode. The combiner is the
   /// sole appender (single-writer), so Append ordering matches publish
   /// ordering.
-  std::unique_ptr<engine::Wal> wal_;
+  std::unique_ptr<engine::Wal> wal_
+      EBI_UNGUARDED("set once in Start before any Append can run; the Wal "
+                    "serializes itself internally");
 
   // Telemetry sinks (null when ServeTelemetryOptions::enabled is false).
-  std::unique_ptr<obs::TraceSampler> sampler_;
-  std::unique_ptr<obs::TraceRing> trace_ring_;
-  std::unique_ptr<obs::SlowQueryLog> slow_log_;
-  std::unique_ptr<obs::WorkloadRecorder> workload_recorder_;
+  // All four are created in the constructor and internally synchronized
+  // (atomics or their own locks), so the serve path reads the pointers
+  // without a guard.
+  std::unique_ptr<obs::TraceSampler> sampler_
+      EBI_UNGUARDED("constructed before the pool; internally atomic");
+  std::unique_ptr<obs::TraceRing> trace_ring_
+      EBI_UNGUARDED("constructed before the pool; per-slot locks inside");
+  std::unique_ptr<obs::SlowQueryLog> slow_log_
+      EBI_UNGUARDED("constructed before the pool; per-slot locks inside");
+  std::unique_ptr<obs::WorkloadRecorder> workload_recorder_
+      EBI_UNGUARDED("constructed before the pool; has its own mutex");
   /// Completed requests (any outcome); drives the periodic export.
   std::atomic<uint64_t> completed_{0};
   /// Workload-recorder rotations already forwarded to the rotation
   /// counter.
   std::atomic<uint64_t> rotations_reported_{0};
-  std::mutex export_mu_;
+  Mutex export_mu_{lock_rank::kQueryServiceExport,
+                   "QueryService::export_mu_"};
 
   /// Last member: destroyed first, so tasks still draining during
   /// destruction see every other member alive.
-  exec::ThreadPool pool_;
+  exec::ThreadPool pool_
+      EBI_UNGUARDED("internally synchronized worker pool");
 };
 
 }  // namespace serve

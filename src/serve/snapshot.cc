@@ -179,7 +179,7 @@ void SnapshotManager::Pin::Release() {
 }
 
 void SnapshotManager::Publish(std::unique_ptr<DatabaseSnapshot> snapshot) {
-  const std::lock_guard<std::mutex> lock(retire_mu_);
+  const MutexLock lock(retire_mu_);
   const DatabaseSnapshot* next = snapshot.get();
   std::unique_ptr<DatabaseSnapshot> old = std::move(current_owner_);
   current_owner_ = std::move(snapshot);
@@ -227,17 +227,17 @@ SnapshotManager::Pin SnapshotManager::Acquire() {
 }
 
 void SnapshotManager::Reclaim() {
-  const std::lock_guard<std::mutex> lock(retire_mu_);
+  const MutexLock lock(retire_mu_);
   ReclaimLocked();
 }
 
 uint64_t SnapshotManager::CurrentEpoch() const {
-  const std::lock_guard<std::mutex> lock(retire_mu_);
+  const MutexLock lock(retire_mu_);
   return current_owner_ == nullptr ? 0 : current_owner_->epoch();
 }
 
 size_t SnapshotManager::RetiredCount() const {
-  const std::lock_guard<std::mutex> lock(retire_mu_);
+  const MutexLock lock(retire_mu_);
   return retired_.size();
 }
 
@@ -245,11 +245,11 @@ void SnapshotManager::ReleaseSlot(size_t slot) {
   slots_[slot].epoch.store(kQuiescent, std::memory_order_seq_cst);
   slots_[slot].in_use.store(false, std::memory_order_seq_cst);
   // Opportunistically reclaim so a pin that outlived several publishes
-  // frees its snapshot now rather than at the next publish. try_lock
+  // frees its snapshot now rather than at the next publish. TryLock
   // keeps the unpin path from ever blocking on the writer.
-  std::unique_lock<std::mutex> lock(retire_mu_, std::try_to_lock);
-  if (lock.owns_lock()) {
+  if (retire_mu_.TryLock()) {
     ReclaimLocked();
+    retire_mu_.Unlock();
   }
 }
 

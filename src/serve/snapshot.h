@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +17,8 @@
 #include "storage/segmented_table.h"
 #include "storage/table.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace serve {
@@ -196,22 +197,24 @@ class SnapshotManager {
   };
 
   void ReleaseSlot(size_t slot);
-  /// Frees every retiree no in-use slot could still reference. Caller
-  /// holds retire_mu_.
-  void ReclaimLocked();
+  /// Frees every retiree no in-use slot could still reference.
+  void ReclaimLocked() EBI_REQUIRES(retire_mu_);
 
-  std::vector<Slot> slots_;
+  std::vector<Slot> slots_
+      EBI_UNGUARDED("sized once in the constructor; the elements are "
+                    "atomics readers and the writer race by design");
   std::atomic<const DatabaseSnapshot*> current_{nullptr};
   /// Bumped once per publish; readers announce the value they saw.
   std::atomic<uint64_t> global_epoch_{0};
   std::atomic<uint64_t> reclaimed_{0};
 
-  mutable std::mutex retire_mu_;
+  mutable Mutex retire_mu_{lock_rank::kSnapshotRetire,
+                           "SnapshotManager::retire_mu_"};
   /// Owner of what current_ points to.
-  std::unique_ptr<DatabaseSnapshot> current_owner_;
+  std::unique_ptr<DatabaseSnapshot> current_owner_ EBI_GUARDED_BY(retire_mu_);
   /// (snapshot, retirement epoch), reclaimed in ReclaimLocked.
   std::vector<std::pair<std::unique_ptr<DatabaseSnapshot>, uint64_t>>
-      retired_;
+      retired_ EBI_GUARDED_BY(retire_mu_);
 };
 
 }  // namespace serve

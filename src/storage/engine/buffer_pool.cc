@@ -53,7 +53,7 @@ size_t PageRef::size() const { return pool_->frames_[frame_].payload.size(); }
 uint32_t PageRef::slice() const { return pool_->frames_[frame_].slice; }
 
 void PageRef::MarkDirty() {
-  std::lock_guard<std::mutex> lock(pool_->mu_);
+  const MutexLock lock(pool_->mu_);
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -69,6 +69,7 @@ Result<std::unique_ptr<BufferPool>> BufferPool::Create(
 }
 
 BufferPool::BufferPool(const BufferPoolOptions& options) : options_(options) {
+  const MutexLock lock(mu_);
   frames_.resize(options_.capacity_pages);
   free_frames_.reserve(options_.capacity_pages);
   for (size_t i = options_.capacity_pages; i > 0; --i) {
@@ -77,12 +78,14 @@ BufferPool::BufferPool(const BufferPoolOptions& options) : options_(options) {
 }
 
 BufferPool::~BufferPool() {
-  std::unique_lock<std::mutex> lock(mu_);
-  prefetch_cv_.wait(lock, [this] { return outstanding_prefetches_ == 0; });
+  MutexLock lock(mu_);
+  while (outstanding_prefetches_ != 0) {
+    prefetch_cv_.Wait(lock);
+  }
 }
 
 uint32_t BufferPool::Register(PageFile* file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   files_.push_back(file);
   return static_cast<uint32_t>(files_.size() - 1);
 }
@@ -134,7 +137,7 @@ void BufferPool::PinFrameLocked(size_t frame) {
 }
 
 void BufferPool::UnpinFrame(size_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Frame& f = frames_[frame];
   --f.pins;
   if (f.pins == 0 && f.occupied) {
@@ -235,7 +238,7 @@ Result<size_t> BufferPool::LookupLocked(uint32_t file_id, uint32_t page_no) {
 }
 
 Result<PageRef> BufferPool::Pin(uint32_t file_id, uint32_t page_no) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   EBI_ASSIGN_OR_RETURN(const size_t frame, LookupLocked(file_id, page_no));
   PinFrameLocked(frame);
   return PageRef(this, frame);
@@ -244,7 +247,7 @@ Result<PageRef> BufferPool::Pin(uint32_t file_id, uint32_t page_no) {
 Status BufferPool::ReadRange(uint32_t file_id, uint32_t first_page,
                              uint32_t count, std::string* out,
                              size_t* pages_faulted) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const uint64_t misses_before = stats_.misses;
   for (uint32_t p = 0; p < count; ++p) {
     EBI_ASSIGN_OR_RETURN(const size_t frame,
@@ -262,7 +265,7 @@ Status BufferPool::ReadRange(uint32_t file_id, uint32_t first_page,
 Status BufferPool::WriteThrough(uint32_t file_id, uint32_t page_no,
                                 uint32_t slice, const uint8_t* data,
                                 size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (file_id >= files_.size()) {
     return Status::InvalidArgument("BufferPool: unknown file id " +
                                    std::to_string(file_id));
@@ -298,7 +301,7 @@ void BufferPool::Prefetch(uint32_t file_id,
   static obs::Counter* prefetches =
       obs::MetricsRegistry::Global().GetCounter(obs::kMetricBufferPoolPrefetches);
   const auto warm = [this, file_id](uint32_t page_no) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (table_.count(FrameKey(file_id, page_no)) != 0) {
       return;  // Already resident; do not perturb LRU order.
     }
@@ -319,21 +322,21 @@ void BufferPool::Prefetch(uint32_t file_id,
   }
   for (const uint32_t page_no : pages) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       ++outstanding_prefetches_;
     }
     options_.prefetch_pool->Submit([this, warm, page_no] {
       warm(page_no);
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       --outstanding_prefetches_;
-      prefetch_cv_.notify_all();
+      prefetch_cv_.NotifyAll();
     });
     prefetches->Increment();
   }
 }
 
 Status BufferPool::Flush(uint32_t file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.occupied && f.dirty &&
@@ -345,7 +348,7 @@ Status BufferPool::Flush(uint32_t file_id) {
 }
 
 Status BufferPool::Evict(uint32_t file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (!f.occupied || f.file_id != file_id) {
@@ -369,12 +372,12 @@ Status BufferPool::Evict(uint32_t file_id) {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 size_t BufferPool::Resident() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return options_.capacity_pages - free_frames_.size();
 }
 

@@ -1,10 +1,8 @@
 #ifndef EBI_STORAGE_ENGINE_BUFFER_POOL_H_
 #define EBI_STORAGE_ENGINE_BUFFER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +10,8 @@
 #include "storage/engine/page_file.h"
 #include "storage/io_accountant.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 
@@ -56,9 +56,15 @@ class PageRef {
   ~PageRef();
 
   bool valid() const { return pool_ != nullptr; }
-  const uint8_t* data() const;
-  size_t size() const;
-  uint32_t slice() const;
+  /// The payload accessors read the frame without the pool lock: the pin
+  /// this ref holds keeps the frame resident and its payload immutable
+  /// (writers to a pinned frame go through WriteThrough, which replaces
+  /// payload bytes only under the lock while no reader can hold a ref to
+  /// a freed frame). Opted out of the capability analysis for that
+  /// reason — the guard here is the pin, not the mutex.
+  const uint8_t* data() const EBI_NO_THREAD_SAFETY_ANALYSIS;
+  size_t size() const EBI_NO_THREAD_SAFETY_ANALYSIS;
+  uint32_t slice() const EBI_NO_THREAD_SAFETY_ANALYSIS;
   /// Marks the frame dirty so eviction/flush writes it back.
   void MarkDirty();
 
@@ -162,36 +168,38 @@ class BufferPool {
 
   explicit BufferPool(const BufferPoolOptions& options);
 
-  /// All Locked helpers require mu_ held.
-  Result<size_t> FaultLocked(uint32_t file_id, uint32_t page_no);
-  Result<size_t> FreeFrameLocked();
-  Status WritebackLocked(size_t frame);
-  void TouchLocked(size_t frame);
-  void PinFrameLocked(size_t frame);
-  void UnpinFrame(size_t frame);
+  Result<size_t> FaultLocked(uint32_t file_id, uint32_t page_no)
+      EBI_REQUIRES(mu_);
+  Result<size_t> FreeFrameLocked() EBI_REQUIRES(mu_);
+  Status WritebackLocked(size_t frame) EBI_REQUIRES(mu_);
+  void TouchLocked(size_t frame) EBI_REQUIRES(mu_);
+  void PinFrameLocked(size_t frame) EBI_REQUIRES(mu_);
+  void UnpinFrame(size_t frame) EBI_EXCLUDES(mu_);
   /// Intrusive LRU list ops (LRU at head, MRU at tail).
-  void LruPushBackLocked(size_t frame);
-  void LruRemoveLocked(size_t frame);
+  void LruPushBackLocked(size_t frame) EBI_REQUIRES(mu_);
+  void LruRemoveLocked(size_t frame) EBI_REQUIRES(mu_);
   /// Hit-or-fault lookup shared by Pin and ReadRange: returns the frame
   /// holding (file_id, page_no), counting a hit or a miss.
-  Result<size_t> LookupLocked(uint32_t file_id, uint32_t page_no);
+  Result<size_t> LookupLocked(uint32_t file_id, uint32_t page_no)
+      EBI_REQUIRES(mu_);
 
-  BufferPoolOptions options_;
-  mutable std::mutex mu_;
-  std::vector<PageFile*> files_;
-  std::vector<Frame> frames_;
+  const BufferPoolOptions options_;
+  mutable Mutex mu_{lock_rank::kBufferPool, "BufferPool::mu_"};
+  std::vector<PageFile*> files_ EBI_GUARDED_BY(mu_);
+  std::vector<Frame> frames_ EBI_GUARDED_BY(mu_);
   /// Intrusive list of unpinned occupied frames; head is the eviction
   /// victim, tail the most recently used.
-  size_t lru_head_ = kNullFrame;
-  size_t lru_tail_ = kNullFrame;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<uint64_t, size_t> table_;  // (file_id<<32|page_no).
-  BufferPoolStats stats_;
+  size_t lru_head_ EBI_GUARDED_BY(mu_) = kNullFrame;
+  size_t lru_tail_ EBI_GUARDED_BY(mu_) = kNullFrame;
+  std::vector<size_t> free_frames_ EBI_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, size_t> table_
+      EBI_GUARDED_BY(mu_);  // (file_id<<32|page_no).
+  BufferPoolStats stats_ EBI_GUARDED_BY(mu_);
 
   /// Outstanding async prefetch tasks; the destructor drains them so a
   /// worker never touches a dead pool.
-  std::condition_variable prefetch_cv_;
-  size_t outstanding_prefetches_ = 0;
+  CondVar prefetch_cv_;
+  size_t outstanding_prefetches_ EBI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace engine

@@ -42,6 +42,10 @@ Result<PageFile> PageFile::Open(const std::string& path,
   PageFile file;
   file.path_ = path;
   file.options_ = options;
+  // The file is private to this factory until returned; the guarded
+  // fields are still initialized under its mutex so the capability
+  // analysis can verify every access uniformly.
+  const MutexLock lock(*file.mu_);
   file.file_ = std::fopen(path.c_str(), options.truncate ? "w+b" : "r+b");
   if (file.file_ == nullptr && !options.truncate) {
     // Recovery of a file that never existed: start empty.
@@ -66,6 +70,9 @@ Result<PageFile> PageFile::Open(const std::string& path,
   return file;
 }
 
+// Moves transfer the mutex along with the stream, so they cannot lock it
+// through the analysis; by contract they only run before the file is
+// shared (factory return, engine construction).
 PageFile::PageFile(PageFile&& other) noexcept { *this = std::move(other); }
 
 PageFile& PageFile::operator=(PageFile&& other) noexcept {
@@ -75,6 +82,7 @@ PageFile& PageFile::operator=(PageFile&& other) noexcept {
     }
     path_ = std::move(other.path_);
     options_ = other.options_;
+    mu_ = std::move(other.mu_);
     file_ = other.file_;
     other.file_ = nullptr;
     next_page_ = other.next_page_;
@@ -84,12 +92,28 @@ PageFile& PageFile::operator=(PageFile&& other) noexcept {
 }
 
 PageFile::~PageFile() {
+  // A moved-from file has surrendered its mutex; it also has no stream.
+  if (mu_ == nullptr) {
+    return;
+  }
+  const MutexLock lock(*mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
   }
 }
 
+uint32_t PageFile::NumPages() const {
+  const MutexLock lock(*mu_);
+  return next_page_;
+}
+
+uint64_t PageFile::PagesWritten() const {
+  const MutexLock lock(*mu_);
+  return pages_written_;
+}
+
 uint32_t PageFile::Allocate(uint32_t count) {
+  const MutexLock lock(*mu_);
   const uint32_t first = next_page_;
   next_page_ += count;
   return first;
@@ -113,6 +137,9 @@ Status PageFile::WritePage(uint32_t page_no, uint32_t slice,
   if (bytes > 0) {
     std::memcpy(page.data() + kHeaderBytes, data, bytes);
   }
+  // Seek and write are one critical section: the stream position is
+  // shared with every other reader/writer of this file.
+  const MutexLock lock(*mu_);
   const uint64_t offset =
       static_cast<uint64_t>(page_no) * options_.page_size;
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
@@ -144,6 +171,7 @@ Status PageFile::WritePage(uint32_t page_no, uint32_t slice,
 
 Status PageFile::ReadPage(uint32_t page_no, std::vector<uint8_t>* out,
                           uint32_t* slice) {
+  const MutexLock lock(*mu_);
   if (page_no >= next_page_) {
     return Status::OutOfRange("PageFile: page " + std::to_string(page_no) +
                               " of " + std::to_string(next_page_));
@@ -194,6 +222,7 @@ Status PageFile::ReadPage(uint32_t page_no, std::vector<uint8_t>* out,
 }
 
 Status PageFile::Sync() {
+  const MutexLock lock(*mu_);
   if (std::fflush(file_) != 0) {
     return Status::Internal("PageFile: fflush failed on " + path_);
   }

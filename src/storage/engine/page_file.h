@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace engine {
@@ -38,6 +41,14 @@ struct PageFileOptions {
 /// (catches misdirected writes) and the payload checksum (catches torn
 /// writes), so a page either reads back exactly as written or fails with
 /// a descriptive kInternal — never silently returns garbage.
+///
+/// Thread-safe: every page operation serializes on an internal mutex.
+/// The stdio stream position is shared state — a seek and the read/write
+/// that follows it must be one critical section, so concurrent callers
+/// (the buffer pool writing back under its own lock while the engine's
+/// verify path reads directly) cannot interleave mid-sequence. Moving a
+/// PageFile is NOT thread-safe; moves happen only before the file is
+/// shared (factory returns, engine construction).
 class PageFile {
  public:
   static constexpr size_t kHeaderBytes = 24;
@@ -51,7 +62,11 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
   PageFile(PageFile&& other) noexcept;
-  PageFile& operator=(PageFile&& other) noexcept;
+  /// Opted out of the analysis: the move transfers the mutex itself, so
+  /// there is no stable capability to hold across it. Moves are only
+  /// legal before the file is shared between threads.
+  PageFile& operator=(PageFile&& other) noexcept
+      EBI_NO_THREAD_SAFETY_ANALYSIS;
   ~PageFile();
 
   size_t page_size() const { return options_.page_size; }
@@ -61,7 +76,7 @@ class PageFile {
   }
   /// Pages allocated so far (the file is exactly this many pages long,
   /// modulo a torn final write).
-  uint32_t NumPages() const { return next_page_; }
+  uint32_t NumPages() const;
   const std::string& path() const { return path_; }
 
   /// Reserves `count` fresh pages, returning the first page number.
@@ -84,16 +99,22 @@ class PageFile {
 
   /// Pages physically written over the file's lifetime (fault-hook and
   /// test bookkeeping).
-  uint64_t PagesWritten() const { return pages_written_; }
+  uint64_t PagesWritten() const;
 
  private:
   PageFile() = default;
 
-  std::string path_;
-  PageFileOptions options_;
-  std::FILE* file_ = nullptr;
-  uint32_t next_page_ = 0;
-  uint64_t pages_written_ = 0;
+  std::string path_
+      EBI_UNGUARDED("set once in Open before the file is shared");
+  PageFileOptions options_
+      EBI_UNGUARDED("set once in Open before the file is shared");
+  /// Behind unique_ptr because PageFile is movable and a mutex is not;
+  /// the mutex travels with the moved-to object.
+  std::unique_ptr<Mutex> mu_ =
+      std::make_unique<Mutex>(lock_rank::kPageFile, "PageFile::mu_");
+  std::FILE* file_ EBI_GUARDED_BY(*mu_) = nullptr;
+  uint32_t next_page_ EBI_GUARDED_BY(*mu_) = 0;
+  uint64_t pages_written_ EBI_GUARDED_BY(*mu_) = 0;
 };
 
 }  // namespace engine

@@ -138,7 +138,7 @@ Result<SliceExtent> StorageEngine::WriteExtentLocked(
 
 Result<StorageEngine::SliceId> StorageEngine::PutSlice(
     const StoredBitmap& bitmap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const SliceId id = static_cast<SliceId>(extents_.size());
   EBI_ASSIGN_OR_RETURN(const SliceExtent extent,
                        WriteExtentLocked(bitmap, id, nullptr));
@@ -147,7 +147,7 @@ Result<StorageEngine::SliceId> StorageEngine::PutSlice(
 }
 
 Status StorageEngine::UpdateSlice(SliceId id, const StoredBitmap& bitmap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (id >= extents_.size()) {
     return Status::OutOfRange("StorageEngine: slice id out of range");
   }
@@ -161,7 +161,7 @@ Result<StoredBitmap> StorageEngine::GetSlice(SliceId id,
                                              size_t* pages_faulted) {
   SliceExtent extent;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (id >= extents_.size()) {
       return Status::OutOfRange("StorageEngine: slice id out of range");
     }
@@ -192,7 +192,7 @@ Result<StoredBitmap> StorageEngine::GetSlice(SliceId id,
 }
 
 Result<size_t> StorageEngine::SliceBytes(SliceId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (id >= extents_.size()) {
     return Status::OutOfRange("StorageEngine: slice id out of range");
   }
@@ -200,7 +200,7 @@ Result<size_t> StorageEngine::SliceBytes(SliceId id) const {
 }
 
 Result<uint32_t> StorageEngine::SlicePages(SliceId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (id >= extents_.size()) {
     return Status::OutOfRange("StorageEngine: slice id out of range");
   }
@@ -215,7 +215,7 @@ Result<uint32_t> StorageEngine::SlicePages(SliceId id) const {
 void StorageEngine::PrefetchSlices(const std::vector<SliceId>& ids) {
   std::vector<uint32_t> pages;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     const size_t capacity = file_.PayloadCapacity();
     for (const SliceId id : ids) {
       if (id >= extents_.size()) {
@@ -242,7 +242,7 @@ Status StorageEngine::VerifySlice(SliceId id) {
   EBI_RETURN_IF_ERROR(pool_->Flush(pool_file_id_));
   SliceExtent extent;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (id >= extents_.size()) {
       return Status::OutOfRange("StorageEngine: slice id out of range");
     }
@@ -276,7 +276,7 @@ Status StorageEngine::VerifySlice(SliceId id) {
 }
 
 size_t StorageEngine::NumSlices() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return extents_.size();
 }
 
@@ -320,7 +320,7 @@ Status StorageEngine::PersistMapLocked() {
 }
 
 Status StorageEngine::LoadMap() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::FILE* in = std::fopen(MapPath(path_).c_str(), "rb");
   if (in == nullptr) {
     // Never synced: an empty engine is the correct recovered state.
@@ -363,7 +363,7 @@ Status StorageEngine::LoadMap() {
 Status StorageEngine::Sync() {
   EBI_RETURN_IF_ERROR(pool_->Flush(pool_file_id_));
   EBI_RETURN_IF_ERROR(file_.Sync());
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return PersistMapLocked();
 }
 

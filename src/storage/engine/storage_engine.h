@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +11,8 @@
 #include "storage/io_accountant.h"
 #include "util/status.h"
 #include "util/stored_bitmap.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 
@@ -114,19 +115,25 @@ class StorageEngine {
                 PageFile file, std::unique_ptr<BufferPool> pool);
 
   Result<SliceExtent> WriteExtentLocked(const StoredBitmap& bitmap,
-                                        SliceId id, SliceExtent* reuse);
-  [[nodiscard]] Status PersistMapLocked();
-  [[nodiscard]] Status LoadMap();
+                                        SliceId id, SliceExtent* reuse)
+      EBI_REQUIRES(mu_);
+  [[nodiscard]] Status PersistMapLocked() EBI_REQUIRES(mu_);
+  [[nodiscard]] Status LoadMap() EBI_EXCLUDES(mu_);
 
-  std::string path_;
-  StorageEngineOptions options_;
-  PageFile file_;
-  std::unique_ptr<BufferPool> pool_;
-  uint32_t pool_file_id_ = 0;
-  /// Guards the extent directory (the pool and page file have their own
-  /// locking).
-  mutable std::mutex mu_;
-  std::vector<SliceExtent> extents_;
+  std::string path_
+      EBI_UNGUARDED("set once in Open before the engine is shared");
+  StorageEngineOptions options_
+      EBI_UNGUARDED("set once in Open before the engine is shared");
+  PageFile file_ EBI_UNGUARDED("internally synchronized");
+  std::unique_ptr<BufferPool> pool_
+      EBI_UNGUARDED("internally synchronized; pointer set in Open");
+  uint32_t pool_file_id_
+      EBI_UNGUARDED("set once in the constructor") = 0;
+  /// Guards the extent directory; the pool and the page file carry their
+  /// own mutexes (ranks kBufferPool and kPageFile, both acquired after
+  /// this one — see util/sync.h).
+  mutable Mutex mu_{lock_rank::kStorageEngine, "StorageEngine::mu_"};
+  std::vector<SliceExtent> extents_ EBI_GUARDED_BY(mu_);
 };
 
 }  // namespace engine

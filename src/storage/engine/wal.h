@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/column.h"
 #include "storage/io_accountant.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ebi {
 namespace engine {
@@ -101,15 +102,16 @@ class Wal {
  private:
   Wal() = default;
 
-  /// Requires mu_ held.
-  [[nodiscard]] Status SyncLocked();
+  [[nodiscard]] Status SyncLocked() EBI_REQUIRES(mu_);
 
-  std::string path_;
-  WalOptions options_;
-  mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
-  uint64_t next_lsn_ = 0;
-  uint64_t appends_ = 0;
+  std::string path_
+      EBI_UNGUARDED("set once in Open before the Wal is shared");
+  WalOptions options_
+      EBI_UNGUARDED("set once in Open before the Wal is shared");
+  mutable Mutex mu_{lock_rank::kWal, "Wal::mu_"};
+  std::FILE* file_ EBI_GUARDED_BY(mu_) = nullptr;
+  uint64_t next_lsn_ EBI_GUARDED_BY(mu_) = 0;
+  uint64_t appends_ EBI_GUARDED_BY(mu_) = 0;
 };
 
 /// Row-batch payload codec for kWalRecordRowBatch. `first_row` is the

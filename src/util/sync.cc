@@ -1,0 +1,69 @@
+#include "util/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+// Violation reports carry a raw backtrace when the platform offers one:
+// the aborting stack is the whole diagnosis (symbolize with addr2line).
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define EBI_HAVE_EXECINFO 1
+#endif
+#endif
+
+namespace ebi {
+namespace lock_rank_internal {
+
+// The tracker is always compiled (not gated on EBI_LOCK_RANK_DEBUG):
+// call sites in sync.h are inline and per-TU gated, so a Release-built
+// library must still export these symbols for a Debug-defined test TU.
+namespace {
+
+struct HeldMutex {
+  uint32_t rank;
+  const char* name;
+};
+
+/// Mutexes currently held by this thread, in acquisition order.
+thread_local std::vector<HeldMutex> held;
+
+}  // namespace
+
+void CheckAcquire(uint32_t rank, const char* name) {
+  for (const HeldMutex& h : held) {
+    if (rank <= h.rank) {
+      std::fprintf(stderr,
+                   "ebi: lock-rank violation: acquiring \"%s\" (rank %u) "
+                   "while holding \"%s\" (rank %u); mutexes must be "
+                   "acquired in strictly increasing rank (see the table "
+                   "in util/sync.h)\n",
+                   name, rank, h.name, h.rank);
+#ifdef EBI_HAVE_EXECINFO
+      void* frames[32];
+      const int n = backtrace(frames, 32);
+      backtrace_symbols_fd(frames, n, /*fd=*/2);
+#endif
+      std::abort();
+    }
+  }
+}
+
+void NoteAcquired(uint32_t rank, const char* name) {
+  held.push_back({rank, name});
+}
+
+void NoteReleased(uint32_t rank) {
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].rank == rank) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+size_t HeldCount() { return held.size(); }
+
+}  // namespace lock_rank_internal
+}  // namespace ebi

@@ -1,0 +1,218 @@
+#ifndef EBI_UTIL_SYNC_H_
+#define EBI_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+/// Annotated synchronization primitives: `ebi::Mutex`, `ebi::MutexLock`,
+/// and `ebi::CondVar` wrap the std equivalents with
+///
+///  1. Clang Thread Safety Analysis capability annotations, so guarded
+///     fields and `...Locked()` contracts are compiler-checked (see
+///     thread_annotations.h and DESIGN.md §13), and
+///  2. an optional debug lock-rank registry: every mutex declares a rank
+///     from the table below, and acquiring a mutex whose rank is not
+///     strictly greater than every rank already held by the thread
+///     aborts the process. Compiled in only when EBI_LOCK_RANK_DEBUG is
+///     defined (Debug builds; release builds pay nothing per lock).
+///
+/// Raw `std::mutex` / `std::condition_variable` / `std::lock_guard` are
+/// banned outside this header by the ebi-lint `raw-mutex` rule.
+
+namespace ebi {
+
+/// The global lock order. A thread may only acquire mutexes in strictly
+/// increasing rank; two mutexes of equal rank must never be held
+/// together (sibling shards and ring slots are locked sequentially).
+/// Ranks are spaced so future subsystems can slot in between.
+namespace lock_rank {
+
+/// Rank 0 opts a mutex out of ordering checks entirely. No mutex in the
+/// tree should use it; it exists for tests and short-lived local locks.
+inline constexpr uint32_t kUnranked = 0;
+
+// -- serve/ (acquired first: the service fronts every request) --------
+inline constexpr uint32_t kQueryServiceAppend = 100;
+inline constexpr uint32_t kQueryServiceExport = 110;
+inline constexpr uint32_t kQueryServiceDrain = 120;
+inline constexpr uint32_t kQueryServicePublished = 130;
+inline constexpr uint32_t kSnapshotRetire = 140;
+inline constexpr uint32_t kServeTicket = 150;
+
+// -- storage/engine/ ---------------------------------------------------
+inline constexpr uint32_t kStorageEngine = 200;
+inline constexpr uint32_t kWal = 210;
+inline constexpr uint32_t kBufferPool = 220;
+inline constexpr uint32_t kPageFile = 230;
+
+// -- exec/ -------------------------------------------------------------
+inline constexpr uint32_t kThreadPool = 300;
+
+// -- obs/ (leaf-most subsystem: every layer records into it) -----------
+inline constexpr uint32_t kWorkloadRecorder = 400;
+inline constexpr uint32_t kTelemetrySlot = 410;
+inline constexpr uint32_t kMetricsShard = 500;
+
+// -- short-lived leaf helpers (ParallelFor barrier, tests) -------------
+inline constexpr uint32_t kLeafBarrier = 1000;
+
+}  // namespace lock_rank
+
+namespace lock_rank_internal {
+
+/// Aborts (fprintf + abort) if `rank` is not strictly greater than every
+/// rank currently held by this thread. `name` labels the message.
+void CheckAcquire(uint32_t rank, const char* name);
+
+/// Pushes `rank` (with `name` for diagnostics) onto the thread's
+/// held-mutex stack.
+void NoteAcquired(uint32_t rank, const char* name);
+
+/// Removes the most recent occurrence of `rank` from the stack
+/// (out-of-order release of distinct mutexes is legal).
+void NoteReleased(uint32_t rank);
+
+/// Number of ranked mutexes the current thread holds (test hook).
+size_t HeldCount();
+
+}  // namespace lock_rank_internal
+
+/// A std::mutex with a capability annotation, a debug lock rank, and a
+/// name for diagnostics. Not copyable or movable (guarded fields name it
+/// in annotations); movable owners hold it behind std::unique_ptr.
+class EBI_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(uint32_t rank = lock_rank::kUnranked,
+                 const char* name = "ebi::Mutex")
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EBI_ACQUIRE() {
+#ifdef EBI_LOCK_RANK_DEBUG
+    if (rank_ != lock_rank::kUnranked) {
+      lock_rank_internal::CheckAcquire(rank_, name_);
+    }
+#endif
+    mu_.lock();
+#ifdef EBI_LOCK_RANK_DEBUG
+    if (rank_ != lock_rank::kUnranked) {
+      lock_rank_internal::NoteAcquired(rank_, name_);
+    }
+#endif
+  }
+
+  void Unlock() EBI_RELEASE() {
+    // Bookkeeping strictly before the unlock: the moment mu_.unlock()
+    // returns, a thread blocked in Lock() may proceed and legally
+    // destroy this Mutex (the ParallelFor stack barrier does exactly
+    // that), so no member may be read afterwards.
+#ifdef EBI_LOCK_RANK_DEBUG
+    if (rank_ != lock_rank::kUnranked) {
+      lock_rank_internal::NoteReleased(rank_);
+    }
+#endif
+    mu_.unlock();
+  }
+
+  /// Non-blocking acquire. A try-lock cannot deadlock, so the rank check
+  /// is skipped, but a successful acquisition is still recorded so later
+  /// blocking acquisitions are checked against it.
+  bool TryLock() EBI_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+#ifdef EBI_LOCK_RANK_DEBUG
+    if (rank_ != lock_rank::kUnranked) {
+      lock_rank_internal::NoteAcquired(rank_, name_);
+    }
+#endif
+    return true;
+  }
+
+  uint32_t rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const uint32_t rank_;
+  const char* const name_;
+};
+
+/// RAII lock with the scoped-capability annotation. Supports the
+/// unlock-work-relock pattern (the serve combiner releases the append
+/// lock around snapshot cloning) via Unlock()/Lock().
+class EBI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EBI_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+    held_ = true;
+  }
+
+  ~MutexLock() EBI_RELEASE() {
+    if (held_) {
+      mu_.Unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() EBI_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  void Lock() EBI_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_ = false;
+};
+
+/// Condition variable that waits on an ebi::MutexLock. Only the plain
+/// (predicate-free) Wait is offered: call sites spell the guard as an
+/// explicit `while (!condition) cv.Wait(lock);` loop so the condition
+/// read happens in the annotated caller, where the analysis can see the
+/// lock is held (a predicate lambda would be analyzed as a separate,
+/// unannotated function).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock, waits, and re-acquires before
+  /// returning. Rank bookkeeping mirrors the release/re-acquire.
+  void Wait(MutexLock& lock) {
+    LockAdapter adapter{lock.mu_};
+    cv_.wait(adapter);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// BasicLockable shim routing condition_variable_any's unlock/relock
+  /// through Mutex so rank accounting stays exact across the wait.
+  struct LockAdapter {
+    Mutex& mu;
+    void lock() EBI_NO_THREAD_SAFETY_ANALYSIS { mu.Lock(); }
+    void unlock() EBI_NO_THREAD_SAFETY_ANALYSIS { mu.Unlock(); }
+  };
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ebi
+
+#endif  // EBI_UTIL_SYNC_H_

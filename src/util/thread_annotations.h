@@ -1,0 +1,90 @@
+#ifndef EBI_UTIL_THREAD_ANNOTATIONS_H_
+#define EBI_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
+///
+/// The locking protocol of every concurrent subsystem is declared with
+/// these macros and checked at compile time by `clang++ -Wthread-safety`
+/// (the EBI_THREAD_SAFETY CMake option turns the warnings into errors).
+/// GCC and MSVC compile the annotations away, so the annotations cost
+/// nothing outside the dedicated CI leg.
+///
+/// The vocabulary follows the Clang documentation
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+///
+///  - EBI_GUARDED_BY(mu): field may only be read/written while `mu` is
+///    held by the current thread.
+///  - EBI_PT_GUARDED_BY(mu): the *pointee* of a pointer field is guarded.
+///  - EBI_REQUIRES(mu): the function must be called with `mu` held (the
+///    `...Locked()` helper convention).
+///  - EBI_ACQUIRE/EBI_RELEASE: the function takes/drops the capability.
+///  - EBI_EXCLUDES(mu): the function must NOT be called with `mu` held
+///    (it acquires the mutex itself; catches self-deadlock).
+///  - EBI_NO_THREAD_SAFETY_ANALYSIS: opt a function out, with a comment
+///    justifying why the invariant holds anyway.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EBI_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define EBI_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define EBI_CAPABILITY(x) EBI_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define EBI_SCOPED_CAPABILITY \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define EBI_GUARDED_BY(x) EBI_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define EBI_PT_GUARDED_BY(x) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define EBI_ACQUIRED_BEFORE(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define EBI_ACQUIRED_AFTER(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define EBI_REQUIRES(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define EBI_REQUIRES_SHARED(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define EBI_ACQUIRE(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define EBI_ACQUIRE_SHARED(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define EBI_RELEASE(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define EBI_RELEASE_SHARED(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define EBI_TRY_ACQUIRE(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define EBI_EXCLUDES(...) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define EBI_ASSERT_CAPABILITY(x) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define EBI_RETURN_CAPABILITY(x) \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define EBI_NO_THREAD_SAFETY_ANALYSIS \
+  EBI_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+/// Documentation marker for members of a mutex-owning class that are
+/// deliberately NOT guarded by that mutex: immutable after construction,
+/// internally synchronized (std::atomic, another lock), or confined to
+/// one thread. The ebi-lint `mutex-guarded-fields` rule requires every
+/// mutable member of such a class to carry either EBI_GUARDED_BY or this
+/// marker, so unprotected state is always a recorded decision. Expands
+/// to nothing; the reason string is for the reader and the linter.
+#define EBI_UNGUARDED(reason)  // not guarded: reason
+
+#endif  // EBI_UTIL_THREAD_ANNOTATIONS_H_

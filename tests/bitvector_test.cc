@@ -218,8 +218,12 @@ TEST(BitVectorTailTest, EveryMutatingOpLeavesTailClean) {
 TEST(BitVectorTailTest, OrWithLongerOperandDoesNotPollutePadding) {
   // The historical bug: OR/XOR against a (documented zero-extension
   // semantics) longer operand copied that operand's valid bits into this
-  // vector's padding range, inflating Count() from then on.
+  // vector's padding range, inflating Count() from then on. The size
+  // contract is two-sided — mismatches assert in debug builds and fall
+  // back to zero-extension in release — so each build type checks its
+  // half.
   BitVector longer(128, true);
+#ifdef NDEBUG
   BitVector shorter(70);
   shorter.Set(0);
   shorter.OrWith(longer);
@@ -231,6 +235,13 @@ TEST(BitVectorTailTest, OrWithLongerOperandDoesNotPollutePadding) {
   x.XorWith(longer);
   EXPECT_EQ(x.Count(), 70u);
   EXPECT_TRUE(x.TailIsClean());
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BitVector shorter(70);
+  EXPECT_DEATH(shorter.OrWith(longer), "OrWith operand size mismatch");
+  BitVector x(70);
+  EXPECT_DEATH(x.XorWith(longer), "XorWith operand size mismatch");
+#endif
 }
 
 TEST(BitVectorTailTest, FusedManyOpsMatchChainedBinaryOps) {

@@ -1,0 +1,120 @@
+// Exercises the debug lock-rank registry behind ebi::Mutex: ranked
+// acquisition in ascending order is legal, descending order aborts, and
+// the per-thread bookkeeping balances across scoped locks, manual
+// Unlock/Lock cycles, try-locks and condition-variable waits.
+//
+// This target compiles with EBI_LOCK_RANK_DEBUG unconditionally (see
+// tests/CMakeLists.txt), so the checks are live even in Release CI legs.
+
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ebi {
+namespace {
+
+TEST(LockRankTest, RanksAndNamesAreRecorded) {
+  Mutex mu(lock_rank::kWal, "test::wal");
+  EXPECT_EQ(mu.rank(), lock_rank::kWal);
+  EXPECT_STREQ(mu.name(), "test::wal");
+  Mutex unranked;
+  EXPECT_EQ(unranked.rank(), lock_rank::kUnranked);
+}
+
+TEST(LockRankTest, AscendingAcquisitionIsLegal) {
+  Mutex engine(lock_rank::kStorageEngine, "test::engine");
+  Mutex wal(lock_rank::kWal, "test::wal");
+  Mutex shard(lock_rank::kMetricsShard, "test::shard");
+  {
+    const MutexLock a(engine);
+    const MutexLock b(wal);
+    const MutexLock c(shard);
+    EXPECT_EQ(lock_rank_internal::HeldCount(), 3u);
+  }
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 0u);
+}
+
+TEST(LockRankTest, UnrankedMutexesSkipBookkeeping) {
+  Mutex unranked;
+  const MutexLock lock(unranked);
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 0u);
+}
+
+TEST(LockRankTest, ManualUnlockRelockBalances) {
+  Mutex mu(lock_rank::kQueryServiceAppend, "test::append");
+  MutexLock lock(mu);
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 1u);
+  lock.Unlock();
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 0u);
+  lock.Lock();
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 1u);
+}
+
+TEST(LockRankTest, TryLockRecordsTheRank) {
+  Mutex mu(lock_rank::kSnapshotRetire, "test::retire");
+  ASSERT_TRUE(mu.TryLock());
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 1u);
+  mu.Unlock();
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 0u);
+}
+
+TEST(LockRankTest, HeldRanksAreThreadLocal) {
+  Mutex mu(lock_rank::kThreadPool, "test::pool");
+  const MutexLock lock(mu);
+  size_t other_thread_held = 99;
+  std::thread probe(
+      [&other_thread_held] { other_thread_held = lock_rank_internal::HeldCount(); });
+  probe.join();
+  EXPECT_EQ(other_thread_held, 0u);
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 1u);
+}
+
+TEST(LockRankTest, CondVarWaitReleasesAndReacquiresTheRank) {
+  Mutex mu(lock_rank::kWorkloadRecorder, "test::recorder");
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    const MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.Wait(lock);
+    }
+    // Reacquired after the wait: the rank must be held again.
+    EXPECT_EQ(lock_rank_internal::HeldCount(), 1u);
+  }
+  waker.join();
+  EXPECT_EQ(lock_rank_internal::HeldCount(), 0u);
+}
+
+TEST(LockRankDeathTest, DescendingAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex shard(lock_rank::kMetricsShard, "test::shard");
+  Mutex engine(lock_rank::kStorageEngine, "test::engine");
+  EXPECT_DEATH(
+      {
+        const MutexLock high(shard);
+        const MutexLock low(engine);
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, EqualRankReacquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a(lock_rank::kWal, "test::wal_a");
+  Mutex b(lock_rank::kWal, "test::wal_b");
+  EXPECT_DEATH(
+      {
+        const MutexLock first(a);
+        const MutexLock second(b);
+      },
+      "lock-rank violation");
+}
+
+}  // namespace
+}  // namespace ebi

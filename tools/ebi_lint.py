@@ -17,15 +17,30 @@ Enforces structural conventions the compiler cannot:
   naked-thread      No direct std::thread outside src/exec/thread_pool.*;
                     parallelism borrows workers from the pool so thread
                     counts stay centrally bounded.
-  raw-sync          Raw synchronization (std::mutex, std::atomic,
-                    condition variables, locks) inside src/ is confined
-                    to src/serve/, src/exec/, and src/storage/engine/ —
-                    the concurrency layers. Everything else is
-                    single-threaded by contract and shared through
-                    snapshots or the pool. (Allowlisted: the metrics
-                    registry and the IoAccountant's relaxed counters,
-                    which predate the serving layer and are documented
-                    thread-safe.)
+  raw-sync          Synchronization (ebi::Mutex/CondVar, std::atomic,
+                    and the raw std primitives) inside src/ is confined
+                    to src/serve/, src/exec/, src/storage/engine/ and
+                    src/obs/ — the concurrency layers. Everything else
+                    is single-threaded by contract and shared through
+                    snapshots or the pool. (Allowlisted: the wrapper
+                    layer itself in src/util/sync.* and the
+                    IoAccountant's relaxed counters.)
+  raw-mutex         Raw std::mutex / std::condition_variable /
+                    std::lock_guard / std::unique_lock (and friends) are
+                    banned everywhere in src/ outside src/util/sync.*:
+                    locking goes through ebi::Mutex / MutexLock /
+                    CondVar, which carry the capability annotations and
+                    the debug lock-rank checks. A raw primitive would
+                    silently bypass both.
+  mutex-guarded-fields
+                    A class that owns an ebi::Mutex member must annotate
+                    every mutable data member with EBI_GUARDED_BY /
+                    EBI_PT_GUARDED_BY, or document why it needs no guard
+                    with EBI_UNGUARDED("reason"). const members, atomics
+                    and the synchronization members themselves are
+                    exempt. Keeps the capability analysis honest: an
+                    unannotated field in a locking class is exactly
+                    where a data race hides from -Wthread-safety.
   raw-file-io       Raw file I/O (fopen/fwrite/fsync/fstream/mmap...)
                     inside src/ is confined to src/storage/engine/, the
                     durability layer, so every byte that must survive a
@@ -210,9 +225,13 @@ SYNC_PATTERN = (
     r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|condition_variable|"
     r"condition_variable_any|atomic|atomic_flag|atomic_ref|lock_guard|"
-    r"unique_lock|scoped_lock|shared_lock|call_once|once_flag)\b")
+    r"unique_lock|scoped_lock|shared_lock|call_once|once_flag)\b"
+    # The annotated wrappers count as synchronization too: a layer that
+    # is single-threaded by contract has no business taking ebi locks.
+    r"|\b(Mutex|MutexLock|CondVar)\b")
 
-SYNC_ALLOWED_PREFIXES = ("src/serve/", "src/exec/", "src/storage/engine/")
+SYNC_ALLOWED_PREFIXES = ("src/serve/", "src/exec/", "src/storage/engine/",
+                         "src/obs/")
 
 
 def rule_raw_sync(path, text, stripped):
@@ -224,8 +243,108 @@ def rule_raw_sync(path, text, stripped):
         yield Finding(
             "raw-sync", path, lineno,
             f"raw synchronization `{line}` outside the concurrency layers "
-            "(src/serve/, src/exec/, src/storage/engine/); share state "
-            "through snapshots or the thread pool")
+            "(src/serve/, src/exec/, src/storage/engine/, src/obs/); share "
+            "state through snapshots or the thread pool")
+
+
+RAW_MUTEX_PATTERN = (
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+
+RAW_MUTEX_ALLOWED = ("src/util/sync.h", "src/util/sync.cc")
+
+
+def rule_raw_mutex(path, text, stripped):
+    if not path.startswith("src/") or path in RAW_MUTEX_ALLOWED:
+        return
+    for lineno, line in grep_lines(stripped, RAW_MUTEX_PATTERN):
+        yield Finding(
+            "raw-mutex", path, lineno,
+            f"raw std synchronization primitive `{line}`; use ebi::Mutex / "
+            "MutexLock / CondVar (util/sync.h) so the capability "
+            "annotations and debug lock-rank checks apply")
+
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(class|struct)\s+"
+    r"(?:EBI_\w+\s*(?:\([^()]*\))?\s+)*"     # EBI_CAPABILITY(...) etc.
+    r"([A-Za-z_]\w*)\s*(?:final\s*)?"
+    r"(?::[^;{}]*)?\{")
+
+FIELD_ANNOTATIONS = ("EBI_GUARDED_BY", "EBI_PT_GUARDED_BY", "EBI_UNGUARDED")
+
+# Statements that are not mutable data members: functions and anything
+# with parens (annotations were checked first), nested types, aliases,
+# statics, immutables, and the synchronization members themselves.
+FIELD_EXEMPT_RE = re.compile(
+    r"[()]|\b(using|typedef|friend|static|constexpr|enum|class|struct|"
+    r"operator|const|Mutex|CondVar)\b|std::atomic|~|#")
+
+FIELD_DECL_RE = re.compile(r"[\w>\]*&]\s+[A-Za-z_]\w*\s*(\[[^\]]*\])?\s*$")
+
+
+def class_bodies(stripped):
+    """Yields (name, body_start, top_level_text) for each class/struct,
+    where top_level_text has nested brace regions blanked (preserving
+    offsets) so member statements can be split on `;`."""
+    for match in CLASS_HEAD_RE.finditer(stripped):
+        if stripped[max(0, match.start() - 6):match.start()].strip() \
+                .endswith("enum"):
+            continue
+        open_at = match.end() - 1
+        depth = 0
+        close_at = None
+        for i in range(open_at, len(stripped)):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    close_at = i
+                    break
+        if close_at is None:
+            continue
+        body = stripped[open_at + 1:close_at]
+        top = []
+        depth = 0
+        for c in body:
+            if c == "{":
+                depth += 1
+                top.append(" ")
+            elif c == "}":
+                depth -= 1
+                top.append(" ")
+            else:
+                top.append(c if (depth == 0 or c == "\n") else " ")
+        yield match.group(2), open_at + 1, "".join(top)
+
+
+def rule_mutex_guarded_fields(path, text, stripped):
+    if not path.startswith("src/") or path in RAW_MUTEX_ALLOWED:
+        return
+    for name, body_start, top in class_bodies(stripped):
+        if not re.search(r"\bMutex\b", top):
+            continue
+        at = 0
+        for statement in top.split(";"):
+            stmt_start = body_start + at
+            at += len(statement) + 1
+            stmt = re.sub(r"\b(public|private|protected)\s*:", " ", statement)
+            stmt = re.sub(r"=[^;]*$", "", stmt).strip()
+            if not stmt or any(a in statement for a in FIELD_ANNOTATIONS):
+                continue
+            if FIELD_EXEMPT_RE.search(stmt):
+                continue
+            if not FIELD_DECL_RE.search(stmt):
+                continue
+            lineno = stripped.count("\n", 0, stmt_start + len(statement)) + 1
+            yield Finding(
+                "mutex-guarded-fields", path, lineno,
+                f"member `{stmt.split()[-1]}` of mutex-owning "
+                f"{name} lacks EBI_GUARDED_BY / EBI_PT_GUARDED_BY / "
+                "EBI_UNGUARDED(reason)")
 
 
 FILE_IO_PATTERNS = (
@@ -368,6 +487,8 @@ RULES = (
     rule_naked_new,
     rule_naked_thread,
     rule_raw_sync,
+    rule_raw_mutex,
+    rule_mutex_guarded_fields,
     rule_raw_file_io,
     rule_nondeterminism,
     rule_header_guard,
@@ -382,6 +503,8 @@ RULE_NAMES = (
     "naked-new",
     "naked-thread",
     "raw-sync",
+    "raw-mutex",
+    "mutex-guarded-fields",
     "raw-file-io",
     "nondeterminism",
     "header-guard",

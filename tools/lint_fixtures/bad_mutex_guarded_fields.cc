@@ -1,0 +1,29 @@
+// lint-fixture-path: src/serve/bad_mutex_guarded_fields.cc
+// A class that owns an ebi::Mutex with an unannotated mutable member:
+// `pending_` is mutated under mu_ in practice but nothing ties it to the
+// mutex, so -Wthread-safety would never notice an unlocked access. Every
+// mutable field of a mutex-owning class needs EBI_GUARDED_BY /
+// EBI_PT_GUARDED_BY or an EBI_UNGUARDED("reason") waiver.
+#include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace ebi {
+
+class BadQueue {
+ public:
+  void Push(int v) {
+    const MutexLock lock(mu_);
+    pending_.push_back(v);
+    count_ += 1;
+  }
+
+ private:
+  const int capacity_ = 16;
+  Mutex mu_{lock_rank::kLeafBarrier, "BadQueue::mu_"};
+  std::vector<int> pending_;
+  int count_ EBI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ebi

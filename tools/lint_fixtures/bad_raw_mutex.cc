@@ -1,0 +1,20 @@
+// lint-fixture-path: src/serve/bad_raw_mutex.cc
+// Raw std synchronization primitives inside a concurrency layer (so
+// raw-sync stays quiet): the serve layer must lock through ebi::Mutex /
+// MutexLock, which carry the capability annotations and the debug
+// lock-rank checks a raw std::mutex silently bypasses.
+#include <condition_variable>
+#include <mutex>
+
+namespace ebi {
+
+int RawGuardedCounter() {
+  static std::mutex mu;
+  static std::condition_variable cv;
+  static int count = 0;
+  const std::lock_guard<std::mutex> lock(mu);
+  cv.notify_all();
+  return ++count;
+}
+
+}  // namespace ebi

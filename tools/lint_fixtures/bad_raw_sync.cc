@@ -1,16 +1,15 @@
 // lint-fixture-path: src/query/bad_sync.cc
-// Raw synchronization outside src/serve/ and src/exec/: the query layer
+// Raw synchronization outside the concurrency layers: the query layer
 // is single-threaded by contract and must share state through snapshots
-// or the pool, not ad-hoc mutexes.
-#include <mutex>
+// or the pool, not ad-hoc shared atomics. (Atomics only, on purpose:
+// mutex primitives would additionally fire raw-mutex.)
+#include <atomic>
 
 namespace ebi {
 
-int GuardedCounter() {
-  static std::mutex mu;
-  static int count = 0;
-  const std::lock_guard<std::mutex> lock(mu);
-  return ++count;
+int SharedCounter() {
+  static std::atomic<int> count{0};
+  return count.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace ebi

@@ -40,14 +40,15 @@ ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
 # ThreadSanitizer pass over the concurrency surface: the thread pool, the
 # segmented/sharded execution path, the shared atomic accountant, the
-# serving layer (snapshot pins + combining appends under real races), and
+# serving layer (snapshot pins + combining appends under real races), the
+# sharded cluster tier (scatter-gather + routed appends + hedging), and
 # the storage engine (buffer-pool pins + concurrent WAL appends).
 # TSan and ASan cannot share a build, hence the third tree.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DEBI_SANITIZE=thread
 cmake --build build-tsan
 ctest --test-dir build-tsan \
-  -R 'thread_pool|lock_rank|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress|telemetry|workload_recorder|storage_engine|wal_recovery' \
+  -R 'thread_pool|lock_rank|segmented_table|sharded_index|parallel_executor|io_accountant|query_service|serve_stress|cluster_service|cluster_stress|telemetry|workload_recorder|storage_engine|wal_recovery' \
   2>&1 | tee -a test_output.txt
 
 # Compile-time thread-safety pass: when a clang is available, rebuild
@@ -73,7 +74,9 @@ ctest --test-dir build -R 'storage_engine|wal_recovery' \
 # Machine-readable export: every bench that writes BENCH_<name>.json must
 # emit documents matching the schema in scripts/check_bench_json.sh. The
 # default set includes obs_overhead, whose sampling_off throughput ratio
-# is gated there (always-on telemetry must stay near-free when idle).
+# is gated there (always-on telemetry must stay near-free when idle), and
+# serve_cluster, whose 4-shard victim p99 is gated against the
+# single-shard p99 (partitioning must keep isolating the adversary).
 bash scripts/check_bench_json.sh
 mkdir -p bench-json
 EBI_BENCH_JSON_DIR=bench-json ./build/bench/serve_throughput > /dev/null

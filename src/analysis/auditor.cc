@@ -49,6 +49,8 @@ const char* ViolationKindName(ViolationKind kind) {
       return "PersistedBitmapCorrupt";
     case ViolationKind::kShardPartitionMismatch:
       return "ShardPartitionMismatch";
+    case ViolationKind::kClusterPartitionMismatch:
+      return "ClusterPartitionMismatch";
   }
   return "Unknown";
 }
@@ -391,6 +393,59 @@ AuditReport InvariantAuditor::AuditShardedIndex(ShardedIndex& index,
         {ViolationKind::kShardPartitionMismatch, index.NumShards(),
          "shard segments cover " + std::to_string(rows_covered) +
              " rows, source table has " + std::to_string(expected_rows)});
+  }
+  return report;
+}
+
+AuditReport InvariantAuditor::AuditClusterPartition(
+    const std::vector<std::vector<uint64_t>>& shard_rows,
+    uint64_t total_rows) {
+  AuditReport report;
+  // owners[g] = 1 + shard that claimed global id g; 0 = unclaimed.
+  std::vector<size_t> owners(total_rows, 0);
+  for (size_t s = 0; s < shard_rows.size(); ++s) {
+    uint64_t previous = 0;
+    bool first = true;
+    for (uint64_t global : shard_rows[s]) {
+      ++report.checks_run;
+      if (global >= total_rows) {
+        report.violations.push_back(
+            {ViolationKind::kClusterPartitionMismatch, s,
+             "shard " + std::to_string(s) + " claims global row " +
+                 std::to_string(global) + " beyond total_rows " +
+                 std::to_string(total_rows)});
+        continue;
+      }
+      if (!first && global <= previous) {
+        report.violations.push_back(
+            {ViolationKind::kClusterPartitionMismatch, s,
+             "shard " + std::to_string(s) +
+                 "'s map is not strictly increasing at global row " +
+                 std::to_string(global) +
+                 " (local order must equal cluster append order)"});
+      }
+      if (owners[global] != 0) {
+        report.violations.push_back(
+            {ViolationKind::kClusterPartitionMismatch, s,
+             "global row " + std::to_string(global) +
+                 " claimed by both shard " +
+                 std::to_string(owners[global] - 1) + " and shard " +
+                 std::to_string(s)});
+      } else {
+        owners[global] = s + 1;
+      }
+      previous = global;
+      first = false;
+    }
+  }
+  for (uint64_t g = 0; g < total_rows; ++g) {
+    ++report.checks_run;
+    if (owners[g] == 0) {
+      report.violations.push_back(
+          {ViolationKind::kClusterPartitionMismatch,
+           static_cast<size_t>(g),
+           "global row " + std::to_string(g) + " is owned by no shard"});
+    }
   }
   return report;
 }

@@ -32,7 +32,10 @@ namespace ebi {
 ///     and (kBitmapTailDirty) no padding bit above size() is set — the
 ///     tail invariant Count()/IsZero() rely on to skip masking;
 ///   * kShardPartitionMismatch — a ShardedIndex's segments must tile the
-///     source table exactly.
+///     source table exactly;
+///   * kClusterPartitionMismatch — a cluster placement's per-shard
+///     global-row-id maps must tile [0, total_rows) exactly: every row
+///     owned by exactly one shard, in append order.
 enum class ViolationKind : uint8_t {
   kDuplicateCodeword,
   kCodewordOutOfWidth,
@@ -46,6 +49,7 @@ enum class ViolationKind : uint8_t {
   kEwahFormatMismatch,
   kPersistedBitmapCorrupt,
   kShardPartitionMismatch,
+  kClusterPartitionMismatch,
 };
 
 /// Short stable name, e.g. "DuplicateCodeword".
@@ -157,6 +161,16 @@ class InvariantAuditor {
   /// counts sum to `expected_rows` of the source table.
   static AuditReport AuditShardedIndex(ShardedIndex& index,
                                        size_t expected_rows);
+
+  /// Audits a cluster placement's raw global-row-id maps
+  /// (serve/cluster's ShardRouter::Placement::shard_rows, passed as raw
+  /// parts so the analysis layer needs no serve dependency): the maps
+  /// must tile [0, total_rows) exactly — every global id claimed by
+  /// exactly one shard, each shard's map strictly increasing (cluster
+  /// append order), and the sizes summing to `total_rows`.
+  static AuditReport AuditClusterPartition(
+      const std::vector<std::vector<uint64_t>>& shard_rows,
+      uint64_t total_rows);
 };
 
 }  // namespace ebi

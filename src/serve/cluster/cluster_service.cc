@@ -1,0 +1,556 @@
+#include "serve/cluster/cluster_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace ebi {
+namespace serve {
+namespace cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Statuses a shard can return that mean "not now" rather than "wrong":
+/// eligible for hedging and, under kPartial, for a coverage-masked miss.
+/// Hard errors (bad predicate, internal fault) always fail the query.
+bool IsUnavailable(StatusCode code) {
+  return code == StatusCode::kOverloaded ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+/// Polling granularity while a primary and its hedge race: fine enough
+/// not to smear sub-ms wins, coarse enough to stay off the profile.
+constexpr double kRaceSliceMs = 0.25;
+
+// Metric handles, cached per the registry's hot-path contract.
+obs::Counter* QueriesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricClusterQueries);
+  return counter;
+}
+obs::Counter* FanoutCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricClusterFanout);
+  return counter;
+}
+obs::Counter* HedgeIssuedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricClusterHedgeIssued);
+  return counter;
+}
+obs::Counter* HedgeWonCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kMetricClusterHedgeWon);
+  return counter;
+}
+obs::Counter* PartialResultsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricClusterPartialResults);
+  return counter;
+}
+obs::Counter* ShardDeadlineMissCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricClusterShardDeadlineMiss);
+  return counter;
+}
+obs::Histogram* ShardLatencyHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kMetricClusterShardLatencyMs,
+          obs::MetricsRegistry::LatencyBounds());
+  return histogram;
+}
+
+/// Derives the per-shard ServeOptions: path-carrying knobs get a
+/// ".s<shard>" (replicas ".s<shard>r") suffix so shards never share a
+/// WAL, workload log, or export file.
+ServeOptions ShardServeOptions(const ServeOptions& base, size_t shard,
+                               bool replica) {
+  ServeOptions out = base;
+  std::string suffix = ".s" + std::to_string(shard) + (replica ? "r" : "");
+  if (!out.wal_path.empty()) {
+    out.wal_path += suffix;
+  }
+  if (!out.telemetry.workload_log_path.empty()) {
+    out.telemetry.workload_log_path += suffix;
+  }
+  if (!out.telemetry.export_path_prefix.empty()) {
+    out.telemetry.export_path_prefix += suffix;
+  }
+  return out;
+}
+
+}  // namespace
+
+ClusterQueryService::ClusterQueryService(ClusterOptions options)
+    : options_(std::move(options)) {}
+
+ClusterQueryService::~ClusterQueryService() { Shutdown().IgnoreError(); }
+
+Status ClusterQueryService::Start(std::unique_ptr<Table> table,
+                                  std::vector<IndexSpec> specs) {
+  if (started_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("cluster already started");
+  }
+  if (options_.shards == 0) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  if (options_.hedge && !options_.replicate) {
+    return Status::InvalidArgument(
+        "hedging requires replicas (ClusterOptions::replicate)");
+  }
+  if (options_.shard_deadline_fraction <= 0.0 ||
+      options_.shard_deadline_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "shard_deadline_fraction must be in (0, 1]");
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument("cluster Start needs a table");
+  }
+  EBI_ASSIGN_OR_RETURN(size_t key_index,
+                       table->ColumnIndex(options_.key_column));
+  if (table->column(key_index).type() != Column::Type::kInt64) {
+    return Status::InvalidArgument("partition key column '" +
+                                   options_.key_column +
+                                   "' must be int64");
+  }
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    if (!table->RowExists(r)) {
+      return Status::FailedPrecondition(
+          "cluster Start cannot partition a table with deleted rows (a "
+          "void slot has no owning shard)");
+    }
+  }
+
+  EBI_ASSIGN_OR_RETURN(
+      std::unique_ptr<Partitioner> partitioner,
+      MakePartitioner(options_.partition, options_.shards,
+                      options_.split_points));
+  router_ =
+      std::make_unique<ShardRouter>(std::move(partitioner),
+                                    options_.key_column);
+  key_index_ = key_index;
+  schema_.clear();
+  schema_.reserve(table->NumColumns());
+  for (size_t c = 0; c < table->NumColumns(); ++c) {
+    schema_.push_back(table->column(c).type());
+  }
+
+  // Materialize rows in table order: row r becomes global id r, so the
+  // merged cluster bitmap lines up with a single service on `table`.
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(table->NumRows());
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(table->NumColumns());
+    for (size_t c = 0; c < table->NumColumns(); ++c) {
+      row.push_back(table->column(c).ValueAt(r));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  MutexLock lock(append_mu_);
+  EBI_ASSIGN_OR_RETURN(ShardRouter::RoutedBatch routed,
+                       router_->RouteAppend(rows, key_index_));
+
+  primaries_.resize(options_.shards);
+  if (options_.replicate) {
+    replicas_.resize(options_.shards);
+  }
+  for (size_t s = 0; s < options_.shards; ++s) {
+    const std::string shard_name =
+        table->name() + ".shard" + std::to_string(s);
+    auto build_table = [&]() -> Result<std::unique_ptr<Table>> {
+      auto shard_table = std::make_unique<Table>(shard_name);
+      for (size_t c = 0; c < table->NumColumns(); ++c) {
+        EBI_RETURN_IF_ERROR(shard_table->AddColumn(
+            table->column(c).name(), table->column(c).type()));
+      }
+      for (const auto& row : routed.per_shard_rows[s]) {
+        EBI_RETURN_IF_ERROR(shard_table->AppendRow(row));
+      }
+      return shard_table;
+    };
+
+    primaries_[s] = std::make_unique<QueryService>(
+        ShardServeOptions(options_.shard_options, s, /*replica=*/false));
+    EBI_ASSIGN_OR_RETURN(std::unique_ptr<Table> primary_table,
+                         build_table());
+    EBI_RETURN_IF_ERROR(primaries_[s]->Start(std::move(primary_table),
+                                             specs));
+    if (options_.replicate) {
+      replicas_[s] = std::make_unique<QueryService>(
+          ShardServeOptions(options_.replica_options, s, /*replica=*/true));
+      EBI_ASSIGN_OR_RETURN(std::unique_ptr<Table> replica_table,
+                           build_table());
+      EBI_RETURN_IF_ERROR(replicas_[s]->Start(std::move(replica_table),
+                                              specs));
+    }
+  }
+  started_.store(true, std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+Result<ClusterResult> ClusterQueryService::Select(
+    const std::vector<Predicate>& predicates,
+    const RequestOptions& options) {
+  if (!started_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("cluster not started");
+  }
+  if (poisoned_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition(
+        "cluster degraded: a shard append failed after routing");
+  }
+  QueriesCounter()->Increment();
+
+  const Clock::time_point start = Clock::now();
+  std::optional<TimePoint> deadline;
+  if (options.deadline_ms.has_value()) {
+    // Mirror the per-service admission fix: expired on arrival means no
+    // shard is ever contacted.
+    if (*options.deadline_ms <= 0.0) {
+      return Status::DeadlineExceeded(
+          "cluster deadline already expired on arrival");
+    }
+    deadline = start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               *options.deadline_ms));
+  }
+
+  const std::vector<size_t> owners = router_->OwningShards(predicates);
+  FanoutCounter()->Increment(owners.size());
+
+  // Scatter: submit to every owning shard's primary up front (Submit is
+  // non-blocking), so shards execute concurrently on their own pools
+  // while the gather below walks them in order.
+  std::vector<ShardCall> calls;
+  calls.reserve(owners.size());
+  for (size_t s : owners) {
+    ShardCall call;
+    call.shard = s;
+    call.submitted = Clock::now();
+    RequestOptions shard_options;
+    if (deadline.has_value()) {
+      const double remaining = MsBetween(call.submitted, *deadline);
+      shard_options.deadline_ms =
+          std::max(0.0, remaining) * options_.shard_deadline_fraction;
+    }
+    auto submitted = primaries_[s]->Submit(predicates, shard_options);
+    if (submitted.ok()) {
+      call.primary = std::move(submitted).value();
+    } else {
+      call.submit_status = submitted.status();
+    }
+    calls.push_back(std::move(call));
+  }
+
+  ClusterResult out;
+  out.visited_shards = owners;
+  std::vector<std::optional<ServeResult>> responses;
+  responses.reserve(calls.size());
+  for (ShardCall& call : calls) {
+    auto [outcome, response] = GatherShard(predicates, call, deadline);
+    responses.push_back(std::move(response));
+    out.outcomes.push_back(std::move(outcome));
+  }
+
+  // Classify misses; a hard error fails the query under either policy.
+  for (size_t i = 0; i < out.outcomes.size(); ++i) {
+    const ShardOutcome& outcome = out.outcomes[i];
+    if (responses[i].has_value()) {
+      continue;
+    }
+    if (!IsUnavailable(outcome.status.code())) {
+      return outcome.status;
+    }
+    if (options_.partial_policy == PartialResultPolicy::kFail) {
+      return outcome.status;
+    }
+    out.missing_shards.push_back(outcome.shard);
+  }
+  if (!out.missing_shards.empty()) {
+    out.partial = true;
+    PartialResultsCounter()->Increment();
+  }
+
+  // Merge, against the placement as of now: every shard response was
+  // produced before this read, so each shard's global-id map covers all
+  // of its local rows (maps extend before shard rows publish).
+  std::shared_ptr<const ShardRouter::Placement> placement =
+      router_->placement();
+  out.total_rows = placement->total_rows;
+  out.selection.rows = BitVector(placement->total_rows);
+  out.coverage = BitVector(placement->total_rows, true);
+  for (size_t shard : out.missing_shards) {
+    for (uint64_t global : placement->shard_rows[shard]) {
+      out.coverage.Reset(static_cast<size_t>(global));
+    }
+  }
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].has_value()) {
+      continue;
+    }
+    const ServeResult& shard_result = *responses[i];
+    const std::vector<uint64_t>& map =
+        placement->shard_rows[out.outcomes[i].shard];
+    shard_result.selection.rows.ForEachSetBit([&](size_t local) {
+      if (local < map.size()) {
+        out.selection.rows.Set(static_cast<size_t>(map[local]));
+      }
+    });
+    out.selection.io.vectors_read += shard_result.selection.io.vectors_read;
+    out.selection.io.pages_read += shard_result.selection.io.pages_read;
+    out.selection.io.bytes_read += shard_result.selection.io.bytes_read;
+    out.selection.io.nodes_read += shard_result.selection.io.nodes_read;
+    out.selection.io.bytes_written +=
+        shard_result.selection.io.bytes_written;
+    out.selection.io.pages_written +=
+        shard_result.selection.io.pages_written;
+    if (out.selection.predicate_stats.empty()) {
+      out.selection.predicate_stats = shard_result.selection.predicate_stats;
+    } else if (shard_result.selection.predicate_stats.size() ==
+               out.selection.predicate_stats.size()) {
+      for (size_t p = 0; p < out.selection.predicate_stats.size(); ++p) {
+        out.selection.predicate_stats[p].rows +=
+            shard_result.selection.predicate_stats[p].rows;
+      }
+    }
+  }
+  out.selection.count = out.selection.rows.Count();
+  return out;
+}
+
+std::pair<ShardOutcome, std::optional<ServeResult>>
+ClusterQueryService::GatherShard(const std::vector<Predicate>& predicates,
+                                 ShardCall& call,
+                                 std::optional<TimePoint> deadline) {
+  ShardOutcome out;
+  out.shard = call.shard;
+  QueryService* replica_service =
+      (options_.hedge && options_.replicate) ? replicas_[call.shard].get()
+                                             : nullptr;
+
+  std::optional<Result<ServeResult>> primary_outcome;
+  std::optional<Result<ServeResult>> hedge_outcome;
+  std::shared_ptr<ServeTicket> hedge_ticket;
+  bool hedge_resolved_first = false;
+
+  if (call.primary == nullptr) {
+    primary_outcome = Result<ServeResult>(call.submit_status);
+  }
+
+  const auto past_deadline = [&]() {
+    return deadline.has_value() && Clock::now() >= *deadline;
+  };
+
+  // Phase 1: wait on the primary until it resolves, the hedge point
+  // passes, or the cluster deadline expires.
+  if (call.primary != nullptr) {
+    if (replica_service != nullptr) {
+      TimePoint hedge_at =
+          call.submitted +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  CurrentHedgeDelayMs()));
+      if (deadline.has_value() && *deadline < hedge_at) {
+        hedge_at = *deadline;
+      }
+      const double wait_ms = MsBetween(Clock::now(), hedge_at);
+      primary_outcome = call.primary->WaitFor(std::max(0.0, wait_ms));
+    } else if (deadline.has_value()) {
+      const double wait_ms = MsBetween(Clock::now(), *deadline);
+      primary_outcome = call.primary->WaitFor(std::max(0.0, wait_ms));
+    } else {
+      primary_outcome = call.primary->Wait();
+    }
+  }
+
+  // Phase 2: hedge when the primary is still out (past the delay) or
+  // came back unavailable — the replica may hold the answer the primary
+  // cannot produce in time.
+  const bool primary_unavailable =
+      primary_outcome.has_value() && !(*primary_outcome).ok() &&
+      IsUnavailable((*primary_outcome).status().code());
+  if (replica_service != nullptr &&
+      (!primary_outcome.has_value() || primary_unavailable) &&
+      !past_deadline()) {
+    RequestOptions hedge_options;
+    if (deadline.has_value()) {
+      hedge_options.deadline_ms =
+          std::max(0.0, MsBetween(Clock::now(), *deadline));
+    }
+    out.hedged = true;
+    HedgeIssuedCounter()->Increment();
+    auto submitted = replica_service->Submit(predicates, hedge_options);
+    if (submitted.ok()) {
+      hedge_ticket = std::move(submitted).value();
+    } else {
+      hedge_outcome = Result<ServeResult>(submitted.status());
+    }
+  }
+
+  // Phase 3: race the primary and the hedge to the first OK response
+  // (bounded by the cluster deadline). Neither is cancelled — the loser
+  // finishes on its own pool and its result is dropped.
+  while ((call.primary != nullptr && !primary_outcome.has_value()) ||
+         (hedge_ticket != nullptr && !hedge_outcome.has_value())) {
+    if (past_deadline()) {
+      break;
+    }
+    if (call.primary != nullptr && !primary_outcome.has_value()) {
+      primary_outcome = call.primary->WaitFor(kRaceSliceMs);
+      if (primary_outcome.has_value() && (*primary_outcome).ok()) {
+        break;
+      }
+    }
+    if (hedge_ticket != nullptr && !hedge_outcome.has_value()) {
+      hedge_outcome = hedge_ticket->WaitFor(kRaceSliceMs);
+      if (hedge_outcome.has_value() && (*hedge_outcome).ok()) {
+        hedge_resolved_first = true;
+        break;
+      }
+    }
+  }
+
+  out.latency_ms = MsBetween(call.submitted, Clock::now());
+
+  const bool primary_ok =
+      primary_outcome.has_value() && (*primary_outcome).ok();
+  const bool hedge_ok = hedge_outcome.has_value() && (*hedge_outcome).ok();
+  if (hedge_ok && (hedge_resolved_first || !primary_ok)) {
+    out.status = Status::OK();
+    out.epoch = (*hedge_outcome).value().epoch;
+    out.hedge_won = true;
+    HedgeWonCounter()->Increment();
+    ShardLatencyHistogram()->Observe(out.latency_ms);
+    return {out, std::move(*hedge_outcome).value()};
+  }
+  if (primary_ok) {
+    out.status = Status::OK();
+    out.epoch = (*primary_outcome).value().epoch;
+    ShardLatencyHistogram()->Observe(out.latency_ms);
+    return {out, std::move(*primary_outcome).value()};
+  }
+
+  // Miss. Prefer the primary's own error; a pure wait-timeout becomes a
+  // synthesized deadline miss.
+  if (primary_outcome.has_value()) {
+    out.status = (*primary_outcome).status();
+  } else if (hedge_outcome.has_value()) {
+    out.status = (*hedge_outcome).status();
+  } else {
+    out.status = Status::DeadlineExceeded(
+        "shard " + std::to_string(call.shard) +
+        " exhausted its deadline budget");
+  }
+  if (out.status.code() == StatusCode::kDeadlineExceeded) {
+    ShardDeadlineMissCounter()->Increment();
+  }
+  return {out, std::nullopt};
+}
+
+Result<uint64_t> ClusterQueryService::Append(
+    std::vector<std::vector<Value>> rows) {
+  if (!started_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("cluster not started");
+  }
+  if (poisoned_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition(
+        "cluster degraded: a shard append failed after routing");
+  }
+  if (rows.empty()) {
+    return AppendEpoch();
+  }
+  // Validate *before* routing: once the placement assigns global ids, a
+  // shard-side rejection would leave ids with no backing rows and shift
+  // every later local index off its map entry.
+  for (const auto& row : rows) {
+    if (row.size() != schema_.size()) {
+      return Status::InvalidArgument(
+          "append row has " + std::to_string(row.size()) +
+          " values; table has " + std::to_string(schema_.size()) +
+          " columns");
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].is_null()) {
+        continue;
+      }
+      const bool ok_type =
+          (schema_[c] == Column::Type::kInt64 &&
+           row[c].kind == Value::Kind::kInt64) ||
+          (schema_[c] == Column::Type::kString &&
+           row[c].kind == Value::Kind::kString);
+      if (!ok_type) {
+        return Status::InvalidArgument(
+            "append value type mismatch in column " + std::to_string(c));
+      }
+    }
+  }
+
+  MutexLock lock(append_mu_);
+  EBI_ASSIGN_OR_RETURN(ShardRouter::RoutedBatch routed,
+                       router_->RouteAppend(rows, key_index_));
+  for (size_t s = 0; s < options_.shards; ++s) {
+    if (routed.per_shard_rows[s].empty()) {
+      continue;
+    }
+    auto primary_result = primaries_[s]->Append(routed.per_shard_rows[s]);
+    if (!primary_result.ok()) {
+      poisoned_.store(true, std::memory_order_seq_cst);
+      return primary_result.status();
+    }
+    if (options_.replicate) {
+      auto replica_result =
+          replicas_[s]->Append(std::move(routed.per_shard_rows[s]));
+      if (!replica_result.ok()) {
+        poisoned_.store(true, std::memory_order_seq_cst);
+        return replica_result.status();
+      }
+    }
+  }
+  return append_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+Status ClusterQueryService::Shutdown() {
+  Status first_error = Status::OK();
+  for (auto& shard : primaries_) {
+    if (shard != nullptr) {
+      Status status = shard->Shutdown();
+      if (!status.ok() && first_error.ok()) {
+        first_error = status;
+      }
+    }
+  }
+  for (auto& shard : replicas_) {
+    if (shard != nullptr) {
+      Status status = shard->Shutdown();
+      if (!status.ok() && first_error.ok()) {
+        first_error = status;
+      }
+    }
+  }
+  return first_error;
+}
+
+double ClusterQueryService::CurrentHedgeDelayMs() const {
+  obs::Histogram* latency = ShardLatencyHistogram();
+  if (latency->TotalCount() < options_.hedge_warmup) {
+    return options_.hedge_max_delay_ms;
+  }
+  return std::clamp(latency->Quantile(0.99), options_.hedge_min_delay_ms,
+                    options_.hedge_max_delay_ms);
+}
+
+}  // namespace cluster
+}  // namespace serve
+}  // namespace ebi

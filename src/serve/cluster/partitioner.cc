@@ -1,0 +1,103 @@
+#include "serve/cluster/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace ebi {
+namespace serve {
+namespace cluster {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix so sequential keys (the
+/// common surrogate-key case) spread evenly instead of landing on
+/// consecutive shards mod N.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<size_t> Partitioner::ShardsForRange(int64_t /*lo*/,
+                                                int64_t /*hi*/) const {
+  std::vector<size_t> all(shards());
+  std::iota(all.begin(), all.end(), size_t{0});
+  return all;
+}
+
+size_t HashPartitioner::ShardOf(int64_t key) const {
+  return static_cast<size_t>(Mix64(static_cast<uint64_t>(key)) % shards());
+}
+
+Result<std::unique_ptr<RangePartitioner>> RangePartitioner::Create(
+    size_t shards, std::vector<int64_t> split_points) {
+  if (shards == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "range partitioner needs at least one shard");
+  }
+  if (split_points.size() + 1 != shards) {
+    return Status(StatusCode::kInvalidArgument,
+                  "range partitioner over N shards needs exactly N-1 "
+                  "split points");
+  }
+  if (!std::is_sorted(split_points.begin(), split_points.end()) ||
+      std::adjacent_find(split_points.begin(), split_points.end()) !=
+          split_points.end()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "range split points must be strictly increasing");
+  }
+  return std::make_unique<RangePartitioner>(Validated{}, shards,
+                                            std::move(split_points));
+}
+
+size_t RangePartitioner::ShardOf(int64_t key) const {
+  // Shard i owns (s_{i-1}, s_i]: the first split point >= key names the
+  // owner, and keys above every split point belong to the last shard.
+  auto it =
+      std::lower_bound(split_points_.begin(), split_points_.end(), key);
+  return static_cast<size_t>(it - split_points_.begin());
+}
+
+std::vector<size_t> RangePartitioner::ShardsForRange(int64_t lo,
+                                                     int64_t hi) const {
+  if (lo > hi) {
+    return {};
+  }
+  size_t first = ShardOf(lo);
+  size_t last = ShardOf(hi);
+  std::vector<size_t> owners;
+  owners.reserve(last - first + 1);
+  for (size_t s = first; s <= last; ++s) {
+    owners.push_back(s);
+  }
+  return owners;
+}
+
+Result<std::unique_ptr<Partitioner>> MakePartitioner(
+    PartitionKind kind, size_t shards, std::vector<int64_t> split_points) {
+  if (shards == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "partitioner needs at least one shard");
+  }
+  switch (kind) {
+    case PartitionKind::kHash:
+      return std::unique_ptr<Partitioner>(
+          std::make_unique<HashPartitioner>(shards));
+    case PartitionKind::kRange: {
+      auto ranged = RangePartitioner::Create(shards, std::move(split_points));
+      if (!ranged.ok()) {
+        return ranged.status();
+      }
+      return std::unique_ptr<Partitioner>(std::move(ranged).value());
+    }
+  }
+  return Status(StatusCode::kInvalidArgument, "unknown partition kind");
+}
+
+}  // namespace cluster
+}  // namespace serve
+}  // namespace ebi

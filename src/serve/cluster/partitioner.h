@@ -1,0 +1,111 @@
+#ifndef EBI_SERVE_CLUSTER_PARTITIONER_H_
+#define EBI_SERVE_CLUSTER_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ebi {
+namespace serve {
+namespace cluster {
+
+/// How the fact table is split across shards.
+enum class PartitionKind : uint8_t {
+  /// splitmix64 of the key modulo the shard count: spreads any key
+  /// distribution evenly, at the cost of losing key locality (range
+  /// predicates on the key fan out to every shard).
+  kHash,
+  /// Ordered key ranges, one per shard: tenant-major key spaces map one
+  /// tenant to one shard, so a slow tenant saturates only its own shard
+  /// and range predicates prune to the shards their span touches.
+  kRange,
+};
+
+/// Maps partition-key values to shard ordinals. Implementations are
+/// immutable after construction and therefore freely shared across
+/// threads. The partition key is always an int64 column; NULL keys are
+/// the router's business (it pins them to shard 0).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Shard owning `key`. Total over the key domain: every key maps to
+  /// exactly one shard, which is what makes the cluster result mergeable
+  /// bit-for-bit (the partition-tiling invariant AuditClusterPartition
+  /// checks).
+  [[nodiscard]] virtual size_t ShardOf(int64_t key) const = 0;
+
+  /// Shards that may own any key in [lo, hi] (inclusive). The default is
+  /// conservative: every shard. RangePartitioner narrows it to the
+  /// boundary span, which is what lets range predicates on the key
+  /// column prune their fan-out.
+  [[nodiscard]] virtual std::vector<size_t> ShardsForRange(int64_t lo,
+                                                           int64_t hi) const;
+
+  /// Stable name for traces and bench labels ("hash" / "range").
+  [[nodiscard]] virtual const char* Name() const = 0;
+
+  [[nodiscard]] size_t shards() const { return shards_; }
+
+ protected:
+  explicit Partitioner(size_t shards) : shards_(shards) {}
+
+ private:
+  size_t shards_;
+};
+
+/// Hash partitioner: shard = splitmix64(key) % shards.
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(size_t shards) : Partitioner(shards) {}
+
+  [[nodiscard]] size_t ShardOf(int64_t key) const override;
+  [[nodiscard]] const char* Name() const override { return "hash"; }
+};
+
+/// Range partitioner over sorted split points. With split points
+/// s_0 < s_1 < ... < s_{n-2} (one fewer than shards), shard i owns keys
+/// in (s_{i-1}, s_i], shard 0 owns keys <= s_0, and the last shard owns
+/// everything above the final split point.
+class RangePartitioner final : public Partitioner {
+ public:
+  /// `split_points` must be strictly increasing and hold exactly
+  /// shards - 1 entries.
+  static Result<std::unique_ptr<RangePartitioner>> Create(
+      size_t shards, std::vector<int64_t> split_points);
+
+  /// Passkey: only Create can mint one, so every live RangePartitioner
+  /// went through Create's validation — while the constructor stays
+  /// public enough for std::make_unique.
+  class Validated {
+   private:
+    Validated() = default;
+    friend class RangePartitioner;
+  };
+
+  RangePartitioner(Validated, size_t shards,
+                   std::vector<int64_t> split_points)
+      : Partitioner(shards), split_points_(std::move(split_points)) {}
+
+  [[nodiscard]] size_t ShardOf(int64_t key) const override;
+  [[nodiscard]] std::vector<size_t> ShardsForRange(int64_t lo,
+                                                   int64_t hi) const override;
+  [[nodiscard]] const char* Name() const override { return "range"; }
+
+ private:
+  std::vector<int64_t> split_points_;
+};
+
+/// Factory keyed by PartitionKind. `split_points` is consumed only by
+/// kRange (and required there); kHash ignores it.
+Result<std::unique_ptr<Partitioner>> MakePartitioner(
+    PartitionKind kind, size_t shards, std::vector<int64_t> split_points = {});
+
+}  // namespace cluster
+}  // namespace serve
+}  // namespace ebi
+
+#endif  // EBI_SERVE_CLUSTER_PARTITIONER_H_

@@ -1,0 +1,127 @@
+#include "serve/cluster/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ebi {
+namespace serve {
+namespace cluster {
+
+ShardRouter::ShardRouter(std::unique_ptr<Partitioner> partitioner,
+                         std::string key_column)
+    : partitioner_(std::move(partitioner)),
+      key_column_(std::move(key_column)) {
+  auto initial = std::make_shared<Placement>();
+  initial->shard_rows.resize(partitioner_->shards());
+  MutexLock lock(mu_);
+  placement_ = std::move(initial);
+}
+
+size_t ShardRouter::ShardOfKey(const Value& key) const {
+  if (key.is_null()) {
+    return 0;
+  }
+  return partitioner_->ShardOf(key.int_value);
+}
+
+Result<ShardRouter::RoutedBatch> ShardRouter::RouteAppend(
+    const std::vector<std::vector<Value>>& rows, size_t key_index) {
+  for (const auto& row : rows) {
+    if (key_index >= row.size()) {
+      return Status::InvalidArgument(
+          "append row is missing the partition-key column");
+    }
+    if (row[key_index].kind == Value::Kind::kString) {
+      return Status::InvalidArgument(
+          "partition key must be an int64 (or NULL) value");
+    }
+  }
+
+  RoutedBatch batch;
+  batch.per_shard_rows.resize(shards());
+
+  // Extend a copy of the placement, then publish it before returning —
+  // i.e. before the caller hands any sub-batch to a shard. Any reader
+  // that later sees shard-local row i has a placement whose map covers i.
+  std::shared_ptr<const Placement> current = placement();
+  auto next = std::make_shared<Placement>(*current);
+  for (const auto& row : rows) {
+    size_t shard = ShardOfKey(row[key_index]);
+    next->shard_rows[shard].push_back(next->total_rows++);
+    batch.per_shard_rows[shard].push_back(row);
+  }
+
+  MutexLock lock(mu_);
+  placement_ = std::move(next);
+  return batch;
+}
+
+std::shared_ptr<const ShardRouter::Placement> ShardRouter::placement() const {
+  MutexLock lock(mu_);
+  return placement_;
+}
+
+std::vector<size_t> ShardRouter::OwningShards(
+    const std::vector<Predicate>& predicates) const {
+  std::vector<size_t> owners(shards());
+  for (size_t s = 0; s < owners.size(); ++s) {
+    owners[s] = s;
+  }
+
+  for (const auto& pred : predicates) {
+    if (pred.column != key_column_) {
+      continue;
+    }
+    std::vector<size_t> from_pred;
+    switch (pred.kind) {
+      case Predicate::Kind::kEquals:
+        if (pred.value.kind == Value::Kind::kString) {
+          continue;  // Malformed for an int key; let the shards report it.
+        }
+        from_pred.push_back(ShardOfKey(pred.value));
+        break;
+      case Predicate::Kind::kIn:
+        for (const auto& v : pred.values) {
+          if (v.kind == Value::Kind::kString) {
+            from_pred.clear();
+            break;
+          }
+          from_pred.push_back(ShardOfKey(v));
+        }
+        if (from_pred.empty() && !pred.values.empty()) {
+          continue;  // String literal seen: no pruning from this one.
+        }
+        break;
+      case Predicate::Kind::kRange:
+        from_pred = partitioner_->ShardsForRange(pred.lo, pred.hi);
+        break;
+      case Predicate::Kind::kIsNull:
+        // NULL keys are pinned to shard 0, so only shard 0 can match.
+        from_pred.push_back(0);
+        break;
+      case Predicate::Kind::kNotEquals:
+      case Predicate::Kind::kNotIn:
+        // Complements span the whole key domain: no pruning.
+        continue;
+    }
+
+    // Intersect the running owner set with this predicate's (conjunctive
+    // semantics: a row must satisfy every predicate, so it must live in
+    // every predicate's owning set).
+    std::sort(from_pred.begin(), from_pred.end());
+    from_pred.erase(std::unique(from_pred.begin(), from_pred.end()),
+                    from_pred.end());
+    std::vector<size_t> merged;
+    std::set_intersection(owners.begin(), owners.end(), from_pred.begin(),
+                          from_pred.end(), std::back_inserter(merged));
+    owners = std::move(merged);
+    if (owners.empty()) {
+      break;
+    }
+  }
+  return owners;
+}
+
+}  // namespace cluster
+}  // namespace serve
+}  // namespace ebi

@@ -1,0 +1,108 @@
+#ifndef EBI_SERVE_CLUSTER_SHARD_ROUTER_H_
+#define EBI_SERVE_CLUSTER_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "serve/cluster/partitioner.h"
+#include "storage/column.h"
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace ebi {
+namespace serve {
+namespace cluster {
+
+/// Routes rows and selections to the shards that own them.
+///
+/// The router carries two responsibilities (DESIGN.md §14):
+///
+///  1. **Row routing.** `RouteAppend` splits a batch of rows into
+///     per-shard sub-batches by the partition key and assigns each row a
+///     *global* row id (its position in cluster append order). The
+///     per-shard id maps are the cluster's merge metadata: a shard-local
+///     result bit `i` on shard `s` names global row
+///     `placement->shard_rows[s][i]`, which is how scatter-gather
+///     reassembles a BitVector bit-identical to the single-service path.
+///  2. **Fan-out pruning.** `OwningShards` narrows a conjunctive
+///     selection to the shards whose key ranges the partition-key
+///     predicates can touch. Predicates on other columns never prune
+///     (any shard may hold matching rows).
+///
+/// Placement snapshots are copy-on-write: `RouteAppend` builds a new
+/// Placement and swaps one shared_ptr under `mu_`; readers grab the
+/// pointer and never block appenders. NULL partition keys are pinned to
+/// shard 0 so the tiling stays total.
+class ShardRouter {
+ public:
+  /// Per-shard global-row-id maps at one moment in cluster append order.
+  /// Immutable once published.
+  struct Placement {
+    /// shard_rows[s][i] = global row id of shard s's local row i.
+    std::vector<std::vector<uint64_t>> shard_rows;
+    /// Total rows routed so far (== sum of shard_rows sizes).
+    uint64_t total_rows = 0;
+  };
+
+  /// One routed append batch: rows regrouped by owning shard, in the
+  /// original batch's relative order within each shard.
+  struct RoutedBatch {
+    std::vector<std::vector<std::vector<Value>>> per_shard_rows;
+  };
+
+  ShardRouter(std::unique_ptr<Partitioner> partitioner,
+              std::string key_column);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  [[nodiscard]] const Partitioner& partitioner() const {
+    return *partitioner_;
+  }
+  [[nodiscard]] const std::string& key_column() const { return key_column_; }
+  [[nodiscard]] size_t shards() const { return partitioner_->shards(); }
+
+  /// Shard owning a partition-key value. NULL keys pin to shard 0;
+  /// string keys are rejected by RouteAppend before they reach here.
+  [[nodiscard]] size_t ShardOfKey(const Value& key) const;
+
+  /// Splits `rows` by owning shard and publishes the extended placement.
+  /// `key_index` is the partition-key column's position in each row.
+  /// Callers must serialize RouteAppend invocations (ClusterQueryService
+  /// holds its kClusterAppend mutex across the route + shard fan-out so
+  /// global id order equals publish order on every shard).
+  ///
+  /// The placement publishes *before* any shard sees the rows: a shard
+  /// result observed later can only be a prefix of the id map, never
+  /// longer, which MergeShardResult relies on.
+  Result<RoutedBatch> RouteAppend(
+      const std::vector<std::vector<Value>>& rows, size_t key_index);
+
+  /// Current placement snapshot (never null; starts empty).
+  [[nodiscard]] std::shared_ptr<const Placement> placement() const;
+
+  /// Shards a conjunctive selection must visit: the intersection over
+  /// partition-key predicates of each one's owning set, or every shard
+  /// when no key predicate narrows it. Sorted ascending; may be empty
+  /// (a contradictory conjunction visits no shard at all).
+  [[nodiscard]] std::vector<size_t> OwningShards(
+      const std::vector<Predicate>& predicates) const;
+
+ private:
+  const std::unique_ptr<const Partitioner> partitioner_;
+  const std::string key_column_;
+
+  mutable Mutex mu_{lock_rank::kClusterRouter, "ShardRouter::mu_"};
+  std::shared_ptr<const Placement> placement_ EBI_GUARDED_BY(mu_);
+};
+
+}  // namespace cluster
+}  // namespace serve
+}  // namespace ebi
+
+#endif  // EBI_SERVE_CLUSTER_SHARD_ROUTER_H_

@@ -208,6 +208,25 @@ Result<ServeResult> ServeTicket::Wait() {
   return *outcome_;
 }
 
+std::optional<Result<ServeResult>> ServeTicket::WaitFor(double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  MutexLock lock(mu_);
+  while (!outcome_.has_value()) {
+    const double remaining =
+        std::chrono::duration<double, std::milli>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0.0) {
+      return std::nullopt;
+    }
+    cv_.WaitFor(lock, remaining);
+  }
+  return *outcome_;
+}
+
 void ServeTicket::Complete(Result<ServeResult> outcome) {
   {
     const MutexLock lock(mu_);
@@ -334,6 +353,17 @@ Result<std::shared_ptr<ServeTicket>> QueryService::Submit(
     const double limit_ms = options.deadline_ms.has_value()
                                 ? *options.deadline_ms
                                 : options_.default_deadline_ms;
+    // Expired on arrival: reject at admission, before the request costs a
+    // pool dispatch, a snapshot pin or a plan. Without this check a
+    // deadline_ms <= 0 request would occupy a queue slot only to be
+    // bounced by RunRequest's pre-pin deadline check.
+    if (limit_ms <= 0.0) {
+      FinishRequest();
+      DeadlineCounter()->Increment();
+      return Status::DeadlineExceeded(
+          "deadline of " + std::to_string(limit_ms) +
+          " ms already expired on arrival; rejected at admission");
+    }
     deadline = submitted + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double, std::milli>(
                                    limit_ms));

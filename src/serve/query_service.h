@@ -125,6 +125,12 @@ class ServeTicket {
  public:
   Result<ServeResult> Wait();
 
+  /// Bounded wait: the outcome if the request resolved within
+  /// `timeout_ms`, nullopt on timeout (the request keeps running — the
+  /// cluster gather uses this to decide when to hedge, then comes back
+  /// for the straggler). A non-positive timeout polls.
+  std::optional<Result<ServeResult>> WaitFor(double timeout_ms);
+
  private:
   friend class QueryService;
   void Complete(Result<ServeResult> outcome);

@@ -1,6 +1,7 @@
 #ifndef EBI_UTIL_SYNC_H_
 #define EBI_UTIL_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -35,7 +36,16 @@ namespace lock_rank {
 /// tree should use it; it exists for tests and short-lived local locks.
 inline constexpr uint32_t kUnranked = 0;
 
-// -- serve/ (acquired first: the service fronts every request) --------
+// -- serve/cluster/ (acquired before anything else: the sharded tier
+//    fronts the per-shard services, so its locks are held while shard
+//    QueryService locks — rank 100+ — are taken underneath) ------------
+/// Serializes cluster appends end-to-end (global row-id assignment plus
+/// the per-shard Append fan-out must stay in one order everywhere).
+inline constexpr uint32_t kClusterAppend = 60;
+/// Guards the router's copy-on-write placement pointer.
+inline constexpr uint32_t kClusterRouter = 70;
+
+// -- serve/ (the per-shard service: fronts every request) --------------
 inline constexpr uint32_t kQueryServiceAppend = 100;
 inline constexpr uint32_t kQueryServiceExport = 110;
 inline constexpr uint32_t kQueryServiceDrain = 120;
@@ -196,6 +206,19 @@ class CondVar {
   void Wait(MutexLock& lock) {
     LockAdapter adapter{lock.mu_};
     cv_.wait(adapter);
+  }
+
+  /// Timed wait: returns false when `timeout_ms` elapsed without a
+  /// notification, true otherwise (including spurious wakeups — callers
+  /// loop on their predicate with the remaining time, the pattern
+  /// ServeTicket::WaitFor spells out). A non-positive timeout still
+  /// releases and re-acquires the lock, so the predicate can be
+  /// re-checked race-free.
+  bool WaitFor(MutexLock& lock, double timeout_ms) {
+    LockAdapter adapter{lock.mu_};
+    return cv_.wait_for(adapter,
+                        std::chrono::duration<double, std::milli>(
+                            timeout_ms)) == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

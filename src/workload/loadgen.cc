@@ -1,0 +1,95 @@
+#include "workload/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/random.h"
+
+namespace ebi {
+namespace workload {
+
+namespace {
+
+/// Exponential interarrival draw at `rate_qps`, in milliseconds.
+double NextInterarrivalMs(Rng& rng, double rate_qps) {
+  // Inverse-CDF with the draw pinned away from 0 so log() stays finite.
+  const double u = std::max(rng.UniformDouble(), 1e-12);
+  return -std::log(u) / rate_qps * 1000.0;
+}
+
+}  // namespace
+
+LoadSchedule GenerateLoad(const LoadGenOptions& options) {
+  LoadSchedule schedule;
+  if (options.operations == 0 || options.tenants == 0 ||
+      options.keys_per_tenant <= 0) {
+    return schedule;
+  }
+  Rng rng(options.seed);
+  ZipfGenerator tenant_pick(options.tenants, options.zipf_theta,
+                            options.seed ^ 0x5eedULL);
+
+  const double rate = std::max(options.offered_qps, 1e-6);
+  const double burst = std::max(options.burst_factor, 1.0);
+  double clock_ms = 0.0;
+
+  schedule.ops.reserve(options.operations);
+  for (size_t i = 0; i < options.operations; ++i) {
+    LoadOp op;
+    op.adversarial = options.adversary_fraction > 0.0 &&
+                     rng.Bernoulli(options.adversary_fraction);
+    op.tenant = op.adversarial ? options.adversary_tenant
+                               : static_cast<size_t>(tenant_pick.Next());
+
+    const int64_t lo =
+        static_cast<int64_t>(op.tenant) * options.keys_per_tenant;
+    const int64_t hi = lo + options.keys_per_tenant - 1;
+    op.predicates.push_back(Predicate::Between(options.key_column, lo, hi));
+    if (options.value_cardinality > 0) {
+      if (op.adversarial) {
+        // The adversary ORs a wide IN-list: every literal is one more
+        // bitmap fetched and unioned, so width converts directly into
+        // shard-side service time.
+        std::vector<Value> literals;
+        const size_t width = std::max<size_t>(options.adversary_in_width, 1);
+        literals.reserve(width);
+        for (size_t v = 0; v < width; ++v) {
+          literals.push_back(Value::Int(static_cast<int64_t>(
+              rng.UniformInt(static_cast<uint64_t>(
+                  options.value_cardinality)))));
+        }
+        op.predicates.push_back(
+            Predicate::In(options.value_column, std::move(literals)));
+      } else {
+        op.predicates.push_back(Predicate::Eq(
+            options.value_column,
+            Value::Int(static_cast<int64_t>(rng.UniformInt(
+                static_cast<uint64_t>(options.value_cardinality))))));
+      }
+    }
+
+    if (options.arrivals == ArrivalProcess::kOpenLoop) {
+      // Two-phase modulated Poisson: the on-phase compresses
+      // interarrivals by burst_factor, the off-phase stretches them by
+      // the same factor, so the mean rate stays offered_qps while the
+      // on-phase slams the admission queue.
+      double phase_rate = rate;
+      if (burst > 1.0 && options.burst_period_ms > 0.0) {
+        const double phase =
+            std::fmod(clock_ms, 2.0 * options.burst_period_ms);
+        phase_rate =
+            phase < options.burst_period_ms ? rate * burst : rate / burst;
+      }
+      clock_ms += NextInterarrivalMs(rng, phase_rate);
+      op.arrival_ms = clock_ms;
+    }
+    schedule.ops.push_back(std::move(op));
+  }
+  schedule.duration_ms =
+      options.arrivals == ArrivalProcess::kOpenLoop ? clock_ms : 0.0;
+  return schedule;
+}
+
+}  // namespace workload
+}  // namespace ebi

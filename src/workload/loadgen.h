@@ -1,0 +1,95 @@
+#ifndef EBI_WORKLOAD_LOADGEN_H_
+#define EBI_WORKLOAD_LOADGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace ebi {
+namespace workload {
+
+/// How the load generator paces requests.
+enum class ArrivalProcess : uint8_t {
+  /// Fixed client population, each issuing its next request the moment
+  /// the previous one returns. Arrival times are unused; throughput is
+  /// whatever the system sustains (the classic saturation mode).
+  kClosedLoop,
+  /// Requests arrive on a precomputed timeline regardless of completion
+  /// — the mode that exposes queueing collapse, since arrivals do not
+  /// slow down when the system does (coordinated omission avoided).
+  kOpenLoop,
+};
+
+/// One scheduled request of a generated workload.
+struct LoadOp {
+  /// Arrival offset from schedule start (open loop; 0 in closed loop).
+  double arrival_ms = 0.0;
+  /// Tenant the request belongs to (Zipf-skewed).
+  size_t tenant = 0;
+  /// The conjunctive selection to issue.
+  std::vector<Predicate> predicates;
+  /// True for the slow-query adversary's deliberately wide requests.
+  bool adversarial = false;
+};
+
+/// Deterministic multi-tenant workload description. Everything derives
+/// from `seed`: two schedules with equal options are identical op for
+/// op, which is what makes bench runs comparable across shard counts.
+struct LoadGenOptions {
+  uint64_t seed = 1;
+  /// Requests in the schedule.
+  size_t operations = 1000;
+  /// Tenant population; tenant t owns keys
+  /// [t*keys_per_tenant, (t+1)*keys_per_tenant).
+  size_t tenants = 8;
+  /// Zipf skew across tenants (0 = uniform; 0.99 = classic YCSB skew).
+  double zipf_theta = 0.99;
+  /// Key-space width per tenant.
+  int64_t keys_per_tenant = 1024;
+  /// Partition-key column every request carries a tenant-range
+  /// predicate on.
+  std::string key_column = "k";
+  /// Secondary column for the selective equality conjunct.
+  std::string value_column = "v";
+  /// Distinct values of value_column (equality literals are drawn from
+  /// [0, cardinality)); 0 drops the secondary conjunct entirely.
+  int64_t value_cardinality = 16;
+  ArrivalProcess arrivals = ArrivalProcess::kClosedLoop;
+  /// Mean offered rate for kOpenLoop (requests per second).
+  double offered_qps = 1000.0;
+  /// Burstiness: interarrival rate alternates between
+  /// offered_qps*burst_factor (on-phase) and offered_qps/burst_factor
+  /// (off-phase) every burst_period_ms. 1.0 = plain Poisson arrivals.
+  double burst_factor = 1.0;
+  double burst_period_ms = 100.0;
+  /// Fraction of requests issued by the slow-query adversary.
+  double adversary_fraction = 0.0;
+  /// The adversary always targets this tenant — under range
+  /// partitioning its load pins to one shard, which is the isolation
+  /// story BENCH_serve_cluster measures.
+  size_t adversary_tenant = 0;
+  /// IN-list width of adversarial requests (each literal is one more
+  /// bitmap to OR: width buys slowness).
+  size_t adversary_in_width = 64;
+};
+
+/// A fully materialized request timeline.
+struct LoadSchedule {
+  std::vector<LoadOp> ops;
+  /// Arrival horizon: last arrival_ms (0 for closed loop).
+  double duration_ms = 0.0;
+};
+
+/// Generates the schedule for `options`. Pure computation — no clocks,
+/// no threads, no I/O — so it is freely callable anywhere; executing the
+/// schedule against a service (threads, pacing) is the bench's job
+/// (bench/serve_cluster.cc).
+LoadSchedule GenerateLoad(const LoadGenOptions& options);
+
+}  // namespace workload
+}  // namespace ebi
+
+#endif  // EBI_WORKLOAD_LOADGEN_H_

@@ -87,6 +87,52 @@ TEST(QueryServiceTest, ZeroDeadlineIsDeterministicallyExceeded) {
   EXPECT_GE(exceeded->Value(), before + 1);
 }
 
+// Regression: a deadline that is already expired on arrival must be
+// rejected at admission — synchronously from Submit — not after burning
+// a queue slot, a pool dispatch, and a snapshot pin. Submit returning
+// the error directly (instead of a ticket that later resolves to it) is
+// the observable contract.
+TEST(QueryServiceTest, ExpiredOnArrivalIsRejectedAtAdmission) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(16), BothColumns()).ok());
+  obs::Counter* exceeded = obs::MetricsRegistry::Global().GetCounter(
+      obs::kMetricServeDeadlineExceeded);
+  const uint64_t before = exceeded->Value();
+
+  RequestOptions options;
+  options.deadline_ms = -5.0;  // Expired before it was even submitted.
+  const Result<std::shared_ptr<ServeTicket>> ticket =
+      service.Submit({Predicate::Eq("a", Value::Int(1))}, options);
+  ASSERT_FALSE(ticket.ok());  // No ticket: never entered the queue.
+  EXPECT_EQ(ticket.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(exceeded->Value(), before + 1);
+  EXPECT_EQ(service.InFlight(), 0u);  // Back out of the in-flight count.
+}
+
+// ServeTicket::WaitFor (the cluster gather's hedging primitive): times
+// out without consuming the outcome, then the outcome is still there for
+// a later bounded or unbounded wait.
+TEST(QueryServiceTest, WaitForTimesOutThenDeliversOutcome) {
+  QueryService service;
+  ASSERT_TRUE(service.Start(TwoColumnTable(64), BothColumns()).ok());
+
+  const Result<std::shared_ptr<ServeTicket>> ticket =
+      service.Submit({Predicate::Eq("a", Value::Int(1))});
+  ASSERT_TRUE(ticket.ok());
+  // Bounded waits eventually observe the resolution; a zero-budget wait
+  // is a poll that can legally miss it.
+  std::optional<Result<ServeResult>> outcome;
+  for (int i = 0; i < 10000 && !outcome.has_value(); ++i) {
+    outcome = (*ticket)->WaitFor(1.0);
+  }
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->ok());
+  // The outcome is retained: repeated waits agree.
+  const Result<ServeResult> again = (*ticket)->Wait();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().selection.count, outcome->value().selection.count);
+}
+
 TEST(QueryServiceTest, ZeroQueueDepthShedsEveryRequest) {
   ServeOptions options;
   options.queue_depth = 0;

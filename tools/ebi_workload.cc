@@ -9,6 +9,13 @@
 // generations (<log>.1, <log>.2, ...) are read automatically, oldest
 // first. Damaged lines (truncated tails, unknown schema versions) are
 // skipped and reported on stderr, never fatal.
+//
+// With --cluster, each <log> is the base workload_log_path of a
+// ClusterQueryService: the per-shard sets the cluster layer writes
+// (<log>.s0, <log>.s1, ... and replica sets <log>.s0r, ...) are
+// discovered and read instead, and `summary` prints a per-shard
+// breakdown ahead of the merged totals — the fan-in companion to the
+// serve tier's fan-out (DESIGN.md §14).
 
 #include <algorithm>
 #include <cstdint>
@@ -31,12 +38,50 @@ using ebi::obs::WorkloadRecord;
 using ebi::obs::WorkloadRecordJson;
 
 constexpr size_t kMaxGenerations = 16;
+constexpr size_t kMaxShards = 64;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ebi_workload <summary|top|json> [--k N] <log> "
-               "[<log>...]\n");
+               "usage: ebi_workload <summary|top|json> [--k N] [--cluster] "
+               "<log> [<log>...]\n");
   return 2;
+}
+
+/// One log set to read: `path` is the live file of a rotation set,
+/// `label` is what the per-shard breakdown calls it.
+struct LogSource {
+  std::string label;
+  std::string path;
+};
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// Expands a cluster base path into the per-shard log sets the serve
+/// tier writes: <base>.s0, <base>.s1, ... plus replica sets
+/// <base>.s<N>r when hedging was on. Shards are contiguous from 0, so
+/// discovery stops at the first missing primary.
+std::vector<LogSource> ExpandCluster(const std::string& base) {
+  std::vector<LogSource> sources;
+  for (size_t s = 0; s < kMaxShards; ++s) {
+    const std::string primary = base + ".s" + std::to_string(s);
+    if (!FileExists(primary)) {
+      break;
+    }
+    sources.push_back({"shard " + std::to_string(s), primary});
+    const std::string replica = primary + "r";
+    if (FileExists(replica)) {
+      sources.push_back({"shard " + std::to_string(s) + " (replica)",
+                         replica});
+    }
+  }
+  return sources;
 }
 
 struct PredicateGroup {
@@ -80,6 +125,32 @@ double Quantile(std::vector<double> sorted, double q) {
   const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Per-shard breakdown printed ahead of the merged totals in --cluster
+/// summary mode: where did the fan-out's work actually land?
+void PrintShardBreakdown(
+    const std::vector<std::pair<LogSource, WorkloadLogRead>>& reads) {
+  std::printf("%-20s %-8s %-10s %-10s %-10s\n", "shard", "records",
+              "p50_ms", "p99_ms", "mean_ms");
+  for (const auto& [source, read] : reads) {
+    std::vector<double> latencies;
+    latencies.reserve(read.records.size());
+    double total_ms = 0.0;
+    for (const WorkloadRecord& r : read.records) {
+      latencies.push_back(r.total_ms);
+      total_ms += r.total_ms;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double n = latencies.empty()
+                         ? 1.0
+                         : static_cast<double>(latencies.size());
+    std::printf("%-20s %-8zu %-10.3f %-10.3f %-10.3f\n",
+                source.label.c_str(), read.records.size(),
+                Quantile(latencies, 0.5), Quantile(latencies, 0.99),
+                total_ms / n);
+  }
+  std::printf("\n");
 }
 
 int RunSummary(const std::vector<WorkloadRecord>& records, size_t skipped) {
@@ -186,6 +257,7 @@ int main(int argc, char** argv) {
   }
   const std::string mode = argv[1];
   size_t k = 10;
+  bool cluster = false;
   std::vector<std::string> paths;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--k") == 0) {
@@ -195,6 +267,10 @@ int main(int argc, char** argv) {
       k = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
       continue;
     }
+    if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster = true;
+      continue;
+    }
     paths.emplace_back(argv[i]);
   }
   if (paths.empty() ||
@@ -202,21 +278,42 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  std::vector<LogSource> sources;
+  for (const std::string& path : paths) {
+    if (cluster) {
+      std::vector<LogSource> expanded = ExpandCluster(path);
+      if (expanded.empty()) {
+        std::fprintf(stderr,
+                     "ebi_workload: %s: no per-shard logs (%s.s0 not "
+                     "found)\n",
+                     path.c_str(), path.c_str());
+        return 1;
+      }
+      std::move(expanded.begin(), expanded.end(),
+                std::back_inserter(sources));
+    } else {
+      sources.push_back({path, path});
+    }
+  }
+
+  std::vector<std::pair<LogSource, WorkloadLogRead>> reads;
   std::vector<WorkloadRecord> records;
   size_t skipped = 0;
-  for (const std::string& path : paths) {
+  for (const LogSource& source : sources) {
     ebi::Result<WorkloadLogRead> one =
-        ReadWorkloadLogSet(path, kMaxGenerations);
+        ReadWorkloadLogSet(source.path, kMaxGenerations);
     if (!one.ok()) {
-      std::fprintf(stderr, "ebi_workload: %s: %s\n", path.c_str(),
+      std::fprintf(stderr, "ebi_workload: %s: %s\n", source.path.c_str(),
                    one.status().ToString().c_str());
       return 1;
     }
     if (one.value().records.empty() && one.value().skipped == 0) {
-      std::fprintf(stderr, "ebi_workload: %s: no records\n", path.c_str());
+      std::fprintf(stderr, "ebi_workload: %s: no records\n",
+                   source.path.c_str());
     }
     skipped += one.value().skipped;
-    std::move(one.value().records.begin(), one.value().records.end(),
+    reads.emplace_back(source, one.value());
+    std::copy(one.value().records.begin(), one.value().records.end(),
               std::back_inserter(records));
   }
   if (skipped > 0) {
@@ -224,6 +321,9 @@ int main(int argc, char** argv) {
                  skipped);
   }
   if (mode == "summary") {
+    if (cluster) {
+      PrintShardBreakdown(reads);
+    }
     return RunSummary(records, skipped);
   }
   if (mode == "top") {
